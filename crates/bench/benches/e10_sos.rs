@@ -1,0 +1,17 @@
+//! E10: cascade Monte-Carlo cost.
+
+use autosec_bench::exp_sos;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e10_sos");
+    for trials in [100usize, 1000] {
+        g.bench_function(format!("cascade_{trials}_trials"), |b| {
+            b.iter(|| exp_sos::cascade_run(trials))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! E11/E12: intersection rounds and misbehaviour detection rounds.
+
+use autosec_bench::exp_collab;
+use autosec_collab::intersection::{simulate, Agent};
+use autosec_sim::SimRng;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e11_e12_collab");
+    g.bench_function("intersection_10k_rounds", |b| {
+        let mut rng = SimRng::seed(1);
+        b.iter(|| simulate(&[Agent::selfish(0.3); 4], 10_000, &mut rng))
+    });
+    g.bench_function("ghost_detection_20_rounds_4_observers", |b| {
+        b.iter(|| exp_collab::ghost_detection_rate(4, 20, 9))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,19 @@
+//! E1/E13: full cross-layer campaign cost.
+
+use autosec_bench::exp_ids;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e13_ids");
+    g.sample_size(10); // campaigns build SSI key material
+    g.bench_function("campaign_undefended", |b| {
+        b.iter(|| exp_ids::campaign_run(false, 1))
+    });
+    g.bench_function("campaign_full_defense", |b| {
+        b.iter(|| exp_ids::campaign_run(true, 1))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

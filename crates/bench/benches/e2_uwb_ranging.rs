@@ -1,0 +1,31 @@
+//! E2/E2b: UWB ranging measurement throughput per receiver kind and the
+//! enlargement detector.
+
+use autosec_bench::exp_phy;
+use autosec_phy::attacks::HrpAttack;
+use autosec_phy::hrp::{HrpConfig, HrpRanging, ReceiverKind};
+use autosec_sim::SimRng;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e2_uwb_ranging");
+    for kind in [ReceiverKind::NaiveLeadingEdge, ReceiverKind::IntegrityChecked] {
+        let session = HrpRanging::new(HrpConfig::default(), kind);
+        g.bench_function(format!("measure_clean_{kind:?}"), |b| {
+            let mut rng = SimRng::seed(1);
+            b.iter(|| session.measure(20.0, None, &mut rng))
+        });
+        let attack = HrpAttack::cicada(8.0, 3.0);
+        g.bench_function(format!("measure_attacked_{kind:?}"), |b| {
+            let mut rng = SimRng::seed(2);
+            b.iter(|| session.measure(20.0, Some(&attack), &mut rng))
+        });
+    }
+    g.bench_function("e2_hrp_sweep_point", |b| {
+        b.iter(|| exp_phy::hrp_sweep(ReceiverKind::IntegrityChecked, 0.0, &[3.0], 7))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! E3: zonal IVN simulation throughput.
+
+use autosec_bench::exp_ivn;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e3_ivn");
+    for frames in [100usize, 1000] {
+        g.bench_function(format!("bus_saturation_{frames}"), |b| {
+            b.iter(|| exp_ivn::bus_saturation_run(frames))
+        });
+    }
+    g.bench_function("zonal_simulation_table", |b| {
+        b.iter(exp_ivn::e3_zonal_simulation_table)
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! E4: per-protocol protect+verify round-trip cost.
+
+use autosec_bench::exp_proto;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e4_protocols");
+    for size in [8usize, 64, 512] {
+        let payload = vec![0xA5u8; size];
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_function(format!("secoc_{size}B"), |b| {
+            b.iter(|| exp_proto::secoc_round_trip(&payload))
+        });
+        g.bench_function(format!("macsec_{size}B"), |b| {
+            b.iter(|| exp_proto::macsec_round_trip(&payload))
+        });
+        g.bench_function(format!("cansec_{size}B"), |b| {
+            b.iter(|| exp_proto::cansec_round_trip(&payload))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! E5-E7: end-to-end scenario evaluation cost (S1/S2/S3).
+
+use autosec_secproto::scenarios::{evaluate, Scenario};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e567_scenarios");
+    for s in Scenario::ALL {
+        g.bench_function(format!("{}_64B", s.label().replace(' ', "_")), |b| {
+            b.iter(|| evaluate(s, 64))
+        });
+        g.bench_function(format!("{}_1024B", s.label().replace(' ', "_")), |b| {
+            b.iter(|| evaluate(s, 1024))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

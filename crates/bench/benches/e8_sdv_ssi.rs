@@ -1,0 +1,26 @@
+//! E8/E8b: SDV reconfiguration ceremony and charging flows.
+
+use autosec_bench::exp_sdv;
+use autosec_sdv::charging::{iso15118_flow, ssi_flow};
+use autosec_sim::SimRng;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e8_sdv_ssi");
+    g.sample_size(10); // hash-based keygen dominates; keep runs short
+    g.bench_function("reconfiguration_run_3", |b| {
+        b.iter(|| exp_sdv::reconfiguration_run(3, 1))
+    });
+    g.bench_function("iso15118_flow", |b| {
+        let mut rng = SimRng::seed(1);
+        b.iter(|| iso15118_flow(&mut rng, 4).expect("flow completes"))
+    });
+    g.bench_function("ssi_flow_offline", |b| {
+        let mut rng = SimRng::seed(2);
+        b.iter(|| ssi_flow(&mut rng, true).expect("flow completes"))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! E9: kill-chain execution across defense configurations.
+
+use autosec_bench::exp_data;
+use autosec_data::service::DefenseConfig;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e9_killchain");
+    for (label, cfg) in [
+        ("undefended", DefenseConfig::none()),
+        ("hardened", DefenseConfig::hardened()),
+    ] {
+        g.bench_function(format!("killchain_5000_{label}"), |b| {
+            b.iter(|| exp_data::killchain_run(5000, cfg, 38))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Experiment runner: regenerates every table/figure of the paper.
+//!
+//! ```sh
+//! cargo run -p autosec-bench --bin experiments            # everything
+//! cargo run -p autosec-bench --bin experiments -- E9      # one experiment
+//! ```
+
+use autosec_bench::all_tables;
+
+fn main() {
+    let filter: Option<String> = std::env::args().nth(1).map(|s| s.to_uppercase());
+    let mut printed = 0;
+    for table in all_tables() {
+        let keep = filter
+            .as_deref()
+            .map(|f| table.id.to_uppercase().contains(f))
+            .unwrap_or(true);
+        if keep {
+            println!("{table}");
+            printed += 1;
+        }
+    }
+    if printed == 0 {
+        eprintln!(
+            "no experiment matched {:?}; available ids: E1 E2 E2b E3 E4 E5-E7 E8 E8b E9 E10 E11 E12 E13",
+            filter.unwrap_or_default()
+        );
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,208 @@
+//! Ablation experiments (A1–A6): the security/cost knobs behind the
+//! headline results, swept one at a time.
+
+use autosec_phy::attacks::HrpAttack;
+use autosec_phy::hrp::{HrpConfig, HrpRanging, ReceiverKind};
+use autosec_phy::vrange::{measure as vrange_measure, VRangeAttack, VRangeConfig};
+use autosec_secproto::canal::{CanalSender, CANAL_HEADER_BYTES, CANAL_TRAILER_BYTES};
+use autosec_secproto::secoc::SecOcConfig;
+use autosec_secproto::seemqtt::{adversary_recovers, publish, subscribe, BrokerNetwork};
+use autosec_sim::SimRng;
+
+use crate::Table;
+
+/// A1: HRP consistency-threshold sweep — security versus availability.
+pub fn a1_hrp_threshold_table() -> Table {
+    let mut t = Table::new(
+        "A1",
+        "ablation — HRP integrity-check threshold: attack success vs false rejects",
+        &["min consistency", "cicada success", "clean rejects"],
+    );
+    let attack = HrpAttack::cicada(8.0, 3.0);
+    for consistency_min in [0.5, 0.6, 0.7, 0.8, 0.9] {
+        let cfg = HrpConfig {
+            consistency_min,
+            ..HrpConfig::default()
+        };
+        let session = HrpRanging::new(cfg, ReceiverKind::IntegrityChecked);
+        let mut rng = SimRng::seed(61);
+        let trials = 150;
+        let mut wins = 0;
+        let mut clean_rejects = 0;
+        for _ in 0..trials {
+            let o = session.measure(20.0, Some(&attack), &mut rng);
+            if !o.rejected && o.reduction_m > 1.0 {
+                wins += 1;
+            }
+            let c = session.measure(20.0, None, &mut rng);
+            if c.rejected {
+                clean_rejects += 1;
+            }
+        }
+        t.push_row(vec![
+            format!("{consistency_min:.1}"),
+            format!("{:.1}%", wins as f64 / trials as f64 * 100.0),
+            format!("{:.1}%", clean_rejects as f64 / trials as f64 * 100.0),
+        ]);
+    }
+    t
+}
+
+/// A2: SECOC truncation sweep — wire bytes versus forgery probability.
+pub fn a2_secoc_truncation_table() -> Table {
+    let mut t = Table::new(
+        "A2",
+        "ablation — SECOC MAC/freshness truncation: overhead vs forgery odds",
+        &["MAC bits", "FV bits", "overhead B", "P[forge one PDU]"],
+    );
+    for (mac_bits, fv_bits) in [(16u8, 8u8), (24, 8), (32, 8), (24, 16), (64, 16)] {
+        let cfg = SecOcConfig {
+            mac_tx_bits: mac_bits,
+            freshness_tx_bits: fv_bits,
+            resync_attempts: 2,
+        };
+        t.push_row(vec![
+            mac_bits.to_string(),
+            fv_bits.to_string(),
+            cfg.overhead_bytes().to_string(),
+            format!("2^-{mac_bits}"),
+        ]);
+    }
+    t
+}
+
+/// A3: CANAL MTU sweep for a 1500-byte tunneled Ethernet frame.
+pub fn a3_canal_mtu_table() -> Table {
+    let mut t = Table::new(
+        "A3",
+        "ablation — CANAL MTU: segmentation count and overhead (1500 B SDU)",
+        &["XL mtu", "frames", "CANAL overhead B", "overhead %"],
+    );
+    for mtu in [64usize, 128, 256, 512, 1024, 2048] {
+        let tx = CanalSender::new(0x40, 1, mtu);
+        let frames = tx.frames_needed(1500);
+        let overhead = frames * CANAL_HEADER_BYTES + CANAL_TRAILER_BYTES;
+        t.push_row(vec![
+            mtu.to_string(),
+            frames.to_string(),
+            overhead.to_string(),
+            format!("{:.1}%", overhead as f64 / 1500.0 * 100.0),
+        ]);
+    }
+    t
+}
+
+/// A4: SeeMQTT threshold sweep — availability versus coalition
+/// resistance.
+pub fn a4_seemqtt_table() -> Table {
+    let mut t = Table::new(
+        "A4",
+        "ablation — SeeMQTT (k, n): outage tolerance vs broker-coalition resistance",
+        &["k/n", "tolerated outages", "min breaking coalition", "delivered", "leaked to k-1"],
+    );
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(54);
+    for (k, n) in [(1usize, 3usize), (2, 3), (3, 5), (4, 5), (5, 5)] {
+        let msg = publish("topic", b"payload", k, n, &mut rng).expect("valid k/n");
+        // Deliver with exactly n-k brokers offline.
+        let offline: Vec<usize> = (0..(n - k)).collect();
+        let net = BrokerNetwork::healthy(n).with_offline(offline);
+        let delivered = subscribe(&net, &msg).is_ok();
+        // Adversary with k-1 brokers.
+        let coalition: Vec<usize> = (0..k.saturating_sub(1)).collect();
+        let adv = BrokerNetwork::healthy(n).with_compromised(coalition);
+        let leaked = adversary_recovers(&adv, &msg).is_some();
+        t.push_row(vec![
+            format!("{k}/{n}"),
+            (n - k).to_string(),
+            k.to_string(),
+            delivered.to_string(),
+            leaked.to_string(),
+        ]);
+    }
+    t
+}
+
+/// A5: V-Range security strength sweep.
+pub fn a5_vrange_table() -> Table {
+    let mut t = Table::new(
+        "A5",
+        "ablation — V-Range secured bits: reduction success (measured vs theory)",
+        &["symbols", "bits/symbol", "measured success", "theory"],
+    );
+    for (n_symbols, bits) in [(2usize, 1u32), (4, 1), (4, 2), (8, 2), (14, 4)] {
+        let cfg = VRangeConfig {
+            n_symbols,
+            secured_bits_per_symbol: bits,
+            ..VRangeConfig::default()
+        };
+        let mut rng = SimRng::seed(62);
+        let trials = 3000;
+        let mut wins = 0;
+        for _ in 0..trials {
+            let o = vrange_measure(&cfg, 50.0, Some(VRangeAttack::Reduce { advance_m: 20.0 }), &mut rng);
+            if !o.aborted {
+                wins += 1;
+            }
+        }
+        let theory = cfg.undetected_manipulation_probability(n_symbols);
+        t.push_row(vec![
+            n_symbols.to_string(),
+            bits.to_string(),
+            format!("{:.2}%", wins as f64 / trials as f64 * 100.0),
+            format!("{:.2}%", theory * 100.0),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn a1_tradeoff_direction() {
+        let t = a1_hrp_threshold_table();
+        // Loosest threshold lets some attacks through; strictest rejects
+        // some clean measurements.
+        let loose_success: f64 = t.rows[0][1].trim_end_matches('%').parse().expect("number");
+        let strict_success: f64 = t.rows[4][1].trim_end_matches('%').parse().expect("number");
+        assert!(loose_success >= strict_success);
+    }
+
+    #[test]
+    fn a2_overhead_scales() {
+        let t = a2_secoc_truncation_table();
+        let first: usize = t.rows[0][2].parse().expect("number");
+        let last: usize = t.rows[4][2].parse().expect("number");
+        assert!(last > first);
+    }
+
+    #[test]
+    fn a3_bigger_mtu_fewer_frames() {
+        let t = a3_canal_mtu_table();
+        let f64_: usize = t.rows[0][1].parse().expect("number");
+        let f2048: usize = t.rows[5][1].parse().expect("number");
+        assert!(f64_ > f2048);
+        assert_eq!(f2048, 1);
+    }
+
+    #[test]
+    fn a4_invariants() {
+        let t = a4_seemqtt_table();
+        for row in &t.rows {
+            assert_eq!(row[3], "true", "delivery with n-k outages: {row:?}");
+            assert_eq!(row[4], "false", "k-1 coalition leak: {row:?}");
+        }
+    }
+
+    #[test]
+    fn a5_measured_tracks_theory() {
+        let t = a5_vrange_table();
+        for row in &t.rows {
+            let measured: f64 = row[2].trim_end_matches('%').parse().expect("number");
+            let theory: f64 = row[3].trim_end_matches('%').parse().expect("number");
+            assert!((measured - theory).abs() < 5.0, "{row:?}");
+        }
+    }
+}

@@ -1,0 +1,104 @@
+//! E1 / E13: the layered framework — defense-in-depth curve and the
+//! multi-layer synergy table (Fig. 1 and §VIII).
+
+use autosec_core::assessment::{depth_sweep, score};
+use autosec_core::campaign::{run_campaign, DefensePosture};
+use autosec_core::layers::ArchLayer;
+
+use crate::Table;
+
+/// E1 table: the defense-in-depth curve.
+pub fn e1_depth_sweep() -> Table {
+    let mut t = Table::new(
+        "E1",
+        "Fig. 1 — defense-in-depth: campaign outcomes vs defended layers",
+        &["defended layers", "attack success", "detection"],
+    );
+    for p in depth_sweep(2025) {
+        t.push_row(vec![
+            p.defended_layers.to_string(),
+            format!("{:.0}%", p.attack_success_rate * 100.0),
+            format!("{:.0}%", p.detection_rate * 100.0),
+        ]);
+    }
+    t
+}
+
+/// E13 table: single-layer coverage versus the fused view.
+pub fn e13_synergy_table() -> Table {
+    let mut t = Table::new(
+        "E13",
+        "§VIII — IDS synergy: coverage per defended layer vs full stack",
+        &["posture", "attacks succeeded", "detected", "fused coverage", "synergy gain"],
+    );
+    let mut add = |label: String, posture: DefensePosture| {
+        let r = run_campaign(&posture, 1313);
+        let s = score(&r);
+        t.push_row(vec![
+            label,
+            format!("{}/{}", r.succeeded_attacks(), r.total_attacks()),
+            format!("{}/{}", r.detected_attacks(), r.total_attacks()),
+            format!("{:.0}%", s.fused_coverage * 100.0),
+            format!("{:+.0}pp", s.synergy_gain * 100.0),
+        ]);
+    };
+    add("none".into(), DefensePosture::none());
+    for layer in ArchLayer::ALL {
+        if layer == ArchLayer::SystemOfSystems {
+            continue; // covered by the data posture in `only`
+        }
+        add(format!("only {layer}"), DefensePosture::only(layer));
+    }
+    add("full stack".into(), DefensePosture::full());
+    t
+}
+
+/// Campaign run used by the Criterion bench.
+pub fn campaign_run(full: bool, seed: u64) -> usize {
+    let posture = if full {
+        DefensePosture::full()
+    } else {
+        DefensePosture::none()
+    };
+    run_campaign(&posture, seed).detected_attacks()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synergy_table_full_stack_dominates() {
+        let t = e13_synergy_table();
+        let full = t.rows.last().expect("nonempty");
+        let full_detected: usize = full[2]
+            .split('/')
+            .next()
+            .expect("a/b")
+            .parse()
+            .expect("number");
+        for row in &t.rows[1..t.rows.len() - 1] {
+            let detected: usize = row[2]
+                .split('/')
+                .next()
+                .expect("a/b")
+                .parse()
+                .expect("number");
+            assert!(
+                detected < full_detected,
+                "{} should detect less than the full stack",
+                row[0]
+            );
+        }
+    }
+
+    #[test]
+    fn depth_table_has_six_rows() {
+        assert_eq!(e1_depth_sweep().rows.len(), 6);
+    }
+
+    #[test]
+    fn campaign_run_full_detects_more() {
+        assert!(campaign_run(true, 3) > campaign_run(false, 3));
+    }
+}

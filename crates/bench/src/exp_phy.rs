@@ -1,0 +1,176 @@
+//! E2 / E2b: physical-layer experiments (paper Fig. 2 and §II-B).
+
+use autosec_phy::attacks::{HrpAttack, OvershadowAttack};
+use autosec_phy::enlargement::{EnlargementConfig, EnlargementDetector};
+use autosec_phy::hrp::{HrpConfig, HrpRanging, ReceiverKind};
+use autosec_phy::lrp::{LrpAttack, LrpConfig, LrpSession};
+use autosec_sim::SimRng;
+
+use crate::Table;
+
+/// Trials per sweep point (kept moderate so the full suite runs in
+/// seconds; raise for tighter confidence intervals).
+pub const TRIALS: usize = 200;
+
+/// Attack-success statistics for one HRP configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HrpPoint {
+    /// Attacker power relative to the legitimate signal.
+    pub power: f64,
+    /// Attacker STS knowledge (0 = Cicada, towards 1 = ED/LC oracle).
+    pub knowledge: f64,
+    /// Distance-reduction success rate.
+    pub success_rate: f64,
+    /// Measurement-rejection rate.
+    pub rejection_rate: f64,
+}
+
+/// Sweeps an HRP attack against one receiver kind.
+pub fn hrp_sweep(kind: ReceiverKind, knowledge: f64, powers: &[f64], seed: u64) -> Vec<HrpPoint> {
+    let session = HrpRanging::new(HrpConfig::default(), kind);
+    powers
+        .iter()
+        .map(|&power| {
+            let attack = HrpAttack::ed_lc(8.0, power, knowledge);
+            let mut rng = SimRng::seed(seed ^ (power * 1000.0) as u64);
+            let mut success = 0;
+            let mut rejected = 0;
+            for _ in 0..TRIALS {
+                let out = session.measure(20.0, Some(&attack), &mut rng);
+                if out.rejected {
+                    rejected += 1;
+                } else if out.reduction_m > 1.0 {
+                    success += 1;
+                }
+            }
+            HrpPoint {
+                power,
+                knowledge,
+                success_rate: success as f64 / TRIALS as f64,
+                rejection_rate: rejected as f64 / TRIALS as f64,
+            }
+        })
+        .collect()
+}
+
+/// E2 main table: distance-reduction success, naive vs integrity-checked
+/// receiver, blind (Cicada) vs partial-knowledge (ED/LC) attacker.
+pub fn e2_hrp_attack_table() -> Table {
+    let powers = [1.0, 2.0, 3.0, 5.0];
+    let mut t = Table::new(
+        "E2",
+        "Fig. 2 — HRP STS ranging: distance-reduction attacks vs receiver",
+        &[
+            "attacker", "power", "naive success", "checked success", "checked rejects",
+        ],
+    );
+    for (label, knowledge) in [("cicada (blind)", 0.0), ("ed/lc k=0.7", 0.7)] {
+        let naive = hrp_sweep(ReceiverKind::NaiveLeadingEdge, knowledge, &powers, 11);
+        let checked = hrp_sweep(ReceiverKind::IntegrityChecked, knowledge, &powers, 13);
+        for (n, c) in naive.iter().zip(checked.iter()) {
+            t.push_row(vec![
+                label.to_owned(),
+                format!("{:.0}x", n.power),
+                format!("{:.1}%", n.success_rate * 100.0),
+                format!("{:.1}%", c.success_rate * 100.0),
+                format!("{:.1}%", c.rejection_rate * 100.0),
+            ]);
+        }
+    }
+    t
+}
+
+/// E2 LRP table: early-commit success probability versus round count.
+pub fn e2_lrp_rounds_table() -> Table {
+    let mut t = Table::new(
+        "E2",
+        "Fig. 2 — LRP distance bounding: early-commit survival vs rounds",
+        &["rounds", "measured survival", "theory 2^-n"],
+    );
+    for n_rounds in [1usize, 2, 4, 8, 16, 32] {
+        let session = LrpSession::new(LrpConfig {
+            n_rounds,
+            ..LrpConfig::default()
+        });
+        let mut rng = SimRng::seed(17);
+        let trials = 2000;
+        let mut survived = 0;
+        for _ in 0..trials {
+            let out = session.measure(
+                20.0,
+                Some(LrpAttack::EarlyCommit { advance_m: 10.0 }),
+                &mut rng,
+            );
+            if !out.aborted {
+                survived += 1;
+            }
+        }
+        t.push_row(vec![
+            n_rounds.to_string(),
+            format!("{:.2}%", survived as f64 / trials as f64 * 100.0),
+            format!("{:.2}%", session.early_commit_success_probability() * 100.0),
+        ]);
+    }
+    t
+}
+
+/// E2b table: enlargement attack vs UWB-ED residual sweep.
+pub fn e2b_enlargement_table() -> Table {
+    let mut t = Table::new(
+        "E2b",
+        "§II-B — distance enlargement vs UWB-ED detection",
+        &["residual", "enlarged", "detected", "undetected+enlarged"],
+    );
+    let det = EnlargementDetector::new(EnlargementConfig::default());
+    for residual in [0.0, 0.05, 0.1, 0.2, 0.3, 0.5] {
+        let atk = OvershadowAttack {
+            delay_m: 15.0,
+            power: 3.0,
+            residual,
+        };
+        let mut rng = SimRng::seed(23);
+        let mut enlarged = 0;
+        let mut detected = 0;
+        let mut dangerous = 0;
+        for _ in 0..TRIALS {
+            let out = det.measure(25.0, Some(&atk), &mut rng);
+            if out.enlarged {
+                enlarged += 1;
+            }
+            if out.detected {
+                detected += 1;
+            }
+            if out.enlarged && !out.detected {
+                dangerous += 1;
+            }
+        }
+        let pct = |x: usize| format!("{:.1}%", x as f64 / TRIALS as f64 * 100.0);
+        t.push_row(vec![
+            format!("{residual:.2}"),
+            pct(enlarged),
+            pct(detected),
+            pct(dangerous),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e2_shape_naive_loses_checked_wins() {
+        let naive = hrp_sweep(ReceiverKind::NaiveLeadingEdge, 0.0, &[3.0], 1);
+        let checked = hrp_sweep(ReceiverKind::IntegrityChecked, 0.0, &[3.0], 1);
+        assert!(naive[0].success_rate > 0.5, "{:?}", naive[0]);
+        assert!(checked[0].success_rate < 0.05, "{:?}", checked[0]);
+    }
+
+    #[test]
+    fn tables_render() {
+        assert!(e2_hrp_attack_table().rows.len() == 8);
+        assert!(e2_lrp_rounds_table().rows.len() == 6);
+        assert!(e2b_enlargement_table().rows.len() == 6);
+    }
+}

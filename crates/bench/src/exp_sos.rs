@@ -1,0 +1,134 @@
+//! E10: system-of-systems cascade risk and real-time DoS (Fig. 9, §VI).
+
+use autosec_sos::cascade::{simulate, with_coupling_scale};
+use autosec_sos::model::SystemLevel;
+use autosec_sos::realtime::RealtimeLink;
+use autosec_sos::reference::maas_reference;
+use autosec_sim::SimRng;
+
+use crate::Table;
+
+/// E10 main table: cascade risk per entry point and coupling scale.
+pub fn e10_cascade_table() -> Table {
+    let mut t = Table::new(
+        "E10",
+        "Fig. 9 — breach cascades in the MaaS system of systems",
+        &[
+            "entry point", "coupling", "E[compromised]", "P[reach safety fn]",
+        ],
+    );
+    let base = maas_reference();
+    for entry_name in ["maas-platform", "cloud-backend", "passenger-os", "vehicle-os"] {
+        for scale in [0.5, 1.0, 1.5] {
+            let g = with_coupling_scale(&base, scale);
+            let entry = g.find(entry_name).expect("reference node");
+            let mut rng = SimRng::seed(1010);
+            let r = simulate(&g, entry, 2000, &mut rng);
+            t.push_row(vec![
+                entry_name.to_owned(),
+                format!("{scale:.1}x"),
+                format!("{:.2}", r.expected_compromised),
+                format!("{:.1}%", r.safety_reach_probability * 100.0),
+            ]);
+        }
+    }
+    t
+}
+
+/// E10 structural table: the Fig. 9 levels.
+pub fn e10_structure_table() -> Table {
+    let mut t = Table::new(
+        "E10",
+        "Fig. 9 — levels, entry points, responsibility coverage",
+        &["level", "nodes", "entry points", "stakeholders"],
+    );
+    let g = maas_reference();
+    for (level, label) in [
+        (SystemLevel::L0Platform, "L0 platform"),
+        (SystemLevel::L1System, "L1 systems"),
+        (SystemLevel::L2Subsystem, "L2 subsystems"),
+        (SystemLevel::L3Function, "L3 functions"),
+    ] {
+        let nodes: Vec<_> = g.nodes_at(level).collect();
+        let eps: usize = nodes.iter().map(|(_, n)| n.entry_points.len()).sum();
+        let stakeholders: std::collections::BTreeSet<&str> = nodes
+            .iter()
+            .filter_map(|(_, n)| n.stakeholder.as_deref())
+            .collect();
+        t.push_row(vec![
+            label.to_owned(),
+            nodes.len().to_string(),
+            eps.to_string(),
+            stakeholders.len().to_string(),
+        ]);
+    }
+    t
+}
+
+/// E10 companion: real-time deadline misses under DoS flooding.
+pub fn e10_realtime_table() -> Table {
+    let mut t = Table::new(
+        "E10",
+        "§VI-B — real-time stream under DoS flood",
+        &["flood msgs/s", "utilisation", "mean wait ms", "deadline misses"],
+    );
+    let link = RealtimeLink::control_stream();
+    for attack in [0.0, 300.0, 600.0, 800.0, 880.0, 950.0] {
+        let mut rng = SimRng::seed(2020);
+        let miss = link.deadline_miss_rate(attack, 5000, &mut rng);
+        let wait = link.expected_wait_ms(attack);
+        t.push_row(vec![
+            format!("{attack:.0}"),
+            format!("{:.0}%", link.utilisation(attack) * 100.0),
+            if wait.is_finite() {
+                format!("{wait:.2}")
+            } else {
+                "inf".into()
+            },
+            format!("{:.1}%", miss * 100.0),
+        ]);
+    }
+    t
+}
+
+/// Cascade run used by the Criterion bench.
+pub fn cascade_run(trials: usize) -> f64 {
+    let g = maas_reference();
+    let entry = g.find("maas-platform").expect("reference node");
+    let mut rng = SimRng::seed(3030);
+    simulate(&g, entry, trials, &mut rng).expected_compromised
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cascade_table_risk_grows_with_coupling() {
+        let t = e10_cascade_table();
+        // Rows come in triples per entry; within each triple, expected
+        // compromised must be nondecreasing.
+        for chunk in t.rows.chunks(3) {
+            let vals: Vec<f64> = chunk.iter().map(|r| r[2].parse().expect("number")).collect();
+            assert!(vals[0] <= vals[1] + 0.2 && vals[1] <= vals[2] + 0.2, "{vals:?}");
+        }
+    }
+
+    #[test]
+    fn structure_table_matches_fig9() {
+        let t = e10_structure_table();
+        assert_eq!(t.rows[0][1], "1");
+        assert_eq!(t.rows[1][1], "4");
+        assert_eq!(t.rows[2][1], "3");
+        assert_eq!(t.rows[3][1], "6");
+    }
+
+    #[test]
+    fn realtime_misses_increase() {
+        let t = e10_realtime_table();
+        let first: f64 = t.rows[0][3].trim_end_matches('%').parse().expect("number");
+        let last: f64 = t.rows[5][3].trim_end_matches('%').parse().expect("number");
+        assert!(first < 1.0);
+        assert!(last > 90.0);
+    }
+}

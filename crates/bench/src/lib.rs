@@ -1,0 +1,136 @@
+//! # autosec-bench
+//!
+//! The experiment harness: every table and figure of the paper (plus the
+//! quantitative experiments the surrounding text implies) regenerated as
+//! code. See `EXPERIMENTS.md` at the repository root for the
+//! paper-vs-measured record.
+//!
+//! Each `exp_*` module exposes functions returning [`Table`]s; the
+//! `experiments` binary prints them, and the Criterion benches in
+//! `benches/` measure the runtime of the underlying workloads.
+
+pub mod exp_ablations;
+pub mod exp_collab;
+pub mod exp_data;
+pub mod exp_ids;
+pub mod exp_ivn;
+pub mod exp_phy;
+pub mod exp_proto;
+pub mod exp_sdv;
+pub mod exp_sos;
+
+/// A rendered experiment table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table {
+    /// Experiment id, e.g. `"E2"`.
+    pub id: &'static str,
+    /// Title (paper anchor).
+    pub title: &'static str,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table from string-convertible headers.
+    pub fn new(id: &'static str, title: &'static str, headers: &[&str]) -> Self {
+        Self {
+            id,
+            title,
+            headers: headers.iter().map(|h| (*h).to_owned()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width does not match the header width.
+    pub fn push_row(&mut self, row: Vec<String>) {
+        assert_eq!(row.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(row);
+    }
+}
+
+impl std::fmt::Display for Table {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        writeln!(f, "== {} — {} ==", self.id, self.title)?;
+        for (i, h) in self.headers.iter().enumerate() {
+            write!(f, "{:<w$}  ", h, w = widths[i])?;
+        }
+        writeln!(f)?;
+        for (i, _) in self.headers.iter().enumerate() {
+            write!(f, "{}  ", "-".repeat(widths[i]))?;
+        }
+        writeln!(f)?;
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                write!(f, "{:<w$}  ", cell, w = widths[i])?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+/// Every experiment in order, for the `all` runner.
+pub fn all_tables() -> Vec<Table> {
+    vec![
+        exp_ids::e1_depth_sweep(),
+        exp_phy::e2_hrp_attack_table(),
+        exp_phy::e2_lrp_rounds_table(),
+        exp_phy::e2b_enlargement_table(),
+        exp_ivn::e3_technology_table(),
+        exp_ivn::e3_zonal_simulation_table(),
+        exp_ivn::e3_masquerade_table(),
+        exp_proto::e4_table1(),
+        exp_proto::e4_overhead_table(),
+        exp_proto::e567_scenario_table(),
+        exp_sdv::e8_reconfiguration_table(),
+        exp_sdv::e8b_charging_table(),
+        exp_data::e9_killchain_table(),
+        exp_data::e9_surface_table(),
+        exp_sos::e10_structure_table(),
+        exp_sos::e10_cascade_table(),
+        exp_sos::e10_realtime_table(),
+        exp_collab::e11_competition_table(),
+        exp_collab::e12_misbehavior_table(),
+        exp_collab::e12_removal_table(),
+        exp_ids::e13_synergy_table(),
+        exp_ablations::a1_hrp_threshold_table(),
+        exp_ablations::a2_secoc_truncation_table(),
+        exp_ablations::a3_canal_mtu_table(),
+        exp_ablations::a4_seemqtt_table(),
+        exp_ablations::a5_vrange_table(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new("EX", "demo", &["a", "long-header"]);
+        t.push_row(vec!["1".into(), "2".into()]);
+        let s = t.to_string();
+        assert!(s.contains("EX"));
+        assert!(s.contains("long-header"));
+        assert!(s.lines().count() >= 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_panics() {
+        let mut t = Table::new("EX", "demo", &["a"]);
+        t.push_row(vec!["1".into(), "2".into()]);
+    }
+}

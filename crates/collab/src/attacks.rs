@@ -1,0 +1,188 @@
+//! Collaboration-layer adversaries (§VII-B, paper ref \[48\]).
+
+use autosec_sim::SimRng;
+use rand::Rng;
+
+use crate::perception::{sign_message, V2xMessage};
+use crate::world::{Detection, Point, VehicleId, World};
+
+/// The external attacker: no group key, injects forged messages hoping
+/// receivers skip verification.
+#[derive(Debug, Clone)]
+pub struct ExternalInjector {
+    /// The identity the attacker claims.
+    pub spoofed_sender: VehicleId,
+}
+
+impl ExternalInjector {
+    /// Builds a forged message (wrong key, fabricated ghost).
+    pub fn forge(&self, seq: u64, ghost_at: Point) -> V2xMessage {
+        sign_message(
+            b"attacker does not know the group key",
+            self.spoofed_sender,
+            seq,
+            vec![Detection {
+                position: ghost_at,
+                truth: None,
+            }],
+        )
+    }
+}
+
+/// The internal attacker: a compromised fleet member with valid
+/// credentials. Secure communication "alone is insufficient, as the
+/// malicious node may possess legitimate credentials."
+#[derive(Debug, Clone)]
+pub struct InternalFabricator {
+    /// The compromised vehicle.
+    pub vehicle: VehicleId,
+    /// Fabrication strategy.
+    pub strategy: FabricationStrategy,
+}
+
+/// What the internal attacker fabricates.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FabricationStrategy {
+    /// Inject a ghost object at a chosen position (e.g. a phantom
+    /// pedestrian to trigger emergency braking).
+    GhostObject {
+        /// Ghost position.
+        at: Point,
+    },
+    /// Omit real objects from the shared list (hide a pedestrian).
+    ObjectRemoval,
+    /// Ghost placed far from other observers' coverage, to dodge
+    /// redundancy checks.
+    EvasiveGhost {
+        /// Preferred distance from the nearest honest observer.
+        standoff_m: f64,
+    },
+}
+
+impl InternalFabricator {
+    /// Produces the attacker's (validly signed!) message for this round.
+    pub fn emit(
+        &self,
+        world: &World,
+        honest_detections: Vec<Detection>,
+        key: &[u8],
+        seq: u64,
+        rng: &mut SimRng,
+    ) -> V2xMessage {
+        let detections = match self.strategy {
+            FabricationStrategy::GhostObject { at } => {
+                let mut d = honest_detections;
+                d.push(Detection {
+                    position: at,
+                    truth: None,
+                });
+                d
+            }
+            FabricationStrategy::ObjectRemoval => Vec::new(),
+            FabricationStrategy::EvasiveGhost { standoff_m } => {
+                // Place the ghost far from every other vehicle.
+                let mut best = Point { x: 0.0, y: 0.0 };
+                let mut best_min = -1.0;
+                for _ in 0..32 {
+                    let cand = Point {
+                        x: rng.gen_range(-standoff_m * 2.0..standoff_m * 4.0),
+                        y: rng.gen_range(-standoff_m * 2.0..standoff_m * 4.0),
+                    };
+                    let min_d = world
+                        .vehicles()
+                        .iter()
+                        .filter(|v| **v != self.vehicle)
+                        .map(|v| world.vehicle_pos(*v).dist(&cand))
+                        .fold(f64::INFINITY, f64::min);
+                    if min_d > best_min {
+                        best_min = min_d;
+                        best = cand;
+                    }
+                }
+                let mut d = honest_detections;
+                d.push(Detection {
+                    position: best,
+                    truth: None,
+                });
+                d
+            }
+        };
+        sign_message(key, self.vehicle, seq, detections)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::perception::verify_message;
+    use crate::world::SensorModel;
+
+    const KEY: &[u8] = b"v2x group key";
+
+    #[test]
+    fn external_forgery_fails_authentication() {
+        let atk = ExternalInjector {
+            spoofed_sender: VehicleId(0),
+        };
+        let msg = atk.forge(1, Point { x: 5.0, y: 5.0 });
+        assert!(!verify_message(KEY, &msg));
+    }
+
+    #[test]
+    fn internal_ghost_passes_authentication() {
+        let world = World::new(vec![Point { x: 0.0, y: 0.0 }], vec![]);
+        let atk = InternalFabricator {
+            vehicle: VehicleId(0),
+            strategy: FabricationStrategy::GhostObject {
+                at: Point { x: 30.0, y: 0.0 },
+            },
+        };
+        let mut rng = SimRng::seed(1);
+        let msg = atk.emit(&world, vec![], KEY, 1, &mut rng);
+        assert!(verify_message(KEY, &msg), "the paper's core point");
+        assert_eq!(msg.detections.len(), 1);
+        assert_eq!(msg.detections[0].truth, None);
+    }
+
+    #[test]
+    fn removal_attack_emits_empty_list() {
+        let world = World::new(
+            vec![Point { x: 0.0, y: 0.0 }],
+            vec![Point { x: 10.0, y: 0.0 }],
+        );
+        let mut rng = SimRng::seed(2);
+        let honest = world.sense(VehicleId(0), &SensorModel::default(), &mut rng);
+        assert!(!honest.is_empty());
+        let atk = InternalFabricator {
+            vehicle: VehicleId(0),
+            strategy: FabricationStrategy::ObjectRemoval,
+        };
+        let msg = atk.emit(&world, honest, KEY, 1, &mut rng);
+        assert!(msg.detections.is_empty());
+        assert!(verify_message(KEY, &msg));
+    }
+
+    #[test]
+    fn evasive_ghost_lands_far_from_others() {
+        let world = World::new(
+            vec![
+                Point { x: 0.0, y: 0.0 },
+                Point { x: 10.0, y: 0.0 },
+                Point { x: 0.0, y: 10.0 },
+            ],
+            vec![],
+        );
+        let atk = InternalFabricator {
+            vehicle: VehicleId(0),
+            strategy: FabricationStrategy::EvasiveGhost { standoff_m: 60.0 },
+        };
+        let mut rng = SimRng::seed(3);
+        let msg = atk.emit(&world, vec![], KEY, 1, &mut rng);
+        let ghost = msg.detections.last().unwrap().position;
+        let min_d = [VehicleId(1), VehicleId(2)]
+            .iter()
+            .map(|v| world.vehicle_pos(*v).dist(&ghost))
+            .fold(f64::INFINITY, f64::min);
+        assert!(min_d > 60.0, "{min_d}");
+    }
+}

@@ -1,0 +1,164 @@
+//! Competing collaborative systems at an intersection (§VII-A).
+//!
+//! *"Assuming these systems will 'honestly' collaborate is overly
+//! simplistic... an optimization battle could arise among different
+//! agents or software providers."* The model: a four-way intersection
+//! with one protocol slot per round. Cooperative agents follow the
+//! agreed priority order; a self-interested agent defects (goes out of
+//! turn) with probability equal to its self-interest parameter. Two
+//! simultaneous movers conflict — both must back off — and mutual
+//! over-politeness can deadlock.
+
+use autosec_sim::SimRng;
+
+/// One agent approaching the intersection.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Agent {
+    /// Probability of going out of turn per round (0 = fully
+    /// cooperative, 1 = maximally self-interested).
+    pub self_interest: f64,
+    /// Probability of *hesitating* on its own turn (models overly
+    /// defensive tuning; creates the deadlock the paper mentions).
+    pub hesitation: f64,
+}
+
+impl Agent {
+    /// A cooperative agent.
+    pub fn cooperative() -> Self {
+        Self {
+            self_interest: 0.0,
+            hesitation: 0.05,
+        }
+    }
+
+    /// A selfish agent with the given defection probability.
+    pub fn selfish(p: f64) -> Self {
+        Self {
+            self_interest: p.clamp(0.0, 1.0),
+            hesitation: 0.05,
+        }
+    }
+}
+
+/// Result of an intersection simulation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IntersectionReport {
+    /// Vehicles that crossed per round (throughput).
+    pub throughput: f64,
+    /// Fraction of rounds with a conflict (two movers).
+    pub conflict_rate: f64,
+    /// Fraction of rounds where nobody moved (deadlock rounds).
+    pub deadlock_rate: f64,
+    /// Crossings by the most selfish agent minus the average of the
+    /// others (what defection buys you individually).
+    pub selfish_advantage: f64,
+}
+
+/// Simulates `rounds` protocol rounds with an endless queue behind each
+/// of the four approaches.
+///
+/// # Panics
+///
+/// Panics unless exactly four agents are given.
+pub fn simulate(agents: &[Agent], rounds: usize, rng: &mut SimRng) -> IntersectionReport {
+    assert_eq!(agents.len(), 4, "four-way intersection needs four agents");
+    let mut crossings = [0usize; 4];
+    let mut conflicts = 0usize;
+    let mut deadlocks = 0usize;
+
+    for round in 0..rounds {
+        let turn = round % 4;
+        // Who attempts to move this round?
+        let mut movers = Vec::new();
+        for (i, agent) in agents.iter().enumerate() {
+            let attempts = if i == turn {
+                !rng.chance(agent.hesitation)
+            } else {
+                rng.chance(agent.self_interest)
+            };
+            if attempts {
+                movers.push(i);
+            }
+        }
+        match movers.len() {
+            0 => deadlocks += 1,
+            1 => crossings[movers[0]] += 1,
+            _ => conflicts += 1, // everyone slams the brakes; slot wasted
+        }
+    }
+
+    let total: usize = crossings.iter().sum();
+    let max_selfish = agents
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.self_interest.partial_cmp(&b.1.self_interest).expect("no NaN"))
+        .map(|(i, _)| i)
+        .expect("nonempty");
+    let others: f64 = crossings
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| *i != max_selfish)
+        .map(|(_, &c)| c as f64)
+        .sum::<f64>()
+        / 3.0;
+
+    IntersectionReport {
+        throughput: total as f64 / rounds as f64,
+        conflict_rate: conflicts as f64 / rounds as f64,
+        deadlock_rate: deadlocks as f64 / rounds as f64,
+        selfish_advantage: crossings[max_selfish] as f64 - others,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cooperative_agents_flow_smoothly() {
+        let agents = [Agent::cooperative(); 4];
+        let mut rng = SimRng::seed(1);
+        let r = simulate(&agents, 4000, &mut rng);
+        assert!(r.throughput > 0.9, "{}", r.throughput);
+        assert!(r.conflict_rate < 0.02);
+        assert!(r.deadlock_rate < 0.06);
+    }
+
+    #[test]
+    fn one_selfish_agent_gains_individually() {
+        let mut agents = [Agent::cooperative(); 4];
+        agents[2] = Agent::selfish(0.3);
+        let mut rng = SimRng::seed(2);
+        let r = simulate(&agents, 4000, &mut rng);
+        assert!(r.selfish_advantage > 100.0, "{}", r.selfish_advantage);
+    }
+
+    #[test]
+    fn universal_selfishness_collapses_throughput() {
+        let coop = simulate(&[Agent::cooperative(); 4], 4000, &mut SimRng::seed(3));
+        let selfish = simulate(&[Agent::selfish(0.5); 4], 4000, &mut SimRng::seed(3));
+        assert!(
+            selfish.throughput < coop.throughput * 0.8,
+            "coop {} vs selfish {}",
+            coop.throughput,
+            selfish.throughput
+        );
+        assert!(selfish.conflict_rate > 0.3);
+    }
+
+    #[test]
+    fn hesitant_agents_deadlock() {
+        let timid = Agent {
+            self_interest: 0.0,
+            hesitation: 0.8,
+        };
+        let r = simulate(&[timid; 4], 4000, &mut SimRng::seed(4));
+        assert!(r.deadlock_rate > 0.5, "{}", r.deadlock_rate);
+    }
+
+    #[test]
+    #[should_panic(expected = "four-way")]
+    fn wrong_agent_count_panics() {
+        let _ = simulate(&[Agent::cooperative(); 3], 10, &mut SimRng::seed(5));
+    }
+}

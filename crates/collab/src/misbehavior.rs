@@ -1,0 +1,301 @@
+//! Redundancy-based misbehaviour detection with trust scores.
+//!
+//! For every shared detection, the detector asks: *which other vehicles
+//! should have seen this object, and did they?* A claim corroborated by
+//! too few of its potential witnesses is flagged, and the claimant's
+//! trust score decays. The paper's caveat is reproduced faithfully:
+//! "such redundancy may not always be available" — an evasive ghost
+//! placed outside everyone else's sensor range has zero potential
+//! witnesses and sails through.
+
+use std::collections::HashMap;
+
+use crate::perception::{verify_message, V2xMessage};
+use crate::world::{SensorModel, VehicleId, World};
+
+/// Detector configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MisbehaviorConfig {
+    /// Clustering radius for corroboration (m).
+    pub corroborate_radius_m: f64,
+    /// Minimum fraction of potential witnesses that must corroborate.
+    pub min_witness_fraction: f64,
+    /// Trust decay per flagged claim.
+    pub trust_penalty: f64,
+    /// Trust recovery per clean round.
+    pub trust_recovery: f64,
+    /// Trust threshold below which a vehicle is excluded.
+    pub exclusion_threshold: f64,
+}
+
+impl Default for MisbehaviorConfig {
+    fn default() -> Self {
+        Self {
+            corroborate_radius_m: 3.0,
+            min_witness_fraction: 0.5,
+            trust_penalty: 0.25,
+            trust_recovery: 0.05,
+            exclusion_threshold: 0.5,
+        }
+    }
+}
+
+/// One flagged claim.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Flag {
+    /// The claiming vehicle.
+    pub claimant: VehicleId,
+    /// Potential witnesses for the claimed position.
+    pub potential_witnesses: usize,
+    /// How many corroborated.
+    pub corroborating: usize,
+}
+
+/// Stateful misbehaviour detector shared by the fleet (or run by each
+/// receiver identically).
+#[derive(Debug, Clone)]
+pub struct MisbehaviorDetector {
+    cfg: MisbehaviorConfig,
+    trust: HashMap<VehicleId, f64>,
+}
+
+impl MisbehaviorDetector {
+    /// Creates a detector.
+    pub fn new(cfg: MisbehaviorConfig) -> Self {
+        Self {
+            cfg,
+            trust: HashMap::new(),
+        }
+    }
+
+    /// Current trust of a vehicle (1.0 if unseen).
+    pub fn trust(&self, v: VehicleId) -> f64 {
+        self.trust.get(&v).copied().unwrap_or(1.0)
+    }
+
+    /// Whether a vehicle is currently excluded.
+    pub fn is_excluded(&self, v: VehicleId) -> bool {
+        self.trust(v) < self.cfg.exclusion_threshold
+    }
+
+    /// Processes one round of messages. Returns the flags raised.
+    ///
+    /// Messages failing authentication are dropped outright (external
+    /// attacker); authenticated claims are cross-checked against the
+    /// other senders' detections and the world's visibility geometry.
+    pub fn process_round(
+        &mut self,
+        world: &World,
+        sensor: &SensorModel,
+        key: &[u8],
+        messages: &[V2xMessage],
+    ) -> Vec<Flag> {
+        let authentic: Vec<&V2xMessage> = messages
+            .iter()
+            .filter(|m| verify_message(key, m))
+            .collect();
+        let mut flags = Vec::new();
+        let mut flagged_this_round: HashMap<VehicleId, bool> = HashMap::new();
+
+        for msg in &authentic {
+            if self.is_excluded(msg.sender) {
+                continue;
+            }
+            for det in &msg.detections {
+                // Which other vehicles could have seen this position?
+                let witnesses: Vec<VehicleId> = authentic
+                    .iter()
+                    .filter(|m| m.sender != msg.sender && !self.is_excluded(m.sender))
+                    .map(|m| m.sender)
+                    .filter(|v| world.in_range(*v, det.position, sensor))
+                    .collect();
+                if witnesses.is_empty() {
+                    // No redundancy available — the paper's hard case.
+                    continue;
+                }
+                let corroborating = authentic
+                    .iter()
+                    .filter(|m| witnesses.contains(&m.sender))
+                    .filter(|m| {
+                        m.detections.iter().any(|d| {
+                            d.position.dist(&det.position) <= self.cfg.corroborate_radius_m
+                        })
+                    })
+                    .count();
+                let fraction = corroborating as f64 / witnesses.len() as f64;
+                if fraction < self.cfg.min_witness_fraction {
+                    flags.push(Flag {
+                        claimant: msg.sender,
+                        potential_witnesses: witnesses.len(),
+                        corroborating,
+                    });
+                    flagged_this_round.insert(msg.sender, true);
+                }
+            }
+            flagged_this_round.entry(msg.sender).or_insert(false);
+        }
+
+        // Trust bookkeeping.
+        for (v, was_flagged) in flagged_this_round {
+            let t = self.trust.entry(v).or_insert(1.0);
+            if was_flagged {
+                *t = (*t - self.cfg.trust_penalty).max(0.0);
+            } else {
+                *t = (*t + self.cfg.trust_recovery).min(1.0);
+            }
+        }
+        flags
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attacks::{FabricationStrategy, InternalFabricator};
+    use crate::perception::perception_round;
+    use crate::world::Point;
+    use autosec_sim::SimRng;
+
+    const KEY: &[u8] = b"v2x group key";
+
+    fn dense_world() -> World {
+        // 4 vehicles around the origin, objects between them: every
+        // position near the centre has several potential witnesses.
+        World::new(
+            vec![
+                Point { x: 0.0, y: 0.0 },
+                Point { x: 30.0, y: 0.0 },
+                Point { x: 0.0, y: 30.0 },
+                Point { x: 30.0, y: 30.0 },
+            ],
+            vec![Point { x: 15.0, y: 15.0 }, Point { x: 10.0, y: 20.0 }],
+        )
+    }
+
+    fn clean_sensor() -> SensorModel {
+        SensorModel {
+            miss_rate: 0.0,
+            noise_m: 0.3,
+            range_m: 60.0,
+        }
+    }
+
+    #[test]
+    fn honest_rounds_raise_no_flags() {
+        let world = dense_world();
+        let sensor = clean_sensor();
+        let mut det = MisbehaviorDetector::new(MisbehaviorConfig::default());
+        let mut rng = SimRng::seed(1);
+        for seq in 0..10 {
+            let msgs = perception_round(&world, &sensor, KEY, seq, &mut rng);
+            let flags = det.process_round(&world, &sensor, KEY, &msgs);
+            assert!(flags.is_empty(), "round {seq}: {flags:?}");
+        }
+        for v in world.vehicles() {
+            assert!(det.trust(v) >= 1.0 - 1e-9);
+        }
+    }
+
+    #[test]
+    fn ghost_in_covered_area_is_flagged_and_attacker_excluded() {
+        let world = dense_world();
+        let sensor = clean_sensor();
+        let mut det = MisbehaviorDetector::new(MisbehaviorConfig::default());
+        let mut rng = SimRng::seed(2);
+        let attacker = InternalFabricator {
+            vehicle: crate::world::VehicleId(0),
+            strategy: FabricationStrategy::GhostObject {
+                at: Point { x: 22.0, y: 8.0 },
+            },
+        };
+        let mut excluded_at = None;
+        for seq in 0..6 {
+            let mut msgs = perception_round(&world, &sensor, KEY, seq, &mut rng);
+            let honest = msgs[0].detections.clone();
+            msgs[0] = attacker.emit(&world, honest, KEY, seq, &mut rng);
+            let flags = det.process_round(&world, &sensor, KEY, &msgs);
+            assert!(
+                flags.iter().any(|f| f.claimant == attacker.vehicle),
+                "round {seq} should flag the ghost"
+            );
+            if det.is_excluded(attacker.vehicle) {
+                excluded_at = Some(seq);
+                break;
+            }
+        }
+        assert!(excluded_at.is_some(), "attacker should lose trust");
+        // Honest vehicles keep their trust.
+        for v in [1, 2, 3] {
+            assert!(!det.is_excluded(crate::world::VehicleId(v)));
+        }
+    }
+
+    #[test]
+    fn evasive_ghost_without_witnesses_is_missed() {
+        // The paper: "such redundancy may not always be available,
+        // making detection and mitigation even more challenging."
+        let world = dense_world();
+        let sensor = clean_sensor();
+        let mut det = MisbehaviorDetector::new(MisbehaviorConfig::default());
+        let mut rng = SimRng::seed(3);
+        let attacker = InternalFabricator {
+            vehicle: crate::world::VehicleId(0),
+            strategy: FabricationStrategy::EvasiveGhost { standoff_m: 100.0 },
+        };
+        let mut msgs = perception_round(&world, &sensor, KEY, 0, &mut rng);
+        let honest = msgs[0].detections.clone();
+        msgs[0] = attacker.emit(&world, honest, KEY, 0, &mut rng);
+        let flags = det.process_round(&world, &sensor, KEY, &msgs);
+        assert!(
+            flags.iter().all(|f| f.claimant != attacker.vehicle),
+            "no witnesses -> no flag (the known limitation)"
+        );
+    }
+
+    #[test]
+    fn external_messages_are_dropped_before_analysis() {
+        let world = dense_world();
+        let sensor = clean_sensor();
+        let mut det = MisbehaviorDetector::new(MisbehaviorConfig::default());
+        let forged = crate::attacks::ExternalInjector {
+            spoofed_sender: crate::world::VehicleId(1),
+        }
+        .forge(0, Point { x: 15.0, y: 15.0 });
+        let flags = det.process_round(&world, &sensor, KEY, &[forged]);
+        assert!(flags.is_empty());
+        // The spoofed identity's trust is untouched.
+        assert_eq!(det.trust(crate::world::VehicleId(1)), 1.0);
+    }
+
+    #[test]
+    fn trust_recovers_after_clean_behaviour() {
+        let world = dense_world();
+        let sensor = clean_sensor();
+        let cfg = MisbehaviorConfig {
+            trust_penalty: 0.3,
+            trust_recovery: 0.1,
+            ..MisbehaviorConfig::default()
+        };
+        let mut det = MisbehaviorDetector::new(cfg);
+        let mut rng = SimRng::seed(4);
+        let v0 = crate::world::VehicleId(0);
+        // One bad round.
+        let attacker = InternalFabricator {
+            vehicle: v0,
+            strategy: FabricationStrategy::GhostObject {
+                at: Point { x: 22.0, y: 8.0 },
+            },
+        };
+        let mut msgs = perception_round(&world, &sensor, KEY, 0, &mut rng);
+        msgs[0] = attacker.emit(&world, msgs[0].detections.clone(), KEY, 0, &mut rng);
+        det.process_round(&world, &sensor, KEY, &msgs);
+        let after_attack = det.trust(v0);
+        assert!(after_attack < 1.0);
+        // Clean rounds recover.
+        for seq in 1..4 {
+            let msgs = perception_round(&world, &sensor, KEY, seq, &mut rng);
+            det.process_round(&world, &sensor, KEY, &msgs);
+        }
+        assert!(det.trust(v0) > after_attack);
+    }
+}

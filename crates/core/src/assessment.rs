@@ -1,0 +1,180 @@
+//! Holistic security assessment (§VIII).
+//!
+//! The paper's closing argument: a complex, layered autonomous system
+//! needs a security solution that is "both holistic and multi-layered",
+//! with layers "designed to work in synergy". This module turns that
+//! into numbers over a [`CampaignReport`].
+
+use autosec_ids::correlate::{correlate, fused_coverage, layer_coverage, Incident, Layer};
+use autosec_sim::SimDuration;
+
+use crate::campaign::{run_campaign, CampaignReport, DefensePosture};
+use crate::layers::ArchLayer;
+
+/// The holistic scorecard.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scorecard {
+    /// Fraction of attacks prevented outright.
+    pub prevention_rate: f64,
+    /// Fraction of attacks detected.
+    pub detection_rate: f64,
+    /// Fraction of attacks that reached their goal.
+    pub attack_success_rate: f64,
+    /// Coverage of the fused multi-layer alert view.
+    pub fused_coverage: f64,
+    /// Best coverage achievable by any single layer's alerts.
+    pub best_single_layer_coverage: f64,
+    /// Fused minus best-single: the paper's synergy gain.
+    pub synergy_gain: f64,
+    /// Correlated incidents.
+    pub incidents: Vec<Incident>,
+}
+
+/// Scores a campaign report.
+pub fn score(report: &CampaignReport) -> Scorecard {
+    let n = report.total_attacks().max(1);
+    let fused = fused_coverage(&report.alerts, n);
+    let best_single = [
+        Layer::Physical,
+        Layer::Network,
+        Layer::Platform,
+        Layer::Data,
+        Layer::SystemOfSystems,
+    ]
+    .into_iter()
+    .map(|l| layer_coverage(&report.alerts, l, n))
+    .fold(0.0, f64::max);
+
+    Scorecard {
+        prevention_rate: report.prevented_attacks() as f64 / n as f64,
+        detection_rate: report.detected_attacks() as f64 / n as f64,
+        attack_success_rate: report.succeeded_attacks() as f64 / n as f64,
+        fused_coverage: fused,
+        best_single_layer_coverage: best_single,
+        synergy_gain: fused - best_single,
+        incidents: correlate(report.alerts.clone(), SimDuration::from_ms(150)),
+    }
+}
+
+/// One row of the defense-in-depth sweep: posture size → outcomes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DepthPoint {
+    /// Number of defended layers.
+    pub defended_layers: usize,
+    /// Attack success rate at that depth.
+    pub attack_success_rate: f64,
+    /// Detection rate at that depth.
+    pub detection_rate: f64,
+}
+
+/// Sweeps defense depth 0..=5 by enabling layers bottom-up, running the
+/// campaign at each depth (experiment E1/E13's headline curve).
+pub fn depth_sweep(seed: u64) -> Vec<DepthPoint> {
+    let postures = [
+        DefensePosture::none(),
+        DefensePosture {
+            physical: true,
+            ..DefensePosture::none()
+        },
+        DefensePosture {
+            physical: true,
+            network: true,
+            ..DefensePosture::none()
+        },
+        DefensePosture {
+            physical: true,
+            network: true,
+            platform: true,
+            ..DefensePosture::none()
+        },
+        DefensePosture {
+            physical: true,
+            network: true,
+            platform: true,
+            data: true,
+            ..DefensePosture::none()
+        },
+        DefensePosture::full(),
+    ];
+    postures
+        .into_iter()
+        .map(|p| {
+            let r = run_campaign(&p, seed);
+            let s = score(&r);
+            DepthPoint {
+                defended_layers: p.enabled_count(),
+                attack_success_rate: s.attack_success_rate,
+                detection_rate: s.detection_rate,
+            }
+        })
+        .collect()
+}
+
+/// Human-readable layer summary used by the quickstart example.
+pub fn layer_summary() -> String {
+    use std::fmt::Write;
+    let attacks = crate::layers::attack_catalog();
+    let defenses = crate::layers::defense_catalog();
+    let mut out = String::new();
+    for layer in ArchLayer::ALL {
+        let a = attacks.iter().filter(|x| x.layer == layer).count();
+        let d = defenses.iter().filter(|x| x.layer == layer).count();
+        writeln!(
+            out,
+            "§{:<4} {:<20} {a} attacks, {d} defenses",
+            layer.paper_section(),
+            layer.to_string()
+        )
+        .expect("write to string");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scorecard_of_full_defense() {
+        let r = run_campaign(&DefensePosture::full(), 5);
+        let s = score(&r);
+        assert!(s.detection_rate >= 0.75, "{}", s.detection_rate);
+        assert!(s.attack_success_rate <= 0.25, "{}", s.attack_success_rate);
+        assert!(s.fused_coverage >= s.best_single_layer_coverage);
+        assert!(s.synergy_gain > 0.0, "multi-layer must beat single-layer");
+    }
+
+    #[test]
+    fn scorecard_of_no_defense() {
+        let r = run_campaign(&DefensePosture::none(), 5);
+        let s = score(&r);
+        assert_eq!(s.detection_rate, 0.0);
+        assert!(s.attack_success_rate >= 0.8);
+        assert!(s.incidents.is_empty());
+    }
+
+    #[test]
+    fn depth_sweep_is_monotone_enough() {
+        let sweep = depth_sweep(11);
+        assert_eq!(sweep.len(), 6);
+        assert_eq!(sweep[0].defended_layers, 0);
+        assert_eq!(sweep[5].defended_layers, 5);
+        // Attack success never increases with more defended layers.
+        for w in sweep.windows(2) {
+            assert!(
+                w[1].attack_success_rate <= w[0].attack_success_rate + 1e-9,
+                "{w:?}"
+            );
+        }
+        // And the endpoints differ substantially.
+        assert!(sweep[0].attack_success_rate - sweep[5].attack_success_rate > 0.5);
+    }
+
+    #[test]
+    fn layer_summary_mentions_every_layer() {
+        let s = layer_summary();
+        for layer in ArchLayer::ALL {
+            assert!(s.contains(&layer.to_string()), "{layer} missing:\n{s}");
+        }
+    }
+}

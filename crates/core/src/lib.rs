@@ -1,0 +1,29 @@
+//! # autosec-core
+//!
+//! The paper's primary contribution as code: the layered security
+//! architecture of Fig. 1 with every attack and defense the paper
+//! discusses wired into one framework.
+//!
+//! - [`layers`] — the Fig. 1 layer stack plus a machine-readable catalog
+//!   mapping every paper-discussed attack and defense to the workbench
+//!   module that implements it
+//! - [`campaign`] — the cross-layer attack campaign runner: eight attack
+//!   steps spanning physical → collaboration, executed against a
+//!   configurable per-layer defense posture ([`campaign::DefensePosture`])
+//! - [`assessment`] — holistic scoring (§VIII): prevention/detection
+//!   coverage, defense-in-depth depth, and the synergy metric showing
+//!   the fused multi-layer view dominating any single layer
+//!
+//! ## Example
+//!
+//! ```
+//! use autosec_core::campaign::{run_campaign, DefensePosture};
+//!
+//! let undefended = run_campaign(&DefensePosture::none(), 42);
+//! let defended = run_campaign(&DefensePosture::full(), 42);
+//! assert!(defended.succeeded_attacks() < undefended.succeeded_attacks());
+//! ```
+
+pub mod assessment;
+pub mod campaign;
+pub mod layers;

@@ -1,0 +1,202 @@
+//! AES-CMAC (NIST SP 800-38B / RFC 4493).
+//!
+//! This is the MAC AUTOSAR SECOC profiles and CiA 613-2 (CANsec) build on;
+//! both truncate the 16-byte tag, which [`Cmac::verify_truncated`] models.
+
+use crate::aes::Aes128;
+use crate::util::ct_eq;
+
+const RB: u8 = 0x87;
+
+fn left_shift_one(block: &[u8; 16]) -> [u8; 16] {
+    let mut out = [0u8; 16];
+    let mut carry = 0u8;
+    for i in (0..16).rev() {
+        out[i] = (block[i] << 1) | carry;
+        carry = (block[i] >> 7) & 1;
+    }
+    out
+}
+
+/// AES-128 CMAC.
+///
+/// # Example
+///
+/// ```
+/// use autosec_crypto::Cmac;
+/// let cmac = Cmac::new(&[0u8; 16]);
+/// let tag = cmac.mac(b"frame payload");
+/// assert!(cmac.verify_truncated(b"frame payload", &tag[..8]));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cmac {
+    cipher: Aes128,
+    k1: [u8; 16],
+    k2: [u8; 16],
+}
+
+impl Cmac {
+    /// Creates a CMAC context, deriving the two subkeys.
+    pub fn new(key: &[u8; 16]) -> Self {
+        let cipher = Aes128::new(key);
+        let l = cipher.encrypt_block(&[0u8; 16]);
+        let mut k1 = left_shift_one(&l);
+        if l[0] & 0x80 != 0 {
+            k1[15] ^= RB;
+        }
+        let mut k2 = left_shift_one(&k1);
+        if k1[0] & 0x80 != 0 {
+            k2[15] ^= RB;
+        }
+        Self { cipher, k1, k2 }
+    }
+
+    /// Computes the full 16-byte tag over `message`.
+    pub fn mac(&self, message: &[u8]) -> [u8; 16] {
+        let n_blocks = if message.is_empty() {
+            1
+        } else {
+            message.len().div_ceil(16)
+        };
+        let complete_last = !message.is_empty() && message.len().is_multiple_of(16);
+
+        let mut x = [0u8; 16];
+        for i in 0..n_blocks - 1 {
+            let mut block = [0u8; 16];
+            block.copy_from_slice(&message[i * 16..(i + 1) * 16]);
+            for j in 0..16 {
+                x[j] ^= block[j];
+            }
+            x = self.cipher.encrypt_block(&x);
+        }
+
+        let mut last = [0u8; 16];
+        let tail = &message[(n_blocks - 1) * 16..];
+        if complete_last {
+            last.copy_from_slice(tail);
+            for (l, k) in last.iter_mut().zip(self.k1.iter()) {
+                *l ^= k;
+            }
+        } else {
+            last[..tail.len()].copy_from_slice(tail);
+            last[tail.len()] = 0x80;
+            for (l, k) in last.iter_mut().zip(self.k2.iter()) {
+                *l ^= k;
+            }
+        }
+        for (xb, l) in x.iter_mut().zip(last.iter()) {
+            *xb ^= l;
+        }
+        self.cipher.encrypt_block(&x)
+    }
+
+    /// Verifies a full or truncated tag (1..=16 bytes) in constant time.
+    pub fn verify_truncated(&self, message: &[u8], tag: &[u8]) -> bool {
+        if tag.is_empty() || tag.len() > 16 {
+            return false;
+        }
+        let full = self.mac(message);
+        ct_eq(&full[..tag.len()], tag)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::util::{from_hex, to_hex};
+
+    fn rfc_key() -> [u8; 16] {
+        let v = from_hex("2b7e151628aed2a6abf7158809cf4f3c").unwrap();
+        let mut k = [0u8; 16];
+        k.copy_from_slice(&v);
+        k
+    }
+
+    /// RFC 4493 §4: subkey generation.
+    #[test]
+    fn rfc4493_subkeys() {
+        let cmac = Cmac::new(&rfc_key());
+        assert_eq!(to_hex(&cmac.k1), "fbeed618357133667c85e08f7236a8de");
+        assert_eq!(to_hex(&cmac.k2), "f7ddac306ae266ccf90bc11ee46d513b");
+    }
+
+    /// RFC 4493 Example 1: empty message.
+    #[test]
+    fn rfc4493_example_1() {
+        let cmac = Cmac::new(&rfc_key());
+        assert_eq!(
+            to_hex(&cmac.mac(b"")),
+            "bb1d6929e95937287fa37d129b756746"
+        );
+    }
+
+    /// RFC 4493 Example 2: 16-byte message.
+    #[test]
+    fn rfc4493_example_2() {
+        let cmac = Cmac::new(&rfc_key());
+        let m = from_hex("6bc1bee22e409f96e93d7e117393172a").unwrap();
+        assert_eq!(
+            to_hex(&cmac.mac(&m)),
+            "070a16b46b4d4144f79bdd9dd04a287c"
+        );
+    }
+
+    /// RFC 4493 Example 3: 40-byte message.
+    #[test]
+    fn rfc4493_example_3() {
+        let cmac = Cmac::new(&rfc_key());
+        let m = from_hex(concat!(
+            "6bc1bee22e409f96e93d7e117393172a",
+            "ae2d8a571e03ac9c9eb76fac45af8e51",
+            "30c81c46a35ce411"
+        ))
+        .unwrap();
+        assert_eq!(
+            to_hex(&cmac.mac(&m)),
+            "dfa66747de9ae63030ca32611497c827"
+        );
+    }
+
+    /// RFC 4493 Example 4: 64-byte message.
+    #[test]
+    fn rfc4493_example_4() {
+        let cmac = Cmac::new(&rfc_key());
+        let m = from_hex(concat!(
+            "6bc1bee22e409f96e93d7e117393172a",
+            "ae2d8a571e03ac9c9eb76fac45af8e51",
+            "30c81c46a35ce411e5fbc1191a0a52ef",
+            "f69f2445df4f9b17ad2b417be66c3710"
+        ))
+        .unwrap();
+        assert_eq!(
+            to_hex(&cmac.mac(&m)),
+            "51f0bebf7e3b9d92fc49741779363cfe"
+        );
+    }
+
+    #[test]
+    fn truncated_verify_accepts_prefix_rejects_flip() {
+        let cmac = Cmac::new(&[9u8; 16]);
+        let tag = cmac.mac(b"msg");
+        for len in [1, 4, 8, 12, 16] {
+            assert!(cmac.verify_truncated(b"msg", &tag[..len]), "len {len}");
+        }
+        let mut bad = tag[..8].to_vec();
+        bad[7] ^= 0x80;
+        assert!(!cmac.verify_truncated(b"msg", &bad));
+        assert!(!cmac.verify_truncated(b"other", &tag[..8]));
+    }
+
+    #[test]
+    fn rejects_empty_and_oversize_tags() {
+        let cmac = Cmac::new(&[1u8; 16]);
+        assert!(!cmac.verify_truncated(b"m", &[]));
+        assert!(!cmac.verify_truncated(b"m", &[0u8; 17]));
+    }
+
+    #[test]
+    fn different_messages_different_tags() {
+        let cmac = Cmac::new(&[2u8; 16]);
+        assert_ne!(cmac.mac(b"a"), cmac.mac(b"b"));
+    }
+}

@@ -1,0 +1,137 @@
+//! AES-128 counter mode (NIST SP 800-38A §6.5).
+//!
+//! The counter block is treated as a 128-bit big-endian integer that
+//! increments per block, exactly as in the SP 800-38A examples.
+
+use crate::aes::Aes128;
+
+/// AES-CTR stream cipher.
+///
+/// Encryption and decryption are the same operation.
+///
+/// # Example
+///
+/// ```
+/// use autosec_crypto::AesCtr;
+/// let ctr = AesCtr::new(&[0u8; 16]);
+/// let iv = [9u8; 16];
+/// let ct = ctr.process(&iv, b"attack at dawn");
+/// assert_eq!(ctr.process(&iv, &ct), b"attack at dawn");
+/// ```
+#[derive(Debug, Clone)]
+pub struct AesCtr {
+    cipher: Aes128,
+}
+
+/// Increments a 128-bit big-endian counter block in place.
+pub(crate) fn incr_block(block: &mut [u8; 16]) {
+    for i in (0..16).rev() {
+        block[i] = block[i].wrapping_add(1);
+        if block[i] != 0 {
+            break;
+        }
+    }
+}
+
+impl AesCtr {
+    /// Creates a CTR context from a 16-byte key.
+    pub fn new(key: &[u8; 16]) -> Self {
+        Self {
+            cipher: Aes128::new(key),
+        }
+    }
+
+    /// Encrypts or decrypts `data` with the given initial counter block.
+    pub fn process(&self, initial_counter: &[u8; 16], data: &[u8]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(data.len());
+        let mut counter = *initial_counter;
+        for chunk in data.chunks(16) {
+            let keystream = self.cipher.encrypt_block(&counter);
+            for (i, b) in chunk.iter().enumerate() {
+                out.push(b ^ keystream[i]);
+            }
+            incr_block(&mut counter);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::util::{from_hex, to_hex};
+
+    fn b16(hex: &str) -> [u8; 16] {
+        let v = from_hex(hex).unwrap();
+        let mut b = [0u8; 16];
+        b.copy_from_slice(&v);
+        b
+    }
+
+    /// NIST SP 800-38A F.5.1 CTR-AES128.Encrypt.
+    #[test]
+    fn sp800_38a_ctr_encrypt() {
+        let ctr = AesCtr::new(&b16("2b7e151628aed2a6abf7158809cf4f3c"));
+        let iv = b16("f0f1f2f3f4f5f6f7f8f9fafbfcfdfeff");
+        let pt = from_hex(concat!(
+            "6bc1bee22e409f96e93d7e117393172a",
+            "ae2d8a571e03ac9c9eb76fac45af8e51",
+            "30c81c46a35ce411e5fbc1191a0a52ef",
+            "f69f2445df4f9b17ad2b417be66c3710"
+        ))
+        .unwrap();
+        let ct = ctr.process(&iv, &pt);
+        assert_eq!(
+            to_hex(&ct),
+            concat!(
+                "874d6191b620e3261bef6864990db6ce",
+                "9806f66b7970fdff8617187bb9fffdff",
+                "5ae4df3edbd5d35e5b4f09020db03eab",
+                "1e031dda2fbe03d1792170a0f3009cee"
+            )
+        );
+    }
+
+    #[test]
+    fn decrypt_is_encrypt() {
+        let ctr = AesCtr::new(&[3u8; 16]);
+        let iv = [0u8; 16];
+        let msg = b"partial last block here";
+        let ct = ctr.process(&iv, msg);
+        assert_eq!(ctr.process(&iv, &ct), msg);
+    }
+
+    #[test]
+    fn partial_block_lengths() {
+        let ctr = AesCtr::new(&[1u8; 16]);
+        let iv = [2u8; 16];
+        for len in [0usize, 1, 15, 16, 17, 31, 32, 33] {
+            let msg = vec![0xab; len];
+            let ct = ctr.process(&iv, &msg);
+            assert_eq!(ct.len(), len);
+            assert_eq!(ctr.process(&iv, &ct), msg, "len {len}");
+        }
+    }
+
+    #[test]
+    fn counter_wraps_carry() {
+        let mut c = [0xffu8; 16];
+        incr_block(&mut c);
+        assert_eq!(c, [0u8; 16]);
+        let mut c2 = [0u8; 16];
+        c2[15] = 0xff;
+        incr_block(&mut c2);
+        assert_eq!(c2[15], 0);
+        assert_eq!(c2[14], 1);
+    }
+
+    #[test]
+    fn distinct_ivs_produce_distinct_streams() {
+        let ctr = AesCtr::new(&[5u8; 16]);
+        let a = ctr.process(&[0u8; 16], &[0u8; 32]);
+        let mut iv2 = [0u8; 16];
+        iv2[15] = 9;
+        let b = ctr.process(&iv2, &[0u8; 32]);
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,357 @@
+//! AES-128-GCM authenticated encryption (NIST SP 800-38D).
+//!
+//! MACsec (IEEE 802.1AE) mandates AES-GCM; the CANsec draft reuses the same
+//! AEAD construction. [`AesGcm`] is therefore the workhorse of
+//! `autosec-secproto`.
+
+use crate::aes::Aes128;
+use crate::ctr::incr_block;
+use crate::util::ct_eq;
+use crate::CryptoError;
+
+/// Multiplies two elements of GF(2^128) per the GCM specification
+/// (bit 0 = most significant, polynomial `x^128 + x^7 + x^2 + x + 1`).
+fn gf128_mul(x: u128, y: u128) -> u128 {
+    const R: u128 = 0xe100_0000_0000_0000_0000_0000_0000_0000;
+    let mut z: u128 = 0;
+    let mut v = y;
+    for i in 0..128 {
+        if (x >> (127 - i)) & 1 == 1 {
+            z ^= v;
+        }
+        let lsb = v & 1;
+        v >>= 1;
+        if lsb == 1 {
+            v ^= R;
+        }
+    }
+    z
+}
+
+/// GHASH universal hash over a sequence of 16-byte blocks.
+#[derive(Debug, Clone)]
+struct Ghash {
+    h: u128,
+    y: u128,
+}
+
+impl Ghash {
+    fn new(h: [u8; 16]) -> Self {
+        Self {
+            h: u128::from_be_bytes(h),
+            y: 0,
+        }
+    }
+
+    /// Absorbs `data`, zero-padding the final partial block.
+    fn update_padded(&mut self, data: &[u8]) {
+        for chunk in data.chunks(16) {
+            let mut block = [0u8; 16];
+            block[..chunk.len()].copy_from_slice(chunk);
+            self.y = gf128_mul(self.y ^ u128::from_be_bytes(block), self.h);
+        }
+    }
+
+    fn update_lengths(&mut self, aad_bits: u64, ct_bits: u64) {
+        let block = ((aad_bits as u128) << 64) | ct_bits as u128;
+        self.y = gf128_mul(self.y ^ block, self.h);
+    }
+
+    fn finalize(self) -> [u8; 16] {
+        self.y.to_be_bytes()
+    }
+}
+
+/// AES-128-GCM with 96-bit nonces and a configurable tag length.
+///
+/// # Example
+///
+/// ```
+/// use autosec_crypto::AesGcm;
+/// let aead = AesGcm::new(&[7u8; 16]);
+/// let sealed = aead.seal(&[0u8; 12], b"aad", b"plaintext");
+/// assert_eq!(aead.open(&[0u8; 12], b"aad", &sealed).unwrap(), b"plaintext");
+/// assert!(aead.open(&[0u8; 12], b"wrong aad", &sealed).is_err());
+/// ```
+#[derive(Debug, Clone)]
+pub struct AesGcm {
+    cipher: Aes128,
+    h: [u8; 16],
+}
+
+/// Default (full) tag length in bytes.
+pub const TAG_LEN: usize = 16;
+
+impl AesGcm {
+    /// Creates a GCM context from a 16-byte key.
+    pub fn new(key: &[u8; 16]) -> Self {
+        let cipher = Aes128::new(key);
+        let h = cipher.encrypt_block(&[0u8; 16]);
+        Self { cipher, h }
+    }
+
+    /// J0: initial counter block for a 96-bit IV.
+    fn j0(&self, nonce: &[u8; 12]) -> [u8; 16] {
+        let mut j0 = [0u8; 16];
+        j0[..12].copy_from_slice(nonce);
+        j0[15] = 1;
+        j0
+    }
+
+    fn gctr(&self, icb: &[u8; 16], data: &[u8]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(data.len());
+        let mut counter = *icb;
+        for chunk in data.chunks(16) {
+            let ks = self.cipher.encrypt_block(&counter);
+            for (i, b) in chunk.iter().enumerate() {
+                out.push(b ^ ks[i]);
+            }
+            incr_block(&mut counter);
+        }
+        out
+    }
+
+    fn tag(&self, j0: &[u8; 16], aad: &[u8], ct: &[u8]) -> [u8; 16] {
+        let mut gh = Ghash::new(self.h);
+        gh.update_padded(aad);
+        gh.update_padded(ct);
+        gh.update_lengths(aad.len() as u64 * 8, ct.len() as u64 * 8);
+        let s = gh.finalize();
+        let ek_j0 = self.cipher.encrypt_block(j0);
+        let mut tag = [0u8; 16];
+        for i in 0..16 {
+            tag[i] = s[i] ^ ek_j0[i];
+        }
+        tag
+    }
+
+    /// Encrypts `plaintext` bound to `aad`; returns `ciphertext || tag`.
+    pub fn seal(&self, nonce: &[u8; 12], aad: &[u8], plaintext: &[u8]) -> Vec<u8> {
+        self.seal_with_tag_len(nonce, aad, plaintext, TAG_LEN)
+            .expect("full tag length is always valid")
+    }
+
+    /// Like [`AesGcm::seal`] with a truncated tag of `tag_len` bytes
+    /// (4..=16, even), as allowed by SP 800-38D for constrained links.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptoError::InvalidParameter`] for unsupported tag
+    /// lengths.
+    pub fn seal_with_tag_len(
+        &self,
+        nonce: &[u8; 12],
+        aad: &[u8],
+        plaintext: &[u8],
+        tag_len: usize,
+    ) -> Result<Vec<u8>, CryptoError> {
+        if !(4..=16).contains(&tag_len) {
+            return Err(CryptoError::InvalidParameter("gcm tag length"));
+        }
+        let j0 = self.j0(nonce);
+        let mut icb = j0;
+        incr_block(&mut icb);
+        let mut ct = self.gctr(&icb, plaintext);
+        let tag = self.tag(&j0, aad, &ct);
+        ct.extend_from_slice(&tag[..tag_len]);
+        Ok(ct)
+    }
+
+    /// Decrypts and verifies `sealed` (= ciphertext || 16-byte tag).
+    ///
+    /// # Errors
+    ///
+    /// [`CryptoError::TruncatedInput`] if `sealed` is shorter than the tag;
+    /// [`CryptoError::VerifyFailed`] if authentication fails.
+    pub fn open(
+        &self,
+        nonce: &[u8; 12],
+        aad: &[u8],
+        sealed: &[u8],
+    ) -> Result<Vec<u8>, CryptoError> {
+        self.open_with_tag_len(nonce, aad, sealed, TAG_LEN)
+    }
+
+    /// Opens a message sealed with a truncated tag.
+    ///
+    /// # Errors
+    ///
+    /// As [`AesGcm::open`], plus [`CryptoError::InvalidParameter`] for bad
+    /// tag lengths.
+    pub fn open_with_tag_len(
+        &self,
+        nonce: &[u8; 12],
+        aad: &[u8],
+        sealed: &[u8],
+        tag_len: usize,
+    ) -> Result<Vec<u8>, CryptoError> {
+        if !(4..=16).contains(&tag_len) {
+            return Err(CryptoError::InvalidParameter("gcm tag length"));
+        }
+        if sealed.len() < tag_len {
+            return Err(CryptoError::TruncatedInput);
+        }
+        let (ct, tag) = sealed.split_at(sealed.len() - tag_len);
+        let j0 = self.j0(nonce);
+        let expect = self.tag(&j0, aad, ct);
+        if !ct_eq(&expect[..tag_len], tag) {
+            return Err(CryptoError::VerifyFailed);
+        }
+        let mut icb = j0;
+        incr_block(&mut icb);
+        Ok(self.gctr(&icb, ct))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::util::{from_hex, to_hex};
+
+    fn b<const N: usize>(hex: &str) -> [u8; N] {
+        let v = from_hex(hex).unwrap();
+        let mut out = [0u8; N];
+        out.copy_from_slice(&v);
+        out
+    }
+
+    /// NIST GCM spec test case 1: empty everything.
+    #[test]
+    fn nist_case_1() {
+        let aead = AesGcm::new(&[0u8; 16]);
+        let sealed = aead.seal(&[0u8; 12], b"", b"");
+        assert_eq!(to_hex(&sealed), "58e2fccefa7e3061367f1d57a4e7455a");
+    }
+
+    /// NIST GCM spec test case 2: one zero block.
+    #[test]
+    fn nist_case_2() {
+        let aead = AesGcm::new(&[0u8; 16]);
+        let sealed = aead.seal(&[0u8; 12], b"", &[0u8; 16]);
+        assert_eq!(
+            to_hex(&sealed),
+            "0388dace60b6a392f328c2b971b2fe78ab6e47d42cec13bdf53a67b21257bddf"
+        );
+    }
+
+    /// NIST GCM spec test case 3: 4 blocks, no AAD.
+    #[test]
+    fn nist_case_3() {
+        let aead = AesGcm::new(&b::<16>("feffe9928665731c6d6a8f9467308308"));
+        let nonce = b::<12>("cafebabefacedbaddecaf888");
+        let pt = from_hex(concat!(
+            "d9313225f88406e5a55909c5aff5269a",
+            "86a7a9531534f7da2e4c303d8a318a72",
+            "1c3c0c95956809532fcf0e2449a6b525",
+            "b16aedf5aa0de657ba637b391aafd255"
+        ))
+        .unwrap();
+        let sealed = aead.seal(&nonce, b"", &pt);
+        assert_eq!(
+            to_hex(&sealed),
+            concat!(
+                "42831ec2217774244b7221b784d0d49c",
+                "e3aa212f2c02a4e035c17e2329aca12e",
+                "21d514b25466931c7d8f6a5aac84aa05",
+                "1ba30b396a0aac973d58e091473f5985",
+                "4d5c2af327cd64a62cf35abd2ba6fab4"
+            )
+        );
+    }
+
+    /// NIST GCM spec test case 4: truncated plaintext + AAD.
+    #[test]
+    fn nist_case_4() {
+        let aead = AesGcm::new(&b::<16>("feffe9928665731c6d6a8f9467308308"));
+        let nonce = b::<12>("cafebabefacedbaddecaf888");
+        let pt = from_hex(concat!(
+            "d9313225f88406e5a55909c5aff5269a",
+            "86a7a9531534f7da2e4c303d8a318a72",
+            "1c3c0c95956809532fcf0e2449a6b525",
+            "b16aedf5aa0de657ba637b39"
+        ))
+        .unwrap();
+        let aad = from_hex("feedfacedeadbeeffeedfacedeadbeefabaddad2").unwrap();
+        let sealed = aead.seal(&nonce, &aad, &pt);
+        assert_eq!(
+            to_hex(&sealed),
+            concat!(
+                "42831ec2217774244b7221b784d0d49c",
+                "e3aa212f2c02a4e035c17e2329aca12e",
+                "21d514b25466931c7d8f6a5aac84aa05",
+                "1ba30b396a0aac973d58e091",
+                "5bc94fbc3221a5db94fae95ae7121a47"
+            )
+        );
+    }
+
+    #[test]
+    fn round_trip_and_tamper_detection() {
+        let aead = AesGcm::new(&[1u8; 16]);
+        let nonce = [2u8; 12];
+        let sealed = aead.seal(&nonce, b"hdr", b"payload bytes");
+        assert_eq!(aead.open(&nonce, b"hdr", &sealed).unwrap(), b"payload bytes");
+
+        let mut tampered = sealed.clone();
+        tampered[0] ^= 1;
+        assert_eq!(
+            aead.open(&nonce, b"hdr", &tampered),
+            Err(CryptoError::VerifyFailed)
+        );
+        assert_eq!(
+            aead.open(&nonce, b"other", &sealed),
+            Err(CryptoError::VerifyFailed)
+        );
+        let mut other_nonce = nonce;
+        other_nonce[0] ^= 1;
+        assert_eq!(
+            aead.open(&other_nonce, b"hdr", &sealed),
+            Err(CryptoError::VerifyFailed)
+        );
+    }
+
+    #[test]
+    fn truncated_tags_work_and_reject() {
+        let aead = AesGcm::new(&[3u8; 16]);
+        let nonce = [4u8; 12];
+        let sealed = aead
+            .seal_with_tag_len(&nonce, b"", b"msg", 8)
+            .unwrap();
+        assert_eq!(sealed.len(), 3 + 8);
+        assert_eq!(
+            aead.open_with_tag_len(&nonce, b"", &sealed, 8).unwrap(),
+            b"msg"
+        );
+        let mut bad = sealed.clone();
+        let last = bad.len() - 1;
+        bad[last] ^= 1;
+        assert_eq!(
+            aead.open_with_tag_len(&nonce, b"", &bad, 8),
+            Err(CryptoError::VerifyFailed)
+        );
+    }
+
+    #[test]
+    fn invalid_tag_lengths_rejected() {
+        let aead = AesGcm::new(&[0u8; 16]);
+        assert!(aead.seal_with_tag_len(&[0u8; 12], b"", b"", 3).is_err());
+        assert!(aead.seal_with_tag_len(&[0u8; 12], b"", b"", 17).is_err());
+        assert_eq!(
+            aead.open(&[0u8; 12], b"", &[0u8; 5]),
+            Err(CryptoError::TruncatedInput)
+        );
+    }
+
+    #[test]
+    fn gf128_mul_identity_and_commutativity() {
+        // Multiplying by the GCM "1" element (MSB-first bit 0 set).
+        let one: u128 = 1 << 127;
+        for v in [0x1234_5678_9abc_def0_u128, u128::MAX, 1] {
+            assert_eq!(gf128_mul(v, one), v);
+            assert_eq!(gf128_mul(one, v), v);
+        }
+        let a = 0xdead_beef_cafe_babe_u128;
+        let bb = 0x0123_4567_89ab_cdef_u128;
+        assert_eq!(gf128_mul(a, bb), gf128_mul(bb, a));
+    }
+}

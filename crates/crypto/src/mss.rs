@@ -1,0 +1,260 @@
+//! Merkle signature scheme (MSS): a stateful many-time signature built
+//! from `2^h` WOTS one-time keys under a Merkle root (XMSS-style, without
+//! the bitmask optimizations).
+//!
+//! This is the signature scheme the SSI layer (`autosec-ssi`) issues
+//! credentials with. The public key is a single 32-byte root; each
+//! signature carries the WOTS signature, the leaf's WOTS public key and
+//! the Merkle authentication path.
+//!
+//! **Statefulness** is the classic operational hazard of hash-based
+//! signatures: reusing a leaf breaks security. [`MssKeyPair::sign`]
+//! enforces monotonically advancing leaves and errs with
+//! [`CryptoError::KeyExhausted`] when the tree is spent.
+
+use rand::RngCore;
+
+use crate::merkle::{MerkleProof, MerkleTree};
+use crate::ots::{WotsKeyPair, WotsPublicKey, WotsSignature};
+use crate::sha256::{Digest, Sha256};
+use crate::CryptoError;
+
+/// Public half of an MSS key: the Merkle root over the WOTS leaf keys.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MssPublicKey {
+    root: Digest,
+}
+
+impl MssPublicKey {
+    /// The raw 32-byte root.
+    pub fn as_bytes(&self) -> &Digest {
+        &self.root
+    }
+
+    /// Reconstructs a public key from raw bytes (e.g. out of a DID
+    /// document).
+    pub fn from_bytes(root: Digest) -> Self {
+        Self { root }
+    }
+
+    /// Verifies an MSS signature over `message`.
+    pub fn verify(&self, message: &[u8], sig: &MssSignature) -> bool {
+        // 1. WOTS signature must verify under the carried leaf key.
+        if !sig.leaf_pk.verify(message, &sig.wots) {
+            return false;
+        }
+        // 2. The leaf key must be committed under our root.
+        let leaf_digest = sig.leaf_pk.digest();
+        sig.auth_path.verify_leaf_hash(&self.root, &leaf_hash_of(&leaf_digest))
+    }
+}
+
+fn leaf_hash_of(wots_pk_digest: &Digest) -> Digest {
+    crate::merkle::leaf_hash(wots_pk_digest)
+}
+
+/// An MSS signature.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MssSignature {
+    /// Index of the leaf used.
+    pub leaf_index: usize,
+    wots: WotsSignature,
+    leaf_pk: WotsPublicKey,
+    auth_path: MerkleProof,
+}
+
+impl MssSignature {
+    /// Approximate wire size in bytes (WOTS sig + leaf pk + auth path).
+    pub fn byte_len(&self) -> usize {
+        self.wots.byte_len() + crate::ots::WOTS_CHAINS * 32 + self.auth_path.depth() * 33 + 8
+    }
+}
+
+/// A stateful MSS key pair with `2^height` one-time leaves.
+///
+/// # Example
+///
+/// ```
+/// use autosec_crypto::MssKeyPair;
+/// use rand::SeedableRng;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+/// let mut kp = MssKeyPair::generate(&mut rng, 3); // 8 signatures
+/// let pk = kp.public_key();
+/// let sig = kp.sign(b"credential").unwrap();
+/// assert!(pk.verify(b"credential", &sig));
+/// ```
+#[derive(Clone)]
+pub struct MssKeyPair {
+    master_seed: Digest,
+    tree: MerkleTree,
+    next_leaf: usize,
+    capacity: usize,
+}
+
+impl std::fmt::Debug for MssKeyPair {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MssKeyPair")
+            .field("capacity", &self.capacity)
+            .field("next_leaf", &self.next_leaf)
+            .finish_non_exhaustive()
+    }
+}
+
+impl MssKeyPair {
+    /// Generates a key pair with `2^height` leaves.
+    ///
+    /// Leaf WOTS keys are derived from a master seed, so key generation
+    /// costs `2^height` WOTS expansions but storage stays O(tree).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `height > 16` (65k signatures is plenty for simulation;
+    /// larger trees take noticeable time to build).
+    pub fn generate(rng: &mut dyn RngCore, height: u8) -> Self {
+        assert!(height <= 16, "MSS height {height} too large");
+        let mut master_seed = [0u8; 32];
+        rng.fill_bytes(&mut master_seed);
+        Self::from_seed(master_seed, height)
+    }
+
+    /// Deterministic construction from a master seed.
+    pub fn from_seed(master_seed: Digest, height: u8) -> Self {
+        let capacity = 1usize << height;
+        let leaf_hashes: Vec<Digest> = (0..capacity)
+            .map(|i| {
+                let kp = WotsKeyPair::from_seed(&Self::leaf_seed(&master_seed, i));
+                leaf_hash_of(&kp.public_key().digest())
+            })
+            .collect();
+        let tree = MerkleTree::from_leaf_hashes(leaf_hashes);
+        Self {
+            master_seed,
+            tree,
+            next_leaf: 0,
+            capacity,
+        }
+    }
+
+    fn leaf_seed(master: &Digest, index: usize) -> Digest {
+        Sha256::digest_parts(&[&[0x04], master, &(index as u64).to_be_bytes()])
+    }
+
+    /// The public key (Merkle root).
+    pub fn public_key(&self) -> MssPublicKey {
+        MssPublicKey {
+            root: self.tree.root(),
+        }
+    }
+
+    /// Signatures remaining before exhaustion.
+    pub fn remaining(&self) -> usize {
+        self.capacity - self.next_leaf
+    }
+
+    /// Total signature capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Signs `message` with the next unused leaf.
+    ///
+    /// # Errors
+    ///
+    /// [`CryptoError::KeyExhausted`] once all `2^height` leaves are spent.
+    pub fn sign(&mut self, message: &[u8]) -> Result<MssSignature, CryptoError> {
+        if self.next_leaf >= self.capacity {
+            return Err(CryptoError::KeyExhausted);
+        }
+        let index = self.next_leaf;
+        self.next_leaf += 1;
+        let mut leaf_kp = WotsKeyPair::from_seed(&Self::leaf_seed(&self.master_seed, index));
+        let leaf_pk = leaf_kp.public_key().clone();
+        let wots = leaf_kp.sign(message).expect("fresh leaf key");
+        let auth_path = self
+            .tree
+            .prove(index)
+            .expect("leaf index within capacity");
+        Ok(MssSignature {
+            leaf_index: index,
+            wots,
+            leaf_pk,
+            auth_path,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn keypair(height: u8) -> MssKeyPair {
+        MssKeyPair::generate(&mut StdRng::seed_from_u64(11), height)
+    }
+
+    #[test]
+    fn sign_verify_round_trip() {
+        let mut kp = keypair(2);
+        let pk = kp.public_key();
+        let sig = kp.sign(b"doc").unwrap();
+        assert!(pk.verify(b"doc", &sig));
+        assert!(!pk.verify(b"doc2", &sig));
+    }
+
+    #[test]
+    fn every_leaf_works_then_exhausts() {
+        let mut kp = keypair(2);
+        let pk = kp.public_key();
+        assert_eq!(kp.capacity(), 4);
+        for i in 0..4 {
+            let msg = format!("msg {i}");
+            let sig = kp.sign(msg.as_bytes()).unwrap();
+            assert_eq!(sig.leaf_index, i);
+            assert!(pk.verify(msg.as_bytes(), &sig));
+        }
+        assert_eq!(kp.remaining(), 0);
+        assert_eq!(kp.sign(b"x").unwrap_err(), CryptoError::KeyExhausted);
+    }
+
+    #[test]
+    fn cross_key_rejection() {
+        let mut kp1 = MssKeyPair::generate(&mut StdRng::seed_from_u64(1), 2);
+        let kp2 = MssKeyPair::generate(&mut StdRng::seed_from_u64(2), 2);
+        let sig = kp1.sign(b"m").unwrap();
+        assert!(!kp2.public_key().verify(b"m", &sig));
+    }
+
+    #[test]
+    fn tampered_auth_path_rejected() {
+        let mut kp = keypair(3);
+        let pk = kp.public_key();
+        let sig = kp.sign(b"m").unwrap();
+        // Forge: present the signature against a different root.
+        let other = MssPublicKey::from_bytes([0xab; 32]);
+        assert!(!other.verify(b"m", &sig));
+        assert!(pk.verify(b"m", &sig));
+    }
+
+    #[test]
+    fn deterministic_from_seed() {
+        let a = MssKeyPair::from_seed([7u8; 32], 2);
+        let b = MssKeyPair::from_seed([7u8; 32], 2);
+        assert_eq!(a.public_key(), b.public_key());
+    }
+
+    #[test]
+    fn signature_size_reported() {
+        let mut kp = keypair(4);
+        let sig = kp.sign(b"m").unwrap();
+        // Two WOTS-key-sized components dominate: ~4.3 KB.
+        assert!(sig.byte_len() > 4000 && sig.byte_len() < 5000, "{}", sig.byte_len());
+    }
+
+    #[test]
+    fn public_key_round_trips_through_bytes() {
+        let kp = keypair(1);
+        let pk = kp.public_key();
+        assert_eq!(MssPublicKey::from_bytes(*pk.as_bytes()), pk);
+    }
+}

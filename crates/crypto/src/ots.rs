@@ -1,0 +1,384 @@
+//! Hash-based one-time signatures: Lamport and Winternitz (WOTS).
+//!
+//! These replace elliptic-curve signatures in the SSI substitution (see
+//! `DESIGN.md`): correct-by-construction from SHA-256, genuinely
+//! unforgeable, and simple enough to implement from scratch with
+//! confidence. Each key pair must sign **at most one** message — the
+//! stateful wrapper in [`crate::mss`] lifts them to many-time keys.
+
+use rand::RngCore;
+
+use crate::sha256::{Digest, Sha256};
+use crate::CryptoError;
+
+/// Winternitz parameter: digits are base-16 (4 bits per chain step).
+pub const WOTS_W: usize = 16;
+/// Number of message digits (256 bits / 4 bits per digit).
+pub const WOTS_MSG_CHAINS: usize = 64;
+/// Number of checksum digits: max checksum = 64 * 15 = 960 < 16^3.
+pub const WOTS_CSUM_CHAINS: usize = 3;
+/// Total chains per key.
+pub const WOTS_CHAINS: usize = WOTS_MSG_CHAINS + WOTS_CSUM_CHAINS;
+
+/// A Lamport one-time key pair (two 32-byte secrets per message bit).
+///
+/// Kept mainly as the pedagogically simplest scheme and for the E8
+/// overhead comparison; WOTS is what [`crate::mss`] uses (16x smaller
+/// signatures).
+#[derive(Clone)]
+pub struct LamportKeyPair {
+    sk: Box<[[Digest; 2]; 256]>,
+    pk: Box<[[Digest; 2]; 256]>,
+    used: bool,
+}
+
+impl std::fmt::Debug for LamportKeyPair {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LamportKeyPair")
+            .field("used", &self.used)
+            .finish_non_exhaustive()
+    }
+}
+
+/// A Lamport signature: one revealed preimage per message bit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LamportSignature {
+    reveals: Vec<Digest>, // 256 entries
+}
+
+impl LamportKeyPair {
+    /// Generates a key pair from an RNG.
+    pub fn generate(rng: &mut dyn RngCore) -> Self {
+        let mut sk = Box::new([[[0u8; 32]; 2]; 256]);
+        let mut pk = Box::new([[[0u8; 32]; 2]; 256]);
+        for i in 0..256 {
+            for b in 0..2 {
+                rng.fill_bytes(&mut sk[i][b]);
+                pk[i][b] = Sha256::digest(&sk[i][b]);
+            }
+        }
+        Self { sk, pk, used: false }
+    }
+
+    /// Public key as the hash of all 512 public hashes (compact form for
+    /// comparison and storage).
+    pub fn public_key_digest(&self) -> Digest {
+        let mut h = Sha256::new();
+        for pair in self.pk.iter() {
+            h.update(&pair[0]);
+            h.update(&pair[1]);
+        }
+        h.finalize()
+    }
+
+    /// Signs `message` (hashed internally). One-time: a second call fails.
+    ///
+    /// # Errors
+    ///
+    /// [`CryptoError::KeyExhausted`] if this key already signed.
+    pub fn sign(&mut self, message: &[u8]) -> Result<LamportSignature, CryptoError> {
+        if self.used {
+            return Err(CryptoError::KeyExhausted);
+        }
+        self.used = true;
+        let digest = Sha256::digest(message);
+        let mut reveals = Vec::with_capacity(256);
+        for i in 0..256 {
+            let bit = (digest[i / 8] >> (7 - i % 8)) & 1;
+            reveals.push(self.sk[i][bit as usize]);
+        }
+        Ok(LamportSignature { reveals })
+    }
+
+    /// Verifies `sig` over `message` against this key pair's public half.
+    pub fn verify(&self, message: &[u8], sig: &LamportSignature) -> bool {
+        if sig.reveals.len() != 256 {
+            return false;
+        }
+        let digest = Sha256::digest(message);
+        for i in 0..256 {
+            let bit = (digest[i / 8] >> (7 - i % 8)) & 1;
+            if Sha256::digest(&sig.reveals[i]) != self.pk[i][bit as usize] {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Signature size in bytes.
+    pub const SIGNATURE_BYTES: usize = 256 * 32;
+}
+
+/// Splits a digest into 64 base-16 digits plus 3 checksum digits.
+fn wots_digits(digest: &Digest) -> [u8; WOTS_CHAINS] {
+    let mut out = [0u8; WOTS_CHAINS];
+    for (pair, byte) in out.chunks_mut(2).zip(digest.iter()) {
+        pair[0] = byte >> 4;
+        pair[1] = byte & 0x0f;
+    }
+    // Checksum: sum of (w-1 - digit); prevents forgery by advancing chains.
+    let csum: u32 = out[..WOTS_MSG_CHAINS]
+        .iter()
+        .map(|&d| (WOTS_W as u32 - 1) - d as u32)
+        .sum();
+    out[WOTS_MSG_CHAINS] = ((csum >> 8) & 0x0f) as u8;
+    out[WOTS_MSG_CHAINS + 1] = ((csum >> 4) & 0x0f) as u8;
+    out[WOTS_MSG_CHAINS + 2] = (csum & 0x0f) as u8;
+    out
+}
+
+/// Applies the WOTS chain function `n` times: `H(chain_idx || step || x)`
+/// with positional domain separation so chains cannot be spliced.
+fn chain(start: &Digest, chain_idx: usize, from_step: u8, steps: u8) -> Digest {
+    let mut acc = *start;
+    for s in 0..steps {
+        let step = from_step + s;
+        acc = Sha256::digest_parts(&[&[0x02], &(chain_idx as u16).to_be_bytes(), &[step], &acc]);
+    }
+    acc
+}
+
+/// A WOTS public key: the 67 chain heads, plus a compact digest.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WotsPublicKey {
+    heads: Vec<Digest>, // WOTS_CHAINS entries
+}
+
+impl WotsPublicKey {
+    /// Compact commitment to the whole public key.
+    pub fn digest(&self) -> Digest {
+        let mut h = Sha256::new();
+        for head in &self.heads {
+            h.update(head);
+        }
+        h.finalize()
+    }
+
+    /// Verifies a WOTS signature over `message`.
+    pub fn verify(&self, message: &[u8], sig: &WotsSignature) -> bool {
+        if sig.chains.len() != WOTS_CHAINS || self.heads.len() != WOTS_CHAINS {
+            return false;
+        }
+        let digits = wots_digits(&Sha256::digest(message));
+        for (i, (&digit, (sig_chain, head))) in digits
+            .iter()
+            .zip(sig.chains.iter().zip(self.heads.iter()))
+            .enumerate()
+        {
+            let remaining = (WOTS_W - 1) as u8 - digit;
+            if chain(sig_chain, i, digit, remaining) != *head {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// A WOTS signature: one intermediate chain value per digit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WotsSignature {
+    chains: Vec<Digest>, // WOTS_CHAINS entries
+}
+
+impl WotsSignature {
+    /// Serialized size in bytes.
+    pub fn byte_len(&self) -> usize {
+        self.chains.len() * 32
+    }
+}
+
+/// A WOTS one-time key pair.
+///
+/// # Example
+///
+/// ```
+/// use autosec_crypto::WotsKeyPair;
+/// use rand::SeedableRng;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let mut kp = WotsKeyPair::generate(&mut rng);
+/// let pk = kp.public_key().clone();
+/// let sig = kp.sign(b"hello").unwrap();
+/// assert!(pk.verify(b"hello", &sig));
+/// assert!(!pk.verify(b"tampered", &sig));
+/// assert!(kp.sign(b"again").is_err()); // one-time!
+/// ```
+#[derive(Clone)]
+pub struct WotsKeyPair {
+    sk: Vec<Digest>,
+    pk: WotsPublicKey,
+    used: bool,
+}
+
+impl std::fmt::Debug for WotsKeyPair {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WotsKeyPair")
+            .field("used", &self.used)
+            .finish_non_exhaustive()
+    }
+}
+
+impl WotsKeyPair {
+    /// Generates a key pair from an RNG.
+    pub fn generate(rng: &mut dyn RngCore) -> Self {
+        let mut sk = Vec::with_capacity(WOTS_CHAINS);
+        let mut heads = Vec::with_capacity(WOTS_CHAINS);
+        for i in 0..WOTS_CHAINS {
+            let mut secret = [0u8; 32];
+            rng.fill_bytes(&mut secret);
+            heads.push(chain(&secret, i, 0, (WOTS_W - 1) as u8));
+            sk.push(secret);
+        }
+        Self {
+            sk,
+            pk: WotsPublicKey { heads },
+            used: false,
+        }
+    }
+
+    /// Deterministic generation from a 32-byte seed (used by [`crate::mss`]
+    /// so leaves can be regenerated instead of stored).
+    pub fn from_seed(seed: &Digest) -> Self {
+        let mut sk = Vec::with_capacity(WOTS_CHAINS);
+        let mut heads = Vec::with_capacity(WOTS_CHAINS);
+        for i in 0..WOTS_CHAINS {
+            let secret =
+                Sha256::digest_parts(&[&[0x03], seed, &(i as u16).to_be_bytes()]);
+            heads.push(chain(&secret, i, 0, (WOTS_W - 1) as u8));
+            sk.push(secret);
+        }
+        Self {
+            sk,
+            pk: WotsPublicKey { heads },
+            used: false,
+        }
+    }
+
+    /// The public half.
+    pub fn public_key(&self) -> &WotsPublicKey {
+        &self.pk
+    }
+
+    /// Whether this key has already signed.
+    pub fn is_used(&self) -> bool {
+        self.used
+    }
+
+    /// Signs `message` (hashed internally). One-time: second call fails.
+    ///
+    /// # Errors
+    ///
+    /// [`CryptoError::KeyExhausted`] if this key already signed.
+    pub fn sign(&mut self, message: &[u8]) -> Result<WotsSignature, CryptoError> {
+        if self.used {
+            return Err(CryptoError::KeyExhausted);
+        }
+        self.used = true;
+        let digits = wots_digits(&Sha256::digest(message));
+        let chains = (0..WOTS_CHAINS)
+            .map(|i| chain(&self.sk[i], i, 0, digits[i]))
+            .collect();
+        Ok(WotsSignature { chains })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn lamport_round_trip() {
+        let mut kp = LamportKeyPair::generate(&mut rng());
+        let sig = kp.sign(b"message").unwrap();
+        assert!(kp.verify(b"message", &sig));
+        assert!(!kp.verify(b"other", &sig));
+    }
+
+    #[test]
+    fn lamport_is_one_time() {
+        let mut kp = LamportKeyPair::generate(&mut rng());
+        kp.sign(b"first").unwrap();
+        assert_eq!(kp.sign(b"second").unwrap_err(), CryptoError::KeyExhausted);
+    }
+
+    #[test]
+    fn lamport_rejects_bitflipped_signature() {
+        let mut kp = LamportKeyPair::generate(&mut rng());
+        let mut sig = kp.sign(b"m").unwrap();
+        sig.reveals[0][0] ^= 1;
+        assert!(!kp.verify(b"m", &sig));
+    }
+
+    #[test]
+    fn wots_round_trip() {
+        let mut kp = WotsKeyPair::generate(&mut rng());
+        let pk = kp.public_key().clone();
+        let sig = kp.sign(b"v2x message").unwrap();
+        assert!(pk.verify(b"v2x message", &sig));
+        assert!(!pk.verify(b"v2x messagf", &sig));
+    }
+
+    #[test]
+    fn wots_is_one_time() {
+        let mut kp = WotsKeyPair::generate(&mut rng());
+        kp.sign(b"a").unwrap();
+        assert!(kp.sign(b"b").is_err());
+        assert!(kp.is_used());
+    }
+
+    #[test]
+    fn wots_seed_is_deterministic() {
+        let seed = [9u8; 32];
+        let a = WotsKeyPair::from_seed(&seed);
+        let b = WotsKeyPair::from_seed(&seed);
+        assert_eq!(a.public_key(), b.public_key());
+        let c = WotsKeyPair::from_seed(&[10u8; 32]);
+        assert_ne!(a.public_key(), c.public_key());
+    }
+
+    #[test]
+    fn wots_signature_tamper_rejected() {
+        let mut kp = WotsKeyPair::generate(&mut rng());
+        let pk = kp.public_key().clone();
+        let mut sig = kp.sign(b"m").unwrap();
+        sig.chains[10][5] ^= 0x40;
+        assert!(!pk.verify(b"m", &sig));
+    }
+
+    #[test]
+    fn wots_digits_checksum_bounds() {
+        // All-zero digest: checksum = 64*15 = 960 = 0x3C0.
+        let digits = wots_digits(&[0u8; 32]);
+        assert_eq!(&digits[WOTS_MSG_CHAINS..], &[0x3, 0xC, 0x0]);
+        // All-0xF digest: checksum 0.
+        let digits = wots_digits(&[0xff; 32]);
+        assert_eq!(&digits[WOTS_MSG_CHAINS..], &[0, 0, 0]);
+    }
+
+    #[test]
+    fn wots_signature_size_is_compact() {
+        let mut kp = WotsKeyPair::generate(&mut rng());
+        let sig = kp.sign(b"m").unwrap();
+        assert_eq!(sig.byte_len(), WOTS_CHAINS * 32); // 2144 bytes
+        assert!(sig.byte_len() < LamportKeyPair::SIGNATURE_BYTES / 3);
+    }
+
+    #[test]
+    fn wots_cross_key_verification_fails() {
+        let mut kp1 = WotsKeyPair::generate(&mut StdRng::seed_from_u64(1));
+        let kp2 = WotsKeyPair::generate(&mut StdRng::seed_from_u64(2));
+        let sig = kp1.sign(b"m").unwrap();
+        assert!(!kp2.public_key().verify(b"m", &sig));
+    }
+
+    #[test]
+    fn public_key_digest_is_stable() {
+        let kp = WotsKeyPair::from_seed(&[1u8; 32]);
+        assert_eq!(kp.public_key().digest(), kp.public_key().digest());
+    }
+}

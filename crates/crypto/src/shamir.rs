@@ -1,0 +1,222 @@
+//! Shamir secret sharing over GF(2^8).
+//!
+//! Substrate for the SeeMQTT-style end-to-end communication model
+//! (paper ref \[54\]): a session key is split into `n` shares with
+//! threshold `k`, each share routed through a different broker, so no
+//! single broker (or any coalition below `k`) learns the key.
+//!
+//! Arithmetic is in GF(2^8) with the AES polynomial; each secret byte is
+//! shared independently with a fresh random polynomial.
+
+use rand::RngCore;
+
+use crate::CryptoError;
+
+/// GF(2^8) multiplication (AES polynomial 0x11B).
+fn gf_mul(mut a: u8, mut b: u8) -> u8 {
+    let mut acc = 0u8;
+    while b != 0 {
+        if b & 1 != 0 {
+            acc ^= a;
+        }
+        let hi = a & 0x80;
+        a <<= 1;
+        if hi != 0 {
+            a ^= 0x1B;
+        }
+        b >>= 1;
+    }
+    acc
+}
+
+/// GF(2^8) exponentiation-free inverse via Fermat (a^254).
+fn gf_inv(a: u8) -> u8 {
+    assert!(a != 0, "zero has no inverse");
+    // a^254 by square-and-multiply (254 = 0b11111110).
+    let mut result = 1u8;
+    let mut base = a;
+    let mut exp = 254u32;
+    while exp > 0 {
+        if exp & 1 == 1 {
+            result = gf_mul(result, base);
+        }
+        base = gf_mul(base, base);
+        exp >>= 1;
+    }
+    result
+}
+
+/// One share: the x-coordinate and one y-byte per secret byte.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Share {
+    /// Evaluation point (1..=255; 0 would leak the secret).
+    pub x: u8,
+    /// Share bytes (same length as the secret).
+    pub y: Vec<u8>,
+}
+
+/// Splits `secret` into `n` shares with threshold `k`.
+///
+/// # Errors
+///
+/// [`CryptoError::InvalidParameter`] unless `1 <= k <= n <= 255`.
+pub fn split(
+    secret: &[u8],
+    k: usize,
+    n: usize,
+    rng: &mut dyn RngCore,
+) -> Result<Vec<Share>, CryptoError> {
+    if k == 0 || k > n || n > 255 {
+        return Err(CryptoError::InvalidParameter("shamir k/n"));
+    }
+    // coefficients[b] = [secret[b], c1, ..., c_{k-1}] per secret byte.
+    let mut coeffs = vec![vec![0u8; k]; secret.len()];
+    for (b, &s) in secret.iter().enumerate() {
+        coeffs[b][0] = s;
+        for c in coeffs[b].iter_mut().skip(1) {
+            let mut byte = [0u8; 1];
+            rng.fill_bytes(&mut byte);
+            *c = byte[0];
+        }
+    }
+    Ok((1..=n as u8)
+        .map(|x| {
+            let y = coeffs
+                .iter()
+                .map(|cs| {
+                    // Horner evaluation at x.
+                    cs.iter().rev().fold(0u8, |acc, &c| gf_mul(acc, x) ^ c)
+                })
+                .collect();
+            Share { x, y }
+        })
+        .collect())
+}
+
+/// Recombines `shares` (any `k` distinct shares) into the secret.
+///
+/// # Errors
+///
+/// [`CryptoError::InvalidParameter`] for empty input, duplicate x
+/// coordinates, or mismatched share lengths. With fewer than `k` valid
+/// shares the output is garbage *by design* (information-theoretic
+/// hiding) — the caller must know `k`.
+pub fn combine(shares: &[Share]) -> Result<Vec<u8>, CryptoError> {
+    if shares.is_empty() {
+        return Err(CryptoError::InvalidParameter("no shares"));
+    }
+    let len = shares[0].y.len();
+    for s in shares {
+        if s.y.len() != len {
+            return Err(CryptoError::InvalidParameter("share length mismatch"));
+        }
+    }
+    for (i, a) in shares.iter().enumerate() {
+        for b in &shares[i + 1..] {
+            if a.x == b.x {
+                return Err(CryptoError::InvalidParameter("duplicate share x"));
+            }
+        }
+    }
+    // Lagrange interpolation at x = 0.
+    let mut secret = vec![0u8; len];
+    for (i, si) in shares.iter().enumerate() {
+        // basis_i(0) = prod_{j != i} x_j / (x_j ^ x_i)
+        let mut basis = 1u8;
+        for (j, sj) in shares.iter().enumerate() {
+            if i == j {
+                continue;
+            }
+            basis = gf_mul(basis, gf_mul(sj.x, gf_inv(sj.x ^ si.x)));
+        }
+        for (b, out) in secret.iter_mut().enumerate() {
+            *out ^= gf_mul(si.y[b], basis);
+        }
+    }
+    Ok(secret)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(99)
+    }
+
+    #[test]
+    fn gf_arithmetic_sanity() {
+        // AES field: 0x53 * 0xCA = 0x01 (known inverse pair).
+        assert_eq!(gf_mul(0x53, 0xCA), 0x01);
+        assert_eq!(gf_inv(0x53), 0xCA);
+        for a in 1..=255u8 {
+            assert_eq!(gf_mul(a, gf_inv(a)), 1, "inv({a})");
+        }
+    }
+
+    #[test]
+    fn split_and_combine_threshold() {
+        let secret = b"session key 0123";
+        let shares = split(secret, 3, 5, &mut rng()).unwrap();
+        assert_eq!(shares.len(), 5);
+        // Any 3 shares reconstruct.
+        for combo in [[0, 1, 2], [0, 3, 4], [1, 2, 4]] {
+            let subset: Vec<Share> = combo.iter().map(|&i| shares[i].clone()).collect();
+            assert_eq!(combine(&subset).unwrap(), secret);
+        }
+        // All 5 also reconstruct.
+        assert_eq!(combine(&shares).unwrap(), secret);
+    }
+
+    #[test]
+    fn below_threshold_reveals_nothing() {
+        let secret = b"top secret";
+        let shares = split(secret, 3, 5, &mut rng()).unwrap();
+        let two: Vec<Share> = shares[..2].to_vec();
+        let guess = combine(&two).unwrap();
+        assert_ne!(guess, secret, "2 < k shares must not reconstruct");
+    }
+
+    #[test]
+    fn k_equals_one_is_replication() {
+        let shares = split(b"x", 1, 3, &mut rng()).unwrap();
+        for s in &shares {
+            assert_eq!(combine(std::slice::from_ref(s)).unwrap(), b"x");
+        }
+    }
+
+    #[test]
+    fn k_equals_n_needs_all() {
+        let secret = b"all or nothing";
+        let shares = split(secret, 4, 4, &mut rng()).unwrap();
+        assert_eq!(combine(&shares).unwrap(), secret);
+        assert_ne!(combine(&shares[..3]).unwrap(), secret);
+    }
+
+    #[test]
+    fn invalid_parameters_rejected() {
+        let mut r = rng();
+        assert!(split(b"s", 0, 3, &mut r).is_err());
+        assert!(split(b"s", 4, 3, &mut r).is_err());
+        assert!(combine(&[]).is_err());
+        let shares = split(b"s", 2, 3, &mut r).unwrap();
+        let dup = vec![shares[0].clone(), shares[0].clone()];
+        assert!(combine(&dup).is_err());
+    }
+
+    #[test]
+    fn empty_secret_round_trips() {
+        let shares = split(b"", 2, 3, &mut rng()).unwrap();
+        assert_eq!(combine(&shares[..2]).unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn corrupted_share_corrupts_output() {
+        let secret = b"integrity matters";
+        let mut shares = split(secret, 2, 3, &mut rng()).unwrap();
+        shares[0].y[0] ^= 0xFF;
+        assert_ne!(combine(&shares[..2]).unwrap(), secret);
+    }
+}

@@ -1,0 +1,99 @@
+//! Property tests for the cryptographic substrate.
+
+use autosec_crypto::shamir::{combine, split};
+use autosec_crypto::util::{from_hex, to_hex};
+use autosec_crypto::{Aes128, AesCtr, Cmac, Hkdf, WotsKeyPair};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    /// AES decrypt ∘ encrypt is the identity for any key/block.
+    #[test]
+    fn aes_round_trip(key in any::<[u8; 16]>(), block in any::<[u8; 16]>()) {
+        let aes = Aes128::new(&key);
+        prop_assert_eq!(aes.decrypt_block(&aes.encrypt_block(&block)), block);
+    }
+
+    /// CTR is an involution for any data length.
+    #[test]
+    fn ctr_involution(
+        key in any::<[u8; 16]>(),
+        iv in any::<[u8; 16]>(),
+        data in proptest::collection::vec(any::<u8>(), 0..300),
+    ) {
+        let ctr = AesCtr::new(&key);
+        prop_assert_eq!(ctr.process(&iv, &ctr.process(&iv, &data)), data);
+    }
+
+    /// HKDF expansions are prefix-consistent for any lengths.
+    #[test]
+    fn hkdf_prefix(
+        salt in proptest::collection::vec(any::<u8>(), 0..32),
+        ikm in proptest::collection::vec(any::<u8>(), 1..64),
+        a in 1usize..100,
+        b in 1usize..100,
+    ) {
+        let hk = Hkdf::extract(&salt, &ikm);
+        let (short, long) = if a <= b { (a, b) } else { (b, a) };
+        let s = hk.expand(b"info", short).expect("valid length");
+        let l = hk.expand(b"info", long).expect("valid length");
+        prop_assert_eq!(&l[..short], &s[..]);
+    }
+
+    /// CMAC accepts any true tag prefix and rejects a flipped bit in it.
+    #[test]
+    fn cmac_truncation(
+        key in any::<[u8; 16]>(),
+        msg in proptest::collection::vec(any::<u8>(), 0..200),
+        tag_len in 1usize..=16,
+        flip in 0u8..8,
+    ) {
+        let cmac = Cmac::new(&key);
+        let tag = cmac.mac(&msg);
+        prop_assert!(cmac.verify_truncated(&msg, &tag[..tag_len]));
+        let mut bad = tag[..tag_len].to_vec();
+        bad[tag_len - 1] ^= 1 << flip;
+        prop_assert!(!cmac.verify_truncated(&msg, &bad));
+    }
+
+    /// Hex encode/decode round-trips.
+    #[test]
+    fn hex_round_trip(data in proptest::collection::vec(any::<u8>(), 0..128)) {
+        prop_assert_eq!(from_hex(&to_hex(&data)).expect("valid hex"), data);
+    }
+
+    /// Shamir: any k of n shares reconstruct; k-1 do not (8+-byte
+    /// secrets make coincidence astronomically unlikely).
+    #[test]
+    fn shamir_threshold(
+        secret in proptest::collection::vec(any::<u8>(), 8..64),
+        k in 2usize..5,
+        extra in 0usize..3,
+        seed in any::<u64>(),
+    ) {
+        let n = k + extra;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let shares = split(&secret, k, n, &mut rng).expect("valid k/n");
+        // The *last* k shares (any subset works).
+        let subset = &shares[n - k..];
+        prop_assert_eq!(combine(subset).expect("k shares"), secret.clone());
+        let below = &shares[..k - 1];
+        if !below.is_empty() {
+            prop_assert_ne!(combine(below).expect("structurally valid"), secret);
+        }
+    }
+
+    /// WOTS rejects any mutated message.
+    #[test]
+    fn wots_message_binding(seed in any::<[u8; 32]>(), msg in proptest::collection::vec(any::<u8>(), 1..64), flip_at in any::<usize>(), flip_bit in 0u8..8) {
+        let mut kp = WotsKeyPair::from_seed(&seed);
+        let pk = kp.public_key().clone();
+        let sig = kp.sign(&msg).expect("fresh key");
+        prop_assert!(pk.verify(&msg, &sig));
+        let mut other = msg.clone();
+        let idx = flip_at % other.len();
+        other[idx] ^= 1 << flip_bit;
+        prop_assert!(!pk.verify(&other, &sig));
+    }
+}

@@ -1,0 +1,280 @@
+//! The Fig. 8 kill chain, executed stage by stage.
+//!
+//! `Traffic analysis → Directory enumeration → Supply-chain
+//! identification → Heap dump → Key extraction → Data extraction` —
+//! exactly the progression described at 38C3 and summarized in §V-A.
+//! Each stage queries the simulated backend; defenses break specific
+//! stages, and detection-capable defenses can flag the attack even when
+//! they do not stop it.
+
+use autosec_sim::SimRng;
+
+use crate::service::{RouteKind, TelemetryBackend};
+
+/// The six stages of Fig. 8.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum KillChainStage {
+    /// Observing the vehicle's cloud traffic to find the API host.
+    TrafficAnalysis,
+    /// Enumerating the web service's directory structure (gobuster).
+    DirectoryEnumeration,
+    /// Identifying the framework (Spring) from leaked structure.
+    SupplyChainIdentification,
+    /// Fetching the heap dump from the debug actuator.
+    HeapDump,
+    /// Extracting cloud credentials from the dump.
+    KeyExtraction,
+    /// Bulk-exporting the telemetry data.
+    DataExtraction,
+}
+
+impl KillChainStage {
+    /// All stages in chain order.
+    pub const ALL: [KillChainStage; 6] = [
+        KillChainStage::TrafficAnalysis,
+        KillChainStage::DirectoryEnumeration,
+        KillChainStage::SupplyChainIdentification,
+        KillChainStage::HeapDump,
+        KillChainStage::KeyExtraction,
+        KillChainStage::DataExtraction,
+    ];
+}
+
+impl std::fmt::Display for KillChainStage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            KillChainStage::TrafficAnalysis => "traffic-analysis",
+            KillChainStage::DirectoryEnumeration => "directory-enumeration",
+            KillChainStage::SupplyChainIdentification => "supply-chain-id",
+            KillChainStage::HeapDump => "heap-dump",
+            KillChainStage::KeyExtraction => "key-extraction",
+            KillChainStage::DataExtraction => "data-extraction",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Result of one kill-chain run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KillChainReport {
+    /// Stages completed, in order.
+    pub completed: Vec<KillChainStage>,
+    /// Stage at which the chain stopped (`None` = full compromise).
+    pub blocked_at: Option<KillChainStage>,
+    /// Stage at which a detection fired, if any (independent of
+    /// blocking: CARIAD had neither).
+    pub detected_at: Option<KillChainStage>,
+    /// Vehicle records exfiltrated.
+    pub records_exfiltrated: usize,
+    /// Sensitive-person records among them.
+    pub sensitive_records: usize,
+}
+
+impl KillChainReport {
+    /// Whether the chain got at least to `stage`.
+    pub fn reached(&self, stage: KillChainStage) -> bool {
+        self.completed.contains(&stage)
+    }
+}
+
+/// The analyst/attacker of §V-A.
+#[derive(Debug, Clone, Default)]
+pub struct Attacker;
+
+impl Attacker {
+    /// Creates an attacker.
+    pub fn new() -> Self {
+        Self
+    }
+
+    /// Runs the full chain against `backend`.
+    pub fn execute(&self, backend: &TelemetryBackend, rng: &mut SimRng) -> KillChainReport {
+        let mut completed = Vec::new();
+        let mut detected_at = None;
+
+        // Stage 1: traffic analysis — passive, always succeeds.
+        completed.push(KillChainStage::TrafficAnalysis);
+
+        // Stage 2: directory enumeration. Rate limiting detects (and
+        // throttles) the wordlist scan; the scan still finds public
+        // routes eventually, so this is detect-only.
+        if backend.defenses.rate_limiting && detected_at.is_none() {
+            detected_at = Some(KillChainStage::DirectoryEnumeration);
+        }
+        let public_routes: Vec<_> = backend
+            .routes()
+            .iter()
+            .filter(|r| !r.requires_auth)
+            .collect();
+        if public_routes.is_empty() {
+            return KillChainReport {
+                completed,
+                blocked_at: Some(KillChainStage::DirectoryEnumeration),
+                detected_at,
+                records_exfiltrated: 0,
+                sensitive_records: 0,
+            };
+        }
+        completed.push(KillChainStage::DirectoryEnumeration);
+
+        // Stage 3: supply-chain identification — the enumerated
+        // structure fingerprints the framework.
+        let framework_known = backend.framework == "Spring";
+        if !framework_known {
+            return KillChainReport {
+                completed,
+                blocked_at: Some(KillChainStage::SupplyChainIdentification),
+                detected_at,
+                records_exfiltrated: 0,
+                sensitive_records: 0,
+            };
+        }
+        completed.push(KillChainStage::SupplyChainIdentification);
+
+        // Stage 4: heap dump via the debug actuator.
+        let dump = match backend.heap_dump() {
+            Some(d) => d,
+            None => {
+                return KillChainReport {
+                    completed,
+                    blocked_at: Some(KillChainStage::HeapDump),
+                    detected_at,
+                    records_exfiltrated: 0,
+                    sensitive_records: 0,
+                }
+            }
+        };
+        debug_assert!(backend
+            .routes()
+            .iter()
+            .any(|r| r.kind == RouteKind::HeapDump));
+        completed.push(KillChainStage::HeapDump);
+
+        // Stage 5: key extraction from the dump.
+        let key = match dump {
+            Some(k) => k,
+            None => {
+                return KillChainReport {
+                    completed,
+                    blocked_at: Some(KillChainStage::KeyExtraction),
+                    detected_at,
+                    records_exfiltrated: 0,
+                    sensitive_records: 0,
+                }
+            }
+        };
+        completed.push(KillChainStage::KeyExtraction);
+
+        // Stage 6: mint a token, bulk-export.
+        let token = match backend.mint_user_token(&key) {
+            Some(t) => t,
+            None => {
+                return KillChainReport {
+                    completed,
+                    blocked_at: Some(KillChainStage::DataExtraction),
+                    detected_at,
+                    records_exfiltrated: 0,
+                    sensitive_records: 0,
+                }
+            }
+        };
+        let records = backend.export(&token);
+        if backend.defenses.exfiltration_detection && detected_at.is_none() {
+            detected_at = Some(KillChainStage::DataExtraction);
+        }
+        completed.push(KillChainStage::DataExtraction);
+        let _ = rng; // reserved for stochastic stage models
+
+        KillChainReport {
+            completed,
+            blocked_at: None,
+            detected_at,
+            records_exfiltrated: records.len(),
+            sensitive_records: records.iter().filter(|r| r.sensitive).count(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::DefenseConfig;
+
+    fn run(defenses: DefenseConfig) -> KillChainReport {
+        let mut rng = SimRng::seed(123);
+        let backend = TelemetryBackend::build(2000, defenses, &mut rng);
+        Attacker::new().execute(&backend, &mut rng)
+    }
+
+    #[test]
+    fn undefended_full_compromise() {
+        let r = run(DefenseConfig::none());
+        assert_eq!(r.blocked_at, None);
+        assert_eq!(r.completed.len(), 6);
+        assert_eq!(r.records_exfiltrated, 2000);
+        assert!(r.sensitive_records > 0, "the national-security angle");
+        assert_eq!(r.detected_at, None, "CARIAD never noticed");
+    }
+
+    #[test]
+    fn disabling_debug_endpoints_blocks_at_heap_dump() {
+        let mut d = DefenseConfig::none();
+        d.debug_endpoints_disabled = true;
+        let r = run(d);
+        assert_eq!(r.blocked_at, Some(KillChainStage::HeapDump));
+        assert_eq!(r.records_exfiltrated, 0);
+        assert!(r.reached(KillChainStage::SupplyChainIdentification));
+    }
+
+    #[test]
+    fn vaulted_secrets_block_at_key_extraction() {
+        let mut d = DefenseConfig::none();
+        d.secret_scanning = true;
+        let r = run(d);
+        assert_eq!(r.blocked_at, Some(KillChainStage::KeyExtraction));
+        assert!(r.reached(KillChainStage::HeapDump), "dump still leaks");
+        assert_eq!(r.records_exfiltrated, 0);
+    }
+
+    #[test]
+    fn scoped_keys_block_at_data_extraction() {
+        let mut d = DefenseConfig::none();
+        d.scoped_keys = true;
+        let r = run(d);
+        assert_eq!(r.blocked_at, Some(KillChainStage::DataExtraction));
+        assert!(r.reached(KillChainStage::KeyExtraction));
+        assert_eq!(r.records_exfiltrated, 0);
+    }
+
+    #[test]
+    fn rate_limiting_detects_even_if_chain_proceeds() {
+        let mut d = DefenseConfig::none();
+        d.rate_limiting = true;
+        let r = run(d);
+        assert_eq!(r.detected_at, Some(KillChainStage::DirectoryEnumeration));
+        // Detection-only: exfiltration still happens without blockers.
+        assert_eq!(r.blocked_at, None);
+    }
+
+    #[test]
+    fn exfiltration_detection_fires_at_the_last_stage() {
+        let mut d = DefenseConfig::none();
+        d.exfiltration_detection = true;
+        let r = run(d);
+        assert_eq!(r.detected_at, Some(KillChainStage::DataExtraction));
+    }
+
+    #[test]
+    fn hardened_backend_blocks_early_and_detects() {
+        let r = run(DefenseConfig::hardened());
+        assert_eq!(r.blocked_at, Some(KillChainStage::HeapDump));
+        assert_eq!(r.detected_at, Some(KillChainStage::DirectoryEnumeration));
+        assert_eq!(r.records_exfiltrated, 0);
+    }
+
+    #[test]
+    fn stage_order_is_canonical() {
+        let r = run(DefenseConfig::none());
+        assert_eq!(r.completed, KillChainStage::ALL.to_vec());
+    }
+}

@@ -1,0 +1,40 @@
+//! # autosec-data
+//!
+//! Data layer — §V of the paper: the CARIAD/Volkswagen telemetry data
+//! breach, rebuilt as an executable kill chain against a simulated cloud
+//! backend.
+//!
+//! - [`telemetry`] — synthetic vehicle fleet: VINs, owners, and the
+//!   geolocation traces whose exposure made the real breach a national-
+//!   security story
+//! - [`service`] — the simulated cloud telemetry service: routes, debug
+//!   endpoints, framework fingerprints, embedded cloud keys, and the
+//!   [`service::DefenseConfig`] knobs the E9 experiment sweeps
+//! - [`killchain`] — Fig. 8's six stages (traffic analysis → directory
+//!   enumeration → supply-chain identification → heap dump → key
+//!   extraction → data extraction) executed against the service
+//! - [`access`] — §VIII's owner-controlled access: "data owners retain
+//!   the rights to grant or restrict access"
+//! - [`surface`] — an attack-surface metric over service inventories
+//!   (§V-B3: "attack surfaces for automotive systems are increasing")
+//!
+//! ## Example
+//!
+//! ```
+//! use autosec_data::killchain::{Attacker, KillChainStage};
+//! use autosec_data::service::{DefenseConfig, TelemetryBackend};
+//! use autosec_sim::SimRng;
+//!
+//! let mut rng = SimRng::seed(38);
+//! let backend = TelemetryBackend::build(1000, DefenseConfig::none(), &mut rng);
+//! let report = Attacker::new().execute(&backend, &mut rng);
+//! // Undefended backend: the full CARIAD outcome.
+//! assert!(report.reached(KillChainStage::DataExtraction));
+//! assert!(report.records_exfiltrated > 0);
+//! ```
+
+pub mod access;
+pub mod killchain;
+pub mod service;
+pub mod surface;
+pub mod telemetry;

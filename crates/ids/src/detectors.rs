@@ -1,0 +1,339 @@
+//! CAN intrusion detectors over [`autosec_ivn::bus::BusEvent`] logs.
+//!
+//! All detectors follow the same two-phase protocol: [`train`] on a
+//! known-clean log, then [`analyze`] a suspect log and emit [`Alert`]s.
+//!
+//! [`train`]: FrequencyDetector::train
+//! [`analyze`]: FrequencyDetector::analyze
+
+use std::collections::{BTreeSet, HashMap};
+
+use autosec_ivn::bus::BusEvent;
+use autosec_sim::{SimTime, Summary};
+
+use crate::Alert;
+
+/// Specification-based detector: a whitelist of CAN ids (and the
+/// maximum DLC per id, learned or configured).
+#[derive(Debug, Clone)]
+pub struct SpecificationDetector {
+    allowed: BTreeSet<u32>,
+}
+
+impl SpecificationDetector {
+    /// Creates from an explicit id whitelist.
+    pub fn new(allowed: impl IntoIterator<Item = u32>) -> Self {
+        Self {
+            allowed: allowed.into_iter().collect(),
+        }
+    }
+
+    /// Learns the whitelist from a clean log.
+    pub fn train(log: &[BusEvent]) -> Self {
+        Self {
+            allowed: log.iter().map(|e| e.frame.id().raw()).collect(),
+        }
+    }
+
+    /// Whether an id is allowed.
+    pub fn allows(&self, id: u32) -> bool {
+        self.allowed.contains(&id)
+    }
+
+    /// Scans a log for unknown identifiers.
+    pub fn analyze(&self, log: &[BusEvent]) -> Vec<Alert> {
+        log.iter()
+            .filter(|e| !self.allows(e.frame.id().raw()))
+            .map(|e| Alert {
+                detector: "specification",
+                subject: e.frame.id().raw(),
+                at: e.completed,
+                detail: format!("unknown CAN id {}", e.frame.id()),
+            })
+            .collect()
+    }
+}
+
+/// Frequency detector: learns per-id message rates and alerts on
+/// significant rate increases (injection/masquerade doubles the rate of
+/// the spoofed id).
+#[derive(Debug, Clone)]
+pub struct FrequencyDetector {
+    /// Learned messages-per-second per id.
+    baseline: HashMap<u32, f64>,
+    /// Multiplicative tolerance before alerting.
+    pub tolerance: f64,
+}
+
+fn rate_per_id(log: &[BusEvent], horizon: SimTime) -> HashMap<u32, f64> {
+    let secs = horizon.as_secs_f64().max(1e-9);
+    let mut counts: HashMap<u32, usize> = HashMap::new();
+    for e in log {
+        *counts.entry(e.frame.id().raw()).or_default() += 1;
+    }
+    counts
+        .into_iter()
+        .map(|(id, c)| (id, c as f64 / secs))
+        .collect()
+}
+
+impl FrequencyDetector {
+    /// Learns the baseline from a clean log spanning `horizon`.
+    pub fn train(log: &[BusEvent], horizon: SimTime) -> Self {
+        Self {
+            baseline: rate_per_id(log, horizon),
+            tolerance: 1.5,
+        }
+    }
+
+    /// Compares a suspect log's rates against the baseline.
+    pub fn analyze(&self, log: &[BusEvent], horizon: SimTime) -> Vec<Alert> {
+        let observed = rate_per_id(log, horizon);
+        let mut alerts = Vec::new();
+        for (id, rate) in observed {
+            let base = self.baseline.get(&id).copied().unwrap_or(0.0);
+            if base == 0.0 {
+                continue; // unknown ids are the specification detector's job
+            }
+            if rate > base * self.tolerance {
+                alerts.push(Alert {
+                    detector: "frequency",
+                    subject: id,
+                    at: horizon,
+                    detail: format!("rate {rate:.1}/s exceeds baseline {base:.1}/s"),
+                });
+            }
+        }
+        alerts.sort_by_key(|a| a.subject);
+        alerts
+    }
+}
+
+/// Inter-arrival timing detector: periodic ids must stay periodic;
+/// injected extras produce anomalously short gaps.
+#[derive(Debug, Clone)]
+pub struct IntervalDetector {
+    /// Learned mean inter-arrival per id (µs).
+    baseline_us: HashMap<u32, f64>,
+    /// Fraction of the mean below which a gap is anomalous.
+    pub min_gap_fraction: f64,
+}
+
+fn intervals_per_id(log: &[BusEvent]) -> HashMap<u32, Vec<f64>> {
+    let mut last: HashMap<u32, SimTime> = HashMap::new();
+    let mut out: HashMap<u32, Vec<f64>> = HashMap::new();
+    for e in log {
+        let id = e.frame.id().raw();
+        if let Some(prev) = last.insert(id, e.enqueued) {
+            out.entry(id)
+                .or_default()
+                .push(e.enqueued.saturating_since(prev).as_us_f64());
+        }
+    }
+    out
+}
+
+impl IntervalDetector {
+    /// Learns per-id periods from a clean log.
+    pub fn train(log: &[BusEvent]) -> Self {
+        let baseline_us = intervals_per_id(log)
+            .into_iter()
+            .map(|(id, gaps)| (id, Summary::of(&gaps).mean))
+            .collect();
+        Self {
+            baseline_us,
+            min_gap_fraction: 0.5,
+        }
+    }
+
+    /// Flags anomalously short gaps in a suspect log.
+    pub fn analyze(&self, log: &[BusEvent]) -> Vec<Alert> {
+        let mut alerts = Vec::new();
+        let mut last: HashMap<u32, SimTime> = HashMap::new();
+        for e in log {
+            let id = e.frame.id().raw();
+            if let Some(prev) = last.insert(id, e.enqueued) {
+                let gap = e.enqueued.saturating_since(prev).as_us_f64();
+                if let Some(&base) = self.baseline_us.get(&id) {
+                    if base > 0.0 && gap < base * self.min_gap_fraction {
+                        alerts.push(Alert {
+                            detector: "interval",
+                            subject: id,
+                            at: e.enqueued,
+                            detail: format!("gap {gap:.0}us << period {base:.0}us"),
+                        });
+                    }
+                }
+            }
+        }
+        alerts
+    }
+}
+
+/// EASI-style sender fingerprinting (paper ref \[52\]): learns the analog
+/// signature each CAN id is normally transmitted with; a matching id
+/// with a foreign signature is a masquerade.
+#[derive(Debug, Clone)]
+pub struct FingerprintDetector {
+    /// Learned (mean, stddev) per id.
+    baseline: HashMap<u32, (f64, f64)>,
+    /// Alert threshold in standard deviations.
+    pub sigma: f64,
+}
+
+impl FingerprintDetector {
+    /// Learns per-id fingerprints from a clean log.
+    pub fn train(log: &[BusEvent]) -> Self {
+        let mut samples: HashMap<u32, Vec<f64>> = HashMap::new();
+        for e in log {
+            samples
+                .entry(e.frame.id().raw())
+                .or_default()
+                .push(e.analog_fingerprint);
+        }
+        let baseline = samples
+            .into_iter()
+            .map(|(id, s)| {
+                let sum = Summary::of(&s);
+                // Floor the stddev: clean training sets can be tiny.
+                (id, (sum.mean, sum.stddev.max(0.05)))
+            })
+            .collect();
+        Self {
+            baseline,
+            sigma: 4.0,
+        }
+    }
+
+    /// Flags frames whose analog signature does not match their id's
+    /// learned transmitter.
+    pub fn analyze(&self, log: &[BusEvent]) -> Vec<Alert> {
+        log.iter()
+            .filter_map(|e| {
+                let id = e.frame.id().raw();
+                let (mean, sd) = self.baseline.get(&id)?;
+                let dev = (e.analog_fingerprint - mean).abs() / sd;
+                (dev > self.sigma).then(|| Alert {
+                    detector: "fingerprint",
+                    subject: id,
+                    at: e.completed,
+                    detail: format!("signature {:.2} is {dev:.1} sigma off", e.analog_fingerprint),
+                })
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autosec_ivn::attacks::MasqueradeAttack;
+    use autosec_ivn::bus::CanBus;
+    use autosec_ivn::can::{CanFrame, CanId};
+    use autosec_sim::SimDuration;
+
+    /// Builds a clean bus with two periodic senders, returns the log.
+    fn clean_log(horizon_ms: u64) -> Vec<BusEvent> {
+        let mut bus = CanBus::new(500_000);
+        let a = bus.add_node(2.0);
+        let b = bus.add_node(3.0);
+        let mut t = SimTime::ZERO;
+        while t <= SimTime::from_ms(horizon_ms) {
+            bus.enqueue(a, t, CanFrame::new(CanId::standard(0x0A0).unwrap(), &[1; 8]).unwrap())
+                .unwrap();
+            bus.enqueue(b, t, CanFrame::new(CanId::standard(0x1B0).unwrap(), &[2; 4]).unwrap())
+                .unwrap();
+            t += SimDuration::from_ms(10);
+        }
+        bus.run(SimTime::from_secs(10))
+    }
+
+    /// Same traffic plus a masquerade attacker spoofing 0x0A0.
+    fn attacked_log(horizon_ms: u64) -> Vec<BusEvent> {
+        let mut bus = CanBus::new(500_000);
+        let a = bus.add_node(2.0);
+        let b = bus.add_node(3.0);
+        let attacker = bus.add_node(7.5);
+        let mut t = SimTime::ZERO;
+        while t <= SimTime::from_ms(horizon_ms) {
+            bus.enqueue(a, t, CanFrame::new(CanId::standard(0x0A0).unwrap(), &[1; 8]).unwrap())
+                .unwrap();
+            bus.enqueue(b, t, CanFrame::new(CanId::standard(0x1B0).unwrap(), &[2; 4]).unwrap())
+                .unwrap();
+            t += SimDuration::from_ms(10);
+        }
+        MasqueradeAttack {
+            attacker,
+            spoofed_id: 0x0A0,
+            period: SimDuration::from_ms(7),
+            payload: [0xFF; 8],
+        }
+        .inject(&mut bus, SimTime::from_ms(3), SimTime::from_ms(horizon_ms))
+        .unwrap();
+        bus.run(SimTime::from_secs(10))
+    }
+
+    #[test]
+    fn clean_traffic_raises_nothing() {
+        let train = clean_log(500);
+        let test = clean_log(500);
+        let horizon = SimTime::from_ms(500);
+        assert!(SpecificationDetector::train(&train).analyze(&test).is_empty());
+        assert!(FrequencyDetector::train(&train, horizon)
+            .analyze(&test, horizon)
+            .is_empty());
+        assert!(IntervalDetector::train(&train).analyze(&test).is_empty());
+        assert!(FingerprintDetector::train(&train).analyze(&test).is_empty());
+    }
+
+    #[test]
+    fn specification_catches_unknown_id() {
+        let train = clean_log(200);
+        let det = SpecificationDetector::train(&train);
+        let mut bus = CanBus::new(500_000);
+        let x = bus.add_node(9.0);
+        bus.enqueue(
+            x,
+            SimTime::ZERO,
+            CanFrame::new(CanId::standard(0x666).unwrap(), &[0; 2]).unwrap(),
+        )
+        .unwrap();
+        let log = bus.run(SimTime::from_secs(1));
+        let alerts = det.analyze(&log);
+        assert_eq!(alerts.len(), 1);
+        assert_eq!(alerts[0].subject, 0x666);
+    }
+
+    #[test]
+    fn frequency_catches_masquerade_rate_increase() {
+        let horizon = SimTime::from_ms(500);
+        let det = FrequencyDetector::train(&clean_log(500), horizon);
+        let alerts = det.analyze(&attacked_log(500), horizon);
+        assert!(alerts.iter().any(|a| a.subject == 0x0A0), "{alerts:?}");
+        assert!(alerts.iter().all(|a| a.subject != 0x1B0));
+    }
+
+    #[test]
+    fn interval_catches_injected_extras() {
+        let det = IntervalDetector::train(&clean_log(500));
+        let alerts = det.analyze(&attacked_log(500));
+        assert!(!alerts.is_empty());
+        assert!(alerts.iter().all(|a| a.subject == 0x0A0));
+    }
+
+    #[test]
+    fn fingerprint_catches_foreign_transmitter() {
+        let det = FingerprintDetector::train(&clean_log(500));
+        let alerts = det.analyze(&attacked_log(500));
+        // Attacker node fingerprint 7.5 vs legit 2.0.
+        assert!(alerts.len() > 10, "{}", alerts.len());
+        assert!(alerts.iter().all(|a| a.subject == 0x0A0));
+    }
+
+    #[test]
+    fn fingerprint_tolerates_legit_noise() {
+        let det = FingerprintDetector::train(&clean_log(1000));
+        let fp = det.analyze(&clean_log(300));
+        assert!(fp.len() <= 1, "false positives: {}", fp.len());
+    }
+}

@@ -1,0 +1,43 @@
+//! # autosec-ids
+//!
+//! Intrusion detection and response — the §VIII cross-cutting defense
+//! layer: "intrusion detection systems that monitor network activity"
+//! (refs \[51\]–\[53\]) and "autonomous intrusion response" (ref \[56\]).
+//!
+//! - [`detectors`] — four complementary CAN IDS techniques run over the
+//!   `autosec-ivn` bus log: specification-based (unknown ids/DLCs),
+//!   frequency-based, inter-arrival-timing, and EASI-style analog sender
+//!   fingerprinting (ref \[52\] — catches masquerade even when the frame
+//!   content is perfectly legitimate)
+//! - [`response`] — a REACT-style response engine mapping alerts to
+//!   playbooks with containment-time accounting
+//! - [`correlate`] — cross-layer alert correlation into incidents, the
+//!   "designed to work in synergy" argument of §VIII, measured in E13
+//!
+//! ## Example
+//!
+//! ```
+//! use autosec_ids::detectors::SpecificationDetector;
+//!
+//! let det = SpecificationDetector::new([0x100, 0x200]);
+//! assert!(det.allows(0x100));
+//! assert!(!det.allows(0x666));
+//! ```
+
+pub mod correlate;
+pub mod detectors;
+pub mod response;
+pub mod timesync;
+
+/// An IDS alert.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Alert {
+    /// Which detector fired.
+    pub detector: &'static str,
+    /// The CAN id (or other identifier) involved.
+    pub subject: u32,
+    /// Alert time.
+    pub at: autosec_sim::SimTime,
+    /// Human-readable detail.
+    pub detail: String,
+}

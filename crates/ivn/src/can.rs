@@ -1,0 +1,509 @@
+//! CAN frame models: classic CAN 2.0, CAN FD, and CAN XL.
+//!
+//! Classic CAN frames are serialized bit-by-bit (fields, real CRC-15,
+//! real bit stuffing), so [`CanFrame::wire_bits`] is exact. CAN FD and
+//! CAN XL use field-accurate bit budgets per their specifications
+//! (\[16\], \[17\], CiA 610/613) with dual-bitrate timing handled in
+//! the dual-rate `duration_ns` methods.
+
+use crate::IvnError;
+
+/// A CAN identifier: 11-bit standard (base) or 29-bit extended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum CanId {
+    /// 11-bit base format identifier.
+    Standard(u16),
+    /// 29-bit extended format identifier.
+    Extended(u32),
+}
+
+impl CanId {
+    /// Creates a standard (11-bit) identifier.
+    ///
+    /// # Errors
+    ///
+    /// [`IvnError::InvalidId`] if `id >= 2^11`.
+    pub fn standard(id: u16) -> Result<Self, IvnError> {
+        if id >= 1 << 11 {
+            return Err(IvnError::InvalidId);
+        }
+        Ok(CanId::Standard(id))
+    }
+
+    /// Creates an extended (29-bit) identifier.
+    ///
+    /// # Errors
+    ///
+    /// [`IvnError::InvalidId`] if `id >= 2^29`.
+    pub fn extended(id: u32) -> Result<Self, IvnError> {
+        if id >= 1 << 29 {
+            return Err(IvnError::InvalidId);
+        }
+        Ok(CanId::Extended(id))
+    }
+
+    /// Raw identifier value.
+    pub fn raw(&self) -> u32 {
+        match self {
+            CanId::Standard(v) => u32::from(*v),
+            CanId::Extended(v) => *v,
+        }
+    }
+
+    /// Arbitration priority: lower wins. Standard IDs beat extended IDs
+    /// with the same base (the SRR/IDE bits are recessive), which this
+    /// ordering approximates by comparing the 11-bit base first.
+    pub fn arbitration_key(&self) -> u64 {
+        match self {
+            CanId::Standard(v) => u64::from(*v) << 19,
+            CanId::Extended(v) => {
+                let base = u64::from(*v >> 18); // top 11 bits
+                let ext = u64::from(*v & 0x3_FFFF);
+                (base << 19) | (1 << 18) | ext
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for CanId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CanId::Standard(v) => write!(f, "0x{v:03X}"),
+            CanId::Extended(v) => write!(f, "0x{v:08X}x"),
+        }
+    }
+}
+
+/// Computes the CAN CRC-15 (polynomial 0x4599) over a bit sequence.
+pub fn crc15(bits: &[bool]) -> u16 {
+    let mut crc: u16 = 0;
+    for &bit in bits {
+        let crc_next = ((crc >> 14) & 1 == 1) ^ bit;
+        crc <<= 1;
+        crc &= 0x7FFF;
+        if crc_next {
+            crc ^= 0x4599;
+        }
+    }
+    crc & 0x7FFF
+}
+
+/// Applies CAN bit stuffing (insert complement after 5 equal bits) and
+/// returns the stuffed bit count.
+pub fn stuffed_len(bits: &[bool]) -> usize {
+    let mut count = 0usize;
+    let mut run = 0usize;
+    let mut last: Option<bool> = None;
+    for &b in bits {
+        count += 1;
+        match last {
+            Some(l) if l == b => run += 1,
+            _ => run = 1,
+        }
+        last = Some(b);
+        if run == 5 {
+            // Stuff bit of opposite polarity is inserted.
+            count += 1;
+            last = Some(!b);
+            run = 1;
+        }
+    }
+    count
+}
+
+/// A classic CAN 2.0 data frame (payload ≤ 8 bytes).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CanFrame {
+    id: CanId,
+    data: Vec<u8>,
+}
+
+impl CanFrame {
+    /// Creates a frame.
+    ///
+    /// # Errors
+    ///
+    /// [`IvnError::PayloadTooLong`] for more than 8 data bytes.
+    pub fn new(id: CanId, data: &[u8]) -> Result<Self, IvnError> {
+        if data.len() > 8 {
+            return Err(IvnError::PayloadTooLong);
+        }
+        Ok(Self {
+            id,
+            data: data.to_vec(),
+        })
+    }
+
+    /// Identifier.
+    pub fn id(&self) -> CanId {
+        self.id
+    }
+
+    /// Payload bytes.
+    pub fn data(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// Serializes the stuffable portion of the frame to bits:
+    /// SOF, arbitration, control, data, CRC-15.
+    fn stuffable_bits(&self) -> Vec<bool> {
+        let mut bits = Vec::with_capacity(128);
+        bits.push(false); // SOF (dominant)
+        match self.id {
+            CanId::Standard(v) => {
+                for i in (0..11).rev() {
+                    bits.push((v >> i) & 1 == 1);
+                }
+                bits.push(false); // RTR dominant (data frame)
+                bits.push(false); // IDE dominant (base format)
+                bits.push(false); // r0
+            }
+            CanId::Extended(v) => {
+                let base = (v >> 18) as u16;
+                for i in (0..11).rev() {
+                    bits.push((base >> i) & 1 == 1);
+                }
+                bits.push(true); // SRR recessive
+                bits.push(true); // IDE recessive (extended)
+                for i in (0..18).rev() {
+                    bits.push((v >> i) & 1 == 1);
+                }
+                bits.push(false); // RTR
+                bits.push(false); // r1
+                bits.push(false); // r0
+            }
+        }
+        let dlc = self.data.len() as u8;
+        for i in (0..4).rev() {
+            bits.push((dlc >> i) & 1 == 1);
+        }
+        for byte in &self.data {
+            for i in (0..8).rev() {
+                bits.push((byte >> i) & 1 == 1);
+            }
+        }
+        let crc = crc15(&bits);
+        for i in (0..15).rev() {
+            bits.push((crc >> i) & 1 == 1);
+        }
+        bits
+    }
+
+    /// Exact wire length in bits: stuffed body plus the unstuffed tail
+    /// (CRC delimiter, ACK slot + delimiter, EOF, 3-bit intermission).
+    pub fn wire_bits(&self) -> usize {
+        stuffed_len(&self.stuffable_bits()) + 1 + 2 + 7 + 3
+    }
+
+    /// Transmission time in nanoseconds at `bitrate_bps`.
+    pub fn duration_ns(&self, bitrate_bps: u64) -> f64 {
+        self.wire_bits() as f64 * 1e9 / bitrate_bps as f64
+    }
+}
+
+/// Valid CAN FD payload sizes (DLC encoding).
+pub const FD_SIZES: [usize; 16] = [0, 1, 2, 3, 4, 5, 6, 7, 8, 12, 16, 20, 24, 32, 48, 64];
+
+/// Rounds a payload length up to the next valid CAN FD size.
+///
+/// Returns `None` if `len > 64`.
+pub fn fd_padded_len(len: usize) -> Option<usize> {
+    FD_SIZES.iter().copied().find(|&s| s >= len)
+}
+
+/// A CAN FD frame (payload ≤ 64 bytes, dual bitrate).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CanFdFrame {
+    id: CanId,
+    data: Vec<u8>,
+}
+
+impl CanFdFrame {
+    /// Creates a frame; the payload is padded to the next valid DLC size.
+    ///
+    /// # Errors
+    ///
+    /// [`IvnError::PayloadTooLong`] for more than 64 data bytes.
+    pub fn new(id: CanId, data: &[u8]) -> Result<Self, IvnError> {
+        let padded = fd_padded_len(data.len()).ok_or(IvnError::PayloadTooLong)?;
+        let mut d = data.to_vec();
+        d.resize(padded, 0);
+        Ok(Self { id, data: d })
+    }
+
+    /// Identifier.
+    pub fn id(&self) -> CanId {
+        self.id
+    }
+
+    /// Payload (padded to a valid DLC size).
+    pub fn data(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// Bits transmitted at the (slow) arbitration bitrate: SOF +
+    /// arbitration + control prologue + ACK/EOF tail.
+    pub fn arbitration_phase_bits(&self) -> usize {
+        let arb = match self.id {
+            CanId::Standard(_) => 1 + 11 + 3,  // SOF, ID, r1/IDE/FDF-ish
+            CanId::Extended(_) => 1 + 11 + 2 + 18 + 3,
+        };
+        arb + 1 + 2 + 7 + 3 // BRS boundary + ACK, EOF, IFS
+    }
+
+    /// Bits transmitted at the (fast) data bitrate: control remainder,
+    /// data, stuff-count, CRC-17/21.
+    pub fn data_phase_bits(&self) -> usize {
+        let crc = if self.data.len() <= 16 { 17 + 5 } else { 21 + 6 };
+        // ESI + DLC(4) + data + stuff count (4) + CRC (+fixed stuff bits)
+        1 + 4 + self.data.len() * 8 + 4 + crc
+    }
+
+    /// Transmission time with distinct arbitration / data bitrates, in
+    /// nanoseconds. A ~10% stuffing overhead is applied to the variable
+    /// portion (FD uses fixed stuff bits in the CRC field; the data field
+    /// stuffing is data-dependent, approximated here).
+    pub fn duration_ns(&self, arb_bps: u64, data_bps: u64) -> f64 {
+        let arb = self.arbitration_phase_bits() as f64 * 1e9 / arb_bps as f64;
+        let data = self.data_phase_bits() as f64 * 1.1 * 1e9 / data_bps as f64;
+        arb + data
+    }
+}
+
+/// A CAN XL frame (payload 1..=2048 bytes), per CiA 610-1.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CanXlFrame {
+    priority: u16,
+    /// SDU type (e.g. 0x03 = tunneled Ethernet frame, per CiA 611-1).
+    sdt: u8,
+    /// Virtual CAN network identifier.
+    vcid: u8,
+    /// 32-bit acceptance field (replaces filtering on the priority ID).
+    acceptance: u32,
+    data: Vec<u8>,
+}
+
+/// SDU type for tunneled Ethernet frames (CiA 611-1), used by CANAL.
+pub const SDT_ETHERNET: u8 = 0x03;
+
+impl CanXlFrame {
+    /// Creates a frame.
+    ///
+    /// # Errors
+    ///
+    /// [`IvnError::InvalidId`] if `priority >= 2^11`;
+    /// [`IvnError::PayloadTooLong`] for an empty payload or more than
+    /// 2048 bytes.
+    pub fn new(
+        priority: u16,
+        sdt: u8,
+        vcid: u8,
+        acceptance: u32,
+        data: &[u8],
+    ) -> Result<Self, IvnError> {
+        if priority >= 1 << 11 {
+            return Err(IvnError::InvalidId);
+        }
+        if data.is_empty() || data.len() > 2048 {
+            return Err(IvnError::PayloadTooLong);
+        }
+        Ok(Self {
+            priority,
+            sdt,
+            vcid,
+            acceptance,
+            data: data.to_vec(),
+        })
+    }
+
+    /// 11-bit priority identifier.
+    pub fn priority(&self) -> u16 {
+        self.priority
+    }
+
+    /// SDU type.
+    pub fn sdt(&self) -> u8 {
+        self.sdt
+    }
+
+    /// Virtual network id.
+    pub fn vcid(&self) -> u8 {
+        self.vcid
+    }
+
+    /// Acceptance field.
+    pub fn acceptance(&self) -> u32 {
+        self.acceptance
+    }
+
+    /// Payload.
+    pub fn data(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// Arbitration-phase bits (slow rate): SOF + 11-bit priority + ADS.
+    pub fn arbitration_phase_bits(&self) -> usize {
+        1 + 11 + 2 + 1 + 2 + 7 + 3 // SOF, prio, ADS, + ACK/EOF/IFS tail
+    }
+
+    /// Data-phase bits (fast rate): XL control field (SDT 8, SEC 1,
+    /// DLC 11, header CRC 13, VCID 8, AF 32), payload, frame CRC-32.
+    pub fn data_phase_bits(&self) -> usize {
+        (8 + 1 + 11 + 13 + 8 + 32) + self.data.len() * 8 + 32
+    }
+
+    /// Transmission time with dual bitrates, in nanoseconds. CAN XL data
+    /// phase uses fixed stuffing (~3%).
+    pub fn duration_ns(&self, arb_bps: u64, data_bps: u64) -> f64 {
+        let arb = self.arbitration_phase_bits() as f64 * 1e9 / arb_bps as f64;
+        let data = self.data_phase_bits() as f64 * 1.03 * 1e9 / data_bps as f64;
+        arb + data
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn id_ranges_enforced() {
+        assert!(CanId::standard(0x7FF).is_ok());
+        assert_eq!(CanId::standard(0x800).unwrap_err(), IvnError::InvalidId);
+        assert!(CanId::extended(0x1FFF_FFFF).is_ok());
+        assert_eq!(
+            CanId::extended(0x2000_0000).unwrap_err(),
+            IvnError::InvalidId
+        );
+    }
+
+    #[test]
+    fn arbitration_orders_by_priority() {
+        let high = CanId::standard(0x010).unwrap();
+        let low = CanId::standard(0x700).unwrap();
+        assert!(high.arbitration_key() < low.arbitration_key());
+        // Standard beats extended with the same 11-bit base.
+        let ext = CanId::extended(0x010 << 18).unwrap();
+        assert!(high.arbitration_key() < ext.arbitration_key());
+    }
+
+    #[test]
+    fn crc15_known_properties() {
+        // CRC of the empty sequence is zero; one dominant bit is not.
+        assert_eq!(crc15(&[]), 0);
+        assert_ne!(crc15(&[true]), crc15(&[false]));
+        // Changing one bit changes the CRC.
+        let a = crc15(&[true, false, true, true, false, false, true]);
+        let b = crc15(&[true, false, true, true, false, true, true]);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn stuffing_inserts_after_five() {
+        // 5 equal bits -> 1 stuff bit.
+        assert_eq!(stuffed_len(&[true; 5]), 6);
+        // The stuff bit breaks the run; 10 equal bits -> 2 stuff bits?
+        // After 5 ones a zero is inserted; the next 5 ones then restart:
+        // 1 1 1 1 1 [0] 1 1 1 1 1 [0] -> 12.
+        assert_eq!(stuffed_len(&[true; 10]), 12);
+        // Alternating bits never stuff.
+        let alt: Vec<bool> = (0..20).map(|i| i % 2 == 0).collect();
+        assert_eq!(stuffed_len(&alt), 20);
+    }
+
+    #[test]
+    fn classic_frame_bit_length_bounds() {
+        // 8-byte standard frame: 111 bits unstuffed + stuffing + can't
+        // exceed worst case 135 + IFS.
+        let f = CanFrame::new(CanId::standard(0x123).unwrap(), &[0xAA; 8]).unwrap();
+        let bits = f.wire_bits();
+        assert!((111..=141).contains(&bits), "bits = {bits}");
+        // Empty frame: 44 + IFS 3 = 47 minimum.
+        let e = CanFrame::new(CanId::standard(0x7FF).unwrap(), &[]).unwrap();
+        assert!(e.wire_bits() >= 47, "{}", e.wire_bits());
+    }
+
+    #[test]
+    fn all_zero_data_stuffs_more_than_alternating() {
+        let zeros = CanFrame::new(CanId::standard(0).unwrap(), &[0x00; 8]).unwrap();
+        let alt = CanFrame::new(CanId::standard(0x555).unwrap(), &[0xAA; 8]).unwrap();
+        assert!(zeros.wire_bits() > alt.wire_bits());
+    }
+
+    #[test]
+    fn extended_frames_are_longer() {
+        let s = CanFrame::new(CanId::standard(0x123).unwrap(), &[1, 2, 3, 4]).unwrap();
+        let e = CanFrame::new(CanId::extended(0x123 << 18).unwrap(), &[1, 2, 3, 4]).unwrap();
+        assert!(e.wire_bits() > s.wire_bits() + 15);
+    }
+
+    #[test]
+    fn classic_duration_at_500kbps() {
+        let f = CanFrame::new(CanId::standard(0x100).unwrap(), &[0x55; 8]).unwrap();
+        let ns = f.duration_ns(500_000);
+        // ~111-130 bits at 2 us/bit = 222..260 us.
+        assert!((220_000.0..270_000.0).contains(&ns), "{ns}");
+    }
+
+    #[test]
+    fn classic_rejects_9_bytes() {
+        assert_eq!(
+            CanFrame::new(CanId::standard(1).unwrap(), &[0; 9]).unwrap_err(),
+            IvnError::PayloadTooLong
+        );
+    }
+
+    #[test]
+    fn fd_padding_to_dlc_sizes() {
+        assert_eq!(fd_padded_len(0), Some(0));
+        assert_eq!(fd_padded_len(8), Some(8));
+        assert_eq!(fd_padded_len(9), Some(12));
+        assert_eq!(fd_padded_len(33), Some(48));
+        assert_eq!(fd_padded_len(64), Some(64));
+        assert_eq!(fd_padded_len(65), None);
+        let f = CanFdFrame::new(CanId::standard(1).unwrap(), &[7; 10]).unwrap();
+        assert_eq!(f.data().len(), 12);
+        assert_eq!(&f.data()[..10], &[7; 10]);
+    }
+
+    #[test]
+    fn fd_faster_than_classic_for_same_payload_rate() {
+        // 64 bytes over FD at 500k/2M vs 8x 8-byte classic frames at 500k.
+        let fd = CanFdFrame::new(CanId::standard(1).unwrap(), &[0xA5; 64]).unwrap();
+        let classic = CanFrame::new(CanId::standard(1).unwrap(), &[0xA5; 8]).unwrap();
+        assert!(fd.duration_ns(500_000, 2_000_000) < 8.0 * classic.duration_ns(500_000));
+    }
+
+    #[test]
+    fn xl_carries_ethernet_scale_payloads() {
+        let xl = CanXlFrame::new(0x050, SDT_ETHERNET, 0, 0xDEAD_BEEF, &[0; 1500]).unwrap();
+        assert_eq!(xl.data().len(), 1500);
+        let ns = xl.duration_ns(500_000, 10_000_000);
+        // 1500 B ≈ 12000 bits at 10 Mbps ≈ 1.2 ms + header.
+        assert!((1_200_000.0..1_500_000.0).contains(&ns), "{ns}");
+    }
+
+    #[test]
+    fn xl_rejects_bad_params() {
+        assert_eq!(
+            CanXlFrame::new(0x800, 0, 0, 0, &[1]).unwrap_err(),
+            IvnError::InvalidId
+        );
+        assert_eq!(
+            CanXlFrame::new(0, 0, 0, 0, &[]).unwrap_err(),
+            IvnError::PayloadTooLong
+        );
+        assert_eq!(
+            CanXlFrame::new(0, 0, 0, 0, &[0; 2049]).unwrap_err(),
+            IvnError::PayloadTooLong
+        );
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(CanId::standard(0x12).unwrap().to_string(), "0x012");
+        assert_eq!(
+            CanId::extended(0x1234).unwrap().to_string(),
+            "0x00001234x"
+        );
+    }
+}

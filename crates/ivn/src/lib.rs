@@ -1,0 +1,69 @@
+//! # autosec-ivn
+//!
+//! In-vehicle network (IVN) simulator — §III of the paper, Fig. 3.
+//!
+//! Models the heterogeneous zonal architecture the paper describes: a
+//! central computing unit connected to zonal controllers over point-to-
+//! point automotive Ethernet, with endpoints (ECUs) attached to the zones
+//! over classic CAN / CAN FD / CAN XL buses or 10BASE-T1S multidrop
+//! segments.
+//!
+//! - [`can`] — frame models for CAN 2.0, CAN FD and CAN XL with real
+//!   bit-stuffing and CRC-15 computation, so frame durations are
+//!   bit-accurate for classic CAN and field-accurate for FD/XL
+//! - [`bus`] — CSMA/CR arbitration bus simulation with error counters and
+//!   bus-off behaviour
+//! - [`t1s`] — 10BASE-T1S PLCA (multidrop single-pair Ethernet)
+//! - [`ethernet`] — point-to-point automotive Ethernet links and
+//!   store-and-forward zonal switches
+//! - [`topology`] — the Fig. 3 zonal network: endpoints, zones, central
+//!   compute, end-to-end paths and traffic generation
+//! - [`attacks`] — §III attacks: masquerade (the paper's "key
+//!   vulnerability of the CAN bus"), injection flooding, and bus-off
+//!
+//! ## Example
+//!
+//! ```
+//! use autosec_ivn::can::{CanFrame, CanId};
+//!
+//! let frame = CanFrame::new(CanId::standard(0x123).unwrap(), &[1, 2, 3]).unwrap();
+//! // Bit-accurate length including stuff bits:
+//! assert!(frame.wire_bits() > 47);
+//! ```
+
+pub mod attacks;
+pub mod bus;
+pub mod can;
+pub mod ethernet;
+pub mod t1s;
+pub mod topology;
+
+pub use bus::{BusEvent, CanBus, NodeId};
+pub use can::{CanFdFrame, CanFrame, CanId, CanXlFrame};
+pub use topology::{Endpoint, EndpointLink, ZonalNetwork};
+
+/// Errors produced by the IVN layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IvnError {
+    /// CAN identifier out of range for its format.
+    InvalidId,
+    /// Payload too long for the frame type.
+    PayloadTooLong,
+    /// Referenced node/endpoint/zone does not exist.
+    UnknownNode,
+    /// The node is in bus-off state and cannot transmit.
+    BusOff,
+}
+
+impl std::fmt::Display for IvnError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IvnError::InvalidId => write!(f, "CAN identifier out of range"),
+            IvnError::PayloadTooLong => write!(f, "payload exceeds frame capacity"),
+            IvnError::UnknownNode => write!(f, "unknown node"),
+            IvnError::BusOff => write!(f, "node is in bus-off state"),
+        }
+    }
+}
+
+impl std::error::Error for IvnError {}

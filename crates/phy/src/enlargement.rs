@@ -1,0 +1,215 @@
+//! Distance-enlargement detection (UWB-ED style, paper ref \[13\]).
+//!
+//! §II-B: *"The latter [distance enlargement] is particularly dangerous,
+//! as an attacker within the communication range can prevent detection of
+//! other vehicles."* An enlargement attacker delays the perceived first
+//! path by annihilating the legitimate signal and replaying it later
+//! ([`crate::attacks::OvershadowAttack`]). Annihilation is never perfect
+//! without exact channel knowledge, so residual energy lingers *before*
+//! the claimed first path. UWB-ED detects exactly that: compare the
+//! energy in the guard window preceding the claimed arrival against the
+//! noise floor.
+
+use autosec_sim::SimRng;
+
+use crate::attacks::OvershadowAttack;
+use crate::channel::Channel;
+use crate::hrp::{HrpConfig, HrpRanging, ReceiverKind};
+use crate::signal::SAMPLES_PER_METER;
+
+/// Configuration for the enlargement-detection experiment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnlargementConfig {
+    /// Underlying HRP configuration (STS, SNR...).
+    pub hrp: HrpConfig,
+    /// Energy ratio over the noise floor that triggers detection.
+    pub energy_threshold: f64,
+    /// Guard window inspected before the claimed first path, in samples.
+    pub guard_samples: usize,
+}
+
+impl Default for EnlargementConfig {
+    fn default() -> Self {
+        Self {
+            hrp: HrpConfig::default(),
+            energy_threshold: 1.5,
+            guard_samples: 256,
+        }
+    }
+}
+
+/// Outcome of one ranging exchange with enlargement detection.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnlargementOutcome {
+    /// Ground-truth distance in metres.
+    pub true_m: f64,
+    /// Distance the receiver would report.
+    pub estimated_m: f64,
+    /// Whether the estimate is enlarged by more than 1 m.
+    pub enlarged: bool,
+    /// Whether the guard-window energy test flagged the measurement.
+    pub detected: bool,
+}
+
+/// UWB-ED style verifier: HRP ranging plus pre-arrival energy analysis.
+#[derive(Debug, Clone)]
+pub struct EnlargementDetector {
+    cfg: EnlargementConfig,
+    ranging: HrpRanging,
+}
+
+impl EnlargementDetector {
+    /// Creates a detector.
+    pub fn new(cfg: EnlargementConfig) -> Self {
+        Self {
+            ranging: HrpRanging::new(cfg.hrp, ReceiverKind::IntegrityChecked),
+            cfg,
+        }
+    }
+
+    /// Runs one measurement across `distance_m`, optionally under an
+    /// overshadow attack.
+    pub fn measure(
+        &self,
+        distance_m: f64,
+        attack: Option<&OvershadowAttack>,
+        rng: &mut SimRng,
+    ) -> EnlargementOutcome {
+        use rand::RngCore;
+        let counter = rng.next_u64();
+        let template = self.ranging.sts_waveform(counter);
+        let channel = Channel::line_of_sight(distance_m, self.cfg.hrp.snr_db);
+        let true_delay = channel.delay_samples();
+        let extra = attack.map_or(0, |a| a.delay_samples());
+        let window = true_delay + extra + template.len() + self.cfg.hrp.window_margin;
+        let mut rx = channel.propagate(&template, window, rng);
+
+        if let Some(atk) = attack {
+            atk.apply(&mut rx, &template, true_delay);
+        }
+
+        // Claimed first path: strongest correlation (the attacker's copy
+        // dominates by construction).
+        let profile = rx.correlate(&template);
+        let (claimed, _) = profile
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("no NaN"))
+            .expect("nonempty profile");
+        let estimated_m = claimed as f64 / SAMPLES_PER_METER;
+
+        // Guard-window energy test before the claimed path.
+        let guard_start = claimed.saturating_sub(self.cfg.guard_samples);
+        let guard_energy = rx.energy_in(guard_start, claimed);
+        let noise_floor = self.noise_floor_energy(&channel, claimed - guard_start);
+        let detected = guard_energy > self.cfg.energy_threshold * noise_floor;
+
+        EnlargementOutcome {
+            true_m: distance_m,
+            estimated_m,
+            enlarged: estimated_m - distance_m > 1.0,
+            detected,
+        }
+    }
+
+    /// Expected noise energy in a window of `len` samples.
+    fn noise_floor_energy(&self, channel: &Channel, len: usize) -> f64 {
+        let sigma = channel.noise_sigma();
+        (sigma * sigma) * len as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn detector() -> EnlargementDetector {
+        EnlargementDetector::new(EnlargementConfig::default())
+    }
+
+    #[test]
+    fn clean_measurement_not_flagged() {
+        let det = detector();
+        let mut rng = SimRng::seed(11);
+        let mut false_alarms = 0;
+        for _ in 0..50 {
+            let out = det.measure(25.0, None, &mut rng);
+            assert!(!out.enlarged);
+            if out.detected {
+                false_alarms += 1;
+            }
+        }
+        assert!(false_alarms <= 2, "false alarm rate too high: {false_alarms}/50");
+    }
+
+    #[test]
+    fn imperfect_annihilation_is_detected() {
+        let det = detector();
+        let mut rng = SimRng::seed(12);
+        let atk = OvershadowAttack {
+            delay_m: 15.0,
+            power: 3.0,
+            residual: 0.3,
+        };
+        let mut detected = 0;
+        let mut enlarged = 0;
+        for _ in 0..50 {
+            let out = det.measure(25.0, Some(&atk), &mut rng);
+            if out.enlarged {
+                enlarged += 1;
+            }
+            if out.detected {
+                detected += 1;
+            }
+        }
+        assert!(enlarged > 40, "attack should enlarge ({enlarged}/50)");
+        assert!(detected > 45, "UWB-ED should catch residue ({detected}/50)");
+    }
+
+    #[test]
+    fn perfect_annihilation_evades_energy_test() {
+        // The known theoretical limit: zero residue leaves nothing to
+        // detect. UWB-ED's guarantee rests on annihilation being
+        // physically unrealistic.
+        let det = detector();
+        let mut rng = SimRng::seed(13);
+        let atk = OvershadowAttack {
+            delay_m: 15.0,
+            power: 3.0,
+            residual: 0.0,
+        };
+        let mut detected = 0;
+        for _ in 0..30 {
+            let out = det.measure(25.0, Some(&atk), &mut rng);
+            if out.detected {
+                detected += 1;
+            }
+        }
+        assert!(detected <= 3, "nothing to detect with perfect cancellation");
+    }
+
+    #[test]
+    fn detection_improves_with_residual() {
+        let det = detector();
+        let mut rates = Vec::new();
+        for residual in [0.05, 0.2, 0.5] {
+            let mut rng = SimRng::seed(14);
+            let atk = OvershadowAttack {
+                delay_m: 12.0,
+                power: 3.0,
+                residual,
+            };
+            let mut detected = 0;
+            for _ in 0..40 {
+                if det.measure(20.0, Some(&atk), &mut rng).detected {
+                    detected += 1;
+                }
+            }
+            rates.push(detected);
+        }
+        assert!(
+            rates[0] <= rates[1] && rates[1] <= rates[2],
+            "detection should rise with residual: {rates:?}"
+        );
+    }
+}

@@ -1,0 +1,173 @@
+//! Two-way ranging protocol arithmetic (double-sided TWR).
+//!
+//! [`crate::hrp`] and [`crate::lrp`] model the *waveform* level; this
+//! module models the *protocol* level: message timestamps, independent
+//! device clocks with ppm-scale frequency offsets, and the double-sided
+//! two-way ranging (DS-TWR) combination that cancels first-order clock
+//! drift. Collision-avoidance and PKES both build on this exchange.
+
+use autosec_sim::SimRng;
+
+/// A free-running device clock with a frequency offset.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeviceClock {
+    /// Frequency offset in parts per million.
+    pub offset_ppm: f64,
+}
+
+impl DeviceClock {
+    /// A perfect clock.
+    pub fn ideal() -> Self {
+        Self { offset_ppm: 0.0 }
+    }
+
+    /// Converts a true duration (ps) into this clock's ticks (ps read).
+    pub fn observe_ps(&self, true_ps: f64) -> f64 {
+        true_ps * (1.0 + self.offset_ppm * 1e-6)
+    }
+}
+
+/// Configuration of a DS-TWR exchange.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TwrConfig {
+    /// Initiator clock.
+    pub initiator_clock: DeviceClock,
+    /// Responder clock.
+    pub responder_clock: DeviceClock,
+    /// Responder reply delay (between receiving poll and sending
+    /// response), in nanoseconds.
+    pub reply_delay_ns: f64,
+    /// One-sigma timestamping jitter per timestamp, in picoseconds.
+    pub timestamp_jitter_ps: f64,
+}
+
+impl Default for TwrConfig {
+    fn default() -> Self {
+        Self {
+            initiator_clock: DeviceClock { offset_ppm: 10.0 },
+            responder_clock: DeviceClock { offset_ppm: -8.0 },
+            reply_delay_ns: 300_000.0, // 300 us, realistic UWB turnaround
+            timestamp_jitter_ps: 100.0,
+        }
+    }
+}
+
+/// Result of a TWR exchange.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TwrOutcome {
+    /// True distance in metres.
+    pub true_m: f64,
+    /// Single-sided estimate (suffers clock drift).
+    pub ss_estimate_m: f64,
+    /// Double-sided estimate (drift cancels to first order).
+    pub ds_estimate_m: f64,
+}
+
+/// Runs one double-sided two-way ranging exchange over `distance_m`,
+/// with `extra_delay_ns` of adversarial path delay (0 for honest runs).
+///
+/// # Example
+///
+/// ```
+/// use autosec_phy::ranging::{ds_twr, TwrConfig};
+/// use autosec_sim::SimRng;
+/// let out = ds_twr(12.0, 0.0, &TwrConfig::default(), &mut SimRng::seed(4));
+/// assert!((out.ds_estimate_m - 12.0).abs() < 0.5);
+/// ```
+pub fn ds_twr(distance_m: f64, extra_delay_ns: f64, cfg: &TwrConfig, rng: &mut SimRng) -> TwrOutcome {
+    let tof_ps = crate::meters_to_ps(distance_m) + extra_delay_ns * 1000.0 / 2.0;
+    let reply_ps = cfg.reply_delay_ns * 1000.0;
+    let mut jitter = || rng.normal_with(0.0, cfg.timestamp_jitter_ps);
+
+    // True event times (ps): poll tx at 0.
+    let poll_rx = tof_ps;
+    let resp_tx = poll_rx + reply_ps;
+    let resp_rx = resp_tx + tof_ps;
+    let final_tx = resp_rx + reply_ps;
+    let final_rx = final_tx + tof_ps;
+
+    // Timestamps observed on each device's own clock (+ jitter).
+    let i = cfg.initiator_clock;
+    let r = cfg.responder_clock;
+    let t1 = i.observe_ps(0.0) + jitter(); // poll tx (initiator)
+    let t2 = r.observe_ps(poll_rx) + jitter(); // poll rx (responder)
+    let t3 = r.observe_ps(resp_tx) + jitter(); // resp tx (responder)
+    let t4 = i.observe_ps(resp_rx) + jitter(); // resp rx (initiator)
+    let t5 = i.observe_ps(final_tx) + jitter(); // final tx (initiator)
+    let t6 = r.observe_ps(final_rx) + jitter(); // final rx (responder)
+
+    // Single-sided: ToF = (round1 - reply1) / 2 using only initiator+responder pair 1.
+    let round1 = t4 - t1;
+    let reply1 = t3 - t2;
+    let ss_tof = (round1 - reply1) / 2.0;
+
+    // Double-sided (asymmetric formula):
+    // ToF = (round1*round2 - reply1*reply2) / (round1 + round2 + reply1 + reply2)
+    let round2 = t6 - t3;
+    let reply2 = t5 - t4;
+    let ds_tof = (round1 * round2 - reply1 * reply2) / (round1 + round2 + reply1 + reply2);
+
+    TwrOutcome {
+        true_m: distance_m,
+        ss_estimate_m: crate::ps_to_meters(ss_tof.max(0.0)),
+        ds_estimate_m: crate::ps_to_meters(ds_tof.max(0.0)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ideal_clocks_both_accurate() {
+        let cfg = TwrConfig {
+            initiator_clock: DeviceClock::ideal(),
+            responder_clock: DeviceClock::ideal(),
+            timestamp_jitter_ps: 0.0,
+            ..TwrConfig::default()
+        };
+        let out = ds_twr(10.0, 0.0, &cfg, &mut SimRng::seed(1));
+        assert!((out.ss_estimate_m - 10.0).abs() < 1e-6);
+        assert!((out.ds_estimate_m - 10.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn clock_drift_breaks_single_sided_not_double_sided() {
+        let cfg = TwrConfig {
+            initiator_clock: DeviceClock { offset_ppm: 20.0 },
+            responder_clock: DeviceClock { offset_ppm: -20.0 },
+            timestamp_jitter_ps: 0.0,
+            ..TwrConfig::default()
+        };
+        let out = ds_twr(10.0, 0.0, &cfg, &mut SimRng::seed(2));
+        // 40 ppm over a 300 us reply is ~12 ns = ~1.8 m of error.
+        let ss_err = (out.ss_estimate_m - 10.0).abs();
+        let ds_err = (out.ds_estimate_m - 10.0).abs();
+        assert!(ss_err > 1.0, "single-sided should degrade: {ss_err}");
+        assert!(ds_err < 0.05, "double-sided should survive: {ds_err}");
+    }
+
+    #[test]
+    fn adversarial_delay_enlarges() {
+        let out = ds_twr(5.0, 100.0, &TwrConfig::default(), &mut SimRng::seed(3));
+        // 100 ns round-trip = 50 ns one-way ≈ 15 m.
+        assert!(out.ds_estimate_m > 18.0, "{}", out.ds_estimate_m);
+    }
+
+    #[test]
+    fn jitter_bounded_error() {
+        let mut rng = SimRng::seed(4);
+        let cfg = TwrConfig::default();
+        let errs: Vec<f64> = (0..200)
+            .map(|_| (ds_twr(30.0, 0.0, &cfg, &mut rng).ds_estimate_m - 30.0).abs())
+            .collect();
+        let mean_err = errs.iter().sum::<f64>() / errs.len() as f64;
+        assert!(mean_err < 0.1, "mean error {mean_err}");
+    }
+
+    #[test]
+    fn observe_scales_with_ppm() {
+        let c = DeviceClock { offset_ppm: 100.0 };
+        assert!((c.observe_ps(1e12) - 1.0001e12).abs() < 1.0);
+    }
+}

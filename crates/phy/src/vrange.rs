@@ -1,0 +1,251 @@
+//! V-Range-style secure ranging in 5G (paper §II-B, ref \[12\]).
+//!
+//! Collision avoidance "rel\[ies\] on inputs from multiple sensors such as
+//! LiDAR, RADAR, cameras, and 5G's Positioning Reference Signal (PRS)".
+//! V-Range hardens 5G ranging by embedding unpredictable, per-symbol
+//! secured bits into the reference signal so that both distance
+//! *reduction* (early-commit on OFDM symbols) and *enlargement*
+//! (delay-and-replay of symbols) require guessing those bits.
+//!
+//! This is a protocol-level model (the OFDM waveform itself is not
+//! synthesized): per-symbol guessing probabilities are exact, timing
+//! resolution follows the signal bandwidth.
+
+use autosec_sim::SimRng;
+
+/// Configuration of a V-Range exchange.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VRangeConfig {
+    /// Signal bandwidth in MHz (5G FR1 positioning: up to 100 MHz).
+    pub bandwidth_mhz: f64,
+    /// Number of ranging symbols per measurement.
+    pub n_symbols: usize,
+    /// Unpredictable bits embedded per symbol.
+    pub secured_bits_per_symbol: u32,
+    /// One-sigma timing jitter in nanoseconds.
+    pub timing_jitter_ns: f64,
+}
+
+impl Default for VRangeConfig {
+    fn default() -> Self {
+        Self {
+            bandwidth_mhz: 100.0,
+            n_symbols: 14,
+            secured_bits_per_symbol: 4,
+            timing_jitter_ns: 1.0,
+        }
+    }
+}
+
+impl VRangeConfig {
+    /// Ranging resolution implied by the bandwidth: `c / (2·BW)`.
+    pub fn resolution_m(&self) -> f64 {
+        crate::C_M_PER_S / (2.0 * self.bandwidth_mhz * 1e6)
+    }
+
+    /// Probability that an attacker guesses one symbol's secured bits.
+    pub fn per_symbol_guess_probability(&self) -> f64 {
+        0.5f64.powi(self.secured_bits_per_symbol as i32)
+    }
+
+    /// Probability that a manipulation of `k` symbols goes unnoticed.
+    pub fn undetected_manipulation_probability(&self, k: usize) -> f64 {
+        self.per_symbol_guess_probability().powi(k as i32)
+    }
+}
+
+/// Attacks on a V-Range measurement.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum VRangeAttack {
+    /// Early-commit distance reduction: the attacker must forge every
+    /// symbol earlier than it can know the secured bits.
+    Reduce {
+        /// Metres of attempted reduction.
+        advance_m: f64,
+    },
+    /// Delay-and-replay enlargement: replayed symbols carry the right
+    /// bits but wrong timing; the verifier cross-checks a random subset
+    /// of `audited_symbols`.
+    Enlarge {
+        /// Metres of attempted enlargement.
+        delay_m: f64,
+        /// Symbols the verifier audits for timing consistency.
+        audited_symbols: usize,
+    },
+}
+
+/// Result of one V-Range measurement.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VRangeOutcome {
+    /// Ground truth (m).
+    pub true_m: f64,
+    /// Estimate (m); `NaN` when aborted.
+    pub estimated_m: f64,
+    /// The verifier aborted (secured-bit mismatch / audit failure).
+    pub aborted: bool,
+}
+
+/// One V-Range measurement across `distance_m`.
+pub fn measure(
+    cfg: &VRangeConfig,
+    distance_m: f64,
+    attack: Option<VRangeAttack>,
+    rng: &mut SimRng,
+) -> VRangeOutcome {
+    let jitter_m = crate::ps_to_meters(rng.normal_with(0.0, cfg.timing_jitter_ns * 1000.0));
+    match attack {
+        None => VRangeOutcome {
+            true_m: distance_m,
+            estimated_m: (distance_m + jitter_m).max(0.0),
+            aborted: false,
+        },
+        Some(VRangeAttack::Reduce { advance_m }) => {
+            // Every symbol must be forged with correctly guessed bits.
+            let p = cfg.per_symbol_guess_probability();
+            let all_guessed = (0..cfg.n_symbols).all(|_| rng.chance(p));
+            if all_guessed {
+                VRangeOutcome {
+                    true_m: distance_m,
+                    estimated_m: (distance_m - advance_m + jitter_m).max(0.0),
+                    aborted: false,
+                }
+            } else {
+                VRangeOutcome {
+                    true_m: distance_m,
+                    estimated_m: f64::NAN,
+                    aborted: true,
+                }
+            }
+        }
+        Some(VRangeAttack::Enlarge {
+            delay_m,
+            audited_symbols,
+        }) => {
+            // Replay preserves bit content; the audit measures fine
+            // timing structure the replay cannot reproduce for audited
+            // symbols — each audited symbol exposes the replay with
+            // probability 1 - per-symbol-guess.
+            let p_evade_one = cfg.per_symbol_guess_probability();
+            let evaded = (0..audited_symbols.min(cfg.n_symbols)).all(|_| rng.chance(p_evade_one));
+            if evaded {
+                VRangeOutcome {
+                    true_m: distance_m,
+                    estimated_m: distance_m + delay_m + jitter_m,
+                    aborted: false,
+                }
+            } else {
+                VRangeOutcome {
+                    true_m: distance_m,
+                    estimated_m: f64::NAN,
+                    aborted: true,
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> SimRng {
+        SimRng::seed(512)
+    }
+
+    #[test]
+    fn clean_measurement_within_resolution() {
+        let cfg = VRangeConfig::default();
+        assert!((cfg.resolution_m() - 1.5).abs() < 0.01, "{}", cfg.resolution_m());
+        let mut r = rng();
+        for d in [5.0, 50.0, 200.0] {
+            let out = measure(&cfg, d, None, &mut r);
+            assert!(!out.aborted);
+            assert!((out.estimated_m - d).abs() < 1.5, "{}", out.estimated_m);
+        }
+    }
+
+    #[test]
+    fn reduction_virtually_never_succeeds_at_default_strength() {
+        // 14 symbols x 4 bits = 2^-56.
+        let cfg = VRangeConfig::default();
+        assert!(cfg.undetected_manipulation_probability(cfg.n_symbols) < 1e-16);
+        let mut r = rng();
+        let mut successes = 0;
+        for _ in 0..2000 {
+            let out = measure(&cfg, 50.0, Some(VRangeAttack::Reduce { advance_m: 20.0 }), &mut r);
+            if !out.aborted {
+                successes += 1;
+            }
+        }
+        assert_eq!(successes, 0);
+    }
+
+    #[test]
+    fn weak_configuration_is_measurably_weaker() {
+        let weak = VRangeConfig {
+            n_symbols: 2,
+            secured_bits_per_symbol: 1,
+            ..VRangeConfig::default()
+        };
+        let mut r = rng();
+        let trials = 2000;
+        let mut successes = 0;
+        for _ in 0..trials {
+            let out = measure(&weak, 50.0, Some(VRangeAttack::Reduce { advance_m: 20.0 }), &mut r);
+            if !out.aborted {
+                successes += 1;
+            }
+        }
+        // Expected 25%.
+        let rate = successes as f64 / trials as f64;
+        assert!((rate - 0.25).abs() < 0.05, "{rate}");
+    }
+
+    #[test]
+    fn enlargement_detection_scales_with_audit() {
+        let cfg = VRangeConfig::default();
+        let mut r = rng();
+        let mut rates = Vec::new();
+        for audited in [0usize, 1, 4] {
+            let mut aborted = 0;
+            for _ in 0..500 {
+                let out = measure(
+                    &cfg,
+                    30.0,
+                    Some(VRangeAttack::Enlarge {
+                        delay_m: 15.0,
+                        audited_symbols: audited,
+                    }),
+                    &mut r,
+                );
+                if out.aborted {
+                    aborted += 1;
+                }
+            }
+            rates.push(aborted as f64 / 500.0);
+        }
+        assert_eq!(rates[0], 0.0, "no audit = no detection");
+        assert!(rates[1] > 0.9, "one audited symbol catches most: {}", rates[1]);
+        assert!(rates[2] > rates[1] - 0.02);
+    }
+
+    #[test]
+    fn successful_enlargement_actually_enlarges() {
+        let cfg = VRangeConfig {
+            secured_bits_per_symbol: 0, // trivially evadable: isolate math
+            ..VRangeConfig::default()
+        };
+        let mut r = rng();
+        let out = measure(
+            &cfg,
+            30.0,
+            Some(VRangeAttack::Enlarge {
+                delay_m: 15.0,
+                audited_symbols: 4,
+            }),
+            &mut r,
+        );
+        assert!(!out.aborted);
+        assert!((out.estimated_m - 45.0).abs() < 1.5);
+    }
+}

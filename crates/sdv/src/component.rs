@@ -1,0 +1,136 @@
+//! Software components and hardware nodes of the SDV.
+
+use serde::{Deserialize, Serialize};
+
+/// Automotive safety integrity level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Asil {
+    /// Quality managed (no safety requirement).
+    Qm,
+    /// ASIL A (lowest).
+    A,
+    /// ASIL B.
+    B,
+    /// ASIL C.
+    C,
+    /// ASIL D (highest — steering, braking).
+    D,
+}
+
+/// A deployable software component.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SoftwareComponent {
+    /// Unique component id (e.g. `"brake-controller"`).
+    pub id: String,
+    /// Vendor name (its wallet/DID is managed by the platform test
+    /// harness).
+    pub vendor: String,
+    /// Semantic version.
+    pub version: (u16, u16, u16),
+    /// Hardware capabilities this component requires.
+    pub requires: Vec<String>,
+    /// Compute units consumed when deployed.
+    pub compute_cost: u32,
+    /// Safety level the hosting node must support.
+    pub asil: Asil,
+}
+
+impl SoftwareComponent {
+    /// Version as a display string.
+    pub fn version_string(&self) -> String {
+        format!("{}.{}.{}", self.version.0, self.version.1, self.version.2)
+    }
+}
+
+/// A hardware node (HPC, zonal controller, or ECU) able to host software.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HardwareNode {
+    /// Unique node id (e.g. `"hpc-0"`).
+    pub id: String,
+    /// Capabilities the node offers (interfaces, accelerators...).
+    pub provides: Vec<String>,
+    /// Total compute units.
+    pub compute_capacity: u32,
+    /// Highest ASIL the node is certified for.
+    pub max_asil: Asil,
+}
+
+/// Why a component cannot run on a node, if it cannot.
+pub fn compatibility(component: &SoftwareComponent, node: &HardwareNode) -> Result<(), String> {
+    for cap in &component.requires {
+        if !node.provides.contains(cap) {
+            return Err(format!("node {} lacks capability {cap}", node.id));
+        }
+    }
+    if component.asil > node.max_asil {
+        return Err(format!(
+            "node {} certified up to {:?} but component needs {:?}",
+            node.id, node.max_asil, component.asil
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn brake_sw() -> SoftwareComponent {
+        SoftwareComponent {
+            id: "brake-controller".into(),
+            vendor: "tier1".into(),
+            version: (2, 1, 0),
+            requires: vec!["can-if".into(), "lockstep-core".into()],
+            compute_cost: 20,
+            asil: Asil::D,
+        }
+    }
+
+    fn hpc() -> HardwareNode {
+        HardwareNode {
+            id: "hpc-0".into(),
+            provides: vec!["can-if".into(), "lockstep-core".into(), "gpu".into()],
+            compute_capacity: 100,
+            max_asil: Asil::D,
+        }
+    }
+
+    #[test]
+    fn compatible_pair() {
+        assert!(compatibility(&brake_sw(), &hpc()).is_ok());
+    }
+
+    #[test]
+    fn missing_capability_detected() {
+        let mut node = hpc();
+        node.provides.retain(|c| c != "lockstep-core");
+        let err = compatibility(&brake_sw(), &node).unwrap_err();
+        assert!(err.contains("lockstep-core"));
+    }
+
+    #[test]
+    fn asil_ordering_enforced() {
+        let mut node = hpc();
+        node.max_asil = Asil::B;
+        let err = compatibility(&brake_sw(), &node).unwrap_err();
+        assert!(err.contains("certified"));
+        // A QM component runs anywhere.
+        let mut sw = brake_sw();
+        sw.asil = Asil::Qm;
+        sw.requires.clear();
+        assert!(compatibility(&sw, &node).is_ok());
+    }
+
+    #[test]
+    fn asil_order_is_total() {
+        assert!(Asil::Qm < Asil::A);
+        assert!(Asil::A < Asil::B);
+        assert!(Asil::B < Asil::C);
+        assert!(Asil::C < Asil::D);
+    }
+
+    #[test]
+    fn version_string_format() {
+        assert_eq!(brake_sw().version_string(), "2.1.0");
+    }
+}

@@ -1,0 +1,58 @@
+//! # autosec-sdv
+//!
+//! Software-defined vehicle platform — §IV of the paper (Fig. 7).
+//!
+//! The SDV shift decouples software from hardware: components can be
+//! "replaced, updated, or reconfigured after production". The paper's
+//! three trust requirements map to the modules here:
+//!
+//! - **System integrity for reconfiguration** → [`platform`]: a
+//!   zero-trust reconfiguration engine that demands mutual SSI
+//!   authentication between software and hardware before placement
+//!   (§IV-A), including the failover flow ("if some control unit fails,
+//!   software may have to be placed on other components")
+//! - **Data security and authentication** → [`update`]: OTA packages
+//!   signed by the vendor and checked against the trust registry before
+//!   installation
+//! - **Interoperable services, multiple trust anchors** → [`charging`]:
+//!   the §IV-C plug-and-charge comparison between an ISO-15118-style
+//!   hierarchical PKI ([`pki`]) and the SSI flow, including the offline
+//!   case
+//!
+//! [`component`] holds the component/hardware compatibility model
+//! underlying all of it.
+
+pub mod charging;
+pub mod component;
+pub mod pki;
+pub mod platform;
+pub mod update;
+
+/// Errors of the SDV layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SdvError {
+    /// Hardware lacks a capability the component requires.
+    Incompatible(String),
+    /// Mutual authentication failed (component or node side).
+    AuthFailed(String),
+    /// Referenced component/node does not exist.
+    NotFound(String),
+    /// Node has no spare compute capacity.
+    NoCapacity,
+    /// Update package rejected (signature, version, or compatibility).
+    UpdateRejected(String),
+}
+
+impl std::fmt::Display for SdvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SdvError::Incompatible(what) => write!(f, "incompatible: {what}"),
+            SdvError::AuthFailed(who) => write!(f, "authentication failed: {who}"),
+            SdvError::NotFound(what) => write!(f, "not found: {what}"),
+            SdvError::NoCapacity => write!(f, "no spare compute capacity"),
+            SdvError::UpdateRejected(why) => write!(f, "update rejected: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for SdvError {}

@@ -1,0 +1,227 @@
+//! Signed over-the-air updates (§IV-A: "in the case of software updates
+//! or hardware replacements, authentication is essential").
+
+use autosec_crypto::Sha256;
+use autosec_ssi::prelude::*;
+
+use crate::component::SoftwareComponent;
+use crate::SdvError;
+
+/// A signed OTA update package.
+#[derive(Debug)]
+pub struct UpdatePackage {
+    /// Target component id.
+    pub component_id: String,
+    /// New version.
+    pub version: (u16, u16, u16),
+    /// SHA-256 of the update image.
+    pub image_digest: [u8; 32],
+    /// Vendor credential binding the digest to the release.
+    pub release_credential: VerifiableCredential,
+    /// The update image itself (payload bytes).
+    pub image: Vec<u8>,
+}
+
+impl UpdatePackage {
+    /// Builds and signs a package. The vendor issues a release
+    /// credential whose claims commit to component, version and digest.
+    ///
+    /// # Errors
+    ///
+    /// Propagates signing failures.
+    pub fn build(
+        vendor: &mut Wallet,
+        target_did: Did,
+        component_id: &str,
+        version: (u16, u16, u16),
+        image: Vec<u8>,
+    ) -> Result<Self, SdvError> {
+        let image_digest = Sha256::digest(&image);
+        let cred = vendor
+            .issue(
+                target_did,
+                serde_json::json!({
+                    "type": "ota-release",
+                    "component": component_id,
+                    "version": format!("{}.{}.{}", version.0, version.1, version.2),
+                    "digest": autosec_crypto::util::to_hex(&image_digest),
+                }),
+                None,
+            )
+            .map_err(|e| SdvError::UpdateRejected(e.to_string()))?;
+        Ok(Self {
+            component_id: component_id.to_owned(),
+            version,
+            image_digest,
+            release_credential: cred,
+            image,
+        })
+    }
+}
+
+/// The vehicle-side update manager.
+#[derive(Debug)]
+pub struct UpdateManager;
+
+impl UpdateManager {
+    /// Verifies and applies an update to `component`.
+    ///
+    /// Checks, in order: credential signature, trust path to an anchor,
+    /// image digest integrity, claims/package consistency, and version
+    /// monotonicity (no downgrade).
+    ///
+    /// # Errors
+    ///
+    /// [`SdvError::UpdateRejected`] naming the failed check.
+    pub fn apply(
+        registry: &Registry,
+        component: &mut SoftwareComponent,
+        pkg: &UpdatePackage,
+    ) -> Result<(), SdvError> {
+        pkg.release_credential
+            .verify(registry)
+            .map_err(|e| SdvError::UpdateRejected(format!("signature: {e}")))?;
+        if !registry.trust_path_ok(&pkg.release_credential) {
+            return Err(SdvError::UpdateRejected("untrusted vendor".into()));
+        }
+        let digest = Sha256::digest(&pkg.image);
+        if digest != pkg.image_digest {
+            return Err(SdvError::UpdateRejected("image digest mismatch".into()));
+        }
+        let claims = &pkg.release_credential.claims;
+        let claimed_digest = claims["digest"].as_str().unwrap_or_default();
+        if claimed_digest != autosec_crypto::util::to_hex(&digest) {
+            return Err(SdvError::UpdateRejected(
+                "credential does not commit to this image".into(),
+            ));
+        }
+        if claims["component"].as_str() != Some(pkg.component_id.as_str())
+            || pkg.component_id != component.id
+        {
+            return Err(SdvError::UpdateRejected("component mismatch".into()));
+        }
+        if pkg.version <= component.version {
+            return Err(SdvError::UpdateRejected(format!(
+                "downgrade {} -> {}.{}.{}",
+                component.version_string(),
+                pkg.version.0,
+                pkg.version.1,
+                pkg.version.2
+            )));
+        }
+        component.version = pkg.version;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::component::Asil;
+    use autosec_sim::SimRng;
+
+    fn setup() -> (Registry, Wallet, Wallet, SoftwareComponent, SimRng) {
+        let reg = Registry::new();
+        let mut rng = SimRng::seed(500);
+        let vendor = Wallet::create(&mut rng, "tier1", &reg);
+        reg.add_trust_anchor(vendor.did().clone(), "vendor-root");
+        let target = Wallet::create(&mut rng, "adas-stack", &reg);
+        let comp = SoftwareComponent {
+            id: "adas-stack".into(),
+            vendor: "tier1".into(),
+            version: (1, 0, 0),
+            requires: vec![],
+            compute_cost: 10,
+            asil: Asil::B,
+        };
+        (reg, vendor, target, comp, rng)
+    }
+
+    #[test]
+    fn valid_update_applies() {
+        let (reg, mut vendor, target, mut comp, _) = setup();
+        let pkg = UpdatePackage::build(
+            &mut vendor,
+            target.did().clone(),
+            "adas-stack",
+            (1, 1, 0),
+            b"new firmware image".to_vec(),
+        )
+        .unwrap();
+        UpdateManager::apply(&reg, &mut comp, &pkg).unwrap();
+        assert_eq!(comp.version, (1, 1, 0));
+    }
+
+    #[test]
+    fn tampered_image_rejected() {
+        let (reg, mut vendor, target, mut comp, _) = setup();
+        let mut pkg = UpdatePackage::build(
+            &mut vendor,
+            target.did().clone(),
+            "adas-stack",
+            (1, 1, 0),
+            b"new firmware image".to_vec(),
+        )
+        .unwrap();
+        pkg.image = b"malicious image!!!".to_vec();
+        let err = UpdateManager::apply(&reg, &mut comp, &pkg).unwrap_err();
+        assert!(err.to_string().contains("digest"), "{err}");
+        assert_eq!(comp.version, (1, 0, 0));
+    }
+
+    #[test]
+    fn untrusted_vendor_rejected() {
+        let (reg, _, target, mut comp, mut rng) = setup();
+        let mut rogue = Wallet::create(&mut rng, "rogue", &reg);
+        let pkg = UpdatePackage::build(
+            &mut rogue,
+            target.did().clone(),
+            "adas-stack",
+            (1, 1, 0),
+            b"evil".to_vec(),
+        )
+        .unwrap();
+        let err = UpdateManager::apply(&reg, &mut comp, &pkg).unwrap_err();
+        assert!(err.to_string().contains("untrusted"), "{err}");
+    }
+
+    #[test]
+    fn downgrade_rejected() {
+        let (reg, mut vendor, target, mut comp, _) = setup();
+        comp.version = (2, 0, 0);
+        let pkg = UpdatePackage::build(
+            &mut vendor,
+            target.did().clone(),
+            "adas-stack",
+            (1, 9, 9),
+            b"old image".to_vec(),
+        )
+        .unwrap();
+        let err = UpdateManager::apply(&reg, &mut comp, &pkg).unwrap_err();
+        assert!(err.to_string().contains("downgrade"), "{err}");
+    }
+
+    #[test]
+    fn cross_component_replay_rejected() {
+        let (reg, mut vendor, target, _, _) = setup();
+        let mut other = SoftwareComponent {
+            id: "brake-controller".into(),
+            vendor: "tier1".into(),
+            version: (1, 0, 0),
+            requires: vec![],
+            compute_cost: 5,
+            asil: Asil::D,
+        };
+        let pkg = UpdatePackage::build(
+            &mut vendor,
+            target.did().clone(),
+            "adas-stack",
+            (1, 1, 0),
+            b"image".to_vec(),
+        )
+        .unwrap();
+        // Applying an adas-stack package to the brake controller fails.
+        let err = UpdateManager::apply(&reg, &mut other, &pkg).unwrap_err();
+        assert!(err.to_string().contains("component mismatch"), "{err}");
+    }
+}

@@ -1,0 +1,251 @@
+//! CANsec (CiA 613-2 working draft, paper ref \[19\]) — MACsec-inspired
+//! security for CAN XL.
+//!
+//! Protects CAN XL frames with AES-GCM, an explicit freshness counter and
+//! a secure-zone association number. Like MACsec, confidentiality is
+//! optional; unlike SECOC, the freshness value is carried in full (the
+//! XL payload is large enough that the truncation trick is unnecessary).
+
+use autosec_crypto::AesGcm;
+use autosec_ivn::can::CanXlFrame;
+
+use crate::ProtoError;
+
+/// CANsec header bytes inside the XL payload: flags (1) + AN (1) +
+/// freshness (8).
+pub const CANSEC_HEADER_BYTES: usize = 10;
+/// ICV bytes (GCM tag, truncated to 8 in the constrained profile).
+pub const CANSEC_ICV_BYTES: usize = 8;
+
+/// A CANsec secure zone association (one direction).
+#[derive(Debug, Clone)]
+pub struct CansecTx {
+    aead: AesGcm,
+    /// Association number inside the secure zone.
+    an: u8,
+    freshness: u64,
+    encrypt: bool,
+}
+
+/// Receive side with strict freshness monotonicity.
+#[derive(Debug, Clone)]
+pub struct CansecRx {
+    aead: AesGcm,
+    an: u8,
+    last_freshness: u64,
+}
+
+fn nonce(an: u8, freshness: u64) -> [u8; 12] {
+    let mut n = [0u8; 12];
+    n[3] = an;
+    n[4..].copy_from_slice(&freshness.to_be_bytes());
+    n
+}
+
+impl CansecTx {
+    /// Creates the sending side of an association.
+    pub fn new(key: [u8; 16], an: u8, encrypt: bool) -> Self {
+        Self {
+            aead: AesGcm::new(&key),
+            an,
+            freshness: 1,
+            encrypt,
+        }
+    }
+
+    /// Wire overhead per frame.
+    pub fn overhead_bytes() -> usize {
+        CANSEC_HEADER_BYTES + CANSEC_ICV_BYTES
+    }
+
+    /// Wraps `payload` into a protected CAN XL frame.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtoError::RekeyRequired`] on freshness exhaustion,
+    /// [`ProtoError::Malformed`] if the protected payload exceeds the XL
+    /// limit.
+    pub fn protect(
+        &mut self,
+        priority: u16,
+        vcid: u8,
+        payload: &[u8],
+    ) -> Result<CanXlFrame, ProtoError> {
+        if self.freshness == u64::MAX {
+            return Err(ProtoError::RekeyRequired);
+        }
+        let fv = self.freshness;
+        self.freshness += 1;
+        let n = nonce(self.an, fv);
+        let flags: u8 = if self.encrypt { 0x01 } else { 0x00 };
+        let mut aad = vec![flags, self.an];
+        aad.extend_from_slice(&fv.to_be_bytes());
+        aad.push(vcid);
+
+        let body = if self.encrypt {
+            self.aead
+                .seal_with_tag_len(&n, &aad, payload, CANSEC_ICV_BYTES)
+                .expect("valid tag length")
+        } else {
+            let mut full_aad = aad.clone();
+            full_aad.extend_from_slice(payload);
+            let tag = self
+                .aead
+                .seal_with_tag_len(&n, &full_aad, b"", CANSEC_ICV_BYTES)
+                .expect("valid tag length");
+            let mut out = payload.to_vec();
+            out.extend_from_slice(&tag);
+            out
+        };
+
+        let mut xl_payload = Vec::with_capacity(CANSEC_HEADER_BYTES + body.len());
+        xl_payload.push(flags);
+        xl_payload.push(self.an);
+        xl_payload.extend_from_slice(&fv.to_be_bytes());
+        xl_payload.extend_from_slice(&body);
+
+        CanXlFrame::new(priority, 0x04 /* CANsec SDT */, vcid, 0, &xl_payload)
+            .map_err(|_| ProtoError::Malformed)
+    }
+}
+
+impl CansecRx {
+    /// Creates the receiving side of an association.
+    pub fn new(key: [u8; 16], an: u8) -> Self {
+        Self {
+            aead: AesGcm::new(&key),
+            an,
+            last_freshness: 0,
+        }
+    }
+
+    /// Verifies a protected XL frame and returns the payload.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtoError::Malformed`] for structural problems,
+    /// [`ProtoError::Replayed`] for non-monotonic freshness,
+    /// [`ProtoError::AuthFailed`] on tag mismatch.
+    pub fn verify(&mut self, frame: &CanXlFrame) -> Result<Vec<u8>, ProtoError> {
+        let data = frame.data();
+        if data.len() < CANSEC_HEADER_BYTES + CANSEC_ICV_BYTES {
+            return Err(ProtoError::Malformed);
+        }
+        let flags = data[0];
+        let an = data[1];
+        if an != self.an {
+            return Err(ProtoError::Malformed);
+        }
+        let mut fv_bytes = [0u8; 8];
+        fv_bytes.copy_from_slice(&data[2..10]);
+        let fv = u64::from_be_bytes(fv_bytes);
+        if fv <= self.last_freshness {
+            return Err(ProtoError::Replayed);
+        }
+        let body = &data[CANSEC_HEADER_BYTES..];
+        let n = nonce(an, fv);
+        let mut aad = vec![flags, an];
+        aad.extend_from_slice(&fv.to_be_bytes());
+        aad.push(frame.vcid());
+
+        let payload = if flags & 0x01 != 0 {
+            self.aead
+                .open_with_tag_len(&n, &aad, body, CANSEC_ICV_BYTES)
+                .map_err(|_| ProtoError::AuthFailed)?
+        } else {
+            let (payload, tag) = body.split_at(body.len() - CANSEC_ICV_BYTES);
+            let mut full_aad = aad.clone();
+            full_aad.extend_from_slice(payload);
+            self.aead
+                .open_with_tag_len(&n, &full_aad, tag, CANSEC_ICV_BYTES)
+                .map_err(|_| ProtoError::AuthFailed)?;
+            payload.to_vec()
+        };
+        self.last_freshness = fv;
+        Ok(payload)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pair(encrypt: bool) -> (CansecTx, CansecRx) {
+        (
+            CansecTx::new([3u8; 16], 1, encrypt),
+            CansecRx::new([3u8; 16], 1),
+        )
+    }
+
+    #[test]
+    fn encrypted_round_trip() {
+        let (mut tx, mut rx) = pair(true);
+        let f = tx.protect(0x50, 2, b"steering setpoint").unwrap();
+        assert_eq!(rx.verify(&f).unwrap(), b"steering setpoint");
+        assert_eq!(f.sdt(), 0x04);
+        assert_eq!(f.vcid(), 2);
+    }
+
+    #[test]
+    fn integrity_only_round_trip() {
+        let (mut tx, mut rx) = pair(false);
+        let f = tx.protect(0x50, 0, b"visible").unwrap();
+        // Payload visible inside the XL frame after the header.
+        assert_eq!(&f.data()[CANSEC_HEADER_BYTES..CANSEC_HEADER_BYTES + 7], b"visible");
+        assert_eq!(rx.verify(&f).unwrap(), b"visible");
+    }
+
+    #[test]
+    fn replay_rejected() {
+        let (mut tx, mut rx) = pair(true);
+        let f = tx.protect(0x50, 0, b"x").unwrap();
+        assert!(rx.verify(&f).is_ok());
+        assert_eq!(rx.verify(&f).unwrap_err(), ProtoError::Replayed);
+    }
+
+    #[test]
+    fn tampered_payload_rejected() {
+        let (mut tx, mut rx) = pair(true);
+        let f = tx.protect(0x50, 0, b"original").unwrap();
+        let mut data = f.data().to_vec();
+        let n = data.len();
+        data[n - 1] ^= 0x80;
+        let forged = CanXlFrame::new(f.priority(), f.sdt(), f.vcid(), f.acceptance(), &data)
+            .unwrap();
+        assert_eq!(rx.verify(&forged).unwrap_err(), ProtoError::AuthFailed);
+    }
+
+    #[test]
+    fn vcid_is_bound_into_aad() {
+        let (mut tx, mut rx) = pair(true);
+        let f = tx.protect(0x50, 7, b"zone A only").unwrap();
+        // Re-tag the frame onto a different virtual network.
+        let moved = CanXlFrame::new(f.priority(), f.sdt(), 8, f.acceptance(), f.data()).unwrap();
+        assert_eq!(rx.verify(&moved).unwrap_err(), ProtoError::AuthFailed);
+    }
+
+    #[test]
+    fn wrong_an_rejected() {
+        let mut tx = CansecTx::new([3u8; 16], 1, true);
+        let mut rx = CansecRx::new([3u8; 16], 2);
+        let f = tx.protect(0x10, 0, b"x").unwrap();
+        assert_eq!(rx.verify(&f).unwrap_err(), ProtoError::Malformed);
+    }
+
+    #[test]
+    fn overhead_accounting() {
+        assert_eq!(CansecTx::overhead_bytes(), 18);
+        let (mut tx, _) = pair(true);
+        let f = tx.protect(0x10, 0, &[0u8; 100]).unwrap();
+        assert_eq!(f.data().len(), 100 + 18);
+    }
+
+    #[test]
+    fn out_of_order_is_replay_with_strict_freshness() {
+        let (mut tx, mut rx) = pair(true);
+        let a = tx.protect(0x10, 0, b"a").unwrap();
+        let b = tx.protect(0x10, 0, b"b").unwrap();
+        assert!(rx.verify(&b).is_ok());
+        assert_eq!(rx.verify(&a).unwrap_err(), ProtoError::Replayed);
+    }
+}

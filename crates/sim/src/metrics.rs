@@ -1,0 +1,316 @@
+//! Metric recorders: counters, histograms and time series, grouped into a
+//! named [`MetricSet`] that experiment harnesses print or assert on.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::stats::Summary;
+use crate::time::SimTime;
+
+/// A monotonically increasing event counter.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Counter(u64);
+
+impl Counter {
+    /// New zeroed counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one.
+    pub fn incr(&mut self) {
+        self.0 += 1;
+    }
+
+    /// Adds `n`.
+    pub fn add(&mut self, n: u64) {
+        self.0 += n;
+    }
+
+    /// Current value.
+    pub fn value(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for Counter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// A value recorder that keeps raw samples and summarizes on demand.
+///
+/// Intentionally simple (stores all samples) — experiment scales here are
+/// at most millions of points.
+#[derive(Debug, Clone, Default)]
+pub struct Histogram {
+    samples: Vec<f64>,
+}
+
+impl Histogram {
+    /// New empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, v: f64) {
+        self.samples.push(v);
+    }
+
+    /// Number of samples recorded.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Raw samples, in insertion order.
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+
+    /// Statistical summary of everything recorded so far.
+    pub fn summary(&self) -> Summary {
+        Summary::of(&self.samples)
+    }
+}
+
+/// A `(time, value)` series, e.g. bus utilisation over a run.
+#[derive(Debug, Clone, Default)]
+pub struct TimeSeries {
+    points: Vec<(SimTime, f64)>,
+}
+
+impl TimeSeries {
+    /// New empty series.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a point. Points should be appended in nondecreasing time
+    /// order; this is asserted in debug builds.
+    pub fn push(&mut self, t: SimTime, v: f64) {
+        debug_assert!(
+            self.points.last().is_none_or(|&(lt, _)| lt <= t),
+            "time series must be appended in order"
+        );
+        self.points.push((t, v));
+    }
+
+    /// All points.
+    pub fn points(&self) -> &[(SimTime, f64)] {
+        &self.points
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the series is empty.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Time-weighted average of the series over its recorded span, treating
+    /// each value as holding until the next point. Returns `0.0` with fewer
+    /// than two points.
+    pub fn time_weighted_mean(&self) -> f64 {
+        if self.points.len() < 2 {
+            return 0.0;
+        }
+        let mut acc = 0.0;
+        let mut dur = 0.0;
+        for w in self.points.windows(2) {
+            let dt = w[1].0.since(w[0].0).as_ps() as f64;
+            acc += w[0].1 * dt;
+            dur += dt;
+        }
+        if dur == 0.0 {
+            0.0
+        } else {
+            acc / dur
+        }
+    }
+}
+
+/// A named collection of metrics for one simulation run.
+///
+/// # Example
+///
+/// ```
+/// use autosec_sim::MetricSet;
+/// let mut m = MetricSet::new();
+/// m.counter("frames_sent").add(10);
+/// m.histogram("latency_us").record(12.5);
+/// assert_eq!(m.counter("frames_sent").value(), 10);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct MetricSet {
+    counters: BTreeMap<String, Counter>,
+    histograms: BTreeMap<String, Histogram>,
+    series: BTreeMap<String, TimeSeries>,
+}
+
+impl MetricSet {
+    /// New empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Mutable access to the counter named `name`, creating it at zero.
+    pub fn counter(&mut self, name: &str) -> &mut Counter {
+        self.counters.entry(name.to_owned()).or_default()
+    }
+
+    /// Read-only counter value; zero if never touched.
+    pub fn counter_value(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or_default().value()
+    }
+
+    /// Mutable access to the histogram named `name`.
+    pub fn histogram(&mut self, name: &str) -> &mut Histogram {
+        self.histograms.entry(name.to_owned()).or_default()
+    }
+
+    /// Read-only histogram lookup.
+    pub fn histogram_ref(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// Mutable access to the time series named `name`.
+    pub fn time_series(&mut self, name: &str) -> &mut TimeSeries {
+        self.series.entry(name.to_owned()).or_default()
+    }
+
+    /// Read-only series lookup.
+    pub fn time_series_ref(&self, name: &str) -> Option<&TimeSeries> {
+        self.series.get(name)
+    }
+
+    /// Iterates counters in name order.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, v)| (k.as_str(), v.value()))
+    }
+
+    /// Iterates histograms in name order.
+    pub fn histograms(&self) -> impl Iterator<Item = (&str, &Histogram)> {
+        self.histograms.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Merges another metric set into this one (counters add, samples and
+    /// series concatenate). Used to aggregate per-trial metrics.
+    pub fn merge(&mut self, other: &MetricSet) {
+        for (k, v) in &other.counters {
+            self.counters.entry(k.clone()).or_default().add(v.value());
+        }
+        for (k, v) in &other.histograms {
+            let h = self.histograms.entry(k.clone()).or_default();
+            for &s in v.samples() {
+                h.record(s);
+            }
+        }
+        for (k, v) in &other.series {
+            let s = self.series.entry(k.clone()).or_default();
+            for &(t, x) in v.points() {
+                s.points.push((t, x));
+            }
+        }
+    }
+}
+
+impl fmt::Display for MetricSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (name, c) in &self.counters {
+            writeln!(f, "counter {name} = {c}")?;
+        }
+        for (name, h) in &self.histograms {
+            writeln!(f, "hist    {name}: {}", h.summary())?;
+        }
+        for (name, s) in &self.series {
+            writeln!(
+                f,
+                "series  {name}: {} pts, twa={:.4}",
+                s.len(),
+                s.time_weighted_mean()
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates() {
+        let mut c = Counter::new();
+        c.incr();
+        c.add(4);
+        assert_eq!(c.value(), 5);
+    }
+
+    #[test]
+    fn histogram_summary() {
+        let mut h = Histogram::new();
+        for i in 1..=10 {
+            h.record(i as f64);
+        }
+        let s = h.summary();
+        assert_eq!(s.n, 10);
+        assert!((s.mean - 5.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn time_weighted_mean_weights_by_duration() {
+        let mut ts = TimeSeries::new();
+        // value 0 for 9 units, value 10 for 1 unit -> twa of first 10 units
+        // uses segments [0,9):0 and [9,10):10 => (0*9 + 10*1)/10 = 1.0
+        ts.push(SimTime::from_ns(0), 0.0);
+        ts.push(SimTime::from_ns(9), 10.0);
+        ts.push(SimTime::from_ns(10), 0.0);
+        assert!((ts.time_weighted_mean() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn metric_set_named_access() {
+        let mut m = MetricSet::new();
+        m.counter("a").incr();
+        m.counter("a").incr();
+        m.histogram("h").record(3.0);
+        m.time_series("s").push(SimTime::ZERO, 1.0);
+        assert_eq!(m.counter_value("a"), 2);
+        assert_eq!(m.counter_value("missing"), 0);
+        assert_eq!(m.histogram_ref("h").unwrap().len(), 1);
+        assert_eq!(m.time_series_ref("s").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn merge_adds_and_concats() {
+        let mut a = MetricSet::new();
+        a.counter("c").add(2);
+        a.histogram("h").record(1.0);
+        let mut b = MetricSet::new();
+        b.counter("c").add(3);
+        b.histogram("h").record(2.0);
+        a.merge(&b);
+        assert_eq!(a.counter_value("c"), 5);
+        assert_eq!(a.histogram_ref("h").unwrap().len(), 2);
+    }
+
+    #[test]
+    fn display_lists_everything() {
+        let mut m = MetricSet::new();
+        m.counter("x").incr();
+        m.histogram("y").record(1.0);
+        let out = m.to_string();
+        assert!(out.contains("counter x = 1"));
+        assert!(out.contains("hist    y"));
+    }
+}

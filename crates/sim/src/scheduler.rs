@@ -1,0 +1,268 @@
+//! Event scheduler: a priority queue keyed by [`SimTime`] with stable FIFO
+//! ordering for simultaneous events.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::SimTime;
+
+struct Entry<E> {
+    at: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest event pops first.
+        // Ties break on insertion order (lower seq first) for determinism.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic discrete-event scheduler.
+///
+/// Events scheduled for the same instant pop in insertion order, which keeps
+/// multi-agent simulations reproducible regardless of heap internals.
+///
+/// # Example
+///
+/// ```
+/// use autosec_sim::{Scheduler, SimTime};
+///
+/// let mut s = Scheduler::new();
+/// s.schedule_at(SimTime::from_ns(10), 'b');
+/// s.schedule_at(SimTime::from_ns(10), 'c');
+/// s.schedule_at(SimTime::from_ns(1), 'a');
+/// let order: Vec<char> = std::iter::from_fn(|| s.pop().map(|(_, e)| e)).collect();
+/// assert_eq!(order, vec!['a', 'b', 'c']);
+/// ```
+pub struct Scheduler<E> {
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+    now: SimTime,
+}
+
+impl<E> Default for Scheduler<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> Scheduler<E> {
+    /// Creates an empty scheduler with the clock at zero.
+    pub fn new() -> Self {
+        Self {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            now: SimTime::ZERO,
+        }
+    }
+
+    /// Current simulation time: the timestamp of the most recently popped
+    /// event (zero before any pop).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Schedules `event` at absolute time `at`.
+    ///
+    /// Scheduling in the past (before [`Scheduler::now`]) is allowed but the
+    /// event fires "now"; this mirrors zero-delay self-messages common in
+    /// network simulation.
+    pub fn schedule_at(&mut self, at: SimTime, event: E) {
+        let at = at.max(self.now);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { at, seq, event });
+    }
+
+    /// Schedules `event` after `delay` from the current time.
+    pub fn schedule_in(&mut self, delay: crate::SimDuration, event: E) {
+        self.schedule_at(self.now + delay, event);
+    }
+
+    /// Pops the earliest pending event and advances the clock to it.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let entry = self.heap.pop()?;
+        debug_assert!(entry.at >= self.now, "scheduler clock went backwards");
+        self.now = entry.at;
+        Some((entry.at, entry.event))
+    }
+
+    /// Timestamp of the earliest pending event without popping it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Drains and discards every pending event, keeping the clock.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+
+    /// Runs the scheduler to completion, calling `handler` for each event.
+    /// The handler may schedule further events.
+    ///
+    /// Stops when the queue is empty or when `handler` returns `false`.
+    pub fn run<F>(&mut self, mut handler: F)
+    where
+        F: FnMut(&mut Self, SimTime, E) -> bool,
+    {
+        while let Some(entry) = self.heap.pop() {
+            debug_assert!(entry.at >= self.now);
+            self.now = entry.at;
+            if !handler(self, entry.at, entry.event) {
+                break;
+            }
+        }
+    }
+
+    /// Runs until the clock would pass `deadline`; events at exactly
+    /// `deadline` are still delivered.
+    pub fn run_until<F>(&mut self, deadline: SimTime, mut handler: F)
+    where
+        F: FnMut(&mut Self, SimTime, E),
+    {
+        while let Some(t) = self.peek_time() {
+            if t > deadline {
+                break;
+            }
+            let (at, ev) = self.pop().expect("peeked event vanished");
+            handler(self, at, ev);
+        }
+        self.now = self.now.max(deadline);
+    }
+}
+
+impl<E> std::fmt::Debug for Scheduler<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Scheduler")
+            .field("now", &self.now)
+            .field("pending", &self.heap.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SimDuration;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut s = Scheduler::new();
+        s.schedule_at(SimTime::from_ns(30), 3);
+        s.schedule_at(SimTime::from_ns(10), 1);
+        s.schedule_at(SimTime::from_ns(20), 2);
+        let got: Vec<i32> = std::iter::from_fn(|| s.pop().map(|(_, e)| e)).collect();
+        assert_eq!(got, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn simultaneous_events_are_fifo() {
+        let mut s = Scheduler::new();
+        for i in 0..100 {
+            s.schedule_at(SimTime::from_ns(5), i);
+        }
+        let got: Vec<i32> = std::iter::from_fn(|| s.pop().map(|(_, e)| e)).collect();
+        assert_eq!(got, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_with_pops() {
+        let mut s = Scheduler::new();
+        s.schedule_at(SimTime::from_us(2), ());
+        assert_eq!(s.now(), SimTime::ZERO);
+        s.pop();
+        assert_eq!(s.now(), SimTime::from_us(2));
+    }
+
+    #[test]
+    fn past_events_clamp_to_now() {
+        let mut s = Scheduler::new();
+        s.schedule_at(SimTime::from_us(10), "first");
+        s.pop();
+        s.schedule_at(SimTime::from_us(1), "late-scheduled");
+        let (t, _) = s.pop().unwrap();
+        assert_eq!(t, SimTime::from_us(10));
+    }
+
+    #[test]
+    fn schedule_in_is_relative() {
+        let mut s = Scheduler::new();
+        s.schedule_at(SimTime::from_us(5), 0u8);
+        s.pop();
+        s.schedule_in(SimDuration::from_us(3), 1u8);
+        let (t, e) = s.pop().unwrap();
+        assert_eq!(e, 1);
+        assert_eq!(t, SimTime::from_us(8));
+    }
+
+    #[test]
+    fn run_handler_can_reschedule() {
+        let mut s = Scheduler::new();
+        s.schedule_at(SimTime::from_ns(1), 0u32);
+        let mut seen = Vec::new();
+        s.run(|s, t, ev| {
+            seen.push(ev);
+            if ev < 4 {
+                s.schedule_at(t + SimDuration::from_ns(1), ev + 1);
+            }
+            true
+        });
+        assert_eq!(seen, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn run_until_respects_deadline() {
+        let mut s = Scheduler::new();
+        for i in 1..=10u64 {
+            s.schedule_at(SimTime::from_ns(i * 10), i);
+        }
+        let mut seen = Vec::new();
+        s.run_until(SimTime::from_ns(50), |_, _, ev| seen.push(ev));
+        assert_eq!(seen, vec![1, 2, 3, 4, 5]);
+        assert_eq!(s.len(), 5);
+    }
+
+    #[test]
+    fn run_stops_on_false() {
+        let mut s = Scheduler::new();
+        for i in 0..10 {
+            s.schedule_at(SimTime::from_ns(i), i);
+        }
+        let mut count = 0;
+        s.run(|_, _, _| {
+            count += 1;
+            count < 3
+        });
+        assert_eq!(count, 3);
+        assert_eq!(s.len(), 7);
+    }
+}

@@ -1,0 +1,200 @@
+//! Lightweight structured tracing for simulation runs.
+//!
+//! Components emit [`TraceEvent`]s into a [`Tracer`]; tests and the
+//! cross-layer assessment in `autosec-core` filter them to verify that a
+//! given attack or defense actually fired.
+
+use std::fmt;
+
+use crate::time::SimTime;
+
+/// Severity of a trace event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum TraceLevel {
+    /// Fine-grained progress.
+    Debug,
+    /// Normal operational event.
+    Info,
+    /// Unusual but handled situation (e.g. replay drop).
+    Warn,
+    /// Security-relevant detection or failure.
+    Alert,
+}
+
+impl fmt::Display for TraceLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            TraceLevel::Debug => "DEBUG",
+            TraceLevel::Info => "INFO",
+            TraceLevel::Warn => "WARN",
+            TraceLevel::Alert => "ALERT",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One recorded event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Simulation time of the event.
+    pub at: SimTime,
+    /// Severity.
+    pub level: TraceLevel,
+    /// Emitting component, e.g. `"ivn.bus0"` or `"phy.receiver"`.
+    pub component: String,
+    /// Human-readable message.
+    pub message: String,
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{} {} {}] {}",
+            self.at, self.level, self.component, self.message
+        )
+    }
+}
+
+/// An append-only event log with a minimum-level filter.
+///
+/// # Example
+///
+/// ```
+/// use autosec_sim::{SimTime, TraceLevel, Tracer};
+/// let mut tr = Tracer::new(TraceLevel::Info);
+/// tr.emit(SimTime::ZERO, TraceLevel::Debug, "bus", "ignored");
+/// tr.emit(SimTime::ZERO, TraceLevel::Alert, "ids", "masquerade detected");
+/// assert_eq!(tr.events().len(), 1);
+/// assert_eq!(tr.alerts().count(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Tracer {
+    min_level: TraceLevel,
+    events: Vec<TraceEvent>,
+}
+
+impl Default for Tracer {
+    fn default() -> Self {
+        Self::new(TraceLevel::Info)
+    }
+}
+
+impl Tracer {
+    /// Creates a tracer that keeps events at `min_level` or above.
+    pub fn new(min_level: TraceLevel) -> Self {
+        Self {
+            min_level,
+            events: Vec::new(),
+        }
+    }
+
+    /// Records an event if it passes the level filter.
+    pub fn emit(
+        &mut self,
+        at: SimTime,
+        level: TraceLevel,
+        component: impl Into<String>,
+        message: impl Into<String>,
+    ) {
+        if level >= self.min_level {
+            self.events.push(TraceEvent {
+                at,
+                level,
+                component: component.into(),
+                message: message.into(),
+            });
+        }
+    }
+
+    /// All kept events, in emission order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Iterator over alert-level events.
+    pub fn alerts(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.events
+            .iter()
+            .filter(|e| e.level == TraceLevel::Alert)
+    }
+
+    /// Events from components whose name starts with `prefix`.
+    pub fn from_component<'a>(
+        &'a self,
+        prefix: &'a str,
+    ) -> impl Iterator<Item = &'a TraceEvent> + 'a {
+        self.events
+            .iter()
+            .filter(move |e| e.component.starts_with(prefix))
+    }
+
+    /// Whether any kept event message contains `needle`.
+    pub fn contains(&self, needle: &str) -> bool {
+        self.events.iter().any(|e| e.message.contains(needle))
+    }
+
+    /// Clears the log, keeping the filter.
+    pub fn clear(&mut self) {
+        self.events.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_ordering() {
+        assert!(TraceLevel::Debug < TraceLevel::Info);
+        assert!(TraceLevel::Info < TraceLevel::Warn);
+        assert!(TraceLevel::Warn < TraceLevel::Alert);
+    }
+
+    #[test]
+    fn filter_drops_below_min() {
+        let mut t = Tracer::new(TraceLevel::Warn);
+        t.emit(SimTime::ZERO, TraceLevel::Info, "a", "x");
+        t.emit(SimTime::ZERO, TraceLevel::Warn, "a", "y");
+        assert_eq!(t.events().len(), 1);
+        assert_eq!(t.events()[0].message, "y");
+    }
+
+    #[test]
+    fn component_prefix_filter() {
+        let mut t = Tracer::new(TraceLevel::Debug);
+        t.emit(SimTime::ZERO, TraceLevel::Info, "ivn.bus0", "m1");
+        t.emit(SimTime::ZERO, TraceLevel::Info, "ivn.bus1", "m2");
+        t.emit(SimTime::ZERO, TraceLevel::Info, "phy.rx", "m3");
+        assert_eq!(t.from_component("ivn.").count(), 2);
+    }
+
+    #[test]
+    fn contains_searches_messages() {
+        let mut t = Tracer::new(TraceLevel::Debug);
+        t.emit(SimTime::ZERO, TraceLevel::Alert, "ids", "masquerade detected");
+        assert!(t.contains("masquerade"));
+        assert!(!t.contains("replay"));
+    }
+
+    #[test]
+    fn display_format() {
+        let e = TraceEvent {
+            at: SimTime::from_ms(1),
+            level: TraceLevel::Alert,
+            component: "ids".into(),
+            message: "boom".into(),
+        };
+        assert_eq!(e.to_string(), "[1ms ALERT ids] boom");
+    }
+
+    #[test]
+    fn clear_keeps_filter() {
+        let mut t = Tracer::new(TraceLevel::Warn);
+        t.emit(SimTime::ZERO, TraceLevel::Alert, "a", "x");
+        t.clear();
+        assert!(t.events().is_empty());
+        t.emit(SimTime::ZERO, TraceLevel::Info, "a", "dropped");
+        assert!(t.events().is_empty());
+    }
+}

@@ -1,0 +1,179 @@
+//! Breach-cascade analysis (§VI-B): Monte-Carlo propagation of a
+//! compromise through the coupling graph.
+//!
+//! Edge traversal succeeds with probability
+//! `strength * min(target.susceptibility(), cap) / cap_norm` — i.e.
+//! third-party, legacy and ownerless targets are easier to pivot into,
+//! exactly the §VI-B vulnerability factors.
+
+use std::collections::VecDeque;
+
+use autosec_sim::SimRng;
+
+use crate::model::{NodeId, SosGraph};
+
+/// Result of a cascade study.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CascadeReport {
+    /// Entry node.
+    pub entry: NodeId,
+    /// Per-node compromise probability (index = NodeId.0).
+    pub compromise_probability: Vec<f64>,
+    /// Expected number of compromised nodes.
+    pub expected_compromised: f64,
+    /// Probability that at least one L3 safety function
+    /// (braking/steering/act) is reached.
+    pub safety_reach_probability: f64,
+}
+
+/// Runs `trials` Monte-Carlo cascades from `entry`.
+///
+/// # Panics
+///
+/// Panics if `entry` is out of range or `trials` is zero.
+pub fn simulate(graph: &SosGraph, entry: NodeId, trials: usize, rng: &mut SimRng) -> CascadeReport {
+    assert!(graph.node(entry).is_some(), "entry node out of range");
+    assert!(trials > 0, "need at least one trial");
+
+    let n = graph.len();
+    let mut hits = vec![0usize; n];
+    let mut safety_hits = 0usize;
+    let safety: Vec<NodeId> = ["braking", "steering", "act"]
+        .iter()
+        .filter_map(|s| graph.find(s))
+        .collect();
+
+    for _ in 0..trials {
+        let mut compromised = vec![false; n];
+        compromised[entry.0] = true;
+        let mut queue = VecDeque::from([entry]);
+        while let Some(cur) = queue.pop_front() {
+            for e in graph.edges().iter().filter(|e| e.from == cur) {
+                if compromised[e.to.0] {
+                    continue;
+                }
+                let target = graph.node(e.to).expect("edge target exists");
+                // Susceptibility in [1, 4.5] rescaled to a multiplier in
+                // (0, 1]: p = strength * susceptibility / 4.5 capped at
+                // strength itself for clean nodes? No — normalize so a
+                // clean node traverses at strength/2 and the worst node
+                // at strength.
+                let p = e.strength * (0.5 + 0.5 * (target.susceptibility() - 1.0) / 3.5);
+                if rng.chance(p.min(1.0)) {
+                    compromised[e.to.0] = true;
+                    queue.push_back(e.to);
+                }
+            }
+        }
+        for (i, &c) in compromised.iter().enumerate() {
+            if c {
+                hits[i] += 1;
+            }
+        }
+        if safety.iter().any(|s| compromised[s.0]) {
+            safety_hits += 1;
+        }
+    }
+
+    let compromise_probability: Vec<f64> =
+        hits.iter().map(|&h| h as f64 / trials as f64).collect();
+    CascadeReport {
+        entry,
+        expected_compromised: compromise_probability.iter().sum(),
+        safety_reach_probability: safety_hits as f64 / trials as f64,
+        compromise_probability,
+    }
+}
+
+/// Uniformly rescales every coupling strength (used by the E10 sweep:
+/// cascade risk versus coupling).
+pub fn with_coupling_scale(graph: &SosGraph, scale: f64) -> SosGraph {
+    let mut out = SosGraph::new();
+    for (_, node) in graph.nodes() {
+        out.add_node(node.clone());
+    }
+    for e in graph.edges() {
+        out.couple(e.from, e.to, (e.strength * scale).clamp(0.0, 1.0));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::maas_reference;
+
+    #[test]
+    fn entry_node_is_always_compromised() {
+        let g = maas_reference();
+        let entry = g.find("maas-platform").unwrap();
+        let mut rng = SimRng::seed(1);
+        let r = simulate(&g, entry, 200, &mut rng);
+        assert_eq!(r.compromise_probability[entry.0], 1.0);
+        assert!(r.expected_compromised >= 1.0);
+    }
+
+    #[test]
+    fn cascade_reaches_safety_functions_from_the_platform() {
+        // The paper's core SoS worry: an entry at the *service* level can
+        // propagate down to braking/steering.
+        let g = maas_reference();
+        let entry = g.find("maas-platform").unwrap();
+        let mut rng = SimRng::seed(2);
+        let r = simulate(&g, entry, 2000, &mut rng);
+        assert!(
+            r.safety_reach_probability > 0.0,
+            "cascades must be able to reach safety functions"
+        );
+        assert!(
+            r.safety_reach_probability < 0.5,
+            "but it takes a multi-hop chain ({})",
+            r.safety_reach_probability
+        );
+    }
+
+    #[test]
+    fn closer_entry_means_higher_safety_risk() {
+        let g = maas_reference();
+        let mut rng = SimRng::seed(3);
+        let far = simulate(&g, g.find("maas-platform").unwrap(), 2000, &mut rng);
+        let near = simulate(&g, g.find("vehicle-os").unwrap(), 2000, &mut rng);
+        assert!(near.safety_reach_probability > far.safety_reach_probability);
+    }
+
+    #[test]
+    fn coupling_scale_monotonically_increases_risk() {
+        let g = maas_reference();
+        let entry = g.find("cloud-backend").unwrap();
+        let mut prev = -1.0;
+        for scale in [0.5, 1.0, 1.5, 2.0] {
+            let scaled = with_coupling_scale(&g, scale);
+            let mut rng = SimRng::seed(4);
+            let r = simulate(&scaled, entry, 1500, &mut rng);
+            assert!(
+                r.expected_compromised >= prev,
+                "scale {scale}: {} < {prev}",
+                r.expected_compromised
+            );
+            prev = r.expected_compromised;
+        }
+    }
+
+    #[test]
+    fn zero_coupling_confines_the_breach() {
+        let g = with_coupling_scale(&maas_reference(), 0.0);
+        let entry = g.find("cloud-backend").unwrap();
+        let mut rng = SimRng::seed(5);
+        let r = simulate(&g, entry, 300, &mut rng);
+        assert_eq!(r.expected_compromised, 1.0);
+        assert_eq!(r.safety_reach_probability, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "entry node out of range")]
+    fn bad_entry_panics() {
+        let g = maas_reference();
+        let mut rng = SimRng::seed(6);
+        let _ = simulate(&g, NodeId(999), 10, &mut rng);
+    }
+}

@@ -1,0 +1,30 @@
+//! # autosec-sos
+//!
+//! System-of-systems layer — §VI of the paper (Fig. 9): SAE L4
+//! autonomous vehicles operated as Mobility-as-a-Service.
+//!
+//! - [`model`] — the multi-level SoS graph: nodes at levels 0–3, typed
+//!   entry points, stakeholder ownership, third-party / legacy flags,
+//!   coupling edges
+//! - [`mod@reference`] — the Fig. 9 reference architecture builder
+//! - [`cascade`] — breach propagation: "a security breach in one
+//!   subsystem can trigger a cascade of risks, potentially compromising
+//!   the entire system of systems"
+//! - [`realtime`] — DoS/spoofing pressure on the real-time data links
+//!   autonomous operation depends on
+//!
+//! ## Example
+//!
+//! ```
+//! use autosec_sos::reference::maas_reference;
+//! use autosec_sos::model::SystemLevel;
+//!
+//! let sos = maas_reference();
+//! assert!(sos.nodes_at(SystemLevel::L3Function).count() >= 6);
+//! assert!(sos.total_entry_points() > 10);
+//! ```
+
+pub mod cascade;
+pub mod model;
+pub mod realtime;
+pub mod reference;

@@ -1,0 +1,284 @@
+//! The system-of-systems graph model.
+
+use std::collections::HashMap;
+
+/// Fig. 9's system levels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum SystemLevel {
+    /// Level 0: the MaaS platform viewed as one entity.
+    L0Platform,
+    /// Level 1: autonomous vehicle, backend, hub, MaaS platform.
+    L1System,
+    /// Level 2: vehicle OS, self-driving stack, passenger OS.
+    L2Subsystem,
+    /// Level 3: act/sense/plan and body functions.
+    L3Function,
+}
+
+/// Kinds of externally reachable entry points (§VI-B: "multiple physical
+/// and digital entry points, including sensor interfaces, in-vehicle
+/// functions, and telematics connections").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EntryPointKind {
+    /// Environmental sensor (camera, LiDAR, radar).
+    Sensor,
+    /// Cellular/telematics connectivity.
+    Telematics,
+    /// Physical access (diagnostic port, hub maintenance).
+    Physical,
+    /// V2X radio.
+    V2x,
+    /// Public API (booking, fleet management).
+    Api,
+    /// Human interface (passenger tablet, app).
+    Hmi,
+}
+
+impl EntryPointKind {
+    /// Relative exposure weight.
+    pub fn weight(self) -> f64 {
+        match self {
+            EntryPointKind::Telematics | EntryPointKind::Api => 10.0,
+            EntryPointKind::V2x => 6.0,
+            EntryPointKind::Sensor => 5.0,
+            EntryPointKind::Hmi => 4.0,
+            EntryPointKind::Physical => 2.0,
+        }
+    }
+}
+
+/// Node identifier within a graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub usize);
+
+/// One system/subsystem/function in the SoS.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SosNode {
+    /// Name, e.g. `"self-driving-stack"`.
+    pub name: String,
+    /// Level in Fig. 9.
+    pub level: SystemLevel,
+    /// Responsible stakeholder, if clearly assigned (§VI-B's
+    /// "ambiguous roles and responsibilities" = `None`).
+    pub stakeholder: Option<String>,
+    /// Externally reachable entry points on this node.
+    pub entry_points: Vec<EntryPointKind>,
+    /// Third-party component (§VI-B: inherent known/unknown vulns).
+    pub third_party: bool,
+    /// Legacy component lacking modern security features.
+    pub legacy: bool,
+}
+
+impl SosNode {
+    /// Base compromise susceptibility multiplier from provenance.
+    pub fn susceptibility(&self) -> f64 {
+        let mut s = 1.0;
+        if self.third_party {
+            s *= 1.5;
+        }
+        if self.legacy {
+            s *= 2.0;
+        }
+        if self.stakeholder.is_none() {
+            // Nobody owns patching/monitoring for this node.
+            s *= 1.5;
+        }
+        s
+    }
+}
+
+/// A directed coupling edge: compromise of `from` pressures `to`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Coupling {
+    /// Source node.
+    pub from: NodeId,
+    /// Target node.
+    pub to: NodeId,
+    /// Base traversal probability (0..1) for a capable attacker.
+    pub strength: f64,
+}
+
+/// The SoS graph.
+#[derive(Debug, Clone, Default)]
+pub struct SosGraph {
+    nodes: Vec<SosNode>,
+    edges: Vec<Coupling>,
+}
+
+impl SosGraph {
+    /// Empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a node, returning its id.
+    pub fn add_node(&mut self, node: SosNode) -> NodeId {
+        self.nodes.push(node);
+        NodeId(self.nodes.len() - 1)
+    }
+
+    /// Adds a coupling edge.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range node ids or a strength outside `[0, 1]`.
+    pub fn couple(&mut self, from: NodeId, to: NodeId, strength: f64) {
+        assert!(from.0 < self.nodes.len() && to.0 < self.nodes.len(), "bad node id");
+        assert!((0.0..=1.0).contains(&strength), "strength out of range");
+        self.edges.push(Coupling { from, to, strength });
+    }
+
+    /// Node lookup.
+    pub fn node(&self, id: NodeId) -> Option<&SosNode> {
+        self.nodes.get(id.0)
+    }
+
+    /// Finds a node id by name.
+    pub fn find(&self, name: &str) -> Option<NodeId> {
+        self.nodes.iter().position(|n| n.name == name).map(NodeId)
+    }
+
+    /// All nodes with ids.
+    pub fn nodes(&self) -> impl Iterator<Item = (NodeId, &SosNode)> {
+        self.nodes.iter().enumerate().map(|(i, n)| (NodeId(i), n))
+    }
+
+    /// All edges.
+    pub fn edges(&self) -> &[Coupling] {
+        &self.edges
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the graph is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Nodes at a given level.
+    pub fn nodes_at(&self, level: SystemLevel) -> impl Iterator<Item = (NodeId, &SosNode)> {
+        self.nodes()
+            .filter(move |(_, n)| n.level == level)
+    }
+
+    /// Total entry points across the SoS.
+    pub fn total_entry_points(&self) -> usize {
+        self.nodes.iter().map(|n| n.entry_points.len()).sum()
+    }
+
+    /// Aggregate attack-surface score (entry-point weights, scaled by
+    /// node susceptibility).
+    pub fn surface_score(&self) -> f64 {
+        self.nodes
+            .iter()
+            .map(|n| {
+                n.susceptibility()
+                    * n.entry_points.iter().map(|e| e.weight()).sum::<f64>()
+            })
+            .sum()
+    }
+
+    /// Fraction of nodes with a clearly assigned stakeholder — the
+    /// responsibility-coverage metric of §VI-B.
+    pub fn responsibility_coverage(&self) -> f64 {
+        if self.nodes.is_empty() {
+            return 1.0;
+        }
+        self.nodes.iter().filter(|n| n.stakeholder.is_some()).count() as f64
+            / self.nodes.len() as f64
+    }
+
+    /// Distinct stakeholders involved.
+    pub fn stakeholders(&self) -> Vec<String> {
+        let mut set: HashMap<&str, ()> = HashMap::new();
+        for n in &self.nodes {
+            if let Some(s) = &n.stakeholder {
+                set.insert(s, ());
+            }
+        }
+        let mut v: Vec<String> = set.keys().map(|s| (*s).to_owned()).collect();
+        v.sort();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn node(name: &str, level: SystemLevel) -> SosNode {
+        SosNode {
+            name: name.into(),
+            level,
+            stakeholder: Some("oem".into()),
+            entry_points: vec![EntryPointKind::Telematics],
+            third_party: false,
+            legacy: false,
+        }
+    }
+
+    #[test]
+    fn build_and_query() {
+        let mut g = SosGraph::new();
+        let a = g.add_node(node("vehicle", SystemLevel::L1System));
+        let b = g.add_node(node("backend", SystemLevel::L1System));
+        g.couple(a, b, 0.5);
+        assert_eq!(g.len(), 2);
+        assert_eq!(g.find("backend"), Some(b));
+        assert_eq!(g.edges().len(), 1);
+        assert_eq!(g.nodes_at(SystemLevel::L1System).count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "strength out of range")]
+    fn bad_strength_rejected() {
+        let mut g = SosGraph::new();
+        let a = g.add_node(node("a", SystemLevel::L0Platform));
+        g.couple(a, a, 1.5);
+    }
+
+    #[test]
+    fn susceptibility_multipliers() {
+        let clean = node("a", SystemLevel::L2Subsystem);
+        assert_eq!(clean.susceptibility(), 1.0);
+        let mut third = clean.clone();
+        third.third_party = true;
+        assert_eq!(third.susceptibility(), 1.5);
+        let mut worst = third.clone();
+        worst.legacy = true;
+        worst.stakeholder = None;
+        assert_eq!(worst.susceptibility(), 4.5);
+    }
+
+    #[test]
+    fn coverage_metric() {
+        let mut g = SosGraph::new();
+        g.add_node(node("a", SystemLevel::L1System));
+        let mut orphan = node("b", SystemLevel::L1System);
+        orphan.stakeholder = None;
+        g.add_node(orphan);
+        assert_eq!(g.responsibility_coverage(), 0.5);
+    }
+
+    #[test]
+    fn surface_score_weights_susceptibility() {
+        let mut g1 = SosGraph::new();
+        g1.add_node(node("a", SystemLevel::L1System));
+        let mut g2 = SosGraph::new();
+        let mut n = node("a", SystemLevel::L1System);
+        n.legacy = true;
+        g2.add_node(n);
+        assert!(g2.surface_score() > g1.surface_score());
+    }
+
+    #[test]
+    fn stakeholder_list_deduplicates() {
+        let mut g = SosGraph::new();
+        g.add_node(node("a", SystemLevel::L1System));
+        g.add_node(node("b", SystemLevel::L1System));
+        assert_eq!(g.stakeholders(), vec!["oem".to_owned()]);
+    }
+}

@@ -1,0 +1,180 @@
+//! The Fig. 9 reference architecture: "SAE L4 Autonomous Vehicles MaaS
+//! System of Systems".
+
+use crate::model::{EntryPointKind, SosGraph, SosNode, SystemLevel};
+
+fn n(
+    name: &str,
+    level: SystemLevel,
+    stakeholder: Option<&str>,
+    entry_points: &[EntryPointKind],
+    third_party: bool,
+    legacy: bool,
+) -> SosNode {
+    SosNode {
+        name: name.into(),
+        level,
+        stakeholder: stakeholder.map(str::to_owned),
+        entry_points: entry_points.to_vec(),
+        third_party,
+        legacy,
+    }
+}
+
+/// Builds the Fig. 9 architecture with its coupling edges.
+///
+/// Level 0: the MaaS platform as a whole. Level 1: autonomous vehicle,
+/// cloud & backend, hub infrastructure, MaaS platform. Level 2 (inside
+/// the vehicle): vehicle OS, self-driving stack, passenger OS. Level 3:
+/// act / sense / plan plus body functions. The retrofit pattern the
+/// paper mentions (Waymo + Chrysler) shows up as the legacy vehicle OS
+/// with third-party self-driving stack.
+pub fn maas_reference() -> SosGraph {
+    use EntryPointKind::*;
+    use SystemLevel::*;
+
+    let mut g = SosGraph::new();
+
+    let platform = g.add_node(n("maas-sos", L0Platform, None, &[], false, false));
+
+    let vehicle = g.add_node(n(
+        "autonomous-vehicle",
+        L1System,
+        Some("vehicle-operator"),
+        &[Physical, V2x],
+        false,
+        false,
+    ));
+    let backend = g.add_node(n(
+        "cloud-backend",
+        L1System,
+        Some("backend-operator"),
+        &[Api, Telematics],
+        false,
+        false,
+    ));
+    let hub = g.add_node(n(
+        "hub-infrastructure",
+        L1System,
+        Some("hub-operator"),
+        &[Physical, Api],
+        false,
+        true, // depots run legacy IT
+    ));
+    let maas = g.add_node(n(
+        "maas-platform",
+        L1System,
+        Some("maas-operator"),
+        &[Api, Hmi],
+        true, // white-label platform software
+        false,
+    ));
+
+    let vehicle_os = g.add_node(n(
+        "vehicle-os",
+        L2Subsystem,
+        Some("oem"),
+        &[Physical],
+        false,
+        true, // retrofitted legacy vehicle platform
+    ));
+    let sds = g.add_node(n(
+        "self-driving-stack",
+        L2Subsystem,
+        Some("ad-developer"),
+        &[Sensor, Sensor, Sensor], // camera, lidar, radar
+        true,
+        false,
+    ));
+    let passenger_os = g.add_node(n(
+        "passenger-os",
+        L2Subsystem,
+        None, // the paper's responsibility gap: operator or developer?
+        &[Hmi, Telematics],
+        true,
+        false,
+    ));
+
+    let act = g.add_node(n("act", L3Function, Some("oem"), &[], false, true));
+    let sense = g.add_node(n("sense", L3Function, Some("ad-developer"), &[Sensor], true, false));
+    let plan = g.add_node(n("plan", L3Function, Some("ad-developer"), &[], true, false));
+    let braking = g.add_node(n("braking", L3Function, Some("oem"), &[], false, true));
+    let steering = g.add_node(n("steering", L3Function, Some("oem"), &[], false, true));
+    let comfort = g.add_node(n("climate-seating", L3Function, Some("oem"), &[], false, true));
+
+    // Level-1 backbone couplings (telematics / API paths).
+    g.couple(maas, backend, 0.5);
+    g.couple(backend, vehicle, 0.45);
+    g.couple(hub, vehicle, 0.3);
+    g.couple(platform, maas, 0.2);
+    g.couple(maas, platform, 0.2);
+
+    // Vehicle internal structure: shared compute and gateways (§VI-B:
+    // "built on shared onboard computing hardware").
+    g.couple(vehicle, passenger_os, 0.5);
+    g.couple(vehicle, vehicle_os, 0.4);
+    g.couple(vehicle, sds, 0.4);
+    g.couple(passenger_os, vehicle_os, 0.35);
+    g.couple(passenger_os, sds, 0.25);
+    g.couple(sds, vehicle_os, 0.45);
+
+    // Level 2 -> 3.
+    g.couple(vehicle_os, act, 0.6);
+    g.couple(vehicle_os, braking, 0.55);
+    g.couple(vehicle_os, steering, 0.55);
+    g.couple(vehicle_os, comfort, 0.5);
+    g.couple(sds, sense, 0.6);
+    g.couple(sds, plan, 0.6);
+    g.couple(plan, act, 0.5);
+
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_has_four_levels() {
+        let g = maas_reference();
+        assert_eq!(g.nodes_at(SystemLevel::L0Platform).count(), 1);
+        assert_eq!(g.nodes_at(SystemLevel::L1System).count(), 4);
+        assert_eq!(g.nodes_at(SystemLevel::L2Subsystem).count(), 3);
+        assert_eq!(g.nodes_at(SystemLevel::L3Function).count(), 6);
+    }
+
+    #[test]
+    fn has_the_papers_responsibility_gap() {
+        let g = maas_reference();
+        let cov = g.responsibility_coverage();
+        assert!(cov < 1.0, "the passenger OS is unowned");
+        assert!(cov > 0.7);
+    }
+
+    #[test]
+    fn multiple_stakeholders() {
+        let g = maas_reference();
+        // §VI: hub operators, MaaS platform operators, backend operators,
+        // vehicle manufacturers, AD developer, operator...
+        assert!(g.stakeholders().len() >= 5, "{:?}", g.stakeholders());
+    }
+
+    #[test]
+    fn safety_functions_have_no_direct_entry_points() {
+        let g = maas_reference();
+        for name in ["braking", "steering", "act"] {
+            let id = g.find(name).unwrap();
+            assert!(
+                g.node(id).unwrap().entry_points.is_empty(),
+                "{name} is only reachable through cascades"
+            );
+        }
+    }
+
+    #[test]
+    fn surface_is_dominated_by_connected_systems() {
+        let g = maas_reference();
+        assert!(g.surface_score() > 50.0);
+        assert!(g.total_entry_points() > 10);
+    }
+}

@@ -1,0 +1,309 @@
+//! Verifiable credentials with linked-document support (§IV-B).
+
+use autosec_crypto::{MssPublicKey, MssSignature, Sha256};
+use serde_json::Value;
+
+use crate::did::Did;
+use crate::registry::Registry;
+use crate::wallet::Wallet;
+use crate::SsiError;
+
+/// A signed statement by `issuer` about `subject`.
+///
+/// Credentials may **link** to other credentials by id — the paper's
+/// "signed documents need to be linked, e.g., to describe a complex
+/// scenario with different hardware and software components".
+#[derive(Debug, Clone)]
+pub struct VerifiableCredential {
+    /// Content-derived identifier (hash of the canonical bytes).
+    pub id: String,
+    /// Issuer DID.
+    pub issuer: Did,
+    /// Subject DID.
+    pub subject: Did,
+    /// Arbitrary JSON claims.
+    pub claims: Value,
+    /// Ids of linked credentials.
+    pub links: Vec<String>,
+    /// Issuance time (logical clock).
+    pub issued_at: u64,
+    /// Optional expiry (logical clock).
+    pub expires_at: Option<u64>,
+    /// Version of the issuer's DID document whose key signed this.
+    pub issuer_key_version: u32,
+    signature: MssSignature,
+}
+
+impl VerifiableCredential {
+    /// Issues and signs a credential (called via [`Wallet::issue`]).
+    ///
+    /// # Errors
+    ///
+    /// [`SsiError::KeyExhausted`] if the wallet's key is spent.
+    pub(crate) fn issue(
+        issuer: &mut Wallet,
+        subject: Did,
+        claims: Value,
+        links: Vec<String>,
+        issued_at: u64,
+        expires_at: Option<u64>,
+    ) -> Result<Self, SsiError> {
+        let issuer_key_version = issuer.doc_version();
+        let body = Self::canonical_body(
+            issuer.did(),
+            &subject,
+            &claims,
+            &links,
+            issued_at,
+            expires_at,
+            issuer_key_version,
+        );
+        let signature = issuer.sign(&body)?;
+        let id = autosec_crypto::util::to_hex(&Sha256::digest(&body)[..16]);
+        Ok(Self {
+            id,
+            issuer: issuer.did().clone(),
+            subject,
+            claims,
+            links,
+            issued_at,
+            expires_at,
+            issuer_key_version,
+            signature,
+        })
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn canonical_body(
+        issuer: &Did,
+        subject: &Did,
+        claims: &Value,
+        links: &[String],
+        issued_at: u64,
+        expires_at: Option<u64>,
+        key_version: u32,
+    ) -> Vec<u8> {
+        let mut b = Vec::new();
+        b.extend_from_slice(b"vc|");
+        b.extend_from_slice(issuer.as_str().as_bytes());
+        b.push(b'|');
+        b.extend_from_slice(subject.as_str().as_bytes());
+        b.push(b'|');
+        // serde_json's default map is a BTreeMap, so this is canonical.
+        b.extend_from_slice(
+            serde_json::to_string(claims)
+                .expect("claims serialize")
+                .as_bytes(),
+        );
+        for l in links {
+            b.push(b'|');
+            b.extend_from_slice(l.as_bytes());
+        }
+        b.extend_from_slice(&issued_at.to_be_bytes());
+        b.extend_from_slice(&expires_at.unwrap_or(u64::MAX).to_be_bytes());
+        b.extend_from_slice(&key_version.to_be_bytes());
+        b
+    }
+
+    /// The canonical signed bytes of this credential.
+    pub fn signed_bytes(&self) -> Vec<u8> {
+        Self::canonical_body(
+            &self.issuer,
+            &self.subject,
+            &self.claims,
+            &self.links,
+            self.issued_at,
+            self.expires_at,
+            self.issuer_key_version,
+        )
+    }
+
+    /// Verifies the signature against the issuer's key **as of the
+    /// version that signed it**, resolved from the registry history.
+    ///
+    /// # Errors
+    ///
+    /// [`SsiError::UnknownDid`] if the issuer is not registered;
+    /// [`SsiError::BadSignature`] on any mismatch.
+    pub fn verify(&self, registry: &Registry) -> Result<(), SsiError> {
+        let history = registry.history(&self.issuer);
+        if history.is_empty() {
+            return Err(SsiError::UnknownDid(self.issuer.as_str().to_owned()));
+        }
+        let doc = history
+            .iter()
+            .find(|d| d.version == self.issuer_key_version)
+            .ok_or(SsiError::BadSignature)?;
+        let pk = MssPublicKey::from_bytes(doc.public_key);
+        if pk.verify(&self.signed_bytes(), &self.signature) {
+            // Recompute the content id to catch id spoofing.
+            let expect = autosec_crypto::util::to_hex(&Sha256::digest(&self.signed_bytes())[..16]);
+            if expect == self.id {
+                return Ok(());
+            }
+        }
+        Err(SsiError::BadSignature)
+    }
+
+    /// Validity check at logical time `now`.
+    ///
+    /// # Errors
+    ///
+    /// [`SsiError::Expired`] outside the validity window.
+    pub fn check_validity(&self, now: u64) -> Result<(), SsiError> {
+        if now < self.issued_at {
+            return Err(SsiError::Expired);
+        }
+        if let Some(exp) = self.expires_at {
+            if now >= exp {
+                return Err(SsiError::Expired);
+            }
+        }
+        Ok(())
+    }
+
+    /// Verifies this credential *and* every linked credential in
+    /// `linked`, ensuring all links resolve (the complex-scenario
+    /// document graph of §IV-B).
+    ///
+    /// # Errors
+    ///
+    /// Propagates verification failures; [`SsiError::UnknownDid`] if a
+    /// link cannot be resolved in `linked`.
+    pub fn verify_with_links(
+        &self,
+        registry: &Registry,
+        linked: &[VerifiableCredential],
+    ) -> Result<(), SsiError> {
+        self.verify(registry)?;
+        for link in &self.links {
+            let target = linked
+                .iter()
+                .find(|c| &c.id == link)
+                .ok_or_else(|| SsiError::UnknownDid(format!("linked credential {link}")))?;
+            target.verify(registry)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autosec_sim::SimRng;
+
+    fn setup() -> (Registry, Wallet, Wallet, SimRng) {
+        let reg = Registry::new();
+        let mut rng = SimRng::seed(42);
+        let issuer = Wallet::create(&mut rng, "oem", &reg);
+        let subject = Wallet::create(&mut rng, "ecu", &reg);
+        (reg, issuer, subject, rng)
+    }
+
+    #[test]
+    fn issue_and_verify() {
+        let (reg, mut issuer, subject, _) = setup();
+        let cred = issuer
+            .issue(subject.did().clone(), serde_json::json!({"fw": "1.2.3"}), None)
+            .unwrap();
+        assert!(cred.verify(&reg).is_ok());
+    }
+
+    #[test]
+    fn claim_tamper_detected() {
+        let (reg, mut issuer, subject, _) = setup();
+        let mut cred = issuer
+            .issue(subject.did().clone(), serde_json::json!({"fw": "1.2.3"}), None)
+            .unwrap();
+        cred.claims = serde_json::json!({"fw": "6.6.6"});
+        assert_eq!(cred.verify(&reg).unwrap_err(), SsiError::BadSignature);
+    }
+
+    #[test]
+    fn subject_tamper_detected() {
+        let (reg, mut issuer, subject, mut rng) = setup();
+        let other = Wallet::create(&mut rng, "other-ecu", &reg);
+        let mut cred = issuer
+            .issue(subject.did().clone(), serde_json::json!({"ok": true}), None)
+            .unwrap();
+        cred.subject = other.did().clone();
+        assert_eq!(cred.verify(&reg).unwrap_err(), SsiError::BadSignature);
+    }
+
+    #[test]
+    fn unknown_issuer_fails() {
+        let (_, mut issuer, subject, _) = setup();
+        let cred = issuer
+            .issue(subject.did().clone(), serde_json::json!({}), None)
+            .unwrap();
+        let empty = Registry::new();
+        assert!(matches!(
+            cred.verify(&empty).unwrap_err(),
+            SsiError::UnknownDid(_)
+        ));
+    }
+
+    #[test]
+    fn validity_window_enforced() {
+        let (_, mut issuer, subject, _) = setup();
+        let cred = issuer
+            .issue_with_validity(
+                subject.did().clone(),
+                serde_json::json!({}),
+                None,
+                100,
+                Some(200),
+            )
+            .unwrap();
+        assert_eq!(cred.check_validity(50).unwrap_err(), SsiError::Expired);
+        assert!(cred.check_validity(150).is_ok());
+        assert_eq!(cred.check_validity(200).unwrap_err(), SsiError::Expired);
+    }
+
+    #[test]
+    fn credentials_survive_key_rotation() {
+        let (reg, mut issuer, subject, mut rng) = setup();
+        let old_cred = issuer
+            .issue(subject.did().clone(), serde_json::json!({"epoch": 1}), None)
+            .unwrap();
+        issuer.rotate_key(&mut rng, &reg).unwrap();
+        let new_cred = issuer
+            .issue(subject.did().clone(), serde_json::json!({"epoch": 2}), None)
+            .unwrap();
+        // Both verify: each against its own key version.
+        assert!(old_cred.verify(&reg).is_ok());
+        assert!(new_cred.verify(&reg).is_ok());
+        assert_ne!(old_cred.issuer_key_version, new_cred.issuer_key_version);
+    }
+
+    #[test]
+    fn linked_documents_verify_as_a_graph() {
+        let (reg, mut issuer, subject, _) = setup();
+        let hw = issuer
+            .issue(subject.did().clone(), serde_json::json!({"hw": "rev-b"}), None)
+            .unwrap();
+        let sw = issuer
+            .issue(
+                subject.did().clone(),
+                serde_json::json!({"sw": "3.1"}),
+                Some(vec![hw.id.clone()]),
+            )
+            .unwrap();
+        assert!(sw.verify_with_links(&reg, std::slice::from_ref(&hw)).is_ok());
+        // Missing link.
+        assert!(matches!(
+            sw.verify_with_links(&reg, &[]).unwrap_err(),
+            SsiError::UnknownDid(_)
+        ));
+    }
+
+    #[test]
+    fn id_is_content_derived() {
+        let (reg, mut issuer, subject, _) = setup();
+        let mut cred = issuer
+            .issue(subject.did().clone(), serde_json::json!({"a": 1}), None)
+            .unwrap();
+        cred.id = "0000".into();
+        assert_eq!(cred.verify(&reg).unwrap_err(), SsiError::BadSignature);
+    }
+}

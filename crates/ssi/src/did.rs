@@ -1,0 +1,149 @@
+//! Decentralized identifiers and DID documents (paper ref \[30\]).
+
+use autosec_crypto::Sha256;
+use serde::{Deserialize, Serialize};
+
+/// A decentralized identifier, e.g. `did:vreg:3f9a…`.
+///
+/// The method is fixed to `vreg` (our in-memory verifiable registry,
+/// standing in for `did:web`).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Did(String);
+
+impl Did {
+    /// Derives a DID from a public key digest (self-certifying).
+    pub fn from_public_key(pk_root: &[u8; 32]) -> Self {
+        let digest = Sha256::digest(pk_root);
+        Did(format!(
+            "did:vreg:{}",
+            autosec_crypto::util::to_hex(&digest[..16])
+        ))
+    }
+
+    /// Parses an existing DID string.
+    ///
+    /// Returns `None` unless the string has the `did:vreg:` prefix.
+    pub fn parse(s: &str) -> Option<Self> {
+        s.starts_with("did:vreg:").then(|| Did(s.to_owned()))
+    }
+
+    /// The full DID string.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl std::fmt::Display for Did {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// A DID document: the public material resolvable for a DID.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DidDocument {
+    /// The DID this document describes.
+    pub id: Did,
+    /// Human-readable subject name (e.g. `"brake-ecu"`, `"oem"`).
+    pub name: String,
+    /// Verification key: the MSS public root.
+    pub public_key: [u8; 32],
+    /// Document version (bumped on key rotation).
+    pub version: u32,
+    /// Optional service endpoint (e.g. a revocation list URL analogue).
+    pub service: Option<String>,
+}
+
+impl DidDocument {
+    /// Canonical bytes for signing/verification binding.
+    pub fn canonical_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(b"diddoc|");
+        out.extend_from_slice(self.id.as_str().as_bytes());
+        out.push(b'|');
+        out.extend_from_slice(self.name.as_bytes());
+        out.push(b'|');
+        out.extend_from_slice(&self.public_key);
+        out.extend_from_slice(&self.version.to_be_bytes());
+        if let Some(s) = &self.service {
+            out.extend_from_slice(s.as_bytes());
+        }
+        out
+    }
+
+    /// Whether the DID is actually derived from this document's key
+    /// (self-certification check).
+    pub fn is_self_certifying(&self) -> bool {
+        Did::from_public_key(&self.public_key) == self.id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn did_is_deterministic_per_key() {
+        let a = Did::from_public_key(&[1u8; 32]);
+        let b = Did::from_public_key(&[1u8; 32]);
+        let c = Did::from_public_key(&[2u8; 32]);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert!(a.as_str().starts_with("did:vreg:"));
+    }
+
+    #[test]
+    fn parse_checks_method() {
+        assert!(Did::parse("did:vreg:abcd").is_some());
+        assert!(Did::parse("did:web:example.com").is_none());
+        assert!(Did::parse("not a did").is_none());
+    }
+
+    #[test]
+    fn self_certification() {
+        let pk = [7u8; 32];
+        let doc = DidDocument {
+            id: Did::from_public_key(&pk),
+            name: "x".into(),
+            public_key: pk,
+            version: 1,
+            service: None,
+        };
+        assert!(doc.is_self_certifying());
+        let forged = DidDocument {
+            public_key: [8u8; 32],
+            ..doc
+        };
+        assert!(!forged.is_self_certifying());
+    }
+
+    #[test]
+    fn canonical_bytes_distinguish_fields() {
+        let base = DidDocument {
+            id: Did::from_public_key(&[1u8; 32]),
+            name: "a".into(),
+            public_key: [1u8; 32],
+            version: 1,
+            service: None,
+        };
+        let v2 = DidDocument {
+            version: 2,
+            ..base.clone()
+        };
+        assert_ne!(base.canonical_bytes(), v2.canonical_bytes());
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let doc = DidDocument {
+            id: Did::from_public_key(&[3u8; 32]),
+            name: "ecu".into(),
+            public_key: [3u8; 32],
+            version: 1,
+            service: Some("revocations".into()),
+        };
+        let json = serde_json::to_string(&doc).unwrap();
+        let back: DidDocument = serde_json::from_str(&json).unwrap();
+        assert_eq!(doc, back);
+    }
+}

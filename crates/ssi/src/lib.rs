@@ -1,0 +1,100 @@
+//! # autosec-ssi
+//!
+//! Self-sovereign identity substrate — §IV of the paper.
+//!
+//! The paper argues SSI is the right trust infrastructure for
+//! software-defined vehicles because hardware, software, and cloud
+//! components "often originate from different companies that may want to
+//! check the authenticity of a piece of software by themselves" — i.e.
+//! **multiple trust anchors** over a shared, immutable registry, instead
+//! of one central PKI.
+//!
+//! This crate implements that infrastructure:
+//!
+//! - [`did`] — decentralized identifiers and DID documents
+//! - [`registry`] — the verifiable data registry ("immutable, publicly
+//!   available storage"): append-only versioned DID documents plus trust
+//!   anchor lists (did:web-like resolution without the HTTP)
+//! - [`wallet`] — key management: a stateful hash-based signature key
+//!   (see `DESIGN.md` for the substitution rationale) bound to a DID
+//! - [`credential`] — verifiable credentials with linked-document
+//!   references (§IV-B's "signed documents need to be linked")
+//! - [`presentation`] — holder-bound verifiable presentations with
+//!   challenge freshness
+//! - [`revocation`] — signed revocation lists
+//! - [`offline`] — §IV-C's offline scenario: self-contained verification
+//!   bundles that validate with zero registry access
+//!
+//! ## Example
+//!
+//! ```
+//! use autosec_ssi::prelude::*;
+//! use autosec_sim::SimRng;
+//!
+//! let mut rng = SimRng::seed(7);
+//! let registry = Registry::new();
+//! let mut oem = Wallet::create(&mut rng, "oem", &registry);
+//! registry.add_trust_anchor(oem.did().clone(), "OEM root");
+//! let mut ecu = Wallet::create(&mut rng, "brake-ecu", &registry);
+//!
+//! let cred = oem
+//!     .issue(ecu.did().clone(), serde_json::json!({"role": "brake-controller"}), None)
+//!     .unwrap();
+//! assert!(cred.verify(&registry).is_ok());
+//! assert!(registry.trust_path_ok(&cred));
+//! ```
+
+pub mod credential;
+pub mod did;
+pub mod offline;
+pub mod presentation;
+pub mod registry;
+pub mod revocation;
+pub mod wallet;
+
+/// Convenient glob import.
+pub mod prelude {
+    pub use crate::credential::VerifiableCredential;
+    pub use crate::did::{Did, DidDocument};
+    pub use crate::offline::OfflineBundle;
+    pub use crate::presentation::VerifiablePresentation;
+    pub use crate::registry::Registry;
+    pub use crate::revocation::RevocationList;
+    pub use crate::wallet::Wallet;
+    pub use crate::SsiError;
+}
+
+/// Errors of the SSI layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SsiError {
+    /// DID not present in the registry.
+    UnknownDid(String),
+    /// Signature did not verify.
+    BadSignature,
+    /// Credential expired (or not yet valid).
+    Expired,
+    /// Credential is on the issuer's revocation list.
+    Revoked,
+    /// No trust path from an accepted anchor to the issuer.
+    Untrusted,
+    /// Presentation challenge mismatch (replay defense).
+    ChallengeMismatch,
+    /// The signing key has no one-time leaves left.
+    KeyExhausted,
+}
+
+impl std::fmt::Display for SsiError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SsiError::UnknownDid(d) => write!(f, "unknown DID: {d}"),
+            SsiError::BadSignature => write!(f, "signature verification failed"),
+            SsiError::Expired => write!(f, "credential outside validity period"),
+            SsiError::Revoked => write!(f, "credential revoked"),
+            SsiError::Untrusted => write!(f, "no trust path to an accepted anchor"),
+            SsiError::ChallengeMismatch => write!(f, "presentation challenge mismatch"),
+            SsiError::KeyExhausted => write!(f, "signing key exhausted"),
+        }
+    }
+}
+
+impl std::error::Error for SsiError {}

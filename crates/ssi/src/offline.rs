@@ -1,0 +1,207 @@
+//! Offline verification bundles (§IV-C, paper ref \[34\]).
+//!
+//! *"Another advantage of SSI solutions is the support for offline
+//! scenarios when the Internet is unavailable or disturbed."* A holder
+//! carries everything a verifier needs: the presentation, the issuer and
+//! holder DID-document histories, a revocation-list snapshot, and the
+//! anchor set. Verification then runs against a **local** registry
+//! reconstruction with zero network access.
+
+use crate::did::{Did, DidDocument};
+use crate::presentation::VerifiablePresentation;
+use crate::registry::Registry;
+use crate::revocation::RevocationList;
+use crate::SsiError;
+
+/// A self-contained verification bundle.
+#[derive(Debug)]
+pub struct OfflineBundle {
+    /// The presentation being carried.
+    pub presentation: VerifiablePresentation,
+    /// DID-document histories for every DID the verification touches
+    /// (holder, issuers), in registry order.
+    pub documents: Vec<DidDocument>,
+    /// Trust anchors the holder claims; the verifier intersects these
+    /// with its own pinned set.
+    pub anchors: Vec<(Did, String)>,
+    /// Revocation snapshots per issuer.
+    pub revocations: Vec<RevocationList>,
+}
+
+impl OfflineBundle {
+    /// Assembles a bundle from the online registry.
+    pub fn assemble(
+        registry: &Registry,
+        presentation: VerifiablePresentation,
+        revocations: Vec<RevocationList>,
+    ) -> Self {
+        let mut documents = Vec::new();
+        let mut dids: Vec<Did> = vec![presentation.holder.clone()];
+        for c in &presentation.credentials {
+            if !dids.contains(&c.issuer) {
+                dids.push(c.issuer.clone());
+            }
+        }
+        for did in &dids {
+            documents.extend(registry.history(did));
+        }
+        Self {
+            presentation,
+            documents,
+            anchors: registry.trust_anchors(),
+            revocations,
+        }
+    }
+
+    /// Verifies the bundle **offline**, against `pinned_anchors` — the
+    /// anchor DIDs the verifier trusts a priori (e.g. burned into the
+    /// charging station at manufacture).
+    ///
+    /// # Errors
+    ///
+    /// [`SsiError::Untrusted`] if none of the bundle's anchors is
+    /// pinned; otherwise the first verification failure.
+    pub fn verify_offline(
+        &self,
+        pinned_anchors: &[Did],
+        expected_challenge: &[u8],
+        now: u64,
+    ) -> Result<(), SsiError> {
+        // Rebuild a local registry from the carried documents.
+        let local = Registry::new();
+        let mut seen: Vec<Did> = Vec::new();
+        for doc in &self.documents {
+            if seen.contains(&doc.id) {
+                // Rotations carried in-order: trust the bundle's history
+                // only if each step is self-consistent. We re-verify the
+                // chain cheaply: version must increase.
+                let last = local.resolve(&doc.id)?;
+                if doc.version <= last.version {
+                    return Err(SsiError::BadSignature);
+                }
+                // NOTE: rotation signatures are not carried in this
+                // model; credentials pin their signing key version, and
+                // initial documents are self-certifying, so a forged
+                // later version cannot validate any credential it did
+                // not sign.
+                local.force_publish_version(doc.clone());
+            } else {
+                if !doc.is_self_certifying() {
+                    return Err(SsiError::BadSignature);
+                }
+                local.publish(doc.clone());
+                seen.push(doc.id.clone());
+            }
+        }
+        // Intersect anchors with the pinned set.
+        let mut any = false;
+        for (did, label) in &self.anchors {
+            if pinned_anchors.contains(did) {
+                local.add_trust_anchor(did.clone(), label);
+                any = true;
+            }
+        }
+        if !any {
+            return Err(SsiError::Untrusted);
+        }
+        // Revocation snapshots.
+        for rl in &self.revocations {
+            rl.verify(&local)?;
+            for c in &self.presentation.credentials {
+                rl.check(c)?;
+            }
+        }
+        self.presentation.verify(&local, expected_challenge, now)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wallet::Wallet;
+    use autosec_sim::SimRng;
+    use std::collections::BTreeSet;
+
+    fn setup() -> (Registry, Wallet, Wallet, SimRng) {
+        let reg = Registry::new();
+        let mut rng = SimRng::seed(99);
+        let anchor = Wallet::create(&mut rng, "emsp-root", &reg);
+        reg.add_trust_anchor(anchor.did().clone(), "eMSP");
+        let vehicle = Wallet::create(&mut rng, "vehicle", &reg);
+        (reg, anchor, vehicle, rng)
+    }
+
+    #[test]
+    fn offline_verification_succeeds_without_the_online_registry() {
+        let (reg, mut anchor, mut vehicle, _) = setup();
+        let contract = anchor
+            .issue(
+                vehicle.did().clone(),
+                serde_json::json!({"contract": "CHG-42"}),
+                None,
+            )
+            .unwrap();
+        let rl = RevocationList::create(&mut anchor, 1, BTreeSet::new()).unwrap();
+        let vp =
+            VerifiablePresentation::create(&mut vehicle, vec![contract], b"station-nonce")
+                .unwrap();
+        let bundle = OfflineBundle::assemble(&reg, vp, vec![rl]);
+        // The charging station has only its pinned anchor — no registry.
+        let pinned = vec![anchor.did().clone()];
+        assert!(bundle.verify_offline(&pinned, b"station-nonce", 0).is_ok());
+    }
+
+    #[test]
+    fn unpinned_anchor_rejected() {
+        let (reg, mut anchor, mut vehicle, mut rng) = setup();
+        let cred = anchor
+            .issue(vehicle.did().clone(), serde_json::json!({}), None)
+            .unwrap();
+        let vp = VerifiablePresentation::create(&mut vehicle, vec![cred], b"n").unwrap();
+        let bundle = OfflineBundle::assemble(&reg, vp, vec![]);
+        let unrelated = Wallet::create(&mut rng, "other-root", &reg);
+        assert_eq!(
+            bundle
+                .verify_offline(&[unrelated.did().clone()], b"n", 0)
+                .unwrap_err(),
+            SsiError::Untrusted
+        );
+    }
+
+    #[test]
+    fn revoked_contract_rejected_offline() {
+        let (reg, mut anchor, mut vehicle, _) = setup();
+        let contract = anchor
+            .issue(vehicle.did().clone(), serde_json::json!({"c": 1}), None)
+            .unwrap();
+        let mut revoked = BTreeSet::new();
+        revoked.insert(contract.id.clone());
+        let rl = RevocationList::create(&mut anchor, 2, revoked).unwrap();
+        let vp = VerifiablePresentation::create(&mut vehicle, vec![contract], b"n").unwrap();
+        let bundle = OfflineBundle::assemble(&reg, vp, vec![rl]);
+        assert_eq!(
+            bundle
+                .verify_offline(&[anchor.did().clone()], b"n", 0)
+                .unwrap_err(),
+            SsiError::Revoked
+        );
+    }
+
+    #[test]
+    fn forged_document_in_bundle_rejected() {
+        let (reg, mut anchor, mut vehicle, _) = setup();
+        let cred = anchor
+            .issue(vehicle.did().clone(), serde_json::json!({}), None)
+            .unwrap();
+        let vp = VerifiablePresentation::create(&mut vehicle, vec![cred], b"n").unwrap();
+        let mut bundle = OfflineBundle::assemble(&reg, vp, vec![]);
+        // Attacker swaps a carried document's key.
+        bundle.documents[0].public_key = [0xEE; 32];
+        assert_eq!(
+            bundle
+                .verify_offline(&[anchor.did().clone()], b"n", 0)
+                .unwrap_err(),
+            SsiError::BadSignature
+        );
+    }
+}

@@ -1,0 +1,233 @@
+//! Verifiable presentations: holder-bound, challenge-fresh disclosure of
+//! credentials.
+//!
+//! The verifier issues a random challenge; the holder signs
+//! `(credential ids, challenge)` with the key of the DID the credentials
+//! are *about*. That binding is what stops a stolen credential from
+//! being replayed by someone else — the §IV "mutual authentication"
+//! building block used by SDV reconfiguration and plug-and-charge.
+
+use autosec_crypto::{MssPublicKey, MssSignature};
+
+use crate::credential::VerifiableCredential;
+use crate::did::Did;
+use crate::registry::Registry;
+use crate::wallet::Wallet;
+use crate::SsiError;
+
+/// A presentation of one or more credentials by their subject.
+#[derive(Debug, Clone)]
+pub struct VerifiablePresentation {
+    /// The holder (must equal every credential's subject).
+    pub holder: Did,
+    /// The presented credentials.
+    pub credentials: Vec<VerifiableCredential>,
+    /// The verifier's challenge this presentation answers.
+    pub challenge: Vec<u8>,
+    /// Version of the holder's DID document whose key signed this.
+    pub holder_key_version: u32,
+    signature: MssSignature,
+}
+
+impl VerifiablePresentation {
+    fn signed_bytes(holder: &Did, creds: &[VerifiableCredential], challenge: &[u8]) -> Vec<u8> {
+        let mut b = Vec::new();
+        b.extend_from_slice(b"vp|");
+        b.extend_from_slice(holder.as_str().as_bytes());
+        for c in creds {
+            b.push(b'|');
+            b.extend_from_slice(c.id.as_bytes());
+        }
+        b.push(b'|');
+        b.extend_from_slice(challenge);
+        b
+    }
+
+    /// Creates a presentation: the holder proves possession of the key
+    /// behind the credentials' subject DID.
+    ///
+    /// # Errors
+    ///
+    /// [`SsiError::KeyExhausted`] if the holder's key is spent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any credential's subject is not the holder — presenting
+    /// someone else's credential is a caller bug, not a runtime
+    /// condition.
+    pub fn create(
+        holder: &mut Wallet,
+        credentials: Vec<VerifiableCredential>,
+        challenge: &[u8],
+    ) -> Result<Self, SsiError> {
+        for c in &credentials {
+            assert_eq!(
+                &c.subject,
+                holder.did(),
+                "presented credential is about a different subject"
+            );
+        }
+        let body = Self::signed_bytes(holder.did(), &credentials, challenge);
+        let holder_key_version = holder.doc_version();
+        let signature = holder.sign(&body)?;
+        Ok(Self {
+            holder: holder.did().clone(),
+            credentials,
+            challenge: challenge.to_vec(),
+            holder_key_version,
+            signature,
+        })
+    }
+
+    /// Full verification: challenge match, holder binding, every
+    /// credential signature, validity at `now`, and a trust path for
+    /// each credential's issuer.
+    ///
+    /// # Errors
+    ///
+    /// The first failure encountered, in the order above.
+    pub fn verify(
+        &self,
+        registry: &Registry,
+        expected_challenge: &[u8],
+        now: u64,
+    ) -> Result<(), SsiError> {
+        if self.challenge != expected_challenge {
+            return Err(SsiError::ChallengeMismatch);
+        }
+        // Holder binding.
+        let history = registry.history(&self.holder);
+        let doc = history
+            .iter()
+            .find(|d| d.version == self.holder_key_version)
+            .ok_or_else(|| SsiError::UnknownDid(self.holder.as_str().to_owned()))?;
+        let pk = MssPublicKey::from_bytes(doc.public_key);
+        let body = Self::signed_bytes(&self.holder, &self.credentials, &self.challenge);
+        if !pk.verify(&body, &self.signature) {
+            return Err(SsiError::BadSignature);
+        }
+        for c in &self.credentials {
+            if c.subject != self.holder {
+                return Err(SsiError::BadSignature);
+            }
+            c.verify(registry)?;
+            c.check_validity(now)?;
+            if !registry.trust_path_ok(c) {
+                return Err(SsiError::Untrusted);
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autosec_sim::SimRng;
+
+    fn setup() -> (Registry, Wallet, Wallet, SimRng) {
+        let reg = Registry::new();
+        let mut rng = SimRng::seed(77);
+        let anchor = Wallet::create(&mut rng, "oem-root", &reg);
+        reg.add_trust_anchor(anchor.did().clone(), "OEM");
+        let holder = Wallet::create(&mut rng, "vehicle", &reg);
+        (reg, anchor, holder, rng)
+    }
+
+    #[test]
+    fn full_flow_verifies() {
+        let (reg, mut anchor, mut holder, _) = setup();
+        let cred = anchor
+            .issue(holder.did().clone(), serde_json::json!({"vin": "WVW123"}), None)
+            .unwrap();
+        let vp = VerifiablePresentation::create(&mut holder, vec![cred], b"challenge-1").unwrap();
+        assert!(vp.verify(&reg, b"challenge-1", 0).is_ok());
+    }
+
+    #[test]
+    fn wrong_challenge_rejected() {
+        let (reg, mut anchor, mut holder, _) = setup();
+        let cred = anchor
+            .issue(holder.did().clone(), serde_json::json!({}), None)
+            .unwrap();
+        let vp = VerifiablePresentation::create(&mut holder, vec![cred], b"challenge-1").unwrap();
+        assert_eq!(
+            vp.verify(&reg, b"challenge-2", 0).unwrap_err(),
+            SsiError::ChallengeMismatch
+        );
+    }
+
+    #[test]
+    fn stolen_credential_cannot_be_presented() {
+        let (reg, mut anchor, holder, mut rng) = setup();
+        let mut thief = Wallet::create(&mut rng, "thief", &reg);
+        let cred = anchor
+            .issue(holder.did().clone(), serde_json::json!({"vip": true}), None)
+            .unwrap();
+        // The thief forges a presentation claiming to be the holder but
+        // signing with his own key.
+        let body =
+            VerifiablePresentation::signed_bytes(holder.did(), std::slice::from_ref(&cred), b"c");
+        let signature = thief.sign(&body).unwrap();
+        let forged = VerifiablePresentation {
+            holder: holder.did().clone(),
+            credentials: vec![cred],
+            challenge: b"c".to_vec(),
+            holder_key_version: 1,
+            signature,
+        };
+        assert_eq!(forged.verify(&reg, b"c", 0).unwrap_err(), SsiError::BadSignature);
+    }
+
+    #[test]
+    fn untrusted_issuer_rejected() {
+        let (reg, _, mut holder, mut rng) = setup();
+        let mut rando = Wallet::create(&mut rng, "random-signer", &reg);
+        let cred = rando
+            .issue(holder.did().clone(), serde_json::json!({"legit": false}), None)
+            .unwrap();
+        let vp = VerifiablePresentation::create(&mut holder, vec![cred], b"c").unwrap();
+        assert_eq!(vp.verify(&reg, b"c", 0).unwrap_err(), SsiError::Untrusted);
+    }
+
+    #[test]
+    fn expired_credential_rejected() {
+        let (reg, mut anchor, mut holder, _) = setup();
+        let cred = anchor
+            .issue_with_validity(
+                holder.did().clone(),
+                serde_json::json!({}),
+                None,
+                0,
+                Some(10),
+            )
+            .unwrap();
+        let vp = VerifiablePresentation::create(&mut holder, vec![cred], b"c").unwrap();
+        assert!(vp.verify(&reg, b"c", 5).is_ok());
+        assert_eq!(vp.verify(&reg, b"c", 11).unwrap_err(), SsiError::Expired);
+    }
+
+    #[test]
+    #[should_panic(expected = "different subject")]
+    fn presenting_foreign_credential_panics() {
+        let (reg, mut anchor, mut holder, mut rng) = setup();
+        let other = Wallet::create(&mut rng, "other", &reg);
+        let cred = anchor
+            .issue(other.did().clone(), serde_json::json!({}), None)
+            .unwrap();
+        let _ = VerifiablePresentation::create(&mut holder, vec![cred], b"c");
+    }
+
+    #[test]
+    fn multi_credential_presentation() {
+        let (reg, mut anchor, mut holder, _) = setup();
+        let c1 = anchor
+            .issue(holder.did().clone(), serde_json::json!({"k": 1}), None)
+            .unwrap();
+        let c2 = anchor
+            .issue(holder.did().clone(), serde_json::json!({"k": 2}), None)
+            .unwrap();
+        let vp = VerifiablePresentation::create(&mut holder, vec![c1, c2], b"n").unwrap();
+        assert!(vp.verify(&reg, b"n", 0).is_ok());
+    }
+}

@@ -1,0 +1,158 @@
+//! Signed revocation lists.
+//!
+//! Issuers publish a monotonically versioned, signed list of revoked
+//! credential ids. Verifiers fetch it (or carry a snapshot in an offline
+//! bundle) and reject revoked credentials.
+
+use std::collections::BTreeSet;
+
+use autosec_crypto::{MssPublicKey, MssSignature};
+
+use crate::credential::VerifiableCredential;
+use crate::did::Did;
+use crate::registry::Registry;
+use crate::wallet::Wallet;
+use crate::SsiError;
+
+/// A signed revocation list for one issuer.
+#[derive(Debug, Clone)]
+pub struct RevocationList {
+    /// The issuer whose credentials this list covers.
+    pub issuer: Did,
+    /// List version (monotonic).
+    pub version: u64,
+    /// Revoked credential ids.
+    pub revoked: BTreeSet<String>,
+    /// Signing key version of the issuer.
+    pub issuer_key_version: u32,
+    signature: MssSignature,
+}
+
+impl RevocationList {
+    fn signed_bytes(issuer: &Did, version: u64, revoked: &BTreeSet<String>) -> Vec<u8> {
+        let mut b = Vec::new();
+        b.extend_from_slice(b"rl|");
+        b.extend_from_slice(issuer.as_str().as_bytes());
+        b.extend_from_slice(&version.to_be_bytes());
+        for id in revoked {
+            b.push(b'|');
+            b.extend_from_slice(id.as_bytes());
+        }
+        b
+    }
+
+    /// Creates and signs a new list version.
+    ///
+    /// # Errors
+    ///
+    /// [`SsiError::KeyExhausted`] if the issuer's key is spent.
+    pub fn create(
+        issuer: &mut Wallet,
+        version: u64,
+        revoked: BTreeSet<String>,
+    ) -> Result<Self, SsiError> {
+        let body = Self::signed_bytes(issuer.did(), version, &revoked);
+        let issuer_key_version = issuer.doc_version();
+        let signature = issuer.sign(&body)?;
+        Ok(Self {
+            issuer: issuer.did().clone(),
+            version,
+            revoked,
+            issuer_key_version,
+            signature,
+        })
+    }
+
+    /// Verifies the list's signature against the registry.
+    ///
+    /// # Errors
+    ///
+    /// [`SsiError::UnknownDid`] / [`SsiError::BadSignature`] as usual.
+    pub fn verify(&self, registry: &Registry) -> Result<(), SsiError> {
+        let history = registry.history(&self.issuer);
+        if history.is_empty() {
+            return Err(SsiError::UnknownDid(self.issuer.as_str().to_owned()));
+        }
+        let doc = history
+            .iter()
+            .find(|d| d.version == self.issuer_key_version)
+            .ok_or(SsiError::BadSignature)?;
+        let pk = MssPublicKey::from_bytes(doc.public_key);
+        let body = Self::signed_bytes(&self.issuer, self.version, &self.revoked);
+        if pk.verify(&body, &self.signature) {
+            Ok(())
+        } else {
+            Err(SsiError::BadSignature)
+        }
+    }
+
+    /// Whether `cred` is revoked by this list (only meaningful when the
+    /// list's issuer matches the credential's).
+    ///
+    /// # Errors
+    ///
+    /// [`SsiError::Revoked`] if revoked.
+    pub fn check(&self, cred: &VerifiableCredential) -> Result<(), SsiError> {
+        if self.issuer == cred.issuer && self.revoked.contains(&cred.id) {
+            return Err(SsiError::Revoked);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autosec_sim::SimRng;
+
+    #[test]
+    fn revocation_flow() {
+        let reg = Registry::new();
+        let mut rng = SimRng::seed(55);
+        let mut issuer = Wallet::create(&mut rng, "oem", &reg);
+        let subject = Wallet::create(&mut rng, "ecu", &reg);
+
+        let good = issuer
+            .issue(subject.did().clone(), serde_json::json!({"v": 1}), None)
+            .unwrap();
+        let bad = issuer
+            .issue(subject.did().clone(), serde_json::json!({"v": 2}), None)
+            .unwrap();
+
+        let mut revoked = BTreeSet::new();
+        revoked.insert(bad.id.clone());
+        let rl = RevocationList::create(&mut issuer, 1, revoked).unwrap();
+        assert!(rl.verify(&reg).is_ok());
+        assert!(rl.check(&good).is_ok());
+        assert_eq!(rl.check(&bad).unwrap_err(), SsiError::Revoked);
+    }
+
+    #[test]
+    fn tampered_list_rejected() {
+        let reg = Registry::new();
+        let mut rng = SimRng::seed(56);
+        let mut issuer = Wallet::create(&mut rng, "oem", &reg);
+        let mut rl = RevocationList::create(&mut issuer, 1, BTreeSet::new()).unwrap();
+        // An attacker *removes* an entry (or here, adds one) without
+        // re-signing.
+        rl.revoked.insert("some-credential".into());
+        assert_eq!(rl.verify(&reg).unwrap_err(), SsiError::BadSignature);
+    }
+
+    #[test]
+    fn foreign_issuer_list_does_not_revoke() {
+        let reg = Registry::new();
+        let mut rng = SimRng::seed(57);
+        let mut oem = Wallet::create(&mut rng, "oem", &reg);
+        let mut other = Wallet::create(&mut rng, "someone-else", &reg);
+        let subject = Wallet::create(&mut rng, "ecu", &reg);
+        let cred = oem
+            .issue(subject.did().clone(), serde_json::json!({}), None)
+            .unwrap();
+        let mut revoked = BTreeSet::new();
+        revoked.insert(cred.id.clone());
+        // someone-else cannot revoke the OEM's credential.
+        let rl = RevocationList::create(&mut other, 1, revoked).unwrap();
+        assert!(rl.check(&cred).is_ok());
+    }
+}

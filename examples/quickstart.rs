@@ -1,0 +1,53 @@
+//! Quickstart: the layered workbench in one run (Fig. 1 / E1).
+//!
+//! Prints the attack/defense inventory per layer, then runs the
+//! cross-layer attack campaign twice — undefended and fully defended —
+//! and shows the defense-in-depth curve.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use autosec::core::assessment::{depth_sweep, layer_summary, score};
+use autosec::core::campaign::{run_campaign, DefensePosture};
+
+fn main() {
+    println!("=== autosec: layered security workbench (Fig. 1) ===\n");
+    println!("{}", layer_summary());
+
+    for (label, posture) in [
+        ("UNDEFENDED (legacy vehicle)", DefensePosture::none()),
+        ("FULLY DEFENDED", DefensePosture::full()),
+    ] {
+        let report = run_campaign(&posture, 2025);
+        let card = score(&report);
+        println!("--- campaign: {label} ---");
+        for step in &report.steps {
+            println!(
+                "  [{:<18}] {:<26} success={:<5} prevented={:<5} detected={}",
+                step.layer.to_string(),
+                step.attack,
+                step.succeeded,
+                step.prevented,
+                step.detected
+            );
+        }
+        println!(
+            "  => attack success {:.0}%, detection {:.0}%, synergy gain +{:.0}pp\n",
+            card.attack_success_rate * 100.0,
+            card.detection_rate * 100.0,
+            card.synergy_gain * 100.0
+        );
+    }
+
+    println!("--- defense-in-depth sweep (layers defended bottom-up) ---");
+    println!("{:>8} {:>16} {:>12}", "layers", "attack success", "detection");
+    for p in depth_sweep(2025) {
+        println!(
+            "{:>8} {:>15.0}% {:>11.0}%",
+            p.defended_layers,
+            p.attack_success_rate * 100.0,
+            p.detection_rate * 100.0
+        );
+    }
+}

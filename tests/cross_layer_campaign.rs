@@ -1,0 +1,92 @@
+//! Integration: the full cross-layer campaign (E1/E13 composition),
+//! exercising phy + ivn + secproto + sdv + ssi + data + collab + ids
+//! through the `autosec-core` framework.
+
+use autosec::core::assessment::{depth_sweep, score};
+use autosec::core::campaign::{run_campaign, DefensePosture};
+use autosec::core::layers::{attack_catalog, defense_catalog, ArchLayer};
+
+#[test]
+fn campaign_covers_every_layer() {
+    let report = run_campaign(&DefensePosture::full(), 99);
+    let layers: Vec<ArchLayer> = report.steps.iter().map(|s| s.layer).collect();
+    for expected in [
+        ArchLayer::Physical,
+        ArchLayer::Network,
+        ArchLayer::SoftwarePlatform,
+        ArchLayer::Data,
+        ArchLayer::Collaboration,
+    ] {
+        assert!(layers.contains(&expected), "no campaign step at {expected}");
+    }
+}
+
+#[test]
+fn campaign_attacks_exist_in_the_catalog() {
+    let names: Vec<&str> = attack_catalog().iter().map(|a| a.name).collect();
+    let report = run_campaign(&DefensePosture::none(), 1);
+    for step in &report.steps {
+        assert!(names.contains(&step.attack), "{} not catalogued", step.attack);
+    }
+}
+
+#[test]
+fn defense_in_depth_improves_monotonically_across_seeds() {
+    for seed in [1, 7, 42, 1234] {
+        let sweep = depth_sweep(seed);
+        assert!(sweep[0].attack_success_rate >= 0.75, "seed {seed}");
+        assert!(
+            sweep[5].attack_success_rate <= 0.25,
+            "seed {seed}: {}",
+            sweep[5].attack_success_rate
+        );
+        for w in sweep.windows(2) {
+            assert!(
+                w[1].attack_success_rate <= w[0].attack_success_rate + 1e-9,
+                "seed {seed}: non-monotone {w:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn synergy_gain_is_positive_with_full_defense() {
+    let report = run_campaign(&DefensePosture::full(), 5);
+    let card = score(&report);
+    assert!(card.synergy_gain > 0.0);
+    assert!(card.fused_coverage > card.best_single_layer_coverage);
+    // Incidents correlate into more than one cluster (steps are spread
+    // across the campaign clock).
+    assert!(!card.incidents.is_empty());
+}
+
+#[test]
+fn every_catalogued_defense_maps_to_real_modules() {
+    for d in defense_catalog() {
+        assert!(
+            d.module.starts_with("autosec_"),
+            "{} points at {}",
+            d.name,
+            d.module
+        );
+    }
+}
+
+#[test]
+fn prevention_happens_at_the_right_layers() {
+    let report = run_campaign(&DefensePosture::full(), 3);
+    for step in &report.steps {
+        if step.prevented {
+            assert!(
+                !step.succeeded,
+                "{} both prevented and succeeded",
+                step.attack
+            );
+        }
+    }
+    // The relay and the forgery are *prevented*, not merely detected.
+    let relay = report.steps.iter().find(|s| s.attack == "pkes-relay").expect("step exists");
+    assert!(relay.prevented);
+    let forgery = report.steps.iter().find(|s| s.attack == "pdu-forgery").expect("step exists");
+    assert!(forgery.prevented);
+}

@@ -1,0 +1,164 @@
+//! Integration: the full SSI-backed SDV lifecycle (ssi + sdv + crypto):
+//! provisioning, zero-trust placement, OTA updates, revocation, key
+//! rotation, and the offline charging bundle.
+
+use std::collections::BTreeSet;
+
+use autosec::sdv::component::{Asil, HardwareNode, SoftwareComponent};
+use autosec::sdv::platform::SdvPlatform;
+use autosec::sdv::update::{UpdateManager, UpdatePackage};
+use autosec::ssi::prelude::*;
+use autosec::sim::SimRng;
+
+fn component(id: &str) -> SoftwareComponent {
+    SoftwareComponent {
+        id: id.into(),
+        vendor: "tier1".into(),
+        version: (1, 0, 0),
+        requires: vec!["can-if".into()],
+        compute_cost: 10,
+        asil: Asil::B,
+    }
+}
+
+fn node(id: &str) -> HardwareNode {
+    HardwareNode {
+        id: id.into(),
+        provides: vec!["can-if".into()],
+        compute_capacity: 100,
+        max_asil: Asil::D,
+    }
+}
+
+#[test]
+fn full_lifecycle_place_update_revoke() {
+    let mut rng = SimRng::seed(4242);
+    let (mut platform, mut oem) = SdvPlatform::new(&mut rng);
+    platform.register_node(&mut rng, node("hpc-0"), &mut oem).expect("register node");
+
+    // Tier-1 vendor endorsed by the OEM anchor.
+    let mut vendor = Wallet::create(&mut rng, "tier1", platform.registry());
+    let endorsement = oem
+        .issue(
+            vendor.did().clone(),
+            serde_json::json!({"authority": "software-vendor"}),
+            None,
+        )
+        .expect("issue");
+    platform.registry().record_endorsement(&endorsement).expect("endorse");
+
+    platform
+        .register_component(&mut rng, component("adas"), &mut vendor)
+        .expect("register component");
+    platform.place("adas", "hpc-0").expect("authenticated placement");
+
+    // OTA update from the endorsed vendor applies...
+    let target = Wallet::create(&mut rng, "adas-target", platform.registry());
+    let mut comp = component("adas");
+    let pkg = UpdatePackage::build(
+        &mut vendor,
+        target.did().clone(),
+        "adas",
+        (1, 1, 0),
+        b"image v1.1.0".to_vec(),
+    )
+    .expect("build package");
+    UpdateManager::apply(platform.registry(), &mut comp, &pkg).expect("apply update");
+    assert_eq!(comp.version, (1, 1, 0));
+
+    // ...but a tampered one does not.
+    let mut evil = UpdatePackage::build(
+        &mut vendor,
+        target.did().clone(),
+        "adas",
+        (1, 2, 0),
+        b"image v1.2.0".to_vec(),
+    )
+    .expect("build package");
+    evil.image = b"backdoored image!".to_vec();
+    assert!(UpdateManager::apply(platform.registry(), &mut comp, &evil).is_err());
+    assert_eq!(comp.version, (1, 1, 0));
+}
+
+#[test]
+fn revoked_credential_fails_presentation() {
+    let mut rng = SimRng::seed(4343);
+    let registry = Registry::new();
+    let mut anchor = Wallet::create(&mut rng, "root", &registry);
+    registry.add_trust_anchor(anchor.did().clone(), "root");
+    let mut holder = Wallet::create(&mut rng, "vehicle", &registry);
+
+    let cred = anchor
+        .issue(holder.did().clone(), serde_json::json!({"contract": 1}), None)
+        .expect("issue");
+    let mut revoked = BTreeSet::new();
+    revoked.insert(cred.id.clone());
+    let rl = RevocationList::create(&mut anchor, 1, revoked).expect("create list");
+
+    let vp = VerifiablePresentation::create(&mut holder, vec![cred.clone()], b"n")
+        .expect("create presentation");
+    // Online path verifies (trust + signature)...
+    assert!(vp.verify(&registry, b"n", 0).is_ok());
+    // ...but the revocation list kills it.
+    assert_eq!(rl.check(&cred).unwrap_err(), SsiError::Revoked);
+
+    // And the offline bundle enforces it too.
+    let bundle = OfflineBundle::assemble(&registry, vp, vec![rl]);
+    assert_eq!(
+        bundle
+            .verify_offline(&[anchor.did().clone()], b"n", 0)
+            .unwrap_err(),
+        SsiError::Revoked
+    );
+}
+
+#[test]
+fn key_rotation_preserves_old_credentials_and_platform_flow() {
+    let mut rng = SimRng::seed(4444);
+    let registry = Registry::new();
+    let mut issuer = Wallet::create(&mut rng, "oem", &registry);
+    registry.add_trust_anchor(issuer.did().clone(), "OEM");
+    let subject = Wallet::create(&mut rng, "ecu", &registry);
+
+    let before = issuer
+        .issue(subject.did().clone(), serde_json::json!({"k": "old"}), None)
+        .expect("issue");
+    issuer.rotate_key(&mut rng, &registry).expect("rotate");
+    let after = issuer
+        .issue(subject.did().clone(), serde_json::json!({"k": "new"}), None)
+        .expect("issue");
+
+    assert!(before.verify(&registry).is_ok(), "old credential still valid");
+    assert!(after.verify(&registry).is_ok());
+    assert!(registry.trust_path_ok(&before));
+    assert!(registry.trust_path_ok(&after));
+}
+
+#[test]
+fn multi_stakeholder_trust_anchors_coexist() {
+    // §IV: "Interoperable services and multiple trust anchors exist due
+    // to different stakeholders."
+    let mut rng = SimRng::seed(4545);
+    let registry = Registry::new();
+    let mut oem = Wallet::create(&mut rng, "oem", &registry);
+    let mut cloud = Wallet::create(&mut rng, "cloud", &registry);
+    let mut emsp = Wallet::create(&mut rng, "emsp", &registry);
+    for (w, label) in [(&oem, "OEM"), (&cloud, "Cloud"), (&emsp, "eMSP")] {
+        registry.add_trust_anchor(w.did().clone(), label);
+    }
+    let mut vehicle = Wallet::create(&mut rng, "vehicle", &registry);
+
+    // Each anchor issues its own credential about the same vehicle.
+    let creds = vec![
+        oem.issue(vehicle.did().clone(), serde_json::json!({"vin": "X"}), None)
+            .expect("issue"),
+        cloud
+            .issue(vehicle.did().clone(), serde_json::json!({"tenant": "fleet-7"}), None)
+            .expect("issue"),
+        emsp.issue(vehicle.did().clone(), serde_json::json!({"contract": "C1"}), None)
+            .expect("issue"),
+    ];
+    let vp = VerifiablePresentation::create(&mut vehicle, creds, b"challenge")
+        .expect("create presentation");
+    assert!(vp.verify(&registry, b"challenge", 0).is_ok());
+}
