@@ -12,7 +12,8 @@ fn bench(c: &mut Criterion) {
         b.iter(|| simulate(&[Agent::selfish(0.3); 4], 10_000, &mut rng))
     });
     g.bench_function("ghost_detection_20_rounds_4_observers", |b| {
-        b.iter(|| exp_collab::ghost_detection_rate(4, 20, 9))
+        let base = SimRng::seed(9);
+        b.iter(|| exp_collab::ghost_detection_rate(4, 20, &base, 1))
     });
     g.finish();
 }

@@ -9,7 +9,10 @@ use criterion::{criterion_group, criterion_main, Criterion};
 
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("e2_uwb_ranging");
-    for kind in [ReceiverKind::NaiveLeadingEdge, ReceiverKind::IntegrityChecked] {
+    for kind in [
+        ReceiverKind::NaiveLeadingEdge,
+        ReceiverKind::IntegrityChecked,
+    ] {
         let session = HrpRanging::new(HrpConfig::default(), kind);
         g.bench_function(format!("measure_clean_{kind:?}"), |b| {
             let mut rng = SimRng::seed(1);

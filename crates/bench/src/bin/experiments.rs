@@ -1,30 +1,172 @@
 //! Experiment runner: regenerates every table/figure of the paper.
 //!
 //! ```sh
-//! cargo run -p autosec-bench --bin experiments            # everything
-//! cargo run -p autosec-bench --bin experiments -- E9      # one experiment
+//! cargo run -p autosec-bench --bin experiments                 # everything
+//! cargo run -p autosec-bench --bin experiments -- --list       # catalogue
+//! cargo run -p autosec-bench --bin experiments -- E10          # one group
+//! cargo run -p autosec-bench --bin experiments -- \
+//!     --filter e2-lrp-rounds --jobs 4 --seed 7 --json          # one table,
+//!                                                # four workers, artifacts
 //! ```
+//!
+//! Filters match an experiment's group id (`E10`) or slug
+//! (`e10-cascade`) **exactly**, case-insensitively — `E1` never drags
+//! in E10–E13. With `--json`, per-experiment artifacts plus a
+//! `manifest.json` land in `target/experiments/` (override with
+//! `--out DIR`). Tables are bit-identical for any `--jobs` value.
 
-use autosec_bench::all_tables;
+use std::process::ExitCode;
+use std::time::Instant;
 
-fn main() {
-    let filter: Option<String> = std::env::args().nth(1).map(|s| s.to_uppercase());
-    let mut printed = 0;
-    for table in all_tables() {
-        let keep = filter
-            .as_deref()
-            .map(|f| table.id.to_uppercase().contains(f))
-            .unwrap_or(true);
-        if keep {
-            println!("{table}");
-            printed += 1;
+use autosec_bench::{registry, ArtifactStore, ExperimentRecord, RunCtx, RunManifest};
+use autosec_runner::DEFAULT_ARTIFACT_DIR;
+
+struct Args {
+    filter: Option<String>,
+    seed: u64,
+    jobs: usize,
+    json: bool,
+    list: bool,
+    out: String,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: experiments [FILTER] [--filter F] [--seed N] [--jobs N] [--json] [--out DIR] [--list]
+
+  FILTER        group id (e.g. E10) or slug (e.g. e10-cascade); exact,
+                case-insensitive match
+  --seed N      master seed (default 42); every table is a pure function
+                of it
+  --jobs N      worker threads (default 1); output is identical for any N
+  --json        write per-experiment artifacts + manifest.json
+  --out DIR     artifact directory (default {DEFAULT_ARTIFACT_DIR})
+  --list        print the experiment catalogue and exit"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        filter: None,
+        seed: autosec_runner::DEFAULT_SEED,
+        jobs: 1,
+        json: false,
+        list: false,
+        out: DEFAULT_ARTIFACT_DIR.to_owned(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next().unwrap_or_else(|| {
+                eprintln!("missing value for {name}");
+                usage()
+            })
+        };
+        match arg.as_str() {
+            "--filter" | "-f" => args.filter = Some(value("--filter")),
+            "--seed" | "-s" => {
+                let v = value("--seed");
+                args.seed = v.parse().unwrap_or_else(|_| {
+                    eprintln!("invalid --seed {v:?}: expected an unsigned integer");
+                    usage()
+                });
+            }
+            "--jobs" | "-j" => {
+                let v = value("--jobs");
+                args.jobs = v.parse().unwrap_or_else(|_| {
+                    eprintln!("invalid --jobs {v:?}: expected a positive integer");
+                    usage()
+                });
+            }
+            "--json" => args.json = true,
+            "--list" | "-l" => args.list = true,
+            "--out" | "-o" => args.out = value("--out"),
+            "--help" | "-h" => usage(),
+            other if !other.starts_with('-') && args.filter.is_none() => {
+                // Positional filter, compatible with the old runner.
+                args.filter = Some(other.to_owned());
+            }
+            other => {
+                eprintln!("unknown argument {other:?}");
+                usage();
+            }
         }
     }
-    if printed == 0 {
-        eprintln!(
-            "no experiment matched {:?}; available ids: E1 E2 E2b E3 E4 E5-E7 E8 E8b E9 E10 E11 E12 E13",
-            filter.unwrap_or_default()
-        );
-        std::process::exit(1);
+    args
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    let reg = registry();
+
+    if args.list {
+        println!("{:<22} {:<6} {:<9} title", "slug", "id", "cost");
+        for e in reg.iter() {
+            println!(
+                "{:<22} {:<6} {:<9} {}",
+                e.slug,
+                e.id,
+                e.cost.to_string(),
+                e.title
+            );
+        }
+        return ExitCode::SUCCESS;
     }
+
+    let selected: Vec<_> = match args.filter.as_deref() {
+        Some(f) => reg.select(f),
+        None => reg.iter().collect(),
+    };
+    if selected.is_empty() {
+        eprintln!(
+            "no experiment matched {:?}; available ids: {}\n(or pick a slug from --list)",
+            args.filter.unwrap_or_default(),
+            reg.group_ids().join(" ")
+        );
+        return ExitCode::FAILURE;
+    }
+
+    let ctx = RunCtx::new(args.seed, args.jobs);
+    let mut records = Vec::new();
+    for e in &selected {
+        let start = Instant::now();
+        let table = e.run(&ctx);
+        let duration = start.elapsed();
+        println!("{table}");
+        records.push(ExperimentRecord {
+            slug: e.slug.to_owned(),
+            id: e.id.to_owned(),
+            duration,
+            table,
+        });
+    }
+
+    if args.json {
+        let manifest = RunManifest {
+            seed: ctx.seed,
+            jobs: ctx.jobs,
+            filter: args.filter.clone(),
+            records,
+        };
+        let store = match ArtifactStore::create(&args.out) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("cannot create artifact dir {:?}: {e}", args.out);
+                return ExitCode::FAILURE;
+            }
+        };
+        match store.write_run(&manifest) {
+            Ok(path) => eprintln!(
+                "wrote {} artifacts + {}",
+                manifest.records.len(),
+                path.display()
+            ),
+            Err(e) => {
+                eprintln!("artifact write failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
 }

@@ -98,7 +98,13 @@ pub fn a4_seemqtt_table() -> Table {
     let mut t = Table::new(
         "A4",
         "ablation — SeeMQTT (k, n): outage tolerance vs broker-coalition resistance",
-        &["k/n", "tolerated outages", "min breaking coalition", "delivered", "leaked to k-1"],
+        &[
+            "k/n",
+            "tolerated outages",
+            "min breaking coalition",
+            "delivered",
+            "leaked to k-1",
+        ],
     );
     use rand::SeedableRng;
     let mut rng = rand::rngs::StdRng::seed_from_u64(54);
@@ -140,7 +146,12 @@ pub fn a5_vrange_table() -> Table {
         let trials = 3000;
         let mut wins = 0;
         for _ in 0..trials {
-            let o = vrange_measure(&cfg, 50.0, Some(VRangeAttack::Reduce { advance_m: 20.0 }), &mut rng);
+            let o = vrange_measure(
+                &cfg,
+                50.0,
+                Some(VRangeAttack::Reduce { advance_m: 20.0 }),
+                &mut rng,
+            );
             if !o.aborted {
                 wins += 1;
             }

@@ -2,27 +2,50 @@
 //! misbehaviour detection (§VII).
 
 use autosec_collab::attacks::{FabricationStrategy, InternalFabricator};
-use autosec_collab::intersection::{simulate, Agent};
+use autosec_collab::intersection::{round_outcome, Agent, IntersectionAccumulator};
 use autosec_collab::misbehavior::{MisbehaviorConfig, MisbehaviorDetector};
 use autosec_collab::perception::perception_round;
 use autosec_collab::world::{Point, SensorModel, VehicleId, World};
+use autosec_runner::{par_trials, par_trials_fold, RunCtx};
 use autosec_sim::SimRng;
 
 use crate::Table;
 
 /// E11 table: intersection outcomes versus self-interest.
-pub fn e11_competition_table() -> Table {
+///
+/// Each row plays 20 000 protocol rounds through [`par_trials_fold`]:
+/// round `i` on the `fork_idx(i)` stream, outcomes folded into an
+/// [`IntersectionAccumulator`] in round order — identical for any
+/// `ctx.jobs`.
+pub fn e11_competition_table(ctx: &RunCtx) -> Table {
     let mut t = Table::new(
         "E11",
         "§VII-A — intersection competition vs self-interest",
-        &["self-interest", "throughput", "conflicts", "deadlocks", "selfish gain"],
+        &[
+            "self-interest",
+            "throughput",
+            "conflicts",
+            "deadlocks",
+            "selfish gain",
+        ],
     );
     for p in [0.0, 0.1, 0.2, 0.3, 0.5, 0.8] {
         // One selfish agent among cooperatives.
         let mut agents = [Agent::cooperative(); 4];
         agents[0] = Agent::selfish(p);
-        let mut rng = SimRng::seed(4040);
-        let r = simulate(&agents, 20_000, &mut rng);
+        let base = ctx.rng("e11-competition").fork(&format!("{p:.1}"));
+        let acc = par_trials_fold(
+            ctx.jobs,
+            20_000,
+            &base,
+            |round, mut rng| round_outcome(&agents, round, &mut rng),
+            IntersectionAccumulator::new(),
+            |mut acc, _, outcome| {
+                acc.add(outcome);
+                acc
+            },
+        );
+        let r = acc.report(&agents);
         t.push_row(vec![
             format!("{p:.1}"),
             format!("{:.2}", r.throughput),
@@ -48,7 +71,11 @@ fn observer_world(n: usize) -> World {
 }
 
 /// Ghost detection rate with `n_observers` honest witnesses.
-pub fn ghost_detection_rate(n_observers: usize, rounds: u64, seed: u64) -> f64 {
+///
+/// Rounds are independent (a fresh detector per round measures
+/// single-shot detection), so round `i` runs on `base.fork_idx(i)`
+/// under [`par_trials`] — the rate is identical for any `jobs`.
+pub fn ghost_detection_rate(n_observers: usize, rounds: u64, base: &SimRng, jobs: usize) -> f64 {
     let world = observer_world(n_observers);
     let sensor = SensorModel {
         miss_rate: 0.02,
@@ -62,24 +89,29 @@ pub fn ghost_detection_rate(n_observers: usize, rounds: u64, seed: u64) -> f64 {
         },
     };
     let key = b"bench key";
-    let mut detected = 0u64;
-    let mut rng = SimRng::seed(seed);
-    for round in 0..rounds {
+    let detected = par_trials(jobs, rounds as usize, base, |round, mut rng| {
         // Fresh detector per round: measures single-shot detection.
+        let round = round as u64;
         let mut det = MisbehaviorDetector::new(MisbehaviorConfig::default());
         let mut msgs = perception_round(&world, &sensor, key, round, &mut rng);
         let honest = msgs[0].detections.clone();
         msgs[0] = attacker.emit(&world, honest, key, round, &mut rng);
         let flags = det.process_round(&world, &sensor, key, &msgs);
-        if flags.iter().any(|f| f.claimant == VehicleId(0)) {
-            detected += 1;
-        }
-    }
+        flags.iter().any(|f| f.claimant == VehicleId(0))
+    })
+    .into_iter()
+    .filter(|&d| d)
+    .count();
     detected as f64 / rounds as f64
 }
 
 /// False-positive rate with honest traffic only.
-pub fn honest_false_positive_rate(n_observers: usize, rounds: u64, seed: u64) -> f64 {
+pub fn honest_false_positive_rate(
+    n_observers: usize,
+    rounds: u64,
+    base: &SimRng,
+    jobs: usize,
+) -> f64 {
     let world = observer_world(n_observers);
     let sensor = SensorModel {
         miss_rate: 0.02,
@@ -87,22 +119,21 @@ pub fn honest_false_positive_rate(n_observers: usize, rounds: u64, seed: u64) ->
         range_m: 60.0,
     };
     let key = b"bench key";
-    let mut flagged = 0u64;
-    let mut rng = SimRng::seed(seed);
-    for round in 0..rounds {
+    let flagged = par_trials(jobs, rounds as usize, base, |round, mut rng| {
         let mut det = MisbehaviorDetector::new(MisbehaviorConfig::default());
-        let msgs = perception_round(&world, &sensor, key, round, &mut rng);
-        if !det.process_round(&world, &sensor, key, &msgs).is_empty() {
-            flagged += 1;
-        }
-    }
+        let msgs = perception_round(&world, &sensor, key, round as u64, &mut rng);
+        !det.process_round(&world, &sensor, key, &msgs).is_empty()
+    })
+    .into_iter()
+    .filter(|&d| d)
+    .count();
     flagged as f64 / rounds as f64
 }
 
 /// Object-removal impact: probability that the real object *disappears*
 /// from the fused view when the attacker omits it (§VII-B's stealthier
 /// fabrication — redundancy keeps the object alive).
-pub fn removal_loss_rate(n_observers: usize, rounds: u64, seed: u64) -> f64 {
+pub fn removal_loss_rate(n_observers: usize, rounds: u64, base: &SimRng, jobs: usize) -> f64 {
     let world = observer_world(n_observers);
     let sensor = SensorModel {
         miss_rate: 0.05,
@@ -115,44 +146,47 @@ pub fn removal_loss_rate(n_observers: usize, rounds: u64, seed: u64) -> f64 {
     };
     let key = b"bench key";
     let target = Point { x: 15.0, y: 15.0 };
-    let mut lost = 0u64;
-    let mut rng = SimRng::seed(seed);
-    for round in 0..rounds {
+    let lost = par_trials(jobs, rounds as usize, base, |round, mut rng| {
+        let round = round as u64;
         let mut msgs = perception_round(&world, &sensor, key, round, &mut rng);
         let honest = msgs[0].detections.clone();
         msgs[0] = attacker.emit(&world, honest, key, round, &mut rng);
         let fused = autosec_collab::perception::fuse(&msgs, 3.0);
-        if !fused.iter().any(|f| f.position.dist(&target) < 3.0) {
-            lost += 1;
-        }
-    }
+        !fused.iter().any(|f| f.position.dist(&target) < 3.0)
+    })
+    .into_iter()
+    .filter(|&l| l)
+    .count();
     lost as f64 / rounds as f64
 }
 
 /// E12 removal table.
-pub fn e12_removal_table() -> Table {
+pub fn e12_removal_table(ctx: &RunCtx) -> Table {
     let mut t = Table::new(
         "E12",
         "§VII-B — object-removal attack: target lost from fused view",
         &["honest observers", "object lost"],
     );
     for n in [0usize, 1, 2, 4] {
-        let loss = removal_loss_rate(n, 100, 7070);
+        let base = ctx.rng("e12-removal").fork(&n.to_string());
+        let loss = removal_loss_rate(n, 100, &base, ctx.jobs);
         t.push_row(vec![n.to_string(), format!("{:.0}%", loss * 100.0)]);
     }
     t
 }
 
 /// E12 table: detection vs redundancy.
-pub fn e12_misbehavior_table() -> Table {
+pub fn e12_misbehavior_table(ctx: &RunCtx) -> Table {
     let mut t = Table::new(
         "E12",
         "§VII-B — internal fabrication vs redundancy (ghost object)",
         &["honest observers", "ghost detected", "false positives"],
     );
     for n in [0usize, 1, 2, 3, 5, 8] {
-        let det = ghost_detection_rate(n, 100, 5050);
-        let fp = honest_false_positive_rate(n, 100, 6060);
+        let det_base = ctx.rng("e12-ghost").fork(&n.to_string());
+        let fp_base = ctx.rng("e12-false-positive").fork(&n.to_string());
+        let det = ghost_detection_rate(n, 100, &det_base, ctx.jobs);
+        let fp = honest_false_positive_rate(n, 100, &fp_base, ctx.jobs);
         t.push_row(vec![
             n.to_string(),
             format!("{:.0}%", det * 100.0),
@@ -169,28 +203,28 @@ mod tests {
     #[test]
     fn detection_needs_redundancy() {
         // Zero observers: undetectable (the paper's hard case).
-        assert_eq!(ghost_detection_rate(0, 30, 1), 0.0);
+        assert_eq!(ghost_detection_rate(0, 30, &SimRng::seed(1), 1), 0.0);
         // Several observers: reliably detected.
-        assert!(ghost_detection_rate(4, 30, 1) > 0.9);
+        assert!(ghost_detection_rate(4, 30, &SimRng::seed(1), 1) > 0.9);
     }
 
     #[test]
     fn false_positives_stay_low() {
-        assert!(honest_false_positive_rate(4, 30, 2) < 0.15);
+        assert!(honest_false_positive_rate(4, 30, &SimRng::seed(2), 1) < 0.15);
     }
 
     #[test]
     fn removal_needs_redundancy_too() {
         // Lone attacker as only observer: object vanishes every time.
-        assert!(removal_loss_rate(0, 30, 3) > 0.95);
+        assert!(removal_loss_rate(0, 30, &SimRng::seed(3), 1) > 0.95);
         // Any honest observer keeps the object alive (minus sensor
         // misses).
-        assert!(removal_loss_rate(2, 30, 3) < 0.1);
+        assert!(removal_loss_rate(2, 30, &SimRng::seed(3), 1) < 0.1);
     }
 
     #[test]
     fn competition_table_shape() {
-        let t = e11_competition_table();
+        let t = e11_competition_table(&RunCtx::default());
         assert_eq!(t.rows.len(), 6);
         // Selfish gain at p=0 is ~0; at p=0.5 it is large.
         let gain0: f64 = t.rows[0][4].parse().expect("number");

@@ -32,7 +32,9 @@ pub fn defense_matrix() -> Vec<(&'static str, DefenseConfig)> {
 pub fn killchain_run(fleet: usize, defenses: DefenseConfig, seed: u64) -> usize {
     let mut rng = SimRng::seed(seed);
     let backend = TelemetryBackend::build(fleet, defenses, &mut rng);
-    Attacker::new().execute(&backend, &mut rng).records_exfiltrated
+    Attacker::new()
+        .execute(&backend, &mut rng)
+        .records_exfiltrated
 }
 
 /// E9 main table.
@@ -40,7 +42,13 @@ pub fn e9_killchain_table() -> Table {
     let mut t = Table::new(
         "E9",
         "Fig. 8 — CARIAD kill chain vs defense configuration",
-        &["defense", "stages done", "blocked at", "detected at", "records lost"],
+        &[
+            "defense",
+            "stages done",
+            "blocked at",
+            "detected at",
+            "records lost",
+        ],
     );
     for (label, cfg) in defense_matrix() {
         let mut rng = SimRng::seed(38);
@@ -67,7 +75,12 @@ pub fn e9_surface_table() -> Table {
     let mut t = Table::new(
         "E9",
         "§V-B3/§V-C — attack surface vs connected services, and minimization",
-        &["cloud services", "interfaces", "surface score", "after minimization"],
+        &[
+            "cloud services",
+            "interfaces",
+            "surface score",
+            "after minimization",
+        ],
     );
     for n in [0usize, 2, 5, 10, 20] {
         let inv = SurfaceInventory::connected_vehicle(n);

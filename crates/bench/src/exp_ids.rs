@@ -4,6 +4,7 @@
 use autosec_core::assessment::{depth_sweep, score};
 use autosec_core::campaign::{run_campaign, DefensePosture};
 use autosec_core::layers::ArchLayer;
+use autosec_runner::{par_trials, RunCtx};
 
 use crate::Table;
 
@@ -25,31 +26,48 @@ pub fn e1_depth_sweep() -> Table {
 }
 
 /// E13 table: single-layer coverage versus the fused view.
-pub fn e13_synergy_table() -> Table {
+///
+/// Every posture replays the *same* campaign (one shared seed derived
+/// from `ctx`) so rows differ only in the defense, not the attacks.
+/// Postures are independent, so they fan out through [`par_trials`].
+pub fn e13_synergy_table(ctx: &RunCtx) -> Table {
     let mut t = Table::new(
         "E13",
         "§VIII — IDS synergy: coverage per defended layer vs full stack",
-        &["posture", "attacks succeeded", "detected", "fused coverage", "synergy gain"],
+        &[
+            "posture",
+            "attacks succeeded",
+            "detected",
+            "fused coverage",
+            "synergy gain",
+        ],
     );
-    let mut add = |label: String, posture: DefensePosture| {
-        let r = run_campaign(&posture, 1313);
-        let s = score(&r);
-        t.push_row(vec![
-            label,
-            format!("{}/{}", r.succeeded_attacks(), r.total_attacks()),
-            format!("{}/{}", r.detected_attacks(), r.total_attacks()),
-            format!("{:.0}%", s.fused_coverage * 100.0),
-            format!("{:+.0}pp", s.synergy_gain * 100.0),
-        ]);
-    };
-    add("none".into(), DefensePosture::none());
+    let mut postures = vec![("none".to_owned(), DefensePosture::none())];
     for layer in ArchLayer::ALL {
         if layer == ArchLayer::SystemOfSystems {
             continue; // covered by the data posture in `only`
         }
-        add(format!("only {layer}"), DefensePosture::only(layer));
+        postures.push((format!("only {layer}"), DefensePosture::only(layer)));
     }
-    add("full stack".into(), DefensePosture::full());
+    postures.push(("full stack".to_owned(), DefensePosture::full()));
+
+    let base = ctx.rng("e13-campaign");
+    let campaign_seed = base.master_seed();
+    let rows = par_trials(ctx.jobs, postures.len(), &base, |i, _rng| {
+        let (label, posture) = &postures[i];
+        let r = run_campaign(posture, campaign_seed);
+        let s = score(&r);
+        vec![
+            label.clone(),
+            format!("{}/{}", r.succeeded_attacks(), r.total_attacks()),
+            format!("{}/{}", r.detected_attacks(), r.total_attacks()),
+            format!("{:.0}%", s.fused_coverage * 100.0),
+            format!("{:+.0}pp", s.synergy_gain * 100.0),
+        ]
+    });
+    for row in rows {
+        t.push_row(row);
+    }
     t
 }
 
@@ -69,7 +87,7 @@ mod tests {
 
     #[test]
     fn synergy_table_full_stack_dominates() {
-        let t = e13_synergy_table();
+        let t = e13_synergy_table(&RunCtx::default());
         let full = t.rows.last().expect("nonempty");
         let full_detected: usize = full[2]
             .split('/')

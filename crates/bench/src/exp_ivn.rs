@@ -113,8 +113,12 @@ pub fn bus_saturation_run(frames: usize) -> usize {
     for i in 0..frames {
         let node = if i % 2 == 0 { a } else { b };
         let id = CanId::standard((0x100 + (i % 64) as u16).min(0x7FF)).expect("valid id");
-        bus.enqueue(node, SimTime::ZERO, CanFrame::new(id, &[0xA5; 8]).expect("8 bytes"))
-            .expect("node exists");
+        bus.enqueue(
+            node,
+            SimTime::ZERO,
+            CanFrame::new(id, &[0xA5; 8]).expect("8 bytes"),
+        )
+        .expect("node exists");
     }
     bus.run(SimTime::from_secs(60)).len()
 }

@@ -4,6 +4,7 @@ use autosec_phy::attacks::{HrpAttack, OvershadowAttack};
 use autosec_phy::enlargement::{EnlargementConfig, EnlargementDetector};
 use autosec_phy::hrp::{HrpConfig, HrpRanging, ReceiverKind};
 use autosec_phy::lrp::{LrpAttack, LrpConfig, LrpSession};
+use autosec_runner::{par_trials, RunCtx};
 use autosec_sim::SimRng;
 
 use crate::Table;
@@ -61,7 +62,11 @@ pub fn e2_hrp_attack_table() -> Table {
         "E2",
         "Fig. 2 — HRP STS ranging: distance-reduction attacks vs receiver",
         &[
-            "attacker", "power", "naive success", "checked success", "checked rejects",
+            "attacker",
+            "power",
+            "naive success",
+            "checked success",
+            "checked rejects",
         ],
     );
     for (label, knowledge) in [("cicada (blind)", 0.0), ("ed/lc k=0.7", 0.7)] {
@@ -81,7 +86,11 @@ pub fn e2_hrp_attack_table() -> Table {
 }
 
 /// E2 LRP table: early-commit success probability versus round count.
-pub fn e2_lrp_rounds_table() -> Table {
+///
+/// The 2000-trial sweep per row runs on [`par_trials`]: trial `i`
+/// always uses the `fork_idx(i)` stream, so rows are identical for any
+/// `ctx.jobs`.
+pub fn e2_lrp_rounds_table(ctx: &RunCtx) -> Table {
     let mut t = Table::new(
         "E2",
         "Fig. 2 — LRP distance bounding: early-commit survival vs rounds",
@@ -92,19 +101,19 @@ pub fn e2_lrp_rounds_table() -> Table {
             n_rounds,
             ..LrpConfig::default()
         });
-        let mut rng = SimRng::seed(17);
+        let base = ctx.rng("e2-lrp-rounds").fork(&n_rounds.to_string());
         let trials = 2000;
-        let mut survived = 0;
-        for _ in 0..trials {
+        let survived = par_trials(ctx.jobs, trials, &base, |_, mut rng| {
             let out = session.measure(
                 20.0,
                 Some(LrpAttack::EarlyCommit { advance_m: 10.0 }),
                 &mut rng,
             );
-            if !out.aborted {
-                survived += 1;
-            }
-        }
+            !out.aborted
+        })
+        .into_iter()
+        .filter(|&s| s)
+        .count();
         t.push_row(vec![
             n_rounds.to_string(),
             format!("{:.2}%", survived as f64 / trials as f64 * 100.0),
@@ -170,7 +179,15 @@ mod tests {
     #[test]
     fn tables_render() {
         assert!(e2_hrp_attack_table().rows.len() == 8);
-        assert!(e2_lrp_rounds_table().rows.len() == 6);
+        assert!(e2_lrp_rounds_table(&RunCtx::default()).rows.len() == 6);
         assert!(e2b_enlargement_table().rows.len() == 6);
+    }
+
+    #[test]
+    fn lrp_survival_decays_with_rounds() {
+        let t = e2_lrp_rounds_table(&RunCtx::default());
+        let pct = |row: &[String]| -> f64 { row[1].trim_end_matches('%').parse().expect("number") };
+        assert!(pct(&t.rows[0]) > 40.0, "1 round ≈ coin flip");
+        assert!(pct(&t.rows[5]) < 1.0, "32 rounds ≈ 2^-32");
     }
 }

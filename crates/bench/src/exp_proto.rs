@@ -32,7 +32,13 @@ pub fn e4_overhead_table() -> Table {
     let mut t = Table::new(
         "E4",
         "Table I protocols — measured per-message overhead (64 B payload)",
-        &["protocol", "layer", "overhead B", "confidential", "replay protection"],
+        &[
+            "protocol",
+            "layer",
+            "overhead B",
+            "confidential",
+            "replay protection",
+        ],
     );
     let payload = vec![0xA5u8; 64];
 
@@ -73,7 +79,10 @@ pub fn e4_overhead_table() -> Table {
     // MACsec: SecTAG + ICV around the (here encrypted) payload.
     let mut mtx = MacsecTx::new([3; 16], 5, MacsecMode::AuthenticatedEncryption);
     let frame = mtx.protect(&payload).expect("fresh pn");
-    debug_assert_eq!(frame.wire_len() - payload.len(), MacsecFrame::overhead_bytes());
+    debug_assert_eq!(
+        frame.wire_len() - payload.len(),
+        MacsecFrame::overhead_bytes()
+    );
     t.push_row(vec![
         "MACsec".into(),
         "2 data link".into(),
@@ -101,8 +110,14 @@ pub fn e567_scenario_table() -> Table {
         "E5-E7",
         "Figs. 4-6 — deployment scenarios S1/S2/S3",
         &[
-            "scenario", "payload B", "overhead B", "frames", "crypto ops",
-            "ZC keys", "latency us", "confidential",
+            "scenario",
+            "payload B",
+            "overhead B",
+            "frames",
+            "crypto ops",
+            "ZC keys",
+            "latency us",
+            "confidential",
         ],
     );
     for payload in [8usize, 64, 256, 1024] {
@@ -116,7 +131,12 @@ pub fn e567_scenario_table() -> Table {
                 r.crypto_ops.to_string(),
                 r.zc_session_keys.to_string(),
                 format!("{:.1}", r.e2e_latency_us),
-                if r.confidential_on_segment { "yes" } else { "no" }.into(),
+                if r.confidential_on_segment {
+                    "yes"
+                } else {
+                    "no"
+                }
+                .into(),
             ]);
         }
     }

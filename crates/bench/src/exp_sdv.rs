@@ -80,8 +80,10 @@ pub fn reconfiguration_run(n_components: usize, seed: u64) -> ReconfigOutcome {
             &mut rogue,
         )
         .expect("registration is open");
-    let rogue_rejected =
-        usize::from(matches!(platform.place("implant", "hpc-0"), Err(SdvError::AuthFailed(_))));
+    let rogue_rejected = usize::from(matches!(
+        platform.place("implant", "hpc-0"),
+        Err(SdvError::AuthFailed(_))
+    ));
 
     // Failover.
     let stranded = platform.fail_node("hpc-0").expect("known node");
@@ -98,7 +100,13 @@ pub fn e8_reconfiguration_table() -> Table {
     let mut t = Table::new(
         "E8",
         "Fig. 7 — zero-trust SDV reconfiguration",
-        &["components", "placed", "rogue rejected", "failover recovered", "auth ops"],
+        &[
+            "components",
+            "placed",
+            "rogue rejected",
+            "failover recovered",
+            "auth ops",
+        ],
     );
     for n in [2usize, 5, 10] {
         let r = reconfiguration_run(n, 88);
@@ -118,7 +126,14 @@ pub fn e8b_charging_table() -> Table {
     let mut t = Table::new(
         "E8b",
         "§IV-C — plug-and-charge: ISO-15118-style PKI vs SSI",
-        &["flow", "messages", "verifications", "station roots", "offline", "authorized"],
+        &[
+            "flow",
+            "messages",
+            "verifications",
+            "station roots",
+            "offline",
+            "authorized",
+        ],
     );
     let mut rng = SimRng::seed(15118);
     for n_emsp in [1usize, 4, 16] {

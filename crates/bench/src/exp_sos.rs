@@ -1,29 +1,57 @@
 //! E10: system-of-systems cascade risk and real-time DoS (Fig. 9, §VI).
 
-use autosec_sos::cascade::{simulate, with_coupling_scale};
+use autosec_runner::{par_trials_fold, RunCtx};
+use autosec_sim::SimRng;
+use autosec_sos::cascade::{cascade_trial, simulate, with_coupling_scale, CascadeAccumulator};
 use autosec_sos::model::SystemLevel;
 use autosec_sos::realtime::RealtimeLink;
 use autosec_sos::reference::maas_reference;
-use autosec_sim::SimRng;
 
 use crate::Table;
 
 /// E10 main table: cascade risk per entry point and coupling scale.
-pub fn e10_cascade_table() -> Table {
+///
+/// Each cell folds 2000 [`cascade_trial`] masks into a
+/// [`CascadeAccumulator`] via [`par_trials_fold`] — trial `i` on the
+/// `fork_idx(i)` stream, merged in trial order, so the table is
+/// identical for any `ctx.jobs`.
+pub fn e10_cascade_table(ctx: &RunCtx) -> Table {
     let mut t = Table::new(
         "E10",
         "Fig. 9 — breach cascades in the MaaS system of systems",
         &[
-            "entry point", "coupling", "E[compromised]", "P[reach safety fn]",
+            "entry point",
+            "coupling",
+            "E[compromised]",
+            "P[reach safety fn]",
         ],
     );
     let base = maas_reference();
-    for entry_name in ["maas-platform", "cloud-backend", "passenger-os", "vehicle-os"] {
+    for entry_name in [
+        "maas-platform",
+        "cloud-backend",
+        "passenger-os",
+        "vehicle-os",
+    ] {
         for scale in [0.5, 1.0, 1.5] {
             let g = with_coupling_scale(&base, scale);
             let entry = g.find(entry_name).expect("reference node");
-            let mut rng = SimRng::seed(1010);
-            let r = simulate(&g, entry, 2000, &mut rng);
+            let trial_base = ctx
+                .rng("e10-cascade")
+                .fork(entry_name)
+                .fork(&format!("{scale:.1}"));
+            let acc = par_trials_fold(
+                ctx.jobs,
+                2000,
+                &trial_base,
+                |_, mut rng| cascade_trial(&g, entry, &mut rng),
+                CascadeAccumulator::new(&g),
+                |mut acc, _, mask| {
+                    acc.add(&mask);
+                    acc
+                },
+            );
+            let r = acc.report(entry);
             t.push_row(vec![
                 entry_name.to_owned(),
                 format!("{scale:.1}x"),
@@ -70,7 +98,12 @@ pub fn e10_realtime_table() -> Table {
     let mut t = Table::new(
         "E10",
         "§VI-B — real-time stream under DoS flood",
-        &["flood msgs/s", "utilisation", "mean wait ms", "deadline misses"],
+        &[
+            "flood msgs/s",
+            "utilisation",
+            "mean wait ms",
+            "deadline misses",
+        ],
     );
     let link = RealtimeLink::control_stream();
     for attack in [0.0, 300.0, 600.0, 800.0, 880.0, 950.0] {
@@ -105,12 +138,18 @@ mod tests {
 
     #[test]
     fn cascade_table_risk_grows_with_coupling() {
-        let t = e10_cascade_table();
+        let t = e10_cascade_table(&RunCtx::default());
         // Rows come in triples per entry; within each triple, expected
         // compromised must be nondecreasing.
         for chunk in t.rows.chunks(3) {
-            let vals: Vec<f64> = chunk.iter().map(|r| r[2].parse().expect("number")).collect();
-            assert!(vals[0] <= vals[1] + 0.2 && vals[1] <= vals[2] + 0.2, "{vals:?}");
+            let vals: Vec<f64> = chunk
+                .iter()
+                .map(|r| r[2].parse().expect("number"))
+                .collect();
+            assert!(
+                vals[0] <= vals[1] + 0.2 && vals[1] <= vals[2] + 0.2,
+                "{vals:?}"
+            );
         }
     }
 

@@ -6,8 +6,14 @@
 //! paper-vs-measured record.
 //!
 //! Each `exp_*` module exposes functions returning [`Table`]s; the
-//! `experiments` binary prints them, and the Criterion benches in
-//! `benches/` measure the runtime of the underlying workloads.
+//! [`registry`] collects them as [`Experiment`]s with ids, slugs, tags
+//! and cost classes, the `experiments` binary runs the registry (with
+//! `--jobs`/`--seed`/`--json`), and the Criterion benches in `benches/`
+//! measure the runtime of the underlying workloads.
+
+pub use autosec_runner::{
+    ArtifactStore, Cost, Experiment, ExperimentRecord, Registry, RunCtx, RunManifest, Table,
+};
 
 pub mod exp_ablations;
 pub mod exp_collab;
@@ -19,98 +25,233 @@ pub mod exp_proto;
 pub mod exp_sdv;
 pub mod exp_sos;
 
-/// A rendered experiment table.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct Table {
-    /// Experiment id, e.g. `"E2"`.
-    pub id: &'static str,
-    /// Title (paper anchor).
-    pub title: &'static str,
-    /// Column headers.
-    pub headers: Vec<String>,
-    /// Data rows.
-    pub rows: Vec<Vec<String>>,
+/// Every experiment of the suite, in paper order.
+///
+/// Slugs are the artifact file stems and must stay unique; ids are the
+/// paper's table groups (several experiments can share one id, e.g. the
+/// three E10 tables).
+pub fn registry() -> Registry {
+    use Cost::{Cheap, Heavy, Moderate};
+    let mut r = Registry::new();
+    let mut reg = |id, slug, title, tags, cost, run: fn(&RunCtx) -> Table| {
+        r.register(Experiment::new(id, slug, title, tags, cost, run));
+    };
+    reg(
+        "E1",
+        "e1-depth-sweep",
+        "Fig. 1 — defense-in-depth curve",
+        &["framework", "campaign"],
+        Moderate,
+        |_| exp_ids::e1_depth_sweep(),
+    );
+    reg(
+        "E2",
+        "e2-hrp-attacks",
+        "Fig. 2 — HRP STS distance-reduction attacks",
+        &["phy", "ranging"],
+        Moderate,
+        |_| exp_phy::e2_hrp_attack_table(),
+    );
+    reg(
+        "E2",
+        "e2-lrp-rounds",
+        "Fig. 2 — LRP early-commit survival vs rounds",
+        &["phy", "ranging", "parallel"],
+        Heavy,
+        exp_phy::e2_lrp_rounds_table,
+    );
+    reg(
+        "E2b",
+        "e2b-enlargement",
+        "§II-B — distance enlargement vs UWB-ED",
+        &["phy", "ranging"],
+        Moderate,
+        |_| exp_phy::e2b_enlargement_table(),
+    );
+    reg(
+        "E3",
+        "e3-technologies",
+        "Table — IVN technology comparison",
+        &["ivn"],
+        Cheap,
+        |_| exp_ivn::e3_technology_table(),
+    );
+    reg(
+        "E3",
+        "e3-zonal-latency",
+        "§III — zonal network latency under load",
+        &["ivn", "simulation"],
+        Moderate,
+        |_| exp_ivn::e3_zonal_simulation_table(),
+    );
+    reg(
+        "E3",
+        "e3-masquerade",
+        "§III — CAN masquerade detection",
+        &["ivn", "attack"],
+        Moderate,
+        |_| exp_ivn::e3_masquerade_table(),
+    );
+    reg(
+        "E4",
+        "e4-protocol-matrix",
+        "Table 1 — security protocol comparison",
+        &["protocols"],
+        Cheap,
+        |_| exp_proto::e4_table1(),
+    );
+    reg(
+        "E4",
+        "e4-overhead",
+        "§IV — protocol overhead measurements",
+        &["protocols", "overhead"],
+        Moderate,
+        |_| exp_proto::e4_overhead_table(),
+    );
+    reg(
+        "E5-E7",
+        "e567-scenarios",
+        "§V — end-to-end attack scenarios",
+        &["scenarios"],
+        Moderate,
+        |_| exp_proto::e567_scenario_table(),
+    );
+    reg(
+        "E8",
+        "e8-reconfiguration",
+        "§V — SDV reconfiguration race",
+        &["sdv"],
+        Moderate,
+        |_| exp_sdv::e8_reconfiguration_table(),
+    );
+    reg(
+        "E8b",
+        "e8b-charging",
+        "§V — charging-session SSI handshake",
+        &["sdv", "ssi"],
+        Moderate,
+        |_| exp_sdv::e8b_charging_table(),
+    );
+    reg(
+        "E9",
+        "e9-killchain",
+        "§VI — data-driven kill chain",
+        &["data"],
+        Moderate,
+        |_| exp_data::e9_killchain_table(),
+    );
+    reg(
+        "E9",
+        "e9-surface",
+        "§VI — attack-surface inventory",
+        &["data"],
+        Cheap,
+        |_| exp_data::e9_surface_table(),
+    );
+    reg(
+        "E10",
+        "e10-structure",
+        "Fig. 9 — MaaS system-of-systems structure",
+        &["sos"],
+        Cheap,
+        |_| exp_sos::e10_structure_table(),
+    );
+    reg(
+        "E10",
+        "e10-cascade",
+        "Fig. 9 — breach cascades across the SoS",
+        &["sos", "montecarlo", "parallel"],
+        Heavy,
+        exp_sos::e10_cascade_table,
+    );
+    reg(
+        "E10",
+        "e10-realtime",
+        "§VI-B — real-time stream under DoS",
+        &["sos", "realtime"],
+        Moderate,
+        |_| exp_sos::e10_realtime_table(),
+    );
+    reg(
+        "E11",
+        "e11-competition",
+        "§VII-A — intersection competition",
+        &["collab", "gametheory", "parallel"],
+        Heavy,
+        exp_collab::e11_competition_table,
+    );
+    reg(
+        "E12",
+        "e12-misbehavior",
+        "§VII-B — ghost-object fabrication vs redundancy",
+        &["collab", "misbehavior", "parallel"],
+        Heavy,
+        exp_collab::e12_misbehavior_table,
+    );
+    reg(
+        "E12",
+        "e12-removal",
+        "§VII-B — object-removal attack",
+        &["collab", "misbehavior", "parallel"],
+        Heavy,
+        exp_collab::e12_removal_table,
+    );
+    reg(
+        "E13",
+        "e13-synergy",
+        "§VIII — IDS multi-layer synergy",
+        &["ids", "campaign", "parallel"],
+        Heavy,
+        exp_ids::e13_synergy_table,
+    );
+    reg(
+        "A1",
+        "a1-hrp-threshold",
+        "Ablation — HRP integrity threshold sweep",
+        &["ablation", "phy"],
+        Moderate,
+        |_| exp_ablations::a1_hrp_threshold_table(),
+    );
+    reg(
+        "A2",
+        "a2-secoc-truncation",
+        "Ablation — SecOC MAC truncation",
+        &["ablation", "ivn"],
+        Moderate,
+        |_| exp_ablations::a2_secoc_truncation_table(),
+    );
+    reg(
+        "A3",
+        "a3-canal-mtu",
+        "Ablation — CANAL MTU sweep",
+        &["ablation", "ivn"],
+        Moderate,
+        |_| exp_ablations::a3_canal_mtu_table(),
+    );
+    reg(
+        "A4",
+        "a4-seemqtt",
+        "Ablation — SeeMQTT trust chain",
+        &["ablation", "protocols"],
+        Moderate,
+        |_| exp_ablations::a4_seemqtt_table(),
+    );
+    reg(
+        "A5",
+        "a5-vrange",
+        "Ablation — V-Range defense sweep",
+        &["ablation", "phy"],
+        Moderate,
+        |_| exp_ablations::a5_vrange_table(),
+    );
+    r
 }
 
-impl Table {
-    /// Creates a table from string-convertible headers.
-    pub fn new(id: &'static str, title: &'static str, headers: &[&str]) -> Self {
-        Self {
-            id,
-            title,
-            headers: headers.iter().map(|h| (*h).to_owned()).collect(),
-            rows: Vec::new(),
-        }
-    }
-
-    /// Appends a row.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the row width does not match the header width.
-    pub fn push_row(&mut self, row: Vec<String>) {
-        assert_eq!(row.len(), self.headers.len(), "row width mismatch");
-        self.rows.push(row);
-    }
-}
-
-impl std::fmt::Display for Table {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
-        for row in &self.rows {
-            for (i, cell) in row.iter().enumerate() {
-                widths[i] = widths[i].max(cell.len());
-            }
-        }
-        writeln!(f, "== {} — {} ==", self.id, self.title)?;
-        for (i, h) in self.headers.iter().enumerate() {
-            write!(f, "{:<w$}  ", h, w = widths[i])?;
-        }
-        writeln!(f)?;
-        for (i, _) in self.headers.iter().enumerate() {
-            write!(f, "{}  ", "-".repeat(widths[i]))?;
-        }
-        writeln!(f)?;
-        for row in &self.rows {
-            for (i, cell) in row.iter().enumerate() {
-                write!(f, "{:<w$}  ", cell, w = widths[i])?;
-            }
-            writeln!(f)?;
-        }
-        Ok(())
-    }
-}
-
-/// Every experiment in order, for the `all` runner.
+/// Every experiment table in order, under the default context
+/// (seed 42, one worker). Compatibility wrapper over [`registry`].
 pub fn all_tables() -> Vec<Table> {
-    vec![
-        exp_ids::e1_depth_sweep(),
-        exp_phy::e2_hrp_attack_table(),
-        exp_phy::e2_lrp_rounds_table(),
-        exp_phy::e2b_enlargement_table(),
-        exp_ivn::e3_technology_table(),
-        exp_ivn::e3_zonal_simulation_table(),
-        exp_ivn::e3_masquerade_table(),
-        exp_proto::e4_table1(),
-        exp_proto::e4_overhead_table(),
-        exp_proto::e567_scenario_table(),
-        exp_sdv::e8_reconfiguration_table(),
-        exp_sdv::e8b_charging_table(),
-        exp_data::e9_killchain_table(),
-        exp_data::e9_surface_table(),
-        exp_sos::e10_structure_table(),
-        exp_sos::e10_cascade_table(),
-        exp_sos::e10_realtime_table(),
-        exp_collab::e11_competition_table(),
-        exp_collab::e12_misbehavior_table(),
-        exp_collab::e12_removal_table(),
-        exp_ids::e13_synergy_table(),
-        exp_ablations::a1_hrp_threshold_table(),
-        exp_ablations::a2_secoc_truncation_table(),
-        exp_ablations::a3_canal_mtu_table(),
-        exp_ablations::a4_seemqtt_table(),
-        exp_ablations::a5_vrange_table(),
-    ]
+    let ctx = RunCtx::default();
+    registry().iter().map(|e| e.run(&ctx)).collect()
 }
 
 #[cfg(test)]
@@ -118,19 +259,34 @@ mod tests {
     use super::*;
 
     #[test]
-    fn table_renders_aligned() {
-        let mut t = Table::new("EX", "demo", &["a", "long-header"]);
-        t.push_row(vec!["1".into(), "2".into()]);
-        let s = t.to_string();
-        assert!(s.contains("EX"));
-        assert!(s.contains("long-header"));
-        assert!(s.lines().count() >= 4);
+    fn registry_covers_all_groups() {
+        let r = registry();
+        assert_eq!(r.len(), 26);
+        let ids = r.group_ids();
+        for want in [
+            "E1", "E2", "E2b", "E3", "E4", "E5-E7", "E8", "E8b", "E9", "E10", "E11", "E12", "E13",
+            "A1", "A2", "A3", "A4", "A5",
+        ] {
+            assert!(ids.contains(&want), "missing group {want}");
+        }
     }
 
     #[test]
-    #[should_panic(expected = "row width")]
-    fn mismatched_row_panics() {
-        let mut t = Table::new("EX", "demo", &["a"]);
-        t.push_row(vec!["1".into(), "2".into()]);
+    fn registry_selects_exact_groups() {
+        let r = registry();
+        // Substring matching would drag E10–E13 in here.
+        assert_eq!(r.select("E1").len(), 1);
+        assert_eq!(r.select("e10").len(), 3);
+        assert_eq!(r.select("e2-lrp-rounds").len(), 1);
+        assert!(r.select("E99").is_empty());
+    }
+
+    #[test]
+    fn cheap_experiments_run_under_default_ctx() {
+        let ctx = RunCtx::default();
+        for e in registry().iter().filter(|e| e.cost == Cost::Cheap) {
+            let t = e.run(&ctx);
+            assert!(!t.rows.is_empty(), "{} produced no rows", e.slug);
+        }
     }
 }

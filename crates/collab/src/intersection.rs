@@ -54,6 +54,127 @@ pub struct IntersectionReport {
     pub selfish_advantage: f64,
 }
 
+/// Outcome of a single protocol round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RoundOutcome {
+    /// Exactly one agent moved: a crossing by that agent index.
+    Crossed(usize),
+    /// Two or more movers: everyone slams the brakes; slot wasted.
+    Conflict,
+    /// Nobody moved.
+    Deadlock,
+}
+
+/// Plays round number `round` (its position fixes whose turn it is:
+/// `round % 4`).
+///
+/// Rounds are independent given their number, so a sweep can run them
+/// on any RNG streams (e.g. one [`SimRng::fork_idx`] stream per round
+/// in a parallel run) and fold the outcomes into an
+/// [`IntersectionAccumulator`].
+///
+/// # Panics
+///
+/// Panics unless exactly four agents are given.
+pub fn round_outcome(agents: &[Agent], round: usize, rng: &mut SimRng) -> RoundOutcome {
+    assert_eq!(agents.len(), 4, "four-way intersection needs four agents");
+    let turn = round % 4;
+    // Who attempts to move this round?
+    let mut movers = Vec::new();
+    for (i, agent) in agents.iter().enumerate() {
+        let attempts = if i == turn {
+            !rng.chance(agent.hesitation)
+        } else {
+            rng.chance(agent.self_interest)
+        };
+        if attempts {
+            movers.push(i);
+        }
+    }
+    match movers.len() {
+        0 => RoundOutcome::Deadlock,
+        1 => RoundOutcome::Crossed(movers[0]),
+        _ => RoundOutcome::Conflict,
+    }
+}
+
+/// Mergeable tally of round outcomes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct IntersectionAccumulator {
+    crossings: [usize; 4],
+    conflicts: usize,
+    deadlocks: usize,
+    rounds: usize,
+}
+
+impl IntersectionAccumulator {
+    /// An empty tally.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Folds one round outcome in.
+    pub fn add(&mut self, outcome: RoundOutcome) {
+        match outcome {
+            RoundOutcome::Crossed(i) => self.crossings[i] += 1,
+            RoundOutcome::Conflict => self.conflicts += 1,
+            RoundOutcome::Deadlock => self.deadlocks += 1,
+        }
+        self.rounds += 1;
+    }
+
+    /// Merges another tally (all counts add).
+    pub fn merge(&mut self, other: &IntersectionAccumulator) {
+        for (c, o) in self.crossings.iter_mut().zip(&other.crossings) {
+            *c += o;
+        }
+        self.conflicts += other.conflicts;
+        self.deadlocks += other.deadlocks;
+        self.rounds += other.rounds;
+    }
+
+    /// Rounds folded in so far.
+    pub fn rounds(&self) -> usize {
+        self.rounds
+    }
+
+    /// Finalizes into a report for the given agent set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no round was folded in or the agent count is not four.
+    pub fn report(&self, agents: &[Agent]) -> IntersectionReport {
+        assert_eq!(agents.len(), 4, "four-way intersection needs four agents");
+        assert!(self.rounds > 0, "need at least one round");
+        let total: usize = self.crossings.iter().sum();
+        let max_selfish = agents
+            .iter()
+            .enumerate()
+            .max_by(|a, b| {
+                a.1.self_interest
+                    .partial_cmp(&b.1.self_interest)
+                    .expect("no NaN")
+            })
+            .map(|(i, _)| i)
+            .expect("nonempty");
+        let others: f64 = self
+            .crossings
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != max_selfish)
+            .map(|(_, &c)| c as f64)
+            .sum::<f64>()
+            / 3.0;
+
+        IntersectionReport {
+            throughput: total as f64 / self.rounds as f64,
+            conflict_rate: self.conflicts as f64 / self.rounds as f64,
+            deadlock_rate: self.deadlocks as f64 / self.rounds as f64,
+            selfish_advantage: self.crossings[max_selfish] as f64 - others,
+        }
+    }
+}
+
 /// Simulates `rounds` protocol rounds with an endless queue behind each
 /// of the four approaches.
 ///
@@ -61,53 +182,11 @@ pub struct IntersectionReport {
 ///
 /// Panics unless exactly four agents are given.
 pub fn simulate(agents: &[Agent], rounds: usize, rng: &mut SimRng) -> IntersectionReport {
-    assert_eq!(agents.len(), 4, "four-way intersection needs four agents");
-    let mut crossings = [0usize; 4];
-    let mut conflicts = 0usize;
-    let mut deadlocks = 0usize;
-
+    let mut acc = IntersectionAccumulator::new();
     for round in 0..rounds {
-        let turn = round % 4;
-        // Who attempts to move this round?
-        let mut movers = Vec::new();
-        for (i, agent) in agents.iter().enumerate() {
-            let attempts = if i == turn {
-                !rng.chance(agent.hesitation)
-            } else {
-                rng.chance(agent.self_interest)
-            };
-            if attempts {
-                movers.push(i);
-            }
-        }
-        match movers.len() {
-            0 => deadlocks += 1,
-            1 => crossings[movers[0]] += 1,
-            _ => conflicts += 1, // everyone slams the brakes; slot wasted
-        }
+        acc.add(round_outcome(agents, round, rng));
     }
-
-    let total: usize = crossings.iter().sum();
-    let max_selfish = agents
-        .iter()
-        .enumerate()
-        .max_by(|a, b| a.1.self_interest.partial_cmp(&b.1.self_interest).expect("no NaN"))
-        .map(|(i, _)| i)
-        .expect("nonempty");
-    let others: f64 = crossings
-        .iter()
-        .enumerate()
-        .filter(|(i, _)| *i != max_selfish)
-        .map(|(_, &c)| c as f64)
-        .sum::<f64>()
-        / 3.0;
-
-    IntersectionReport {
-        throughput: total as f64 / rounds as f64,
-        conflict_rate: conflicts as f64 / rounds as f64,
-        deadlock_rate: deadlocks as f64 / rounds as f64,
-        selfish_advantage: crossings[max_selfish] as f64 - others,
-    }
+    acc.report(agents)
 }
 
 #[cfg(test)]
@@ -154,6 +233,33 @@ mod tests {
         };
         let r = simulate(&[timid; 4], 4000, &mut SimRng::seed(4));
         assert!(r.deadlock_rate > 0.5, "{}", r.deadlock_rate);
+    }
+
+    #[test]
+    fn accumulator_merge_equals_single_pass() {
+        let mut agents = [Agent::cooperative(); 4];
+        agents[1] = Agent::selfish(0.4);
+        let rounds = 1000;
+        let root = SimRng::seed(11);
+        let mut whole = IntersectionAccumulator::new();
+        for r in 0..rounds {
+            let mut rng = root.fork_idx(r as u64);
+            whole.add(round_outcome(&agents, r, &mut rng));
+        }
+        let mut left = IntersectionAccumulator::new();
+        let mut right = IntersectionAccumulator::new();
+        for r in 0..rounds {
+            let mut rng = root.fork_idx(r as u64);
+            let out = round_outcome(&agents, r, &mut rng);
+            if r < rounds / 3 {
+                left.add(out);
+            } else {
+                right.add(out);
+            }
+        }
+        left.merge(&right);
+        assert_eq!(left.rounds(), whole.rounds());
+        assert_eq!(left.report(&agents), whole.report(&agents));
     }
 
     #[test]

@@ -90,10 +90,8 @@ impl MisbehaviorDetector {
         key: &[u8],
         messages: &[V2xMessage],
     ) -> Vec<Flag> {
-        let authentic: Vec<&V2xMessage> = messages
-            .iter()
-            .filter(|m| verify_message(key, m))
-            .collect();
+        let authentic: Vec<&V2xMessage> =
+            messages.iter().filter(|m| verify_message(key, m)).collect();
         let mut flags = Vec::new();
         let mut flagged_this_round: HashMap<VehicleId, bool> = HashMap::new();
 

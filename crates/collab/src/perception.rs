@@ -162,12 +162,7 @@ mod tests {
 
     #[test]
     fn supporters_deduplicate_per_vehicle() {
-        let m = sign_message(
-            KEY,
-            VehicleId(0),
-            1,
-            vec![det(10.0, 10.0), det(10.1, 10.0)],
-        );
+        let m = sign_message(KEY, VehicleId(0), 1, vec![det(10.0, 10.0), det(10.1, 10.0)]);
         let fused = fuse(&[m], 2.0);
         assert_eq!(fused.len(), 1);
         assert_eq!(fused[0].supporters, vec![VehicleId(0)]);

@@ -153,14 +153,14 @@ pub fn run_campaign(posture: &DefensePosture, seed: u64) -> CampaignReport {
     let mut step_idx = 0usize;
 
     let push = |steps: &mut Vec<CampaignStep>,
-                    alerts: &mut Vec<LayerAlert>,
-                    idx: &mut usize,
-                    attack: &'static str,
-                    layer: ArchLayer,
-                    succeeded: bool,
-                    prevented: bool,
-                    detected: bool,
-                    detail: &str| {
+                alerts: &mut Vec<LayerAlert>,
+                idx: &mut usize,
+                attack: &'static str,
+                layer: ArchLayer,
+                succeeded: bool,
+                prevented: bool,
+                detected: bool,
+                detail: &str| {
         let at = SimTime::from_ms(*idx as u64 * 100);
         if detected {
             alerts.push(LayerAlert {
@@ -192,9 +192,14 @@ pub fn run_campaign(posture: &DefensePosture, seed: u64) -> CampaignReport {
         let out = pkes.try_unlock(43.0, Some(&RelayAttack::typical()), &mut rng);
         let succeeded = out.state == PkesState::Unlocked;
         push(
-            &mut steps, &mut alerts, &mut step_idx,
-            "pkes-relay", ArchLayer::Physical,
-            succeeded, !succeeded, !succeeded,
+            &mut steps,
+            &mut alerts,
+            &mut step_idx,
+            "pkes-relay",
+            ArchLayer::Physical,
+            succeeded,
+            !succeeded,
+            !succeeded,
             "relay produced impossible time-of-flight",
         );
     }
@@ -214,9 +219,14 @@ pub fn run_campaign(posture: &DefensePosture, seed: u64) -> CampaignReport {
         let out = ca.decide(Some(&atk), &mut rng);
         let detected = out.action == VehicleAction::DefensiveBrake;
         push(
-            &mut steps, &mut alerts, &mut step_idx,
-            "distance-enlargement", ArchLayer::Physical,
-            out.unsafe_decision, detected, detected,
+            &mut steps,
+            &mut alerts,
+            &mut step_idx,
+            "distance-enlargement",
+            ArchLayer::Physical,
+            out.unsafe_decision,
+            detected,
+            detected,
             "pre-arrival energy above noise floor",
         );
     }
@@ -261,9 +271,14 @@ pub fn run_campaign(posture: &DefensePosture, seed: u64) -> CampaignReport {
             false
         };
         push(
-            &mut steps, &mut alerts, &mut step_idx,
-            "can-masquerade", ArchLayer::Network,
-            forged_delivered && !detected, false, detected,
+            &mut steps,
+            &mut alerts,
+            &mut step_idx,
+            "can-masquerade",
+            ArchLayer::Network,
+            forged_delivered && !detected,
+            false,
+            detected,
             "spoofed id with foreign analog fingerprint",
         );
     }
@@ -306,9 +321,14 @@ pub fn run_campaign(posture: &DefensePosture, seed: u64) -> CampaignReport {
             false
         };
         push(
-            &mut steps, &mut alerts, &mut step_idx,
-            "can-flood-dos", ArchLayer::Network,
-            succeeded, false, detected,
+            &mut steps,
+            &mut alerts,
+            &mut step_idx,
+            "can-flood-dos",
+            ArchLayer::Network,
+            succeeded,
+            false,
+            detected,
             "unknown high-priority id flooding the bus",
         );
     }
@@ -331,17 +351,27 @@ pub fn run_campaign(posture: &DefensePosture, seed: u64) -> CampaignReport {
             };
             let accepted = rx.verify(&forged).is_ok();
             push(
-                &mut steps, &mut alerts, &mut step_idx,
-                "pdu-forgery", ArchLayer::Network,
-                accepted, !accepted, !accepted,
+                &mut steps,
+                &mut alerts,
+                &mut step_idx,
+                "pdu-forgery",
+                ArchLayer::Network,
+                accepted,
+                !accepted,
+                !accepted,
                 "SECOC MAC verification failed on forged PDU",
             );
         } else {
             // Plain CAN: any frame with the right id is accepted.
             push(
-                &mut steps, &mut alerts, &mut step_idx,
-                "pdu-forgery", ArchLayer::Network,
-                true, false, false,
+                &mut steps,
+                &mut alerts,
+                &mut step_idx,
+                "pdu-forgery",
+                ArchLayer::Network,
+                true,
+                false,
+                false,
                 "",
             );
         }
@@ -386,16 +416,26 @@ pub fn run_campaign(posture: &DefensePosture, seed: u64) -> CampaignReport {
             let result = platform.place("implant", "hpc-0");
             let prevented = matches!(result, Err(SdvError::AuthFailed(_)));
             push(
-                &mut steps, &mut alerts, &mut step_idx,
-                "rogue-software-placement", ArchLayer::SoftwarePlatform,
-                !prevented, prevented, prevented,
+                &mut steps,
+                &mut alerts,
+                &mut step_idx,
+                "rogue-software-placement",
+                ArchLayer::SoftwarePlatform,
+                !prevented,
+                prevented,
+                prevented,
                 "component credential has no trust path to an anchor",
             );
         } else {
             push(
-                &mut steps, &mut alerts, &mut step_idx,
-                "rogue-software-placement", ArchLayer::SoftwarePlatform,
-                true, false, false,
+                &mut steps,
+                &mut alerts,
+                &mut step_idx,
+                "rogue-software-placement",
+                ArchLayer::SoftwarePlatform,
+                true,
+                false,
+                false,
                 "",
             );
         }
@@ -412,8 +452,11 @@ pub fn run_campaign(posture: &DefensePosture, seed: u64) -> CampaignReport {
         let backend = TelemetryBackend::build(500, defenses, &mut rng);
         let report = KillChainAttacker::new().execute(&backend, &mut rng);
         push(
-            &mut steps, &mut alerts, &mut step_idx,
-            "telemetry-kill-chain", ArchLayer::Data,
+            &mut steps,
+            &mut alerts,
+            &mut step_idx,
+            "telemetry-kill-chain",
+            ArchLayer::Data,
             report.records_exfiltrated > 0,
             report.blocked_at.is_some(),
             report.detected_at.is_some(),
@@ -456,9 +499,14 @@ pub fn run_campaign(posture: &DefensePosture, seed: u64) -> CampaignReport {
             false
         };
         push(
-            &mut steps, &mut alerts, &mut step_idx,
-            "v2x-ghost-object", ArchLayer::Collaboration,
-            !detected, false, detected,
+            &mut steps,
+            &mut alerts,
+            &mut step_idx,
+            "v2x-ghost-object",
+            ArchLayer::Collaboration,
+            !detected,
+            false,
+            detected,
             "claim lacks corroboration from in-range witnesses",
         );
     }

@@ -86,52 +86,232 @@ pub struct DefenseEntry {
 /// Every attack the paper discusses, mapped to its implementation.
 pub fn attack_catalog() -> Vec<AttackEntry> {
     vec![
-        AttackEntry { name: "pkes-relay", layer: ArchLayer::Physical, module: "autosec_phy::attacks::RelayAttack" },
-        AttackEntry { name: "cicada-early-pulse", layer: ArchLayer::Physical, module: "autosec_phy::attacks::HrpAttack" },
-        AttackEntry { name: "early-detect-late-commit", layer: ArchLayer::Physical, module: "autosec_phy::attacks::HrpAttack" },
-        AttackEntry { name: "distance-enlargement", layer: ArchLayer::Physical, module: "autosec_phy::attacks::OvershadowAttack" },
-        AttackEntry { name: "db-early-commit", layer: ArchLayer::Physical, module: "autosec_phy::lrp::LrpAttack" },
-        AttackEntry { name: "can-masquerade", layer: ArchLayer::Network, module: "autosec_ivn::attacks::MasqueradeAttack" },
-        AttackEntry { name: "can-flood-dos", layer: ArchLayer::Network, module: "autosec_ivn::attacks::FloodAttack" },
-        AttackEntry { name: "can-bus-off", layer: ArchLayer::Network, module: "autosec_ivn::attacks::BusOffAttack" },
-        AttackEntry { name: "pdu-forgery", layer: ArchLayer::Network, module: "autosec_secproto::secoc (negative tests)" },
-        AttackEntry { name: "frame-replay", layer: ArchLayer::Network, module: "autosec_secproto::macsec (replay tests)" },
-        AttackEntry { name: "rogue-software-placement", layer: ArchLayer::SoftwarePlatform, module: "autosec_sdv::platform (unvouched component)" },
-        AttackEntry { name: "forged-ota-update", layer: ArchLayer::SoftwarePlatform, module: "autosec_sdv::update (tampered package)" },
-        AttackEntry { name: "did-hijack", layer: ArchLayer::SoftwarePlatform, module: "autosec_ssi::registry (rotation tests)" },
-        AttackEntry { name: "telemetry-kill-chain", layer: ArchLayer::Data, module: "autosec_data::killchain::Attacker" },
-        AttackEntry { name: "breach-cascade", layer: ArchLayer::SystemOfSystems, module: "autosec_sos::cascade" },
-        AttackEntry { name: "realtime-dos", layer: ArchLayer::SystemOfSystems, module: "autosec_sos::realtime" },
-        AttackEntry { name: "v2x-external-injection", layer: ArchLayer::Collaboration, module: "autosec_collab::attacks::ExternalInjector" },
-        AttackEntry { name: "v2x-ghost-object", layer: ArchLayer::Collaboration, module: "autosec_collab::attacks::InternalFabricator" },
-        AttackEntry { name: "v2x-object-removal", layer: ArchLayer::Collaboration, module: "autosec_collab::attacks::InternalFabricator" },
-        AttackEntry { name: "selfish-optimization", layer: ArchLayer::Collaboration, module: "autosec_collab::intersection" },
+        AttackEntry {
+            name: "pkes-relay",
+            layer: ArchLayer::Physical,
+            module: "autosec_phy::attacks::RelayAttack",
+        },
+        AttackEntry {
+            name: "cicada-early-pulse",
+            layer: ArchLayer::Physical,
+            module: "autosec_phy::attacks::HrpAttack",
+        },
+        AttackEntry {
+            name: "early-detect-late-commit",
+            layer: ArchLayer::Physical,
+            module: "autosec_phy::attacks::HrpAttack",
+        },
+        AttackEntry {
+            name: "distance-enlargement",
+            layer: ArchLayer::Physical,
+            module: "autosec_phy::attacks::OvershadowAttack",
+        },
+        AttackEntry {
+            name: "db-early-commit",
+            layer: ArchLayer::Physical,
+            module: "autosec_phy::lrp::LrpAttack",
+        },
+        AttackEntry {
+            name: "can-masquerade",
+            layer: ArchLayer::Network,
+            module: "autosec_ivn::attacks::MasqueradeAttack",
+        },
+        AttackEntry {
+            name: "can-flood-dos",
+            layer: ArchLayer::Network,
+            module: "autosec_ivn::attacks::FloodAttack",
+        },
+        AttackEntry {
+            name: "can-bus-off",
+            layer: ArchLayer::Network,
+            module: "autosec_ivn::attacks::BusOffAttack",
+        },
+        AttackEntry {
+            name: "pdu-forgery",
+            layer: ArchLayer::Network,
+            module: "autosec_secproto::secoc (negative tests)",
+        },
+        AttackEntry {
+            name: "frame-replay",
+            layer: ArchLayer::Network,
+            module: "autosec_secproto::macsec (replay tests)",
+        },
+        AttackEntry {
+            name: "rogue-software-placement",
+            layer: ArchLayer::SoftwarePlatform,
+            module: "autosec_sdv::platform (unvouched component)",
+        },
+        AttackEntry {
+            name: "forged-ota-update",
+            layer: ArchLayer::SoftwarePlatform,
+            module: "autosec_sdv::update (tampered package)",
+        },
+        AttackEntry {
+            name: "did-hijack",
+            layer: ArchLayer::SoftwarePlatform,
+            module: "autosec_ssi::registry (rotation tests)",
+        },
+        AttackEntry {
+            name: "telemetry-kill-chain",
+            layer: ArchLayer::Data,
+            module: "autosec_data::killchain::Attacker",
+        },
+        AttackEntry {
+            name: "breach-cascade",
+            layer: ArchLayer::SystemOfSystems,
+            module: "autosec_sos::cascade",
+        },
+        AttackEntry {
+            name: "realtime-dos",
+            layer: ArchLayer::SystemOfSystems,
+            module: "autosec_sos::realtime",
+        },
+        AttackEntry {
+            name: "v2x-external-injection",
+            layer: ArchLayer::Collaboration,
+            module: "autosec_collab::attacks::ExternalInjector",
+        },
+        AttackEntry {
+            name: "v2x-ghost-object",
+            layer: ArchLayer::Collaboration,
+            module: "autosec_collab::attacks::InternalFabricator",
+        },
+        AttackEntry {
+            name: "v2x-object-removal",
+            layer: ArchLayer::Collaboration,
+            module: "autosec_collab::attacks::InternalFabricator",
+        },
+        AttackEntry {
+            name: "selfish-optimization",
+            layer: ArchLayer::Collaboration,
+            module: "autosec_collab::intersection",
+        },
     ]
 }
 
 /// Every defense the paper discusses, mapped to its implementation.
 pub fn defense_catalog() -> Vec<DefenseEntry> {
     vec![
-        DefenseEntry { name: "uwb-tof-ranging", layer: ArchLayer::Physical, module: "autosec_phy::lrp + pkes", counters: &["pkes-relay"] },
-        DefenseEntry { name: "hrp-integrity-check", layer: ArchLayer::Physical, module: "autosec_phy::hrp::ReceiverKind::IntegrityChecked", counters: &["cicada-early-pulse", "early-detect-late-commit"] },
-        DefenseEntry { name: "distance-bounding", layer: ArchLayer::Physical, module: "autosec_phy::lrp::LrpSession", counters: &["db-early-commit", "pkes-relay"] },
-        DefenseEntry { name: "uwb-ed-enlargement-detection", layer: ArchLayer::Physical, module: "autosec_phy::enlargement::EnlargementDetector", counters: &["distance-enlargement"] },
-        DefenseEntry { name: "secoc", layer: ArchLayer::Network, module: "autosec_secproto::secoc", counters: &["can-masquerade", "pdu-forgery", "frame-replay"] },
-        DefenseEntry { name: "macsec", layer: ArchLayer::Network, module: "autosec_secproto::macsec", counters: &["pdu-forgery", "frame-replay"] },
-        DefenseEntry { name: "cansec", layer: ArchLayer::Network, module: "autosec_secproto::cansec", counters: &["pdu-forgery", "frame-replay"] },
-        DefenseEntry { name: "canal-e2e-macsec", layer: ArchLayer::Network, module: "autosec_secproto::canal", counters: &["pdu-forgery"] },
-        DefenseEntry { name: "can-ids", layer: ArchLayer::Network, module: "autosec_ids::detectors", counters: &["can-masquerade", "can-flood-dos", "can-bus-off"] },
-        DefenseEntry { name: "sender-fingerprinting", layer: ArchLayer::Network, module: "autosec_ids::detectors::FingerprintDetector", counters: &["can-masquerade"] },
-        DefenseEntry { name: "zero-trust-reconfiguration", layer: ArchLayer::SoftwarePlatform, module: "autosec_sdv::platform", counters: &["rogue-software-placement"] },
-        DefenseEntry { name: "signed-ota", layer: ArchLayer::SoftwarePlatform, module: "autosec_sdv::update", counters: &["forged-ota-update"] },
-        DefenseEntry { name: "ssi-multi-anchor-trust", layer: ArchLayer::SoftwarePlatform, module: "autosec_ssi", counters: &["rogue-software-placement", "did-hijack"] },
-        DefenseEntry { name: "backend-hardening", layer: ArchLayer::Data, module: "autosec_data::service::DefenseConfig", counters: &["telemetry-kill-chain"] },
-        DefenseEntry { name: "owner-access-control", layer: ArchLayer::Data, module: "autosec_data::access::OwnerPolicy", counters: &["telemetry-kill-chain"] },
-        DefenseEntry { name: "attack-surface-minimization", layer: ArchLayer::Data, module: "autosec_data::surface::SurfaceInventory::minimized", counters: &["telemetry-kill-chain", "breach-cascade"] },
-        DefenseEntry { name: "decoupling", layer: ArchLayer::SystemOfSystems, module: "autosec_sos::cascade::with_coupling_scale", counters: &["breach-cascade"] },
-        DefenseEntry { name: "v2x-authentication", layer: ArchLayer::Collaboration, module: "autosec_collab::perception", counters: &["v2x-external-injection"] },
-        DefenseEntry { name: "misbehavior-detection", layer: ArchLayer::Collaboration, module: "autosec_collab::misbehavior", counters: &["v2x-ghost-object"] },
-        DefenseEntry { name: "response-engine", layer: ArchLayer::Network, module: "autosec_ids::response", counters: &["can-masquerade", "can-flood-dos"] },
+        DefenseEntry {
+            name: "uwb-tof-ranging",
+            layer: ArchLayer::Physical,
+            module: "autosec_phy::lrp + pkes",
+            counters: &["pkes-relay"],
+        },
+        DefenseEntry {
+            name: "hrp-integrity-check",
+            layer: ArchLayer::Physical,
+            module: "autosec_phy::hrp::ReceiverKind::IntegrityChecked",
+            counters: &["cicada-early-pulse", "early-detect-late-commit"],
+        },
+        DefenseEntry {
+            name: "distance-bounding",
+            layer: ArchLayer::Physical,
+            module: "autosec_phy::lrp::LrpSession",
+            counters: &["db-early-commit", "pkes-relay"],
+        },
+        DefenseEntry {
+            name: "uwb-ed-enlargement-detection",
+            layer: ArchLayer::Physical,
+            module: "autosec_phy::enlargement::EnlargementDetector",
+            counters: &["distance-enlargement"],
+        },
+        DefenseEntry {
+            name: "secoc",
+            layer: ArchLayer::Network,
+            module: "autosec_secproto::secoc",
+            counters: &["can-masquerade", "pdu-forgery", "frame-replay"],
+        },
+        DefenseEntry {
+            name: "macsec",
+            layer: ArchLayer::Network,
+            module: "autosec_secproto::macsec",
+            counters: &["pdu-forgery", "frame-replay"],
+        },
+        DefenseEntry {
+            name: "cansec",
+            layer: ArchLayer::Network,
+            module: "autosec_secproto::cansec",
+            counters: &["pdu-forgery", "frame-replay"],
+        },
+        DefenseEntry {
+            name: "canal-e2e-macsec",
+            layer: ArchLayer::Network,
+            module: "autosec_secproto::canal",
+            counters: &["pdu-forgery"],
+        },
+        DefenseEntry {
+            name: "can-ids",
+            layer: ArchLayer::Network,
+            module: "autosec_ids::detectors",
+            counters: &["can-masquerade", "can-flood-dos", "can-bus-off"],
+        },
+        DefenseEntry {
+            name: "sender-fingerprinting",
+            layer: ArchLayer::Network,
+            module: "autosec_ids::detectors::FingerprintDetector",
+            counters: &["can-masquerade"],
+        },
+        DefenseEntry {
+            name: "zero-trust-reconfiguration",
+            layer: ArchLayer::SoftwarePlatform,
+            module: "autosec_sdv::platform",
+            counters: &["rogue-software-placement"],
+        },
+        DefenseEntry {
+            name: "signed-ota",
+            layer: ArchLayer::SoftwarePlatform,
+            module: "autosec_sdv::update",
+            counters: &["forged-ota-update"],
+        },
+        DefenseEntry {
+            name: "ssi-multi-anchor-trust",
+            layer: ArchLayer::SoftwarePlatform,
+            module: "autosec_ssi",
+            counters: &["rogue-software-placement", "did-hijack"],
+        },
+        DefenseEntry {
+            name: "backend-hardening",
+            layer: ArchLayer::Data,
+            module: "autosec_data::service::DefenseConfig",
+            counters: &["telemetry-kill-chain"],
+        },
+        DefenseEntry {
+            name: "owner-access-control",
+            layer: ArchLayer::Data,
+            module: "autosec_data::access::OwnerPolicy",
+            counters: &["telemetry-kill-chain"],
+        },
+        DefenseEntry {
+            name: "attack-surface-minimization",
+            layer: ArchLayer::Data,
+            module: "autosec_data::surface::SurfaceInventory::minimized",
+            counters: &["telemetry-kill-chain", "breach-cascade"],
+        },
+        DefenseEntry {
+            name: "decoupling",
+            layer: ArchLayer::SystemOfSystems,
+            module: "autosec_sos::cascade::with_coupling_scale",
+            counters: &["breach-cascade"],
+        },
+        DefenseEntry {
+            name: "v2x-authentication",
+            layer: ArchLayer::Collaboration,
+            module: "autosec_collab::perception",
+            counters: &["v2x-external-injection"],
+        },
+        DefenseEntry {
+            name: "misbehavior-detection",
+            layer: ArchLayer::Collaboration,
+            module: "autosec_collab::misbehavior",
+            counters: &["v2x-ghost-object"],
+        },
+        DefenseEntry {
+            name: "response-engine",
+            layer: ArchLayer::Network,
+            module: "autosec_ids::response",
+            counters: &["can-masquerade", "can-flood-dos"],
+        },
     ]
 }
 
@@ -180,8 +360,7 @@ mod tests {
 
     #[test]
     fn every_defense_counters_a_known_attack() {
-        let attack_names: BTreeSet<&str> =
-            attack_catalog().iter().map(|a| a.name).collect();
+        let attack_names: BTreeSet<&str> = attack_catalog().iter().map(|a| a.name).collect();
         for d in defense_catalog() {
             assert!(!d.counters.is_empty(), "{} counters nothing", d.name);
             for c in d.counters {

@@ -124,10 +124,7 @@ mod tests {
     #[test]
     fn rfc4493_example_1() {
         let cmac = Cmac::new(&rfc_key());
-        assert_eq!(
-            to_hex(&cmac.mac(b"")),
-            "bb1d6929e95937287fa37d129b756746"
-        );
+        assert_eq!(to_hex(&cmac.mac(b"")), "bb1d6929e95937287fa37d129b756746");
     }
 
     /// RFC 4493 Example 2: 16-byte message.
@@ -135,10 +132,7 @@ mod tests {
     fn rfc4493_example_2() {
         let cmac = Cmac::new(&rfc_key());
         let m = from_hex("6bc1bee22e409f96e93d7e117393172a").unwrap();
-        assert_eq!(
-            to_hex(&cmac.mac(&m)),
-            "070a16b46b4d4144f79bdd9dd04a287c"
-        );
+        assert_eq!(to_hex(&cmac.mac(&m)), "070a16b46b4d4144f79bdd9dd04a287c");
     }
 
     /// RFC 4493 Example 3: 40-byte message.
@@ -151,10 +145,7 @@ mod tests {
             "30c81c46a35ce411"
         ))
         .unwrap();
-        assert_eq!(
-            to_hex(&cmac.mac(&m)),
-            "dfa66747de9ae63030ca32611497c827"
-        );
+        assert_eq!(to_hex(&cmac.mac(&m)), "dfa66747de9ae63030ca32611497c827");
     }
 
     /// RFC 4493 Example 4: 64-byte message.
@@ -168,10 +159,7 @@ mod tests {
             "f69f2445df4f9b17ad2b417be66c3710"
         ))
         .unwrap();
-        assert_eq!(
-            to_hex(&cmac.mac(&m)),
-            "51f0bebf7e3b9d92fc49741779363cfe"
-        );
+        assert_eq!(to_hex(&cmac.mac(&m)), "51f0bebf7e3b9d92fc49741779363cfe");
     }
 
     #[test]

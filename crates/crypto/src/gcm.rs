@@ -290,7 +290,10 @@ mod tests {
         let aead = AesGcm::new(&[1u8; 16]);
         let nonce = [2u8; 12];
         let sealed = aead.seal(&nonce, b"hdr", b"payload bytes");
-        assert_eq!(aead.open(&nonce, b"hdr", &sealed).unwrap(), b"payload bytes");
+        assert_eq!(
+            aead.open(&nonce, b"hdr", &sealed).unwrap(),
+            b"payload bytes"
+        );
 
         let mut tampered = sealed.clone();
         tampered[0] ^= 1;
@@ -314,9 +317,7 @@ mod tests {
     fn truncated_tags_work_and_reject() {
         let aead = AesGcm::new(&[3u8; 16]);
         let nonce = [4u8; 12];
-        let sealed = aead
-            .seal_with_tag_len(&nonce, b"", b"msg", 8)
-            .unwrap();
+        let sealed = aead.seal_with_tag_len(&nonce, b"", b"msg", 8).unwrap();
         assert_eq!(sealed.len(), 3 + 8);
         assert_eq!(
             aead.open_with_tag_len(&nonce, b"", &sealed, 8).unwrap(),

@@ -65,7 +65,12 @@ impl Hkdf {
     /// # Errors
     ///
     /// Returns [`CryptoError::InvalidParameter`] if `len > 255 * 32`.
-    pub fn derive(salt: &[u8], ikm: &[u8], info: &[u8], len: usize) -> Result<Vec<u8>, CryptoError> {
+    pub fn derive(
+        salt: &[u8],
+        ikm: &[u8],
+        info: &[u8],
+        len: usize,
+    ) -> Result<Vec<u8>, CryptoError> {
         Self::extract(salt, ikm).expand(info, len)
     }
 

@@ -45,7 +45,8 @@ impl MssPublicKey {
         }
         // 2. The leaf key must be committed under our root.
         let leaf_digest = sig.leaf_pk.digest();
-        sig.auth_path.verify_leaf_hash(&self.root, &leaf_hash_of(&leaf_digest))
+        sig.auth_path
+            .verify_leaf_hash(&self.root, &leaf_hash_of(&leaf_digest))
     }
 }
 
@@ -170,10 +171,7 @@ impl MssKeyPair {
         let mut leaf_kp = WotsKeyPair::from_seed(&Self::leaf_seed(&self.master_seed, index));
         let leaf_pk = leaf_kp.public_key().clone();
         let wots = leaf_kp.sign(message).expect("fresh leaf key");
-        let auth_path = self
-            .tree
-            .prove(index)
-            .expect("leaf index within capacity");
+        let auth_path = self.tree.prove(index).expect("leaf index within capacity");
         Ok(MssSignature {
             leaf_index: index,
             wots,
@@ -248,7 +246,11 @@ mod tests {
         let mut kp = keypair(4);
         let sig = kp.sign(b"m").unwrap();
         // Two WOTS-key-sized components dominate: ~4.3 KB.
-        assert!(sig.byte_len() > 4000 && sig.byte_len() < 5000, "{}", sig.byte_len());
+        assert!(
+            sig.byte_len() > 4000 && sig.byte_len() < 5000,
+            "{}",
+            sig.byte_len()
+        );
     }
 
     #[test]

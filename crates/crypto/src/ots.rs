@@ -57,7 +57,11 @@ impl LamportKeyPair {
                 pk[i][b] = Sha256::digest(&sk[i][b]);
             }
         }
-        Self { sk, pk, used: false }
+        Self {
+            sk,
+            pk,
+            used: false,
+        }
     }
 
     /// Public key as the hash of all 512 public hashes (compact form for
@@ -241,8 +245,7 @@ impl WotsKeyPair {
         let mut sk = Vec::with_capacity(WOTS_CHAINS);
         let mut heads = Vec::with_capacity(WOTS_CHAINS);
         for i in 0..WOTS_CHAINS {
-            let secret =
-                Sha256::digest_parts(&[&[0x03], seed, &(i as u16).to_be_bytes()]);
+            let secret = Sha256::digest_parts(&[&[0x03], seed, &(i as u16).to_be_bytes()]);
             heads.push(chain(&secret, i, 0, (WOTS_W - 1) as u8));
             sk.push(secret);
         }

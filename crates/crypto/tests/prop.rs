@@ -1,99 +1,158 @@
-//! Property tests for the cryptographic substrate.
+//! Randomized invariant tests for the cryptographic substrate.
+//!
+//! Formerly proptest-based; now driven by seeded [`StdRng`] streams
+//! (the hermetic build has no proptest), one substream per case so
+//! failures reproduce exactly.
 
 use autosec_crypto::shamir::{combine, split};
 use autosec_crypto::util::{from_hex, to_hex};
 use autosec_crypto::{Aes128, AesCtr, Cmac, Hkdf, WotsKeyPair};
-use proptest::prelude::*;
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, RngCore, SeedableRng};
 
-proptest! {
-    /// AES decrypt ∘ encrypt is the identity for any key/block.
-    #[test]
-    fn aes_round_trip(key in any::<[u8; 16]>(), block in any::<[u8; 16]>()) {
+const CASES: u64 = 48;
+
+fn case_rng(root: u64, case: u64) -> StdRng {
+    StdRng::seed_from_u64(root ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+fn bytes(rng: &mut StdRng, len: usize) -> Vec<u8> {
+    let mut v = vec![0u8; len];
+    rng.fill_bytes(&mut v);
+    v
+}
+
+fn arr<const N: usize>(rng: &mut StdRng) -> [u8; N] {
+    let mut a = [0u8; N];
+    rng.fill_bytes(&mut a);
+    a
+}
+
+/// AES decrypt ∘ encrypt is the identity for any key/block.
+#[test]
+fn aes_round_trip() {
+    for case in 0..CASES {
+        let mut rng = case_rng(0xAE5, case);
+        let key: [u8; 16] = arr(&mut rng);
+        let block: [u8; 16] = arr(&mut rng);
         let aes = Aes128::new(&key);
-        prop_assert_eq!(aes.decrypt_block(&aes.encrypt_block(&block)), block);
+        assert_eq!(aes.decrypt_block(&aes.encrypt_block(&block)), block);
     }
+}
 
-    /// CTR is an involution for any data length.
-    #[test]
-    fn ctr_involution(
-        key in any::<[u8; 16]>(),
-        iv in any::<[u8; 16]>(),
-        data in proptest::collection::vec(any::<u8>(), 0..300),
-    ) {
+/// CTR is an involution for any data length.
+#[test]
+fn ctr_involution() {
+    for case in 0..CASES {
+        let mut rng = case_rng(0xC74, case);
+        let key: [u8; 16] = arr(&mut rng);
+        let iv: [u8; 16] = arr(&mut rng);
+        let data = {
+            let len = rng.gen_range(0usize..300);
+            bytes(&mut rng, len)
+        };
         let ctr = AesCtr::new(&key);
-        prop_assert_eq!(ctr.process(&iv, &ctr.process(&iv, &data)), data);
+        assert_eq!(ctr.process(&iv, &ctr.process(&iv, &data)), data);
     }
+}
 
-    /// HKDF expansions are prefix-consistent for any lengths.
-    #[test]
-    fn hkdf_prefix(
-        salt in proptest::collection::vec(any::<u8>(), 0..32),
-        ikm in proptest::collection::vec(any::<u8>(), 1..64),
-        a in 1usize..100,
-        b in 1usize..100,
-    ) {
+/// HKDF expansions are prefix-consistent for any lengths.
+#[test]
+fn hkdf_prefix() {
+    for case in 0..CASES {
+        let mut rng = case_rng(0x48_DF, case);
+        let salt = {
+            let len = rng.gen_range(0usize..32);
+            bytes(&mut rng, len)
+        };
+        let ikm = {
+            let len = rng.gen_range(1usize..64);
+            bytes(&mut rng, len)
+        };
+        let a = rng.gen_range(1usize..100);
+        let b = rng.gen_range(1usize..100);
         let hk = Hkdf::extract(&salt, &ikm);
         let (short, long) = if a <= b { (a, b) } else { (b, a) };
         let s = hk.expand(b"info", short).expect("valid length");
         let l = hk.expand(b"info", long).expect("valid length");
-        prop_assert_eq!(&l[..short], &s[..]);
+        assert_eq!(&l[..short], &s[..]);
     }
+}
 
-    /// CMAC accepts any true tag prefix and rejects a flipped bit in it.
-    #[test]
-    fn cmac_truncation(
-        key in any::<[u8; 16]>(),
-        msg in proptest::collection::vec(any::<u8>(), 0..200),
-        tag_len in 1usize..=16,
-        flip in 0u8..8,
-    ) {
+/// CMAC accepts any true tag prefix and rejects a flipped bit in it.
+#[test]
+fn cmac_truncation() {
+    for case in 0..CASES {
+        let mut rng = case_rng(0xC3AC, case);
+        let key: [u8; 16] = arr(&mut rng);
+        let msg = {
+            let len = rng.gen_range(0usize..200);
+            bytes(&mut rng, len)
+        };
+        let tag_len = rng.gen_range(1usize..=16);
+        let flip = rng.gen_range(0u8..8);
         let cmac = Cmac::new(&key);
         let tag = cmac.mac(&msg);
-        prop_assert!(cmac.verify_truncated(&msg, &tag[..tag_len]));
+        assert!(cmac.verify_truncated(&msg, &tag[..tag_len]));
         let mut bad = tag[..tag_len].to_vec();
         bad[tag_len - 1] ^= 1 << flip;
-        prop_assert!(!cmac.verify_truncated(&msg, &bad));
+        assert!(!cmac.verify_truncated(&msg, &bad));
     }
+}
 
-    /// Hex encode/decode round-trips.
-    #[test]
-    fn hex_round_trip(data in proptest::collection::vec(any::<u8>(), 0..128)) {
-        prop_assert_eq!(from_hex(&to_hex(&data)).expect("valid hex"), data);
+/// Hex encode/decode round-trips.
+#[test]
+fn hex_round_trip() {
+    for case in 0..CASES {
+        let mut rng = case_rng(0x4E_C5, case);
+        let data = {
+            let len = rng.gen_range(0usize..128);
+            bytes(&mut rng, len)
+        };
+        assert_eq!(from_hex(&to_hex(&data)).expect("valid hex"), data);
     }
+}
 
-    /// Shamir: any k of n shares reconstruct; k-1 do not (8+-byte
-    /// secrets make coincidence astronomically unlikely).
-    #[test]
-    fn shamir_threshold(
-        secret in proptest::collection::vec(any::<u8>(), 8..64),
-        k in 2usize..5,
-        extra in 0usize..3,
-        seed in any::<u64>(),
-    ) {
-        let n = k + extra;
-        let mut rng = StdRng::seed_from_u64(seed);
+/// Shamir: any k of n shares reconstruct; k-1 do not (8+-byte secrets
+/// make coincidence astronomically unlikely).
+#[test]
+fn shamir_threshold() {
+    for case in 0..CASES {
+        let mut rng = case_rng(0x54A_312, case);
+        let secret = {
+            let len = rng.gen_range(8usize..64);
+            bytes(&mut rng, len)
+        };
+        let k = rng.gen_range(2usize..5);
+        let n = k + rng.gen_range(0usize..3);
         let shares = split(&secret, k, n, &mut rng).expect("valid k/n");
         // The *last* k shares (any subset works).
         let subset = &shares[n - k..];
-        prop_assert_eq!(combine(subset).expect("k shares"), secret.clone());
+        assert_eq!(combine(subset).expect("k shares"), secret);
         let below = &shares[..k - 1];
         if !below.is_empty() {
-            prop_assert_ne!(combine(below).expect("structurally valid"), secret);
+            assert_ne!(combine(below).expect("structurally valid"), secret);
         }
     }
+}
 
-    /// WOTS rejects any mutated message.
-    #[test]
-    fn wots_message_binding(seed in any::<[u8; 32]>(), msg in proptest::collection::vec(any::<u8>(), 1..64), flip_at in any::<usize>(), flip_bit in 0u8..8) {
+/// WOTS rejects any mutated message.
+#[test]
+fn wots_message_binding() {
+    for case in 0..16 {
+        let mut rng = case_rng(0x3075, case);
+        let seed: [u8; 32] = arr(&mut rng);
+        let msg = {
+            let len = rng.gen_range(1usize..64);
+            bytes(&mut rng, len)
+        };
         let mut kp = WotsKeyPair::from_seed(&seed);
         let pk = kp.public_key().clone();
         let sig = kp.sign(&msg).expect("fresh key");
-        prop_assert!(pk.verify(&msg, &sig));
+        assert!(pk.verify(&msg, &sig));
         let mut other = msg.clone();
-        let idx = flip_at % other.len();
-        other[idx] ^= 1 << flip_bit;
-        prop_assert!(!pk.verify(&other, &sig));
+        let idx = rng.gen_range(0usize..other.len());
+        other[idx] ^= 1 << rng.gen_range(0u8..8);
+        assert!(!pk.verify(&other, &sig));
     }
 }

@@ -6,10 +6,9 @@
 
 use autosec_sim::SimRng;
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 
 /// One GPS fix.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct GeoFix {
     /// Latitude in degrees.
     pub lat: f64,
@@ -20,7 +19,7 @@ pub struct GeoFix {
 }
 
 /// A vehicle's telemetry record: the PII the breach exposed.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct VehicleRecord {
     /// Vehicle identification number.
     pub vin: String,

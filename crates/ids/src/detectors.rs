@@ -217,7 +217,10 @@ impl FingerprintDetector {
                     detector: "fingerprint",
                     subject: id,
                     at: e.completed,
-                    detail: format!("signature {:.2} is {dev:.1} sigma off", e.analog_fingerprint),
+                    detail: format!(
+                        "signature {:.2} is {dev:.1} sigma off",
+                        e.analog_fingerprint
+                    ),
                 })
             })
             .collect()
@@ -239,10 +242,18 @@ mod tests {
         let b = bus.add_node(3.0);
         let mut t = SimTime::ZERO;
         while t <= SimTime::from_ms(horizon_ms) {
-            bus.enqueue(a, t, CanFrame::new(CanId::standard(0x0A0).unwrap(), &[1; 8]).unwrap())
-                .unwrap();
-            bus.enqueue(b, t, CanFrame::new(CanId::standard(0x1B0).unwrap(), &[2; 4]).unwrap())
-                .unwrap();
+            bus.enqueue(
+                a,
+                t,
+                CanFrame::new(CanId::standard(0x0A0).unwrap(), &[1; 8]).unwrap(),
+            )
+            .unwrap();
+            bus.enqueue(
+                b,
+                t,
+                CanFrame::new(CanId::standard(0x1B0).unwrap(), &[2; 4]).unwrap(),
+            )
+            .unwrap();
             t += SimDuration::from_ms(10);
         }
         bus.run(SimTime::from_secs(10))
@@ -256,10 +267,18 @@ mod tests {
         let attacker = bus.add_node(7.5);
         let mut t = SimTime::ZERO;
         while t <= SimTime::from_ms(horizon_ms) {
-            bus.enqueue(a, t, CanFrame::new(CanId::standard(0x0A0).unwrap(), &[1; 8]).unwrap())
-                .unwrap();
-            bus.enqueue(b, t, CanFrame::new(CanId::standard(0x1B0).unwrap(), &[2; 4]).unwrap())
-                .unwrap();
+            bus.enqueue(
+                a,
+                t,
+                CanFrame::new(CanId::standard(0x0A0).unwrap(), &[1; 8]).unwrap(),
+            )
+            .unwrap();
+            bus.enqueue(
+                b,
+                t,
+                CanFrame::new(CanId::standard(0x1B0).unwrap(), &[2; 4]).unwrap(),
+            )
+            .unwrap();
             t += SimDuration::from_ms(10);
         }
         MasqueradeAttack {
@@ -278,7 +297,9 @@ mod tests {
         let train = clean_log(500);
         let test = clean_log(500);
         let horizon = SimTime::from_ms(500);
-        assert!(SpecificationDetector::train(&train).analyze(&test).is_empty());
+        assert!(SpecificationDetector::train(&train)
+            .analyze(&test)
+            .is_empty());
         assert!(FrequencyDetector::train(&train, horizon)
             .analyze(&test, horizon)
             .is_empty());

@@ -81,8 +81,7 @@ impl PtpsecDetector {
         let offsets: Vec<f64> = paths
             .iter()
             .map(|p| {
-                (0..self.samples).map(|_| p.sync_error_ns(rng)).sum::<f64>()
-                    / self.samples as f64
+                (0..self.samples).map(|_| p.sync_error_ns(rng)).sum::<f64>() / self.samples as f64
             })
             .collect();
         let mut alert = None;
@@ -93,10 +92,7 @@ impl PtpsecDetector {
                         detector: "ptpsec",
                         subject: j as u32,
                         at,
-                        detail: format!(
-                            "paths {i} and {j} disagree by {:.0} ns",
-                            (a - b).abs()
-                        ),
+                        detail: format!("paths {i} and {j} disagree by {:.0} ns", (a - b).abs()),
                     });
                     break 'outer;
                 }

@@ -33,7 +33,12 @@ impl MasqueradeAttack {
     /// # Errors
     ///
     /// Propagates bus errors (unknown node, bus-off).
-    pub fn inject(&self, bus: &mut CanBus, start: SimTime, end: SimTime) -> Result<usize, IvnError> {
+    pub fn inject(
+        &self,
+        bus: &mut CanBus,
+        start: SimTime,
+        end: SimTime,
+    ) -> Result<usize, IvnError> {
         let id = CanId::standard(self.spoofed_id)?;
         let mut t = start;
         let mut n = 0;

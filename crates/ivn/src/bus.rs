@@ -188,8 +188,7 @@ impl CanBus {
                     continue;
                 }
                 if let Some(&(ready, ref frame)) = n.queue.front() {
-                    earliest_ready =
-                        Some(earliest_ready.map_or(ready, |e: SimTime| e.min(ready)));
+                    earliest_ready = Some(earliest_ready.map_or(ready, |e: SimTime| e.min(ready)));
                     // A frame competes in arbitration if ready by `now`.
                     if ready <= now {
                         let key = frame.id().arbitration_key();
@@ -219,8 +218,7 @@ impl CanBus {
                 .expect("head checked above");
             debug_assert!(enq == ready);
             let mut start = now;
-            let mut dur =
-                SimDuration::from_ns_f64(frame.duration_ns(self.bitrate_bps));
+            let mut dur = SimDuration::from_ns_f64(frame.duration_ns(self.bitrate_bps));
             // Random bus error: error frame (~20 bits) + retransmission.
             while rng.chance(self.error_rate) {
                 self.nodes[node_idx].tec += 8;
@@ -281,7 +279,8 @@ mod tests {
     fn single_frame_delivered_with_correct_timing() {
         let mut bus = CanBus::new(500_000);
         let a = bus.add_node(2.5);
-        bus.enqueue(a, SimTime::from_us(100), frame(0x100, 8)).unwrap();
+        bus.enqueue(a, SimTime::from_us(100), frame(0x100, 8))
+            .unwrap();
         let log = bus.run(SimTime::from_ms(100));
         assert_eq!(log.len(), 1);
         assert_eq!(log[0].sender, a);
@@ -312,7 +311,8 @@ mod tests {
         let flooder = bus.add_node(2.0);
         bus.enqueue(victim, SimTime::ZERO, frame(0x400, 8)).unwrap();
         for _ in 0..50 {
-            bus.enqueue(flooder, SimTime::ZERO, frame(0x000, 8)).unwrap();
+            bus.enqueue(flooder, SimTime::ZERO, frame(0x000, 8))
+                .unwrap();
         }
         let log = bus.run(SimTime::from_secs(1));
         // Victim's frame must be the last one delivered.
@@ -326,7 +326,8 @@ mod tests {
         let mut bus = CanBus::new(500_000);
         let a = bus.add_node(0.0);
         for i in 0..5u8 {
-            bus.enqueue(a, SimTime::ZERO, frame(0x100, 1).clone()).unwrap();
+            bus.enqueue(a, SimTime::ZERO, frame(0x100, 1).clone())
+                .unwrap();
             let _ = i;
         }
         let log = bus.run(SimTime::from_secs(1));
@@ -370,7 +371,8 @@ mod tests {
         let mut bus = CanBus::new(500_000);
         let a = bus.add_node(0.0);
         for i in 0..10 {
-            bus.enqueue(a, SimTime::from_ms(i * 10), frame(0x10, 8)).unwrap();
+            bus.enqueue(a, SimTime::from_ms(i * 10), frame(0x10, 8))
+                .unwrap();
         }
         let log = bus.run(SimTime::from_ms(100));
         let u = CanBus::utilisation(&log, SimTime::from_ms(100));
@@ -398,9 +400,13 @@ mod tests {
     fn unknown_node_errors() {
         let mut bus = CanBus::new(500_000);
         assert_eq!(
-            bus.enqueue(NodeId(9), SimTime::ZERO, frame(1, 1)).unwrap_err(),
+            bus.enqueue(NodeId(9), SimTime::ZERO, frame(1, 1))
+                .unwrap_err(),
             IvnError::UnknownNode
         );
-        assert_eq!(bus.error_state(NodeId(9)).unwrap_err(), IvnError::UnknownNode);
+        assert_eq!(
+            bus.error_state(NodeId(9)).unwrap_err(),
+            IvnError::UnknownNode
+        );
     }
 }

@@ -245,7 +245,7 @@ impl CanFdFrame {
     /// arbitration + control prologue + ACK/EOF tail.
     pub fn arbitration_phase_bits(&self) -> usize {
         let arb = match self.id {
-            CanId::Standard(_) => 1 + 11 + 3,  // SOF, ID, r1/IDE/FDF-ish
+            CanId::Standard(_) => 1 + 11 + 3, // SOF, ID, r1/IDE/FDF-ish
             CanId::Extended(_) => 1 + 11 + 2 + 18 + 3,
         };
         arb + 1 + 2 + 7 + 3 // BRS boundary + ACK, EOF, IFS
@@ -254,7 +254,11 @@ impl CanFdFrame {
     /// Bits transmitted at the (fast) data bitrate: control remainder,
     /// data, stuff-count, CRC-17/21.
     pub fn data_phase_bits(&self) -> usize {
-        let crc = if self.data.len() <= 16 { 17 + 5 } else { 21 + 6 };
+        let crc = if self.data.len() <= 16 {
+            17 + 5
+        } else {
+            21 + 6
+        };
         // ESI + DLC(4) + data + stuff count (4) + CRC (+fixed stuff bits)
         1 + 4 + self.data.len() * 8 + 4 + crc
     }
@@ -501,9 +505,6 @@ mod tests {
     #[test]
     fn display_formats() {
         assert_eq!(CanId::standard(0x12).unwrap().to_string(), "0x012");
-        assert_eq!(
-            CanId::extended(0x1234).unwrap().to_string(),
-            "0x00001234x"
-        );
+        assert_eq!(CanId::extended(0x1234).unwrap().to_string(), "0x00001234x");
     }
 }

@@ -193,10 +193,7 @@ impl ZonalNetwork {
                     continue;
                 }
                 let mut bus = CanBus::new(500_000);
-                let nodes: Vec<_> = members
-                    .iter()
-                    .map(|m| bus.add_node(m.0 as f64))
-                    .collect();
+                let nodes: Vec<_> = members.iter().map(|m| bus.add_node(m.0 as f64)).collect();
                 // Map each spec on this segment to its node.
                 let mut spec_of_node = vec![None; nodes.len()];
                 for (si, spec) in specs.iter().enumerate() {
@@ -229,9 +226,11 @@ impl ZonalNetwork {
                     let tx_ns = Self::message_tx_ns(family, spec.payload, spec.can_id);
                     let queue_wait = ev.started.since(ev.enqueued);
                     let segment_ns = queue_wait.as_ns_f64() + tx_ns;
-                    let backbone = self
-                        .switch
-                        .forward_latency(&self.backbone, &self.backbone, spec.payload.min(1500));
+                    let backbone = self.switch.forward_latency(
+                        &self.backbone,
+                        &self.backbone,
+                        spec.payload.min(1500),
+                    );
                     flow_lat[si].push((segment_ns + backbone.as_ns_f64()) / 1000.0);
                 }
             }
@@ -263,11 +262,12 @@ impl ZonalNetwork {
                         continue;
                     };
                     let spec = &specs[si];
-                    let backbone = self
-                        .switch
-                        .forward_latency(&self.backbone, &self.backbone, spec.payload.min(1500));
-                    flow_lat[si]
-                        .push((d.latency().as_ns_f64() + backbone.as_ns_f64()) / 1000.0);
+                    let backbone = self.switch.forward_latency(
+                        &self.backbone,
+                        &self.backbone,
+                        spec.payload.min(1500),
+                    );
+                    flow_lat[si].push((d.latency().as_ns_f64() + backbone.as_ns_f64()) / 1000.0);
                 }
             }
         }
@@ -309,16 +309,15 @@ impl ZonalNetwork {
             EndpointLink::CanXl => {
                 let frames = payload.div_ceil(2048).max(1);
                 let last = payload - (frames - 1) * 2048;
-                let full = CanXlFrame::new(can_id.min(0x7FF), 0, 0, 0, &[0u8; 2048])
-                    .expect("2048 bytes");
-                let tail = CanXlFrame::new(can_id.min(0x7FF), 0, 0, 0, &vec![0u8; last.clamp(1, 2048)])
-                    .expect("1..=2048 bytes");
+                let full =
+                    CanXlFrame::new(can_id.min(0x7FF), 0, 0, 0, &[0u8; 2048]).expect("2048 bytes");
+                let tail =
+                    CanXlFrame::new(can_id.min(0x7FF), 0, 0, 0, &vec![0u8; last.clamp(1, 2048)])
+                        .expect("1..=2048 bytes");
                 (frames - 1) as f64 * full.duration_ns(500_000, 10_000_000)
                     + tail.duration_ns(500_000, 10_000_000)
             }
-            EndpointLink::T1s => {
-                T1sSegment::frame_time(payload.min(1500)).as_ns_f64()
-            }
+            EndpointLink::T1s => T1sSegment::frame_time(payload.min(1500)).as_ns_f64(),
         }
     }
 }
@@ -378,7 +377,12 @@ mod tests {
         let report = net.simulate(&specs, SimTime::from_ms(200));
         assert_eq!(report.flows.len(), 3);
         for f in &report.flows {
-            assert!(f.delivered >= 10, "{:?} delivered {}", f.endpoint, f.delivered);
+            assert!(
+                f.delivered >= 10,
+                "{:?} delivered {}",
+                f.endpoint,
+                f.delivered
+            );
             assert!(f.latency_us.mean > 0.0);
         }
         // CAN message ≈ 230 us + backbone; T1S 400 B ≈ 350 us.

@@ -1,49 +1,70 @@
-//! Property tests for the IVN simulator.
+//! Randomized invariant tests for the IVN simulator.
+//!
+//! Formerly proptest-based; now driven by deterministic [`SimRng`]
+//! streams (the hermetic build has no proptest), with one forked
+//! substream per case so failures reproduce exactly.
 
 use autosec_ivn::bus::CanBus;
 use autosec_ivn::can::{crc15, fd_padded_len, stuffed_len, CanFrame, CanId, FD_SIZES};
-use autosec_sim::SimTime;
-use proptest::prelude::*;
+use autosec_sim::{SimRng, SimTime};
+use rand::Rng;
 
-proptest! {
-    /// CRC-15 detects every single-bit error (guaranteed by the
-    /// polynomial; verified here over random frames).
-    #[test]
-    fn crc15_detects_single_bit_errors(
-        bits in proptest::collection::vec(any::<bool>(), 1..120),
-        flip in any::<usize>(),
-    ) {
-        let idx = flip % bits.len();
+const CASES: u64 = 64;
+
+/// CRC-15 detects every single-bit error (guaranteed by the
+/// polynomial; verified here over random frames).
+#[test]
+fn crc15_detects_single_bit_errors() {
+    let root = SimRng::seed(0xC4C15);
+    for case in 0..CASES {
+        let mut rng = root.fork_idx(case);
+        let n = rng.gen_range(1usize..120);
+        let bits: Vec<bool> = (0..n).map(|_| rng.chance(0.5)).collect();
+        let idx = rng.gen_range(0usize..bits.len());
         let mut flipped = bits.clone();
         flipped[idx] = !flipped[idx];
-        prop_assert_ne!(crc15(&bits), crc15(&flipped));
+        assert_ne!(crc15(&bits), crc15(&flipped));
     }
+}
 
-    /// Stuffing never removes bits and inserts at most one per 4 input
-    /// bits beyond the first.
-    #[test]
-    fn stuffing_bounds(bits in proptest::collection::vec(any::<bool>(), 0..256)) {
+/// Stuffing never removes bits and inserts at most one per 4 input
+/// bits beyond the first.
+#[test]
+fn stuffing_bounds() {
+    let root = SimRng::seed(0x57_0FF);
+    for case in 0..CASES {
+        let mut rng = root.fork_idx(case);
+        let n = rng.gen_range(0usize..256);
+        let bits: Vec<bool> = (0..n).map(|_| rng.chance(0.5)).collect();
         let out = stuffed_len(&bits);
-        prop_assert!(out >= bits.len());
-        prop_assert!(out <= bits.len() + bits.len().saturating_sub(1) / 4 + 1);
+        assert!(out >= bits.len());
+        assert!(out <= bits.len() + bits.len().saturating_sub(1) / 4 + 1);
     }
+}
 
-    /// FD padding picks the smallest valid size ≥ the payload.
-    #[test]
-    fn fd_padding_minimal(len in 0usize..=64) {
+/// FD padding picks the smallest valid size ≥ the payload.
+#[test]
+fn fd_padding_minimal() {
+    for len in 0usize..=64 {
         let padded = fd_padded_len(len).expect("<= 64");
-        prop_assert!(padded >= len);
-        prop_assert!(FD_SIZES.contains(&padded));
+        assert!(padded >= len);
+        assert!(FD_SIZES.contains(&padded));
         // No smaller valid size fits.
         for &s in FD_SIZES.iter().filter(|&&s| s < padded) {
-            prop_assert!(s < len);
+            assert!(s < len);
         }
     }
+}
 
-    /// Simultaneously enqueued frames are delivered in arbitration-key
-    /// order, regardless of node order.
-    #[test]
-    fn arbitration_sorts_by_priority(ids in proptest::collection::vec(0u16..0x800, 1..20)) {
+/// Simultaneously enqueued frames are delivered in arbitration-key
+/// order, regardless of node order.
+#[test]
+fn arbitration_sorts_by_priority() {
+    let root = SimRng::seed(0xA4B17);
+    for case in 0..CASES {
+        let mut rng = root.fork_idx(case);
+        let n = rng.gen_range(1usize..20);
+        let ids: Vec<u16> = (0..n).map(|_| rng.gen_range(0u16..0x800)).collect();
         let mut bus = CanBus::new(500_000);
         let nodes: Vec<_> = ids.iter().map(|_| bus.add_node(0.0)).collect();
         for (node, &id) in nodes.iter().zip(ids.iter()) {
@@ -55,29 +76,33 @@ proptest! {
             .expect("node exists");
         }
         let log = bus.run(SimTime::from_secs(10));
-        prop_assert_eq!(log.len(), ids.len());
+        assert_eq!(log.len(), ids.len());
         for w in log.windows(2) {
-            prop_assert!(
+            assert!(
                 w[0].frame.id().arbitration_key() <= w[1].frame.id().arbitration_key(),
                 "arbitration order violated"
             );
         }
         // Bus is serialized: no overlapping transmissions.
         for w in log.windows(2) {
-            prop_assert!(w[1].started >= w[0].completed);
+            assert!(w[1].started >= w[0].completed);
         }
     }
+}
 
-    /// Frame duration is positive and monotone in payload length for a
-    /// fixed id.
-    #[test]
-    fn duration_monotone(id in 0u16..0x800) {
-        let cid = CanId::standard(id).expect("11-bit");
+/// Frame duration is positive and monotone in payload length for a
+/// fixed id.
+#[test]
+fn duration_monotone() {
+    let root = SimRng::seed(0xD4_4A7);
+    for case in 0..CASES {
+        let mut rng = root.fork_idx(case);
+        let cid = CanId::standard(rng.gen_range(0u16..0x800)).expect("11-bit");
         let mut prev = 0.0;
         for len in 0..=8usize {
             let f = CanFrame::new(cid, &vec![0x55; len]).expect("payload <= 8");
             let d = f.duration_ns(500_000);
-            prop_assert!(d > prev);
+            assert!(d > prev);
             prev = d;
         }
     }

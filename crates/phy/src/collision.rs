@@ -169,7 +169,13 @@ mod tests {
                 defensive += 1;
             }
         }
-        assert!(unsafe_count <= 2, "detection should prevent unsafe ({unsafe_count}/40)");
-        assert!(defensive > 30, "attacks should trigger defensive braking ({defensive}/40)");
+        assert!(
+            unsafe_count <= 2,
+            "detection should prevent unsafe ({unsafe_count}/40)"
+        );
+        assert!(
+            defensive > 30,
+            "attacks should trigger defensive braking ({defensive}/40)"
+        );
     }
 }

@@ -139,7 +139,10 @@ mod tests {
                 false_alarms += 1;
             }
         }
-        assert!(false_alarms <= 2, "false alarm rate too high: {false_alarms}/50");
+        assert!(
+            false_alarms <= 2,
+            "false alarm rate too high: {false_alarms}/50"
+        );
     }
 
     #[test]

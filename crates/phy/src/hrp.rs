@@ -183,9 +183,7 @@ impl HrpRanging {
         }
         let threshold = self.cfg.threshold_frac * max;
         match self.receiver {
-            ReceiverKind::NaiveLeadingEdge => {
-                profile.iter().position(|&c| c >= threshold)
-            }
+            ReceiverKind::NaiveLeadingEdge => profile.iter().position(|&c| c >= threshold),
             ReceiverKind::IntegrityChecked => {
                 let polarities = self.sts_polarities(counter);
                 profile
@@ -235,7 +233,10 @@ mod tests {
 
     #[test]
     fn clean_channel_accurate_for_both_receivers() {
-        for kind in [ReceiverKind::NaiveLeadingEdge, ReceiverKind::IntegrityChecked] {
+        for kind in [
+            ReceiverKind::NaiveLeadingEdge,
+            ReceiverKind::IntegrityChecked,
+        ] {
             let s = HrpRanging::new(HrpConfig::default(), kind);
             let mut r = rng();
             for d in [1.0, 5.0, 20.0, 50.0] {

@@ -55,7 +55,7 @@ pub mod signal;
 pub mod vrange;
 
 pub use channel::{Channel, Tap};
-pub use signal::{Waveform, SAMPLE_PS, SAMPLES_PER_METER};
+pub use signal::{Waveform, SAMPLES_PER_METER, SAMPLE_PS};
 
 /// Speed of light in metres per second.
 pub const C_M_PER_S: f64 = 299_792_458.0;

@@ -192,7 +192,11 @@ mod tests {
             let out = s.measure(d, None, &mut rng);
             assert!(!out.aborted);
             assert_eq!(out.correct_rounds, 32);
-            assert!((out.estimated_m - d).abs() < 0.2, "at {d}: {}", out.estimated_m);
+            assert!(
+                (out.estimated_m - d).abs() < 0.2,
+                "at {d}: {}",
+                out.estimated_m
+            );
         }
     }
 
@@ -243,7 +247,13 @@ mod tests {
     fn relay_enlarges_distance() {
         let s = LrpSession::new(LrpConfig::default());
         let mut rng = SimRng::seed(8);
-        let out = s.measure(3.0, Some(LrpAttack::Relay { extra_delay_ns: 100.0 }), &mut rng);
+        let out = s.measure(
+            3.0,
+            Some(LrpAttack::Relay {
+                extra_delay_ns: 100.0,
+            }),
+            &mut rng,
+        );
         assert!(!out.aborted, "relay answers honestly");
         // 100 ns RTT extra = 50 ns one way ≈ 15 m added.
         assert!(out.estimated_m > 15.0, "estimated {}", out.estimated_m);

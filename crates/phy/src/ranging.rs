@@ -74,7 +74,12 @@ pub struct TwrOutcome {
 /// let out = ds_twr(12.0, 0.0, &TwrConfig::default(), &mut SimRng::seed(4));
 /// assert!((out.ds_estimate_m - 12.0).abs() < 0.5);
 /// ```
-pub fn ds_twr(distance_m: f64, extra_delay_ns: f64, cfg: &TwrConfig, rng: &mut SimRng) -> TwrOutcome {
+pub fn ds_twr(
+    distance_m: f64,
+    extra_delay_ns: f64,
+    cfg: &TwrConfig,
+    rng: &mut SimRng,
+) -> TwrOutcome {
     let tof_ps = crate::meters_to_ps(distance_m) + extra_delay_ns * 1000.0 / 2.0;
     let reply_ps = cfg.reply_delay_ns * 1000.0;
     let mut jitter = || rng.normal_with(0.0, cfg.timestamp_jitter_ps);

@@ -155,7 +155,11 @@ mod tests {
     #[test]
     fn clean_measurement_within_resolution() {
         let cfg = VRangeConfig::default();
-        assert!((cfg.resolution_m() - 1.5).abs() < 0.01, "{}", cfg.resolution_m());
+        assert!(
+            (cfg.resolution_m() - 1.5).abs() < 0.01,
+            "{}",
+            cfg.resolution_m()
+        );
         let mut r = rng();
         for d in [5.0, 50.0, 200.0] {
             let out = measure(&cfg, d, None, &mut r);
@@ -172,7 +176,12 @@ mod tests {
         let mut r = rng();
         let mut successes = 0;
         for _ in 0..2000 {
-            let out = measure(&cfg, 50.0, Some(VRangeAttack::Reduce { advance_m: 20.0 }), &mut r);
+            let out = measure(
+                &cfg,
+                50.0,
+                Some(VRangeAttack::Reduce { advance_m: 20.0 }),
+                &mut r,
+            );
             if !out.aborted {
                 successes += 1;
             }
@@ -191,7 +200,12 @@ mod tests {
         let trials = 2000;
         let mut successes = 0;
         for _ in 0..trials {
-            let out = measure(&weak, 50.0, Some(VRangeAttack::Reduce { advance_m: 20.0 }), &mut r);
+            let out = measure(
+                &weak,
+                50.0,
+                Some(VRangeAttack::Reduce { advance_m: 20.0 }),
+                &mut r,
+            );
             if !out.aborted {
                 successes += 1;
             }
@@ -225,7 +239,11 @@ mod tests {
             rates.push(aborted as f64 / 500.0);
         }
         assert_eq!(rates[0], 0.0, "no audit = no detection");
-        assert!(rates[1] > 0.9, "one audited symbol catches most: {}", rates[1]);
+        assert!(
+            rates[1] > 0.9,
+            "one audited symbol catches most: {}",
+            rates[1]
+        );
         assert!(rates[2] > rates[1] - 0.02);
     }
 

@@ -1,0 +1,230 @@
+//! Run manifest and per-experiment JSON artifacts.
+//!
+//! A run writes one `<slug>.json` per executed experiment plus a
+//! `manifest.json` tying them together. Every field except
+//! `duration_ms` is a pure function of `(seed, experiment)`, so two
+//! artifacts from the same seed compare equal once the duration key is
+//! dropped — the property the determinism tests check.
+
+use std::io;
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+use serde_json::Value;
+
+use crate::table::{sorted_object, Table};
+
+/// The default artifact directory, relative to the workspace root.
+pub const DEFAULT_ARTIFACT_DIR: &str = "target/experiments";
+
+/// One executed experiment, ready to serialize.
+#[derive(Debug, Clone)]
+pub struct ExperimentRecord {
+    /// Unique slug (artifact file stem).
+    pub slug: String,
+    /// Experiment group id.
+    pub id: String,
+    /// Wall-clock duration of the run.
+    pub duration: Duration,
+    /// The produced table.
+    pub table: Table,
+}
+
+impl ExperimentRecord {
+    /// The artifact body: id, seed, jobs, duration, and the table.
+    pub fn to_json(&self, seed: u64, jobs: usize) -> Value {
+        sorted_object(vec![
+            ("id", Value::from(self.id.as_str())),
+            ("slug", Value::from(self.slug.as_str())),
+            ("seed", Value::from(seed)),
+            ("jobs", Value::from(jobs as u64)),
+            (
+                "duration_ms",
+                Value::from(self.duration.as_secs_f64() * 1e3),
+            ),
+            ("rows", Value::from(self.table.rows.len() as u64)),
+            ("table", self.table.to_json()),
+        ])
+    }
+}
+
+/// The run-level manifest.
+#[derive(Debug, Clone)]
+pub struct RunManifest {
+    /// Master seed of the run.
+    pub seed: u64,
+    /// Worker threads used.
+    pub jobs: usize,
+    /// The `--filter` argument, if any.
+    pub filter: Option<String>,
+    /// Executed experiments, in run order.
+    pub records: Vec<ExperimentRecord>,
+}
+
+impl RunManifest {
+    /// The manifest body.
+    pub fn to_json(&self) -> Value {
+        let experiments: Vec<Value> = self
+            .records
+            .iter()
+            .map(|r| {
+                sorted_object(vec![
+                    ("slug", Value::from(r.slug.as_str())),
+                    ("id", Value::from(r.id.as_str())),
+                    ("duration_ms", Value::from(r.duration.as_secs_f64() * 1e3)),
+                    ("rows", Value::from(r.table.rows.len() as u64)),
+                    ("artifact", Value::from(format!("{}.json", r.slug))),
+                ])
+            })
+            .collect();
+        let total: Duration = self.records.iter().map(|r| r.duration).sum();
+        sorted_object(vec![
+            ("seed", Value::from(self.seed)),
+            ("jobs", Value::from(self.jobs as u64)),
+            (
+                "filter",
+                self.filter
+                    .as_deref()
+                    .map(Value::from)
+                    .unwrap_or(Value::Null),
+            ),
+            ("experiments", Value::Array(experiments)),
+            ("total_duration_ms", Value::from(total.as_secs_f64() * 1e3)),
+        ])
+    }
+}
+
+/// Writes artifacts under one directory.
+#[derive(Debug, Clone)]
+pub struct ArtifactStore {
+    dir: PathBuf,
+}
+
+impl ArtifactStore {
+    /// Opens (and creates if needed) the artifact directory.
+    pub fn create(dir: impl AsRef<Path>) -> io::Result<Self> {
+        std::fs::create_dir_all(dir.as_ref())?;
+        Ok(Self {
+            dir: dir.as_ref().to_owned(),
+        })
+    }
+
+    /// The artifact directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Writes `<slug>.json` for one record; returns the path.
+    pub fn write_record(
+        &self,
+        record: &ExperimentRecord,
+        seed: u64,
+        jobs: usize,
+    ) -> io::Result<PathBuf> {
+        let path = self.dir.join(format!("{}.json", record.slug));
+        let body = serde_json::to_string_pretty(&record.to_json(seed, jobs))
+            .expect("value serialization is infallible");
+        std::fs::write(&path, body)?;
+        Ok(path)
+    }
+
+    /// Writes `manifest.json` (and every record) for a full run;
+    /// returns the manifest path.
+    pub fn write_run(&self, manifest: &RunManifest) -> io::Result<PathBuf> {
+        for record in &manifest.records {
+            self.write_record(record, manifest.seed, manifest.jobs)?;
+        }
+        let path = self.dir.join("manifest.json");
+        let body = serde_json::to_string_pretty(&manifest.to_json())
+            .expect("value serialization is infallible");
+        std::fs::write(&path, body)?;
+        Ok(path)
+    }
+}
+
+/// Removes volatile keys (`duration_ms`, `total_duration_ms`) from an
+/// artifact or manifest value, recursively — what's left must be
+/// identical across runs with the same seed, regardless of `--jobs`.
+pub fn strip_durations(v: &Value) -> Value {
+    match v {
+        Value::Object(map) => Value::Object(
+            map.iter()
+                .filter(|(k, _)| k.as_str() != "duration_ms" && k.as_str() != "total_duration_ms")
+                .map(|(k, val)| (k.clone(), strip_durations(val)))
+                .collect(),
+        ),
+        Value::Array(items) => Value::Array(items.iter().map(strip_durations).collect()),
+        other => other.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(ms: u64) -> ExperimentRecord {
+        let mut table = Table::new("E9", "demo", &["a"]);
+        table.push_row(vec!["1".into()]);
+        ExperimentRecord {
+            slug: "e9-demo".into(),
+            id: "E9".into(),
+            duration: Duration::from_millis(ms),
+            table,
+        }
+    }
+
+    #[test]
+    fn record_json_has_required_keys() {
+        let v = record(12).to_json(7, 4);
+        assert_eq!(v["id"].as_str(), Some("E9"));
+        assert_eq!(v["seed"].as_u64(), Some(7));
+        assert_eq!(v["jobs"].as_u64(), Some(4));
+        assert_eq!(v["rows"].as_u64(), Some(1));
+        assert!(v["duration_ms"].as_f64().is_some());
+        assert!(v["table"]["rows"].as_array().is_some());
+    }
+
+    #[test]
+    fn strip_durations_makes_timing_invisible() {
+        let a = strip_durations(&record(5).to_json(7, 1));
+        let b = strip_durations(&record(5000).to_json(7, 1));
+        assert_eq!(a.to_string(), b.to_string());
+        assert!(!a.to_string().contains("duration"));
+    }
+
+    #[test]
+    fn manifest_lists_artifacts() {
+        let m = RunManifest {
+            seed: 1,
+            jobs: 2,
+            filter: Some("E9".into()),
+            records: vec![record(3)],
+        };
+        let v = m.to_json();
+        assert_eq!(v["experiments"].as_array().map(Vec::len), Some(1));
+        assert_eq!(
+            v["experiments"][0]["artifact"].as_str(),
+            Some("e9-demo.json")
+        );
+        assert_eq!(v["filter"].as_str(), Some("E9"));
+    }
+
+    #[test]
+    fn store_round_trips_via_disk() {
+        let dir = std::env::temp_dir().join("autosec-runner-artifact-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = ArtifactStore::create(&dir).expect("create dir");
+        let m = RunManifest {
+            seed: 9,
+            jobs: 1,
+            filter: None,
+            records: vec![record(1)],
+        };
+        let path = store.write_run(&m).expect("write");
+        let text = std::fs::read_to_string(path).expect("read back");
+        let v: Value = serde_json::from_str(&text).expect("valid json");
+        assert_eq!(v["seed"].as_u64(), Some(9));
+        assert!(store.dir().join("e9-demo.json").exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,42 @@
+//! # autosec-runner
+//!
+//! The experiment-execution engine: a registry of experiments with
+//! metadata, a work-stealing thread pool, deterministic parallel
+//! Monte-Carlo helpers, and JSON run artifacts.
+//!
+//! ## Determinism contract
+//!
+//! Every parallel helper in this crate maps trial `i` to the RNG
+//! stream `base.fork_idx(i)` and merges results **in trial order**, so
+//! the output of a run is a pure function of `(seed, trial count)` —
+//! bit-identical for any `--jobs N`, including `N = 1`. The thread
+//! pool only decides *which worker* executes a trial, never *what* the
+//! trial computes or where its result lands.
+//!
+//! ## Layout
+//!
+//! - [`Table`] — the rendered experiment table (moved here from
+//!   `autosec-bench` so the engine can serialize results without
+//!   depending on the experiment implementations).
+//! - [`Experiment`] / [`Registry`] — experiments as data: id, slug,
+//!   title, tags, cost class, and a closure producing a [`Table`].
+//! - [`RunCtx`] — seed + job count handed to every experiment.
+//! - [`WorkStealingPool`] — index-claiming pool used by [`par_trials`].
+//! - [`par_trials`] / [`par_trials_fold`] — deterministic parallel
+//!   Monte-Carlo sweeps.
+//! - [`artifact`] — run manifest + per-experiment JSON artifacts.
+
+pub mod artifact;
+pub mod ctx;
+pub mod par;
+pub mod pool;
+pub mod registry;
+pub mod table;
+
+pub use artifact::DEFAULT_ARTIFACT_DIR;
+pub use artifact::{strip_durations, ArtifactStore, ExperimentRecord, RunManifest};
+pub use ctx::{RunCtx, DEFAULT_SEED};
+pub use par::{par_trials, par_trials_fold};
+pub use pool::WorkStealingPool;
+pub use registry::{Cost, Experiment, Registry};
+pub use table::Table;

@@ -1,0 +1,125 @@
+//! Deterministic parallel Monte-Carlo helpers.
+//!
+//! Trial `i` always computes on the stream `base.fork_idx(i)` and its
+//! result lands in slot `i`; the merge happens in slot order. The
+//! worker count therefore changes wall-clock time and nothing else.
+
+use autosec_sim::SimRng;
+
+use crate::pool::WorkStealingPool;
+
+/// Runs `n` independent trials, trial `i` on `base.fork_idx(i)`, and
+/// returns the results **in trial order**.
+///
+/// Bit-identical output for every `jobs` value, including 1.
+///
+/// # Panics
+///
+/// Panics (propagated) if any trial panics.
+pub fn par_trials<T, F>(jobs: usize, n: usize, base: &SimRng, trial: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize, SimRng) -> T + Sync,
+{
+    let pool = WorkStealingPool::new(jobs);
+    if pool.jobs() == 1 || n <= 1 {
+        return (0..n).map(|i| trial(i, base.fork_idx(i as u64))).collect();
+    }
+
+    let slots: Vec<std::sync::Mutex<Option<T>>> =
+        (0..n).map(|_| std::sync::Mutex::new(None)).collect();
+    pool.execute(n, |i| {
+        let out = trial(i, base.fork_idx(i as u64));
+        *slots[i].lock().expect("slot poisoned") = Some(out);
+    });
+    slots
+        .into_iter()
+        .map(|s| {
+            s.into_inner()
+                .expect("slot poisoned")
+                .expect("every slot filled")
+        })
+        .collect()
+}
+
+/// [`par_trials`] followed by an **in-order** fold — the parallel
+/// drop-in for the classic `for _ in 0..trials { acc.add(...) }` loop.
+///
+/// `fold(acc, i, out)` sees trial outputs in ascending trial order, so
+/// even order-sensitive accumulators merge deterministically.
+pub fn par_trials_fold<T, A, F, G>(
+    jobs: usize,
+    n: usize,
+    base: &SimRng,
+    trial: F,
+    init: A,
+    fold: G,
+) -> A
+where
+    T: Send,
+    F: Fn(usize, SimRng) -> T + Sync,
+    G: FnMut(A, usize, T) -> A,
+{
+    let mut fold = fold;
+    par_trials(jobs, n, base, trial)
+        .into_iter()
+        .enumerate()
+        .fold(init, |acc, (i, out)| fold(acc, i, out))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::RngCore;
+
+    #[test]
+    fn results_arrive_in_trial_order() {
+        let base = SimRng::seed(9);
+        let out = par_trials(4, 100, &base, |i, _| i);
+        assert_eq!(out, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn output_is_jobs_invariant() {
+        let base = SimRng::seed(1234);
+        let serial = par_trials(1, 257, &base, |_, mut rng| rng.next_u64());
+        for jobs in [2, 3, 4, 8] {
+            let par = par_trials(jobs, 257, &base, |_, mut rng| rng.next_u64());
+            assert_eq!(serial, par, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn trial_streams_match_fork_idx() {
+        let base = SimRng::seed(5);
+        let out = par_trials(4, 32, &base, |_, mut rng| rng.next_u64());
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, base.fork_idx(i as u64).next_u64());
+        }
+    }
+
+    #[test]
+    fn fold_sees_ascending_indices() {
+        let base = SimRng::seed(5);
+        let order = par_trials_fold(
+            4,
+            64,
+            &base,
+            |i, _| i,
+            Vec::new(),
+            |mut acc: Vec<usize>, i, out| {
+                assert_eq!(i, out);
+                acc.push(i);
+                acc
+            },
+        );
+        assert_eq!(order, (0..64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_trial_set() {
+        let base = SimRng::seed(5);
+        let out: Vec<u64> = par_trials(4, 0, &base, |_, mut rng| rng.next_u64());
+        assert!(out.is_empty());
+    }
+}

@@ -1,0 +1,157 @@
+//! A work-stealing thread pool over indexed tasks.
+//!
+//! The pool executes tasks `0..n` across `jobs` workers. Each worker
+//! owns a deque preloaded with a contiguous slice of the index range;
+//! it drains its own deque from the front and, when empty, steals from
+//! the *back* of a victim's deque (classic Chase–Lev discipline, here
+//! with mutex-guarded deques — the workloads are Monte-Carlo trials
+//! that dwarf the lock cost).
+//!
+//! Task indices say nothing about *where* a task runs, only *what* it
+//! computes, so callers that key all per-task state off the index (as
+//! [`par_trials`](crate::par_trials) does with `fork_idx`) get
+//! scheduling-independent results for free.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// A pool executing indexed task sets across a fixed worker count.
+#[derive(Debug, Clone, Copy)]
+pub struct WorkStealingPool {
+    jobs: usize,
+}
+
+impl WorkStealingPool {
+    /// A pool with `jobs` workers (clamped to at least 1).
+    pub fn new(jobs: usize) -> Self {
+        Self { jobs: jobs.max(1) }
+    }
+
+    /// The worker count.
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// Runs `task(i)` for every `i` in `0..n` and returns the number of
+    /// tasks each worker executed (length = worker count).
+    ///
+    /// With one worker the tasks run on the calling thread, in index
+    /// order, with zero synchronization — the `--jobs 1` baseline is
+    /// the plain serial loop.
+    pub fn execute<F>(&self, n: usize, task: F) -> Vec<usize>
+    where
+        F: Fn(usize) + Sync,
+    {
+        if self.jobs == 1 || n <= 1 {
+            for i in 0..n {
+                task(i);
+            }
+            return vec![n];
+        }
+
+        let workers = self.jobs.min(n);
+        // Preload each deque with a contiguous chunk of the range.
+        let chunk = n.div_ceil(workers);
+        let deques: Vec<Mutex<VecDeque<usize>>> = (0..workers)
+            .map(|w| Mutex::new((w * chunk..((w + 1) * chunk).min(n)).collect()))
+            .collect();
+        let executed: Vec<AtomicUsize> = (0..workers).map(|_| AtomicUsize::new(0)).collect();
+
+        std::thread::scope(|scope| {
+            for w in 0..workers {
+                let deques = &deques;
+                let executed = &executed;
+                let task = &task;
+                scope.spawn(move || {
+                    loop {
+                        // Own queue first (front: cache-warm order)...
+                        let own = deques[w].lock().expect("pool deque poisoned").pop_front();
+                        let idx = match own {
+                            Some(i) => i,
+                            // ...then steal from the back of a victim.
+                            None => match Self::steal(deques, w) {
+                                Some(i) => i,
+                                None => break,
+                            },
+                        };
+                        task(idx);
+                        executed[w].fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+            }
+        });
+
+        executed.into_iter().map(|c| c.into_inner()).collect()
+    }
+
+    /// Steals one index from any non-empty victim deque.
+    fn steal(deques: &[Mutex<VecDeque<usize>>], thief: usize) -> Option<usize> {
+        let n = deques.len();
+        for off in 1..n {
+            let victim = (thief + off) % n;
+            if let Some(idx) = deques[victim]
+                .lock()
+                .expect("pool deque poisoned")
+                .pop_back()
+            {
+                return Some(idx);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn executes_every_index_exactly_once() {
+        for jobs in [1, 2, 4, 7] {
+            let n = 103;
+            let seen: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+            let counts = WorkStealingPool::new(jobs).execute(n, |i| {
+                seen[i].fetch_add(1, Ordering::Relaxed);
+            });
+            assert_eq!(counts.iter().sum::<usize>(), n, "jobs={jobs}");
+            for (i, s) in seen.iter().enumerate() {
+                assert_eq!(s.load(Ordering::Relaxed), 1, "index {i} at jobs={jobs}");
+            }
+        }
+    }
+
+    #[test]
+    fn stealing_rebalances_skewed_work() {
+        // First half of the indices is much heavier; with stealing no
+        // worker can end up with zero tasks while others are loaded.
+        let n = 64;
+        let counts = WorkStealingPool::new(4).execute(n, |i| {
+            let reps = if i < n / 2 { 20_000 } else { 10 };
+            let mut acc = 0u64;
+            for k in 0..reps {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(k);
+            }
+            std::hint::black_box(acc);
+        });
+        assert_eq!(counts.iter().sum::<usize>(), n);
+    }
+
+    #[test]
+    fn more_workers_than_tasks_is_fine() {
+        let counts = WorkStealingPool::new(16).execute(3, |_| {});
+        assert_eq!(counts.iter().sum::<usize>(), 3);
+    }
+
+    #[test]
+    fn zero_tasks_is_fine() {
+        let counts = WorkStealingPool::new(4).execute(0, |_| panic!("no tasks"));
+        assert_eq!(counts.iter().sum::<usize>(), 0);
+    }
+
+    #[test]
+    fn jobs_clamped() {
+        assert_eq!(WorkStealingPool::new(0).jobs(), 1);
+    }
+}

@@ -1,0 +1,203 @@
+//! Experiments as data: id, slug, title, tags, cost, and a closure.
+
+use crate::ctx::RunCtx;
+use crate::table::Table;
+
+/// Rough cost class of one experiment (drives scheduling hints and
+/// lets callers pick cheap subsets for smoke tests).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Cost {
+    /// Milliseconds.
+    Cheap,
+    /// Tens to hundreds of milliseconds.
+    Moderate,
+    /// Monte-Carlo sweeps dominating the suite's runtime.
+    Heavy,
+}
+
+impl std::fmt::Display for Cost {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Cost::Cheap => "cheap",
+            Cost::Moderate => "moderate",
+            Cost::Heavy => "heavy",
+        })
+    }
+}
+
+type RunFn = Box<dyn Fn(&RunCtx) -> Table + Send + Sync>;
+
+/// One registered experiment.
+pub struct Experiment {
+    /// Group id shared with sibling tables, e.g. `"E2"`.
+    pub id: &'static str,
+    /// Unique slug, e.g. `"e2-lrp-rounds"` (artifact file stem).
+    pub slug: &'static str,
+    /// Table title (paper anchor).
+    pub title: &'static str,
+    /// Free-form tags, e.g. `["phy", "ranging"]`.
+    pub tags: &'static [&'static str],
+    /// Cost class.
+    pub cost: Cost,
+    run: RunFn,
+}
+
+impl Experiment {
+    /// Registers an experiment body.
+    pub fn new(
+        id: &'static str,
+        slug: &'static str,
+        title: &'static str,
+        tags: &'static [&'static str],
+        cost: Cost,
+        run: impl Fn(&RunCtx) -> Table + Send + Sync + 'static,
+    ) -> Self {
+        Self {
+            id,
+            slug,
+            title,
+            tags,
+            cost,
+            run: Box::new(run),
+        }
+    }
+
+    /// Produces the table under the given context.
+    pub fn run(&self, ctx: &RunCtx) -> Table {
+        (self.run)(ctx)
+    }
+}
+
+impl std::fmt::Debug for Experiment {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Experiment")
+            .field("id", &self.id)
+            .field("slug", &self.slug)
+            .field("title", &self.title)
+            .field("tags", &self.tags)
+            .field("cost", &self.cost)
+            .finish_non_exhaustive()
+    }
+}
+
+/// The ordered experiment registry.
+#[derive(Debug, Default)]
+pub struct Registry {
+    experiments: Vec<Experiment>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends an experiment, keeping registration order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slug is already registered — slugs name artifact
+    /// files, so they must be unique.
+    pub fn register(&mut self, exp: Experiment) {
+        assert!(
+            self.experiments.iter().all(|e| e.slug != exp.slug),
+            "duplicate experiment slug {:?}",
+            exp.slug
+        );
+        self.experiments.push(exp);
+    }
+
+    /// All experiments, in registration order.
+    pub fn iter(&self) -> impl Iterator<Item = &Experiment> {
+        self.experiments.iter()
+    }
+
+    /// Number of registered experiments.
+    pub fn len(&self) -> usize {
+        self.experiments.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.experiments.is_empty()
+    }
+
+    /// Experiments whose group id **or** slug equals `filter`,
+    /// case-insensitively. Exact match only: `"E1"` selects E1 and
+    /// never E10–E13.
+    pub fn select(&self, filter: &str) -> Vec<&Experiment> {
+        let f = filter.to_lowercase();
+        self.experiments
+            .iter()
+            .filter(|e| e.id.to_lowercase() == f || e.slug.to_lowercase() == f)
+            .collect()
+    }
+
+    /// Unique group ids, in first-registration order (the "available
+    /// ids" list for error messages).
+    pub fn group_ids(&self) -> Vec<&'static str> {
+        let mut out: Vec<&'static str> = Vec::new();
+        for e in &self.experiments {
+            if !out.contains(&e.id) {
+                out.push(e.id);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dummy(id: &'static str, slug: &'static str) -> Experiment {
+        Experiment::new(id, slug, "t", &[], Cost::Cheap, |_| {
+            Table::new("X", "t", &["a"])
+        })
+    }
+
+    fn sample() -> Registry {
+        let mut r = Registry::new();
+        r.register(dummy("E1", "e1-depth"));
+        r.register(dummy("E10", "e10-cascade"));
+        r.register(dummy("E10", "e10-structure"));
+        r
+    }
+
+    #[test]
+    fn select_is_exact_not_substring() {
+        let r = sample();
+        // The old binary's `contains` filter made "E1" match E10 too.
+        let hits = r.select("E1");
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].slug, "e1-depth");
+        assert_eq!(r.select("E10").len(), 2);
+    }
+
+    #[test]
+    fn select_is_case_insensitive_and_takes_slugs() {
+        let r = sample();
+        assert_eq!(r.select("e10").len(), 2);
+        assert_eq!(r.select("E10-CASCADE").len(), 1);
+        assert!(r.select("e99").is_empty());
+    }
+
+    #[test]
+    fn group_ids_are_unique_in_order() {
+        assert_eq!(sample().group_ids(), vec!["E1", "E10"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate experiment slug")]
+    fn duplicate_slug_rejected() {
+        let mut r = sample();
+        r.register(dummy("E2", "e1-depth"));
+    }
+
+    #[test]
+    fn run_produces_table() {
+        let r = sample();
+        let t = r.select("E1")[0].run(&RunCtx::default());
+        assert_eq!(t.id, "X");
+    }
+}

@@ -45,8 +45,7 @@ pub fn iso15118_flow(rng: &mut SimRng, n_emsp_roots: usize) -> Result<FlowReport
     let station_key = MssKeyPair::generate(rng, 2);
     let station_cert = cpo.issue_leaf("station-017", *station_key.public_key().as_bytes())?;
     let contract_key = MssKeyPair::generate(rng, 2);
-    let contract_cert =
-        emsp.issue_leaf("contract-CHG42", *contract_key.public_key().as_bytes())?;
+    let contract_cert = emsp.issue_leaf("contract-CHG42", *contract_key.public_key().as_bytes())?;
 
     // Session: the vehicle verifies the station chain, the station
     // verifies the contract chain.

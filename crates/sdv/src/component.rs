@@ -1,9 +1,7 @@
 //! Software components and hardware nodes of the SDV.
 
-use serde::{Deserialize, Serialize};
-
 /// Automotive safety integrity level.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Asil {
     /// Quality managed (no safety requirement).
     Qm,
@@ -18,7 +16,7 @@ pub enum Asil {
 }
 
 /// A deployable software component.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SoftwareComponent {
     /// Unique component id (e.g. `"brake-controller"`).
     pub id: String,
@@ -43,7 +41,7 @@ impl SoftwareComponent {
 }
 
 /// A hardware node (HPC, zonal controller, or ECU) able to host software.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct HardwareNode {
     /// Unique node id (e.g. `"hpc-0"`).
     pub id: String,

@@ -159,8 +159,7 @@ pub fn verify_chain(chain: &[Certificate], pinned_root: &Certificate) -> Result<
             )));
         }
         let pk = MssPublicKey::from_bytes(issuer_cert.public_key);
-        let tbs =
-            Certificate::tbs_bytes(&cert.subject, &cert.issuer, &cert.public_key, cert.is_ca);
+        let tbs = Certificate::tbs_bytes(&cert.subject, &cert.issuer, &cert.public_key, cert.is_ca);
         verifications += 1;
         if !pk.verify(&tbs, &cert.signature) {
             return Err(SdvError::AuthFailed(format!(

@@ -103,7 +103,7 @@ impl SdvPlatform {
         let cred = issuer
             .issue(
                 wallet.did().clone(),
-                serde_json::json!({"type": "platform-node", "id": node.id}),
+                serde_json::json!({"type": "platform-node", "id": (&node.id)}),
                 None,
             )
             .map_err(|e| SdvError::AuthFailed(e.to_string()))?;
@@ -131,7 +131,7 @@ impl SdvPlatform {
                 wallet.did().clone(),
                 serde_json::json!({
                     "type": "software-release",
-                    "id": component.id,
+                    "id": (&component.id),
                     "version": component.version_string(),
                 }),
                 None,
@@ -224,7 +224,8 @@ impl SdvPlatform {
         }
         // Displace any previous placement of the component.
         self.remove_placement(component);
-        self.used_capacity.insert(node.to_owned(), used + comp.compute_cost);
+        self.used_capacity
+            .insert(node.to_owned(), used + comp.compute_cost);
         self.placements.push(Placement {
             component: component.to_owned(),
             node: node.to_owned(),
@@ -233,7 +234,11 @@ impl SdvPlatform {
     }
 
     fn remove_placement(&mut self, component: &str) {
-        if let Some(pos) = self.placements.iter().position(|p| p.component == component) {
+        if let Some(pos) = self
+            .placements
+            .iter()
+            .position(|p| p.component == component)
+        {
             let old = self.placements.remove(pos);
             if let Some(comp) = self.components.get(component) {
                 if let Some(u) = self.used_capacity.get_mut(&old.node) {

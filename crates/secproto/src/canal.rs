@@ -134,7 +134,8 @@ impl CanalReceiver {
             }
         }
         self.expected_seq = Some(seq.wrapping_add(1));
-        self.buffer.extend_from_slice(&frame.data()[CANAL_HEADER_BYTES..]);
+        self.buffer
+            .extend_from_slice(&frame.data()[CANAL_HEADER_BYTES..]);
 
         if flags & 0x01 == 0 {
             return Ok(None);
@@ -234,9 +235,8 @@ mod tests {
                 // Corrupt a data byte in the last frame (not header).
                 let mut data = f.data().to_vec();
                 data[3] ^= 0xFF;
-                let bad =
-                    CanXlFrame::new(f.priority(), f.sdt(), f.vcid(), f.acceptance(), &data)
-                        .unwrap();
+                let bad = CanXlFrame::new(f.priority(), f.sdt(), f.vcid(), f.acceptance(), &data)
+                    .unwrap();
                 assert_eq!(rx.push(&bad).unwrap_err(), ProtoError::ReassemblyFailed);
             } else {
                 assert!(rx.push(f).unwrap().is_none());
@@ -251,7 +251,7 @@ mod tests {
         let frames = tx.segment(&vec![2u8; 300]);
         rx.push(&frames[0]).unwrap();
         let _ = rx.push(&frames[2]); // gap -> error, buffer reset
-        // A fresh SDU now reassembles fine.
+                                     // A fresh SDU now reassembles fine.
         let frames2 = tx.segment(b"recovery");
         let mut out = None;
         for f in &frames2 {

@@ -191,7 +191,10 @@ mod tests {
         let (mut tx, mut rx) = pair(false);
         let f = tx.protect(0x50, 0, b"visible").unwrap();
         // Payload visible inside the XL frame after the header.
-        assert_eq!(&f.data()[CANSEC_HEADER_BYTES..CANSEC_HEADER_BYTES + 7], b"visible");
+        assert_eq!(
+            &f.data()[CANSEC_HEADER_BYTES..CANSEC_HEADER_BYTES + 7],
+            b"visible"
+        );
         assert_eq!(rx.verify(&f).unwrap(), b"visible");
     }
 
@@ -210,8 +213,8 @@ mod tests {
         let mut data = f.data().to_vec();
         let n = data.len();
         data[n - 1] ^= 0x80;
-        let forged = CanXlFrame::new(f.priority(), f.sdt(), f.vcid(), f.acceptance(), &data)
-            .unwrap();
+        let forged =
+            CanXlFrame::new(f.priority(), f.sdt(), f.vcid(), f.acceptance(), &data).unwrap();
         assert_eq!(rx.verify(&forged).unwrap_err(), ProtoError::AuthFailed);
     }
 

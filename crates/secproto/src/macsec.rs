@@ -271,11 +271,18 @@ mod tests {
 
     #[test]
     fn tamper_detected_both_modes() {
-        for mode in [MacsecMode::AuthenticatedEncryption, MacsecMode::IntegrityOnly] {
+        for mode in [
+            MacsecMode::AuthenticatedEncryption,
+            MacsecMode::IntegrityOnly,
+        ] {
             let (mut tx, mut rx) = pair(mode);
             let mut f = tx.protect(b"payload").unwrap();
             f.secure_data[0] ^= 1;
-            assert_eq!(rx.verify(&f).unwrap_err(), ProtoError::AuthFailed, "{mode:?}");
+            assert_eq!(
+                rx.verify(&f).unwrap_err(),
+                ProtoError::AuthFailed,
+                "{mode:?}"
+            );
         }
     }
 

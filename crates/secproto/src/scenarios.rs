@@ -127,8 +127,8 @@ pub fn evaluate(scenario: Scenario, payload_len: usize) -> ScenarioReport {
             let overhead = wire - payload_len;
             // Classic CAN: 8-byte frames.
             let frames = wire.div_ceil(8);
-            let can_frame = CanFrame::new(CanId::standard(0x123).expect("valid"), &[0u8; 8])
-                .expect("8 bytes");
+            let can_frame =
+                CanFrame::new(CanId::standard(0x123).expect("valid"), &[0u8; 8]).expect("8 bytes");
             let segment_us = frames as f64 * can_frame.duration_ns(500_000) / 1000.0;
             let verified = zc_rx.verify(&pdu).expect("authentic");
             // ZC re-protects toward CC with MACsec.
@@ -146,7 +146,7 @@ pub fn evaluate(scenario: Scenario, payload_len: usize) -> ScenarioReport {
                 payload_len,
                 segment_overhead_bytes: overhead,
                 segment_frames: frames,
-                crypto_ops: 4, // SECOC protect+verify, MACsec protect+verify
+                crypto_ops: 4,      // SECOC protect+verify, MACsec protect+verify
                 zc_session_keys: 2, // SECOC key per flow + MACsec SAK
                 e2e_latency_us: segment_us + crypto_us + backbone_us,
                 confidential_on_segment: false, // SECOC authenticates only
@@ -218,8 +218,8 @@ pub fn evaluate(scenario: Scenario, payload_len: usize) -> ScenarioReport {
             };
             let _ = mrx.verify(&rebuilt).expect("authentic");
 
-            let canal_overhead = n_frames * crate::canal::CANAL_HEADER_BYTES
-                + crate::canal::CANAL_TRAILER_BYTES;
+            let canal_overhead =
+                n_frames * crate::canal::CANAL_HEADER_BYTES + crate::canal::CANAL_TRAILER_BYTES;
             let overhead = MacsecFrame::overhead_bytes() + canal_overhead;
             let crypto_us = cost.op_us(sdu.len()) * 2.0;
             let backbone_us = switch

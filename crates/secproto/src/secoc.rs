@@ -111,7 +111,9 @@ impl SecOcAuthenticator {
     }
 
     fn truncated_mac(&self, payload: &[u8], freshness: u64) -> Vec<u8> {
-        let full = self.cmac.mac(&Self::mac_input(self.data_id, payload, freshness));
+        let full = self
+            .cmac
+            .mac(&Self::mac_input(self.data_id, payload, freshness));
         let bytes = usize::from(self.cfg.mac_tx_bits).div_ceil(8);
         full[..bytes].to_vec()
     }
@@ -171,7 +173,10 @@ impl SecOcAuthenticator {
     ///
     /// Panics if called on a sender-side authenticator.
     pub fn verify(&mut self, pdu: &SecOcPdu) -> Result<Vec<u8>, ProtoError> {
-        assert!(!self.is_sender, "verify() requires a receiver authenticator");
+        assert!(
+            !self.is_sender,
+            "verify() requires a receiver authenticator"
+        );
         if pdu.data_id != self.data_id {
             return Err(ProtoError::Malformed);
         }

@@ -32,6 +32,6 @@ pub mod trace;
 pub use metrics::{Counter, Histogram, MetricSet, TimeSeries};
 pub use rng::SimRng;
 pub use scheduler::Scheduler;
-pub use stats::{ci95_halfwidth, mean, percentile, stddev, Summary};
+pub use stats::{ci95_halfwidth, mean, percentile, stddev, RunningStats, Summary};
 pub use time::{SimDuration, SimTime};
 pub use trace::{TraceEvent, TraceLevel, Tracer};

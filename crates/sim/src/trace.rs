@@ -114,9 +114,7 @@ impl Tracer {
 
     /// Iterator over alert-level events.
     pub fn alerts(&self) -> impl Iterator<Item = &TraceEvent> {
-        self.events
-            .iter()
-            .filter(|e| e.level == TraceLevel::Alert)
+        self.events.iter().filter(|e| e.level == TraceLevel::Alert)
     }
 
     /// Events from components whose name starts with `prefix`.
@@ -172,7 +170,12 @@ mod tests {
     #[test]
     fn contains_searches_messages() {
         let mut t = Tracer::new(TraceLevel::Debug);
-        t.emit(SimTime::ZERO, TraceLevel::Alert, "ids", "masquerade detected");
+        t.emit(
+            SimTime::ZERO,
+            TraceLevel::Alert,
+            "ids",
+            "masquerade detected",
+        );
         assert!(t.contains("masquerade"));
         assert!(!t.contains("replay"));
     }

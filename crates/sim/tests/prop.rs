@@ -1,14 +1,23 @@
-//! Property tests for the simulation kernel.
+//! Randomized invariant tests for the simulation kernel.
+//!
+//! Formerly proptest-based; now driven by deterministic [`SimRng`]
+//! streams (the hermetic build has no proptest), with one forked
+//! substream per case so failures reproduce exactly.
 
 use autosec_sim::{percentile, Scheduler, SimDuration, SimRng, SimTime, Summary};
-use proptest::prelude::*;
-use rand::RngCore;
+use rand::{Rng, RngCore};
 
-proptest! {
-    /// Events pop in nondecreasing time order; ties preserve insertion
-    /// order.
-    #[test]
-    fn scheduler_orders_any_schedule(times in proptest::collection::vec(0u64..1_000, 1..200)) {
+const CASES: u64 = 64;
+
+/// Events pop in nondecreasing time order; ties preserve insertion
+/// order.
+#[test]
+fn scheduler_orders_any_schedule() {
+    let root = SimRng::seed(0x5C_4ED);
+    for case in 0..CASES {
+        let mut rng = root.fork_idx(case);
+        let n = rng.gen_range(1usize..200);
+        let times: Vec<u64> = (0..n).map(|_| rng.gen_range(0u64..1_000)).collect();
         let mut s = Scheduler::new();
         for (i, &t) in times.iter().enumerate() {
             s.schedule_at(SimTime::from_ns(t), i);
@@ -17,68 +26,101 @@ proptest! {
         while let Some((t, i)) = s.pop() {
             popped.push((t, i));
         }
-        prop_assert_eq!(popped.len(), times.len());
+        assert_eq!(popped.len(), times.len());
         for w in popped.windows(2) {
-            prop_assert!(w[0].0 <= w[1].0, "time order violated");
+            assert!(w[0].0 <= w[1].0, "time order violated");
             if w[0].0 == w[1].0 {
-                prop_assert!(w[0].1 < w[1].1, "FIFO violated for ties");
+                assert!(w[0].1 < w[1].1, "FIFO violated for ties");
             }
         }
     }
+}
 
-    /// Time arithmetic round-trips.
-    #[test]
-    fn time_add_sub_roundtrip(t in 0u64..u64::MAX / 4, d in 0u64..u64::MAX / 4) {
+/// Time arithmetic round-trips.
+#[test]
+fn time_add_sub_roundtrip() {
+    let root = SimRng::seed(0x71_3E);
+    for case in 0..CASES {
+        let mut rng = root.fork_idx(case);
+        let t = rng.gen_range(0u64..u64::MAX / 4);
+        let d = rng.gen_range(0u64..u64::MAX / 4);
         let time = SimTime::from_ps(t);
         let dur = SimDuration::from_ps(d);
-        prop_assert_eq!((time + dur) - dur, time);
-        prop_assert_eq!((time + dur).since(time), dur);
+        assert_eq!((time + dur) - dur, time);
+        assert_eq!((time + dur).since(time), dur);
     }
+}
 
-    /// Percentiles are bounded by the sample extremes and monotone in p.
-    #[test]
-    fn percentile_bounds(xs in proptest::collection::vec(-1e6f64..1e6, 1..100)) {
+fn sample(rng: &mut SimRng, min_len: usize, max_len: usize) -> Vec<f64> {
+    let n = rng.gen_range(min_len..max_len);
+    (0..n).map(|_| rng.gen_range(-1e6f64..1e6)).collect()
+}
+
+/// Percentiles are bounded by the sample extremes and monotone in p.
+#[test]
+fn percentile_bounds() {
+    let root = SimRng::seed(0x9C_71E);
+    for case in 0..CASES {
+        let mut rng = root.fork_idx(case);
+        let xs = sample(&mut rng, 1, 100);
         let lo = xs.iter().cloned().fold(f64::INFINITY, f64::min);
         let hi = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
         let mut prev = f64::NEG_INFINITY;
         for p in [0.0, 10.0, 50.0, 90.0, 100.0] {
             let v = percentile(&xs, p);
-            prop_assert!(v >= lo - 1e-9 && v <= hi + 1e-9);
-            prop_assert!(v >= prev - 1e-9, "percentile must be monotone in p");
+            assert!(v >= lo - 1e-9 && v <= hi + 1e-9);
+            assert!(v >= prev - 1e-9, "percentile must be monotone in p");
             prev = v;
         }
-        prop_assert_eq!(percentile(&xs, 0.0), lo);
-        prop_assert_eq!(percentile(&xs, 100.0), hi);
+        assert_eq!(percentile(&xs, 0.0), lo);
+        assert_eq!(percentile(&xs, 100.0), hi);
     }
+}
 
-    /// Summary invariants: min <= p50 <= p95 <= p99 <= max, mean within
-    /// [min, max].
-    #[test]
-    fn summary_invariants(xs in proptest::collection::vec(-1e6f64..1e6, 2..200)) {
+/// Summary invariants: min <= p50 <= p95 <= p99 <= max, mean within
+/// [min, max].
+#[test]
+fn summary_invariants() {
+    let root = SimRng::seed(0x5_3A47);
+    for case in 0..CASES {
+        let mut rng = root.fork_idx(case);
+        let xs = sample(&mut rng, 2, 200);
         let s = Summary::of(&xs);
-        prop_assert!(s.min <= s.p50 + 1e-9);
-        prop_assert!(s.p50 <= s.p95 + 1e-9);
-        prop_assert!(s.p95 <= s.p99 + 1e-9);
-        prop_assert!(s.p99 <= s.max + 1e-9);
-        prop_assert!(s.mean >= s.min - 1e-9 && s.mean <= s.max + 1e-9);
-        prop_assert!(s.stddev >= 0.0);
+        assert!(s.min <= s.p50 + 1e-9);
+        assert!(s.p50 <= s.p95 + 1e-9);
+        assert!(s.p95 <= s.p99 + 1e-9);
+        assert!(s.p99 <= s.max + 1e-9);
+        assert!(s.mean >= s.min - 1e-9 && s.mean <= s.max + 1e-9);
+        assert!(s.stddev >= 0.0);
     }
+}
 
-    /// Forks are pure functions of (seed, label).
-    #[test]
-    fn rng_fork_label_stability(seed in any::<u64>(), label in "[a-z]{1,12}") {
+/// Forks are pure functions of (seed, label).
+#[test]
+fn rng_fork_label_stability() {
+    let root = SimRng::seed(0xF0_4C);
+    for case in 0..CASES {
+        let mut rng = root.fork_idx(case);
+        let seed = rng.next_u64();
+        let label: String = (0..rng.gen_range(1usize..12))
+            .map(|_| char::from(rng.gen_range(b'a'..=b'z')))
+            .collect();
         let a = SimRng::seed(seed).fork(&label).next_u64();
         let b = SimRng::seed(seed).fork(&label).next_u64();
-        prop_assert_eq!(a, b);
+        assert_eq!(a, b);
     }
+}
 
-    /// Chance(0) is never true; chance(1) always is.
-    #[test]
-    fn chance_extremes(seed in any::<u64>()) {
-        let mut rng = SimRng::seed(seed);
+/// Chance(0) is never true; chance(1) always is.
+#[test]
+fn chance_extremes() {
+    let root = SimRng::seed(0xC4A_4CE);
+    for case in 0..CASES {
+        let mut rng = root.fork_idx(case);
+        let mut subject = SimRng::seed(rng.next_u64());
         for _ in 0..32 {
-            prop_assert!(!rng.chance(0.0));
-            prop_assert!(rng.chance(1.0));
+            assert!(!subject.chance(0.0));
+            assert!(subject.chance(1.0));
         }
     }
 }

@@ -26,63 +26,128 @@ pub struct CascadeReport {
     pub safety_reach_probability: f64,
 }
 
+/// Compromise mask of one Monte-Carlo cascade from `entry`.
+///
+/// One trial = one BFS with randomized edge traversal. Trials are
+/// independent, so a sweep can run them on any RNG streams it likes
+/// (e.g. one [`SimRng::fork_idx`] stream per trial in a parallel run)
+/// and fold the masks into a [`CascadeAccumulator`].
+///
+/// # Panics
+///
+/// Panics if `entry` is out of range.
+pub fn cascade_trial(graph: &SosGraph, entry: NodeId, rng: &mut SimRng) -> Vec<bool> {
+    assert!(graph.node(entry).is_some(), "entry node out of range");
+    let mut compromised = vec![false; graph.len()];
+    compromised[entry.0] = true;
+    let mut queue = VecDeque::from([entry]);
+    while let Some(cur) = queue.pop_front() {
+        for e in graph.edges().iter().filter(|e| e.from == cur) {
+            if compromised[e.to.0] {
+                continue;
+            }
+            let target = graph.node(e.to).expect("edge target exists");
+            // Susceptibility in [1, 4.5] rescaled to a multiplier in
+            // (0, 1]: p = strength * susceptibility / 4.5 capped at
+            // strength itself for clean nodes? No — normalize so a
+            // clean node traverses at strength/2 and the worst node
+            // at strength.
+            let p = e.strength * (0.5 + 0.5 * (target.susceptibility() - 1.0) / 3.5);
+            if rng.chance(p.min(1.0)) {
+                compromised[e.to.0] = true;
+                queue.push_back(e.to);
+            }
+        }
+    }
+    compromised
+}
+
+/// Mergeable per-node hit counts over many cascade trials.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CascadeAccumulator {
+    safety: Vec<NodeId>,
+    hits: Vec<usize>,
+    safety_hits: usize,
+    trials: usize,
+}
+
+impl CascadeAccumulator {
+    /// An empty accumulator for `graph` (resolves the safety-function
+    /// node set once).
+    pub fn new(graph: &SosGraph) -> Self {
+        Self {
+            safety: ["braking", "steering", "act"]
+                .iter()
+                .filter_map(|s| graph.find(s))
+                .collect(),
+            hits: vec![0; graph.len()],
+            safety_hits: 0,
+            trials: 0,
+        }
+    }
+
+    /// Folds one trial's compromise mask in.
+    pub fn add(&mut self, compromised: &[bool]) {
+        assert_eq!(compromised.len(), self.hits.len(), "graph size mismatch");
+        for (h, &c) in self.hits.iter_mut().zip(compromised) {
+            *h += usize::from(c);
+        }
+        if self.safety.iter().any(|s| compromised[s.0]) {
+            self.safety_hits += 1;
+        }
+        self.trials += 1;
+    }
+
+    /// Merges another accumulator (counts add; both must come from the
+    /// same graph).
+    pub fn merge(&mut self, other: &CascadeAccumulator) {
+        assert_eq!(other.hits.len(), self.hits.len(), "graph size mismatch");
+        for (h, o) in self.hits.iter_mut().zip(&other.hits) {
+            *h += o;
+        }
+        self.safety_hits += other.safety_hits;
+        self.trials += other.trials;
+    }
+
+    /// Trials folded in so far.
+    pub fn trials(&self) -> usize {
+        self.trials
+    }
+
+    /// Finalizes into a report.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no trial was folded in.
+    pub fn report(&self, entry: NodeId) -> CascadeReport {
+        assert!(self.trials > 0, "need at least one trial");
+        let compromise_probability: Vec<f64> = self
+            .hits
+            .iter()
+            .map(|&h| h as f64 / self.trials as f64)
+            .collect();
+        CascadeReport {
+            entry,
+            expected_compromised: compromise_probability.iter().sum(),
+            safety_reach_probability: self.safety_hits as f64 / self.trials as f64,
+            compromise_probability,
+        }
+    }
+}
+
 /// Runs `trials` Monte-Carlo cascades from `entry`.
 ///
 /// # Panics
 ///
 /// Panics if `entry` is out of range or `trials` is zero.
 pub fn simulate(graph: &SosGraph, entry: NodeId, trials: usize, rng: &mut SimRng) -> CascadeReport {
-    assert!(graph.node(entry).is_some(), "entry node out of range");
     assert!(trials > 0, "need at least one trial");
-
-    let n = graph.len();
-    let mut hits = vec![0usize; n];
-    let mut safety_hits = 0usize;
-    let safety: Vec<NodeId> = ["braking", "steering", "act"]
-        .iter()
-        .filter_map(|s| graph.find(s))
-        .collect();
-
+    let mut acc = CascadeAccumulator::new(graph);
     for _ in 0..trials {
-        let mut compromised = vec![false; n];
-        compromised[entry.0] = true;
-        let mut queue = VecDeque::from([entry]);
-        while let Some(cur) = queue.pop_front() {
-            for e in graph.edges().iter().filter(|e| e.from == cur) {
-                if compromised[e.to.0] {
-                    continue;
-                }
-                let target = graph.node(e.to).expect("edge target exists");
-                // Susceptibility in [1, 4.5] rescaled to a multiplier in
-                // (0, 1]: p = strength * susceptibility / 4.5 capped at
-                // strength itself for clean nodes? No — normalize so a
-                // clean node traverses at strength/2 and the worst node
-                // at strength.
-                let p = e.strength * (0.5 + 0.5 * (target.susceptibility() - 1.0) / 3.5);
-                if rng.chance(p.min(1.0)) {
-                    compromised[e.to.0] = true;
-                    queue.push_back(e.to);
-                }
-            }
-        }
-        for (i, &c) in compromised.iter().enumerate() {
-            if c {
-                hits[i] += 1;
-            }
-        }
-        if safety.iter().any(|s| compromised[s.0]) {
-            safety_hits += 1;
-        }
+        let mask = cascade_trial(graph, entry, rng);
+        acc.add(&mask);
     }
-
-    let compromise_probability: Vec<f64> =
-        hits.iter().map(|&h| h as f64 / trials as f64).collect();
-    CascadeReport {
-        entry,
-        expected_compromised: compromise_probability.iter().sum(),
-        safety_reach_probability: safety_hits as f64 / trials as f64,
-        compromise_probability,
-    }
+    acc.report(entry)
 }
 
 /// Uniformly rescales every coupling strength (used by the E10 sweep:
@@ -167,6 +232,34 @@ mod tests {
         let r = simulate(&g, entry, 300, &mut rng);
         assert_eq!(r.expected_compromised, 1.0);
         assert_eq!(r.safety_reach_probability, 0.0);
+    }
+
+    #[test]
+    fn accumulator_merge_equals_single_pass() {
+        let g = maas_reference();
+        let entry = g.find("cloud-backend").unwrap();
+        let trials = 400;
+        // Single pass.
+        let mut whole = CascadeAccumulator::new(&g);
+        for i in 0..trials {
+            let mut rng = SimRng::seed(77).fork_idx(i);
+            whole.add(&cascade_trial(&g, entry, &mut rng));
+        }
+        // Two partitions merged.
+        let mut left = CascadeAccumulator::new(&g);
+        let mut right = CascadeAccumulator::new(&g);
+        for i in 0..trials {
+            let mut rng = SimRng::seed(77).fork_idx(i);
+            let mask = cascade_trial(&g, entry, &mut rng);
+            if i % 2 == 0 {
+                left.add(&mask);
+            } else {
+                right.add(&mask);
+            }
+        }
+        left.merge(&right);
+        assert_eq!(left.trials(), whole.trials());
+        assert_eq!(left.report(entry), whole.report(entry));
     }
 
     #[test]

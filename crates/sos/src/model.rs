@@ -123,7 +123,10 @@ impl SosGraph {
     ///
     /// Panics on out-of-range node ids or a strength outside `[0, 1]`.
     pub fn couple(&mut self, from: NodeId, to: NodeId, strength: f64) {
-        assert!(from.0 < self.nodes.len() && to.0 < self.nodes.len(), "bad node id");
+        assert!(
+            from.0 < self.nodes.len() && to.0 < self.nodes.len(),
+            "bad node id"
+        );
         assert!((0.0..=1.0).contains(&strength), "strength out of range");
         self.edges.push(Coupling { from, to, strength });
     }
@@ -160,8 +163,7 @@ impl SosGraph {
 
     /// Nodes at a given level.
     pub fn nodes_at(&self, level: SystemLevel) -> impl Iterator<Item = (NodeId, &SosNode)> {
-        self.nodes()
-            .filter(move |(_, n)| n.level == level)
+        self.nodes().filter(move |(_, n)| n.level == level)
     }
 
     /// Total entry points across the SoS.
@@ -174,10 +176,7 @@ impl SosGraph {
     pub fn surface_score(&self) -> f64 {
         self.nodes
             .iter()
-            .map(|n| {
-                n.susceptibility()
-                    * n.entry_points.iter().map(|e| e.weight()).sum::<f64>()
-            })
+            .map(|n| n.susceptibility() * n.entry_points.iter().map(|e| e.weight()).sum::<f64>())
             .sum()
     }
 
@@ -187,7 +186,10 @@ impl SosGraph {
         if self.nodes.is_empty() {
             return 1.0;
         }
-        self.nodes.iter().filter(|n| n.stakeholder.is_some()).count() as f64
+        self.nodes
+            .iter()
+            .filter(|n| n.stakeholder.is_some())
+            .count() as f64
             / self.nodes.len() as f64
     }
 

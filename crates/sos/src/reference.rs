@@ -96,11 +96,32 @@ pub fn maas_reference() -> SosGraph {
     ));
 
     let act = g.add_node(n("act", L3Function, Some("oem"), &[], false, true));
-    let sense = g.add_node(n("sense", L3Function, Some("ad-developer"), &[Sensor], true, false));
-    let plan = g.add_node(n("plan", L3Function, Some("ad-developer"), &[], true, false));
+    let sense = g.add_node(n(
+        "sense",
+        L3Function,
+        Some("ad-developer"),
+        &[Sensor],
+        true,
+        false,
+    ));
+    let plan = g.add_node(n(
+        "plan",
+        L3Function,
+        Some("ad-developer"),
+        &[],
+        true,
+        false,
+    ));
     let braking = g.add_node(n("braking", L3Function, Some("oem"), &[], false, true));
     let steering = g.add_node(n("steering", L3Function, Some("oem"), &[], false, true));
-    let comfort = g.add_node(n("climate-seating", L3Function, Some("oem"), &[], false, true));
+    let comfort = g.add_node(n(
+        "climate-seating",
+        L3Function,
+        Some("oem"),
+        &[],
+        false,
+        true,
+    ));
 
     // Level-1 backbone couplings (telematics / API paths).
     g.couple(maas, backend, 0.5);

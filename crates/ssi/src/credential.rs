@@ -204,7 +204,11 @@ mod tests {
     fn issue_and_verify() {
         let (reg, mut issuer, subject, _) = setup();
         let cred = issuer
-            .issue(subject.did().clone(), serde_json::json!({"fw": "1.2.3"}), None)
+            .issue(
+                subject.did().clone(),
+                serde_json::json!({"fw": "1.2.3"}),
+                None,
+            )
             .unwrap();
         assert!(cred.verify(&reg).is_ok());
     }
@@ -213,7 +217,11 @@ mod tests {
     fn claim_tamper_detected() {
         let (reg, mut issuer, subject, _) = setup();
         let mut cred = issuer
-            .issue(subject.did().clone(), serde_json::json!({"fw": "1.2.3"}), None)
+            .issue(
+                subject.did().clone(),
+                serde_json::json!({"fw": "1.2.3"}),
+                None,
+            )
             .unwrap();
         cred.claims = serde_json::json!({"fw": "6.6.6"});
         assert_eq!(cred.verify(&reg).unwrap_err(), SsiError::BadSignature);
@@ -280,7 +288,11 @@ mod tests {
     fn linked_documents_verify_as_a_graph() {
         let (reg, mut issuer, subject, _) = setup();
         let hw = issuer
-            .issue(subject.did().clone(), serde_json::json!({"hw": "rev-b"}), None)
+            .issue(
+                subject.did().clone(),
+                serde_json::json!({"hw": "rev-b"}),
+                None,
+            )
             .unwrap();
         let sw = issuer
             .issue(
@@ -289,7 +301,9 @@ mod tests {
                 Some(vec![hw.id.clone()]),
             )
             .unwrap();
-        assert!(sw.verify_with_links(&reg, std::slice::from_ref(&hw)).is_ok());
+        assert!(sw
+            .verify_with_links(&reg, std::slice::from_ref(&hw))
+            .is_ok());
         // Missing link.
         assert!(matches!(
             sw.verify_with_links(&reg, &[]).unwrap_err(),

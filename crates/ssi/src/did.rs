@@ -1,13 +1,13 @@
 //! Decentralized identifiers and DID documents (paper ref \[30\]).
 
 use autosec_crypto::Sha256;
-use serde::{Deserialize, Serialize};
+use serde_json::{json, Value};
 
 /// A decentralized identifier, e.g. `did:vreg:3f9a…`.
 ///
 /// The method is fixed to `vreg` (our in-memory verifiable registry,
 /// standing in for `did:web`).
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Did(String);
 
 impl Did {
@@ -40,7 +40,7 @@ impl std::fmt::Display for Did {
 }
 
 /// A DID document: the public material resolvable for a DID.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DidDocument {
     /// The DID this document describes.
     pub id: Did,
@@ -75,6 +75,36 @@ impl DidDocument {
     /// (self-certification check).
     pub fn is_self_certifying(&self) -> bool {
         Did::from_public_key(&self.public_key) == self.id
+    }
+
+    /// Explicit JSON serializer (the workbench has no serde derive;
+    /// documents convert themselves).
+    pub fn to_json(&self) -> Value {
+        json!({
+            "id": self.id.as_str(),
+            "name": (&self.name),
+            "public_key": autosec_crypto::util::to_hex(&self.public_key),
+            "version": self.version,
+            "service": (self.service.clone()),
+        })
+    }
+
+    /// Parses a document previously produced by [`Self::to_json`].
+    ///
+    /// Returns `None` on any missing field, malformed DID, or
+    /// non-32-byte key.
+    pub fn from_json(v: &Value) -> Option<Self> {
+        let id = Did::parse(v["id"].as_str()?)?;
+        let key_hex = v["public_key"].as_str()?;
+        let key_bytes = autosec_crypto::util::from_hex(key_hex)?;
+        let public_key: [u8; 32] = key_bytes.try_into().ok()?;
+        Some(Self {
+            id,
+            name: v["name"].as_str()?.to_owned(),
+            public_key,
+            version: u32::try_from(v["version"].as_u64()?).ok()?,
+            service: v["service"].as_str().map(str::to_owned),
+        })
     }
 }
 
@@ -134,7 +164,7 @@ mod tests {
     }
 
     #[test]
-    fn serde_round_trip() {
+    fn json_round_trip() {
         let doc = DidDocument {
             id: Did::from_public_key(&[3u8; 32]),
             name: "ecu".into(),
@@ -142,8 +172,21 @@ mod tests {
             version: 1,
             service: Some("revocations".into()),
         };
-        let json = serde_json::to_string(&doc).unwrap();
-        let back: DidDocument = serde_json::from_str(&json).unwrap();
+        let json = serde_json::to_string(&doc.to_json()).unwrap();
+        let back = DidDocument::from_json(&serde_json::from_str(&json).unwrap()).unwrap();
         assert_eq!(doc, back);
+    }
+
+    #[test]
+    fn from_json_rejects_malformed_documents() {
+        assert!(DidDocument::from_json(&json!({})).is_none());
+        assert!(DidDocument::from_json(&json!({
+            "id": "did:web:nope",
+            "name": "x",
+            "public_key": "00",
+            "version": 1,
+            "service": null,
+        }))
+        .is_none());
     }
 }

@@ -143,8 +143,7 @@ mod tests {
             .unwrap();
         let rl = RevocationList::create(&mut anchor, 1, BTreeSet::new()).unwrap();
         let vp =
-            VerifiablePresentation::create(&mut vehicle, vec![contract], b"station-nonce")
-                .unwrap();
+            VerifiablePresentation::create(&mut vehicle, vec![contract], b"station-nonce").unwrap();
         let bundle = OfflineBundle::assemble(&reg, vp, vec![rl]);
         // The charging station has only its pinned anchor — no registry.
         let pinned = vec![anchor.did().clone()];

@@ -138,7 +138,11 @@ mod tests {
     fn full_flow_verifies() {
         let (reg, mut anchor, mut holder, _) = setup();
         let cred = anchor
-            .issue(holder.did().clone(), serde_json::json!({"vin": "WVW123"}), None)
+            .issue(
+                holder.did().clone(),
+                serde_json::json!({"vin": "WVW123"}),
+                None,
+            )
             .unwrap();
         let vp = VerifiablePresentation::create(&mut holder, vec![cred], b"challenge-1").unwrap();
         assert!(vp.verify(&reg, b"challenge-1", 0).is_ok());
@@ -176,7 +180,10 @@ mod tests {
             holder_key_version: 1,
             signature,
         };
-        assert_eq!(forged.verify(&reg, b"c", 0).unwrap_err(), SsiError::BadSignature);
+        assert_eq!(
+            forged.verify(&reg, b"c", 0).unwrap_err(),
+            SsiError::BadSignature
+        );
     }
 
     #[test]
@@ -184,7 +191,11 @@ mod tests {
         let (reg, _, mut holder, mut rng) = setup();
         let mut rando = Wallet::create(&mut rng, "random-signer", &reg);
         let cred = rando
-            .issue(holder.did().clone(), serde_json::json!({"legit": false}), None)
+            .issue(
+                holder.did().clone(),
+                serde_json::json!({"legit": false}),
+                None,
+            )
             .unwrap();
         let vp = VerifiablePresentation::create(&mut holder, vec![cred], b"c").unwrap();
         assert_eq!(vp.verify(&reg, b"c", 0).unwrap_err(), SsiError::Untrusted);

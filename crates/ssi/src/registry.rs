@@ -281,7 +281,11 @@ mod tests {
         reg.record_endorsement(&authority).unwrap();
 
         let cred = tier1
-            .issue(ecu.did().clone(), serde_json::json!({"model": "BCU-9"}), None)
+            .issue(
+                ecu.did().clone(),
+                serde_json::json!({"model": "BCU-9"}),
+                None,
+            )
             .unwrap();
         assert!(cred.verify(&reg).is_ok());
         assert!(reg.trust_path_ok(&cred));

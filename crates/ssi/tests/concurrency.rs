@@ -3,8 +3,8 @@
 
 use std::sync::Arc;
 
-use autosec_ssi::prelude::*;
 use autosec_sim::SimRng;
+use autosec_ssi::prelude::*;
 
 #[test]
 fn concurrent_publish_resolve_and_verify() {
@@ -75,8 +75,8 @@ fn presentation_challenge_prevents_cross_verifier_replay() {
         .issue(holder.did().clone(), serde_json::json!({}), None)
         .expect("issue");
 
-    let vp_for_a = VerifiablePresentation::create(&mut holder, vec![cred], b"challenge-A")
-        .expect("create");
+    let vp_for_a =
+        VerifiablePresentation::create(&mut holder, vec![cred], b"challenge-A").expect("create");
     assert!(vp_for_a.verify(&registry, b"challenge-A", 0).is_ok());
     // Verifier B's challenge differs: replay rejected.
     assert_eq!(

@@ -15,22 +15,43 @@ use rand::SeedableRng;
 fn main() {
     println!("=== SeeMQTT: secret-shared end-to-end pub/sub (ref [54]) ===\n");
     let mut rng = rand::rngs::StdRng::seed_from_u64(54);
-    let msg = publish("fleet/route-updates", b"reroute: close lane 2", 3, 5, &mut rng)
-        .expect("valid k/n");
+    let msg = publish(
+        "fleet/route-updates",
+        b"reroute: close lane 2",
+        3,
+        5,
+        &mut rng,
+    )
+    .expect("valid k/n");
     println!("session key split into 5 shares, threshold 3; each share via its own broker");
     for (label, net) in [
         ("healthy network", BrokerNetwork::healthy(5)),
-        ("2 brokers offline", BrokerNetwork::healthy(5).with_offline([1, 3])),
-        ("3 brokers offline", BrokerNetwork::healthy(5).with_offline([0, 1, 3])),
+        (
+            "2 brokers offline",
+            BrokerNetwork::healthy(5).with_offline([1, 3]),
+        ),
+        (
+            "3 brokers offline",
+            BrokerNetwork::healthy(5).with_offline([0, 1, 3]),
+        ),
     ] {
         match subscribe(&net, &msg) {
-            Ok(p) => println!("  {label:<20} -> delivered: {}", String::from_utf8_lossy(&p)),
+            Ok(p) => println!(
+                "  {label:<20} -> delivered: {}",
+                String::from_utf8_lossy(&p)
+            ),
             Err(e) => println!("  {label:<20} -> {e}"),
         }
     }
     for (label, net) in [
-        ("2-broker coalition", BrokerNetwork::healthy(5).with_compromised([0, 2])),
-        ("3-broker coalition", BrokerNetwork::healthy(5).with_compromised([0, 2, 4])),
+        (
+            "2-broker coalition",
+            BrokerNetwork::healthy(5).with_compromised([0, 2]),
+        ),
+        (
+            "3-broker coalition",
+            BrokerNetwork::healthy(5).with_compromised([0, 2, 4]),
+        ),
     ] {
         match adversary_recovers(&net, &msg) {
             Some(_) => println!("  {label:<20} -> BROKEN (threshold reached)"),
@@ -58,14 +79,25 @@ fn main() {
     let cfg = VRangeConfig::default();
     println!(
         "bandwidth {:.0} MHz -> resolution {:.2} m; {} symbols x {} secured bits",
-        cfg.bandwidth_mhz, cfg.resolution_m(), cfg.n_symbols, cfg.secured_bits_per_symbol
+        cfg.bandwidth_mhz,
+        cfg.resolution_m(),
+        cfg.n_symbols,
+        cfg.secured_bits_per_symbol
     );
     let mut srng = SimRng::seed(512);
     let honest = measure(&cfg, 42.0, None, &mut srng);
-    println!("honest ranging at 42 m: estimated {:.2} m", honest.estimated_m);
+    println!(
+        "honest ranging at 42 m: estimated {:.2} m",
+        honest.estimated_m
+    );
     let mut reductions = 0;
     for _ in 0..1000 {
-        let o = measure(&cfg, 42.0, Some(VRangeAttack::Reduce { advance_m: 15.0 }), &mut srng);
+        let o = measure(
+            &cfg,
+            42.0,
+            Some(VRangeAttack::Reduce { advance_m: 15.0 }),
+            &mut srng,
+        );
         if !o.aborted {
             reductions += 1;
         }

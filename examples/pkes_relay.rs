@@ -42,7 +42,10 @@ fn main() {
     println!("\n=== Why HRP needs receiver integrity checks (Fig. 2) ===");
     println!("Cicada-style early-pulse injection, 500 trials, 20 m true distance:\n");
     let attack = HrpAttack::cicada(8.0, 3.0);
-    for kind in [ReceiverKind::NaiveLeadingEdge, ReceiverKind::IntegrityChecked] {
+    for kind in [
+        ReceiverKind::NaiveLeadingEdge,
+        ReceiverKind::IntegrityChecked,
+    ] {
         let session = HrpRanging::new(HrpConfig::default(), kind);
         let mut rng = SimRng::seed(8);
         let mut reduced = 0;
@@ -56,8 +59,6 @@ fn main() {
                 reduced += 1;
             }
         }
-        println!(
-            "{kind:?}: distance reduced in {reduced}/{trials} trials, rejected {rejected}"
-        );
+        println!("{kind:?}: distance reduced in {reduced}/{trials} trials, rejected {rejected}");
     }
 }

@@ -54,7 +54,10 @@ fn main() {
             )
             .expect("node registration");
     }
-    for (id, cost, asil) in [("brake-controller", 20, Asil::D), ("adas-stack", 30, Asil::B)] {
+    for (id, cost, asil) in [
+        ("brake-controller", 20, Asil::D),
+        ("adas-stack", 30, Asil::B),
+    ] {
         platform
             .register_component(
                 &mut rng,
@@ -69,7 +72,9 @@ fn main() {
                 &mut oem,
             )
             .expect("component registration");
-        platform.place(id, "hpc-0").expect("authenticated placement");
+        platform
+            .place(id, "hpc-0")
+            .expect("authenticated placement");
         println!("placed {id:<18} on hpc-0 (mutual auth ok)");
     }
 
@@ -79,7 +84,10 @@ fn main() {
         println!("  {} now runs on {}", p.component, p.node);
     }
     if stranded.is_empty() {
-        println!("  no component stranded; {} mutual authentications performed in total", platform.auth_operations);
+        println!(
+            "  no component stranded; {} mutual authentications performed in total",
+            platform.auth_operations
+        );
     } else {
         println!("  stranded: {stranded:?}");
     }

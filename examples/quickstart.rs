@@ -41,7 +41,10 @@ fn main() {
     }
 
     println!("--- defense-in-depth sweep (layers defended bottom-up) ---");
-    println!("{:>8} {:>16} {:>12}", "layers", "attack success", "detection");
+    println!(
+        "{:>8} {:>16} {:>12}",
+        "layers", "attack success", "detection"
+    );
     for p in depth_sweep(2025) {
         println!(
             "{:>8} {:>15.0}% {:>11.0}%",

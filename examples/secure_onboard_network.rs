@@ -11,7 +11,10 @@ use autosec::sim::{SimDuration, SimTime};
 
 fn main() {
     println!("=== Table I: security protocols for in-vehicle communication ===\n");
-    println!("{:<4} {:<14} {:<12} {:<10}", "OSI", "Layer", "Ethernet", "CAN XL");
+    println!(
+        "{:<4} {:<14} {:<12} {:<10}",
+        "OSI", "Layer", "Ethernet", "CAN XL"
+    );
     for row in table1() {
         println!(
             "{:<4} {:<14} {:<12} {:<10}",
@@ -24,18 +27,49 @@ fn main() {
 
     println!("\n=== Fig. 3: zonal IVN simulation (endpoint -> central compute) ===\n");
     let mut net = ZonalNetwork::new(2);
-    let brake = net.add_endpoint("brake-ecu", 0, EndpointLink::Can).expect("zone 0");
-    let radar = net.add_endpoint("radar", 0, EndpointLink::CanFd).expect("zone 0");
-    let camera = net.add_endpoint("camera", 1, EndpointLink::T1s).expect("zone 1");
-    let lidar = net.add_endpoint("lidar-preproc", 1, EndpointLink::CanXl).expect("zone 1");
+    let brake = net
+        .add_endpoint("brake-ecu", 0, EndpointLink::Can)
+        .expect("zone 0");
+    let radar = net
+        .add_endpoint("radar", 0, EndpointLink::CanFd)
+        .expect("zone 0");
+    let camera = net
+        .add_endpoint("camera", 1, EndpointLink::T1s)
+        .expect("zone 1");
+    let lidar = net
+        .add_endpoint("lidar-preproc", 1, EndpointLink::CanXl)
+        .expect("zone 1");
     let specs = [
-        TrafficSpec { endpoint: brake, period: SimDuration::from_ms(10), payload: 8, can_id: 0x0A0 },
-        TrafficSpec { endpoint: radar, period: SimDuration::from_ms(20), payload: 48, can_id: 0x1B0 },
-        TrafficSpec { endpoint: camera, period: SimDuration::from_ms(33), payload: 1400, can_id: 0 },
-        TrafficSpec { endpoint: lidar, period: SimDuration::from_ms(25), payload: 1024, can_id: 0x050 },
+        TrafficSpec {
+            endpoint: brake,
+            period: SimDuration::from_ms(10),
+            payload: 8,
+            can_id: 0x0A0,
+        },
+        TrafficSpec {
+            endpoint: radar,
+            period: SimDuration::from_ms(20),
+            payload: 48,
+            can_id: 0x1B0,
+        },
+        TrafficSpec {
+            endpoint: camera,
+            period: SimDuration::from_ms(33),
+            payload: 1400,
+            can_id: 0,
+        },
+        TrafficSpec {
+            endpoint: lidar,
+            period: SimDuration::from_ms(25),
+            payload: 1024,
+            can_id: 0x050,
+        },
     ];
     let report = net.simulate(&specs, SimTime::from_ms(500));
-    println!("{:<16} {:>10} {:>12} {:>12} {:>12}", "endpoint", "delivered", "mean us", "p95 us", "max us");
+    println!(
+        "{:<16} {:>10} {:>12} {:>12} {:>12}",
+        "endpoint", "delivered", "mean us", "p95 us", "max us"
+    );
     for (f, spec) in report.flows.iter().zip(specs.iter()) {
         let name = &net.endpoint(spec.endpoint).expect("registered").name;
         println!(
@@ -48,7 +82,14 @@ fn main() {
     println!("=== Figs. 4-6: scenarios S1/S2/S3 at a 64-byte payload ===\n");
     println!(
         "{:<18} {:>9} {:>8} {:>11} {:>9} {:>12} {:>13} {:>9}",
-        "scenario", "overhead", "frames", "crypto ops", "ZC keys", "latency us", "confidential", "mutable"
+        "scenario",
+        "overhead",
+        "frames",
+        "crypto ops",
+        "ZC keys",
+        "latency us",
+        "confidential",
+        "mutable"
     );
     for s in Scenario::ALL {
         let r = evaluate(s, 64);

@@ -26,7 +26,11 @@ fn campaign_attacks_exist_in_the_catalog() {
     let names: Vec<&str> = attack_catalog().iter().map(|a| a.name).collect();
     let report = run_campaign(&DefensePosture::none(), 1);
     for step in &report.steps {
-        assert!(names.contains(&step.attack), "{} not catalogued", step.attack);
+        assert!(
+            names.contains(&step.attack),
+            "{} not catalogued",
+            step.attack
+        );
     }
 }
 
@@ -85,8 +89,16 @@ fn prevention_happens_at_the_right_layers() {
         }
     }
     // The relay and the forgery are *prevented*, not merely detected.
-    let relay = report.steps.iter().find(|s| s.attack == "pkes-relay").expect("step exists");
+    let relay = report
+        .steps
+        .iter()
+        .find(|s| s.attack == "pkes-relay")
+        .expect("step exists");
     assert!(relay.prevented);
-    let forgery = report.steps.iter().find(|s| s.attack == "pdu-forgery").expect("step exists");
+    let forgery = report
+        .steps
+        .iter()
+        .find(|s| s.attack == "pdu-forgery")
+        .expect("step exists");
     assert!(forgery.prevented);
 }

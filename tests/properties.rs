@@ -1,58 +1,93 @@
-//! Property-based tests on cross-crate invariants (proptest).
+//! Randomized invariant tests on cross-crate properties.
+//!
+//! Formerly proptest-based; now driven by deterministic [`SimRng`]
+//! streams (the hermetic build has no proptest), with one forked
+//! substream per case so failures reproduce exactly.
 
 use autosec::crypto::{AesGcm, Cmac, HmacSha256, MerkleTree, Sha256};
 use autosec::ivn::can::{CanFrame, CanId};
 use autosec::secproto::canal::{CanalReceiver, CanalSender};
 use autosec::secproto::macsec::{MacsecMode, MacsecRx, MacsecTx};
 use autosec::secproto::secoc::{SecOcAuthenticator, SecOcConfig};
-use proptest::prelude::*;
+use autosec::sim::SimRng;
+use rand::{Rng, RngCore};
 
-proptest! {
-    /// CANAL segmentation/reassembly is the identity for any SDU.
-    #[test]
-    fn canal_round_trips_any_sdu(
-        sdu in proptest::collection::vec(any::<u8>(), 1..3000),
-        mtu in 16usize..512,
-    ) {
-        let mut tx = CanalSender::new(0x40, 1, mtu.max(16));
+const CASES: u64 = 48;
+
+fn bytes(rng: &mut SimRng, len: usize) -> Vec<u8> {
+    let mut v = vec![0u8; len];
+    rng.fill_bytes(&mut v);
+    v
+}
+
+fn arr<const N: usize>(rng: &mut SimRng) -> [u8; N] {
+    let mut a = [0u8; N];
+    rng.fill_bytes(&mut a);
+    a
+}
+
+/// CANAL segmentation/reassembly is the identity for any SDU.
+#[test]
+fn canal_round_trips_any_sdu() {
+    let root = SimRng::seed(0xCA_7A1);
+    for case in 0..CASES {
+        let mut rng = root.fork_idx(case);
+        let sdu = {
+            let len = rng.gen_range(1usize..3000);
+            bytes(&mut rng, len)
+        };
+        let mtu = rng.gen_range(16usize..512);
+        let mut tx = CanalSender::new(0x40, 1, mtu);
         let mut rx = CanalReceiver::new();
         let mut out = None;
         for f in tx.segment(&sdu) {
             out = rx.push(&f).expect("lossless in-order stream");
         }
-        prop_assert_eq!(out.expect("final fragment closes the SDU"), sdu);
+        assert_eq!(out.expect("final fragment closes the SDU"), sdu);
     }
+}
 
-    /// AES-GCM round-trips any payload/AAD pair, and a single bit flip
-    /// anywhere in the sealed output breaks authentication.
-    #[test]
-    fn gcm_round_trip_and_bitflip(
-        key in any::<[u8; 16]>(),
-        nonce in any::<[u8; 12]>(),
-        aad in proptest::collection::vec(any::<u8>(), 0..64),
-        pt in proptest::collection::vec(any::<u8>(), 0..256),
-        flip_byte in any::<usize>(),
-        flip_bit in 0u8..8,
-    ) {
+/// AES-GCM round-trips any payload/AAD pair, and a single bit flip
+/// anywhere in the sealed output breaks authentication.
+#[test]
+fn gcm_round_trip_and_bitflip() {
+    let root = SimRng::seed(0x6C_0001);
+    for case in 0..CASES {
+        let mut rng = root.fork_idx(case);
+        let key: [u8; 16] = arr(&mut rng);
+        let nonce: [u8; 12] = arr(&mut rng);
+        let aad = {
+            let len = rng.gen_range(0usize..64);
+            bytes(&mut rng, len)
+        };
+        let pt = {
+            let len = rng.gen_range(0usize..256);
+            bytes(&mut rng, len)
+        };
         let aead = AesGcm::new(&key);
         let sealed = aead.seal(&nonce, &aad, &pt);
-        prop_assert_eq!(aead.open(&nonce, &aad, &sealed).expect("authentic"), pt);
+        assert_eq!(aead.open(&nonce, &aad, &sealed).expect("authentic"), pt);
 
         let mut bad = sealed.clone();
-        let idx = flip_byte % bad.len();
-        bad[idx] ^= 1 << flip_bit;
-        prop_assert!(aead.open(&nonce, &aad, &bad).is_err());
+        let idx = rng.gen_range(0usize..bad.len());
+        bad[idx] ^= 1 << rng.gen_range(0u8..8);
+        assert!(aead.open(&nonce, &aad, &bad).is_err());
     }
+}
 
-    /// MACsec protect/verify round-trips in both modes.
-    #[test]
-    fn macsec_round_trip(
-        sak in any::<[u8; 16]>(),
-        sci in any::<u64>(),
-        payload in proptest::collection::vec(any::<u8>(), 0..512),
-        encrypt in any::<bool>(),
-    ) {
-        let mode = if encrypt {
+/// MACsec protect/verify round-trips in both modes.
+#[test]
+fn macsec_round_trip() {
+    let root = SimRng::seed(0x3A_C5EC);
+    for case in 0..CASES {
+        let mut rng = root.fork_idx(case);
+        let sak: [u8; 16] = arr(&mut rng);
+        let sci = rng.next_u64();
+        let payload = {
+            let len = rng.gen_range(0usize..512);
+            bytes(&mut rng, len)
+        };
+        let mode = if rng.chance(0.5) {
             MacsecMode::AuthenticatedEncryption
         } else {
             MacsecMode::IntegrityOnly
@@ -60,91 +95,118 @@ proptest! {
         let mut tx = MacsecTx::new(sak, sci, mode);
         let mut rx = MacsecRx::new(sak, sci);
         let frame = tx.protect(&payload).expect("fresh pn");
-        prop_assert_eq!(rx.verify(&frame).expect("authentic"), payload);
+        assert_eq!(rx.verify(&frame).expect("authentic"), payload);
     }
+}
 
-    /// SECOC freshness resynchronization tolerates any loss pattern up
-    /// to the wraparound window.
-    #[test]
-    fn secoc_survives_bounded_loss(
-        losses in proptest::collection::vec(0u8..100, 1..40),
-    ) {
+/// SECOC freshness resynchronization tolerates any loss pattern up to
+/// the wraparound window.
+#[test]
+fn secoc_survives_bounded_loss() {
+    let root = SimRng::seed(0x5EC0C);
+    for case in 0..16 {
+        let mut rng = root.fork_idx(case);
         let cfg = SecOcConfig::default();
         let mut tx = SecOcAuthenticator::new_sender(cfg, [7u8; 16], 1);
         let mut rx = SecOcAuthenticator::new_receiver(cfg, [7u8; 16], 1);
-        for loss in losses {
-            // Drop `loss` PDUs (bounded << 256 so resync always works).
-            for _ in 0..loss.min(100) {
+        for _ in 0..rng.gen_range(1usize..40) {
+            // Drop up to 99 PDUs (bounded << 256 so resync always works).
+            let loss = rng.gen_range(0usize..100);
+            for _ in 0..loss {
                 let _ = tx.protect(b"lost").expect("fresh counter");
             }
             let pdu = tx.protect(b"delivered").expect("fresh counter");
-            prop_assert!(rx.verify(&pdu).is_ok());
+            assert!(rx.verify(&pdu).is_ok());
         }
     }
+}
 
-    /// Merkle proofs verify for every leaf of any tree, and fail for any
-    /// other leaf value.
-    #[test]
-    fn merkle_membership(
-        leaves in proptest::collection::vec(
-            proptest::collection::vec(any::<u8>(), 0..32),
-            1..64,
-        ),
-        probe in any::<usize>(),
-    ) {
+/// Merkle proofs verify for every leaf of any tree, and fail for any
+/// other leaf value.
+#[test]
+fn merkle_membership() {
+    let root = SimRng::seed(0x3E_4C1E);
+    for case in 0..CASES {
+        let mut rng = root.fork_idx(case);
+        let n_leaves = rng.gen_range(1usize..64);
+        let leaves: Vec<Vec<u8>> = (0..n_leaves)
+            .map(|_| {
+                let len = rng.gen_range(0usize..32);
+                bytes(&mut rng, len)
+            })
+            .collect();
         let refs: Vec<&[u8]> = leaves.iter().map(|v| v.as_slice()).collect();
         let tree = MerkleTree::from_leaves(&refs);
-        let i = probe % leaves.len();
+        let i = rng.gen_range(0usize..leaves.len());
         let proof = tree.prove(i).expect("in range");
-        prop_assert!(proof.verify(&tree.root(), &leaves[i]));
-        prop_assert!(!proof.verify(&tree.root(), b"\xffdefinitely-not-a-leaf\xff"));
+        assert!(proof.verify(&tree.root(), &leaves[i]));
+        assert!(!proof.verify(&tree.root(), b"\xffdefinitely-not-a-leaf\xff"));
     }
+}
 
-    /// Classic CAN frame wire length stays within the theoretical
-    /// bounds: unstuffed minimum and worst-case stuffing maximum.
-    #[test]
-    fn can_frame_length_bounds(
-        id in 0u16..0x800,
-        data in proptest::collection::vec(any::<u8>(), 0..9),
-    ) {
-        let frame = CanFrame::new(CanId::standard(id).expect("11-bit id"), &data)
-            .expect("payload <= 8");
+/// Classic CAN frame wire length stays within the theoretical bounds:
+/// unstuffed minimum and worst-case stuffing maximum.
+#[test]
+fn can_frame_length_bounds() {
+    let root = SimRng::seed(0xCAF0);
+    for case in 0..CASES {
+        let mut rng = root.fork_idx(case);
+        let id = rng.gen_range(0u16..0x800);
+        let data = {
+            let len = rng.gen_range(0usize..9);
+            bytes(&mut rng, len)
+        };
+        let frame =
+            CanFrame::new(CanId::standard(id).expect("11-bit id"), &data).expect("payload <= 8");
         let n = data.len();
         let unstuffed = 47 + 8 * n;
         // Worst case adds one stuff bit per 4 bits of the stuffable
         // region (34 + 8n bits).
         let max = unstuffed + (34 + 8 * n - 1) / 4;
         let bits = frame.wire_bits();
-        prop_assert!(bits >= unstuffed, "{bits} < {unstuffed}");
-        prop_assert!(bits <= max, "{bits} > {max}");
+        assert!(bits >= unstuffed, "{bits} < {unstuffed}");
+        assert!(bits <= max, "{bits} > {max}");
     }
+}
 
-    /// HMAC and CMAC: tags are deterministic and key-separated.
-    #[test]
-    fn mac_determinism_and_key_separation(
-        k1 in any::<[u8; 16]>(),
-        k2 in any::<[u8; 16]>(),
-        msg in proptest::collection::vec(any::<u8>(), 0..128),
-    ) {
-        prop_assume!(k1 != k2);
-        prop_assert_eq!(HmacSha256::mac(&k1, &msg), HmacSha256::mac(&k1, &msg));
-        prop_assert_ne!(HmacSha256::mac(&k1, &msg), HmacSha256::mac(&k2, &msg));
+/// HMAC and CMAC: tags are deterministic and key-separated.
+#[test]
+fn mac_determinism_and_key_separation() {
+    let root = SimRng::seed(0x3AC);
+    for case in 0..CASES {
+        let mut rng = root.fork_idx(case);
+        let k1: [u8; 16] = arr(&mut rng);
+        let mut k2: [u8; 16] = arr(&mut rng);
+        if k1 == k2 {
+            k2[0] ^= 1;
+        }
+        let msg = {
+            let len = rng.gen_range(0usize..128);
+            bytes(&mut rng, len)
+        };
+        assert_eq!(HmacSha256::mac(&k1, &msg), HmacSha256::mac(&k1, &msg));
+        assert_ne!(HmacSha256::mac(&k1, &msg), HmacSha256::mac(&k2, &msg));
         let c1 = Cmac::new(&k1);
         let c2 = Cmac::new(&k2);
-        prop_assert_eq!(c1.mac(&msg), c1.mac(&msg));
-        prop_assert_ne!(c1.mac(&msg), c2.mac(&msg));
+        assert_eq!(c1.mac(&msg), c1.mac(&msg));
+        assert_ne!(c1.mac(&msg), c2.mac(&msg));
     }
+}
 
-    /// SHA-256 streaming equals one-shot for any split.
-    #[test]
-    fn sha256_streaming_any_split(
-        data in proptest::collection::vec(any::<u8>(), 0..512),
-        split in any::<usize>(),
-    ) {
-        let s = split % (data.len() + 1);
+/// SHA-256 streaming equals one-shot for any split.
+#[test]
+fn sha256_streaming_any_split() {
+    let root = SimRng::seed(0x5A_256);
+    for case in 0..CASES {
+        let mut rng = root.fork_idx(case);
+        let data = {
+            let len = rng.gen_range(0usize..512);
+            bytes(&mut rng, len)
+        };
+        let s = rng.gen_range(0usize..data.len() + 1);
         let mut h = Sha256::new();
         h.update(&data[..s]);
         h.update(&data[s..]);
-        prop_assert_eq!(h.finalize(), Sha256::digest(&data));
+        assert_eq!(h.finalize(), Sha256::digest(&data));
     }
 }

@@ -124,7 +124,10 @@ fn ids_pipeline_detects_and_contains_the_masquerade() {
             escalated_to_isolation = true;
         }
     }
-    assert!(escalated_to_isolation, "repeat alerts should isolate the node");
+    assert!(
+        escalated_to_isolation,
+        "repeat alerts should isolate the node"
+    );
     let mean_ms = engine.mean_containment_ms(&alerts);
     assert!(mean_ms < 100.0, "containment should be fast: {mean_ms} ms");
 }

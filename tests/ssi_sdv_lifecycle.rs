@@ -7,8 +7,8 @@ use std::collections::BTreeSet;
 use autosec::sdv::component::{Asil, HardwareNode, SoftwareComponent};
 use autosec::sdv::platform::SdvPlatform;
 use autosec::sdv::update::{UpdateManager, UpdatePackage};
-use autosec::ssi::prelude::*;
 use autosec::sim::SimRng;
+use autosec::ssi::prelude::*;
 
 fn component(id: &str) -> SoftwareComponent {
     SoftwareComponent {
@@ -34,7 +34,9 @@ fn node(id: &str) -> HardwareNode {
 fn full_lifecycle_place_update_revoke() {
     let mut rng = SimRng::seed(4242);
     let (mut platform, mut oem) = SdvPlatform::new(&mut rng);
-    platform.register_node(&mut rng, node("hpc-0"), &mut oem).expect("register node");
+    platform
+        .register_node(&mut rng, node("hpc-0"), &mut oem)
+        .expect("register node");
 
     // Tier-1 vendor endorsed by the OEM anchor.
     let mut vendor = Wallet::create(&mut rng, "tier1", platform.registry());
@@ -45,12 +47,17 @@ fn full_lifecycle_place_update_revoke() {
             None,
         )
         .expect("issue");
-    platform.registry().record_endorsement(&endorsement).expect("endorse");
+    platform
+        .registry()
+        .record_endorsement(&endorsement)
+        .expect("endorse");
 
     platform
         .register_component(&mut rng, component("adas"), &mut vendor)
         .expect("register component");
-    platform.place("adas", "hpc-0").expect("authenticated placement");
+    platform
+        .place("adas", "hpc-0")
+        .expect("authenticated placement");
 
     // OTA update from the endorsed vendor applies...
     let target = Wallet::create(&mut rng, "adas-target", platform.registry());
@@ -89,7 +96,11 @@ fn revoked_credential_fails_presentation() {
     let mut holder = Wallet::create(&mut rng, "vehicle", &registry);
 
     let cred = anchor
-        .issue(holder.did().clone(), serde_json::json!({"contract": 1}), None)
+        .issue(
+            holder.did().clone(),
+            serde_json::json!({"contract": 1}),
+            None,
+        )
         .expect("issue");
     let mut revoked = BTreeSet::new();
     revoked.insert(cred.id.clone());
@@ -128,7 +139,10 @@ fn key_rotation_preserves_old_credentials_and_platform_flow() {
         .issue(subject.did().clone(), serde_json::json!({"k": "new"}), None)
         .expect("issue");
 
-    assert!(before.verify(&registry).is_ok(), "old credential still valid");
+    assert!(
+        before.verify(&registry).is_ok(),
+        "old credential still valid"
+    );
     assert!(after.verify(&registry).is_ok());
     assert!(registry.trust_path_ok(&before));
     assert!(registry.trust_path_ok(&after));
@@ -153,10 +167,18 @@ fn multi_stakeholder_trust_anchors_coexist() {
         oem.issue(vehicle.did().clone(), serde_json::json!({"vin": "X"}), None)
             .expect("issue"),
         cloud
-            .issue(vehicle.did().clone(), serde_json::json!({"tenant": "fleet-7"}), None)
+            .issue(
+                vehicle.did().clone(),
+                serde_json::json!({"tenant": "fleet-7"}),
+                None,
+            )
             .expect("issue"),
-        emsp.issue(vehicle.did().clone(), serde_json::json!({"contract": "C1"}), None)
-            .expect("issue"),
+        emsp.issue(
+            vehicle.did().clone(),
+            serde_json::json!({"contract": "C1"}),
+            None,
+        )
+        .expect("issue"),
     ];
     let vp = VerifiablePresentation::create(&mut vehicle, creds, b"challenge")
         .expect("create presentation");

@@ -1,0 +1,186 @@
+//! Minimal offline stand-in for the `criterion` benchmarking API this
+//! workspace uses.
+//!
+//! The hermetic build environment has no crates.io access, so the
+//! `benches/` targets link against this reduced harness instead: same
+//! source-level API (`criterion_group!`, `criterion_main!`,
+//! `Criterion::benchmark_group`, `Bencher::iter`, throughput and sample
+//! size hints), measurement by plain wall-clock mean over a short
+//! calibrated run. No statistics, plots or baselines — for the
+//! machine-readable perf trajectory use the `autosec-runner` JSON
+//! artifacts instead.
+
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`] (criterion's `black_box`).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Throughput hint attached to a benchmark group (printed, not used).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Per-iteration timing driver passed to benchmark closures.
+pub struct Bencher {
+    iters_done: u64,
+    total: Duration,
+    budget: Duration,
+}
+
+impl Bencher {
+    fn new(budget: Duration) -> Self {
+        Self {
+            iters_done: 0,
+            total: Duration::ZERO,
+            budget,
+        }
+    }
+
+    /// Times `f` repeatedly until the measurement budget is spent.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warmup: one untimed call.
+        black_box(f());
+        loop {
+            let start = Instant::now();
+            black_box(f());
+            self.total += start.elapsed();
+            self.iters_done += 1;
+            if self.total >= self.budget || self.iters_done >= 100_000 {
+                break;
+            }
+        }
+    }
+
+    fn report(&self) -> String {
+        if self.iters_done == 0 {
+            return "no iterations".to_owned();
+        }
+        let per = self.total.as_nanos() / u128::from(self.iters_done);
+        format!("{per} ns/iter ({} iters)", self.iters_done)
+    }
+}
+
+/// Top-level benchmark driver (stand-in for `criterion::Criterion`).
+pub struct Criterion {
+    sample_budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            sample_budget: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs a single named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<String>,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher::new(self.sample_budget);
+        f(&mut b);
+        println!("bench: {:<50} {}", id.into(), b.report());
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("group: {name}");
+        BenchmarkGroup {
+            criterion: self,
+            name,
+        }
+    }
+}
+
+/// A named group of benchmarks (stand-in for
+/// `criterion::BenchmarkGroup`).
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepts criterion's sample-size hint; the stand-in scales its
+    /// per-benchmark time budget with it.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.sample_budget = Duration::from_millis((3 * n.max(10)) as u64);
+        self
+    }
+
+    /// Accepts a throughput hint (recorded in the output line only).
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        println!("  throughput hint: {t:?}");
+        self
+    }
+
+    /// Runs a benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<String>,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher::new(self.criterion.sample_budget);
+        f(&mut b);
+        println!("bench: {}/{:<40} {}", self.name, id.into(), b.report());
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(&mut self) {}
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench entry point, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_counts_iterations() {
+        let mut b = Bencher::new(Duration::from_millis(5));
+        let mut n = 0u64;
+        b.iter(|| n += 1);
+        assert!(b.iters_done >= 1);
+        assert!(n > b.iters_done); // warmup call included
+    }
+
+    #[test]
+    fn group_api_chains() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(10)
+            .throughput(Throughput::Bytes(64))
+            .bench_function("noop", |b| b.iter(|| 1 + 1));
+        g.finish();
+    }
+}

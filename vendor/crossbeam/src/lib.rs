@@ -1,0 +1,114 @@
+//! Minimal offline stand-in for the `crossbeam` API surface this
+//! workspace uses (`crossbeam::channel::unbounded`).
+//!
+//! The hermetic build environment has no crates.io access. Only the
+//! multi-producer/single-consumer shape the workspace needs is
+//! provided, implemented over [`std::sync::mpsc`]. `Receiver` is not
+//! clonable (upstream crossbeam channels are MPMC); extend this shim if
+//! a consumer ever needs that.
+
+pub mod channel {
+    //! Channel constructors and endpoints.
+
+    /// Sending half; clonable across producer threads.
+    pub struct Sender<T>(std::sync::mpsc::Sender<T>);
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender(self.0.clone())
+        }
+    }
+
+    /// Error returned when all receivers are gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> std::fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("sending on a disconnected channel")
+        }
+    }
+
+    impl<T: std::fmt::Debug> std::error::Error for SendError<T> {}
+
+    impl<T> Sender<T> {
+        /// Sends a message; fails only if the receiver was dropped.
+        ///
+        /// # Errors
+        ///
+        /// [`SendError`] carrying the unsent message back.
+        pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+            self.0.send(msg).map_err(|e| SendError(e.0))
+        }
+    }
+
+    /// Receiving half.
+    pub struct Receiver<T>(std::sync::mpsc::Receiver<T>);
+
+    /// Error returned when all senders are gone and the queue is empty.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl std::fmt::Display for RecvError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("receiving on an empty, disconnected channel")
+        }
+    }
+
+    impl std::error::Error for RecvError {}
+
+    impl<T> Receiver<T> {
+        /// Blocks for the next message.
+        ///
+        /// # Errors
+        ///
+        /// [`RecvError`] when every sender is dropped and the queue is
+        /// drained.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.0.recv().map_err(|_| RecvError)
+        }
+
+        /// Iterates until every sender is dropped.
+        pub fn iter(&self) -> impl Iterator<Item = T> + '_ {
+            self.0.iter()
+        }
+
+        /// Non-blocking drain of currently queued messages.
+        pub fn try_iter(&self) -> impl Iterator<Item = T> + '_ {
+            self.0.try_iter()
+        }
+    }
+
+    /// Creates an unbounded MPSC channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = std::sync::mpsc::channel();
+        (Sender(tx), Receiver(rx))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel;
+
+    #[test]
+    fn fan_in_from_threads() {
+        let (tx, rx) = channel::unbounded::<usize>();
+        std::thread::scope(|s| {
+            for i in 0..4 {
+                let tx = tx.clone();
+                s.spawn(move || tx.send(i).expect("receiver alive"));
+            }
+        });
+        drop(tx);
+        let mut got: Vec<usize> = rx.iter().collect();
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn recv_errors_when_disconnected() {
+        let (tx, rx) = channel::unbounded::<u8>();
+        drop(tx);
+        assert_eq!(rx.recv(), Err(channel::RecvError));
+    }
+}

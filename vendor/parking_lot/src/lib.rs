@@ -1,0 +1,78 @@
+//! Minimal offline stand-in for the `parking_lot` API surface this
+//! workspace uses: [`RwLock`] and [`Mutex`] with panic-free-signature
+//! guards.
+//!
+//! Wraps the std locks; a poisoned lock panics (parking_lot has no
+//! poisoning, and a panicked writer in this workspace is already a
+//! failed test).
+
+/// Reader-writer lock with `parking_lot`-style guard accessors.
+#[derive(Debug, Default)]
+pub struct RwLock<T>(std::sync::RwLock<T>);
+
+impl<T> RwLock<T> {
+    /// Wraps a value.
+    pub fn new(value: T) -> Self {
+        Self(std::sync::RwLock::new(value))
+    }
+
+    /// Acquires a shared read guard.
+    pub fn read(&self) -> std::sync::RwLockReadGuard<'_, T> {
+        self.0.read().expect("rwlock poisoned")
+    }
+
+    /// Acquires an exclusive write guard.
+    pub fn write(&self) -> std::sync::RwLockWriteGuard<'_, T> {
+        self.0.write().expect("rwlock poisoned")
+    }
+
+    /// Consumes the lock, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().expect("rwlock poisoned")
+    }
+}
+
+/// Mutual-exclusion lock with `parking_lot`-style guard accessor.
+#[derive(Debug, Default)]
+pub struct Mutex<T>(std::sync::Mutex<T>);
+
+impl<T> Mutex<T> {
+    /// Wraps a value.
+    pub fn new(value: T) -> Self {
+        Self(std::sync::Mutex::new(value))
+    }
+
+    /// Acquires the lock.
+    pub fn lock(&self) -> std::sync::MutexGuard<'_, T> {
+        self.0.lock().expect("mutex poisoned")
+    }
+
+    /// Consumes the lock, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().expect("mutex poisoned")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rwlock_read_write() {
+        let l = RwLock::new(1);
+        *l.write() += 1;
+        assert_eq!(*l.read(), 2);
+        assert_eq!(l.into_inner(), 2);
+    }
+
+    #[test]
+    fn mutex_shared_across_threads() {
+        let m = Mutex::new(0usize);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| *m.lock() += 1);
+            }
+        });
+        assert_eq!(m.into_inner(), 4);
+    }
+}

@@ -1,0 +1,748 @@
+//! Minimal offline stand-in for the `serde_json` API surface this
+//! workspace uses: [`Value`], the [`json!`] macro, [`to_string`] /
+//! [`to_string_pretty`] and [`from_str`] over `Value`.
+//!
+//! The build environment is hermetic (no crates.io access). Unlike the
+//! real crate there is no serde integration — serialization is explicit
+//! over [`Value`] (structs convert themselves; see e.g.
+//! `autosec_ssi::did::DidDocument::to_json`). Objects are backed by a
+//! `BTreeMap`, so rendering is canonical: equal values always produce
+//! byte-identical JSON, which the credential signing path relies on.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Object representation: sorted keys, canonical rendering.
+pub type Map = BTreeMap<String, Value>;
+
+/// A JSON number: integer when possible, float otherwise.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Number {
+    /// Signed integer.
+    Int(i64),
+    /// Unsigned integer above `i64::MAX`.
+    UInt(u64),
+    /// Floating point.
+    Float(f64),
+}
+
+impl fmt::Display for Number {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Number::Int(i) => write!(f, "{i}"),
+            Number::UInt(u) => write!(f, "{u}"),
+            Number::Float(x) if x.fract() == 0.0 && x.is_finite() && x.abs() < 1e15 => {
+                write!(f, "{x:.1}")
+            }
+            Number::Float(x) => write!(f, "{x}"),
+        }
+    }
+}
+
+/// A JSON document tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any number.
+    Number(Number),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object with sorted keys.
+    Object(Map),
+}
+
+impl Value {
+    /// Borrows the string content, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Returns the boolean, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Returns the value as `i64`, if it is an integer in range.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(Number::Int(i)) => Some(*i),
+            Value::Number(Number::UInt(u)) => i64::try_from(*u).ok(),
+            _ => None,
+        }
+    }
+
+    /// Returns the value as `u64`, if it is a nonnegative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(Number::Int(i)) => u64::try_from(*i).ok(),
+            Value::Number(Number::UInt(u)) => Some(*u),
+            _ => None,
+        }
+    }
+
+    /// Returns the value as `f64`, if it is any number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(Number::Int(i)) => Some(*i as f64),
+            Value::Number(Number::UInt(u)) => Some(*u as f64),
+            Value::Number(Number::Float(x)) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// Borrows the array, if this is an array.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Borrows the object map, if this is an object.
+    pub fn as_object(&self) -> Option<&Map> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Member lookup returning `None` for absent keys or non-objects.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object().and_then(|m| m.get(key))
+    }
+}
+
+static NULL: Value = Value::Null;
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+
+    /// Object member access; absent keys and non-objects index to
+    /// `Value::Null` (as in `serde_json`).
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+
+    /// Array element access; out-of-range indices and non-arrays index
+    /// to `Value::Null` (as in `serde_json`).
+    fn index(&self, idx: usize) -> &Value {
+        self.as_array().and_then(|a| a.get(idx)).unwrap_or(&NULL)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::String(s.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::String(s)
+    }
+}
+
+impl From<&String> for Value {
+    fn from(s: &String) -> Self {
+        Value::String(s.clone())
+    }
+}
+
+impl From<f64> for Value {
+    fn from(x: f64) -> Self {
+        Value::Number(Number::Float(x))
+    }
+}
+
+impl From<f32> for Value {
+    fn from(x: f32) -> Self {
+        Value::Number(Number::Float(x as f64))
+    }
+}
+
+impl From<u64> for Value {
+    fn from(u: u64) -> Self {
+        match i64::try_from(u) {
+            Ok(i) => Value::Number(Number::Int(i)),
+            Err(_) => Value::Number(Number::UInt(u)),
+        }
+    }
+}
+
+macro_rules! from_int {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Value {
+            fn from(i: $t) -> Self {
+                Value::Number(Number::Int(i as i64))
+            }
+        }
+    )*};
+}
+
+from_int!(i8, i16, i32, i64, u8, u16, u32);
+
+impl From<usize> for Value {
+    fn from(u: usize) -> Self {
+        Value::from(u as u64)
+    }
+}
+
+impl<T: Into<Value>> From<Vec<T>> for Value {
+    fn from(v: Vec<T>) -> Self {
+        Value::Array(v.into_iter().map(Into::into).collect())
+    }
+}
+
+impl<T: Into<Value> + Clone> From<&[T]> for Value {
+    fn from(v: &[T]) -> Self {
+        Value::Array(v.iter().cloned().map(Into::into).collect())
+    }
+}
+
+impl<T: Into<Value>> From<Option<T>> for Value {
+    fn from(v: Option<T>) -> Self {
+        v.map_or(Value::Null, Into::into)
+    }
+}
+
+impl From<Map> for Value {
+    fn from(m: Map) -> Self {
+        Value::Object(m)
+    }
+}
+
+fn write_escaped(f: &mut fmt::Formatter<'_>, s: &str) -> fmt::Result {
+    f.write_str("\"")?;
+    for c in s.chars() {
+        match c {
+            '"' => f.write_str("\\\"")?,
+            '\\' => f.write_str("\\\\")?,
+            '\n' => f.write_str("\\n")?,
+            '\r' => f.write_str("\\r")?,
+            '\t' => f.write_str("\\t")?,
+            c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
+            c => write!(f, "{c}")?,
+        }
+    }
+    f.write_str("\"")
+}
+
+impl fmt::Display for Value {
+    /// Compact rendering, canonical by construction (sorted keys).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => f.write_str("null"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Number(n) => write!(f, "{n}"),
+            Value::String(s) => write_escaped(f, s),
+            Value::Array(items) => {
+                f.write_str("[")?;
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                f.write_str("]")
+            }
+            Value::Object(map) => {
+                f.write_str("{")?;
+                for (i, (k, v)) in map.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write_escaped(f, k)?;
+                    f.write_str(":")?;
+                    write!(f, "{v}")?;
+                }
+                f.write_str("}")
+            }
+        }
+    }
+}
+
+/// JSON (de)serialization error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    msg: String,
+    /// Byte offset of the failure in the input (parsing only).
+    pub offset: usize,
+}
+
+impl Error {
+    fn new(msg: impl Into<String>, offset: usize) -> Self {
+        Self {
+            msg: msg.into(),
+            offset,
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at byte {}", self.msg, self.offset)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serializes a [`Value`] to a compact string.
+///
+/// # Errors
+///
+/// Infallible for `Value` input; the `Result` mirrors `serde_json`.
+pub fn to_string(value: &Value) -> Result<String, Error> {
+    Ok(value.to_string())
+}
+
+/// Serializes a [`Value`] with two-space indentation.
+///
+/// # Errors
+///
+/// Infallible for `Value` input; the `Result` mirrors `serde_json`.
+pub fn to_string_pretty(value: &Value) -> Result<String, Error> {
+    let mut out = String::new();
+    pretty(value, 0, &mut out);
+    Ok(out)
+}
+
+fn pretty(v: &Value, indent: usize, out: &mut String) {
+    let pad = "  ".repeat(indent);
+    match v {
+        Value::Array(items) if !items.is_empty() => {
+            out.push_str("[\n");
+            for (i, item) in items.iter().enumerate() {
+                out.push_str(&pad);
+                out.push_str("  ");
+                pretty(item, indent + 1, out);
+                if i + 1 < items.len() {
+                    out.push(',');
+                }
+                out.push('\n');
+            }
+            out.push_str(&pad);
+            out.push(']');
+        }
+        Value::Object(map) if !map.is_empty() => {
+            out.push_str("{\n");
+            for (i, (k, item)) in map.iter().enumerate() {
+                out.push_str(&pad);
+                out.push_str("  ");
+                out.push_str(&Value::String(k.clone()).to_string());
+                out.push_str(": ");
+                pretty(item, indent + 1, out);
+                if i + 1 < map.len() {
+                    out.push(',');
+                }
+                out.push('\n');
+            }
+            out.push_str(&pad);
+            out.push('}');
+        }
+        other => out.push_str(&other.to_string()),
+    }
+}
+
+/// Parses a JSON document.
+///
+/// # Errors
+///
+/// Returns an [`Error`] with a byte offset on malformed input or
+/// trailing garbage.
+pub fn from_str(s: &str) -> Result<Value, Error> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error::new("trailing characters", p.pos));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::new(format!("expected '{}'", b as char), self.pos))
+        }
+    }
+
+    fn literal(&mut self, lit: &str, v: Value) -> Result<Value, Error> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(v)
+        } else {
+            Err(Error::new(format!("expected '{lit}'"), self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, Error> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'"') => Ok(Value::String(self.string()?)),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.number(),
+            _ => Err(Error::new("expected a JSON value", self.pos)),
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(Error::new("expected ',' or ']'", self.pos)),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut map = Map::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            map.insert(key, self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(map));
+                }
+                _ => return Err(Error::new("expected ',' or '}'", self.pos)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            match self.peek() {
+                None => return Err(Error::new("unterminated string", self.pos)),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or_else(|| Error::new("short \\u escape", start))?;
+                            let hex = std::str::from_utf8(hex)
+                                .map_err(|_| Error::new("bad \\u escape", start))?;
+                            let cp = u32::from_str_radix(hex, 16)
+                                .map_err(|_| Error::new("bad \\u escape", start))?;
+                            // Surrogate pairs are not needed by this
+                            // workspace's documents; reject them.
+                            let c = char::from_u32(cp)
+                                .ok_or_else(|| Error::new("unsupported surrogate", start))?;
+                            out.push(c);
+                            self.pos += 4;
+                        }
+                        _ => return Err(Error::new("bad escape", start)),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| Error::new("invalid utf-8", self.pos))?;
+                    let c = rest.chars().next().expect("nonempty by peek");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error::new("invalid number", start))?;
+        if !is_float {
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Value::Number(Number::Int(i)));
+            }
+            if let Ok(u) = text.parse::<u64>() {
+                return Ok(Value::Number(Number::UInt(u)));
+            }
+        }
+        text.parse::<f64>()
+            .map(|x| Value::Number(Number::Float(x)))
+            .map_err(|_| Error::new("invalid number", start))
+    }
+}
+
+/// Builds a [`Value`] from JSON-like syntax.
+///
+/// Supports `null`, booleans, numbers, strings, `[..]` arrays,
+/// `{"key": value}` objects (literal string keys, trailing commas
+/// allowed), nesting, and arbitrary interpolated Rust expressions
+/// convertible with `Into<Value>`.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([]) => { $crate::Value::Array(Vec::new()) };
+    ([ $($tt:tt)+ ]) => {{
+        let mut items: Vec<$crate::Value> = Vec::new();
+        $crate::json_arr_internal!(items $($tt)+);
+        $crate::Value::Array(items)
+    }};
+    ({}) => { $crate::Value::Object($crate::Map::new()) };
+    ({ $($tt:tt)+ }) => {{
+        let mut map = $crate::Map::new();
+        $crate::json_obj_internal!(map $($tt)+);
+        $crate::Value::Object(map)
+    }};
+    ($other:expr) => { $crate::Value::from($other) };
+}
+
+/// Object-entry muncher backing [`json!`]; not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_obj_internal {
+    ($map:ident) => {};
+    ($map:ident ,) => {};
+    ($map:ident $key:literal : null $($rest:tt)*) => {
+        $map.insert(($key).to_owned(), $crate::Value::Null);
+        $crate::json_obj_rest_internal!($map $($rest)*);
+    };
+    ($map:ident $key:literal : { $($inner:tt)* } $($rest:tt)*) => {
+        $map.insert(($key).to_owned(), $crate::json!({ $($inner)* }));
+        $crate::json_obj_rest_internal!($map $($rest)*);
+    };
+    ($map:ident $key:literal : [ $($inner:tt)* ] $($rest:tt)*) => {
+        $map.insert(($key).to_owned(), $crate::json!([ $($inner)* ]));
+        $crate::json_obj_rest_internal!($map $($rest)*);
+    };
+    ($map:ident $key:literal : $val:expr , $($rest:tt)*) => {
+        $map.insert(($key).to_owned(), $crate::Value::from($val));
+        $crate::json_obj_internal!($map $($rest)*);
+    };
+    ($map:ident $key:literal : $val:expr) => {
+        $map.insert(($key).to_owned(), $crate::Value::from($val));
+    };
+}
+
+/// Separator handling between object entries; not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_obj_rest_internal {
+    ($map:ident) => {};
+    ($map:ident ,) => {};
+    ($map:ident , $($rest:tt)+) => { $crate::json_obj_internal!($map $($rest)+); };
+}
+
+/// Array-element muncher backing [`json!`]; not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_arr_internal {
+    ($items:ident) => {};
+    ($items:ident ,) => {};
+    ($items:ident null $($rest:tt)*) => {
+        $items.push($crate::Value::Null);
+        $crate::json_arr_rest_internal!($items $($rest)*);
+    };
+    ($items:ident { $($inner:tt)* } $($rest:tt)*) => {
+        $items.push($crate::json!({ $($inner)* }));
+        $crate::json_arr_rest_internal!($items $($rest)*);
+    };
+    ($items:ident [ $($inner:tt)* ] $($rest:tt)*) => {
+        $items.push($crate::json!([ $($inner)* ]));
+        $crate::json_arr_rest_internal!($items $($rest)*);
+    };
+    ($items:ident $val:expr , $($rest:tt)*) => {
+        $items.push($crate::Value::from($val));
+        $crate::json_arr_internal!($items $($rest)*);
+    };
+    ($items:ident $val:expr) => {
+        $items.push($crate::Value::from($val));
+    };
+}
+
+/// Separator handling between array elements; not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_arr_rest_internal {
+    ($items:ident) => {};
+    ($items:ident ,) => {};
+    ($items:ident , $($rest:tt)+) => { $crate::json_arr_internal!($items $($rest)+); };
+}
+
+#[cfg(test)]
+#[allow(clippy::vec_init_then_push)] // json! builds arrays by muncher pushes
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_canonical_and_sorted() {
+        let v = json!({"b": 1, "a": [true, null, "x\"y"]});
+        assert_eq!(v.to_string(), r#"{"a":[true,null,"x\"y"],"b":1}"#);
+    }
+
+    #[test]
+    fn round_trips_through_parser() {
+        let v = json!({
+            "name": "ecu",
+            "version": 3,
+            "ratio": 1.5,
+            "tags": ["a", "b"],
+            "nested": {"ok": true},
+            "nothing": null,
+        });
+        let s = to_string(&v).unwrap();
+        assert_eq!(from_str(&s).unwrap(), v);
+    }
+
+    #[test]
+    fn parses_escapes_and_unicode() {
+        let v = from_str(r#"{"s": "a\n\t\"Aü"}"#).unwrap();
+        assert_eq!(v["s"].as_str().unwrap(), "a\n\t\"Aü");
+    }
+
+    #[test]
+    fn index_missing_is_null() {
+        let v = json!({"a": 1});
+        assert_eq!(v["nope"], Value::Null);
+        assert_eq!(v["nope"].as_str(), None);
+        assert_eq!(v["a"].as_i64(), Some(1));
+    }
+
+    #[test]
+    fn numbers_preserve_integerness() {
+        let v = from_str("[1, -2, 18446744073709551615, 2.5]").unwrap();
+        let a = v.as_array().unwrap();
+        assert_eq!(a[0].as_u64(), Some(1));
+        assert_eq!(a[1].as_i64(), Some(-2));
+        assert_eq!(a[2].as_u64(), Some(u64::MAX));
+        assert_eq!(a[3].as_f64(), Some(2.5));
+    }
+
+    #[test]
+    fn interpolated_expressions() {
+        let id = String::from("node-7");
+        let n = 3usize;
+        let v = json!({"id": id, "n": n, "opt": (Some("x"))});
+        assert_eq!(v.to_string(), r#"{"id":"node-7","n":3,"opt":"x"}"#);
+    }
+
+    #[test]
+    fn pretty_renders_indented() {
+        let v = json!({"a": [1, 2], "b": {}});
+        let s = to_string_pretty(&v).unwrap();
+        assert!(s.contains("\n  \"a\": [\n"));
+        assert!(from_str(&s).unwrap() == v);
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        assert!(from_str("{} x").is_err());
+        assert!(from_str("{,}").is_err());
+        assert!(from_str("[1,]").is_err());
+    }
+
+    #[test]
+    fn float_integers_render_with_point() {
+        // Distinguish 2.0 from 2 so artifact readers see a float.
+        assert_eq!(Value::from(2.0).to_string(), "2.0");
+        assert_eq!(Value::from(2u32).to_string(), "2");
+    }
+}
