@@ -1,6 +1,6 @@
 //! E3: zonal IVN simulation throughput.
 
-use autosec_bench::exp_ivn;
+use autosec_bench::{exp_ivn, RunCtx};
 use criterion::{criterion_group, criterion_main, Criterion};
 
 fn bench(c: &mut Criterion) {
@@ -11,7 +11,8 @@ fn bench(c: &mut Criterion) {
         });
     }
     g.bench_function("zonal_simulation_table", |b| {
-        b.iter(exp_ivn::e3_zonal_simulation_table)
+        let ctx = RunCtx::default();
+        b.iter(|| exp_ivn::e3_zonal_simulation_table(&ctx))
     });
     g.finish();
 }

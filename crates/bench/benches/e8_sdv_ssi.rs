@@ -9,7 +9,8 @@ fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("e8_sdv_ssi");
     g.sample_size(10); // hash-based keygen dominates; keep runs short
     g.bench_function("reconfiguration_run_3", |b| {
-        b.iter(|| exp_sdv::reconfiguration_run(3, 1))
+        let mut rng = SimRng::seed(1);
+        b.iter(|| exp_sdv::reconfiguration_run(3, &mut rng))
     });
     g.bench_function("iso15118_flow", |b| {
         let mut rng = SimRng::seed(1);

@@ -26,13 +26,14 @@ struct Args {
     seed: u64,
     jobs: usize,
     json: bool,
+    canonical: bool,
     list: bool,
     out: String,
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: experiments [FILTER] [--filter F] [--seed N] [--jobs N] [--json] [--out DIR] [--list]
+        "usage: experiments [FILTER] [--filter F] [--seed N] [--jobs N] [--json] [--canonical] [--out DIR] [--list]
 
   FILTER        group id (e.g. E10) or slug (e.g. e10-cascade); exact,
                 case-insensitive match
@@ -40,6 +41,8 @@ fn usage() -> ! {
                 of it
   --jobs N      worker threads (default 1); output is identical for any N
   --json        write per-experiment artifacts + manifest.json
+  --canonical   strip volatile keys (durations, jobs) from artifacts so
+                runs with different --jobs diff byte-identical
   --out DIR     artifact directory (default {DEFAULT_ARTIFACT_DIR})
   --list        print the experiment catalogue and exit"
     );
@@ -52,6 +55,7 @@ fn parse_args() -> Args {
         seed: autosec_runner::DEFAULT_SEED,
         jobs: 1,
         json: false,
+        canonical: false,
         list: false,
         out: DEFAULT_ARTIFACT_DIR.to_owned(),
     };
@@ -80,6 +84,7 @@ fn parse_args() -> Args {
                 });
             }
             "--json" => args.json = true,
+            "--canonical" => args.canonical = true,
             "--list" | "-l" => args.list = true,
             "--out" | "-o" => args.out = value("--out"),
             "--help" | "-h" => usage(),
@@ -150,6 +155,7 @@ fn main() -> ExitCode {
             records,
         };
         let store = match ArtifactStore::create(&args.out) {
+            Ok(s) if args.canonical => s.canonical(),
             Ok(s) => s,
             Err(e) => {
                 eprintln!("cannot create artifact dir {:?}: {e}", args.out);

@@ -4,41 +4,41 @@
 use autosec_phy::attacks::HrpAttack;
 use autosec_phy::hrp::{HrpConfig, HrpRanging, ReceiverKind};
 use autosec_phy::vrange::{measure as vrange_measure, VRangeAttack, VRangeConfig};
+use autosec_runner::{par_trials, RunCtx};
 use autosec_secproto::canal::{CanalSender, CANAL_HEADER_BYTES, CANAL_TRAILER_BYTES};
 use autosec_secproto::secoc::SecOcConfig;
 use autosec_secproto::seemqtt::{adversary_recovers, publish, subscribe, BrokerNetwork};
-use autosec_sim::SimRng;
 
 use crate::Table;
 
 /// A1: HRP consistency-threshold sweep — security versus availability.
-pub fn a1_hrp_threshold_table() -> Table {
+///
+/// Each threshold's trials fan out over [`par_trials`]; one trial runs
+/// a matched attacked + clean measurement pair on its own `fork_idx`
+/// substream.
+pub fn a1_hrp_threshold_table(ctx: &RunCtx) -> Table {
     let mut t = Table::new(
         "A1",
         "ablation — HRP integrity-check threshold: attack success vs false rejects",
         &["min consistency", "cicada success", "clean rejects"],
     );
     let attack = HrpAttack::cicada(8.0, 3.0);
+    let base = ctx.rng("a1-hrp-threshold");
     for consistency_min in [0.5, 0.6, 0.7, 0.8, 0.9] {
         let cfg = HrpConfig {
             consistency_min,
             ..HrpConfig::default()
         };
         let session = HrpRanging::new(cfg, ReceiverKind::IntegrityChecked);
-        let mut rng = SimRng::seed(61);
+        let stream = base.fork(&format!("threshold-{consistency_min:.1}"));
         let trials = 150;
-        let mut wins = 0;
-        let mut clean_rejects = 0;
-        for _ in 0..trials {
+        let outcomes = par_trials(ctx.jobs, trials, &stream, |_, mut rng| {
             let o = session.measure(20.0, Some(&attack), &mut rng);
-            if !o.rejected && o.reduction_m > 1.0 {
-                wins += 1;
-            }
             let c = session.measure(20.0, None, &mut rng);
-            if c.rejected {
-                clean_rejects += 1;
-            }
-        }
+            (!o.rejected && o.reduction_m > 1.0, c.rejected)
+        });
+        let wins = outcomes.iter().filter(|o| o.0).count();
+        let clean_rejects = outcomes.iter().filter(|o| o.1).count();
         t.push_row(vec![
             format!("{consistency_min:.1}"),
             format!("{:.1}%", wins as f64 / trials as f64 * 100.0),
@@ -130,32 +130,36 @@ pub fn a4_seemqtt_table() -> Table {
 }
 
 /// A5: V-Range security strength sweep.
-pub fn a5_vrange_table() -> Table {
+///
+/// The 3000-trial sweep per configuration runs on [`par_trials`] with
+/// a config-specific substream.
+pub fn a5_vrange_table(ctx: &RunCtx) -> Table {
     let mut t = Table::new(
         "A5",
         "ablation — V-Range secured bits: reduction success (measured vs theory)",
         &["symbols", "bits/symbol", "measured success", "theory"],
     );
+    let base = ctx.rng("a5-vrange");
     for (n_symbols, bits) in [(2usize, 1u32), (4, 1), (4, 2), (8, 2), (14, 4)] {
         let cfg = VRangeConfig {
             n_symbols,
             secured_bits_per_symbol: bits,
             ..VRangeConfig::default()
         };
-        let mut rng = SimRng::seed(62);
+        let stream = base.fork(&format!("{n_symbols}-{bits}"));
         let trials = 3000;
-        let mut wins = 0;
-        for _ in 0..trials {
+        let wins = par_trials(ctx.jobs, trials, &stream, |_, mut rng| {
             let o = vrange_measure(
                 &cfg,
                 50.0,
                 Some(VRangeAttack::Reduce { advance_m: 20.0 }),
                 &mut rng,
             );
-            if !o.aborted {
-                wins += 1;
-            }
-        }
+            !o.aborted
+        })
+        .into_iter()
+        .filter(|&w| w)
+        .count();
         let theory = cfg.undetected_manipulation_probability(n_symbols);
         t.push_row(vec![
             n_symbols.to_string(),
@@ -173,7 +177,7 @@ mod tests {
 
     #[test]
     fn a1_tradeoff_direction() {
-        let t = a1_hrp_threshold_table();
+        let t = a1_hrp_threshold_table(&RunCtx::default());
         // Loosest threshold lets some attacks through; strictest rejects
         // some clean measurements.
         let loose_success: f64 = t.rows[0][1].trim_end_matches('%').parse().expect("number");
@@ -209,7 +213,7 @@ mod tests {
 
     #[test]
     fn a5_measured_tracks_theory() {
-        let t = a5_vrange_table();
+        let t = a5_vrange_table(&RunCtx::default());
         for row in &t.rows {
             let measured: f64 = row[2].trim_end_matches('%').parse().expect("number");
             let theory: f64 = row[3].trim_end_matches('%').parse().expect("number");

@@ -44,9 +44,6 @@ pub fn e13_synergy_table(ctx: &RunCtx) -> Table {
     );
     let mut postures = vec![("none".to_owned(), DefensePosture::none())];
     for layer in ArchLayer::ALL {
-        if layer == ArchLayer::SystemOfSystems {
-            continue; // covered by the data posture in `only`
-        }
         postures.push((format!("only {layer}"), DefensePosture::only(layer)));
     }
     postures.push(("full stack".to_owned(), DefensePosture::full()));
@@ -111,8 +108,8 @@ mod tests {
     }
 
     #[test]
-    fn depth_table_has_six_rows() {
-        assert_eq!(e1_depth_sweep().rows.len(), 6);
+    fn depth_table_has_a_row_per_depth() {
+        assert_eq!(e1_depth_sweep().rows.len(), ArchLayer::ALL.len() + 1);
     }
 
     #[test]

@@ -5,6 +5,7 @@ use autosec_ivn::attacks::MasqueradeAttack;
 use autosec_ivn::bus::CanBus;
 use autosec_ivn::can::{CanFrame, CanId};
 use autosec_ivn::topology::{EndpointLink, TrafficSpec, ZonalNetwork};
+use autosec_runner::{par_trials, RunCtx};
 use autosec_sim::{SimDuration, SimTime};
 
 use crate::Table;
@@ -32,39 +33,57 @@ pub fn e3_technology_table() -> Table {
     t
 }
 
-/// E3 companion: end-to-end latency through the simulated zonal network.
-pub fn e3_zonal_simulation_table() -> Table {
+/// The endpoint fleet simulated by E3: (name, zone, link, baseline
+/// period ms, payload B, CAN id).
+const E3_ENDPOINTS: [(&str, usize, EndpointLink, u64, usize, u16); 4] = [
+    ("brake-ecu", 0, EndpointLink::Can, 10, 8, 0x0A0),
+    ("radar", 0, EndpointLink::CanFd, 20, 48, 0x1B0),
+    ("camera", 1, EndpointLink::T1s, 33, 1400, 0),
+    ("lidar-pre", 1, EndpointLink::CanXl, 25, 1024, 0x050),
+];
+
+/// Traffic-load multipliers swept by E3 (1x = the baseline periods).
+const E3_LOADS: [u64; 3] = [1, 2, 4];
+
+/// E3 companion: end-to-end latency through the simulated zonal
+/// network, under increasing traffic load.
+///
+/// Each load level is an independent full-network simulation, fanned
+/// out over [`par_trials`] (the sim is deterministic, so the table is
+/// trivially bit-identical for any `ctx.jobs`).
+pub fn e3_zonal_simulation_table(ctx: &RunCtx) -> Table {
     let mut t = Table::new(
         "E3",
         "Fig. 3 — simulated endpoint->CC latency in the zonal network",
-        &["endpoint", "link", "delivered", "mean us", "p95 us"],
+        &["load", "endpoint", "link", "delivered", "mean us", "p95 us"],
     );
-    let mut net = ZonalNetwork::new(2);
-    let specs_meta = [
-        ("brake-ecu", 0, EndpointLink::Can, 10u64, 8usize, 0x0A0u16),
-        ("radar", 0, EndpointLink::CanFd, 20, 48, 0x1B0),
-        ("camera", 1, EndpointLink::T1s, 33, 1400, 0),
-        ("lidar-pre", 1, EndpointLink::CanXl, 25, 1024, 0x050),
-    ];
-    let mut specs = Vec::new();
-    for (name, zone, link, period_ms, payload, can_id) in specs_meta {
-        let ep = net.add_endpoint(name, zone, link).expect("valid zone");
-        specs.push(TrafficSpec {
-            endpoint: ep,
-            period: SimDuration::from_ms(period_ms),
-            payload,
-            can_id,
-        });
-    }
-    let report = net.simulate(&specs, SimTime::from_ms(400));
-    for (f, (name, _, link, ..)) in report.flows.iter().zip(specs_meta.iter()) {
-        t.push_row(vec![
-            (*name).to_owned(),
-            format!("{link:?}"),
-            f.delivered.to_string(),
-            format!("{:.1}", f.latency_us.mean),
-            format!("{:.1}", f.latency_us.p95),
-        ]);
+    let base = ctx.rng("e3-zonal-latency");
+    let reports = par_trials(ctx.jobs, E3_LOADS.len(), &base, |i, _rng| {
+        let load = E3_LOADS[i];
+        let mut net = ZonalNetwork::new(2);
+        let mut specs = Vec::new();
+        for (name, zone, link, period_ms, payload, can_id) in E3_ENDPOINTS {
+            let ep = net.add_endpoint(name, zone, link).expect("valid zone");
+            specs.push(TrafficSpec {
+                endpoint: ep,
+                period: SimDuration::from_us(period_ms * 1000 / load),
+                payload,
+                can_id,
+            });
+        }
+        net.simulate(&specs, SimTime::from_ms(400))
+    });
+    for (load, report) in E3_LOADS.iter().zip(reports.iter()) {
+        for (f, (name, _, link, ..)) in report.flows.iter().zip(E3_ENDPOINTS.iter()) {
+            t.push_row(vec![
+                format!("{load}x"),
+                (*name).to_owned(),
+                format!("{link:?}"),
+                f.delivered.to_string(),
+                format!("{:.1}", f.latency_us.mean),
+                format!("{:.1}", f.latency_us.p95),
+            ]);
+        }
     }
     t
 }
@@ -155,7 +174,8 @@ mod tests {
     }
 
     #[test]
-    fn zonal_simulation_table_has_four_flows() {
-        assert_eq!(e3_zonal_simulation_table().rows.len(), 4);
+    fn zonal_simulation_table_has_a_row_per_flow_and_load() {
+        let t = e3_zonal_simulation_table(&RunCtx::default());
+        assert_eq!(t.rows.len(), E3_LOADS.len() * E3_ENDPOINTS.len());
     }
 }

@@ -4,7 +4,7 @@ use autosec_phy::attacks::{HrpAttack, OvershadowAttack};
 use autosec_phy::enlargement::{EnlargementConfig, EnlargementDetector};
 use autosec_phy::hrp::{HrpConfig, HrpRanging, ReceiverKind};
 use autosec_phy::lrp::{LrpAttack, LrpConfig, LrpSession};
-use autosec_runner::{par_trials, RunCtx};
+use autosec_runner::{par_trials, par_trials_fold, RunCtx};
 use autosec_sim::SimRng;
 
 use crate::Table;
@@ -27,23 +27,42 @@ pub struct HrpPoint {
 }
 
 /// Sweeps an HRP attack against one receiver kind.
-pub fn hrp_sweep(kind: ReceiverKind, knowledge: f64, powers: &[f64], seed: u64) -> Vec<HrpPoint> {
+///
+/// Each power point gets its own `fork`ed substream of `base`, and its
+/// [`TRIALS`] Monte-Carlo trials fan out over [`par_trials`] with
+/// `fork_idx` per-trial streams — results are bit-identical for every
+/// `jobs` value.
+pub fn hrp_sweep(
+    kind: ReceiverKind,
+    knowledge: f64,
+    powers: &[f64],
+    base: &SimRng,
+    jobs: usize,
+) -> Vec<HrpPoint> {
     let session = HrpRanging::new(HrpConfig::default(), kind);
     powers
         .iter()
         .map(|&power| {
             let attack = HrpAttack::ed_lc(8.0, power, knowledge);
-            let mut rng = SimRng::seed(seed ^ (power * 1000.0) as u64);
-            let mut success = 0;
-            let mut rejected = 0;
-            for _ in 0..TRIALS {
-                let out = session.measure(20.0, Some(&attack), &mut rng);
-                if out.rejected {
-                    rejected += 1;
-                } else if out.reduction_m > 1.0 {
-                    success += 1;
-                }
-            }
+            let stream = base.fork(&format!("power-{power:.3}"));
+            let (success, rejected) = par_trials_fold(
+                jobs,
+                TRIALS,
+                &stream,
+                |_, mut rng| {
+                    let out = session.measure(20.0, Some(&attack), &mut rng);
+                    (out.rejected, !out.rejected && out.reduction_m > 1.0)
+                },
+                (0usize, 0usize),
+                |(mut success, mut rejected), _, (was_rejected, won)| {
+                    if was_rejected {
+                        rejected += 1;
+                    } else if won {
+                        success += 1;
+                    }
+                    (success, rejected)
+                },
+            );
             HrpPoint {
                 power,
                 knowledge,
@@ -56,7 +75,7 @@ pub fn hrp_sweep(kind: ReceiverKind, knowledge: f64, powers: &[f64], seed: u64) 
 
 /// E2 main table: distance-reduction success, naive vs integrity-checked
 /// receiver, blind (Cicada) vs partial-knowledge (ED/LC) attacker.
-pub fn e2_hrp_attack_table() -> Table {
+pub fn e2_hrp_attack_table(ctx: &RunCtx) -> Table {
     let powers = [1.0, 2.0, 3.0, 5.0];
     let mut t = Table::new(
         "E2",
@@ -69,9 +88,22 @@ pub fn e2_hrp_attack_table() -> Table {
             "checked rejects",
         ],
     );
+    let base = ctx.rng("e2-hrp-attacks");
     for (label, knowledge) in [("cicada (blind)", 0.0), ("ed/lc k=0.7", 0.7)] {
-        let naive = hrp_sweep(ReceiverKind::NaiveLeadingEdge, knowledge, &powers, 11);
-        let checked = hrp_sweep(ReceiverKind::IntegrityChecked, knowledge, &powers, 13);
+        let naive = hrp_sweep(
+            ReceiverKind::NaiveLeadingEdge,
+            knowledge,
+            &powers,
+            &base.fork(&format!("{label}/naive")),
+            ctx.jobs,
+        );
+        let checked = hrp_sweep(
+            ReceiverKind::IntegrityChecked,
+            knowledge,
+            &powers,
+            &base.fork(&format!("{label}/checked")),
+            ctx.jobs,
+        );
         for (n, c) in naive.iter().zip(checked.iter()) {
             t.push_row(vec![
                 label.to_owned(),
@@ -124,35 +156,31 @@ pub fn e2_lrp_rounds_table(ctx: &RunCtx) -> Table {
 }
 
 /// E2b table: enlargement attack vs UWB-ED residual sweep.
-pub fn e2b_enlargement_table() -> Table {
+///
+/// Each residual point's [`TRIALS`] trials fan out over [`par_trials`]
+/// on a residual-specific substream.
+pub fn e2b_enlargement_table(ctx: &RunCtx) -> Table {
     let mut t = Table::new(
         "E2b",
         "§II-B — distance enlargement vs UWB-ED detection",
         &["residual", "enlarged", "detected", "undetected+enlarged"],
     );
     let det = EnlargementDetector::new(EnlargementConfig::default());
+    let base = ctx.rng("e2b-enlargement");
     for residual in [0.0, 0.05, 0.1, 0.2, 0.3, 0.5] {
         let atk = OvershadowAttack {
             delay_m: 15.0,
             power: 3.0,
             residual,
         };
-        let mut rng = SimRng::seed(23);
-        let mut enlarged = 0;
-        let mut detected = 0;
-        let mut dangerous = 0;
-        for _ in 0..TRIALS {
+        let stream = base.fork(&format!("residual-{residual:.2}"));
+        let outcomes = par_trials(ctx.jobs, TRIALS, &stream, |_, mut rng| {
             let out = det.measure(25.0, Some(&atk), &mut rng);
-            if out.enlarged {
-                enlarged += 1;
-            }
-            if out.detected {
-                detected += 1;
-            }
-            if out.enlarged && !out.detected {
-                dangerous += 1;
-            }
-        }
+            (out.enlarged, out.detected)
+        });
+        let enlarged = outcomes.iter().filter(|o| o.0).count();
+        let detected = outcomes.iter().filter(|o| o.1).count();
+        let dangerous = outcomes.iter().filter(|o| o.0 && !o.1).count();
         let pct = |x: usize| format!("{:.1}%", x as f64 / TRIALS as f64 * 100.0);
         t.push_row(vec![
             format!("{residual:.2}"),
@@ -170,17 +198,19 @@ mod tests {
 
     #[test]
     fn e2_shape_naive_loses_checked_wins() {
-        let naive = hrp_sweep(ReceiverKind::NaiveLeadingEdge, 0.0, &[3.0], 1);
-        let checked = hrp_sweep(ReceiverKind::IntegrityChecked, 0.0, &[3.0], 1);
+        let base = SimRng::seed(1);
+        let naive = hrp_sweep(ReceiverKind::NaiveLeadingEdge, 0.0, &[3.0], &base, 1);
+        let checked = hrp_sweep(ReceiverKind::IntegrityChecked, 0.0, &[3.0], &base, 1);
         assert!(naive[0].success_rate > 0.5, "{:?}", naive[0]);
         assert!(checked[0].success_rate < 0.05, "{:?}", checked[0]);
     }
 
     #[test]
     fn tables_render() {
-        assert!(e2_hrp_attack_table().rows.len() == 8);
-        assert!(e2_lrp_rounds_table(&RunCtx::default()).rows.len() == 6);
-        assert!(e2b_enlargement_table().rows.len() == 6);
+        let ctx = RunCtx::default();
+        assert!(e2_hrp_attack_table(&ctx).rows.len() == 8);
+        assert!(e2_lrp_rounds_table(&ctx).rows.len() == 6);
+        assert!(e2b_enlargement_table(&ctx).rows.len() == 6);
     }
 
     #[test]

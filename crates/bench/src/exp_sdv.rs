@@ -1,6 +1,7 @@
 //! E8 / E8b: SDV reconfiguration and the plug-and-charge comparison
 //! (Fig. 7 and §IV-C).
 
+use autosec_runner::{par_trials, RunCtx};
 use autosec_sdv::charging::{iso15118_flow, ssi_flow};
 use autosec_sdv::component::{Asil, HardwareNode, SoftwareComponent};
 use autosec_sdv::platform::SdvPlatform;
@@ -24,14 +25,14 @@ pub struct ReconfigOutcome {
 }
 
 /// Runs the reconfiguration scenario: register nodes & components,
-/// attempt one rogue placement, fail a node, re-place.
-pub fn reconfiguration_run(n_components: usize, seed: u64) -> ReconfigOutcome {
-    let mut rng = SimRng::seed(seed);
-    let (mut platform, mut oem) = SdvPlatform::new(&mut rng);
+/// attempt one rogue placement, fail a node, re-place. All randomness
+/// comes from the caller-supplied substream.
+pub fn reconfiguration_run(n_components: usize, rng: &mut SimRng) -> ReconfigOutcome {
+    let (mut platform, mut oem) = SdvPlatform::new(rng);
     for id in ["hpc-0", "hpc-1"] {
         platform
             .register_node(
-                &mut rng,
+                rng,
                 HardwareNode {
                     id: id.into(),
                     provides: vec!["can-if".into()],
@@ -47,7 +48,7 @@ pub fn reconfiguration_run(n_components: usize, seed: u64) -> ReconfigOutcome {
         let id = format!("svc-{i}");
         platform
             .register_component(
-                &mut rng,
+                rng,
                 SoftwareComponent {
                     id: id.clone(),
                     vendor: "oem".into(),
@@ -65,10 +66,10 @@ pub fn reconfiguration_run(n_components: usize, seed: u64) -> ReconfigOutcome {
     }
 
     // Rogue attempt.
-    let mut rogue = Wallet::create(&mut rng, "rogue", platform.registry());
+    let mut rogue = Wallet::create(rng, "rogue", platform.registry());
     platform
         .register_component(
-            &mut rng,
+            rng,
             SoftwareComponent {
                 id: "implant".into(),
                 vendor: "rogue".into(),
@@ -95,8 +96,9 @@ pub fn reconfiguration_run(n_components: usize, seed: u64) -> ReconfigOutcome {
     }
 }
 
-/// E8 table.
-pub fn e8_reconfiguration_table() -> Table {
+/// E8 table: each fleet size runs as an independent [`par_trials`]
+/// trial on its own `fork_idx` substream.
+pub fn e8_reconfiguration_table(ctx: &RunCtx) -> Table {
     let mut t = Table::new(
         "E8",
         "Fig. 7 — zero-trust SDV reconfiguration",
@@ -108,8 +110,12 @@ pub fn e8_reconfiguration_table() -> Table {
             "auth ops",
         ],
     );
-    for n in [2usize, 5, 10] {
-        let r = reconfiguration_run(n, 88);
+    const SIZES: [usize; 3] = [2, 5, 10];
+    let base = ctx.rng("e8-reconfiguration");
+    let outcomes = par_trials(ctx.jobs, SIZES.len(), &base, |i, mut rng| {
+        reconfiguration_run(SIZES[i], &mut rng)
+    });
+    for (n, r) in SIZES.iter().zip(outcomes.iter()) {
         t.push_row(vec![
             n.to_string(),
             r.placed.to_string(),
@@ -167,7 +173,7 @@ mod tests {
 
     #[test]
     fn reconfiguration_recovers_and_rejects() {
-        let r = reconfiguration_run(3, 1);
+        let r = reconfiguration_run(3, &mut SimRng::seed(1));
         assert_eq!(r.placed, 3);
         assert_eq!(r.rogue_rejected, 1);
         assert_eq!(r.failover_recovered, 3);

@@ -48,9 +48,9 @@ pub fn registry() -> Registry {
         "E2",
         "e2-hrp-attacks",
         "Fig. 2 — HRP STS distance-reduction attacks",
-        &["phy", "ranging"],
+        &["phy", "ranging", "parallel"],
         Moderate,
-        |_| exp_phy::e2_hrp_attack_table(),
+        exp_phy::e2_hrp_attack_table,
     );
     reg(
         "E2",
@@ -64,9 +64,9 @@ pub fn registry() -> Registry {
         "E2b",
         "e2b-enlargement",
         "§II-B — distance enlargement vs UWB-ED",
-        &["phy", "ranging"],
+        &["phy", "ranging", "parallel"],
         Moderate,
-        |_| exp_phy::e2b_enlargement_table(),
+        exp_phy::e2b_enlargement_table,
     );
     reg(
         "E3",
@@ -80,9 +80,9 @@ pub fn registry() -> Registry {
         "E3",
         "e3-zonal-latency",
         "§III — zonal network latency under load",
-        &["ivn", "simulation"],
+        &["ivn", "simulation", "parallel"],
         Moderate,
-        |_| exp_ivn::e3_zonal_simulation_table(),
+        exp_ivn::e3_zonal_simulation_table,
     );
     reg(
         "E3",
@@ -120,9 +120,9 @@ pub fn registry() -> Registry {
         "E8",
         "e8-reconfiguration",
         "§V — SDV reconfiguration race",
-        &["sdv"],
+        &["sdv", "parallel"],
         Moderate,
-        |_| exp_sdv::e8_reconfiguration_table(),
+        exp_sdv::e8_reconfiguration_table,
     );
     reg(
         "E8b",
@@ -208,9 +208,9 @@ pub fn registry() -> Registry {
         "A1",
         "a1-hrp-threshold",
         "Ablation — HRP integrity threshold sweep",
-        &["ablation", "phy"],
+        &["ablation", "phy", "parallel"],
         Moderate,
-        |_| exp_ablations::a1_hrp_threshold_table(),
+        exp_ablations::a1_hrp_threshold_table,
     );
     reg(
         "A2",
@@ -240,9 +240,9 @@ pub fn registry() -> Registry {
         "A5",
         "a5-vrange",
         "Ablation — V-Range defense sweep",
-        &["ablation", "phy"],
+        &["ablation", "phy", "parallel"],
         Moderate,
-        |_| exp_ablations::a5_vrange_table(),
+        exp_ablations::a5_vrange_table,
     );
     r
 }

@@ -74,3 +74,43 @@ fn fork_idx_streams_partition_the_trial_space() {
         assert_eq!(a.next_u64(), b.next_u64());
     }
 }
+
+/// Every experiment migrated onto `par_trials` in the scenario-engine
+/// refactor: E2 HRP sweep, E2b enlargement, E3 zonal, E8
+/// reconfiguration, and the A1/A5 ablations.
+const MIGRATED: &[&str] = &[
+    "e2-hrp-attacks",
+    "e2b-enlargement",
+    "e3-zonal-latency",
+    "e8-reconfiguration",
+    "a1-hrp-threshold",
+    "a5-vrange",
+];
+
+#[test]
+fn migrated_experiments_are_jobs_invariant() {
+    let reg = registry();
+    for slug in MIGRATED {
+        let exp = &reg.select(slug)[0];
+        let serial = exp.run(&RunCtx::new(42, 1));
+        let parallel = exp.run(&RunCtx::new(42, 4));
+        assert_eq!(
+            serial, parallel,
+            "{slug} diverged between jobs=1 and jobs=4"
+        );
+    }
+}
+
+#[test]
+fn every_parallel_tagged_experiment_declares_itself() {
+    // The "parallel" tag is the registry's record of which experiments
+    // fan out through par_trials; all migrated slugs must carry it.
+    let reg = registry();
+    for slug in MIGRATED {
+        let exp = &reg.select(slug)[0];
+        assert!(
+            exp.tags.contains(&"parallel"),
+            "{slug} migrated but not tagged parallel"
+        );
+    }
+}

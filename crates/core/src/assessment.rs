@@ -5,7 +5,7 @@
 //! with layers "designed to work in synergy". This module turns that
 //! into numbers over a [`CampaignReport`].
 
-use autosec_ids::correlate::{correlate, fused_coverage, layer_coverage, Incident, Layer};
+use autosec_ids::correlate::{correlate, fused_coverage, layer_coverage, Incident};
 use autosec_sim::SimDuration;
 
 use crate::campaign::{run_campaign, CampaignReport, DefensePosture};
@@ -34,16 +34,10 @@ pub struct Scorecard {
 pub fn score(report: &CampaignReport) -> Scorecard {
     let n = report.total_attacks().max(1);
     let fused = fused_coverage(&report.alerts, n);
-    let best_single = [
-        Layer::Physical,
-        Layer::Network,
-        Layer::Platform,
-        Layer::Data,
-        Layer::SystemOfSystems,
-    ]
-    .into_iter()
-    .map(|l| layer_coverage(&report.alerts, l, n))
-    .fold(0.0, f64::max);
+    let best_single = ArchLayer::ALL
+        .into_iter()
+        .map(|l| layer_coverage(&report.alerts, l, n))
+        .fold(0.0, f64::max);
 
     Scorecard {
         prevention_rate: report.prevented_attacks() as f64 / n as f64,
@@ -67,35 +61,17 @@ pub struct DepthPoint {
     pub detection_rate: f64,
 }
 
-/// Sweeps defense depth 0..=5 by enabling layers bottom-up, running the
-/// campaign at each depth (experiment E1/E13's headline curve).
+/// Sweeps defense depth 0..=6 by enabling layers bottom-up (Fig. 1
+/// order), running the campaign at each depth (experiment E1/E13's
+/// headline curve). Postures are enumerated programmatically from
+/// [`ArchLayer::ALL`], so a new layer extends the sweep automatically.
 pub fn depth_sweep(seed: u64) -> Vec<DepthPoint> {
-    let postures = [
-        DefensePosture::none(),
-        DefensePosture {
-            physical: true,
-            ..DefensePosture::none()
-        },
-        DefensePosture {
-            physical: true,
-            network: true,
-            ..DefensePosture::none()
-        },
-        DefensePosture {
-            physical: true,
-            network: true,
-            platform: true,
-            ..DefensePosture::none()
-        },
-        DefensePosture {
-            physical: true,
-            network: true,
-            platform: true,
-            data: true,
-            ..DefensePosture::none()
-        },
-        DefensePosture::full(),
-    ];
+    let mut postures = vec![DefensePosture::none()];
+    let mut p = DefensePosture::none();
+    for layer in ArchLayer::ALL {
+        p.set(layer, true);
+        postures.push(p);
+    }
     postures
         .into_iter()
         .map(|p| {
@@ -156,9 +132,9 @@ mod tests {
     #[test]
     fn depth_sweep_is_monotone_enough() {
         let sweep = depth_sweep(11);
-        assert_eq!(sweep.len(), 6);
+        assert_eq!(sweep.len(), 7);
         assert_eq!(sweep[0].defended_layers, 0);
-        assert_eq!(sweep[5].defended_layers, 5);
+        assert_eq!(sweep[6].defended_layers, 6);
         // Attack success never increases with more defended layers.
         for w in sweep.windows(2) {
             assert!(
@@ -167,7 +143,7 @@ mod tests {
             );
         }
         // And the endpoints differ substantially.
-        assert!(sweep[0].attack_success_rate - sweep[5].attack_success_rate > 0.5);
+        assert!(sweep[0].attack_success_rate - sweep[6].attack_success_rate > 0.5);
     }
 
     #[test]

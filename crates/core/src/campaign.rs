@@ -1,33 +1,21 @@
 //! Cross-layer attack campaign runner.
 //!
-//! Eight attack steps spanning every layer of Fig. 1 execute against a
-//! vehicle whose defenses are toggled per layer. Each step runs the
-//! *actual* subsystem models from the workbench crates — nothing here is
-//! a probability table — and reports whether the attack succeeded, was
+//! The campaign iterates [`crate::scenario::scenario_registry`] — eight
+//! pluggable [`ScenarioStep`](crate::scenario::ScenarioStep)s spanning
+//! every layer of Fig. 1 — against a vehicle whose defenses are toggled
+//! per layer. Each step runs the *actual* subsystem models from the
+//! workbench crates and reports whether the attack succeeded, was
 //! prevented, and/or was detected. Detections become
 //! [`autosec_ids::correlate::LayerAlert`]s feeding the §VIII synergy
 //! analysis (experiment E13).
 
-use autosec_collab::attacks::{FabricationStrategy, InternalFabricator};
-use autosec_collab::misbehavior::{MisbehaviorConfig, MisbehaviorDetector};
-use autosec_collab::perception::perception_round;
-use autosec_collab::world::{Point, SensorModel, VehicleId, World};
-use autosec_data::killchain::Attacker as KillChainAttacker;
-use autosec_data::service::{DefenseConfig, TelemetryBackend};
-use autosec_ids::correlate::{Layer, LayerAlert};
-use autosec_ids::detectors::{FingerprintDetector, SpecificationDetector};
-use autosec_ivn::attacks::{FloodAttack, MasqueradeAttack};
-use autosec_ivn::bus::CanBus;
-use autosec_ivn::can::{CanFrame, CanId};
-use autosec_phy::attacks::{OvershadowAttack, RelayAttack};
-use autosec_phy::collision::{CollisionAvoidance, CollisionScenario, VehicleAction};
-use autosec_phy::pkes::{Pkes, PkesState, ProximityBackend};
-use autosec_secproto::secoc::{SecOcAuthenticator, SecOcConfig, SecOcPdu};
-use autosec_sim::{SimDuration, SimRng, SimTime};
+use autosec_ids::correlate::LayerAlert;
+use autosec_sim::{SimRng, SimTime};
 
 use crate::layers::ArchLayer;
+use crate::scenario::{scenario_registry, PostureCtx};
 
-/// Which layers run their defenses.
+/// Which layers run their defenses — one toggle per [`ArchLayer`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct DefensePosture {
     /// §II defenses: secure ranging, enlargement detection.
@@ -38,6 +26,8 @@ pub struct DefensePosture {
     pub platform: bool,
     /// §V defenses: hardened backend.
     pub data: bool,
+    /// §VI defenses: decoupling, attack-surface minimization.
+    pub sos: bool,
     /// §VII defenses: misbehaviour detection.
     pub collaboration: bool,
 }
@@ -50,6 +40,7 @@ impl DefensePosture {
             network: false,
             platform: false,
             data: false,
+            sos: false,
             collaboration: false,
         }
     }
@@ -61,30 +52,58 @@ impl DefensePosture {
             network: true,
             platform: true,
             data: true,
+            sos: true,
             collaboration: true,
         }
     }
 
     /// Only one layer defended (the §VIII "no synergy" ablation).
     pub fn only(layer: ArchLayer) -> Self {
-        let mut p = Self::none();
+        Self::none().with(layer)
+    }
+
+    /// Whether `layer`'s defenses run under this posture.
+    pub fn enabled(&self, layer: ArchLayer) -> bool {
         match layer {
-            ArchLayer::Physical => p.physical = true,
-            ArchLayer::Network => p.network = true,
-            ArchLayer::SoftwarePlatform => p.platform = true,
-            ArchLayer::Data | ArchLayer::SystemOfSystems => p.data = true,
-            ArchLayer::Collaboration => p.collaboration = true,
+            ArchLayer::Physical => self.physical,
+            ArchLayer::Network => self.network,
+            ArchLayer::SoftwarePlatform => self.platform,
+            ArchLayer::Data => self.data,
+            ArchLayer::SystemOfSystems => self.sos,
+            ArchLayer::Collaboration => self.collaboration,
         }
-        p
+    }
+
+    /// Toggles `layer`'s defenses.
+    pub fn set(&mut self, layer: ArchLayer, on: bool) {
+        match layer {
+            ArchLayer::Physical => self.physical = on,
+            ArchLayer::Network => self.network = on,
+            ArchLayer::SoftwarePlatform => self.platform = on,
+            ArchLayer::Data => self.data = on,
+            ArchLayer::SystemOfSystems => self.sos = on,
+            ArchLayer::Collaboration => self.collaboration = on,
+        }
+    }
+
+    /// Builder form of [`DefensePosture::set`]: this posture with
+    /// `layer` defended.
+    pub fn with(mut self, layer: ArchLayer) -> Self {
+        self.set(layer, true);
+        self
     }
 
     /// Number of defended layers.
     pub fn enabled_count(&self) -> usize {
-        usize::from(self.physical)
-            + usize::from(self.network)
-            + usize::from(self.platform)
-            + usize::from(self.data)
-            + usize::from(self.collaboration)
+        ArchLayer::ALL.iter().filter(|&&l| self.enabled(l)).count()
+    }
+
+    /// The defended layers, bottom-up.
+    pub fn enabled_layers(&self) -> Vec<ArchLayer> {
+        ArchLayer::ALL
+            .into_iter()
+            .filter(|&l| self.enabled(l))
+            .collect()
     }
 }
 
@@ -134,381 +153,35 @@ impl CampaignReport {
     }
 }
 
-fn arch_to_ids_layer(l: ArchLayer) -> Layer {
-    match l {
-        ArchLayer::Physical => Layer::Physical,
-        ArchLayer::Network => Layer::Network,
-        ArchLayer::SoftwarePlatform => Layer::Platform,
-        ArchLayer::Data => Layer::Data,
-        ArchLayer::SystemOfSystems | ArchLayer::Collaboration => Layer::SystemOfSystems,
-    }
-}
-
-/// Runs the eight-step campaign under `posture` with a deterministic
-/// `seed`. Steps are spaced 100 ms apart on the campaign clock.
+/// Runs the registered campaign steps under `posture` with a
+/// deterministic `seed`. Steps are spaced 100 ms apart on the campaign
+/// clock; step `i` executes on the substream
+/// `SimRng::seed(seed).fork(step.rng_label())`, so steps never perturb
+/// each other's randomness.
 pub fn run_campaign(posture: &DefensePosture, seed: u64) -> CampaignReport {
     let root = SimRng::seed(seed);
+    let ctx = PostureCtx { posture };
     let mut steps = Vec::new();
     let mut alerts = Vec::new();
-    let mut step_idx = 0usize;
 
-    let push = |steps: &mut Vec<CampaignStep>,
-                alerts: &mut Vec<LayerAlert>,
-                idx: &mut usize,
-                attack: &'static str,
-                layer: ArchLayer,
-                succeeded: bool,
-                prevented: bool,
-                detected: bool,
-                detail: &str| {
-        let at = SimTime::from_ms(*idx as u64 * 100);
-        if detected {
+    for (idx, step) in scenario_registry().iter().enumerate() {
+        let mut rng = root.fork(step.rng_label());
+        let out = step.execute(&ctx, &mut rng);
+        if out.detected {
             alerts.push(LayerAlert {
-                layer: arch_to_ids_layer(layer),
-                at,
-                attack_id: Some(*idx),
-                detail: detail.to_owned(),
+                layer: step.layer(),
+                at: SimTime::from_ms(idx as u64 * 100),
+                attack_id: Some(idx),
+                detail: out.detail.to_owned(),
             });
         }
         steps.push(CampaignStep {
-            attack,
-            layer,
-            succeeded,
-            prevented,
-            detected,
+            attack: step.name(),
+            layer: step.layer(),
+            succeeded: out.succeeded,
+            prevented: out.prevented,
+            detected: out.detected,
         });
-        *idx += 1;
-    };
-
-    // ---- Step 0 (Physical): PKES relay. ----
-    {
-        let mut rng = root.fork("pkes");
-        let backend = if posture.physical {
-            ProximityBackend::UwbToF
-        } else {
-            ProximityBackend::LegacyRssi
-        };
-        let pkes = Pkes::new(backend, 2.0);
-        let out = pkes.try_unlock(43.0, Some(&RelayAttack::typical()), &mut rng);
-        let succeeded = out.state == PkesState::Unlocked;
-        push(
-            &mut steps,
-            &mut alerts,
-            &mut step_idx,
-            "pkes-relay",
-            ArchLayer::Physical,
-            succeeded,
-            !succeeded,
-            !succeeded,
-            "relay produced impossible time-of-flight",
-        );
-    }
-
-    // ---- Step 1 (Physical): distance enlargement on collision avoidance. ----
-    {
-        let mut rng = root.fork("enlargement");
-        let ca = CollisionAvoidance::new(CollisionScenario {
-            detection_enabled: posture.physical,
-            ..CollisionScenario::default()
-        });
-        let atk = OvershadowAttack {
-            delay_m: 20.0,
-            power: 3.0,
-            residual: 0.25,
-        };
-        let out = ca.decide(Some(&atk), &mut rng);
-        let detected = out.action == VehicleAction::DefensiveBrake;
-        push(
-            &mut steps,
-            &mut alerts,
-            &mut step_idx,
-            "distance-enlargement",
-            ArchLayer::Physical,
-            out.unsafe_decision,
-            detected,
-            detected,
-            "pre-arrival energy above noise floor",
-        );
-    }
-
-    // ---- Step 2 (Network): CAN masquerade. ----
-    {
-        // Clean training traffic.
-        let build_traffic = |attack: bool| {
-            let mut bus = CanBus::new(500_000);
-            let legit = bus.add_node(2.0);
-            let attacker = bus.add_node(7.5);
-            let mut t = SimTime::ZERO;
-            while t <= SimTime::from_ms(300) {
-                bus.enqueue(
-                    legit,
-                    t,
-                    CanFrame::new(CanId::standard(0x0A0).expect("valid"), &[1; 8])
-                        .expect("valid frame"),
-                )
-                .expect("node exists");
-                t += SimDuration::from_ms(10);
-            }
-            if attack {
-                MasqueradeAttack {
-                    attacker,
-                    spoofed_id: 0x0A0,
-                    period: SimDuration::from_ms(9),
-                    payload: [0xFF; 8],
-                }
-                .inject(&mut bus, SimTime::from_ms(2), SimTime::from_ms(300))
-                .expect("attacker can enqueue");
-            }
-            bus.run(SimTime::from_secs(2))
-        };
-        let clean = build_traffic(false);
-        let attacked = build_traffic(true);
-        let forged_delivered = attacked.len() > clean.len();
-        let detected = if posture.network {
-            let det = FingerprintDetector::train(&clean);
-            !det.analyze(&attacked).is_empty()
-        } else {
-            false
-        };
-        push(
-            &mut steps,
-            &mut alerts,
-            &mut step_idx,
-            "can-masquerade",
-            ArchLayer::Network,
-            forged_delivered && !detected,
-            false,
-            detected,
-            "spoofed id with foreign analog fingerprint",
-        );
-    }
-
-    // ---- Step 3 (Network): flood DoS. ----
-    {
-        let build = |attack: bool| {
-            let mut bus = CanBus::new(500_000);
-            let legit = bus.add_node(2.0);
-            let attacker = bus.add_node(5.0);
-            bus.enqueue(
-                legit,
-                SimTime::ZERO,
-                CanFrame::new(CanId::standard(0x100).expect("valid"), &[1; 8])
-                    .expect("valid frame"),
-            )
-            .expect("node exists");
-            if attack {
-                FloodAttack {
-                    attacker,
-                    burst: 200,
-                }
-                .inject(&mut bus, SimTime::ZERO)
-                .expect("attacker can enqueue");
-            }
-            bus.run(SimTime::from_secs(2))
-        };
-        let clean = build(false);
-        let attacked = build(true);
-        let victim_latency = attacked
-            .iter()
-            .find(|e| e.frame.id().raw() == 0x100)
-            .map(|e| e.latency().as_ms_f64())
-            .unwrap_or(f64::INFINITY);
-        let succeeded = victim_latency > 10.0;
-        let detected = if posture.network {
-            let det = SpecificationDetector::train(&clean);
-            !det.analyze(&attacked).is_empty()
-        } else {
-            false
-        };
-        push(
-            &mut steps,
-            &mut alerts,
-            &mut step_idx,
-            "can-flood-dos",
-            ArchLayer::Network,
-            succeeded,
-            false,
-            detected,
-            "unknown high-priority id flooding the bus",
-        );
-    }
-
-    // ---- Step 4 (Network): SECOC PDU forgery. ----
-    {
-        let mut rng = root.fork("secoc-forgery");
-        if posture.network {
-            let cfg = SecOcConfig::default();
-            let mut rx = SecOcAuthenticator::new_receiver(cfg, [1u8; 16], 0x0B0);
-            // Attacker forges a PDU with a random MAC.
-            use rand::RngCore;
-            let mut mac = vec![0u8; 3];
-            rng.fill_bytes(&mut mac);
-            let forged = SecOcPdu {
-                data_id: 0x0B0,
-                payload: b"brake=off".to_vec(),
-                truncated_freshness: 1,
-                truncated_mac: mac,
-            };
-            let accepted = rx.verify(&forged).is_ok();
-            push(
-                &mut steps,
-                &mut alerts,
-                &mut step_idx,
-                "pdu-forgery",
-                ArchLayer::Network,
-                accepted,
-                !accepted,
-                !accepted,
-                "SECOC MAC verification failed on forged PDU",
-            );
-        } else {
-            // Plain CAN: any frame with the right id is accepted.
-            push(
-                &mut steps,
-                &mut alerts,
-                &mut step_idx,
-                "pdu-forgery",
-                ArchLayer::Network,
-                true,
-                false,
-                false,
-                "",
-            );
-        }
-    }
-
-    // ---- Step 5 (Platform): rogue software placement. ----
-    {
-        let mut rng = root.fork("sdv");
-        if posture.platform {
-            use autosec_sdv::component::{Asil, HardwareNode, SoftwareComponent};
-            use autosec_sdv::platform::SdvPlatform;
-            use autosec_sdv::SdvError;
-            let (mut platform, mut oem) = SdvPlatform::new(&mut rng);
-            platform
-                .register_node(
-                    &mut rng,
-                    HardwareNode {
-                        id: "hpc-0".into(),
-                        provides: vec!["can-if".into()],
-                        compute_capacity: 100,
-                        max_asil: Asil::D,
-                    },
-                    &mut oem,
-                )
-                .expect("node registration");
-            let mut rogue =
-                autosec_ssi::wallet::Wallet::create(&mut rng, "rogue-vendor", platform.registry());
-            platform
-                .register_component(
-                    &mut rng,
-                    SoftwareComponent {
-                        id: "implant".into(),
-                        vendor: "rogue".into(),
-                        version: (1, 0, 0),
-                        requires: vec!["can-if".into()],
-                        compute_cost: 1,
-                        asil: Asil::Qm,
-                    },
-                    &mut rogue,
-                )
-                .expect("registration itself is open");
-            let result = platform.place("implant", "hpc-0");
-            let prevented = matches!(result, Err(SdvError::AuthFailed(_)));
-            push(
-                &mut steps,
-                &mut alerts,
-                &mut step_idx,
-                "rogue-software-placement",
-                ArchLayer::SoftwarePlatform,
-                !prevented,
-                prevented,
-                prevented,
-                "component credential has no trust path to an anchor",
-            );
-        } else {
-            push(
-                &mut steps,
-                &mut alerts,
-                &mut step_idx,
-                "rogue-software-placement",
-                ArchLayer::SoftwarePlatform,
-                true,
-                false,
-                false,
-                "",
-            );
-        }
-    }
-
-    // ---- Step 6 (Data): the CARIAD kill chain. ----
-    {
-        let mut rng = root.fork("killchain");
-        let defenses = if posture.data {
-            DefenseConfig::hardened()
-        } else {
-            DefenseConfig::none()
-        };
-        let backend = TelemetryBackend::build(500, defenses, &mut rng);
-        let report = KillChainAttacker::new().execute(&backend, &mut rng);
-        push(
-            &mut steps,
-            &mut alerts,
-            &mut step_idx,
-            "telemetry-kill-chain",
-            ArchLayer::Data,
-            report.records_exfiltrated > 0,
-            report.blocked_at.is_some(),
-            report.detected_at.is_some(),
-            "enumeration burst / bulk export anomaly",
-        );
-    }
-
-    // ---- Step 7 (Collaboration): internal ghost object. ----
-    {
-        let mut rng = root.fork("collab");
-        let world = World::new(
-            vec![
-                Point { x: 0.0, y: 0.0 },
-                Point { x: 30.0, y: 0.0 },
-                Point { x: 0.0, y: 30.0 },
-                Point { x: 30.0, y: 30.0 },
-            ],
-            vec![Point { x: 15.0, y: 15.0 }],
-        );
-        let sensor = SensorModel {
-            miss_rate: 0.0,
-            noise_m: 0.3,
-            range_m: 60.0,
-        };
-        let key = b"campaign v2x key";
-        let attacker = InternalFabricator {
-            vehicle: VehicleId(0),
-            strategy: FabricationStrategy::GhostObject {
-                at: Point { x: 22.0, y: 8.0 },
-            },
-        };
-        let mut msgs = perception_round(&world, &sensor, key, 0, &mut rng);
-        let honest = msgs[0].detections.clone();
-        msgs[0] = attacker.emit(&world, honest, key, 0, &mut rng);
-        let detected = if posture.collaboration {
-            let mut det = MisbehaviorDetector::new(MisbehaviorConfig::default());
-            let flags = det.process_round(&world, &sensor, key, &msgs);
-            flags.iter().any(|f| f.claimant == VehicleId(0))
-        } else {
-            false
-        };
-        push(
-            &mut steps,
-            &mut alerts,
-            &mut step_idx,
-            "v2x-ghost-object",
-            ArchLayer::Collaboration,
-            !detected,
-            false,
-            detected,
-            "claim lacks corroboration from in-range witnesses",
-        );
     }
 
     CampaignReport { steps, alerts }
@@ -570,13 +243,23 @@ mod tests {
             let idx = alert.attack_id.expect("campaign alerts carry ids");
             assert!(idx < r.steps.len());
             assert!(r.steps[idx].detected);
+            assert_eq!(alert.layer, r.steps[idx].layer);
         }
     }
 
     #[test]
     fn posture_helpers() {
         assert_eq!(DefensePosture::none().enabled_count(), 0);
-        assert_eq!(DefensePosture::full().enabled_count(), 5);
+        assert_eq!(DefensePosture::full().enabled_count(), 6);
         assert_eq!(DefensePosture::only(ArchLayer::Network).enabled_count(), 1);
+        for layer in ArchLayer::ALL {
+            let p = DefensePosture::only(layer);
+            assert!(p.enabled(layer));
+            assert_eq!(p.enabled_layers(), vec![layer]);
+        }
+        let mut p = DefensePosture::full();
+        p.set(ArchLayer::Data, false);
+        assert_eq!(p.enabled_count(), 5);
+        assert!(!p.enabled(ArchLayer::Data));
     }
 }

@@ -1,63 +1,11 @@
 //! The Fig. 1 layer stack and the paper-as-code catalog.
+//!
+//! The layer enum itself lives in `autosec-sim` ([`autosec_sim::layer`])
+//! so that every crate — including `autosec-ids`, which tags alerts by
+//! layer — shares one vocabulary. It is re-exported here because the
+//! framework is where most callers reach for it.
 
-use std::fmt;
-
-/// The architectural layers of Fig. 1 (plus the collaboration layer of
-/// §VII, which the paper treats as the layer above the system of
-/// systems).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-pub enum ArchLayer {
-    /// §II — sensors, UWB ranging, PKES.
-    Physical,
-    /// §III — CAN/Ethernet IVN and its security protocols.
-    Network,
-    /// §IV — software-defined vehicle, SSI trust fabric.
-    SoftwarePlatform,
-    /// §V — telemetry, cloud backends, privacy.
-    Data,
-    /// §VI — the MaaS system of systems.
-    SystemOfSystems,
-    /// §VII — collaborating autonomous systems.
-    Collaboration,
-}
-
-impl ArchLayer {
-    /// All layers, bottom-up (Fig. 1 order).
-    pub const ALL: [ArchLayer; 6] = [
-        ArchLayer::Physical,
-        ArchLayer::Network,
-        ArchLayer::SoftwarePlatform,
-        ArchLayer::Data,
-        ArchLayer::SystemOfSystems,
-        ArchLayer::Collaboration,
-    ];
-
-    /// The paper section discussing this layer.
-    pub fn paper_section(&self) -> &'static str {
-        match self {
-            ArchLayer::Physical => "II",
-            ArchLayer::Network => "III",
-            ArchLayer::SoftwarePlatform => "IV",
-            ArchLayer::Data => "V",
-            ArchLayer::SystemOfSystems => "VI",
-            ArchLayer::Collaboration => "VII",
-        }
-    }
-}
-
-impl fmt::Display for ArchLayer {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let s = match self {
-            ArchLayer::Physical => "physical",
-            ArchLayer::Network => "network",
-            ArchLayer::SoftwarePlatform => "software/platform",
-            ArchLayer::Data => "data",
-            ArchLayer::SystemOfSystems => "system-of-systems",
-            ArchLayer::Collaboration => "collaboration",
-        };
-        f.write_str(s)
-    }
-}
+pub use autosec_sim::ArchLayer;
 
 /// A catalogued attack with its implementing module.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -321,14 +269,6 @@ mod tests {
     use std::collections::BTreeSet;
 
     #[test]
-    fn six_layers_in_order() {
-        assert_eq!(ArchLayer::ALL.len(), 6);
-        assert!(ArchLayer::Physical < ArchLayer::Collaboration);
-        assert_eq!(ArchLayer::Physical.paper_section(), "II");
-        assert_eq!(ArchLayer::Collaboration.paper_section(), "VII");
-    }
-
-    #[test]
     fn every_layer_has_attacks_and_defenses() {
         let attacks = attack_catalog();
         let defenses = defense_catalog();
@@ -388,11 +328,5 @@ mod tests {
                 a.name
             );
         }
-    }
-
-    #[test]
-    fn display_and_sections() {
-        assert_eq!(ArchLayer::Network.to_string(), "network");
-        assert_eq!(ArchLayer::Data.paper_section(), "V");
     }
 }

@@ -7,8 +7,11 @@
 //! - [`layers`] — the Fig. 1 layer stack plus a machine-readable catalog
 //!   mapping every paper-discussed attack and defense to the workbench
 //!   module that implements it
-//! - [`campaign`] — the cross-layer attack campaign runner: eight attack
-//!   steps spanning physical → collaboration, executed against a
+//! - [`scenario`] — the pluggable scenario engine: every campaign attack
+//!   is a registered [`scenario::ScenarioStep`], cross-checked against
+//!   the catalog
+//! - [`campaign`] — the cross-layer attack campaign runner: a thin
+//!   driver iterating [`scenario::scenario_registry`] against a
 //!   configurable per-layer defense posture ([`campaign::DefensePosture`])
 //! - [`assessment`] — holistic scoring (§VIII): prevention/detection
 //!   coverage, defense-in-depth depth, and the synergy metric showing
@@ -27,3 +30,4 @@
 pub mod assessment;
 pub mod campaign;
 pub mod layers;
+pub mod scenario;

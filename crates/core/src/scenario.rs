@@ -1,0 +1,533 @@
+//! The pluggable scenario engine behind the cross-layer campaign.
+//!
+//! Each attack of the §VIII campaign is a [`ScenarioStep`]: a named,
+//! layer-tagged unit that executes the *actual* subsystem models from
+//! the workbench crates against a [`PostureCtx`] and reports a
+//! [`StepOutcome`]. [`scenario_registry`] collects the eight steps of
+//! the paper's campaign in execution order; `run_campaign` is a thin
+//! driver over it, and new steps plug in without touching the driver.
+//!
+//! Every step name must appear in [`crate::layers::attack_catalog`] on
+//! the step's layer — the registry/catalog consistency test keeps the
+//! paper-as-code catalog and the executable campaign in lock-step.
+
+use autosec_collab::attacks::{FabricationStrategy, InternalFabricator};
+use autosec_collab::misbehavior::{MisbehaviorConfig, MisbehaviorDetector};
+use autosec_collab::perception::perception_round;
+use autosec_collab::world::{Point, SensorModel, VehicleId, World};
+use autosec_data::killchain::Attacker as KillChainAttacker;
+use autosec_data::service::{DefenseConfig, TelemetryBackend};
+use autosec_ids::detectors::{FingerprintDetector, SpecificationDetector};
+use autosec_ivn::attacks::{FloodAttack, MasqueradeAttack};
+use autosec_ivn::bus::CanBus;
+use autosec_ivn::can::{CanFrame, CanId};
+use autosec_phy::attacks::{OvershadowAttack, RelayAttack};
+use autosec_phy::collision::{CollisionAvoidance, CollisionScenario, VehicleAction};
+use autosec_phy::pkes::{Pkes, PkesState, ProximityBackend};
+use autosec_secproto::secoc::{SecOcAuthenticator, SecOcConfig, SecOcPdu};
+use autosec_sim::{ArchLayer, SimDuration, SimRng, SimTime};
+
+use crate::campaign::DefensePosture;
+
+/// Execution context handed to every step: the vehicle's defense
+/// posture, queried by layer.
+#[derive(Debug, Clone, Copy)]
+pub struct PostureCtx<'a> {
+    /// The per-layer defense toggles.
+    pub posture: &'a DefensePosture,
+}
+
+impl PostureCtx<'_> {
+    /// Whether `layer` runs its defenses under this posture.
+    pub fn defended(&self, layer: ArchLayer) -> bool {
+        self.posture.enabled(layer)
+    }
+}
+
+/// What one step reports back to the driver.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StepOutcome {
+    /// Did the attacker reach their goal?
+    pub succeeded: bool,
+    /// Was the attack prevented outright?
+    pub prevented: bool,
+    /// Was the attack detected (alert raised)?
+    pub detected: bool,
+    /// Alert detail when detected (empty otherwise).
+    pub detail: &'static str,
+}
+
+/// One pluggable campaign step.
+///
+/// Implementations run real subsystem models — nothing here is a
+/// probability table. Steps draw all randomness from the `SimRng`
+/// substream the driver forks for them ([`ScenarioStep::rng_label`]),
+/// so adding or reordering steps never perturbs another step's stream.
+pub trait ScenarioStep: Send + Sync {
+    /// Attack name; must match an entry of
+    /// [`crate::layers::attack_catalog`].
+    fn name(&self) -> &'static str;
+
+    /// The layer this step attacks.
+    fn layer(&self) -> ArchLayer;
+
+    /// Label of the RNG substream the driver forks for this step.
+    ///
+    /// Defaults to [`ScenarioStep::name`]; the original eight steps
+    /// override it with their historical labels so that campaign
+    /// outcomes are bit-identical to the pre-registry monolith.
+    fn rng_label(&self) -> &'static str {
+        self.name()
+    }
+
+    /// Runs the attack under `ctx` with the step's own substream.
+    fn execute(&self, ctx: &PostureCtx<'_>, rng: &mut SimRng) -> StepOutcome;
+}
+
+/// The eight steps of the paper's campaign, in execution order.
+pub fn scenario_registry() -> Vec<Box<dyn ScenarioStep>> {
+    vec![
+        Box::new(PkesRelayStep),
+        Box::new(DistanceEnlargementStep),
+        Box::new(CanMasqueradeStep),
+        Box::new(CanFloodStep),
+        Box::new(PduForgeryStep),
+        Box::new(RogueSoftwareStep),
+        Box::new(TelemetryKillChainStep),
+        Box::new(GhostObjectStep),
+    ]
+}
+
+/// Step 0 (Physical): PKES relay against legacy RSSI vs UWB ToF.
+pub struct PkesRelayStep;
+
+impl ScenarioStep for PkesRelayStep {
+    fn name(&self) -> &'static str {
+        "pkes-relay"
+    }
+    fn layer(&self) -> ArchLayer {
+        ArchLayer::Physical
+    }
+    fn rng_label(&self) -> &'static str {
+        "pkes"
+    }
+    fn execute(&self, ctx: &PostureCtx<'_>, rng: &mut SimRng) -> StepOutcome {
+        let backend = if ctx.defended(ArchLayer::Physical) {
+            ProximityBackend::UwbToF
+        } else {
+            ProximityBackend::LegacyRssi
+        };
+        let pkes = Pkes::new(backend, 2.0);
+        let out = pkes.try_unlock(43.0, Some(&RelayAttack::typical()), rng);
+        let succeeded = out.state == PkesState::Unlocked;
+        StepOutcome {
+            succeeded,
+            prevented: !succeeded,
+            detected: !succeeded,
+            detail: "relay produced impossible time-of-flight",
+        }
+    }
+}
+
+/// Step 1 (Physical): distance enlargement on collision avoidance.
+pub struct DistanceEnlargementStep;
+
+impl ScenarioStep for DistanceEnlargementStep {
+    fn name(&self) -> &'static str {
+        "distance-enlargement"
+    }
+    fn layer(&self) -> ArchLayer {
+        ArchLayer::Physical
+    }
+    fn rng_label(&self) -> &'static str {
+        "enlargement"
+    }
+    fn execute(&self, ctx: &PostureCtx<'_>, rng: &mut SimRng) -> StepOutcome {
+        let ca = CollisionAvoidance::new(CollisionScenario {
+            detection_enabled: ctx.defended(ArchLayer::Physical),
+            ..CollisionScenario::default()
+        });
+        let atk = OvershadowAttack {
+            delay_m: 20.0,
+            power: 3.0,
+            residual: 0.25,
+        };
+        let out = ca.decide(Some(&atk), rng);
+        let detected = out.action == VehicleAction::DefensiveBrake;
+        StepOutcome {
+            succeeded: out.unsafe_decision,
+            prevented: detected,
+            detected,
+            detail: "pre-arrival energy above noise floor",
+        }
+    }
+}
+
+/// Step 2 (Network): CAN masquerade vs analog fingerprinting.
+pub struct CanMasqueradeStep;
+
+impl ScenarioStep for CanMasqueradeStep {
+    fn name(&self) -> &'static str {
+        "can-masquerade"
+    }
+    fn layer(&self) -> ArchLayer {
+        ArchLayer::Network
+    }
+    fn rng_label(&self) -> &'static str {
+        "masquerade"
+    }
+    fn execute(&self, ctx: &PostureCtx<'_>, _rng: &mut SimRng) -> StepOutcome {
+        // Clean training traffic vs the attacked bus.
+        let build_traffic = |attack: bool| {
+            let mut bus = CanBus::new(500_000);
+            let legit = bus.add_node(2.0);
+            let attacker = bus.add_node(7.5);
+            let mut t = SimTime::ZERO;
+            while t <= SimTime::from_ms(300) {
+                bus.enqueue(
+                    legit,
+                    t,
+                    CanFrame::new(CanId::standard(0x0A0).expect("valid"), &[1; 8])
+                        .expect("valid frame"),
+                )
+                .expect("node exists");
+                t += SimDuration::from_ms(10);
+            }
+            if attack {
+                MasqueradeAttack {
+                    attacker,
+                    spoofed_id: 0x0A0,
+                    period: SimDuration::from_ms(9),
+                    payload: [0xFF; 8],
+                }
+                .inject(&mut bus, SimTime::from_ms(2), SimTime::from_ms(300))
+                .expect("attacker can enqueue");
+            }
+            bus.run(SimTime::from_secs(2))
+        };
+        let clean = build_traffic(false);
+        let attacked = build_traffic(true);
+        let forged_delivered = attacked.len() > clean.len();
+        let detected = if ctx.defended(ArchLayer::Network) {
+            let det = FingerprintDetector::train(&clean);
+            !det.analyze(&attacked).is_empty()
+        } else {
+            false
+        };
+        StepOutcome {
+            succeeded: forged_delivered && !detected,
+            prevented: false,
+            detected,
+            detail: "spoofed id with foreign analog fingerprint",
+        }
+    }
+}
+
+/// Step 3 (Network): flood DoS vs specification IDS.
+pub struct CanFloodStep;
+
+impl ScenarioStep for CanFloodStep {
+    fn name(&self) -> &'static str {
+        "can-flood-dos"
+    }
+    fn layer(&self) -> ArchLayer {
+        ArchLayer::Network
+    }
+    fn rng_label(&self) -> &'static str {
+        "flood"
+    }
+    fn execute(&self, ctx: &PostureCtx<'_>, _rng: &mut SimRng) -> StepOutcome {
+        let build = |attack: bool| {
+            let mut bus = CanBus::new(500_000);
+            let legit = bus.add_node(2.0);
+            let attacker = bus.add_node(5.0);
+            bus.enqueue(
+                legit,
+                SimTime::ZERO,
+                CanFrame::new(CanId::standard(0x100).expect("valid"), &[1; 8])
+                    .expect("valid frame"),
+            )
+            .expect("node exists");
+            if attack {
+                FloodAttack {
+                    attacker,
+                    burst: 200,
+                }
+                .inject(&mut bus, SimTime::ZERO)
+                .expect("attacker can enqueue");
+            }
+            bus.run(SimTime::from_secs(2))
+        };
+        let clean = build(false);
+        let attacked = build(true);
+        let victim_latency = attacked
+            .iter()
+            .find(|e| e.frame.id().raw() == 0x100)
+            .map(|e| e.latency().as_ms_f64())
+            .unwrap_or(f64::INFINITY);
+        let succeeded = victim_latency > 10.0;
+        let detected = if ctx.defended(ArchLayer::Network) {
+            let det = SpecificationDetector::train(&clean);
+            !det.analyze(&attacked).is_empty()
+        } else {
+            false
+        };
+        StepOutcome {
+            succeeded,
+            prevented: false,
+            detected,
+            detail: "unknown high-priority id flooding the bus",
+        }
+    }
+}
+
+/// Step 4 (Network): SECOC PDU forgery.
+pub struct PduForgeryStep;
+
+impl ScenarioStep for PduForgeryStep {
+    fn name(&self) -> &'static str {
+        "pdu-forgery"
+    }
+    fn layer(&self) -> ArchLayer {
+        ArchLayer::Network
+    }
+    fn rng_label(&self) -> &'static str {
+        "secoc-forgery"
+    }
+    fn execute(&self, ctx: &PostureCtx<'_>, rng: &mut SimRng) -> StepOutcome {
+        if !ctx.defended(ArchLayer::Network) {
+            // Plain CAN: any frame with the right id is accepted.
+            return StepOutcome {
+                succeeded: true,
+                prevented: false,
+                detected: false,
+                detail: "",
+            };
+        }
+        let cfg = SecOcConfig::default();
+        let mut rx = SecOcAuthenticator::new_receiver(cfg, [1u8; 16], 0x0B0);
+        // Attacker forges a PDU with a random MAC.
+        use rand::RngCore;
+        let mut mac = vec![0u8; 3];
+        rng.fill_bytes(&mut mac);
+        let forged = SecOcPdu {
+            data_id: 0x0B0,
+            payload: b"brake=off".to_vec(),
+            truncated_freshness: 1,
+            truncated_mac: mac,
+        };
+        let accepted = rx.verify(&forged).is_ok();
+        StepOutcome {
+            succeeded: accepted,
+            prevented: !accepted,
+            detected: !accepted,
+            detail: "SECOC MAC verification failed on forged PDU",
+        }
+    }
+}
+
+/// Step 5 (Platform): rogue software placement vs zero-trust SDV.
+pub struct RogueSoftwareStep;
+
+impl ScenarioStep for RogueSoftwareStep {
+    fn name(&self) -> &'static str {
+        "rogue-software-placement"
+    }
+    fn layer(&self) -> ArchLayer {
+        ArchLayer::SoftwarePlatform
+    }
+    fn rng_label(&self) -> &'static str {
+        "sdv"
+    }
+    fn execute(&self, ctx: &PostureCtx<'_>, rng: &mut SimRng) -> StepOutcome {
+        if !ctx.defended(ArchLayer::SoftwarePlatform) {
+            return StepOutcome {
+                succeeded: true,
+                prevented: false,
+                detected: false,
+                detail: "",
+            };
+        }
+        use autosec_sdv::component::{Asil, HardwareNode, SoftwareComponent};
+        use autosec_sdv::platform::SdvPlatform;
+        use autosec_sdv::SdvError;
+        let (mut platform, mut oem) = SdvPlatform::new(rng);
+        platform
+            .register_node(
+                rng,
+                HardwareNode {
+                    id: "hpc-0".into(),
+                    provides: vec!["can-if".into()],
+                    compute_capacity: 100,
+                    max_asil: Asil::D,
+                },
+                &mut oem,
+            )
+            .expect("node registration");
+        let mut rogue =
+            autosec_ssi::wallet::Wallet::create(rng, "rogue-vendor", platform.registry());
+        platform
+            .register_component(
+                rng,
+                SoftwareComponent {
+                    id: "implant".into(),
+                    vendor: "rogue".into(),
+                    version: (1, 0, 0),
+                    requires: vec!["can-if".into()],
+                    compute_cost: 1,
+                    asil: Asil::Qm,
+                },
+                &mut rogue,
+            )
+            .expect("registration itself is open");
+        let result = platform.place("implant", "hpc-0");
+        let prevented = matches!(result, Err(SdvError::AuthFailed(_)));
+        StepOutcome {
+            succeeded: !prevented,
+            prevented,
+            detected: prevented,
+            detail: "component credential has no trust path to an anchor",
+        }
+    }
+}
+
+/// Step 6 (Data): the CARIAD kill chain against the telemetry backend.
+pub struct TelemetryKillChainStep;
+
+impl ScenarioStep for TelemetryKillChainStep {
+    fn name(&self) -> &'static str {
+        "telemetry-kill-chain"
+    }
+    fn layer(&self) -> ArchLayer {
+        ArchLayer::Data
+    }
+    fn rng_label(&self) -> &'static str {
+        "killchain"
+    }
+    fn execute(&self, ctx: &PostureCtx<'_>, rng: &mut SimRng) -> StepOutcome {
+        let defenses = if ctx.defended(ArchLayer::Data) {
+            DefenseConfig::hardened()
+        } else {
+            DefenseConfig::none()
+        };
+        let backend = TelemetryBackend::build(500, defenses, rng);
+        let report = KillChainAttacker::new().execute(&backend, rng);
+        StepOutcome {
+            succeeded: report.records_exfiltrated > 0,
+            prevented: report.blocked_at.is_some(),
+            detected: report.detected_at.is_some(),
+            detail: "enumeration burst / bulk export anomaly",
+        }
+    }
+}
+
+/// Step 7 (Collaboration): internal ghost object vs misbehaviour
+/// detection.
+pub struct GhostObjectStep;
+
+impl ScenarioStep for GhostObjectStep {
+    fn name(&self) -> &'static str {
+        "v2x-ghost-object"
+    }
+    fn layer(&self) -> ArchLayer {
+        ArchLayer::Collaboration
+    }
+    fn rng_label(&self) -> &'static str {
+        "collab"
+    }
+    fn execute(&self, ctx: &PostureCtx<'_>, rng: &mut SimRng) -> StepOutcome {
+        let world = World::new(
+            vec![
+                Point { x: 0.0, y: 0.0 },
+                Point { x: 30.0, y: 0.0 },
+                Point { x: 0.0, y: 30.0 },
+                Point { x: 30.0, y: 30.0 },
+            ],
+            vec![Point { x: 15.0, y: 15.0 }],
+        );
+        let sensor = SensorModel {
+            miss_rate: 0.0,
+            noise_m: 0.3,
+            range_m: 60.0,
+        };
+        let key = b"campaign v2x key";
+        let attacker = InternalFabricator {
+            vehicle: VehicleId(0),
+            strategy: FabricationStrategy::GhostObject {
+                at: Point { x: 22.0, y: 8.0 },
+            },
+        };
+        let mut msgs = perception_round(&world, &sensor, key, 0, rng);
+        let honest = msgs[0].detections.clone();
+        msgs[0] = attacker.emit(&world, honest, key, 0, rng);
+        let detected = if ctx.defended(ArchLayer::Collaboration) {
+            let mut det = MisbehaviorDetector::new(MisbehaviorConfig::default());
+            let flags = det.process_round(&world, &sensor, key, &msgs);
+            flags.iter().any(|f| f.claimant == VehicleId(0))
+        } else {
+            false
+        };
+        StepOutcome {
+            succeeded: !detected,
+            prevented: false,
+            detected,
+            detail: "claim lacks corroboration from in-range witnesses",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::attack_catalog;
+
+    #[test]
+    fn registry_has_the_eight_campaign_steps() {
+        let steps = scenario_registry();
+        assert!(steps.len() >= 8, "{} steps", steps.len());
+        let mut names: Vec<&str> = steps.iter().map(|s| s.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), steps.len(), "duplicate step names");
+    }
+
+    #[test]
+    fn every_step_is_catalogued_on_its_layer() {
+        let catalog = attack_catalog();
+        for step in scenario_registry() {
+            let entry = catalog
+                .iter()
+                .find(|a| a.name == step.name())
+                .unwrap_or_else(|| panic!("{} not in attack_catalog()", step.name()));
+            assert_eq!(
+                entry.layer,
+                step.layer(),
+                "{} catalogued at {} but registered at {}",
+                step.name(),
+                entry.layer,
+                step.layer()
+            );
+        }
+    }
+
+    #[test]
+    fn steps_are_deterministic_per_substream() {
+        let posture = DefensePosture::full();
+        let ctx = PostureCtx { posture: &posture };
+        let root = SimRng::seed(7);
+        for step in scenario_registry() {
+            let a = step.execute(&ctx, &mut root.fork(step.rng_label()));
+            let b = step.execute(&ctx, &mut root.fork(step.rng_label()));
+            assert_eq!(a, b, "{} not deterministic", step.name());
+        }
+    }
+
+    #[test]
+    fn undefended_ctx_disables_every_layer() {
+        let posture = DefensePosture::none();
+        let ctx = PostureCtx { posture: &posture };
+        for layer in ArchLayer::ALL {
+            assert!(!ctx.defended(layer));
+        }
+    }
+}

@@ -8,28 +8,16 @@
 //! Coverage metrics per layer and for the fused view quantify the
 //! paper's synergy argument (experiment E13).
 
-use autosec_sim::{SimDuration, SimTime};
-
-/// The architectural layer an alert originated from (Fig. 1).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-pub enum Layer {
-    /// Physical / sensor layer.
-    Physical,
-    /// In-vehicle network layer.
-    Network,
-    /// Software & platform layer.
-    Platform,
-    /// Data layer.
-    Data,
-    /// System-of-systems / collaboration layer.
-    SystemOfSystems,
-}
+use autosec_sim::{ArchLayer, SimDuration, SimTime};
 
 /// A layer-tagged alert.
+///
+/// The tag is the workspace-wide [`ArchLayer`] — alerts from any
+/// subsystem correlate without an enum-to-enum mapping.
 #[derive(Debug, Clone, PartialEq)]
 pub struct LayerAlert {
     /// Originating layer.
-    pub layer: Layer,
+    pub layer: ArchLayer,
     /// Time of the alert.
     pub at: SimTime,
     /// Which attack campaign step it (correctly or not) points at.
@@ -46,7 +34,7 @@ pub struct Incident {
     /// Last alert time.
     pub ended: SimTime,
     /// Contributing layers (sorted, deduplicated).
-    pub layers: Vec<Layer>,
+    pub layers: Vec<ArchLayer>,
     /// Attack ids implicated.
     pub attack_ids: Vec<usize>,
     /// Number of alerts fused.
@@ -92,7 +80,7 @@ pub fn correlate(mut alerts: Vec<LayerAlert>, window: SimDuration) -> Vec<Incide
 
 /// Fraction of `n_attacks` campaign steps that at least one alert from
 /// `layer` pointed at.
-pub fn layer_coverage(alerts: &[LayerAlert], layer: Layer, n_attacks: usize) -> f64 {
+pub fn layer_coverage(alerts: &[LayerAlert], layer: ArchLayer, n_attacks: usize) -> f64 {
     if n_attacks == 0 {
         return 1.0;
     }
@@ -127,7 +115,7 @@ pub fn fused_coverage(alerts: &[LayerAlert], n_attacks: usize) -> f64 {
 mod tests {
     use super::*;
 
-    fn la(layer: Layer, ms: u64, attack: Option<usize>) -> LayerAlert {
+    fn la(layer: ArchLayer, ms: u64, attack: Option<usize>) -> LayerAlert {
         LayerAlert {
             layer,
             at: SimTime::from_ms(ms),
@@ -139,13 +127,16 @@ mod tests {
     #[test]
     fn temporal_clustering() {
         let alerts = vec![
-            la(Layer::Network, 10, Some(0)),
-            la(Layer::Physical, 15, Some(0)),
-            la(Layer::Data, 500, Some(1)),
+            la(ArchLayer::Network, 10, Some(0)),
+            la(ArchLayer::Physical, 15, Some(0)),
+            la(ArchLayer::Data, 500, Some(1)),
         ];
         let incidents = correlate(alerts, SimDuration::from_ms(50));
         assert_eq!(incidents.len(), 2);
-        assert_eq!(incidents[0].layers, vec![Layer::Physical, Layer::Network]);
+        assert_eq!(
+            incidents[0].layers,
+            vec![ArchLayer::Physical, ArchLayer::Network]
+        );
         assert_eq!(incidents[0].alert_count, 2);
         assert_eq!(incidents[1].attack_ids, vec![1]);
     }
@@ -153,9 +144,9 @@ mod tests {
     #[test]
     fn unsorted_input_is_handled() {
         let alerts = vec![
-            la(Layer::Data, 500, None),
-            la(Layer::Network, 10, None),
-            la(Layer::Physical, 15, None),
+            la(ArchLayer::Data, 500, None),
+            la(ArchLayer::Network, 10, None),
+            la(ArchLayer::Physical, 15, None),
         ];
         let incidents = correlate(alerts, SimDuration::from_ms(50));
         assert_eq!(incidents.len(), 2);
@@ -167,7 +158,7 @@ mod tests {
         // Each alert within `window` of the previous one keeps the
         // incident open — a slow-burn campaign fuses into one incident.
         let alerts: Vec<LayerAlert> = (0..10)
-            .map(|i| la(Layer::Network, i * 40, Some(0)))
+            .map(|i| la(ArchLayer::Network, i * 40, Some(0)))
             .collect();
         let incidents = correlate(alerts, SimDuration::from_ms(50));
         assert_eq!(incidents.len(), 1);
@@ -177,17 +168,17 @@ mod tests {
     #[test]
     fn coverage_metrics() {
         let alerts = vec![
-            la(Layer::Network, 1, Some(0)),
-            la(Layer::Network, 2, Some(1)),
-            la(Layer::Physical, 3, Some(2)),
-            la(Layer::Data, 4, None),
+            la(ArchLayer::Network, 1, Some(0)),
+            la(ArchLayer::Network, 2, Some(1)),
+            la(ArchLayer::Physical, 3, Some(2)),
+            la(ArchLayer::Data, 4, None),
         ];
-        assert_eq!(layer_coverage(&alerts, Layer::Network, 4), 0.5);
-        assert_eq!(layer_coverage(&alerts, Layer::Physical, 4), 0.25);
-        assert_eq!(layer_coverage(&alerts, Layer::Data, 4), 0.0);
+        assert_eq!(layer_coverage(&alerts, ArchLayer::Network, 4), 0.5);
+        assert_eq!(layer_coverage(&alerts, ArchLayer::Physical, 4), 0.25);
+        assert_eq!(layer_coverage(&alerts, ArchLayer::Data, 4), 0.0);
         assert_eq!(fused_coverage(&alerts, 4), 0.75);
         // Fused view strictly dominates each single layer here.
-        for l in [Layer::Network, Layer::Physical, Layer::Data] {
+        for l in [ArchLayer::Network, ArchLayer::Physical, ArchLayer::Data] {
             assert!(fused_coverage(&alerts, 4) >= layer_coverage(&alerts, l, 4));
         }
     }

@@ -98,6 +98,7 @@ impl RunManifest {
 #[derive(Debug, Clone)]
 pub struct ArtifactStore {
     dir: PathBuf,
+    canonical: bool,
 }
 
 impl ArtifactStore {
@@ -106,12 +107,30 @@ impl ArtifactStore {
         std::fs::create_dir_all(dir.as_ref())?;
         Ok(Self {
             dir: dir.as_ref().to_owned(),
+            canonical: false,
         })
+    }
+
+    /// Switches the store to canonical mode: every written value is
+    /// passed through [`strip_volatile`] first, so artifact trees from
+    /// different `--jobs` values (or machines) diff clean.
+    pub fn canonical(mut self) -> Self {
+        self.canonical = true;
+        self
     }
 
     /// The artifact directory.
     pub fn dir(&self) -> &Path {
         &self.dir
+    }
+
+    fn render(&self, v: &Value) -> String {
+        let v = if self.canonical {
+            strip_volatile(v)
+        } else {
+            v.clone()
+        };
+        serde_json::to_string_pretty(&v).expect("value serialization is infallible")
     }
 
     /// Writes `<slug>.json` for one record; returns the path.
@@ -122,9 +141,7 @@ impl ArtifactStore {
         jobs: usize,
     ) -> io::Result<PathBuf> {
         let path = self.dir.join(format!("{}.json", record.slug));
-        let body = serde_json::to_string_pretty(&record.to_json(seed, jobs))
-            .expect("value serialization is infallible");
-        std::fs::write(&path, body)?;
+        std::fs::write(&path, self.render(&record.to_json(seed, jobs)))?;
         Ok(path)
     }
 
@@ -135,9 +152,7 @@ impl ArtifactStore {
             self.write_record(record, manifest.seed, manifest.jobs)?;
         }
         let path = self.dir.join("manifest.json");
-        let body = serde_json::to_string_pretty(&manifest.to_json())
-            .expect("value serialization is infallible");
-        std::fs::write(&path, body)?;
+        std::fs::write(&path, self.render(&manifest.to_json()))?;
         Ok(path)
     }
 }
@@ -154,6 +169,25 @@ pub fn strip_durations(v: &Value) -> Value {
                 .collect(),
         ),
         Value::Array(items) => Value::Array(items.iter().map(strip_durations).collect()),
+        other => other.clone(),
+    }
+}
+
+/// Removes everything run-environment-specific (`duration_ms`,
+/// `total_duration_ms`, **and** `jobs`) from an artifact or manifest
+/// value, recursively. Two canonicalized runs with the same seed must
+/// be byte-identical even when produced with *different* `--jobs`
+/// values — the cross-jobs artifact diff CI runs.
+pub fn strip_volatile(v: &Value) -> Value {
+    const VOLATILE: [&str; 3] = ["duration_ms", "total_duration_ms", "jobs"];
+    match v {
+        Value::Object(map) => Value::Object(
+            map.iter()
+                .filter(|(k, _)| !VOLATILE.contains(&k.as_str()))
+                .map(|(k, val)| (k.clone(), strip_volatile(val)))
+                .collect(),
+        ),
+        Value::Array(items) => Value::Array(items.iter().map(strip_volatile).collect()),
         other => other.clone(),
     }
 }
@@ -190,6 +224,40 @@ mod tests {
         let b = strip_durations(&record(5000).to_json(7, 1));
         assert_eq!(a.to_string(), b.to_string());
         assert!(!a.to_string().contains("duration"));
+    }
+
+    #[test]
+    fn strip_volatile_also_drops_jobs() {
+        let a = strip_volatile(&record(5).to_json(7, 1));
+        let b = strip_volatile(&record(5000).to_json(7, 4));
+        assert_eq!(a.to_string(), b.to_string());
+        assert!(!a.to_string().contains("jobs"));
+        assert!(!a.to_string().contains("duration"));
+        // Everything else survives.
+        assert_eq!(a["seed"].as_u64(), Some(7));
+        assert_eq!(a["slug"].as_str(), Some("e9-demo"));
+    }
+
+    #[test]
+    fn canonical_store_writes_jobs_invariant_artifacts() {
+        let read = |jobs: usize| {
+            let dir = std::env::temp_dir().join(format!("autosec-runner-canon-{jobs}"));
+            let _ = std::fs::remove_dir_all(&dir);
+            let store = ArtifactStore::create(&dir).expect("create dir").canonical();
+            let m = RunManifest {
+                seed: 9,
+                jobs,
+                filter: None,
+                records: vec![record(jobs as u64 * 11)],
+            };
+            let path = store.write_run(&m).expect("write");
+            let manifest = std::fs::read_to_string(path).expect("read manifest");
+            let rec =
+                std::fs::read_to_string(store.dir().join("e9-demo.json")).expect("read record");
+            let _ = std::fs::remove_dir_all(&dir);
+            (manifest, rec)
+        };
+        assert_eq!(read(1), read(4));
     }
 
     #[test]

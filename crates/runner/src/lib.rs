@@ -34,7 +34,7 @@ pub mod registry;
 pub mod table;
 
 pub use artifact::DEFAULT_ARTIFACT_DIR;
-pub use artifact::{strip_durations, ArtifactStore, ExperimentRecord, RunManifest};
+pub use artifact::{strip_durations, strip_volatile, ArtifactStore, ExperimentRecord, RunManifest};
 pub use ctx::{RunCtx, DEFAULT_SEED};
 pub use par::{par_trials, par_trials_fold};
 pub use pool::WorkStealingPool;

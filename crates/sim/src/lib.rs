@@ -22,6 +22,7 @@
 //! assert_eq!(t, SimTime::from_us(1));
 //! ```
 
+pub mod layer;
 pub mod metrics;
 pub mod rng;
 pub mod scheduler;
@@ -29,6 +30,7 @@ pub mod stats;
 pub mod time;
 pub mod trace;
 
+pub use layer::ArchLayer;
 pub use metrics::{Counter, Histogram, MetricSet, TimeSeries};
 pub use rng::SimRng;
 pub use scheduler::Scheduler;

@@ -102,3 +102,67 @@ fn prevention_happens_at_the_right_layers() {
         .expect("step exists");
     assert!(forgery.prevented);
 }
+
+#[test]
+fn scenario_registry_is_consistent_with_the_catalog() {
+    // Every registered step must be a catalogued attack on the same
+    // layer — the registry is the executable half of the paper-as-code
+    // catalog, and the two must not drift apart.
+    use autosec::core::scenario::scenario_registry;
+    let catalog = attack_catalog();
+    let steps = scenario_registry();
+    assert!(steps.len() >= 8, "campaign shrank to {} steps", steps.len());
+    for step in &steps {
+        let entry = catalog
+            .iter()
+            .find(|a| a.name == step.name())
+            .unwrap_or_else(|| panic!("{} missing from attack_catalog()", step.name()));
+        assert_eq!(entry.layer, step.layer(), "{} layer mismatch", step.name());
+    }
+}
+
+#[test]
+fn enabling_a_layer_never_helps_its_own_attacks() {
+    // Posture monotonicity: at a fixed seed, switching on one layer's
+    // defenses must never increase the success count of that layer's
+    // attacks — whether starting from nothing or from everything else.
+    let layer_successes = |posture: &DefensePosture, seed: u64, layer: ArchLayer| {
+        run_campaign(posture, seed)
+            .steps
+            .iter()
+            .filter(|s| s.layer == layer && s.succeeded)
+            .count()
+    };
+    for seed in [1, 2, 7, 42, 99] {
+        for layer in ArchLayer::ALL {
+            let from_none = layer_successes(&DefensePosture::none(), seed, layer);
+            let only_this = layer_successes(&DefensePosture::only(layer), seed, layer);
+            assert!(
+                only_this <= from_none,
+                "seed {seed}: defending {layer} raised its attacks {from_none} -> {only_this}"
+            );
+            let mut rest = DefensePosture::full();
+            rest.set(layer, false);
+            let from_rest = layer_successes(&rest, seed, layer);
+            let full = layer_successes(&DefensePosture::full(), seed, layer);
+            assert!(
+                full <= from_rest,
+                "seed {seed}: adding {layer} to the stack raised its attacks {from_rest} -> {full}"
+            );
+        }
+    }
+}
+
+#[test]
+fn posture_fan_out_is_programmatic() {
+    // Every layer — including system-of-systems — is addressable by
+    // name-free enumeration; no field-by-field posture construction.
+    let mut p = DefensePosture::none();
+    for layer in ArchLayer::ALL {
+        assert!(!p.enabled(layer));
+        p.set(layer, true);
+        assert!(p.enabled(layer));
+    }
+    assert_eq!(p, DefensePosture::full());
+    assert_eq!(p.enabled_count(), ArchLayer::ALL.len());
+}
