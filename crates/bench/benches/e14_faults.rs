@@ -1,0 +1,41 @@
+//! E14/E15: fault-injection and recovery-engine cost.
+
+use autosec_faults::{FaultPlan, RecoveryEngine};
+use autosec_sim::{ArchLayer, FaultEffect, SimRng};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e14_faults");
+    g.sample_size(20); // adapters run real subsystem models
+
+    g.bench_function("inject_bus_drop", |b| {
+        b.iter(|| {
+            let mut rng = SimRng::seed(1).fork("bench-bus");
+            autosec_faults::target_for(ArchLayer::Network).apply(
+                &[FaultEffect::DropFrames { p: 0.4 }],
+                true,
+                &mut rng,
+            )
+        })
+    });
+    g.bench_function("inject_perception_ghosts", |b| {
+        b.iter(|| {
+            let mut rng = SimRng::seed(1).fork("bench-ghosts");
+            autosec_faults::target_for(ArchLayer::Collaboration).apply(
+                &[FaultEffect::FabricateDetections { count: 5 }],
+                true,
+                &mut rng,
+            )
+        })
+    });
+    g.bench_function("recovery_standard_plan", |b| {
+        let base = SimRng::seed(42).fork("bench-recovery");
+        let plan = FaultPlan::standard(&base);
+        let engine = RecoveryEngine::new(true);
+        b.iter(|| engine.run(&plan, &base))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

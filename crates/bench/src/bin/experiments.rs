@@ -11,7 +11,8 @@
 //!
 //! Filters match an experiment's group id (`E10`) or slug
 //! (`e10-cascade`) **exactly**, case-insensitively — `E1` never drags
-//! in E10–E13. With `--json`, per-experiment artifacts plus a
+//! in E10–E13 — and a `tag:` prefix (`tag:parallel`) selects by
+//! registry tag instead. With `--json`, per-experiment artifacts plus a
 //! `manifest.json` land in `target/experiments/` (override with
 //! `--out DIR`). Tables are bit-identical for any `--jobs` value.
 
@@ -36,7 +37,8 @@ fn usage() -> ! {
         "usage: experiments [FILTER] [--filter F] [--seed N] [--jobs N] [--json] [--canonical] [--out DIR] [--list]
 
   FILTER        group id (e.g. E10) or slug (e.g. e10-cascade); exact,
-                case-insensitive match
+                case-insensitive match. tag:<tag> (e.g. tag:parallel)
+                selects every experiment carrying that tag
   --seed N      master seed (default 42); every table is a pure function
                 of it
   --jobs N      worker threads (default 1); output is identical for any N
@@ -106,13 +108,17 @@ fn main() -> ExitCode {
     let reg = registry();
 
     if args.list {
-        println!("{:<22} {:<6} {:<9} title", "slug", "id", "cost");
+        println!(
+            "{:<22} {:<6} {:<9} {:<34} title",
+            "slug", "id", "cost", "tags"
+        );
         for e in reg.iter() {
             println!(
-                "{:<22} {:<6} {:<9} {}",
+                "{:<22} {:<6} {:<9} {:<34} {}",
                 e.slug,
                 e.id,
                 e.cost.to_string(),
+                e.tags.join(","),
                 e.title
             );
         }

@@ -1,0 +1,246 @@
+//! E14 / E15: resilience experiments — fault sweeps and self-healing
+//! recovery (the dependability counterpart to the attack campaign).
+//!
+//! E14 sweeps each parameterized fault family over an intensity grid
+//! and measures the layer adapter's residual health and detection rate;
+//! the zero-intensity column doubles as a live no-op check. E15 runs
+//! the [`FaultPlan::standard`] cross-layer plan through the
+//! [`RecoveryEngine`]'s detect → isolate → reconfigure → verify loop
+//! and reports MTTR and availability, plus the attack campaign replayed
+//! under the same fault load.
+
+use autosec_core::campaign::{run_campaign, run_campaign_faulted, DefensePosture};
+use autosec_faults::{FaultPlan, RecoveryEngine};
+use autosec_runner::{par_trials, RunCtx};
+use autosec_sim::{FaultEffect, SimDuration};
+
+use crate::Table;
+
+/// Monte-Carlo trials per (family, intensity) point and per recovery
+/// posture. Moderate on purpose: the collaboration adapter signs real
+/// V2X messages per trial.
+pub const TRIALS: usize = 40;
+
+/// A fault family: stable name plus the intensity → effect mapping.
+pub type SweepFamily = (&'static str, fn(f64) -> FaultEffect);
+
+/// The continuously parameterized fault families swept by E14.
+///
+/// Intensity 0.0 must map every family to a no-op effect — that row is
+/// the sweep's built-in control. The discrete platform faults
+/// (crash/restart/rollback) have no intensity axis and are exercised by
+/// E15's standard plan instead.
+pub fn sweep_families() -> Vec<SweepFamily> {
+    vec![
+        ("frame-drop", |x| FaultEffect::DropFrames { p: x }),
+        ("frame-delay", |x| FaultEffect::DelayFrames {
+            p: x,
+            delay: SimDuration::from_ms(5),
+        }),
+        ("sensor-dropout", |x| FaultEffect::SensorDropout { p: x }),
+        ("energy-burst", |x| FaultEffect::EnergyBurst {
+            power: x * 6.0,
+        }),
+        ("fabricated-detections", |x| {
+            FaultEffect::FabricateDetections {
+                count: (x * 10.0).round() as usize,
+            }
+        }),
+        ("clock-skew", |x| FaultEffect::ClockSkew {
+            skew_ns: x * 4_000.0,
+        }),
+        ("link-failure", |x| FaultEffect::FailLinks { p: x }),
+    ]
+}
+
+/// Mean health and detection rate for one fault at one intensity.
+///
+/// Trials fan out over [`par_trials`] on `fork_idx` substreams of
+/// `stream` — bit-identical for every `jobs` value.
+fn sweep_point(effect: FaultEffect, stream: &autosec_sim::SimRng, jobs: usize) -> (f64, f64) {
+    let layer = effect.layer();
+    let outcomes = par_trials(jobs, TRIALS, stream, move |_, mut rng| {
+        let rec = autosec_faults::target_for(layer).apply(&[effect], true, &mut rng);
+        (rec.health, rec.detected)
+    });
+    let health: f64 = outcomes.iter().map(|o| o.0).sum::<f64>() / TRIALS as f64;
+    let detected = outcomes.iter().filter(|o| o.1).count() as f64 / TRIALS as f64;
+    (health, detected)
+}
+
+/// E14 table: residual health and detection rate per fault family and
+/// intensity — the resilience curves behind the paper's graceful-
+/// degradation argument.
+pub fn e14_fault_sweep_table(ctx: &RunCtx) -> Table {
+    let mut t = Table::new(
+        "E14",
+        "§VIII — fault-sweep resilience curves per layer adapter",
+        &["fault", "layer", "intensity", "mean health", "detected"],
+    );
+    let base = ctx.rng("e14-fault-sweep");
+    for (family, make) in sweep_families() {
+        for intensity in [0.0, 0.1, 0.25, 0.5] {
+            let effect = make(intensity);
+            let stream = base.fork(&format!("{family}/{intensity:.2}"));
+            let (health, detected) = sweep_point(effect, &stream, ctx.jobs);
+            t.push_row(vec![
+                family.to_owned(),
+                effect.layer().to_string(),
+                format!("{intensity:.2}"),
+                format!("{:.1}%", health * 100.0),
+                format!("{:.1}%", detected * 100.0),
+            ]);
+        }
+    }
+    t
+}
+
+/// Aggregated recovery statistics for one posture.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RecoveryPoint {
+    /// Fraction of injected faults detected.
+    pub detected: f64,
+    /// Fraction repaired and verified inside the horizon.
+    pub recovered: f64,
+    /// Mean time to recovery in ms (over recovered incidents).
+    pub mttr_ms: f64,
+    /// Time-averaged composite service health.
+    pub availability: f64,
+}
+
+/// Runs [`TRIALS`] independent standard plans through the recovery
+/// engine and averages the report metrics.
+pub fn recovery_sweep(defended: bool, base: &autosec_sim::SimRng, jobs: usize) -> RecoveryPoint {
+    let reports = par_trials(jobs, TRIALS, base, move |_, rng| {
+        let plan = FaultPlan::standard(&rng.fork("plan"));
+        let r = RecoveryEngine::new(defended).run(&plan, &rng.fork("run"));
+        (
+            r.detected() as f64 / plan.len() as f64,
+            r.recovered() as f64 / plan.len() as f64,
+            r.mttr_ms(),
+            r.availability(),
+        )
+    });
+    let n = TRIALS as f64;
+    let mean = |f: fn(&(f64, f64, f64, f64)) -> f64| reports.iter().map(f).sum::<f64>() / n;
+    RecoveryPoint {
+        detected: mean(|r| r.0),
+        recovered: mean(|r| r.1),
+        mttr_ms: mean(|r| r.2),
+        availability: mean(|r| r.3),
+    }
+}
+
+/// E15 table: recovery and MTTR under combined attack + fault load.
+///
+/// The recovery columns average [`TRIALS`] standard plans per posture;
+/// the campaign columns replay the eight-step attack campaign with and
+/// without the fault plan active, showing how faults mask or amplify
+/// attack outcomes.
+pub fn e15_recovery_table(ctx: &RunCtx) -> Table {
+    let mut t = Table::new(
+        "E15",
+        "§VIII — self-healing recovery and MTTR under attack + fault load",
+        &[
+            "posture",
+            "detected",
+            "recovered",
+            "MTTR",
+            "availability",
+            "campaign wins clean",
+            "campaign wins faulted",
+        ],
+    );
+    let base = ctx.rng("e15-recovery");
+    let campaign_plan = FaultPlan::standard(&base.fork("campaign-plan"));
+    for (label, posture, defended) in [
+        ("none", DefensePosture::none(), false),
+        ("full", DefensePosture::full(), true),
+    ] {
+        let point = recovery_sweep(defended, &base.fork(label), ctx.jobs);
+        let clean = run_campaign(&posture, ctx.seed);
+        let faulted = run_campaign_faulted(&posture, ctx.seed, campaign_plan.campaign_faults());
+        t.push_row(vec![
+            label.to_owned(),
+            format!("{:.1}%", point.detected * 100.0),
+            format!("{:.1}%", point.recovered * 100.0),
+            format!("{:.1} ms", point.mttr_ms),
+            format!("{:.1}%", point.availability * 100.0),
+            format!("{}/{}", clean.succeeded_attacks(), clean.total_attacks()),
+            format!(
+                "{}/{}",
+                faulted.succeeded_attacks(),
+                faulted.total_attacks()
+            ),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autosec_sim::SimRng;
+
+    #[test]
+    fn e14_zero_intensity_rows_are_clean() {
+        let t = e14_fault_sweep_table(&RunCtx::default());
+        assert_eq!(t.rows.len(), sweep_families().len() * 4);
+        for row in t.rows.iter().filter(|r| r[2] == "0.00") {
+            assert_eq!(row[3], "100.0%", "{row:?}");
+            assert_eq!(row[4], "0.0%", "{row:?}");
+        }
+    }
+
+    #[test]
+    fn e14_health_degrades_with_intensity() {
+        let t = e14_fault_sweep_table(&RunCtx::default());
+        let health =
+            |row: &[String]| -> f64 { row[3].trim_end_matches('%').parse().expect("number") };
+        for family in ["frame-drop", "sensor-dropout", "link-failure"] {
+            let rows: Vec<_> = t.rows.iter().filter(|r| r[0] == family).collect();
+            assert!(
+                health(rows[0]) > health(rows[3]),
+                "{family}: {} !> {}",
+                health(rows[0]),
+                health(rows[3])
+            );
+        }
+    }
+
+    #[test]
+    fn e15_defended_beats_undefended() {
+        let base = SimRng::seed(3).fork("e15-test");
+        let none = recovery_sweep(false, &base, 1);
+        let full = recovery_sweep(true, &base, 1);
+        assert_eq!(none.detected, 0.0);
+        assert_eq!(none.recovered, 0.0);
+        assert!(full.detected > 0.8, "{full:?}");
+        assert!(
+            full.availability > none.availability,
+            "{full:?} vs {none:?}"
+        );
+    }
+
+    #[test]
+    fn e15_table_renders_both_postures() {
+        let t = e15_recovery_table(&RunCtx::default());
+        assert_eq!(t.rows.len(), 2);
+        assert_eq!(t.rows[0][0], "none");
+        assert_eq!(t.rows[1][0], "full");
+    }
+
+    #[test]
+    fn tables_are_jobs_invariant() {
+        let serial = RunCtx::new(42, 1);
+        let par = RunCtx::new(42, 4);
+        assert_eq!(
+            e14_fault_sweep_table(&serial).to_json(),
+            e14_fault_sweep_table(&par).to_json()
+        );
+        assert_eq!(
+            e15_recovery_table(&serial).to_json(),
+            e15_recovery_table(&par).to_json()
+        );
+    }
+}

@@ -1,26 +1,47 @@
 //! E1 / E13: the layered framework — defense-in-depth curve and the
 //! multi-layer synergy table (Fig. 1 and §VIII).
 
-use autosec_core::assessment::{depth_sweep, score};
+use autosec_core::assessment::score;
 use autosec_core::campaign::{run_campaign, DefensePosture};
 use autosec_core::layers::ArchLayer;
 use autosec_runner::{par_trials, RunCtx};
 
 use crate::Table;
 
+/// Campaign seed of the depth sweep — pinned (not `ctx.seed`) so the
+/// published curve matches `core::assessment::depth_sweep(2025)`.
+const DEPTH_SWEEP_SEED: u64 = 2025;
+
 /// E1 table: the defense-in-depth curve.
-pub fn e1_depth_sweep() -> Table {
+///
+/// One campaign per depth (none, then layers enabled bottom-up). The
+/// campaigns are independent, so they fan out over [`par_trials`];
+/// each replays the same pinned seed, so rows match the historical
+/// serial output for every `ctx.jobs`.
+pub fn e1_depth_sweep(ctx: &RunCtx) -> Table {
     let mut t = Table::new(
         "E1",
         "Fig. 1 — defense-in-depth: campaign outcomes vs defended layers",
         &["defended layers", "attack success", "detection"],
     );
-    for p in depth_sweep(2025) {
-        t.push_row(vec![
-            p.defended_layers.to_string(),
-            format!("{:.0}%", p.attack_success_rate * 100.0),
-            format!("{:.0}%", p.detection_rate * 100.0),
-        ]);
+    let mut postures = vec![DefensePosture::none()];
+    let mut p = DefensePosture::none();
+    for layer in ArchLayer::ALL {
+        p.set(layer, true);
+        postures.push(p);
+    }
+    let base = ctx.rng("e1-depth-sweep");
+    let rows = par_trials(ctx.jobs, postures.len(), &base, |i, _rng| {
+        let r = run_campaign(&postures[i], DEPTH_SWEEP_SEED);
+        let s = score(&r);
+        vec![
+            postures[i].enabled_count().to_string(),
+            format!("{:.0}%", s.attack_success_rate * 100.0),
+            format!("{:.0}%", s.detection_rate * 100.0),
+        ]
+    });
+    for row in rows {
+        t.push_row(row);
     }
     t
 }
@@ -109,7 +130,22 @@ mod tests {
 
     #[test]
     fn depth_table_has_a_row_per_depth() {
-        assert_eq!(e1_depth_sweep().rows.len(), ArchLayer::ALL.len() + 1);
+        assert_eq!(
+            e1_depth_sweep(&RunCtx::default()).rows.len(),
+            ArchLayer::ALL.len() + 1
+        );
+    }
+
+    #[test]
+    fn depth_table_matches_core_sweep() {
+        // The parallel table must reproduce the serial core sweep.
+        let t = e1_depth_sweep(&RunCtx::new(42, 4));
+        let core = autosec_core::assessment::depth_sweep(super::DEPTH_SWEEP_SEED);
+        assert_eq!(t.rows.len(), core.len());
+        for (row, p) in t.rows.iter().zip(core.iter()) {
+            assert_eq!(row[0], p.defended_layers.to_string());
+            assert_eq!(row[1], format!("{:.0}%", p.attack_success_rate * 100.0));
+        }
     }
 
     #[test]

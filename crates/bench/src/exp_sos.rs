@@ -1,6 +1,6 @@
 //! E10: system-of-systems cascade risk and real-time DoS (Fig. 9, §VI).
 
-use autosec_runner::{par_trials_fold, RunCtx};
+use autosec_runner::{par_trials, par_trials_fold, RunCtx};
 use autosec_sim::SimRng;
 use autosec_sos::cascade::{cascade_trial, simulate, with_coupling_scale, CascadeAccumulator};
 use autosec_sos::model::SystemLevel;
@@ -94,7 +94,11 @@ pub fn e10_structure_table() -> Table {
 }
 
 /// E10 companion: real-time deadline misses under DoS flooding.
-pub fn e10_realtime_table() -> Table {
+///
+/// Each flood level's 5000 messages fan out over [`par_trials`] on a
+/// level-specific substream — message `i` always draws from
+/// `fork_idx(i)`, so the miss rates are identical for any `ctx.jobs`.
+pub fn e10_realtime_table(ctx: &RunCtx) -> Table {
     let mut t = Table::new(
         "E10",
         "§VI-B — real-time stream under DoS flood",
@@ -106,9 +110,17 @@ pub fn e10_realtime_table() -> Table {
         ],
     );
     let link = RealtimeLink::control_stream();
+    let base = ctx.rng("e10-realtime");
     for attack in [0.0, 300.0, 600.0, 800.0, 880.0, 950.0] {
-        let mut rng = SimRng::seed(2020);
-        let miss = link.deadline_miss_rate(attack, 5000, &mut rng);
+        let stream = base.fork(&format!("flood-{attack:.0}"));
+        let msgs = 5000;
+        let missed = par_trials(ctx.jobs, msgs, &stream, |_, mut rng| {
+            link.message_misses_deadline(attack, &mut rng)
+        })
+        .into_iter()
+        .filter(|&m| m)
+        .count();
+        let miss = missed as f64 / msgs as f64;
         let wait = link.expected_wait_ms(attack);
         t.push_row(vec![
             format!("{attack:.0}"),
@@ -164,7 +176,7 @@ mod tests {
 
     #[test]
     fn realtime_misses_increase() {
-        let t = e10_realtime_table();
+        let t = e10_realtime_table(&RunCtx::default());
         let first: f64 = t.rows[0][3].trim_end_matches('%').parse().expect("number");
         let last: f64 = t.rows[5][3].trim_end_matches('%').parse().expect("number");
         assert!(first < 1.0);

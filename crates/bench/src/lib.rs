@@ -18,6 +18,7 @@ pub use autosec_runner::{
 pub mod exp_ablations;
 pub mod exp_collab;
 pub mod exp_data;
+pub mod exp_faults;
 pub mod exp_ids;
 pub mod exp_ivn;
 pub mod exp_phy;
@@ -40,9 +41,9 @@ pub fn registry() -> Registry {
         "E1",
         "e1-depth-sweep",
         "Fig. 1 — defense-in-depth curve",
-        &["framework", "campaign"],
+        &["framework", "campaign", "parallel"],
         Moderate,
-        |_| exp_ids::e1_depth_sweep(),
+        exp_ids::e1_depth_sweep,
     );
     reg(
         "E2",
@@ -136,9 +137,9 @@ pub fn registry() -> Registry {
         "E9",
         "e9-killchain",
         "§VI — data-driven kill chain",
-        &["data"],
+        &["data", "parallel"],
         Moderate,
-        |_| exp_data::e9_killchain_table(),
+        exp_data::e9_killchain_table,
     );
     reg(
         "E9",
@@ -168,9 +169,9 @@ pub fn registry() -> Registry {
         "E10",
         "e10-realtime",
         "§VI-B — real-time stream under DoS",
-        &["sos", "realtime"],
+        &["sos", "realtime", "parallel"],
         Moderate,
-        |_| exp_sos::e10_realtime_table(),
+        exp_sos::e10_realtime_table,
     );
     reg(
         "E11",
@@ -203,6 +204,22 @@ pub fn registry() -> Registry {
         &["ids", "campaign", "parallel"],
         Heavy,
         exp_ids::e13_synergy_table,
+    );
+    reg(
+        "E14",
+        "e14-fault-sweep",
+        "§VIII — fault-sweep resilience curves",
+        &["faults", "resilience", "parallel"],
+        Heavy,
+        exp_faults::e14_fault_sweep_table,
+    );
+    reg(
+        "E15",
+        "e15-recovery",
+        "§VIII — self-healing recovery and MTTR",
+        &["faults", "recovery", "campaign", "parallel"],
+        Heavy,
+        exp_faults::e15_recovery_table,
     );
     reg(
         "A1",
@@ -261,11 +278,11 @@ mod tests {
     #[test]
     fn registry_covers_all_groups() {
         let r = registry();
-        assert_eq!(r.len(), 26);
+        assert_eq!(r.len(), 28);
         let ids = r.group_ids();
         for want in [
             "E1", "E2", "E2b", "E3", "E4", "E5-E7", "E8", "E8b", "E9", "E10", "E11", "E12", "E13",
-            "A1", "A2", "A3", "A4", "A5",
+            "E14", "E15", "A1", "A2", "A3", "A4", "A5",
         ] {
             assert!(ids.contains(&want), "missing group {want}");
         }

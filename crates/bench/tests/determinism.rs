@@ -75,14 +75,20 @@ fn fork_idx_streams_partition_the_trial_space() {
     }
 }
 
-/// Every experiment migrated onto `par_trials` in the scenario-engine
-/// refactor: E2 HRP sweep, E2b enlargement, E3 zonal, E8
-/// reconfiguration, and the A1/A5 ablations.
+/// Every experiment migrated onto `par_trials`: E2 HRP sweep, E2b
+/// enlargement, E3 zonal, E8 reconfiguration, the A1/A5 ablations
+/// (scenario-engine refactor), plus E1 depth sweep, E9 kill chain, E10
+/// realtime and the E14/E15 resilience suite (fault-injection PR).
 const MIGRATED: &[&str] = &[
+    "e1-depth-sweep",
     "e2-hrp-attacks",
     "e2b-enlargement",
     "e3-zonal-latency",
     "e8-reconfiguration",
+    "e9-killchain",
+    "e10-realtime",
+    "e14-fault-sweep",
+    "e15-recovery",
     "a1-hrp-threshold",
     "a5-vrange",
 ];

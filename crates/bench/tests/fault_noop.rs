@@ -1,0 +1,80 @@
+//! The fault-free no-op guarantee, end to end: an empty (or
+//! zero-intensity) fault plan must leave every consumer bit-identical
+//! to a run with no fault machinery at all. This is the property that
+//! makes E14's intensity-0 rows and the PR's "faults ride along without
+//! perturbing baselines" claim trustworthy.
+
+use autosec_bench::exp_faults::sweep_families;
+use autosec_core::campaign::{run_campaign, run_campaign_faulted, DefensePosture};
+use autosec_faults::{target_for, FaultPlan, RecoveryEngine};
+use autosec_sim::{ArchLayer, InjectionRecord, SimRng};
+use rand::RngCore;
+
+/// Seeds the property is checked across (≥3 per the acceptance bar).
+const SEEDS: &[u64] = &[7, 42, 101];
+
+#[test]
+fn empty_plan_campaign_matches_baseline_bit_for_bit() {
+    for &seed in SEEDS {
+        for posture in [DefensePosture::none(), DefensePosture::full()] {
+            let plain = run_campaign(&posture, seed);
+            let plan = FaultPlan::empty();
+            let faulted = run_campaign_faulted(&posture, seed, plan.campaign_faults());
+            assert_eq!(plain.steps, faulted.steps, "seed {seed}");
+            assert_eq!(plain.alerts, faulted.alerts, "seed {seed}");
+        }
+    }
+}
+
+#[test]
+fn zero_intensity_effects_apply_clean_without_consuming_rng() {
+    for &seed in SEEDS {
+        for (family, make) in sweep_families() {
+            let effect = make(0.0);
+            let layer = effect.layer();
+            let mut target = target_for(layer);
+            let base = SimRng::seed(seed).fork(family);
+            let mut rng = base.fork("apply");
+            let rec = target.apply(&[effect], true, &mut rng);
+            assert_eq!(
+                rec,
+                InjectionRecord::clean(layer, target.name()),
+                "{family} at intensity 0 (seed {seed})"
+            );
+            // The stream must be untouched: the next draw equals the
+            // first draw of a fresh fork.
+            assert_eq!(
+                rng.next_u64(),
+                base.fork("apply").next_u64(),
+                "{family} consumed randomness on a no-op (seed {seed})"
+            );
+        }
+    }
+}
+
+#[test]
+fn no_effects_at_all_apply_clean_on_every_layer() {
+    for &seed in SEEDS {
+        for layer in ArchLayer::ALL {
+            let mut target = target_for(layer);
+            let base = SimRng::seed(seed).fork("bare");
+            let mut rng = base.fork("apply");
+            let rec = target.apply(&[], true, &mut rng);
+            assert_eq!(rec, InjectionRecord::clean(layer, target.name()));
+            assert_eq!(rng.next_u64(), base.fork("apply").next_u64());
+        }
+    }
+}
+
+#[test]
+fn recovery_engine_on_empty_plan_is_perfectly_healthy() {
+    for &seed in SEEDS {
+        for defended in [false, true] {
+            let base = SimRng::seed(seed);
+            let report = RecoveryEngine::new(defended).run(&FaultPlan::empty(), &base);
+            assert!(report.incidents.is_empty(), "seed {seed}");
+            assert_eq!(report.availability(), 1.0, "seed {seed}");
+            assert_eq!(report.mttr_ms(), 0.0, "seed {seed}");
+        }
+    }
+}

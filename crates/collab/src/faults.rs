@@ -1,0 +1,176 @@
+//! Collaboration-layer fault-injection adapter for `autosec-faults`.
+//!
+//! [`PerceptionFaultTarget`] runs collaborative-perception rounds over a
+//! fixed four-vehicle world while one compromised (but credentialed)
+//! vehicle pads its detection list with fabricated ghosts. Health is
+//! the fraction of fused objects that are corroborated by at least two
+//! vehicles; a defended fleet runs the redundancy-based
+//! [`MisbehaviorDetector`] and reports whether the fabricating claimant
+//! was flagged.
+
+use autosec_sim::inject::{FaultEffect, FaultTarget, InjectionRecord};
+use autosec_sim::{ArchLayer, SimRng};
+
+use crate::misbehavior::{MisbehaviorConfig, MisbehaviorDetector};
+use crate::perception::{fuse, perception_round, sign_message};
+use crate::world::{Detection, Point, SensorModel, World};
+
+const GROUP_KEY: &[u8] = b"fault-injection group key";
+
+/// Collaborative perception under fabricated-detection faults.
+#[derive(Debug, Clone)]
+pub struct PerceptionFaultTarget {
+    /// Perception rounds per injection round.
+    pub rounds: usize,
+    /// Fusion / corroboration clustering radius.
+    pub fuse_radius_m: f64,
+}
+
+impl Default for PerceptionFaultTarget {
+    fn default() -> Self {
+        Self {
+            rounds: 4,
+            fuse_radius_m: 3.0,
+        }
+    }
+}
+
+fn fixed_world() -> World {
+    World::new(
+        vec![
+            Point { x: 0.0, y: 0.0 },
+            Point { x: 30.0, y: 0.0 },
+            Point { x: 0.0, y: 30.0 },
+            Point { x: 30.0, y: 30.0 },
+        ],
+        vec![
+            Point { x: 10.0, y: 10.0 },
+            Point { x: 20.0, y: 20.0 },
+            Point { x: 15.0, y: 5.0 },
+        ],
+    )
+}
+
+impl FaultTarget for PerceptionFaultTarget {
+    fn layer(&self) -> ArchLayer {
+        ArchLayer::Collaboration
+    }
+
+    fn name(&self) -> &'static str {
+        "collab-perception"
+    }
+
+    fn apply(
+        &mut self,
+        effects: &[FaultEffect],
+        defended: bool,
+        rng: &mut SimRng,
+    ) -> InjectionRecord {
+        let ghosts: usize = effects
+            .iter()
+            .map(|e| match *e {
+                FaultEffect::FabricateDetections { count } => count,
+                _ => 0,
+            })
+            .sum();
+        if ghosts == 0 {
+            return InjectionRecord::clean(self.layer(), self.name());
+        }
+
+        let world = fixed_world();
+        let sensor = SensorModel {
+            miss_rate: 0.02,
+            ..SensorModel::default()
+        };
+        let liar = world.vehicles()[0];
+        let mut detector = MisbehaviorDetector::new(MisbehaviorConfig::default());
+        let mut corroborated = 0usize;
+        let mut total = 0usize;
+        let mut flagged = false;
+        for seq in 0..self.rounds as u64 {
+            let mut msgs = perception_round(&world, &sensor, GROUP_KEY, seq, rng);
+            let mut dets: Vec<Detection> = msgs[0].detections.clone();
+            for _ in 0..ghosts {
+                dets.push(Detection {
+                    position: Point {
+                        x: rng.normal_with(15.0, 8.0),
+                        y: rng.normal_with(15.0, 8.0),
+                    },
+                    truth: None,
+                });
+            }
+            msgs[0] = sign_message(GROUP_KEY, liar, seq, dets);
+
+            let fused = fuse(&msgs, self.fuse_radius_m);
+            total += fused.len();
+            corroborated += fused.iter().filter(|f| f.supporters.len() >= 2).count();
+            if defended {
+                let flags = detector.process_round(&world, &sensor, GROUP_KEY, &msgs);
+                flagged |= flags.iter().any(|f| f.claimant == liar);
+            }
+        }
+        let health = if total == 0 {
+            0.0
+        } else {
+            corroborated as f64 / total as f64
+        };
+        InjectionRecord {
+            layer: self.layer(),
+            target: self.name(),
+            applied: true,
+            health,
+            detected: defended && flagged,
+            detail: format!(
+                "{corroborated}/{total} fused objects corroborated over {} rounds",
+                self.rounds
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn apply(effects: &[FaultEffect], defended: bool) -> InjectionRecord {
+        let mut t = PerceptionFaultTarget::default();
+        let mut rng = SimRng::seed(77).fork("collab-fault");
+        t.apply(effects, defended, &mut rng)
+    }
+
+    #[test]
+    fn no_effects_is_clean() {
+        let rec = apply(&[], true);
+        assert_eq!(
+            rec,
+            InjectionRecord::clean(ArchLayer::Collaboration, "collab-perception")
+        );
+    }
+
+    #[test]
+    fn ghosts_pollute_the_fused_view() {
+        let light = apply(&[FaultEffect::FabricateDetections { count: 1 }], false);
+        let heavy = apply(&[FaultEffect::FabricateDetections { count: 8 }], false);
+        assert!(light.applied && heavy.applied);
+        assert!(
+            heavy.health < light.health,
+            "{} vs {}",
+            heavy.health,
+            light.health
+        );
+        assert!(!heavy.detected);
+    }
+
+    #[test]
+    fn defended_fleet_flags_the_fabricator() {
+        let rec = apply(&[FaultEffect::FabricateDetections { count: 8 }], true);
+        assert!(rec.detected, "misbehaviour detector should flag the liar");
+    }
+
+    #[test]
+    fn deterministic_per_substream() {
+        let a = apply(&[FaultEffect::FabricateDetections { count: 3 }], true);
+        let b = apply(&[FaultEffect::FabricateDetections { count: 3 }], true);
+        assert_eq!(a, b);
+    }
+}

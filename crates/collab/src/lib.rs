@@ -34,6 +34,7 @@
 //! ```
 
 pub mod attacks;
+pub mod faults;
 pub mod fleet;
 pub mod intersection;
 pub mod misbehavior;

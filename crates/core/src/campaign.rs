@@ -10,7 +10,7 @@
 //! analysis (experiment E13).
 
 use autosec_ids::correlate::LayerAlert;
-use autosec_sim::{SimRng, SimTime};
+use autosec_sim::{FaultEffect, SimRng, SimTime};
 
 use crate::layers::ArchLayer;
 use crate::scenario::{scenario_registry, PostureCtx};
@@ -159,12 +159,28 @@ impl CampaignReport {
 /// `SimRng::seed(seed).fork(step.rng_label())`, so steps never perturb
 /// each other's randomness.
 pub fn run_campaign(posture: &DefensePosture, seed: u64) -> CampaignReport {
+    run_campaign_faulted(posture, seed, |_, _| Vec::new())
+}
+
+/// [`run_campaign`] with a fault plan riding along: `faults_for_step`
+/// returns the effects active while step `idx` (attacking `layer`)
+/// executes. Returning an empty vector for every step reproduces
+/// [`run_campaign`] bit-identically — the fault-free no-op guarantee.
+pub fn run_campaign_faulted(
+    posture: &DefensePosture,
+    seed: u64,
+    faults_for_step: impl Fn(usize, ArchLayer) -> Vec<FaultEffect>,
+) -> CampaignReport {
     let root = SimRng::seed(seed);
-    let ctx = PostureCtx { posture };
     let mut steps = Vec::new();
     let mut alerts = Vec::new();
 
     for (idx, step) in scenario_registry().iter().enumerate() {
+        let faults = faults_for_step(idx, step.layer());
+        let ctx = PostureCtx {
+            posture,
+            faults: &faults,
+        };
         let mut rng = root.fork(step.rng_label());
         let out = step.execute(&ctx, &mut rng);
         if out.detected {
@@ -234,6 +250,34 @@ mod tests {
         let a = run_campaign(&DefensePosture::full(), 7);
         let b = run_campaign(&DefensePosture::full(), 7);
         assert_eq!(a.steps, b.steps);
+    }
+
+    #[test]
+    fn empty_fault_plan_is_a_noop() {
+        for seed in [1, 7, 42] {
+            let plain = run_campaign(&DefensePosture::full(), seed);
+            let faulted = run_campaign_faulted(&DefensePosture::full(), seed, |_, _| Vec::new());
+            assert_eq!(plain.steps, faulted.steps, "seed {seed}");
+            assert_eq!(plain.alerts.len(), faulted.alerts.len());
+        }
+    }
+
+    #[test]
+    fn fault_load_changes_outcomes() {
+        // Full sensor dropout on physical steps suppresses the PKES
+        // relay outcome (neither success nor detection).
+        let plain = run_campaign(&DefensePosture::none(), 1);
+        let faulted = run_campaign_faulted(&DefensePosture::none(), 1, |_, layer| {
+            if layer == ArchLayer::Physical {
+                vec![FaultEffect::SensorDropout { p: 1.0 }]
+            } else {
+                Vec::new()
+            }
+        });
+        assert!(plain.steps[0].succeeded, "relay wins undefended");
+        assert!(!faulted.steps[0].succeeded, "dropout swallows the exchange");
+        // Non-physical steps are untouched.
+        assert_eq!(plain.steps[2..], faulted.steps[2..]);
     }
 
     #[test]

@@ -25,22 +25,63 @@ use autosec_phy::attacks::{OvershadowAttack, RelayAttack};
 use autosec_phy::collision::{CollisionAvoidance, CollisionScenario, VehicleAction};
 use autosec_phy::pkes::{Pkes, PkesState, ProximityBackend};
 use autosec_secproto::secoc::{SecOcAuthenticator, SecOcConfig, SecOcPdu};
-use autosec_sim::{ArchLayer, SimDuration, SimRng, SimTime};
+use autosec_sim::inject::ChannelFault;
+use autosec_sim::{ArchLayer, FaultEffect, SimDuration, SimRng, SimTime};
 
 use crate::campaign::DefensePosture;
 
 /// Execution context handed to every step: the vehicle's defense
-/// posture, queried by layer.
+/// posture, queried by layer, plus any fault effects active on the
+/// step's layer while it runs (the campaign can carry a fault plan).
 #[derive(Debug, Clone, Copy)]
 pub struct PostureCtx<'a> {
     /// The per-layer defense toggles.
     pub posture: &'a DefensePosture,
+    /// Fault effects active during this step (empty when the campaign
+    /// runs fault-free). Steps must not consume extra randomness when
+    /// this is empty — the fault-free no-op guarantee.
+    pub faults: &'a [FaultEffect],
 }
 
-impl PostureCtx<'_> {
+impl<'a> PostureCtx<'a> {
+    /// A fault-free context.
+    pub fn new(posture: &'a DefensePosture) -> Self {
+        Self {
+            posture,
+            faults: &[],
+        }
+    }
+
     /// Whether `layer` runs its defenses under this posture.
     pub fn defended(&self, layer: ArchLayer) -> bool {
         self.posture.enabled(layer)
+    }
+
+    /// Strongest active sensor-dropout probability (0.0 when none).
+    pub fn sensor_dropout_p(&self) -> f64 {
+        self.faults
+            .iter()
+            .filter_map(|e| match *e {
+                FaultEffect::SensorDropout { p } => Some(p),
+                _ => None,
+            })
+            .fold(0.0, f64::max)
+    }
+
+    /// Frame-level effects folded into a channel interception hook.
+    pub fn channel_fault(&self) -> ChannelFault {
+        ChannelFault::from_effects(self.faults)
+    }
+
+    /// Total fabricated detections injected per perception round.
+    pub fn fabricated_detections(&self) -> usize {
+        self.faults
+            .iter()
+            .map(|e| match *e {
+                FaultEffect::FabricateDetections { count } => count,
+                _ => 0,
+            })
+            .sum()
     }
 }
 
@@ -112,6 +153,17 @@ impl ScenarioStep for PkesRelayStep {
         "pkes"
     }
     fn execute(&self, ctx: &PostureCtx<'_>, rng: &mut SimRng) -> StepOutcome {
+        // An active sensor-dropout fault can swallow the ranging
+        // exchange outright: nobody unlocks, nobody alerts.
+        let dropout = ctx.sensor_dropout_p();
+        if dropout > 0.0 && rng.chance(dropout) {
+            return StepOutcome {
+                succeeded: false,
+                prevented: false,
+                detected: false,
+                detail: "",
+            };
+        }
         let backend = if ctx.defended(ArchLayer::Physical) {
             ProximityBackend::UwbToF
         } else {
@@ -236,18 +288,48 @@ impl ScenarioStep for CanFloodStep {
     fn rng_label(&self) -> &'static str {
         "flood"
     }
-    fn execute(&self, ctx: &PostureCtx<'_>, _rng: &mut SimRng) -> StepOutcome {
-        let build = |attack: bool| {
+    fn execute(&self, ctx: &PostureCtx<'_>, rng: &mut SimRng) -> StepOutcome {
+        let cf = ctx.channel_fault();
+        let mut build = |attack: bool| {
             let mut bus = CanBus::new(500_000);
             let legit = bus.add_node(2.0);
             let attacker = bus.add_node(5.0);
-            bus.enqueue(
-                legit,
-                SimTime::ZERO,
-                CanFrame::new(CanId::standard(0x100).expect("valid"), &[1; 8])
-                    .expect("valid frame"),
-            )
-            .expect("node exists");
+            // Frame faults intercept the victim's traffic during the
+            // attacked run only; the clean run is the pre-fault
+            // training baseline.
+            let action = if attack && !cf.is_noop() {
+                cf.decide(rng)
+            } else {
+                autosec_sim::FrameAction::Pass
+            };
+            let frame = CanFrame::new(CanId::standard(0x100).expect("valid"), &[1; 8])
+                .expect("valid frame");
+            match action {
+                autosec_sim::FrameAction::Drop => {}
+                autosec_sim::FrameAction::Delay(d) => {
+                    bus.enqueue(legit, SimTime::ZERO + d, frame)
+                        .expect("node exists");
+                }
+                autosec_sim::FrameAction::Corrupt => {
+                    bus.enqueue(
+                        legit,
+                        SimTime::ZERO,
+                        CanFrame::new(CanId::standard(0x1C0).expect("valid"), &[0xEE; 8])
+                            .expect("valid frame"),
+                    )
+                    .expect("node exists");
+                }
+                autosec_sim::FrameAction::Duplicate => {
+                    bus.enqueue(legit, SimTime::ZERO, frame.clone())
+                        .expect("node exists");
+                    bus.enqueue(legit, SimTime::ZERO, frame)
+                        .expect("node exists");
+                }
+                autosec_sim::FrameAction::Pass => {
+                    bus.enqueue(legit, SimTime::ZERO, frame)
+                        .expect("node exists");
+                }
+            }
             if attack {
                 FloodAttack {
                     attacker,
@@ -458,7 +540,19 @@ impl ScenarioStep for GhostObjectStep {
             },
         };
         let mut msgs = perception_round(&world, &sensor, key, 0, rng);
-        let honest = msgs[0].detections.clone();
+        let mut honest = msgs[0].detections.clone();
+        // A fabricated-detections fault floods the round with extra
+        // ghosts from the compromised participant.
+        let fabricated = ctx.fabricated_detections();
+        for _ in 0..fabricated {
+            honest.push(autosec_collab::world::Detection {
+                position: Point {
+                    x: rng.normal_with(15.0, 8.0),
+                    y: rng.normal_with(15.0, 8.0),
+                },
+                truth: None,
+            });
+        }
         msgs[0] = attacker.emit(&world, honest, key, 0, rng);
         let detected = if ctx.defended(ArchLayer::Collaboration) {
             let mut det = MisbehaviorDetector::new(MisbehaviorConfig::default());
@@ -513,7 +607,7 @@ mod tests {
     #[test]
     fn steps_are_deterministic_per_substream() {
         let posture = DefensePosture::full();
-        let ctx = PostureCtx { posture: &posture };
+        let ctx = PostureCtx::new(&posture);
         let root = SimRng::seed(7);
         for step in scenario_registry() {
             let a = step.execute(&ctx, &mut root.fork(step.rng_label()));
@@ -525,9 +619,59 @@ mod tests {
     #[test]
     fn undefended_ctx_disables_every_layer() {
         let posture = DefensePosture::none();
-        let ctx = PostureCtx { posture: &posture };
+        let ctx = PostureCtx::new(&posture);
         for layer in ArchLayer::ALL {
             assert!(!ctx.defended(layer));
         }
+        assert_eq!(ctx.sensor_dropout_p(), 0.0);
+        assert_eq!(ctx.fabricated_detections(), 0);
+        assert!(ctx.channel_fault().is_noop());
+    }
+
+    #[test]
+    fn fault_helpers_fold_active_effects() {
+        let posture = DefensePosture::none();
+        let faults = [
+            FaultEffect::SensorDropout { p: 0.4 },
+            FaultEffect::DropFrames { p: 0.2 },
+            FaultEffect::FabricateDetections { count: 3 },
+        ];
+        let ctx = PostureCtx {
+            posture: &posture,
+            faults: &faults,
+        };
+        assert_eq!(ctx.sensor_dropout_p(), 0.4);
+        assert_eq!(ctx.fabricated_detections(), 3);
+        assert_eq!(ctx.channel_fault().drop_p, 0.2);
+    }
+
+    #[test]
+    fn faulted_steps_equal_unfaulted_when_plan_is_empty() {
+        // The fault-free no-op guarantee at step granularity: an empty
+        // effect slice must leave every step's outcome bit-identical.
+        let posture = DefensePosture::full();
+        let plain = PostureCtx::new(&posture);
+        let faulted = PostureCtx {
+            posture: &posture,
+            faults: &[],
+        };
+        let root = SimRng::seed(17);
+        for step in scenario_registry() {
+            let a = step.execute(&plain, &mut root.fork(step.rng_label()));
+            let b = step.execute(&faulted, &mut root.fork(step.rng_label()));
+            assert_eq!(a, b, "{} diverged under empty faults", step.name());
+        }
+    }
+
+    #[test]
+    fn total_sensor_dropout_suppresses_pkes_relay() {
+        let posture = DefensePosture::none();
+        let faults = [FaultEffect::SensorDropout { p: 1.0 }];
+        let ctx = PostureCtx {
+            posture: &posture,
+            faults: &faults,
+        };
+        let out = PkesRelayStep.execute(&ctx, &mut SimRng::seed(1).fork("pkes"));
+        assert!(!out.succeeded && !out.detected);
     }
 }

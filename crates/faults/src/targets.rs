@@ -1,0 +1,51 @@
+//! The per-layer [`FaultTarget`] registry.
+//!
+//! Each layer crate exposes one adapter; this factory maps an
+//! [`ArchLayer`] to a fresh instance so the engine can inject without
+//! knowing any layer internals.
+
+use autosec_sim::{ArchLayer, FaultTarget};
+
+/// Builds the layer's fault-target adapter with its default geometry.
+pub fn target_for(layer: ArchLayer) -> Box<dyn FaultTarget> {
+    match layer {
+        ArchLayer::Physical => Box::new(autosec_phy::faults::RangingFaultTarget::default()),
+        ArchLayer::Network => Box::new(autosec_ivn::faults::BusFaultTarget::default()),
+        ArchLayer::SoftwarePlatform => Box::new(autosec_sdv::faults::PlatformFaultTarget),
+        ArchLayer::Data => Box::new(autosec_ids::faults::TimesyncFaultTarget::default()),
+        ArchLayer::SystemOfSystems => Box::new(autosec_sos::faults::GraphFaultTarget),
+        ArchLayer::Collaboration => {
+            Box::new(autosec_collab::faults::PerceptionFaultTarget::default())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autosec_sim::{InjectionRecord, SimRng};
+
+    #[test]
+    fn every_layer_has_a_target_reporting_its_own_layer() {
+        for layer in ArchLayer::ALL {
+            let mut t = target_for(layer);
+            assert_eq!(t.layer(), layer);
+            assert!(!t.name().is_empty());
+            // Clean apply: no effects, no randomness, full health.
+            let mut rng = SimRng::seed(1).fork("registry-probe");
+            let rec = t.apply(&[], true, &mut rng);
+            assert_eq!(rec, InjectionRecord::clean(layer, t.name()));
+        }
+    }
+
+    #[test]
+    fn target_names_are_unique() {
+        let mut names: Vec<&'static str> = ArchLayer::ALL
+            .iter()
+            .map(|&l| target_for(l).name())
+            .collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), ArchLayer::ALL.len());
+    }
+}

@@ -1,0 +1,131 @@
+//! Data-layer fault-injection adapter for `autosec-faults`.
+//!
+//! [`TimesyncFaultTarget`] models the vehicle's time base under a
+//! unidirectional PTP delay attack ([`FaultEffect::ClockSkew`]): the
+//! slave clock silently shifts by half the injected delay, degrading
+//! every freshness- and fusion-dependent consumer. A defended
+//! deployment provisions a redundant sync path and runs the
+//! PTPsec-style cross-path detector; an undefended one has a single
+//! path and cannot see the shift at all.
+
+use autosec_sim::inject::{FaultEffect, FaultTarget, InjectionRecord};
+use autosec_sim::{ArchLayer, SimRng, SimTime};
+
+use crate::timesync::{PtpPath, PtpsecDetector};
+
+/// Time synchronization under clock-skew (delay) faults.
+#[derive(Debug, Clone)]
+pub struct TimesyncFaultTarget {
+    /// Synchronization error tolerated by downstream consumers (ns).
+    pub tolerance_ns: f64,
+}
+
+impl Default for TimesyncFaultTarget {
+    fn default() -> Self {
+        Self {
+            tolerance_ns: 200.0,
+        }
+    }
+}
+
+impl FaultTarget for TimesyncFaultTarget {
+    fn layer(&self) -> ArchLayer {
+        ArchLayer::Data
+    }
+
+    fn name(&self) -> &'static str {
+        "ids-timesync"
+    }
+
+    fn apply(
+        &mut self,
+        effects: &[FaultEffect],
+        defended: bool,
+        rng: &mut SimRng,
+    ) -> InjectionRecord {
+        let skew_ns = effects
+            .iter()
+            .map(|e| match *e {
+                FaultEffect::ClockSkew { skew_ns } => skew_ns,
+                _ => 0.0,
+            })
+            .fold(0.0f64, f64::max);
+        if skew_ns <= 0.0 {
+            return InjectionRecord::clean(self.layer(), self.name());
+        }
+
+        let attacked = PtpPath::symmetric(5_000.0, 50.0).attacked(skew_ns);
+        let paths = if defended {
+            vec![attacked, PtpPath::symmetric(7_000.0, 50.0)]
+        } else {
+            vec![attacked]
+        };
+        let detector = PtpsecDetector::default();
+        let (offsets, alert) = detector.analyze(&paths, SimTime::ZERO, rng);
+        let err_ns = offsets[0].abs();
+        let health = if err_ns <= self.tolerance_ns {
+            1.0
+        } else {
+            self.tolerance_ns / err_ns
+        };
+        InjectionRecord {
+            layer: self.layer(),
+            target: self.name(),
+            applied: true,
+            health,
+            detected: defended && alert.is_some(),
+            detail: format!("slave clock off by {err_ns:.0} ns"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn apply(effects: &[FaultEffect], defended: bool) -> InjectionRecord {
+        let mut t = TimesyncFaultTarget::default();
+        let mut rng = SimRng::seed(88).fork("ids-fault");
+        t.apply(effects, defended, &mut rng)
+    }
+
+    #[test]
+    fn no_effects_is_clean() {
+        let rec = apply(&[], true);
+        assert_eq!(rec, InjectionRecord::clean(ArchLayer::Data, "ids-timesync"));
+    }
+
+    #[test]
+    fn skew_degrades_health_monotonically() {
+        let small = apply(&[FaultEffect::ClockSkew { skew_ns: 1_000.0 }], false);
+        let large = apply(&[FaultEffect::ClockSkew { skew_ns: 10_000.0 }], false);
+        assert!(
+            small.health > large.health,
+            "{} vs {}",
+            small.health,
+            large.health
+        );
+        assert!(!small.detected, "single path cannot see the shift");
+    }
+
+    #[test]
+    fn redundant_path_detects_large_skew() {
+        let rec = apply(&[FaultEffect::ClockSkew { skew_ns: 2_000.0 }], true);
+        assert!(rec.detected);
+        assert!(rec.health < 1.0);
+    }
+
+    #[test]
+    fn sub_tolerance_skew_is_harmless() {
+        let rec = apply(&[FaultEffect::ClockSkew { skew_ns: 100.0 }], false);
+        assert_eq!(rec.health, 1.0, "{}", rec.detail);
+        assert!(rec.applied);
+    }
+
+    #[test]
+    fn deterministic_per_substream() {
+        let a = apply(&[FaultEffect::ClockSkew { skew_ns: 3_000.0 }], true);
+        let b = apply(&[FaultEffect::ClockSkew { skew_ns: 3_000.0 }], true);
+        assert_eq!(a, b);
+    }
+}

@@ -26,6 +26,7 @@
 
 pub mod correlate;
 pub mod detectors;
+pub mod faults;
 pub mod response;
 pub mod timesync;
 

@@ -1,0 +1,198 @@
+//! IVN fault-injection adapter for the `autosec-faults` engine.
+//!
+//! [`BusFaultTarget`] replays a fixed periodic schedule on a [`CanBus`]
+//! with a [`ChannelFault`] hook intercepting every enqueued frame —
+//! dropping, delaying, corrupting or duplicating it — and measures the
+//! residual on-time delivery rate. When the layer runs defended, the
+//! target also reports whether a bus monitor would have noticed
+//! (unknown identifiers, missing frames or late frames).
+
+use autosec_sim::inject::{ChannelFault, FaultEffect, FaultTarget, FrameAction, InjectionRecord};
+use autosec_sim::{ArchLayer, SimDuration, SimRng, SimTime};
+
+use crate::bus::CanBus;
+use crate::can::{CanFrame, CanId};
+
+/// Raw identifier of a corrupted frame (not in the schedule's id set).
+const CORRUPT_ID: u16 = 0x7A0;
+
+/// A periodic CAN schedule under per-frame channel faults.
+#[derive(Debug, Clone)]
+pub struct BusFaultTarget {
+    /// Frames in one injection round.
+    pub frames: usize,
+    /// Inter-frame period of the nominal schedule.
+    pub period: SimDuration,
+    /// Latency budget after the nominal slot before a frame counts late.
+    pub deadline: SimDuration,
+}
+
+impl Default for BusFaultTarget {
+    fn default() -> Self {
+        Self {
+            frames: 50,
+            period: SimDuration::from_ms(2),
+            deadline: SimDuration::from_ms(1),
+        }
+    }
+}
+
+impl BusFaultTarget {
+    fn scheduled_id(i: usize) -> CanId {
+        CanId::standard(0x100 + (i as u16 % 4) * 0x10).expect("static ids are valid")
+    }
+}
+
+impl FaultTarget for BusFaultTarget {
+    fn layer(&self) -> ArchLayer {
+        ArchLayer::Network
+    }
+
+    fn name(&self) -> &'static str {
+        "ivn-bus"
+    }
+
+    fn apply(
+        &mut self,
+        effects: &[FaultEffect],
+        defended: bool,
+        rng: &mut SimRng,
+    ) -> InjectionRecord {
+        let cf = ChannelFault::from_effects(effects);
+        if cf.is_noop() {
+            return InjectionRecord::clean(self.layer(), self.name());
+        }
+
+        let mut bus = CanBus::new(500_000);
+        let sender = bus.add_node(2.0);
+        let mut nominal = Vec::with_capacity(self.frames);
+        for i in 0..self.frames {
+            let at = SimTime::ZERO + self.period * i as u64;
+            nominal.push(at);
+            // The payload's first byte tags the schedule slot so delayed
+            // copies can still be matched to their nominal deadline.
+            let frame = CanFrame::new(Self::scheduled_id(i), &[i as u8, 0, 0, 0])
+                .expect("4-byte payload fits classic CAN");
+            match cf.decide(rng) {
+                FrameAction::Pass => {
+                    let _ = bus.enqueue(sender, at, frame);
+                }
+                FrameAction::Drop => {}
+                FrameAction::Delay(d) => {
+                    let _ = bus.enqueue(sender, at + d, frame);
+                }
+                FrameAction::Corrupt => {
+                    let mangled =
+                        CanFrame::new(CanId::standard(CORRUPT_ID).expect("static id"), &[0xEE; 4])
+                            .expect("static frame");
+                    let _ = bus.enqueue(sender, at, mangled);
+                }
+                FrameAction::Duplicate => {
+                    let _ = bus.enqueue(sender, at, frame.clone());
+                    let _ = bus.enqueue(sender, at, frame);
+                }
+            }
+        }
+
+        let horizon = SimTime::ZERO + self.period * self.frames as u64 + SimDuration::from_ms(50);
+        let log = bus.run(horizon);
+
+        let mut on_time = vec![false; self.frames];
+        let mut unknown = 0usize;
+        for e in &log {
+            if e.frame.id().raw() == u32::from(CORRUPT_ID) {
+                unknown += 1;
+                continue;
+            }
+            let slot = e.frame.data()[0] as usize;
+            if slot < self.frames && e.completed <= nominal[slot] + self.deadline {
+                on_time[slot] = true;
+            }
+        }
+        let delivered = on_time.iter().filter(|&&ok| ok).count();
+        let health = delivered as f64 / self.frames as f64;
+        let anomalous = unknown > 0 || log.len() != self.frames || health < 1.0;
+        InjectionRecord {
+            layer: self.layer(),
+            target: self.name(),
+            applied: true,
+            health,
+            detected: defended && anomalous,
+            detail: format!(
+                "{delivered}/{} frames on time, {unknown} unknown ids, {} bus events",
+                self.frames,
+                log.len()
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn apply(effects: &[FaultEffect], defended: bool, seed: u64) -> InjectionRecord {
+        let mut t = BusFaultTarget::default();
+        let mut rng = SimRng::seed(seed).fork("bus-fault");
+        t.apply(effects, defended, &mut rng)
+    }
+
+    #[test]
+    fn no_effects_is_clean_and_consumes_no_rng() {
+        let base = SimRng::seed(9);
+        let mut a = base.fork("probe");
+        let mut b = base.fork("probe");
+        let rec = BusFaultTarget::default().apply(&[], true, &mut a);
+        assert_eq!(rec, InjectionRecord::clean(ArchLayer::Network, "ivn-bus"));
+        use rand::RngCore;
+        assert_eq!(a.next_u64(), b.next_u64(), "clean apply must not draw");
+    }
+
+    #[test]
+    fn full_drop_zeroes_health() {
+        let rec = apply(&[FaultEffect::DropFrames { p: 1.0 }], true, 3);
+        assert!(rec.applied);
+        assert_eq!(rec.health, 0.0);
+        assert!(rec.detected);
+    }
+
+    #[test]
+    fn partial_drop_degrades_monotonically() {
+        let light = apply(&[FaultEffect::DropFrames { p: 0.1 }], false, 5);
+        let heavy = apply(&[FaultEffect::DropFrames { p: 0.6 }], false, 5);
+        assert!(
+            light.health > heavy.health,
+            "{} vs {}",
+            light.health,
+            heavy.health
+        );
+        assert!(!light.detected, "undefended target cannot detect");
+    }
+
+    #[test]
+    fn corruption_is_detected_when_defended() {
+        let rec = apply(&[FaultEffect::CorruptFrames { p: 0.5 }], true, 7);
+        assert!(rec.detected);
+        assert!(rec.health < 1.0);
+    }
+
+    #[test]
+    fn delay_pushes_frames_past_deadline() {
+        let rec = apply(
+            &[FaultEffect::DelayFrames {
+                p: 1.0,
+                delay: SimDuration::from_ms(5),
+            }],
+            true,
+            11,
+        );
+        assert!(rec.health < 0.5, "{}", rec.health);
+    }
+
+    #[test]
+    fn deterministic_per_substream() {
+        let a = apply(&[FaultEffect::DuplicateFrames { p: 0.3 }], true, 13);
+        let b = apply(&[FaultEffect::DuplicateFrames { p: 0.3 }], true, 13);
+        assert_eq!(a, b);
+    }
+}

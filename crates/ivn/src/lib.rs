@@ -35,6 +35,7 @@ pub mod attacks;
 pub mod bus;
 pub mod can;
 pub mod ethernet;
+pub mod faults;
 pub mod t1s;
 pub mod topology;
 

@@ -1,0 +1,155 @@
+//! Physical-layer fault-injection adapter for `autosec-faults`.
+//!
+//! [`RangingFaultTarget`] runs a batch of UWB HRP ranging sessions under
+//! sensor dropout (measurements lost outright) and attacker-energy
+//! bursts (Cicada-style early-pulse injection at the given power).
+//! Health is the fraction of sessions that produced an accurate,
+//! accepted distance estimate; a defended target runs the
+//! integrity-checked receiver and treats rejections and missing
+//! measurements as detection.
+
+use autosec_sim::inject::{FaultEffect, FaultTarget, InjectionRecord};
+use autosec_sim::{ArchLayer, SimRng};
+
+use crate::attacks::HrpAttack;
+use crate::hrp::{HrpConfig, HrpRanging, ReceiverKind};
+
+/// A batch of HRP ranging sessions under physical-layer faults.
+#[derive(Debug, Clone)]
+pub struct RangingFaultTarget {
+    /// Ranging sessions per injection round.
+    pub sessions: usize,
+    /// Ground-truth distance being measured.
+    pub distance_m: f64,
+    /// Estimate error beyond which a session counts as inaccurate.
+    pub tolerance_m: f64,
+}
+
+impl Default for RangingFaultTarget {
+    fn default() -> Self {
+        Self {
+            sessions: 20,
+            distance_m: 20.0,
+            tolerance_m: 1.0,
+        }
+    }
+}
+
+impl FaultTarget for RangingFaultTarget {
+    fn layer(&self) -> ArchLayer {
+        ArchLayer::Physical
+    }
+
+    fn name(&self) -> &'static str {
+        "phy-ranging"
+    }
+
+    fn apply(
+        &mut self,
+        effects: &[FaultEffect],
+        defended: bool,
+        rng: &mut SimRng,
+    ) -> InjectionRecord {
+        let mut dropout = 0.0f64;
+        let mut burst_power = 0.0f64;
+        for e in effects {
+            match *e {
+                FaultEffect::SensorDropout { p } => dropout = dropout.max(p),
+                FaultEffect::EnergyBurst { power } => burst_power = burst_power.max(power),
+                _ => {}
+            }
+        }
+        if dropout <= 0.0 && burst_power <= 0.0 {
+            return InjectionRecord::clean(self.layer(), self.name());
+        }
+
+        let receiver = if defended {
+            ReceiverKind::IntegrityChecked
+        } else {
+            ReceiverKind::NaiveLeadingEdge
+        };
+        let ranging = HrpRanging::new(HrpConfig::default(), receiver);
+        let attack = (burst_power > 0.0).then(|| HrpAttack::cicada(6.0, burst_power));
+
+        let mut lost = 0usize;
+        let mut rejected = 0usize;
+        let mut accurate = 0usize;
+        for _ in 0..self.sessions {
+            if dropout > 0.0 && rng.chance(dropout) {
+                lost += 1;
+                continue;
+            }
+            let out = ranging.measure(self.distance_m, attack.as_ref(), rng);
+            if out.rejected {
+                rejected += 1;
+            } else if (out.estimated_m - out.true_m).abs() <= self.tolerance_m {
+                accurate += 1;
+            }
+        }
+        let health = accurate as f64 / self.sessions as f64;
+        InjectionRecord {
+            layer: self.layer(),
+            target: self.name(),
+            applied: true,
+            health,
+            detected: defended && (rejected > 0 || lost > 0),
+            detail: format!(
+                "{accurate}/{} sessions accurate, {lost} lost, {rejected} rejected",
+                self.sessions
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn apply(effects: &[FaultEffect], defended: bool) -> InjectionRecord {
+        let mut t = RangingFaultTarget::default();
+        let mut rng = SimRng::seed(21).fork("phy-fault");
+        t.apply(effects, defended, &mut rng)
+    }
+
+    #[test]
+    fn no_effects_is_clean() {
+        let rec = apply(&[], true);
+        assert_eq!(
+            rec,
+            InjectionRecord::clean(ArchLayer::Physical, "phy-ranging")
+        );
+    }
+
+    #[test]
+    fn total_dropout_kills_service_and_is_noticed() {
+        let rec = apply(&[FaultEffect::SensorDropout { p: 1.0 }], true);
+        assert_eq!(rec.health, 0.0);
+        assert!(rec.detected);
+    }
+
+    #[test]
+    fn energy_burst_degrades_naive_receiver() {
+        let rec = apply(&[FaultEffect::EnergyBurst { power: 3.0 }], false);
+        assert!(rec.applied);
+        assert!(rec.health < 0.6, "{}", rec.health);
+        assert!(!rec.detected, "undefended receiver accepts silently");
+    }
+
+    #[test]
+    fn defended_receiver_rejects_bursts() {
+        // The integrity check fails closed: burst-corrupted sessions are
+        // rejected (service lost but the fault is visible) instead of
+        // silently reporting a wrong distance like the naive receiver.
+        let rec = apply(&[FaultEffect::EnergyBurst { power: 3.0 }], true);
+        assert!(rec.detected, "integrity check should reject sessions");
+        let naive = apply(&[FaultEffect::EnergyBurst { power: 3.0 }], false);
+        assert!(!naive.detected);
+    }
+
+    #[test]
+    fn deterministic_per_substream() {
+        let a = apply(&[FaultEffect::SensorDropout { p: 0.3 }], true);
+        let b = apply(&[FaultEffect::SensorDropout { p: 0.3 }], true);
+        assert_eq!(a, b);
+    }
+}

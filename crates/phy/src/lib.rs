@@ -47,6 +47,7 @@ pub mod attacks;
 pub mod channel;
 pub mod collision;
 pub mod enlargement;
+pub mod faults;
 pub mod hrp;
 pub mod lrp;
 pub mod pkes;

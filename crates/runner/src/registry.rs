@@ -125,8 +125,19 @@ impl Registry {
     /// Experiments whose group id **or** slug equals `filter`,
     /// case-insensitively. Exact match only: `"E1"` selects E1 and
     /// never E10–E13.
+    ///
+    /// A `tag:` prefix switches to tag selection instead:
+    /// `"tag:parallel"` returns every experiment carrying that exact
+    /// tag (also case-insensitive).
     pub fn select(&self, filter: &str) -> Vec<&Experiment> {
         let f = filter.to_lowercase();
+        if let Some(tag) = f.strip_prefix("tag:") {
+            return self
+                .experiments
+                .iter()
+                .filter(|e| e.tags.iter().any(|t| t.to_lowercase() == tag))
+                .collect();
+        }
         self.experiments
             .iter()
             .filter(|e| e.id.to_lowercase() == f || e.slug.to_lowercase() == f)
@@ -151,16 +162,24 @@ mod tests {
     use super::*;
 
     fn dummy(id: &'static str, slug: &'static str) -> Experiment {
-        Experiment::new(id, slug, "t", &[], Cost::Cheap, |_| {
+        dummy_tagged(id, slug, &[])
+    }
+
+    fn dummy_tagged(
+        id: &'static str,
+        slug: &'static str,
+        tags: &'static [&'static str],
+    ) -> Experiment {
+        Experiment::new(id, slug, "t", tags, Cost::Cheap, |_| {
             Table::new("X", "t", &["a"])
         })
     }
 
     fn sample() -> Registry {
         let mut r = Registry::new();
-        r.register(dummy("E1", "e1-depth"));
-        r.register(dummy("E10", "e10-cascade"));
-        r.register(dummy("E10", "e10-structure"));
+        r.register(dummy_tagged("E1", "e1-depth", &["campaign", "parallel"]));
+        r.register(dummy_tagged("E10", "e10-cascade", &["sos", "parallel"]));
+        r.register(dummy_tagged("E10", "e10-structure", &["sos"]));
         r
     }
 
@@ -180,6 +199,19 @@ mod tests {
         assert_eq!(r.select("e10").len(), 2);
         assert_eq!(r.select("E10-CASCADE").len(), 1);
         assert!(r.select("e99").is_empty());
+    }
+
+    #[test]
+    fn tag_prefix_selects_by_tag() {
+        let r = sample();
+        assert_eq!(r.select("tag:parallel").len(), 2);
+        assert_eq!(r.select("tag:sos").len(), 2);
+        assert_eq!(r.select("tag:campaign").len(), 1);
+        assert_eq!(r.select("TAG:PARALLEL").len(), 2, "case-insensitive");
+        assert!(r.select("tag:nope").is_empty());
+        // The tag namespace never collides with ids/slugs.
+        assert!(r.select("tag:e1-depth").is_empty());
+        assert_eq!(r.select("e1-depth").len(), 1);
     }
 
     #[test]

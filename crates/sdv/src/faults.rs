@@ -1,0 +1,219 @@
+//! Software-platform fault-injection adapter for `autosec-faults`.
+//!
+//! [`PlatformFaultTarget`] builds a small zero-trust SDV platform
+//! (three nodes, four placed components) and applies compute-node
+//! crashes, restart-with-failover, and update-rollback pushes:
+//!
+//! - [`FaultEffect::CrashNode`] — the node dies and nothing re-places
+//!   its components; health is the fraction of placements that survive.
+//! - [`FaultEffect::RestartNode`] — the node dies and
+//!   [`SdvPlatform::fail_node`] re-places its components through the
+//!   full mutual-authentication ceremony; only stranded components cost
+//!   health.
+//! - [`FaultEffect::RollbackUpdate`] — a signed-but-stale (downgrade)
+//!   OTA package is pushed; a defended platform's [`UpdateManager`]
+//!   rejects it, an undefended one installs the stale image.
+
+use autosec_sim::inject::{FaultEffect, FaultTarget, InjectionRecord};
+use autosec_sim::{ArchLayer, SimRng};
+use autosec_ssi::prelude::*;
+
+use crate::component::{Asil, HardwareNode, SoftwareComponent};
+use crate::platform::SdvPlatform;
+use crate::update::{UpdateManager, UpdatePackage};
+
+const NODES: usize = 3;
+const COMPONENTS: usize = 4;
+
+/// A small SDV platform under node-crash / restart / rollback faults.
+#[derive(Debug, Clone, Default)]
+pub struct PlatformFaultTarget;
+
+fn component(i: usize) -> SoftwareComponent {
+    SoftwareComponent {
+        id: format!("svc-{i}"),
+        vendor: "tier1".into(),
+        version: (1, 2, 0),
+        requires: vec!["can-if".into()],
+        compute_cost: 20,
+        asil: Asil::B,
+    }
+}
+
+fn hw_node(i: usize) -> HardwareNode {
+    HardwareNode {
+        id: format!("hpc-{i}"),
+        provides: vec!["can-if".into()],
+        compute_capacity: 100,
+        max_asil: Asil::D,
+    }
+}
+
+/// Builds the reference platform with components placed round-robin on
+/// the first two nodes (the third is failover headroom).
+fn build_platform(rng: &mut SimRng) -> SdvPlatform {
+    let (mut platform, mut oem) = SdvPlatform::new(rng);
+    for i in 0..NODES {
+        platform
+            .register_node(rng, hw_node(i), &mut oem)
+            .expect("static node registers");
+    }
+    for i in 0..COMPONENTS {
+        platform
+            .register_component(rng, component(i), &mut oem)
+            .expect("static component registers");
+        platform
+            .place(&format!("svc-{i}"), &format!("hpc-{}", i % 2))
+            .expect("initial placement fits");
+    }
+    platform
+}
+
+/// Applies a downgrade OTA push; returns (health multiplier, rejected).
+fn rollback_round(defended: bool, rng: &mut SimRng) -> (f64, bool) {
+    let registry = Registry::new();
+    let mut vendor = Wallet::create(rng, "tier1", &registry);
+    registry.add_trust_anchor(vendor.did().clone(), "vendor-root");
+    let target = Wallet::create(rng, "svc-0", &registry);
+    let mut comp = component(0);
+    let pkg = UpdatePackage::build(
+        &mut vendor,
+        target.did().clone(),
+        "svc-0",
+        (1, 0, 0), // downgrade below the running 1.2.0
+        b"stale image".to_vec(),
+    )
+    .expect("vendor signs the stale package");
+    if defended {
+        let rejected = UpdateManager::apply(&registry, &mut comp, &pkg).is_err();
+        (1.0, rejected)
+    } else {
+        // Undefended manager skips version monotonicity: the stale,
+        // vulnerable image is now running.
+        comp.version = pkg.version;
+        (0.5, false)
+    }
+}
+
+impl FaultTarget for PlatformFaultTarget {
+    fn layer(&self) -> ArchLayer {
+        ArchLayer::SoftwarePlatform
+    }
+
+    fn name(&self) -> &'static str {
+        "sdv-platform"
+    }
+
+    fn apply(
+        &mut self,
+        effects: &[FaultEffect],
+        defended: bool,
+        rng: &mut SimRng,
+    ) -> InjectionRecord {
+        let active: Vec<&FaultEffect> = effects
+            .iter()
+            .filter(|e| e.layer() == ArchLayer::SoftwarePlatform && !e.is_noop())
+            .collect();
+        if active.is_empty() {
+            return InjectionRecord::clean(self.layer(), self.name());
+        }
+
+        let mut platform = build_platform(rng);
+        let mut health = 1.0f64;
+        let mut detected = false;
+        let mut notes = Vec::new();
+        for e in active {
+            match *e {
+                FaultEffect::CrashNode { node } => {
+                    let name = format!("hpc-{}", node % NODES);
+                    let lost = platform
+                        .placements()
+                        .iter()
+                        .filter(|p| p.node == name)
+                        .count();
+                    health *= 1.0 - lost as f64 / COMPONENTS as f64;
+                    detected |= defended;
+                    notes.push(format!("{name} crashed, {lost} components down"));
+                }
+                FaultEffect::RestartNode { node } => {
+                    let name = format!("hpc-{}", node % NODES);
+                    let stranded = platform.fail_node(&name).map_or(0, |s| s.len());
+                    health *= 1.0 - stranded as f64 / COMPONENTS as f64;
+                    detected |= defended;
+                    notes.push(format!("{name} restarted, {stranded} stranded"));
+                }
+                FaultEffect::RollbackUpdate => {
+                    let (mult, rejected) = rollback_round(defended, rng);
+                    health *= mult;
+                    detected |= rejected;
+                    notes.push(if rejected {
+                        "downgrade rejected".into()
+                    } else {
+                        "stale image installed".into()
+                    });
+                }
+                _ => {}
+            }
+        }
+        InjectionRecord {
+            layer: self.layer(),
+            target: self.name(),
+            applied: true,
+            health,
+            detected,
+            detail: notes.join("; "),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn apply(effects: &[FaultEffect], defended: bool) -> InjectionRecord {
+        let mut t = PlatformFaultTarget;
+        let mut rng = SimRng::seed(2025).fork("sdv-fault");
+        t.apply(effects, defended, &mut rng)
+    }
+
+    #[test]
+    fn no_effects_is_clean() {
+        let rec = apply(&[], true);
+        assert_eq!(
+            rec,
+            InjectionRecord::clean(ArchLayer::SoftwarePlatform, "sdv-platform")
+        );
+    }
+
+    #[test]
+    fn crash_without_failover_loses_components() {
+        let rec = apply(&[FaultEffect::CrashNode { node: 0 }], true);
+        assert_eq!(rec.health, 0.5, "hpc-0 hosted 2 of 4 components");
+        assert!(rec.detected);
+    }
+
+    #[test]
+    fn restart_failover_recovers_everything() {
+        // hpc-2 is empty headroom: fail_node re-places both components.
+        let rec = apply(&[FaultEffect::RestartNode { node: 0 }], true);
+        assert_eq!(rec.health, 1.0, "{}", rec.detail);
+        assert!(rec.detected);
+    }
+
+    #[test]
+    fn rollback_rejected_only_when_defended() {
+        let def = apply(&[FaultEffect::RollbackUpdate], true);
+        assert_eq!(def.health, 1.0);
+        assert!(def.detected);
+        let undef = apply(&[FaultEffect::RollbackUpdate], false);
+        assert_eq!(undef.health, 0.5);
+        assert!(!undef.detected);
+    }
+
+    #[test]
+    fn deterministic_per_substream() {
+        let a = apply(&[FaultEffect::RestartNode { node: 1 }], true);
+        let b = apply(&[FaultEffect::RestartNode { node: 1 }], true);
+        assert_eq!(a, b);
+    }
+}

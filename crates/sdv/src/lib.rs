@@ -24,6 +24,7 @@
 
 pub mod charging;
 pub mod component;
+pub mod faults;
 pub mod pki;
 pub mod platform;
 pub mod update;

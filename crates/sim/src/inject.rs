@@ -1,0 +1,405 @@
+//! Fault-injection hook points shared by every layer crate.
+//!
+//! The fault subsystem (`autosec-faults`) schedules *effects* against
+//! layer subsystems; this module holds the layer-agnostic vocabulary so
+//! that each layer crate can expose a small [`FaultTarget`] adapter
+//! instead of ad-hoc mutation:
+//!
+//! - [`FaultEffect`] — the parameterized effect catalogue (frame drop /
+//!   delay / corrupt / duplicate, energy bursts, sensor dropout,
+//!   fabricated detections, node crash/restart, update rollback, clock
+//!   skew, link failures).
+//! - [`ChannelFault`] — a per-frame interception hook for bus/channel
+//!   simulations, folding the frame-level effects into one sampling
+//!   decision per frame.
+//! - [`FaultTarget`] — the adapter trait: apply a set of effects to the
+//!   subsystem, report the residual service level and whether the
+//!   layer's own defenses noticed.
+//!
+//! Determinism contract: every random decision is drawn from the
+//! `SimRng` substream handed in by the caller, and **no randomness is
+//! consumed when no effect is active** — an empty effect set (or one
+//! whose effects are all [`FaultEffect::is_noop`]) must leave the
+//! subsystem's behaviour bit-identical to a fault-free run.
+
+use crate::layer::ArchLayer;
+use crate::rng::SimRng;
+use crate::time::SimDuration;
+
+/// One parameterized fault effect, tagged by the layer it targets.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultEffect {
+    /// Network: drop each frame with probability `p`.
+    DropFrames {
+        /// Per-frame drop probability.
+        p: f64,
+    },
+    /// Network: delay each frame with probability `p` by `delay`.
+    DelayFrames {
+        /// Per-frame delay probability.
+        p: f64,
+        /// Added queueing delay.
+        delay: SimDuration,
+    },
+    /// Network: corrupt each frame with probability `p` (the frame
+    /// arrives mangled — wrong id / payload).
+    CorruptFrames {
+        /// Per-frame corruption probability.
+        p: f64,
+    },
+    /// Network: duplicate each frame with probability `p`.
+    DuplicateFrames {
+        /// Per-frame duplication probability.
+        p: f64,
+    },
+    /// Physical: attacker-energy burst of the given pulse power
+    /// injected into the ranging channel.
+    EnergyBurst {
+        /// Injected pulse power (legitimate pulses are ~1.0).
+        power: f64,
+    },
+    /// Physical: each sensor measurement is lost with probability `p`.
+    SensorDropout {
+        /// Per-measurement dropout probability.
+        p: f64,
+    },
+    /// Collaboration: `count` fabricated detections injected per
+    /// perception round.
+    FabricateDetections {
+        /// Ghost detections per round.
+        count: usize,
+    },
+    /// Software platform: compute node `node` crashes.
+    CrashNode {
+        /// Index of the crashed node.
+        node: usize,
+    },
+    /// Software platform: compute node `node` restarts and stranded
+    /// components are re-placed.
+    RestartNode {
+        /// Index of the restarted node.
+        node: usize,
+    },
+    /// Software platform: an update rollback (downgrade) is pushed.
+    RollbackUpdate,
+    /// Data: unidirectional delay attack against time sync, shifting
+    /// the slave clock by `skew_ns / 2`.
+    ClockSkew {
+        /// Injected one-way delay in nanoseconds.
+        skew_ns: f64,
+    },
+    /// System of systems: each coupling link fails with probability
+    /// `p`.
+    FailLinks {
+        /// Per-link failure probability.
+        p: f64,
+    },
+}
+
+impl FaultEffect {
+    /// The layer this effect targets.
+    pub fn layer(&self) -> ArchLayer {
+        match self {
+            FaultEffect::DropFrames { .. }
+            | FaultEffect::DelayFrames { .. }
+            | FaultEffect::CorruptFrames { .. }
+            | FaultEffect::DuplicateFrames { .. } => ArchLayer::Network,
+            FaultEffect::EnergyBurst { .. } | FaultEffect::SensorDropout { .. } => {
+                ArchLayer::Physical
+            }
+            FaultEffect::FabricateDetections { .. } => ArchLayer::Collaboration,
+            FaultEffect::CrashNode { .. }
+            | FaultEffect::RestartNode { .. }
+            | FaultEffect::RollbackUpdate => ArchLayer::SoftwarePlatform,
+            FaultEffect::ClockSkew { .. } => ArchLayer::Data,
+            FaultEffect::FailLinks { .. } => ArchLayer::SystemOfSystems,
+        }
+    }
+
+    /// Stable effect name (rng labels, table rows, alert details).
+    pub fn name(&self) -> &'static str {
+        match self {
+            FaultEffect::DropFrames { .. } => "frame-drop",
+            FaultEffect::DelayFrames { .. } => "frame-delay",
+            FaultEffect::CorruptFrames { .. } => "frame-corrupt",
+            FaultEffect::DuplicateFrames { .. } => "frame-duplicate",
+            FaultEffect::EnergyBurst { .. } => "energy-burst",
+            FaultEffect::SensorDropout { .. } => "sensor-dropout",
+            FaultEffect::FabricateDetections { .. } => "fabricated-detections",
+            FaultEffect::CrashNode { .. } => "node-crash",
+            FaultEffect::RestartNode { .. } => "node-restart",
+            FaultEffect::RollbackUpdate => "update-rollback",
+            FaultEffect::ClockSkew { .. } => "clock-skew",
+            FaultEffect::FailLinks { .. } => "link-failure",
+        }
+    }
+
+    /// Whether the effect is a structural no-op (zero probability,
+    /// power, count or skew). No-op effects must not perturb any
+    /// random stream.
+    pub fn is_noop(&self) -> bool {
+        match *self {
+            FaultEffect::DropFrames { p }
+            | FaultEffect::DelayFrames { p, .. }
+            | FaultEffect::CorruptFrames { p }
+            | FaultEffect::DuplicateFrames { p }
+            | FaultEffect::SensorDropout { p }
+            | FaultEffect::FailLinks { p } => p <= 0.0,
+            FaultEffect::EnergyBurst { power } => power <= 0.0,
+            FaultEffect::FabricateDetections { count } => count == 0,
+            FaultEffect::ClockSkew { skew_ns } => skew_ns <= 0.0,
+            FaultEffect::CrashNode { .. }
+            | FaultEffect::RestartNode { .. }
+            | FaultEffect::RollbackUpdate => false,
+        }
+    }
+}
+
+/// What a channel hook decides for one intercepted frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameAction {
+    /// Deliver unchanged.
+    Pass,
+    /// Silently lose the frame.
+    Drop,
+    /// Deliver after the extra delay.
+    Delay(SimDuration),
+    /// Deliver a mangled copy.
+    Corrupt,
+    /// Deliver twice.
+    Duplicate,
+}
+
+/// A bus/channel interception hook: the frame-level
+/// [`FaultEffect`]s folded into per-frame probabilities.
+///
+/// Bus simulations consult [`ChannelFault::decide`] once per frame.
+/// Decisions are drawn in a fixed order (drop, delay, corrupt,
+/// duplicate) so a given substream always produces the same action
+/// sequence. A [`ChannelFault::is_noop`] hook must be skipped entirely
+/// by the caller — `decide` is never invoked, so the fault-free path
+/// consumes no randomness.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ChannelFault {
+    /// Per-frame drop probability.
+    pub drop_p: f64,
+    /// Per-frame delay probability.
+    pub delay_p: f64,
+    /// Added delay when a frame is delayed.
+    pub delay: SimDuration,
+    /// Per-frame corruption probability.
+    pub corrupt_p: f64,
+    /// Per-frame duplication probability.
+    pub duplicate_p: f64,
+}
+
+impl ChannelFault {
+    /// Folds the frame-level effects of `effects` into one hook;
+    /// non-frame effects are ignored.
+    pub fn from_effects(effects: &[FaultEffect]) -> Self {
+        let mut cf = ChannelFault::default();
+        for e in effects {
+            match *e {
+                FaultEffect::DropFrames { p } => cf.drop_p = cf.drop_p.max(p),
+                FaultEffect::DelayFrames { p, delay } => {
+                    cf.delay_p = cf.delay_p.max(p);
+                    cf.delay = cf.delay.max(delay);
+                }
+                FaultEffect::CorruptFrames { p } => cf.corrupt_p = cf.corrupt_p.max(p),
+                FaultEffect::DuplicateFrames { p } => cf.duplicate_p = cf.duplicate_p.max(p),
+                _ => {}
+            }
+        }
+        cf
+    }
+
+    /// Whether every probability is zero (callers skip the hook).
+    pub fn is_noop(&self) -> bool {
+        self.drop_p <= 0.0
+            && self.delay_p <= 0.0
+            && self.corrupt_p <= 0.0
+            && self.duplicate_p <= 0.0
+    }
+
+    /// Samples the action for one frame. Draw order is fixed:
+    /// drop, then delay, then corrupt, then duplicate.
+    pub fn decide(&self, rng: &mut SimRng) -> FrameAction {
+        if self.drop_p > 0.0 && rng.chance(self.drop_p) {
+            return FrameAction::Drop;
+        }
+        if self.delay_p > 0.0 && rng.chance(self.delay_p) {
+            return FrameAction::Delay(self.delay);
+        }
+        if self.corrupt_p > 0.0 && rng.chance(self.corrupt_p) {
+            return FrameAction::Corrupt;
+        }
+        if self.duplicate_p > 0.0 && rng.chance(self.duplicate_p) {
+            return FrameAction::Duplicate;
+        }
+        FrameAction::Pass
+    }
+}
+
+/// What a target reports after one injection round.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InjectionRecord {
+    /// The layer the target models.
+    pub layer: ArchLayer,
+    /// The target adapter's name.
+    pub target: &'static str,
+    /// Whether any effect was applicable to this target.
+    pub applied: bool,
+    /// Residual service level in `[0, 1]` (1.0 = unimpaired).
+    pub health: f64,
+    /// Whether the layer's own defenses noticed the fault (only
+    /// possible when the target ran defended).
+    pub detected: bool,
+    /// Human-readable detail for alerts/reports.
+    pub detail: String,
+}
+
+impl InjectionRecord {
+    /// A clean record: nothing applied, full health.
+    pub fn clean(layer: ArchLayer, target: &'static str) -> Self {
+        Self {
+            layer,
+            target,
+            applied: false,
+            health: 1.0,
+            detected: false,
+            detail: String::new(),
+        }
+    }
+}
+
+/// The adapter each layer crate exposes to the fault engine.
+///
+/// `apply` runs one micro-simulation of the subsystem with `effects`
+/// active and measures the residual service level; with an empty (or
+/// all-no-op) effect set it must report full health **without
+/// consuming `rng` differently than the fault-free model would** — the
+/// fault-free == no-op guarantee the property tests enforce.
+pub trait FaultTarget {
+    /// The layer this target models.
+    fn layer(&self) -> ArchLayer;
+
+    /// Stable adapter name (alert subjects, table rows).
+    fn name(&self) -> &'static str;
+
+    /// Applies `effects` and measures the outcome. `defended` toggles
+    /// the layer's own defenses (detection is only possible when
+    /// defended).
+    fn apply(
+        &mut self,
+        effects: &[FaultEffect],
+        defended: bool,
+        rng: &mut SimRng,
+    ) -> InjectionRecord;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_effect_names_a_layer() {
+        let effects = [
+            FaultEffect::DropFrames { p: 0.1 },
+            FaultEffect::DelayFrames {
+                p: 0.1,
+                delay: SimDuration::from_ms(5),
+            },
+            FaultEffect::CorruptFrames { p: 0.1 },
+            FaultEffect::DuplicateFrames { p: 0.1 },
+            FaultEffect::EnergyBurst { power: 4.0 },
+            FaultEffect::SensorDropout { p: 0.1 },
+            FaultEffect::FabricateDetections { count: 2 },
+            FaultEffect::CrashNode { node: 0 },
+            FaultEffect::RestartNode { node: 0 },
+            FaultEffect::RollbackUpdate,
+            FaultEffect::ClockSkew { skew_ns: 1000.0 },
+            FaultEffect::FailLinks { p: 0.1 },
+        ];
+        let mut names = std::collections::BTreeSet::new();
+        for e in effects {
+            assert!(!e.name().is_empty());
+            names.insert(e.name());
+            let _ = e.layer();
+            assert!(!e.is_noop(), "{:?} should be active", e);
+        }
+        assert_eq!(names.len(), effects.len(), "duplicate effect names");
+        // Every layer is covered by at least one effect family.
+        for layer in ArchLayer::ALL {
+            assert!(
+                effects.iter().any(|e| e.layer() == layer),
+                "{layer} has no fault family"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_intensity_is_noop() {
+        assert!(FaultEffect::DropFrames { p: 0.0 }.is_noop());
+        assert!(FaultEffect::EnergyBurst { power: 0.0 }.is_noop());
+        assert!(FaultEffect::FabricateDetections { count: 0 }.is_noop());
+        assert!(FaultEffect::ClockSkew { skew_ns: 0.0 }.is_noop());
+        assert!(!FaultEffect::RollbackUpdate.is_noop());
+    }
+
+    #[test]
+    fn channel_fault_folds_frame_effects() {
+        let cf = ChannelFault::from_effects(&[
+            FaultEffect::DropFrames { p: 0.2 },
+            FaultEffect::DelayFrames {
+                p: 0.3,
+                delay: SimDuration::from_ms(4),
+            },
+            FaultEffect::EnergyBurst { power: 9.0 }, // ignored: not a frame effect
+        ]);
+        assert_eq!(cf.drop_p, 0.2);
+        assert_eq!(cf.delay_p, 0.3);
+        assert_eq!(cf.delay, SimDuration::from_ms(4));
+        assert!(!cf.is_noop());
+        assert!(ChannelFault::from_effects(&[FaultEffect::EnergyBurst { power: 9.0 }]).is_noop());
+    }
+
+    #[test]
+    fn decide_is_deterministic_per_substream() {
+        let cf = ChannelFault {
+            drop_p: 0.3,
+            delay_p: 0.3,
+            delay: SimDuration::from_ms(2),
+            corrupt_p: 0.2,
+            duplicate_p: 0.1,
+        };
+        let base = SimRng::seed(11);
+        let run = || {
+            let mut rng = base.fork("decide");
+            (0..64).map(|_| cf.decide(&mut rng)).collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+        // All actions eventually appear at these probabilities.
+        let actions = run();
+        assert!(actions.contains(&FrameAction::Drop));
+        assert!(actions.contains(&FrameAction::Pass));
+    }
+
+    #[test]
+    fn sure_drop_always_drops() {
+        let cf = ChannelFault {
+            drop_p: 1.0,
+            ..ChannelFault::default()
+        };
+        let mut rng = SimRng::seed(3);
+        for _ in 0..16 {
+            assert_eq!(cf.decide(&mut rng), FrameAction::Drop);
+        }
+    }
+
+    #[test]
+    fn clean_record_reports_full_health() {
+        let r = InjectionRecord::clean(ArchLayer::Network, "bus");
+        assert_eq!(r.health, 1.0);
+        assert!(!r.applied && !r.detected);
+    }
+}

@@ -22,6 +22,7 @@
 //! assert_eq!(t, SimTime::from_us(1));
 //! ```
 
+pub mod inject;
 pub mod layer;
 pub mod metrics;
 pub mod rng;
@@ -30,6 +31,7 @@ pub mod stats;
 pub mod time;
 pub mod trace;
 
+pub use inject::{ChannelFault, FaultEffect, FaultTarget, FrameAction, InjectionRecord};
 pub use layer::ArchLayer;
 pub use metrics::{Counter, Histogram, MetricSet, TimeSeries};
 pub use rng::SimRng;

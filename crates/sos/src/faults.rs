@@ -1,0 +1,143 @@
+//! System-of-systems fault-injection adapter for `autosec-faults`.
+//!
+//! [`GraphFaultTarget`] fails coupling links of the Fig. 9 MaaS
+//! reference architecture with a per-link probability and measures how
+//! many level-3 vehicle functions remain reachable from the
+//! level-0 platform — the SoS-scale service level. A defended operator
+//! monitors its links and notices any outage.
+
+use autosec_sim::inject::{FaultEffect, FaultTarget, InjectionRecord};
+use autosec_sim::{ArchLayer, SimRng};
+
+use crate::model::{NodeId, SosGraph, SystemLevel};
+use crate::reference::maas_reference;
+
+/// The MaaS reference graph under link-failure faults.
+#[derive(Debug, Clone, Default)]
+pub struct GraphFaultTarget;
+
+/// Level-3 functions reachable from the L0 platform over `alive` edges.
+fn reachable_functions(g: &SosGraph, alive: &[bool]) -> usize {
+    let root = match g.nodes_at(SystemLevel::L0Platform).next() {
+        Some((id, _)) => id,
+        None => return 0,
+    };
+    let mut seen = vec![false; g.len()];
+    let mut stack = vec![root];
+    seen[root.0] = true;
+    while let Some(n) = stack.pop() {
+        for (i, e) in g.edges().iter().enumerate() {
+            if alive[i] && e.from == n && !seen[e.to.0] {
+                seen[e.to.0] = true;
+                stack.push(e.to);
+            }
+        }
+    }
+    g.nodes_at(SystemLevel::L3Function)
+        .filter(|(NodeId(i), _)| seen[*i])
+        .count()
+}
+
+impl FaultTarget for GraphFaultTarget {
+    fn layer(&self) -> ArchLayer {
+        ArchLayer::SystemOfSystems
+    }
+
+    fn name(&self) -> &'static str {
+        "sos-graph"
+    }
+
+    fn apply(
+        &mut self,
+        effects: &[FaultEffect],
+        defended: bool,
+        rng: &mut SimRng,
+    ) -> InjectionRecord {
+        let fail_p = effects
+            .iter()
+            .map(|e| match *e {
+                FaultEffect::FailLinks { p } => p,
+                _ => 0.0,
+            })
+            .fold(0.0f64, f64::max);
+        if fail_p <= 0.0 {
+            return InjectionRecord::clean(self.layer(), self.name());
+        }
+
+        let g = maas_reference();
+        let baseline = reachable_functions(&g, &vec![true; g.edges().len()]);
+        let alive: Vec<bool> = g.edges().iter().map(|_| !rng.chance(fail_p)).collect();
+        let dropped = alive.iter().filter(|&&a| !a).count();
+        let reachable = reachable_functions(&g, &alive);
+        let health = if baseline == 0 {
+            1.0
+        } else {
+            reachable as f64 / baseline as f64
+        };
+        InjectionRecord {
+            layer: self.layer(),
+            target: self.name(),
+            applied: true,
+            health,
+            detected: defended && dropped > 0,
+            detail: format!(
+                "{dropped}/{} links down, {reachable}/{baseline} functions reachable",
+                alive.len()
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn apply(effects: &[FaultEffect], defended: bool) -> InjectionRecord {
+        let mut t = GraphFaultTarget;
+        let mut rng = SimRng::seed(61).fork("sos-fault");
+        t.apply(effects, defended, &mut rng)
+    }
+
+    #[test]
+    fn no_effects_is_clean() {
+        let rec = apply(&[], true);
+        assert_eq!(
+            rec,
+            InjectionRecord::clean(ArchLayer::SystemOfSystems, "sos-graph")
+        );
+    }
+
+    #[test]
+    fn baseline_reaches_every_function() {
+        let g = maas_reference();
+        let all = reachable_functions(&g, &vec![true; g.edges().len()]);
+        assert_eq!(all, g.nodes_at(SystemLevel::L3Function).count());
+    }
+
+    #[test]
+    fn total_link_failure_strands_all_functions() {
+        let rec = apply(&[FaultEffect::FailLinks { p: 1.0 }], true);
+        assert_eq!(rec.health, 0.0);
+        assert!(rec.detected);
+    }
+
+    #[test]
+    fn partial_failure_degrades_monotonically_in_expectation() {
+        let light = apply(&[FaultEffect::FailLinks { p: 0.1 }], false);
+        let heavy = apply(&[FaultEffect::FailLinks { p: 0.8 }], false);
+        assert!(
+            light.health >= heavy.health,
+            "{} vs {}",
+            light.health,
+            heavy.health
+        );
+        assert!(!heavy.detected, "undefended operator is blind");
+    }
+
+    #[test]
+    fn deterministic_per_substream() {
+        let a = apply(&[FaultEffect::FailLinks { p: 0.3 }], true);
+        let b = apply(&[FaultEffect::FailLinks { p: 0.3 }], true);
+        assert_eq!(a, b);
+    }
+}

@@ -25,6 +25,7 @@
 //! ```
 
 pub mod cascade;
+pub mod faults;
 pub mod model;
 pub mod realtime;
 pub mod reference;

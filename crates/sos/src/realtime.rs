@@ -47,23 +47,31 @@ impl RealtimeLink {
         rho * self.service_ms / (2.0 * (1.0 - rho))
     }
 
+    /// Whether one message misses its deadline — the per-message trial
+    /// behind [`Self::deadline_miss_rate`], exposed so harnesses can fan
+    /// messages out over independent per-trial streams. Saturated links
+    /// miss without consuming randomness.
+    pub fn message_misses_deadline(&self, attack_msgs_per_s: f64, rng: &mut SimRng) -> bool {
+        let mean_wait = self.expected_wait_ms(attack_msgs_per_s);
+        if !mean_wait.is_finite() {
+            return true;
+        }
+        if mean_wait <= 0.0 {
+            return false;
+        }
+        let wait = rng.exponential(1.0 / mean_wait);
+        wait + self.service_ms > self.deadline_ms
+    }
+
     /// Monte-Carlo deadline-miss rate over `n` messages: exponential
     /// queue-wait approximation around the analytic mean.
     pub fn deadline_miss_rate(&self, attack_msgs_per_s: f64, n: usize, rng: &mut SimRng) -> f64 {
-        let mean_wait = self.expected_wait_ms(attack_msgs_per_s);
-        if !mean_wait.is_finite() {
-            return 1.0;
-        }
-        if mean_wait <= 0.0 {
+        if n == 0 {
             return 0.0;
         }
-        let mut missed = 0usize;
-        for _ in 0..n {
-            let wait = rng.exponential(1.0 / mean_wait);
-            if wait + self.service_ms > self.deadline_ms {
-                missed += 1;
-            }
-        }
+        let missed = (0..n)
+            .filter(|_| self.message_misses_deadline(attack_msgs_per_s, rng))
+            .count();
         missed as f64 / n as f64
     }
 }
@@ -99,6 +107,24 @@ mod tests {
             prev = m;
         }
         assert!(prev > 0.05, "heavy flood should cause real misses: {prev}");
+    }
+
+    #[test]
+    fn per_message_trial_matches_batch_rate() {
+        // The batch rate is exactly the mean of per-message trials on
+        // the same stream.
+        let link = RealtimeLink::control_stream();
+        let batch = link.deadline_miss_rate(700.0, 500, &mut SimRng::seed(9));
+        let mut rng = SimRng::seed(9);
+        let singles = (0..500)
+            .filter(|_| link.message_misses_deadline(700.0, &mut rng))
+            .count();
+        assert_eq!(batch, singles as f64 / 500.0);
+        // Saturation decides without touching the rng.
+        let mut a = SimRng::seed(4).fork("sat");
+        assert!(link.message_misses_deadline(950.0, &mut a));
+        use rand::RngCore;
+        assert_eq!(a.next_u64(), SimRng::seed(4).fork("sat").next_u64());
     }
 
     #[test]
