@@ -1,0 +1,48 @@
+//! E16/E17: attack-graph calibration, planning, and execution cost.
+
+use autosec_adversary::{
+    adaptive_trial, best_path, calibrated_graph, replay_trial, AttackConfig, CalibrationConfig,
+    CapabilitySet, EdgeSet,
+};
+use autosec_core::campaign::DefensePosture;
+use autosec_sim::SimRng;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e16_adversary");
+    g.sample_size(10); // calibration runs real subsystem models
+
+    let base = SimRng::seed(42).fork("bench-adversary");
+    let graph = calibrated_graph(&CalibrationConfig::new(20, 1), &base.fork("graph"));
+    let posture = DefensePosture::only(autosec_sim::ArchLayer::Network);
+    let cfg = AttackConfig {
+        budget: 10,
+        active_response: true,
+        alert_correlation: true,
+    };
+
+    g.bench_function("calibrate_graph_20_trials", |b| {
+        b.iter(|| calibrated_graph(&CalibrationConfig::new(20, 1), &base.fork("graph")))
+    });
+    g.bench_function("plan_best_path", |b| {
+        b.iter(|| {
+            best_path(
+                &graph,
+                &posture,
+                10,
+                &CapabilitySet::start(),
+                &EdgeSet::empty(),
+            )
+        })
+    });
+    g.bench_function("adaptive_trial", |b| {
+        b.iter(|| adaptive_trial(&graph, &posture, &cfg, &mut base.fork("adaptive")))
+    });
+    g.bench_function("replay_trial", |b| {
+        b.iter(|| replay_trial(&graph, &posture, &cfg, &mut base.fork("replay")))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -26,7 +26,7 @@ fn bench(c: &mut Criterion) {
     }
     g.bench_function("e2_hrp_sweep_point", |b| {
         let base = SimRng::seed(7);
-        b.iter(|| exp_phy::hrp_sweep(ReceiverKind::IntegrityChecked, 0.0, &[3.0], &base, 1))
+        b.iter(|| exp_phy::hrp_sweep(ReceiverKind::IntegrityChecked, 0.0, &[3.0], &base, 1, 200))
     });
     g.finish();
 }

@@ -12,9 +12,13 @@
 //! Filters match an experiment's group id (`E10`) or slug
 //! (`e10-cascade`) **exactly**, case-insensitively — `E1` never drags
 //! in E10–E13 — and a `tag:` prefix (`tag:parallel`) selects by
-//! registry tag instead. With `--json`, per-experiment artifacts plus a
-//! `manifest.json` land in `target/experiments/` (override with
-//! `--out DIR`). Tables are bit-identical for any `--jobs` value.
+//! registry tag instead. Several filters may be given (positionally or
+//! via repeated `--filter`); an experiment matched by more than one
+//! still runs exactly once. With `--json`, per-experiment artifacts
+//! plus a `manifest.json` land in `target/experiments/` (override with
+//! `--out DIR`). Tables are bit-identical for any `--jobs` value, and
+//! `--trials-scale` multiplies Monte-Carlo trial counts without
+//! touching per-trial streams.
 
 use std::process::ExitCode;
 use std::time::Instant;
@@ -23,9 +27,10 @@ use autosec_bench::{registry, ArtifactStore, ExperimentRecord, RunCtx, RunManife
 use autosec_runner::DEFAULT_ARTIFACT_DIR;
 
 struct Args {
-    filter: Option<String>,
+    filters: Vec<String>,
     seed: u64,
     jobs: usize,
+    trials_scale: f64,
     json: bool,
     canonical: bool,
     list: bool,
@@ -34,14 +39,20 @@ struct Args {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: experiments [FILTER] [--filter F] [--seed N] [--jobs N] [--json] [--canonical] [--out DIR] [--list]
+        "usage: experiments [FILTER...] [--filter F] [--seed N] [--jobs N] [--trials-scale F] [--json] [--canonical] [--out DIR] [--list]
 
   FILTER        group id (e.g. E10) or slug (e.g. e10-cascade); exact,
                 case-insensitive match. tag:<tag> (e.g. tag:parallel)
-                selects every experiment carrying that tag
+                selects every experiment carrying that tag. May be
+                repeated; overlapping filters never run an experiment
+                twice
   --seed N      master seed (default 42); every table is a pure function
                 of it
   --jobs N      worker threads (default 1); output is identical for any N
+  --trials-scale F
+                multiply Monte-Carlo trial counts by F (default 1.0);
+                a precision/runtime knob like --jobs, excluded from
+                canonical artifacts
   --json        write per-experiment artifacts + manifest.json
   --canonical   strip volatile keys (durations, jobs) from artifacts so
                 runs with different --jobs diff byte-identical
@@ -53,9 +64,10 @@ fn usage() -> ! {
 
 fn parse_args() -> Args {
     let mut args = Args {
-        filter: None,
+        filters: Vec::new(),
         seed: autosec_runner::DEFAULT_SEED,
         jobs: 1,
+        trials_scale: 1.0,
         json: false,
         canonical: false,
         list: false,
@@ -70,7 +82,7 @@ fn parse_args() -> Args {
             })
         };
         match arg.as_str() {
-            "--filter" | "-f" => args.filter = Some(value("--filter")),
+            "--filter" | "-f" => args.filters.push(value("--filter")),
             "--seed" | "-s" => {
                 let v = value("--seed");
                 args.seed = v.parse().unwrap_or_else(|_| {
@@ -85,14 +97,25 @@ fn parse_args() -> Args {
                     usage()
                 });
             }
+            "--trials-scale" | "-t" => {
+                let v = value("--trials-scale");
+                args.trials_scale = v
+                    .parse()
+                    .ok()
+                    .filter(|s: &f64| s.is_finite() && *s > 0.0)
+                    .unwrap_or_else(|| {
+                        eprintln!("invalid --trials-scale {v:?}: expected a positive number");
+                        usage()
+                    });
+            }
             "--json" => args.json = true,
             "--canonical" => args.canonical = true,
             "--list" | "-l" => args.list = true,
             "--out" | "-o" => args.out = value("--out"),
             "--help" | "-h" => usage(),
-            other if !other.starts_with('-') && args.filter.is_none() => {
-                // Positional filter, compatible with the old runner.
-                args.filter = Some(other.to_owned());
+            other if !other.starts_with('-') => {
+                // Positional filter(s), compatible with the old runner.
+                args.filters.push(other.to_owned());
             }
             other => {
                 eprintln!("unknown argument {other:?}");
@@ -125,20 +148,21 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
 
-    let selected: Vec<_> = match args.filter.as_deref() {
-        Some(f) => reg.select(f),
-        None => reg.iter().collect(),
+    let selected: Vec<_> = if args.filters.is_empty() {
+        reg.iter().collect()
+    } else {
+        reg.select_many(&args.filters)
     };
     if selected.is_empty() {
         eprintln!(
             "no experiment matched {:?}; available ids: {}\n(or pick a slug from --list)",
-            args.filter.unwrap_or_default(),
+            args.filters.join(","),
             reg.group_ids().join(" ")
         );
         return ExitCode::FAILURE;
     }
 
-    let ctx = RunCtx::new(args.seed, args.jobs);
+    let ctx = RunCtx::new(args.seed, args.jobs).with_trials_scale(args.trials_scale);
     let mut records = Vec::new();
     for e in &selected {
         let start = Instant::now();
@@ -157,7 +181,12 @@ fn main() -> ExitCode {
         let manifest = RunManifest {
             seed: ctx.seed,
             jobs: ctx.jobs,
-            filter: args.filter.clone(),
+            trials_scale: ctx.trials_scale,
+            filter: if args.filters.is_empty() {
+                None
+            } else {
+                Some(args.filters.join(","))
+            },
             records,
         };
         let store = match ArtifactStore::create(&args.out) {

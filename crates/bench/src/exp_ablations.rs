@@ -31,7 +31,7 @@ pub fn a1_hrp_threshold_table(ctx: &RunCtx) -> Table {
         };
         let session = HrpRanging::new(cfg, ReceiverKind::IntegrityChecked);
         let stream = base.fork(&format!("threshold-{consistency_min:.1}"));
-        let trials = 150;
+        let trials = ctx.trials(150);
         let outcomes = par_trials(ctx.jobs, trials, &stream, |_, mut rng| {
             let o = session.measure(20.0, Some(&attack), &mut rng);
             let c = session.measure(20.0, None, &mut rng);
@@ -147,7 +147,7 @@ pub fn a5_vrange_table(ctx: &RunCtx) -> Table {
             ..VRangeConfig::default()
         };
         let stream = base.fork(&format!("{n_symbols}-{bits}"));
-        let trials = 3000;
+        let trials = ctx.trials(3000);
         let wins = par_trials(ctx.jobs, trials, &stream, |_, mut rng| {
             let o = vrange_measure(
                 &cfg,

@@ -1,0 +1,226 @@
+//! E16 / E17: adversarial planning experiments over the calibrated
+//! attack graph.
+//!
+//! E16 pits the [`adaptive_trial`] planner against the static
+//! [`replay_trial`] campaign order on the same graph, across the
+//! bottom-up defense postures of E1 — measuring what attacker
+//! *intelligence* is worth at each defense depth. E17 runs the greedy
+//! [`greedy_frontier`] defense-budget optimizer and reports the best-K
+//! success/detection Pareto curve next to E1's fixed bottom-up
+//! ordering.
+//!
+//! Both experiments calibrate their graph from the live models
+//! ([`calibrated_graph`]) with trials fanned out via `par_trials`, so
+//! every number is bit-identical across `--jobs` values at a fixed
+//! seed.
+
+use autosec_adversary::{
+    adaptive_trial, bottom_up_curve, calibrated_graph, greedy_frontier, replay_trial, AttackConfig,
+    AttackGraph, AttackRun, CalibrationConfig,
+};
+use autosec_core::campaign::DefensePosture;
+use autosec_core::layers::ArchLayer;
+use autosec_runner::{par_trials, RunCtx};
+
+use crate::Table;
+
+/// Monte-Carlo trials per edge per posture side during calibration.
+/// The dominant cost of both experiments: every trial executes a real
+/// subsystem model (bus simulations, SDV placements, kill chains).
+pub const CALIB_TRIALS: usize = 120;
+
+/// Attack runs per posture per attacker in E16.
+pub const ATTACK_TRIALS: usize = 400;
+
+/// Attack runs per candidate evaluation in E17's greedy search.
+pub const EVAL_TRIALS: usize = 240;
+
+/// Step budget for every attacker run: enough for the longest graph
+/// route (the seven-hop staged kill chain plus retries).
+pub const STEP_BUDGET: usize = 10;
+
+/// Calibrates the shared attack graph for one experiment.
+fn graph_for(ctx: &RunCtx, label: &str) -> AttackGraph {
+    let cfg = CalibrationConfig::new(ctx.trials(CALIB_TRIALS), ctx.jobs);
+    calibrated_graph(&cfg, &ctx.rng(label))
+}
+
+/// Success rate and mean alerts over a batch of runs.
+fn summarize(runs: &[AttackRun]) -> (f64, f64) {
+    let n = runs.len() as f64;
+    (
+        runs.iter().filter(|r| r.reached_goal).count() as f64 / n,
+        runs.iter().map(|r| r.alerts as f64).sum::<f64>() / n,
+    )
+}
+
+/// E16 table: adaptive planner vs. static replay across the bottom-up
+/// postures. The `advantage` column is adaptive minus replay success —
+/// what re-planning buys at that defense depth.
+pub fn e16_planner_table(ctx: &RunCtx) -> Table {
+    let mut t = Table::new(
+        "E16",
+        "§VIII — adaptive attack planner vs static campaign replay",
+        &[
+            "defended layers",
+            "replay success",
+            "replay alerts",
+            "adaptive success",
+            "adaptive alerts",
+            "advantage",
+        ],
+    );
+    let graph = graph_for(ctx, "e16/calib");
+    let base = ctx.rng("e16/attacks");
+    let trials = ctx.trials(ATTACK_TRIALS);
+    let cfg = AttackConfig::new(STEP_BUDGET);
+
+    let mut posture = DefensePosture::none();
+    for depth in 0..=ArchLayer::ALL.len() {
+        if depth > 0 {
+            posture.set(ArchLayer::ALL[depth - 1], true);
+        }
+        let label = if depth == 0 {
+            "none".to_owned()
+        } else {
+            format!("bottom-up {depth}")
+        };
+        // Common random numbers: both attackers face the same trial
+        // streams at every depth.
+        let stream = base.fork(&format!("depth/{depth}"));
+        let g = &graph;
+        let p = posture;
+        let replays: Vec<AttackRun> = par_trials(ctx.jobs, trials, &stream, move |_, mut rng| {
+            replay_trial(g, &p, &cfg, &mut rng)
+        });
+        let adaptives: Vec<AttackRun> = par_trials(ctx.jobs, trials, &stream, move |_, mut rng| {
+            adaptive_trial(g, &p, &cfg, &mut rng)
+        });
+        let (rs, ra) = summarize(&replays);
+        let (as_, aa) = summarize(&adaptives);
+        t.push_row(vec![
+            label,
+            format!("{:.1}%", rs * 100.0),
+            format!("{ra:.2}"),
+            format!("{:.1}%", as_ * 100.0),
+            format!("{aa:.2}"),
+            format!("{:+.1}pp", (as_ - rs) * 100.0),
+        ]);
+    }
+    t
+}
+
+/// E17 table: the greedy defense-budget frontier. Row K shows the knob
+/// the optimizer buys K-th, the adaptive attacker's success/alerts
+/// against the best-K allocation, and the fixed bottom-up curve's
+/// success at the same budget (layers only; `-` once the six layers are
+/// spent).
+pub fn e17_defense_frontier_table(ctx: &RunCtx) -> Table {
+    let mut t = Table::new(
+        "E17",
+        "§VIII — greedy defense-budget frontier vs bottom-up ordering",
+        &[
+            "K",
+            "knob added",
+            "greedy success",
+            "greedy alerts",
+            "bottom-up success",
+        ],
+    );
+    let graph = graph_for(ctx, "e17/calib");
+    let trials = ctx.trials(EVAL_TRIALS);
+    // One shared evaluation stream: every candidate allocation in the
+    // greedy search and every bottom-up posture sees the same trial
+    // randomness (common random numbers).
+    let eval = ctx.rng("e17/eval");
+    let frontier = greedy_frontier(&graph, STEP_BUDGET, trials, ctx.jobs, &eval);
+    let bottom_up = bottom_up_curve(&graph, STEP_BUDGET, trials, ctx.jobs, &eval);
+
+    t.push_row(vec![
+        "0".to_owned(),
+        "(undefended)".to_owned(),
+        format!("{:.1}%", bottom_up[0].success * 100.0),
+        format!("{:.2}", bottom_up[0].mean_alerts),
+        format!("{:.1}%", bottom_up[0].success * 100.0),
+    ]);
+    for (i, alloc) in frontier.iter().enumerate() {
+        let k = i + 1;
+        let bu = bottom_up
+            .get(k)
+            .map(|p| format!("{:.1}%", p.success * 100.0))
+            .unwrap_or_else(|| "-".to_owned());
+        t.push_row(vec![
+            k.to_string(),
+            alloc
+                .knobs
+                .last()
+                .expect("one knob per step")
+                .label()
+                .to_owned(),
+            format!("{:.1}%", alloc.eval.success * 100.0),
+            format!("{:.2}", alloc.eval.mean_alerts),
+            bu,
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_ctx() -> RunCtx {
+        // Scale the heavy published counts down hard: these tests check
+        // invariants, not estimator precision.
+        RunCtx::new(42, 1).with_trials_scale(0.25)
+    }
+
+    fn pct(cell: &str) -> f64 {
+        cell.trim_end_matches('%').parse().expect("percent cell")
+    }
+
+    #[test]
+    fn e16_adaptive_dominates_replay_at_a_partial_posture() {
+        let t = e16_planner_table(&small_ctx());
+        assert_eq!(t.rows.len(), 7);
+        // Strict dominance at some partial posture (rows 1..=5): higher
+        // success or (equal success and fewer alerts).
+        let dominated = t.rows[1..6].iter().any(|r| {
+            let (rs, ra) = (pct(&r[1]), r[2].parse::<f64>().expect("alerts"));
+            let (as_, aa) = (pct(&r[3]), r[4].parse::<f64>().expect("alerts"));
+            as_ > rs || (as_ == rs && aa < ra)
+        });
+        assert!(
+            dominated,
+            "adaptive must beat replay somewhere: {:?}",
+            t.rows
+        );
+    }
+
+    #[test]
+    fn e17_greedy_curve_is_monotone_and_dominates_bottom_up() {
+        let t = e17_defense_frontier_table(&small_ctx());
+        assert_eq!(t.rows.len(), 9, "K = 0..=8");
+        let greedy: Vec<f64> = t.rows.iter().map(|r| pct(&r[2])).collect();
+        for w in greedy.windows(2) {
+            assert!(w[1] <= w[0] + 1e-9, "greedy not monotone: {greedy:?}");
+        }
+        for r in &t.rows {
+            if r[4] != "-" {
+                assert!(
+                    pct(&r[2]) <= pct(&r[4]) + 1e-9,
+                    "greedy must be at least as strong as bottom-up at K={}: {:?}",
+                    r[0],
+                    r
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tables_are_jobs_invariant() {
+        let a = e16_planner_table(&RunCtx::new(7, 1).with_trials_scale(0.1));
+        let b = e16_planner_table(&RunCtx::new(7, 3).with_trials_scale(0.1));
+        assert_eq!(a.rows, b.rows);
+    }
+}

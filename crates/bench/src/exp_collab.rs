@@ -36,7 +36,7 @@ pub fn e11_competition_table(ctx: &RunCtx) -> Table {
         let base = ctx.rng("e11-competition").fork(&format!("{p:.1}"));
         let acc = par_trials_fold(
             ctx.jobs,
-            20_000,
+            ctx.trials(20_000),
             &base,
             |round, mut rng| round_outcome(&agents, round, &mut rng),
             IntersectionAccumulator::new(),
@@ -169,7 +169,7 @@ pub fn e12_removal_table(ctx: &RunCtx) -> Table {
     );
     for n in [0usize, 1, 2, 4] {
         let base = ctx.rng("e12-removal").fork(&n.to_string());
-        let loss = removal_loss_rate(n, 100, &base, ctx.jobs);
+        let loss = removal_loss_rate(n, ctx.trials(100) as u64, &base, ctx.jobs);
         t.push_row(vec![n.to_string(), format!("{:.0}%", loss * 100.0)]);
     }
     t
@@ -185,8 +185,8 @@ pub fn e12_misbehavior_table(ctx: &RunCtx) -> Table {
     for n in [0usize, 1, 2, 3, 5, 8] {
         let det_base = ctx.rng("e12-ghost").fork(&n.to_string());
         let fp_base = ctx.rng("e12-false-positive").fork(&n.to_string());
-        let det = ghost_detection_rate(n, 100, &det_base, ctx.jobs);
-        let fp = honest_false_positive_rate(n, 100, &fp_base, ctx.jobs);
+        let det = ghost_detection_rate(n, ctx.trials(100) as u64, &det_base, ctx.jobs);
+        let fp = honest_false_positive_rate(n, ctx.trials(100) as u64, &fp_base, ctx.jobs);
         t.push_row(vec![
             n.to_string(),
             format!("{:.0}%", det * 100.0),

@@ -57,14 +57,19 @@ pub fn sweep_families() -> Vec<SweepFamily> {
 ///
 /// Trials fan out over [`par_trials`] on `fork_idx` substreams of
 /// `stream` — bit-identical for every `jobs` value.
-fn sweep_point(effect: FaultEffect, stream: &autosec_sim::SimRng, jobs: usize) -> (f64, f64) {
+fn sweep_point(
+    effect: FaultEffect,
+    stream: &autosec_sim::SimRng,
+    jobs: usize,
+    trials: usize,
+) -> (f64, f64) {
     let layer = effect.layer();
-    let outcomes = par_trials(jobs, TRIALS, stream, move |_, mut rng| {
+    let outcomes = par_trials(jobs, trials, stream, move |_, mut rng| {
         let rec = autosec_faults::target_for(layer).apply(&[effect], true, &mut rng);
         (rec.health, rec.detected)
     });
-    let health: f64 = outcomes.iter().map(|o| o.0).sum::<f64>() / TRIALS as f64;
-    let detected = outcomes.iter().filter(|o| o.1).count() as f64 / TRIALS as f64;
+    let health: f64 = outcomes.iter().map(|o| o.0).sum::<f64>() / trials as f64;
+    let detected = outcomes.iter().filter(|o| o.1).count() as f64 / trials as f64;
     (health, detected)
 }
 
@@ -82,7 +87,7 @@ pub fn e14_fault_sweep_table(ctx: &RunCtx) -> Table {
         for intensity in [0.0, 0.1, 0.25, 0.5] {
             let effect = make(intensity);
             let stream = base.fork(&format!("{family}/{intensity:.2}"));
-            let (health, detected) = sweep_point(effect, &stream, ctx.jobs);
+            let (health, detected) = sweep_point(effect, &stream, ctx.jobs, ctx.trials(TRIALS));
             t.push_row(vec![
                 family.to_owned(),
                 effect.layer().to_string(),
@@ -110,8 +115,13 @@ pub struct RecoveryPoint {
 
 /// Runs [`TRIALS`] independent standard plans through the recovery
 /// engine and averages the report metrics.
-pub fn recovery_sweep(defended: bool, base: &autosec_sim::SimRng, jobs: usize) -> RecoveryPoint {
-    let reports = par_trials(jobs, TRIALS, base, move |_, rng| {
+pub fn recovery_sweep(
+    defended: bool,
+    base: &autosec_sim::SimRng,
+    jobs: usize,
+    trials: usize,
+) -> RecoveryPoint {
+    let reports = par_trials(jobs, trials, base, move |_, rng| {
         let plan = FaultPlan::standard(&rng.fork("plan"));
         let r = RecoveryEngine::new(defended).run(&plan, &rng.fork("run"));
         (
@@ -121,7 +131,7 @@ pub fn recovery_sweep(defended: bool, base: &autosec_sim::SimRng, jobs: usize) -
             r.availability(),
         )
     });
-    let n = TRIALS as f64;
+    let n = trials as f64;
     let mean = |f: fn(&(f64, f64, f64, f64)) -> f64| reports.iter().map(f).sum::<f64>() / n;
     RecoveryPoint {
         detected: mean(|r| r.0),
@@ -157,7 +167,7 @@ pub fn e15_recovery_table(ctx: &RunCtx) -> Table {
         ("none", DefensePosture::none(), false),
         ("full", DefensePosture::full(), true),
     ] {
-        let point = recovery_sweep(defended, &base.fork(label), ctx.jobs);
+        let point = recovery_sweep(defended, &base.fork(label), ctx.jobs, ctx.trials(TRIALS));
         let clean = run_campaign(&posture, ctx.seed);
         let faulted = run_campaign_faulted(&posture, ctx.seed, campaign_plan.campaign_faults());
         t.push_row(vec![
@@ -211,8 +221,8 @@ mod tests {
     #[test]
     fn e15_defended_beats_undefended() {
         let base = SimRng::seed(3).fork("e15-test");
-        let none = recovery_sweep(false, &base, 1);
-        let full = recovery_sweep(true, &base, 1);
+        let none = recovery_sweep(false, &base, 1, TRIALS);
+        let full = recovery_sweep(true, &base, 1, TRIALS);
         assert_eq!(none.detected, 0.0);
         assert_eq!(none.recovered, 0.0);
         assert!(full.detected > 0.8, "{full:?}");

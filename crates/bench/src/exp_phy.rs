@@ -38,6 +38,7 @@ pub fn hrp_sweep(
     powers: &[f64],
     base: &SimRng,
     jobs: usize,
+    trials: usize,
 ) -> Vec<HrpPoint> {
     let session = HrpRanging::new(HrpConfig::default(), kind);
     powers
@@ -47,7 +48,7 @@ pub fn hrp_sweep(
             let stream = base.fork(&format!("power-{power:.3}"));
             let (success, rejected) = par_trials_fold(
                 jobs,
-                TRIALS,
+                trials,
                 &stream,
                 |_, mut rng| {
                     let out = session.measure(20.0, Some(&attack), &mut rng);
@@ -66,8 +67,8 @@ pub fn hrp_sweep(
             HrpPoint {
                 power,
                 knowledge,
-                success_rate: success as f64 / TRIALS as f64,
-                rejection_rate: rejected as f64 / TRIALS as f64,
+                success_rate: success as f64 / trials as f64,
+                rejection_rate: rejected as f64 / trials as f64,
             }
         })
         .collect()
@@ -96,6 +97,7 @@ pub fn e2_hrp_attack_table(ctx: &RunCtx) -> Table {
             &powers,
             &base.fork(&format!("{label}/naive")),
             ctx.jobs,
+            ctx.trials(TRIALS),
         );
         let checked = hrp_sweep(
             ReceiverKind::IntegrityChecked,
@@ -103,6 +105,7 @@ pub fn e2_hrp_attack_table(ctx: &RunCtx) -> Table {
             &powers,
             &base.fork(&format!("{label}/checked")),
             ctx.jobs,
+            ctx.trials(TRIALS),
         );
         for (n, c) in naive.iter().zip(checked.iter()) {
             t.push_row(vec![
@@ -134,7 +137,7 @@ pub fn e2_lrp_rounds_table(ctx: &RunCtx) -> Table {
             ..LrpConfig::default()
         });
         let base = ctx.rng("e2-lrp-rounds").fork(&n_rounds.to_string());
-        let trials = 2000;
+        let trials = ctx.trials(2000);
         let survived = par_trials(ctx.jobs, trials, &base, |_, mut rng| {
             let out = session.measure(
                 20.0,
@@ -199,8 +202,22 @@ mod tests {
     #[test]
     fn e2_shape_naive_loses_checked_wins() {
         let base = SimRng::seed(1);
-        let naive = hrp_sweep(ReceiverKind::NaiveLeadingEdge, 0.0, &[3.0], &base, 1);
-        let checked = hrp_sweep(ReceiverKind::IntegrityChecked, 0.0, &[3.0], &base, 1);
+        let naive = hrp_sweep(
+            ReceiverKind::NaiveLeadingEdge,
+            0.0,
+            &[3.0],
+            &base,
+            1,
+            TRIALS,
+        );
+        let checked = hrp_sweep(
+            ReceiverKind::IntegrityChecked,
+            0.0,
+            &[3.0],
+            &base,
+            1,
+            TRIALS,
+        );
         assert!(naive[0].success_rate > 0.5, "{:?}", naive[0]);
         assert!(checked[0].success_rate < 0.05, "{:?}", checked[0]);
     }

@@ -42,7 +42,7 @@ pub fn e10_cascade_table(ctx: &RunCtx) -> Table {
                 .fork(&format!("{scale:.1}"));
             let acc = par_trials_fold(
                 ctx.jobs,
-                2000,
+                ctx.trials(2000),
                 &trial_base,
                 |_, mut rng| cascade_trial(&g, entry, &mut rng),
                 CascadeAccumulator::new(&g),
@@ -113,7 +113,7 @@ pub fn e10_realtime_table(ctx: &RunCtx) -> Table {
     let base = ctx.rng("e10-realtime");
     for attack in [0.0, 300.0, 600.0, 800.0, 880.0, 950.0] {
         let stream = base.fork(&format!("flood-{attack:.0}"));
-        let msgs = 5000;
+        let msgs = ctx.trials(5000);
         let missed = par_trials(ctx.jobs, msgs, &stream, |_, mut rng| {
             link.message_misses_deadline(attack, &mut rng)
         })

@@ -16,6 +16,7 @@ pub use autosec_runner::{
 };
 
 pub mod exp_ablations;
+pub mod exp_adversary;
 pub mod exp_collab;
 pub mod exp_data;
 pub mod exp_faults;
@@ -222,6 +223,22 @@ pub fn registry() -> Registry {
         exp_faults::e15_recovery_table,
     );
     reg(
+        "E16",
+        "e16-planner",
+        "§VIII — adaptive attack planner vs static replay",
+        &["adversary", "campaign", "parallel"],
+        Heavy,
+        exp_adversary::e16_planner_table,
+    );
+    reg(
+        "E17",
+        "e17-defense-frontier",
+        "§VIII — greedy defense-budget frontier",
+        &["adversary", "defense", "parallel"],
+        Heavy,
+        exp_adversary::e17_defense_frontier_table,
+    );
+    reg(
         "A1",
         "a1-hrp-threshold",
         "Ablation — HRP integrity threshold sweep",
@@ -278,11 +295,11 @@ mod tests {
     #[test]
     fn registry_covers_all_groups() {
         let r = registry();
-        assert_eq!(r.len(), 28);
+        assert_eq!(r.len(), 30);
         let ids = r.group_ids();
         for want in [
             "E1", "E2", "E2b", "E3", "E4", "E5-E7", "E8", "E8b", "E9", "E10", "E11", "E12", "E13",
-            "E14", "E15", "A1", "A2", "A3", "A4", "A5",
+            "E14", "E15", "E16", "E17", "A1", "A2", "A3", "A4", "A5",
         ] {
             assert!(ids.contains(&want), "missing group {want}");
         }

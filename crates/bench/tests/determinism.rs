@@ -50,8 +50,8 @@ fn artifacts_identical_modulo_duration() {
         duration: Duration::from_millis(fake_ms),
         table: exp.run(&RunCtx::new(42, jobs)),
     };
-    let a = strip_durations(&record(1, 3).to_json(42, 1));
-    let b = strip_durations(&record(4, 9000).to_json(42, 1));
+    let a = strip_durations(&record(1, 3).to_json(42, 1, 1.0));
+    let b = strip_durations(&record(4, 9000).to_json(42, 1, 1.0));
     assert_eq!(a.to_string(), b.to_string());
 }
 

@@ -31,13 +31,15 @@ pub struct ExperimentRecord {
 }
 
 impl ExperimentRecord {
-    /// The artifact body: id, seed, jobs, duration, and the table.
-    pub fn to_json(&self, seed: u64, jobs: usize) -> Value {
+    /// The artifact body: id, seed, jobs, trials scale, duration, and
+    /// the table.
+    pub fn to_json(&self, seed: u64, jobs: usize, trials_scale: f64) -> Value {
         sorted_object(vec![
             ("id", Value::from(self.id.as_str())),
             ("slug", Value::from(self.slug.as_str())),
             ("seed", Value::from(seed)),
             ("jobs", Value::from(jobs as u64)),
+            ("trials_scale", Value::from(trials_scale)),
             (
                 "duration_ms",
                 Value::from(self.duration.as_secs_f64() * 1e3),
@@ -55,7 +57,10 @@ pub struct RunManifest {
     pub seed: u64,
     /// Worker threads used.
     pub jobs: usize,
-    /// The `--filter` argument, if any.
+    /// Monte-Carlo trial-count multiplier used (1.0 = published
+    /// counts).
+    pub trials_scale: f64,
+    /// The `--filter` argument(s), if any (joined by `,`).
     pub filter: Option<String>,
     /// Executed experiments, in run order.
     pub records: Vec<ExperimentRecord>,
@@ -81,6 +86,7 @@ impl RunManifest {
         sorted_object(vec![
             ("seed", Value::from(self.seed)),
             ("jobs", Value::from(self.jobs as u64)),
+            ("trials_scale", Value::from(self.trials_scale)),
             (
                 "filter",
                 self.filter
@@ -139,9 +145,13 @@ impl ArtifactStore {
         record: &ExperimentRecord,
         seed: u64,
         jobs: usize,
+        trials_scale: f64,
     ) -> io::Result<PathBuf> {
         let path = self.dir.join(format!("{}.json", record.slug));
-        std::fs::write(&path, self.render(&record.to_json(seed, jobs)))?;
+        std::fs::write(
+            &path,
+            self.render(&record.to_json(seed, jobs, trials_scale)),
+        )?;
         Ok(path)
     }
 
@@ -149,7 +159,7 @@ impl ArtifactStore {
     /// returns the manifest path.
     pub fn write_run(&self, manifest: &RunManifest) -> io::Result<PathBuf> {
         for record in &manifest.records {
-            self.write_record(record, manifest.seed, manifest.jobs)?;
+            self.write_record(record, manifest.seed, manifest.jobs, manifest.trials_scale)?;
         }
         let path = self.dir.join("manifest.json");
         std::fs::write(&path, self.render(&manifest.to_json()))?;
@@ -174,12 +184,15 @@ pub fn strip_durations(v: &Value) -> Value {
 }
 
 /// Removes everything run-environment-specific (`duration_ms`,
-/// `total_duration_ms`, **and** `jobs`) from an artifact or manifest
-/// value, recursively. Two canonicalized runs with the same seed must
-/// be byte-identical even when produced with *different* `--jobs`
-/// values — the cross-jobs artifact diff CI runs.
+/// `total_duration_ms`, `jobs`, **and** `trials_scale`) from an
+/// artifact or manifest value, recursively. Two canonicalized runs
+/// with the same seed must be byte-identical even when produced with
+/// *different* `--jobs` values — the cross-jobs artifact diff CI runs.
+/// (`trials_scale` is a precision/runtime knob like `jobs`; scaled
+/// tables differ in their Monte-Carlo cells, but the key itself never
+/// belongs in a canonical artifact.)
 pub fn strip_volatile(v: &Value) -> Value {
-    const VOLATILE: [&str; 3] = ["duration_ms", "total_duration_ms", "jobs"];
+    const VOLATILE: [&str; 4] = ["duration_ms", "total_duration_ms", "jobs", "trials_scale"];
     match v {
         Value::Object(map) => Value::Object(
             map.iter()
@@ -209,30 +222,32 @@ mod tests {
 
     #[test]
     fn record_json_has_required_keys() {
-        let v = record(12).to_json(7, 4);
+        let v = record(12).to_json(7, 4, 1.0);
         assert_eq!(v["id"].as_str(), Some("E9"));
         assert_eq!(v["seed"].as_u64(), Some(7));
         assert_eq!(v["jobs"].as_u64(), Some(4));
         assert_eq!(v["rows"].as_u64(), Some(1));
+        assert_eq!(v["trials_scale"].as_f64(), Some(1.0));
         assert!(v["duration_ms"].as_f64().is_some());
         assert!(v["table"]["rows"].as_array().is_some());
     }
 
     #[test]
     fn strip_durations_makes_timing_invisible() {
-        let a = strip_durations(&record(5).to_json(7, 1));
-        let b = strip_durations(&record(5000).to_json(7, 1));
+        let a = strip_durations(&record(5).to_json(7, 1, 1.0));
+        let b = strip_durations(&record(5000).to_json(7, 1, 1.0));
         assert_eq!(a.to_string(), b.to_string());
         assert!(!a.to_string().contains("duration"));
     }
 
     #[test]
-    fn strip_volatile_also_drops_jobs() {
-        let a = strip_volatile(&record(5).to_json(7, 1));
-        let b = strip_volatile(&record(5000).to_json(7, 4));
+    fn strip_volatile_also_drops_jobs_and_trials_scale() {
+        let a = strip_volatile(&record(5).to_json(7, 1, 1.0));
+        let b = strip_volatile(&record(5000).to_json(7, 4, 2.0));
         assert_eq!(a.to_string(), b.to_string());
         assert!(!a.to_string().contains("jobs"));
         assert!(!a.to_string().contains("duration"));
+        assert!(!a.to_string().contains("trials_scale"));
         // Everything else survives.
         assert_eq!(a["seed"].as_u64(), Some(7));
         assert_eq!(a["slug"].as_str(), Some("e9-demo"));
@@ -247,6 +262,7 @@ mod tests {
             let m = RunManifest {
                 seed: 9,
                 jobs,
+                trials_scale: jobs as f64,
                 filter: None,
                 records: vec![record(jobs as u64 * 11)],
             };
@@ -265,6 +281,7 @@ mod tests {
         let m = RunManifest {
             seed: 1,
             jobs: 2,
+            trials_scale: 1.0,
             filter: Some("E9".into()),
             records: vec![record(3)],
         };
@@ -285,6 +302,7 @@ mod tests {
         let m = RunManifest {
             seed: 9,
             jobs: 1,
+            trials_scale: 1.0,
             filter: None,
             records: vec![record(1)],
         };

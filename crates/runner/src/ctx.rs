@@ -11,12 +11,17 @@ pub const DEFAULT_SEED: u64 = 42;
 /// per-purpose label, and fan trials out with
 /// [`par_trials`](crate::par_trials) using [`RunCtx::jobs`]. Tables
 /// produced under the same seed are bit-identical for every job count.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RunCtx {
     /// Master seed for the whole run.
     pub seed: u64,
     /// Worker threads for parallel sweeps (1 = serial).
     pub jobs: usize,
+    /// Multiplier applied to Monte-Carlo trial counts via
+    /// [`RunCtx::trials`] (1.0 = the published counts). Like `jobs`, it
+    /// changes precision/runtime, never the per-trial streams, and is
+    /// stripped from canonical artifacts.
+    pub trials_scale: f64,
 }
 
 impl RunCtx {
@@ -27,7 +32,27 @@ impl RunCtx {
         Self {
             seed,
             jobs: jobs.max(1),
+            trials_scale: 1.0,
         }
+    }
+
+    /// This context with a Monte-Carlo trial-count multiplier.
+    ///
+    /// Non-finite or non-positive scales fall back to 1.0.
+    pub fn with_trials_scale(mut self, scale: f64) -> Self {
+        self.trials_scale = if scale.is_finite() && scale > 0.0 {
+            scale
+        } else {
+            1.0
+        };
+        self
+    }
+
+    /// A published trial count scaled by [`RunCtx::trials_scale`],
+    /// never below 1. At the default scale of 1.0 this is the identity,
+    /// so canonical tables are unchanged.
+    pub fn trials(&self, base: usize) -> usize {
+        ((base as f64 * self.trials_scale).round() as usize).max(1)
     }
 
     /// A decorrelated stream for one purpose within an experiment.
@@ -53,6 +78,31 @@ mod tests {
     #[test]
     fn jobs_clamped_to_one() {
         assert_eq!(RunCtx::new(1, 0).jobs, 1);
+    }
+
+    #[test]
+    fn trials_scale_defaults_to_identity() {
+        let ctx = RunCtx::new(1, 1);
+        assert_eq!(ctx.trials_scale, 1.0);
+        for n in [1, 40, 200, 3000] {
+            assert_eq!(ctx.trials(n), n);
+        }
+    }
+
+    #[test]
+    fn trials_scale_multiplies_and_floors_at_one() {
+        let ctx = RunCtx::new(1, 1).with_trials_scale(0.25);
+        assert_eq!(ctx.trials(200), 50);
+        assert_eq!(ctx.trials(1), 1, "never zero trials");
+        let big = RunCtx::new(1, 1).with_trials_scale(2.5);
+        assert_eq!(big.trials(40), 100);
+    }
+
+    #[test]
+    fn degenerate_scales_fall_back_to_identity() {
+        for bad in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            assert_eq!(RunCtx::new(1, 1).with_trials_scale(bad).trials_scale, 1.0);
+        }
     }
 
     #[test]

@@ -130,18 +130,30 @@ impl Registry {
     /// `"tag:parallel"` returns every experiment carrying that exact
     /// tag (also case-insensitive).
     pub fn select(&self, filter: &str) -> Vec<&Experiment> {
-        let f = filter.to_lowercase();
-        if let Some(tag) = f.strip_prefix("tag:") {
-            return self
-                .experiments
-                .iter()
-                .filter(|e| e.tags.iter().any(|t| t.to_lowercase() == tag))
-                .collect();
-        }
+        self.select_many(&[filter])
+    }
+
+    /// Experiments matching **any** of `filters` (same syntax as
+    /// [`Registry::select`]), in registration order.
+    ///
+    /// The registry is walked once and each experiment is tested
+    /// against all filters, so an experiment matched by several of them
+    /// — say a `tag:` filter plus its own slug — appears exactly once
+    /// and never runs twice in one invocation.
+    pub fn select_many<S: AsRef<str>>(&self, filters: &[S]) -> Vec<&Experiment> {
+        let lowered: Vec<String> = filters.iter().map(|f| f.as_ref().to_lowercase()).collect();
         self.experiments
             .iter()
-            .filter(|e| e.id.to_lowercase() == f || e.slug.to_lowercase() == f)
+            .filter(|e| lowered.iter().any(|f| Self::matches(e, f)))
             .collect()
+    }
+
+    /// Whether one already-lowercased filter selects `e`.
+    fn matches(e: &Experiment, filter: &str) -> bool {
+        if let Some(tag) = filter.strip_prefix("tag:") {
+            return e.tags.iter().any(|t| t.to_lowercase() == tag);
+        }
+        e.id.to_lowercase() == filter || e.slug.to_lowercase() == filter
     }
 
     /// Unique group ids, in first-registration order (the "available
@@ -212,6 +224,38 @@ mod tests {
         // The tag namespace never collides with ids/slugs.
         assert!(r.select("tag:e1-depth").is_empty());
         assert_eq!(r.select("e1-depth").len(), 1);
+    }
+
+    #[test]
+    fn select_many_dedupes_overlapping_filters() {
+        let r = sample();
+        // "tag:parallel" and the explicit slug both match e1-depth; it
+        // must still be selected exactly once.
+        let hits = r.select_many(&["tag:parallel", "e1-depth"]);
+        assert_eq!(hits.len(), 2);
+        assert_eq!(hits[0].slug, "e1-depth");
+        assert_eq!(hits[1].slug, "e10-cascade");
+        // Same filter twice is also a single selection.
+        assert_eq!(r.select_many(&["E10", "e10"]).len(), 2);
+        // An id plus one of its slugs: the slug's experiment once, the
+        // sibling once.
+        let hits = r.select_many(&["E10", "e10-structure"]);
+        assert_eq!(hits.len(), 2);
+    }
+
+    #[test]
+    fn select_many_keeps_registration_order() {
+        let r = sample();
+        // Filters listed in "reverse" order must not reorder results.
+        let hits = r.select_many(&["e10-structure", "e1-depth"]);
+        let slugs: Vec<&str> = hits.iter().map(|e| e.slug).collect();
+        assert_eq!(slugs, vec!["e1-depth", "e10-structure"]);
+    }
+
+    #[test]
+    fn select_many_empty_filter_list_selects_nothing() {
+        let r = sample();
+        assert!(r.select_many::<&str>(&[]).is_empty());
     }
 
     #[test]
