@@ -7,24 +7,40 @@
 //! cargo run -p autosec-bench --bin experiments -- \
 //!     --filter e2-lrp-rounds --jobs 4 --seed 7 --json          # one table,
 //!                                                # four workers, artifacts
+//! cargo run -p autosec-bench --bin experiments -- \
+//!     --json --keep-going                        # degrade, don't abort
+//! cargo run -p autosec-bench --bin experiments -- \
+//!     --json --resume                            # finish a prior run
 //! ```
 //!
 //! Filters match an experiment's group id (`E10`) or slug
 //! (`e10-cascade`) **exactly**, case-insensitively — `E1` never drags
-//! in E10–E13 — and a `tag:` prefix (`tag:parallel`) selects by
-//! registry tag instead. Several filters may be given (positionally or
-//! via repeated `--filter`); an experiment matched by more than one
-//! still runs exactly once. With `--json`, per-experiment artifacts
-//! plus a `manifest.json` land in `target/experiments/` (override with
-//! `--out DIR`). Tables are bit-identical for any `--jobs` value, and
-//! `--trials-scale` multiplies Monte-Carlo trial counts without
-//! touching per-trial streams.
+//! in E10–E13 — a `tag:` prefix (`tag:parallel`) selects by registry
+//! tag, and `failed:DIR` re-selects the failures a prior manifest
+//! recorded. Several filters may be given (positionally or via
+//! repeated `--filter`); an experiment matched by more than one still
+//! runs exactly once. With `--json`, per-experiment artifacts plus a
+//! `manifest.json` land in `target/experiments/` (override with
+//! `--out DIR`), rewritten after every experiment so even an
+//! interrupted run leaves a resumable manifest. Tables are
+//! bit-identical for any `--jobs` value, and `--trials-scale`
+//! multiplies Monte-Carlo trial counts without touching per-trial
+//! streams.
+//!
+//! Fault tolerance: each experiment runs under `catch_unwind` with a
+//! soft deadline derived from its cost class (`--deadline-secs`
+//! overrides). A panicking or overtime experiment normally aborts the
+//! suite (exit 1, failure recorded in the manifest); with
+//! `--keep-going` it is recorded and the suite continues — healthy
+//! experiments produce bit-identical artifacts to a clean run.
+//! `--resume` re-reads the prior manifest and re-runs only failures
+//! and gaps for the same `(seed, trials-scale, filter set)`.
 
 use std::process::ExitCode;
-use std::time::Instant;
+use std::time::Duration;
 
-use autosec_bench::{registry, ArtifactStore, ExperimentRecord, RunCtx, RunManifest};
-use autosec_runner::DEFAULT_ARTIFACT_DIR;
+use autosec_bench::{registry, ArtifactStore, RunCtx, RunManifest};
+use autosec_runner::{run_suite, ResumeState, RunStatus, SuiteOptions, DEFAULT_ARTIFACT_DIR};
 
 struct Args {
     filters: Vec<String>,
@@ -34,18 +50,22 @@ struct Args {
     json: bool,
     canonical: bool,
     list: bool,
+    keep_going: bool,
+    deadline_secs: Option<u64>,
+    resume: bool,
     out: String,
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: experiments [FILTER...] [--filter F] [--seed N] [--jobs N] [--trials-scale F] [--json] [--canonical] [--out DIR] [--list]
+        "usage: experiments [FILTER...] [--filter F] [--seed N] [--jobs N] [--trials-scale F] [--json] [--canonical] [--keep-going] [--deadline-secs N] [--resume] [--out DIR] [--list]
 
   FILTER        group id (e.g. E10) or slug (e.g. e10-cascade); exact,
                 case-insensitive match. tag:<tag> (e.g. tag:parallel)
-                selects every experiment carrying that tag. May be
-                repeated; overlapping filters never run an experiment
-                twice
+                selects every experiment carrying that tag;
+                failed:<dir-or-manifest> re-selects the failed /
+                timed-out entries of a prior manifest. May be repeated;
+                overlapping filters never run an experiment twice
   --seed N      master seed (default 42); every table is a pure function
                 of it
   --jobs N      worker threads (default 1); output is identical for any N
@@ -53,9 +73,21 @@ fn usage() -> ! {
                 multiply Monte-Carlo trial counts by F (default 1.0);
                 a precision/runtime knob like --jobs, excluded from
                 canonical artifacts
-  --json        write per-experiment artifacts + manifest.json
+  --json        write per-experiment artifacts + manifest.json (the
+                manifest is rewritten after every experiment, so an
+                interrupted run stays resumable)
   --canonical   strip volatile keys (durations, jobs) from artifacts so
                 runs with different --jobs diff byte-identical
+  --keep-going  record a panicking or overtime experiment in the
+                manifest and continue instead of aborting (exit 1 if
+                anything failed)
+  --deadline-secs N
+                soft per-experiment deadline replacing the cost-derived
+                defaults (cheap 30s / moderate 120s / heavy 600s)
+  --resume      skip experiments whose artifact a prior manifest in the
+                --out dir already covers for the same (seed,
+                trials-scale, filter set); re-runs failures and gaps.
+                Implies --json
   --out DIR     artifact directory (default {DEFAULT_ARTIFACT_DIR})
   --list        print the experiment catalogue and exit"
     );
@@ -71,6 +103,9 @@ fn parse_args() -> Args {
         json: false,
         canonical: false,
         list: false,
+        keep_going: false,
+        deadline_secs: None,
+        resume: false,
         out: DEFAULT_ARTIFACT_DIR.to_owned(),
     };
     let mut it = std::env::args().skip(1);
@@ -108,8 +143,20 @@ fn parse_args() -> Args {
                         usage()
                     });
             }
+            "--deadline-secs" | "-d" => {
+                let v = value("--deadline-secs");
+                args.deadline_secs = Some(v.parse().unwrap_or_else(|_| {
+                    eprintln!("invalid --deadline-secs {v:?}: expected a positive integer");
+                    usage()
+                }));
+            }
             "--json" => args.json = true,
             "--canonical" => args.canonical = true,
+            "--keep-going" | "-k" => args.keep_going = true,
+            "--resume" | "-r" => {
+                args.resume = true;
+                args.json = true;
+            }
             "--list" | "-l" => args.list = true,
             "--out" | "-o" => args.out = value("--out"),
             "--help" | "-h" => usage(),
@@ -132,15 +179,20 @@ fn main() -> ExitCode {
 
     if args.list {
         println!(
-            "{:<22} {:<6} {:<9} {:<34} title",
-            "slug", "id", "cost", "tags"
+            "{:<22} {:<6} {:<9} {:<9} {:<34} title",
+            "slug", "id", "cost", "deadline", "tags"
         );
         for e in reg.iter() {
+            let deadline = args
+                .deadline_secs
+                .map(Duration::from_secs)
+                .unwrap_or_else(|| e.cost.deadline());
             println!(
-                "{:<22} {:<6} {:<9} {:<34} {}",
+                "{:<22} {:<6} {:<9} {:<9} {:<34} {}",
                 e.slug,
                 e.id,
                 e.cost.to_string(),
+                format!("{}s", deadline.as_secs()),
                 e.tags.join(","),
                 e.title
             );
@@ -148,8 +200,8 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
 
-    let selected: Vec<_> = if args.filters.is_empty() {
-        reg.iter().collect()
+    let selected = if args.filters.is_empty() {
+        reg.all()
     } else {
         reg.select_many(&args.filters)
     };
@@ -163,51 +215,137 @@ fn main() -> ExitCode {
     }
 
     let ctx = RunCtx::new(args.seed, args.jobs).with_trials_scale(args.trials_scale);
-    let mut records = Vec::new();
-    for e in &selected {
-        let start = Instant::now();
-        let table = e.run(&ctx);
-        let duration = start.elapsed();
-        println!("{table}");
-        records.push(ExperimentRecord {
-            slug: e.slug.to_owned(),
-            id: e.id.to_owned(),
-            duration,
-            table,
-        });
-    }
-
-    if args.json {
-        let manifest = RunManifest {
-            seed: ctx.seed,
-            jobs: ctx.jobs,
-            trials_scale: ctx.trials_scale,
-            filter: if args.filters.is_empty() {
-                None
-            } else {
-                Some(args.filters.join(","))
-            },
-            records,
-        };
-        let store = match ArtifactStore::create(&args.out) {
-            Ok(s) if args.canonical => s.canonical(),
-            Ok(s) => s,
+    let store = if args.json {
+        match ArtifactStore::create(&args.out) {
+            Ok(s) if args.canonical => Some(s.canonical()),
+            Ok(s) => Some(s),
             Err(e) => {
                 eprintln!("cannot create artifact dir {:?}: {e}", args.out);
                 return ExitCode::FAILURE;
             }
-        };
-        match store.write_run(&manifest) {
-            Ok(path) => eprintln!(
-                "wrote {} artifacts + {}",
-                manifest.records.len(),
-                path.display()
-            ),
-            Err(e) => {
-                eprintln!("artifact write failed: {e}");
-                return ExitCode::FAILURE;
+        }
+    } else {
+        None
+    };
+
+    // Resume: reuse completed artifacts from the prior manifest when
+    // the run parameters line up.
+    let mut skip = std::collections::BTreeSet::new();
+    if args.resume {
+        match ResumeState::load(&args.out) {
+            Some(state) if state.compatible_with(ctx.seed, ctx.trials_scale, &args.filters) => {
+                skip = state.reusable(std::path::Path::new(&args.out));
+                eprintln!(
+                    "resume: reusing {} artifact(s), re-running {} failure(s) and any gaps",
+                    skip.len(),
+                    state.failed.len()
+                );
+            }
+            Some(state) => {
+                eprintln!(
+                    "resume: prior manifest (seed {}, trials-scale {}, filter {:?}) does not match this run; re-running everything",
+                    state.seed,
+                    state.trials_scale,
+                    state.filter.as_deref().unwrap_or("none")
+                );
+            }
+            None => {
+                eprintln!(
+                    "resume: no usable manifest in {:?}; re-running everything",
+                    args.out
+                );
             }
         }
+    }
+
+    let opts = SuiteOptions {
+        keep_going: args.keep_going,
+        deadline_override: args.deadline_secs.map(Duration::from_secs),
+        skip,
+    };
+
+    // The manifest grows record by record and is rewritten after every
+    // experiment, so a killed run still leaves a resumable trail.
+    let mut manifest = RunManifest {
+        seed: ctx.seed,
+        jobs: ctx.jobs,
+        trials_scale: ctx.trials_scale,
+        filter: if args.filters.is_empty() {
+            None
+        } else {
+            Some(args.filters.join(","))
+        },
+        records: Vec::new(),
+    };
+
+    let report = run_suite(&selected, &ctx, &opts, |record| {
+        match &record.status {
+            RunStatus::Ok => {
+                let table = record.table.as_ref().expect("ok record has a table");
+                println!("{table}");
+                if let Some(store) = &store {
+                    if let Err(e) = store.write_record(record, ctx.seed, ctx.jobs, ctx.trials_scale)
+                    {
+                        eprintln!("artifact write failed for {}: {e}", record.slug);
+                    }
+                }
+            }
+            RunStatus::Failed { message } => {
+                eprintln!(
+                    "FAILED {} after {:.1} ms: {message}",
+                    record.slug,
+                    record.duration.as_secs_f64() * 1e3
+                );
+            }
+            RunStatus::TimedOut { deadline } => {
+                eprintln!(
+                    "TIMED OUT {} after {:.1} s (deadline {} s); worker detached",
+                    record.slug,
+                    record.duration.as_secs_f64(),
+                    deadline.as_secs()
+                );
+            }
+            RunStatus::Skipped => {
+                eprintln!("skipped {} (artifact reused from prior run)", record.slug);
+            }
+        }
+        if let Some(store) = &store {
+            manifest.records.push(record.clone());
+            if let Err(e) = store.write_manifest(&manifest) {
+                eprintln!("manifest write failed: {e}");
+            }
+        }
+    });
+
+    if let Some(store) = &store {
+        eprintln!(
+            "wrote {} artifact(s) + {}",
+            report
+                .records
+                .iter()
+                .filter(|r| r.status == RunStatus::Ok)
+                .count(),
+            store.dir().join("manifest.json").display()
+        );
+    }
+
+    let failures = report.failures();
+    if !failures.is_empty() {
+        eprintln!(
+            "{} experiment(s) did not complete: {}{}",
+            failures.len(),
+            failures
+                .iter()
+                .map(|r| r.slug.as_str())
+                .collect::<Vec<_>>()
+                .join(", "),
+            if report.aborted {
+                " (suite aborted; use --keep-going to degrade instead)"
+            } else {
+                ""
+            }
+        );
+        return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS
 }

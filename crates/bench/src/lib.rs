@@ -20,6 +20,7 @@ pub mod exp_adversary;
 pub mod exp_collab;
 pub mod exp_data;
 pub mod exp_faults;
+pub mod exp_harness;
 pub mod exp_ids;
 pub mod exp_ivn;
 pub mod exp_phy;
@@ -239,6 +240,14 @@ pub fn registry() -> Registry {
         exp_adversary::e17_defense_frontier_table,
     );
     reg(
+        "E18",
+        "e18-harness-resilience",
+        "§VIII — harness resilience under injected trial panics",
+        &["harness", "resilience", "parallel"],
+        Moderate,
+        exp_harness::e18_harness_resilience_table,
+    );
+    reg(
         "A1",
         "a1-hrp-threshold",
         "Ablation — HRP integrity threshold sweep",
@@ -278,6 +287,19 @@ pub fn registry() -> Registry {
         Moderate,
         exp_ablations::a5_vrange_table,
     );
+    // The hidden chaos probe exists only when explicitly summoned: CI
+    // sets AUTOSEC_CHAOS to drive --keep-going / --resume through a
+    // real (deterministic) failure without touching the normal suite.
+    if std::env::var("AUTOSEC_CHAOS").is_ok() {
+        reg(
+            "X0",
+            "x0-chaos",
+            "hidden chaos probe (AUTOSEC_CHAOS: panic | sleep:<ms> | ok)",
+            &["chaos"],
+            Cheap,
+            exp_harness::x0_chaos_table,
+        );
+    }
     r
 }
 
@@ -295,11 +317,14 @@ mod tests {
     #[test]
     fn registry_covers_all_groups() {
         let r = registry();
-        assert_eq!(r.len(), 30);
+        // 31 normally; +1 when a chaos-probe env var leaks into the
+        // test environment.
+        let chaos = std::env::var("AUTOSEC_CHAOS").is_ok() as usize;
+        assert_eq!(r.len(), 31 + chaos);
         let ids = r.group_ids();
         for want in [
             "E1", "E2", "E2b", "E3", "E4", "E5-E7", "E8", "E8b", "E9", "E10", "E11", "E12", "E13",
-            "E14", "E15", "E16", "E17", "A1", "A2", "A3", "A4", "A5",
+            "E14", "E15", "E16", "E17", "E18", "A1", "A2", "A3", "A4", "A5",
         ] {
             assert!(ids.contains(&want), "missing group {want}");
         }

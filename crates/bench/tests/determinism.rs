@@ -44,11 +44,13 @@ fn seed_actually_changes_the_tables() {
 fn artifacts_identical_modulo_duration() {
     let reg = registry();
     let exp = &reg.select("e12-removal")[0];
-    let record = |jobs: usize, fake_ms: u64| ExperimentRecord {
-        slug: exp.slug.to_owned(),
-        id: exp.id.to_owned(),
-        duration: Duration::from_millis(fake_ms),
-        table: exp.run(&RunCtx::new(42, jobs)),
+    let record = |jobs: usize, fake_ms: u64| {
+        ExperimentRecord::ok(
+            exp.slug,
+            exp.id,
+            Duration::from_millis(fake_ms),
+            exp.run(&RunCtx::new(42, jobs)),
+        )
     };
     let a = strip_durations(&record(1, 3).to_json(42, 1, 1.0));
     let b = strip_durations(&record(4, 9000).to_json(42, 1, 1.0));
@@ -89,6 +91,7 @@ const MIGRATED: &[&str] = &[
     "e10-realtime",
     "e14-fault-sweep",
     "e15-recovery",
+    "e18-harness-resilience",
     "a1-hrp-threshold",
     "a5-vrange",
 ];
@@ -105,6 +108,31 @@ fn migrated_experiments_are_jobs_invariant() {
             "{slug} diverged between jobs=1 and jobs=4"
         );
     }
+}
+
+#[test]
+fn quarantined_outcome_sequences_are_jobs_invariant() {
+    // The fault-tolerance counterpart of the tables test: when trials
+    // panic, the full TrialOutcome sequence — which slots died and
+    // with what message — must also be independent of the job count.
+    use autosec_runner::try_par_trials;
+    let base = SimRng::seed(42).fork("quarantine-probe");
+    let run = |jobs: usize| {
+        try_par_trials(jobs, 151, &base, |i, mut rng| {
+            if rng.chance(0.2) {
+                panic!("probe trial {i} panicked");
+            }
+            rng.next_u64()
+        })
+    };
+    let serial = run(1);
+    assert!(serial.iter().any(|o| !o.is_ok()), "no trial panicked");
+    assert!(serial.iter().any(|o| o.is_ok()), "every trial panicked");
+    assert_eq!(
+        serial,
+        run(4),
+        "quarantine diverged between jobs=1 and jobs=4"
+    );
 }
 
 #[test]

@@ -23,20 +23,41 @@
 //! - [`RunCtx`] — seed + job count handed to every experiment.
 //! - [`WorkStealingPool`] — index-claiming pool used by [`par_trials`].
 //! - [`par_trials`] / [`par_trials_fold`] — deterministic parallel
-//!   Monte-Carlo sweeps.
-//! - [`artifact`] — run manifest + per-experiment JSON artifacts.
+//!   Monte-Carlo sweeps; the `try_` variants quarantine panicking
+//!   trials as [`TrialOutcome`]s instead of unwinding.
+//! - [`suite`] — the fault-tolerant suite runner: per-experiment
+//!   `catch_unwind`, cost-derived soft deadlines, keep-going
+//!   degradation, and resume skip sets.
+//! - [`artifact`] — run manifest + per-experiment JSON artifacts, with
+//!   per-entry statuses and [`ResumeState`] for `--resume`.
+//!
+//! ## Fault-tolerance contract
+//!
+//! Failure handling is as deterministic as success: a panicking trial
+//! is quarantined into the same slot with the same message for every
+//! `--jobs` value, a panicking experiment never perturbs its
+//! neighbors' RNG streams, and a resumed run reuses artifacts only
+//! when `(seed, trials-scale, filter set)` all match.
 
 pub mod artifact;
 pub mod ctx;
 pub mod par;
 pub mod pool;
 pub mod registry;
+pub mod suite;
 pub mod table;
 
 pub use artifact::DEFAULT_ARTIFACT_DIR;
-pub use artifact::{strip_durations, strip_volatile, ArtifactStore, ExperimentRecord, RunManifest};
+pub use artifact::{
+    normalize_filters, strip_durations, strip_volatile, ArtifactStore, ExperimentRecord,
+    ResumeState, RunManifest, RunStatus,
+};
 pub use ctx::{RunCtx, DEFAULT_SEED};
-pub use par::{par_trials, par_trials_fold};
+pub use par::{
+    panic_message, par_trials, par_trials_fold, silence_panics, try_par_trials,
+    try_par_trials_fold, TrialOutcome,
+};
 pub use pool::WorkStealingPool;
 pub use registry::{Cost, Experiment, Registry};
+pub use suite::{run_suite, SuiteOptions, SuiteReport};
 pub use table::Table;

@@ -3,10 +3,151 @@
 //! Trial `i` always computes on the stream `base.fork_idx(i)` and its
 //! result lands in slot `i`; the merge happens in slot order. The
 //! worker count therefore changes wall-clock time and nothing else.
+//!
+//! ## Fault tolerance
+//!
+//! Every helper runs each trial under [`std::panic::catch_unwind`], so
+//! a panicking trial can never poison another trial's slot or leak a
+//! generic "a scoped thread panicked" message:
+//!
+//! - [`par_trials`] / [`par_trials_fold`] **propagate** the original
+//!   panic payload of the lowest-index panicking trial (all trials are
+//!   still attempted first, so the choice is identical for every
+//!   `jobs` value).
+//! - [`try_par_trials`] / [`try_par_trials_fold`] **quarantine**:
+//!   each slot becomes a [`TrialOutcome`] (`Ok` or `Panicked`), in
+//!   trial order, bit-identical for every `jobs` value.
+
+use std::any::Any;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, Once, PoisonError};
 
 use autosec_sim::SimRng;
 
 use crate::pool::WorkStealingPool;
+
+/// The quarantined result of one Monte-Carlo trial.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TrialOutcome<T> {
+    /// The trial completed and produced a value.
+    Ok(T),
+    /// The trial panicked; `message` is the rendered panic payload.
+    Panicked {
+        /// The panic payload, rendered to a string (`&str`/`String`
+        /// payloads verbatim, anything else a fixed placeholder).
+        message: String,
+    },
+}
+
+impl<T> TrialOutcome<T> {
+    /// The value, if the trial completed.
+    pub fn ok(self) -> Option<T> {
+        match self {
+            TrialOutcome::Ok(v) => Some(v),
+            TrialOutcome::Panicked { .. } => None,
+        }
+    }
+
+    /// Whether the trial completed.
+    pub fn is_ok(&self) -> bool {
+        matches!(self, TrialOutcome::Ok(_))
+    }
+
+    /// The panic message, if the trial was quarantined.
+    pub fn panic_message(&self) -> Option<&str> {
+        match self {
+            TrialOutcome::Ok(_) => None,
+            TrialOutcome::Panicked { message } => Some(message),
+        }
+    }
+}
+
+/// Renders a caught panic payload the way the default hook would:
+/// `&str` and `String` payloads verbatim, anything else a placeholder.
+pub fn panic_message(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_owned()
+    }
+}
+
+/// Number of active panic-silencing guards (see [`silence_panics`]).
+static SILENCE_DEPTH: AtomicUsize = AtomicUsize::new(0);
+static SILENCE_HOOK: Once = Once::new();
+
+/// Suppresses the default panic-hook output while the returned guard is
+/// alive. Used around *quarantining* runs, where every panic is caught,
+/// rendered into its [`TrialOutcome`] or manifest entry, and reported
+/// there — printing each one to stderr would only drown the output.
+///
+/// The suppression is process-global (the hook is shared state), so an
+/// unrelated panic on another thread is also silenced while a guard is
+/// alive; it still unwinds normally, only the printing is skipped.
+/// Propagating paths ([`par_trials`]) take no guard, so their panics
+/// print at the original site as usual.
+pub fn silence_panics() -> SilenceGuard {
+    SILENCE_HOOK.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if SILENCE_DEPTH.load(Ordering::SeqCst) == 0 {
+                prev(info);
+            }
+        }));
+    });
+    SILENCE_DEPTH.fetch_add(1, Ordering::SeqCst);
+    SilenceGuard(())
+}
+
+/// RAII guard from [`silence_panics`]; panic printing resumes when the
+/// last live guard drops.
+#[derive(Debug)]
+pub struct SilenceGuard(());
+
+impl Drop for SilenceGuard {
+    fn drop(&mut self) {
+        SILENCE_DEPTH.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+type Caught<T> = Result<T, Box<dyn Any + Send>>;
+
+/// Runs every trial under `catch_unwind` and returns the raw results in
+/// trial order. Both the serial and the parallel path attempt **all**
+/// `n` trials — a panic never prevents later trials from running — so
+/// quarantine and propagation decisions are identical for every `jobs`
+/// value.
+fn run_caught<T, F>(jobs: usize, n: usize, base: &SimRng, trial: F) -> Vec<Caught<T>>
+where
+    T: Send,
+    F: Fn(usize, SimRng) -> T + Sync,
+{
+    let pool = WorkStealingPool::new(jobs);
+    let caught = |i: usize| catch_unwind(AssertUnwindSafe(|| trial(i, base.fork_idx(i as u64))));
+    if pool.jobs() == 1 || n <= 1 {
+        return (0..n).map(caught).collect();
+    }
+
+    let slots: Vec<Mutex<Option<Caught<T>>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    pool.execute(n, |i| {
+        // The trial runs (and may unwind) before the slot lock is
+        // taken, so a panicking trial cannot poison any slot; the
+        // recovery below is pure defense in depth.
+        let out = caught(i);
+        *slots[i].lock().unwrap_or_else(PoisonError::into_inner) = Some(out);
+    });
+    slots
+        .into_iter()
+        .map(|s| {
+            s.into_inner()
+                .unwrap_or_else(PoisonError::into_inner)
+                .expect("every slot filled")
+        })
+        .collect()
+}
 
 /// Runs `n` independent trials, trial `i` on `base.fork_idx(i)`, and
 /// returns the results **in trial order**.
@@ -15,29 +156,47 @@ use crate::pool::WorkStealingPool;
 ///
 /// # Panics
 ///
-/// Panics (propagated) if any trial panics.
+/// If any trial panics, all trials are still attempted and then the
+/// **original payload of the lowest-index panicking trial** is
+/// re-thrown via [`resume_unwind`] — the same payload for every `jobs`
+/// value, never a synthetic "slot poisoned" or "a scoped thread
+/// panicked" message.
 pub fn par_trials<T, F>(jobs: usize, n: usize, base: &SimRng, trial: F) -> Vec<T>
 where
     T: Send,
     F: Fn(usize, SimRng) -> T + Sync,
 {
-    let pool = WorkStealingPool::new(jobs);
-    if pool.jobs() == 1 || n <= 1 {
-        return (0..n).map(|i| trial(i, base.fork_idx(i as u64))).collect();
+    let mut out = Vec::with_capacity(n);
+    for result in run_caught(jobs, n, base, trial) {
+        match result {
+            Ok(v) => out.push(v),
+            Err(payload) => resume_unwind(payload),
+        }
     }
+    out
+}
 
-    let slots: Vec<std::sync::Mutex<Option<T>>> =
-        (0..n).map(|_| std::sync::Mutex::new(None)).collect();
-    pool.execute(n, |i| {
-        let out = trial(i, base.fork_idx(i as u64));
-        *slots[i].lock().expect("slot poisoned") = Some(out);
-    });
-    slots
+/// The quarantining variant of [`par_trials`]: each trial's panic is
+/// caught and recorded as [`TrialOutcome::Panicked`] in its slot, and
+/// every other trial runs to completion.
+///
+/// The outcome sequence — including which slots are quarantined and
+/// their messages — is a pure function of `(seed, n)`, identical for
+/// every `jobs` value. Panic-hook output is suppressed for the
+/// duration (see [`silence_panics`]); the messages are in the slots.
+pub fn try_par_trials<T, F>(jobs: usize, n: usize, base: &SimRng, trial: F) -> Vec<TrialOutcome<T>>
+where
+    T: Send,
+    F: Fn(usize, SimRng) -> T + Sync,
+{
+    let _quiet = silence_panics();
+    run_caught(jobs, n, base, trial)
         .into_iter()
-        .map(|s| {
-            s.into_inner()
-                .expect("slot poisoned")
-                .expect("every slot filled")
+        .map(|r| match r {
+            Ok(v) => TrialOutcome::Ok(v),
+            Err(payload) => TrialOutcome::Panicked {
+                message: panic_message(payload.as_ref()),
+            },
         })
         .collect()
 }
@@ -62,6 +221,29 @@ where
 {
     let mut fold = fold;
     par_trials(jobs, n, base, trial)
+        .into_iter()
+        .enumerate()
+        .fold(init, |acc, (i, out)| fold(acc, i, out))
+}
+
+/// [`try_par_trials`] followed by an **in-order** fold over the
+/// [`TrialOutcome`]s — quarantine-aware accumulation (skip, count, or
+/// inspect panicked slots as the fold sees fit).
+pub fn try_par_trials_fold<T, A, F, G>(
+    jobs: usize,
+    n: usize,
+    base: &SimRng,
+    trial: F,
+    init: A,
+    fold: G,
+) -> A
+where
+    T: Send,
+    F: Fn(usize, SimRng) -> T + Sync,
+    G: FnMut(A, usize, TrialOutcome<T>) -> A,
+{
+    let mut fold = fold;
+    try_par_trials(jobs, n, base, trial)
         .into_iter()
         .enumerate()
         .fold(init, |acc, (i, out)| fold(acc, i, out))
@@ -121,5 +303,102 @@ mod tests {
         let base = SimRng::seed(5);
         let out: Vec<u64> = par_trials(4, 0, &base, |_, mut rng| rng.next_u64());
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn quarantine_is_jobs_invariant() {
+        // A fixed pseudo-random subset of trials panics; the outcome
+        // sequence (slots and messages) must not depend on jobs.
+        let base = SimRng::seed(77);
+        let run = |jobs| {
+            try_par_trials(jobs, 97, &base, |i, mut rng| {
+                if rng.chance(0.3) {
+                    panic!("trial {i} failed");
+                }
+                rng.next_u64()
+            })
+        };
+        let serial = run(1);
+        assert!(serial.iter().any(|o| !o.is_ok()), "no panic injected");
+        assert!(serial.iter().any(|o| o.is_ok()), "every trial panicked");
+        for jobs in [2, 4, 8] {
+            assert_eq!(serial, run(jobs), "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn quarantined_messages_carry_the_payload() {
+        let base = SimRng::seed(1);
+        let out = try_par_trials(4, 8, &base, |i, _| {
+            if i == 3 {
+                panic!("boom at {i}");
+            }
+            i
+        });
+        assert_eq!(out[3].panic_message(), Some("boom at 3"));
+        assert_eq!(out[2], TrialOutcome::Ok(2));
+        assert_eq!(out.iter().filter(|o| o.is_ok()).count(), 7);
+    }
+
+    #[test]
+    fn propagation_rethrows_the_original_payload() {
+        // Both serial and parallel paths must surface the payload of
+        // the lowest-index panicking trial, not a synthetic message.
+        for jobs in [1, 4] {
+            let base = SimRng::seed(2);
+            let caught = catch_unwind(AssertUnwindSafe(|| {
+                par_trials(jobs, 16, &base, |i, _| {
+                    if i == 5 || i == 11 {
+                        panic!("original payload {i}");
+                    }
+                    i
+                })
+            }))
+            .expect_err("must panic");
+            assert_eq!(
+                panic_message(caught.as_ref()),
+                "original payload 5",
+                "jobs={jobs}"
+            );
+        }
+    }
+
+    #[test]
+    fn try_fold_sees_quarantined_slots_in_order() {
+        let base = SimRng::seed(3);
+        let (sum, panics) = try_par_trials_fold(
+            4,
+            32,
+            &base,
+            |i, _| {
+                if i % 7 == 0 {
+                    panic!("die {i}");
+                }
+                i
+            },
+            (0usize, 0usize),
+            |(sum, panics), i, out| match out {
+                TrialOutcome::Ok(v) => {
+                    assert_eq!(v, i);
+                    (sum + v, panics)
+                }
+                TrialOutcome::Panicked { message } => {
+                    assert_eq!(message, format!("die {i}"));
+                    (sum, panics + 1)
+                }
+            },
+        );
+        assert_eq!(panics, 5, "trials 0,7,14,21,28");
+        assert_eq!(sum, (0..32).filter(|i| i % 7 != 0).sum::<usize>());
+    }
+
+    #[test]
+    fn panic_message_renders_common_payloads() {
+        let s: Box<dyn Any + Send> = Box::new("static str");
+        assert_eq!(panic_message(s.as_ref()), "static str");
+        let owned: Box<dyn Any + Send> = Box::new(String::from("owned"));
+        assert_eq!(panic_message(owned.as_ref()), "owned");
+        let odd: Box<dyn Any + Send> = Box::new(42u32);
+        assert_eq!(panic_message(odd.as_ref()), "<non-string panic payload>");
     }
 }

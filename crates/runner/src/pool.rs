@@ -12,9 +12,11 @@
 //! [`par_trials`](crate::par_trials) does with `fork_idx`) get
 //! scheduling-independent results for free.
 
+use std::any::Any;
 use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
 
 /// A pool executing indexed task sets across a fixed worker count.
 #[derive(Debug, Clone, Copy)]
@@ -39,50 +41,81 @@ impl WorkStealingPool {
     /// With one worker the tasks run on the calling thread, in index
     /// order, with zero synchronization — the `--jobs 1` baseline is
     /// the plain serial loop.
+    ///
+    /// # Panics
+    ///
+    /// A panicking task does not poison the pool and does not stop the
+    /// other tasks: every index is still attempted, and afterwards the
+    /// **original payload of the lowest-index panicking task** is
+    /// re-thrown via [`resume_unwind`] — identical behavior for every
+    /// worker count, never a generic "a scoped thread panicked".
     pub fn execute<F>(&self, n: usize, task: F) -> Vec<usize>
     where
         F: Fn(usize) + Sync,
     {
-        if self.jobs == 1 || n <= 1 {
+        // First panic payload, keyed by the lowest task index so the
+        // choice is scheduling-independent.
+        let first_panic: Mutex<Option<(usize, Box<dyn Any + Send>)>> = Mutex::new(None);
+        let run = |i: usize| {
+            if let Err(payload) = catch_unwind(AssertUnwindSafe(|| task(i))) {
+                let mut slot = first_panic.lock().unwrap_or_else(PoisonError::into_inner);
+                if slot.as_ref().is_none_or(|(idx, _)| i < *idx) {
+                    *slot = Some((i, payload));
+                }
+            }
+        };
+
+        let counts = if self.jobs == 1 || n <= 1 {
             for i in 0..n {
-                task(i);
+                run(i);
             }
-            return vec![n];
-        }
+            vec![n]
+        } else {
+            let workers = self.jobs.min(n);
+            // Preload each deque with a contiguous chunk of the range.
+            let chunk = n.div_ceil(workers);
+            let deques: Vec<Mutex<VecDeque<usize>>> = (0..workers)
+                .map(|w| Mutex::new((w * chunk..((w + 1) * chunk).min(n)).collect()))
+                .collect();
+            let executed: Vec<AtomicUsize> = (0..workers).map(|_| AtomicUsize::new(0)).collect();
 
-        let workers = self.jobs.min(n);
-        // Preload each deque with a contiguous chunk of the range.
-        let chunk = n.div_ceil(workers);
-        let deques: Vec<Mutex<VecDeque<usize>>> = (0..workers)
-            .map(|w| Mutex::new((w * chunk..((w + 1) * chunk).min(n)).collect()))
-            .collect();
-        let executed: Vec<AtomicUsize> = (0..workers).map(|_| AtomicUsize::new(0)).collect();
-
-        std::thread::scope(|scope| {
-            for w in 0..workers {
-                let deques = &deques;
-                let executed = &executed;
-                let task = &task;
-                scope.spawn(move || {
-                    loop {
-                        // Own queue first (front: cache-warm order)...
-                        let own = deques[w].lock().expect("pool deque poisoned").pop_front();
-                        let idx = match own {
-                            Some(i) => i,
-                            // ...then steal from the back of a victim.
-                            None => match Self::steal(deques, w) {
+            std::thread::scope(|scope| {
+                for w in 0..workers {
+                    let deques = &deques;
+                    let executed = &executed;
+                    let run = &run;
+                    scope.spawn(move || {
+                        loop {
+                            // Own queue first (front: cache-warm order)...
+                            let own = deques[w]
+                                .lock()
+                                .unwrap_or_else(PoisonError::into_inner)
+                                .pop_front();
+                            let idx = match own {
                                 Some(i) => i,
-                                None => break,
-                            },
-                        };
-                        task(idx);
-                        executed[w].fetch_add(1, Ordering::Relaxed);
-                    }
-                });
-            }
-        });
+                                // ...then steal from the back of a victim.
+                                None => match Self::steal(deques, w) {
+                                    Some(i) => i,
+                                    None => break,
+                                },
+                            };
+                            run(idx);
+                            executed[w].fetch_add(1, Ordering::Relaxed);
+                        }
+                    });
+                }
+            });
 
-        executed.into_iter().map(|c| c.into_inner()).collect()
+            executed.into_iter().map(|c| c.into_inner()).collect()
+        };
+
+        if let Some((_, payload)) = first_panic
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
+        {
+            resume_unwind(payload);
+        }
+        counts
     }
 
     /// Steals one index from any non-empty victim deque.
@@ -92,7 +125,7 @@ impl WorkStealingPool {
             let victim = (thief + off) % n;
             if let Some(idx) = deques[victim]
                 .lock()
-                .expect("pool deque poisoned")
+                .unwrap_or_else(PoisonError::into_inner)
                 .pop_back()
             {
                 return Some(idx);
@@ -153,5 +186,55 @@ mod tests {
     #[test]
     fn jobs_clamped() {
         assert_eq!(WorkStealingPool::new(0).jobs(), 1);
+    }
+
+    #[test]
+    fn panic_payload_propagates_verbatim() {
+        // The original payload must survive — not "slot poisoned" or
+        // "a scoped thread panicked" — and every other index must
+        // still have executed, for any worker count.
+        let _quiet = crate::par::silence_panics();
+        for jobs in [1, 4] {
+            let n = 40;
+            let seen: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+            let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                WorkStealingPool::new(jobs).execute(n, |i| {
+                    seen[i].fetch_add(1, Ordering::Relaxed);
+                    if i == 13 {
+                        panic!("task 13 exploded");
+                    }
+                })
+            }))
+            .expect_err("must propagate");
+            let msg = crate::par::panic_message(err.as_ref());
+            assert_eq!(msg, "task 13 exploded", "jobs={jobs}");
+            for (i, s) in seen.iter().enumerate() {
+                assert_eq!(
+                    s.load(Ordering::Relaxed),
+                    1,
+                    "index {i} skipped at jobs={jobs}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lowest_index_panic_wins_regardless_of_schedule() {
+        let _quiet = crate::par::silence_panics();
+        for jobs in [1, 2, 8] {
+            let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                WorkStealingPool::new(jobs).execute(64, |i| {
+                    if i % 9 == 4 {
+                        panic!("boom {i}");
+                    }
+                })
+            }))
+            .expect_err("must propagate");
+            assert_eq!(
+                crate::par::panic_message(err.as_ref()),
+                "boom 4",
+                "jobs={jobs}"
+            );
+        }
     }
 }

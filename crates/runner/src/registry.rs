@@ -1,10 +1,15 @@
 //! Experiments as data: id, slug, title, tags, cost, and a closure.
 
+use std::path::Path;
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::artifact::{ResumeState, DEFAULT_ARTIFACT_DIR};
 use crate::ctx::RunCtx;
 use crate::table::Table;
 
-/// Rough cost class of one experiment (drives scheduling hints and
-/// lets callers pick cheap subsets for smoke tests).
+/// Rough cost class of one experiment (drives scheduling hints, soft
+/// deadlines, and lets callers pick cheap subsets for smoke tests).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum Cost {
     /// Milliseconds.
@@ -13,6 +18,21 @@ pub enum Cost {
     Moderate,
     /// Monte-Carlo sweeps dominating the suite's runtime.
     Heavy,
+}
+
+impl Cost {
+    /// The default soft deadline for one experiment of this class,
+    /// used by the fault-tolerant suite runner (override with
+    /// `--deadline-secs`). Generous on purpose: a healthy run never
+    /// comes close, so tripping one means the experiment is hung or
+    /// pathologically slow.
+    pub fn deadline(self) -> Duration {
+        match self {
+            Cost::Cheap => Duration::from_secs(30),
+            Cost::Moderate => Duration::from_secs(120),
+            Cost::Heavy => Duration::from_secs(600),
+        }
+    }
 }
 
 impl std::fmt::Display for Cost {
@@ -81,9 +101,13 @@ impl std::fmt::Debug for Experiment {
 }
 
 /// The ordered experiment registry.
+///
+/// Experiments are stored behind [`Arc`] so the suite runner can hand
+/// one to a deadline-supervised worker thread without tying the
+/// thread's lifetime to the registry borrow.
 #[derive(Debug, Default)]
 pub struct Registry {
-    experiments: Vec<Experiment>,
+    experiments: Vec<Arc<Experiment>>,
 }
 
 impl Registry {
@@ -104,12 +128,12 @@ impl Registry {
             "duplicate experiment slug {:?}",
             exp.slug
         );
-        self.experiments.push(exp);
+        self.experiments.push(Arc::new(exp));
     }
 
     /// All experiments, in registration order.
     pub fn iter(&self) -> impl Iterator<Item = &Experiment> {
-        self.experiments.iter()
+        self.experiments.iter().map(AsRef::as_ref)
     }
 
     /// Number of registered experiments.
@@ -122,14 +146,24 @@ impl Registry {
         self.experiments.is_empty()
     }
 
+    /// All experiments as shared handles, in registration order.
+    pub fn all(&self) -> Vec<Arc<Experiment>> {
+        self.experiments.clone()
+    }
+
     /// Experiments whose group id **or** slug equals `filter`,
     /// case-insensitively. Exact match only: `"E1"` selects E1 and
     /// never E10–E13.
     ///
-    /// A `tag:` prefix switches to tag selection instead:
-    /// `"tag:parallel"` returns every experiment carrying that exact
-    /// tag (also case-insensitive).
-    pub fn select(&self, filter: &str) -> Vec<&Experiment> {
+    /// Two pseudo-filter prefixes switch to other selection modes:
+    ///
+    /// - `tag:<tag>` returns every experiment carrying that exact tag
+    ///   (also case-insensitive).
+    /// - `failed:<dir-or-manifest>` re-selects the experiments a prior
+    ///   run's manifest recorded as `failed` or `timed_out` (an empty
+    ///   path reads the default artifact directory). An unreadable or
+    ///   corrupt manifest selects nothing.
+    pub fn select(&self, filter: &str) -> Vec<Arc<Experiment>> {
         self.select_many(&[filter])
     }
 
@@ -140,12 +174,42 @@ impl Registry {
     /// against all filters, so an experiment matched by several of them
     /// — say a `tag:` filter plus its own slug — appears exactly once
     /// and never runs twice in one invocation.
-    pub fn select_many<S: AsRef<str>>(&self, filters: &[S]) -> Vec<&Experiment> {
-        let lowered: Vec<String> = filters.iter().map(|f| f.as_ref().to_lowercase()).collect();
+    pub fn select_many<S: AsRef<str>>(&self, filters: &[S]) -> Vec<Arc<Experiment>> {
+        let mut lowered: Vec<String> = Vec::new();
+        for f in filters {
+            let f = f.as_ref();
+            if let Some(path) = f.strip_prefix("failed:") {
+                // Paths stay case-sensitive; the slugs read from the
+                // manifest fold like ordinary slug filters.
+                lowered.extend(Self::failed_slugs(path).iter().map(|s| s.to_lowercase()));
+            } else {
+                lowered.push(f.to_lowercase());
+            }
+        }
         self.experiments
             .iter()
             .filter(|e| lowered.iter().any(|f| Self::matches(e, f)))
+            .cloned()
             .collect()
+    }
+
+    /// Slugs a prior manifest recorded as failed or timed out. `path`
+    /// may name the artifact directory or the manifest file itself;
+    /// empty means [`DEFAULT_ARTIFACT_DIR`].
+    fn failed_slugs(path: &str) -> Vec<String> {
+        let p = if path.is_empty() {
+            Path::new(DEFAULT_ARTIFACT_DIR)
+        } else {
+            Path::new(path)
+        };
+        let manifest = if p.is_dir() {
+            p.join("manifest.json")
+        } else {
+            p.to_path_buf()
+        };
+        ResumeState::load_manifest(&manifest)
+            .map(|s| s.failed)
+            .unwrap_or_default()
     }
 
     /// Whether one already-lowercased filter selects `e`.
@@ -172,6 +236,7 @@ impl Registry {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::artifact::{ArtifactStore, ExperimentRecord, RunManifest};
 
     fn dummy(id: &'static str, slug: &'static str) -> Experiment {
         dummy_tagged(id, slug, &[])
@@ -259,6 +324,58 @@ mod tests {
     }
 
     #[test]
+    fn failed_pseudo_filter_reselects_manifest_failures() {
+        let dir = std::env::temp_dir().join("autosec-runner-failed-filter");
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = ArtifactStore::create(&dir).expect("create dir");
+        let manifest = RunManifest {
+            seed: 42,
+            jobs: 1,
+            trials_scale: 1.0,
+            filter: None,
+            records: vec![
+                ExperimentRecord::ok(
+                    "e10-structure",
+                    "E10",
+                    std::time::Duration::ZERO,
+                    Table::new("E10", "t", &["a"]),
+                ),
+                ExperimentRecord::failed(
+                    "e1-depth",
+                    "E1",
+                    std::time::Duration::ZERO,
+                    "boom".into(),
+                ),
+                ExperimentRecord::timed_out(
+                    "e10-cascade",
+                    "E10",
+                    std::time::Duration::from_secs(2),
+                    std::time::Duration::from_secs(1),
+                ),
+            ],
+        };
+        store.write_run(&manifest).expect("write");
+
+        let r = sample();
+        // Directory form, manifest-file form, and mixing with a normal
+        // filter (dedup keeps registration order).
+        let dir_filter = format!("failed:{}", dir.display());
+        let hits = r.select(&dir_filter);
+        let slugs: Vec<&str> = hits.iter().map(|e| e.slug).collect();
+        assert_eq!(slugs, vec!["e1-depth", "e10-cascade"]);
+
+        let file_filter = format!("failed:{}", dir.join("manifest.json").display());
+        assert_eq!(r.select(&file_filter).len(), 2);
+
+        let hits = r.select_many(&[dir_filter.as_str(), "e1-depth"]);
+        assert_eq!(hits.len(), 2, "overlap dedupes");
+
+        // Unreadable manifests select nothing rather than erroring.
+        assert!(r.select("failed:/nonexistent/path").is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn group_ids_are_unique_in_order() {
         assert_eq!(sample().group_ids(), vec!["E1", "E10"]);
     }
@@ -275,5 +392,11 @@ mod tests {
         let r = sample();
         let t = r.select("E1")[0].run(&RunCtx::default());
         assert_eq!(t.id, "X");
+    }
+
+    #[test]
+    fn deadlines_grow_with_cost() {
+        assert!(Cost::Cheap.deadline() < Cost::Moderate.deadline());
+        assert!(Cost::Moderate.deadline() < Cost::Heavy.deadline());
     }
 }
