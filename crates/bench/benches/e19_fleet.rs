@@ -1,0 +1,51 @@
+//! E19/E20: live-fleet tick throughput at different shard counts.
+//!
+//! The headline number is vehicle-ticks per second — the scaling
+//! record in `BENCH_fleet.json`. The attack graph is calibrated once
+//! outside the timed region; each iteration then runs a complete fleet
+//! (construction + ticks + snapshots), so the figure covers the whole
+//! service loop, not just the inner step.
+
+use autosec_adversary::{calibrated_graph, CalibrationConfig};
+use autosec_bench::exp_fleet;
+use autosec_fleet::{FleetConfig, FleetEngine};
+use autosec_runner::RunCtx;
+use autosec_sim::SimRng;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+const VEHICLES: usize = 5_000;
+const TICKS: u64 = 20;
+
+fn bench(c: &mut Criterion) {
+    let graph = calibrated_graph(
+        &CalibrationConfig::new(8, 4),
+        &SimRng::seed(42).fork("bench-fleet"),
+    );
+
+    let mut g = c.benchmark_group("e19_fleet");
+    g.sample_size(10); // each sample is a full 100k-vehicle-tick run
+
+    for shards in [1usize, 4] {
+        g.bench_function(format!("fleet_5k_x20_shards{shards}"), |b| {
+            b.iter(|| {
+                let cfg = FleetConfig {
+                    vehicles: VEHICLES,
+                    ticks: TICKS,
+                    shards,
+                    seed: 42,
+                    ..FleetConfig::default()
+                };
+                FleetEngine::with_graph(cfg, graph.clone()).run()
+            })
+        });
+    }
+
+    g.bench_function("e19_table_small", |b| {
+        let ctx = RunCtx::new(42, 4).with_trials_scale(0.1);
+        b.iter(|| exp_fleet::e19_epidemic_table(&ctx))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -11,6 +11,9 @@
 //!     --json --keep-going                        # degrade, don't abort
 //! cargo run -p autosec-bench --bin experiments -- \
 //!     --json --resume                            # finish a prior run
+//! cargo run -p autosec-bench --bin experiments -- \
+//!     fleet --vehicles 100000 --ticks 200 --shards 4 --json
+//!                                                # live-fleet service mode
 //! ```
 //!
 //! Filters match an experiment's group id (`E10`) or slug
@@ -40,6 +43,8 @@ use std::process::ExitCode;
 use std::time::Duration;
 
 use autosec_bench::{registry, ArtifactStore, RunCtx, RunManifest};
+use autosec_core::campaign::DefensePosture;
+use autosec_fleet::{FleetConfig, FleetEngine};
 use autosec_runner::{run_suite, ResumeState, RunStatus, SuiteOptions, DEFAULT_ARTIFACT_DIR};
 
 struct Args {
@@ -59,6 +64,7 @@ struct Args {
 fn usage() -> ! {
     eprintln!(
         "usage: experiments [FILTER...] [--filter F] [--seed N] [--jobs N] [--trials-scale F] [--json] [--canonical] [--keep-going] [--deadline-secs N] [--resume] [--out DIR] [--list]
+       experiments fleet [...]   (live-fleet service mode; see `fleet --help`)
 
   FILTER        group id (e.g. E10) or slug (e.g. e10-cascade); exact,
                 case-insensitive match. tag:<tag> (e.g. tag:parallel)
@@ -173,7 +179,151 @@ fn parse_args() -> Args {
     args
 }
 
+fn fleet_usage() -> ! {
+    eprintln!(
+        "usage: experiments fleet [--vehicles N] [--ticks N] [--shards N] [--seed N]
+                          [--snapshot-every N] [--posture full|none|depth:K]
+                          [--attack-rate F] [--no-faults] [--json] [--canonical]
+                          [--out DIR]
+
+  Runs the live-fleet service mode: N per-vehicle state machines under
+  continuous attack, fault and defense pressure for the given number of
+  ticks. Results are bit-identical for any --shards value; --json
+  writes the canonical-keyed fleet.json artifact (with --canonical the
+  volatile throughput keys are stripped so artifacts from different
+  shard counts diff byte-identical)."
+    );
+    std::process::exit(2);
+}
+
+/// The `fleet` subcommand: one live-fleet run with a human summary
+/// and an optional `fleet.json` artifact.
+fn fleet_main(args: &[String]) -> ExitCode {
+    let mut cfg = FleetConfig {
+        vehicles: 10_000,
+        ticks: 200,
+        snapshot_every: 50,
+        ..FleetConfig::default()
+    };
+    let mut json = false;
+    let mut canonical = false;
+    let mut out = DEFAULT_ARTIFACT_DIR.to_owned();
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next().cloned().unwrap_or_else(|| {
+                eprintln!("missing value for {name}");
+                fleet_usage()
+            })
+        };
+        fn parsed<T: std::str::FromStr>(name: &str, v: &str) -> T {
+            v.parse().unwrap_or_else(|_| {
+                eprintln!("invalid {name} {v:?}");
+                fleet_usage()
+            })
+        }
+        match arg.as_str() {
+            "--vehicles" | "-n" => cfg.vehicles = parsed("--vehicles", &value("--vehicles")),
+            "--ticks" => cfg.ticks = parsed("--ticks", &value("--ticks")),
+            "--shards" => cfg.shards = parsed("--shards", &value("--shards")),
+            "--seed" | "-s" => cfg.seed = parsed("--seed", &value("--seed")),
+            "--snapshot-every" => {
+                cfg.snapshot_every = parsed("--snapshot-every", &value("--snapshot-every"));
+            }
+            "--attack-rate" => cfg.attack_rate = parsed("--attack-rate", &value("--attack-rate")),
+            "--posture" => {
+                let v = value("--posture");
+                cfg.posture = match v.as_str() {
+                    "full" => DefensePosture::full(),
+                    "none" => DefensePosture::none(),
+                    other => match other.strip_prefix("depth:") {
+                        Some(k) => DefensePosture::depth(parsed("--posture depth", k)),
+                        None => {
+                            eprintln!("invalid --posture {v:?}: expected full, none or depth:K");
+                            fleet_usage()
+                        }
+                    },
+                };
+            }
+            "--no-faults" => cfg.faults_enabled = false,
+            "--json" => json = true,
+            "--canonical" => canonical = true,
+            "--out" | "-o" => out = value("--out"),
+            "--help" | "-h" => fleet_usage(),
+            other => {
+                eprintln!("unknown fleet argument {other:?}");
+                fleet_usage();
+            }
+        }
+    }
+    if cfg.vehicles == 0 || cfg.ticks == 0 {
+        eprintln!("--vehicles and --ticks must be positive");
+        return ExitCode::FAILURE;
+    }
+    if cfg.shards == 0 {
+        cfg.shards = 1;
+    }
+
+    eprintln!(
+        "fleet: {} vehicles x {} ticks, {} shard(s), posture {}, seed {}",
+        cfg.vehicles,
+        cfg.ticks,
+        cfg.shards,
+        cfg.posture_label(),
+        cfg.seed
+    );
+    let report = FleetEngine::new(cfg).run();
+    let census = &report.final_snapshot().census;
+    let totals = report.totals();
+    println!(
+        "fleet availability {:.4}  mttr {:.1} ms  throughput {:.0} vehicle-ticks/s",
+        report.availability,
+        report.mttr_ms(),
+        report.throughput()
+    );
+    println!(
+        "final census: {} healthy / {} degraded / {} compromised / {} isolated / {} lost",
+        census.healthy, census.degraded, census.compromised, census.isolated, census.lost
+    );
+    println!(
+        "totals: {} attacks ({} succeeded), {} infections, {} fault injections, {} alerts, {} recoveries, {} backend breaches",
+        totals.attacks_attempted,
+        totals.attacks_succeeded,
+        totals.infections,
+        totals.fault_injections,
+        totals.alerts,
+        totals.recoveries,
+        totals.backend_breaches
+    );
+
+    if json {
+        let store = match ArtifactStore::create(&out) {
+            Ok(s) if canonical => s.canonical(),
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("cannot create artifact dir {out:?}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match store.write_json("fleet", &report.to_json()) {
+            Ok(path) => eprintln!("wrote {}", path.display()),
+            Err(e) => {
+                eprintln!("fleet artifact write failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
+    // The `fleet` subcommand has its own argument grammar.
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    if raw.first().map(String::as_str) == Some("fleet") {
+        return fleet_main(&raw[1..]);
+    }
+
     let args = parse_args();
     let reg = registry();
 

@@ -1,0 +1,188 @@
+//! E19/E20: the live-fleet service mode measured as experiments.
+//!
+//! Everything up to E18 measures one mechanism in isolation; these two
+//! run the whole stack at once — tens of thousands of per-vehicle
+//! state machines under continuous scenario-step attacks, epidemic
+//! V2X infection, cross-layer fault onsets, and the shared
+//! IDS/response/repair pipeline ([`autosec_fleet`]).
+//!
+//! - **E19** sweeps defense depth bottom-up
+//!   ([`DefensePosture::depth`]) and watches the epidemic: how far
+//!   compromise spreads through the fleet at each posture depth, from
+//!   an undefended population (epidemic take-off) to the full stack
+//!   (containment).
+//! - **E20** crosses posture `none`/`full` with the standard fault
+//!   plan off/on and reports steady-state availability and MTTR — the
+//!   operational quantities the paper's resilience discussion
+//!   ultimately cares about.
+//!
+//! The attack graph is calibrated **once** per experiment (it carries
+//! both posture sides), then shared across every fleet run of the
+//! sweep, so posture rows differ only in posture. `ctx.jobs` maps to
+//! `--shards`, which by the fleet's invariance contract never changes
+//! a table cell; `ctx.trials_scale` scales the fleet size.
+
+use autosec_adversary::{calibrated_graph, AttackGraph, CalibrationConfig};
+use autosec_core::campaign::DefensePosture;
+use autosec_fleet::{posture_label, FleetConfig, FleetEngine};
+use autosec_runner::RunCtx;
+
+use crate::Table;
+
+/// E19 fleet size at `--trials-scale 1`.
+pub const E19_VEHICLES: usize = 1_500;
+/// E19 run length in ticks.
+pub const E19_TICKS: u64 = 120;
+/// E19 direct-attack rate — raised above the service default so the
+/// epidemic has seeds to spread from within the run window.
+pub const E19_ATTACK_RATE: f64 = 2e-3;
+/// E20 fleet size at `--trials-scale 1`.
+pub const E20_VEHICLES: usize = 2_000;
+/// E20 run length in ticks.
+pub const E20_TICKS: u64 = 150;
+/// Calibration trials per attack-graph edge at `--trials-scale 1`.
+pub const CALIBRATION_TRIALS: usize = 12;
+
+/// One shared calibrated graph for a whole sweep.
+fn fleet_graph(ctx: &RunCtx, label: &str) -> AttackGraph {
+    let calib = CalibrationConfig::new(ctx.trials(CALIBRATION_TRIALS), ctx.jobs);
+    calibrated_graph(&calib, &ctx.rng(label))
+}
+
+/// E19 — epidemic compromise spread vs defense depth.
+pub fn e19_epidemic_table(ctx: &RunCtx) -> Table {
+    let graph = fleet_graph(ctx, "e19/calibration");
+    let mut t = Table::new(
+        "E19",
+        "§VIII — epidemic compromise spread vs defense depth (live fleet)",
+        &[
+            "depth",
+            "posture",
+            "attacks_ok",
+            "infections",
+            "peak_compromised",
+            "final_compromised",
+            "availability",
+            "mttr_ms",
+        ],
+    );
+    for depth in 0..=6usize {
+        let posture = DefensePosture::depth(depth);
+        let cfg = FleetConfig {
+            vehicles: ctx.trials(E19_VEHICLES),
+            ticks: E19_TICKS,
+            shards: ctx.jobs,
+            seed: ctx.seed,
+            snapshot_every: 10,
+            posture,
+            attack_rate: E19_ATTACK_RATE,
+            // Faults off: E19 isolates the attack/epidemic story; E20
+            // runs the combined load.
+            faults_enabled: false,
+            ..FleetConfig::default()
+        };
+        let report = FleetEngine::with_graph(cfg, graph.clone()).run();
+        let peak = report
+            .snapshots
+            .iter()
+            .map(|s| s.census.compromised)
+            .max()
+            .unwrap_or(0);
+        let totals = *report.totals();
+        t.push_row(vec![
+            depth.to_string(),
+            posture_label(&posture),
+            totals.attacks_succeeded.to_string(),
+            totals.infections.to_string(),
+            peak.to_string(),
+            report.final_snapshot().census.compromised.to_string(),
+            format!("{:.4}", report.availability),
+            format!("{:.1}", report.mttr_ms()),
+        ]);
+    }
+    t
+}
+
+/// E20 — steady-state availability and MTTR under combined
+/// fault + adversary load.
+pub fn e20_availability_table(ctx: &RunCtx) -> Table {
+    let graph = fleet_graph(ctx, "e20/calibration");
+    let mut t = Table::new(
+        "E20",
+        "§VIII — steady-state availability and MTTR under combined load (live fleet)",
+        &[
+            "posture",
+            "faults",
+            "availability",
+            "mttr_ms",
+            "recoveries",
+            "alerts",
+            "isolations",
+            "breaches",
+        ],
+    );
+    for (label, posture) in [
+        ("none", DefensePosture::none()),
+        ("full", DefensePosture::full()),
+    ] {
+        for faults in [false, true] {
+            let cfg = FleetConfig {
+                vehicles: ctx.trials(E20_VEHICLES),
+                ticks: E20_TICKS,
+                shards: ctx.jobs,
+                seed: ctx.seed,
+                posture,
+                faults_enabled: faults,
+                ..FleetConfig::default()
+            };
+            let report = FleetEngine::with_graph(cfg, graph.clone()).run();
+            let totals = *report.totals();
+            t.push_row(vec![
+                label.to_owned(),
+                if faults { "on" } else { "off" }.to_owned(),
+                format!("{:.4}", report.availability),
+                format!("{:.1}", report.mttr_ms()),
+                totals.recoveries.to_string(),
+                totals.alerts.to_string(),
+                (totals.responses_isolate + totals.responses_limp_home).to_string(),
+                totals.backend_breaches.to_string(),
+            ]);
+        }
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_ctx(jobs: usize) -> RunCtx {
+        RunCtx::new(7, jobs).with_trials_scale(0.02)
+    }
+
+    #[test]
+    fn e19_has_one_row_per_depth() {
+        let t = e19_epidemic_table(&tiny_ctx(2));
+        assert_eq!(t.rows.len(), 7);
+        assert_eq!(t.rows[0][1], "none");
+        assert_eq!(t.rows[6][1], "full");
+    }
+
+    #[test]
+    fn e20_covers_the_grid() {
+        let t = e20_availability_table(&tiny_ctx(2));
+        assert_eq!(t.rows.len(), 4);
+        for row in &t.rows {
+            let availability: f64 = row[2].parse().unwrap();
+            assert!(availability > 0.0 && availability <= 1.0);
+        }
+    }
+
+    #[test]
+    fn fleet_tables_are_jobs_invariant() {
+        // `--jobs` maps to `--shards`, and shards never change cells.
+        let a = e19_epidemic_table(&tiny_ctx(1));
+        let b = e19_epidemic_table(&tiny_ctx(3));
+        assert_eq!(a.to_json().to_string(), b.to_json().to_string());
+    }
+}

@@ -20,6 +20,7 @@ pub mod exp_adversary;
 pub mod exp_collab;
 pub mod exp_data;
 pub mod exp_faults;
+pub mod exp_fleet;
 pub mod exp_harness;
 pub mod exp_ids;
 pub mod exp_ivn;
@@ -248,6 +249,22 @@ pub fn registry() -> Registry {
         exp_harness::e18_harness_resilience_table,
     );
     reg(
+        "E19",
+        "e19-fleet-epidemic",
+        "§VIII — live-fleet epidemic spread vs defense depth",
+        &["fleet", "epidemic", "campaign", "parallel"],
+        Heavy,
+        exp_fleet::e19_epidemic_table,
+    );
+    reg(
+        "E20",
+        "e20-fleet-availability",
+        "§VIII — live-fleet availability and MTTR under combined load",
+        &["fleet", "availability", "recovery", "parallel"],
+        Heavy,
+        exp_fleet::e20_availability_table,
+    );
+    reg(
         "A1",
         "a1-hrp-threshold",
         "Ablation — HRP integrity threshold sweep",
@@ -317,14 +334,14 @@ mod tests {
     #[test]
     fn registry_covers_all_groups() {
         let r = registry();
-        // 31 normally; +1 when a chaos-probe env var leaks into the
+        // 33 normally; +1 when a chaos-probe env var leaks into the
         // test environment.
         let chaos = std::env::var("AUTOSEC_CHAOS").is_ok() as usize;
-        assert_eq!(r.len(), 31 + chaos);
+        assert_eq!(r.len(), 33 + chaos);
         let ids = r.group_ids();
         for want in [
             "E1", "E2", "E2b", "E3", "E4", "E5-E7", "E8", "E8b", "E9", "E10", "E11", "E12", "E13",
-            "E14", "E15", "E16", "E17", "E18", "A1", "A2", "A3", "A4", "A5",
+            "E14", "E15", "E16", "E17", "E18", "E19", "E20", "A1", "A2", "A3", "A4", "A5",
         ] {
             assert!(ids.contains(&want), "missing group {want}");
         }

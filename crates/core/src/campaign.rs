@@ -62,6 +62,17 @@ impl DefensePosture {
         Self::none().with(layer)
     }
 
+    /// The first `n` layers of [`ArchLayer::ALL`] defended, bottom-up —
+    /// the defense-in-depth sweep axis (`depth(0)` = [`Self::none`],
+    /// `depth(6)` = [`Self::full`]; deeper than 6 saturates).
+    pub fn depth(n: usize) -> Self {
+        let mut p = Self::none();
+        for &layer in ArchLayer::ALL.iter().take(n) {
+            p.set(layer, true);
+        }
+        p
+    }
+
     /// Whether `layer`'s defenses run under this posture.
     pub fn enabled(&self, layer: ArchLayer) -> bool {
         match layer {
@@ -305,5 +316,27 @@ mod tests {
         p.set(ArchLayer::Data, false);
         assert_eq!(p.enabled_count(), 5);
         assert!(!p.enabled(ArchLayer::Data));
+    }
+
+    #[test]
+    fn depth_walks_the_stack_bottom_up() {
+        assert_eq!(DefensePosture::depth(0), DefensePosture::none());
+        assert_eq!(DefensePosture::depth(6), DefensePosture::full());
+        assert_eq!(DefensePosture::depth(99), DefensePosture::full());
+        for n in 0..=6 {
+            let p = DefensePosture::depth(n);
+            assert_eq!(p.enabled_count(), n);
+            assert_eq!(p.enabled_layers(), ArchLayer::ALL[..n].to_vec());
+        }
+        // Each depth strictly extends the previous one.
+        for n in 1..=6 {
+            let prev = DefensePosture::depth(n - 1);
+            let cur = DefensePosture::depth(n);
+            for layer in ArchLayer::ALL {
+                if prev.enabled(layer) {
+                    assert!(cur.enabled(layer));
+                }
+            }
+        }
     }
 }

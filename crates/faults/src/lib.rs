@@ -43,5 +43,5 @@ pub mod recovery;
 pub mod targets;
 
 pub use plan::{FaultPlan, FaultSpec};
-pub use recovery::{Incident, RecoveryConfig, RecoveryEngine, RecoveryReport};
+pub use recovery::{detector_for, Incident, RecoveryConfig, RecoveryEngine, RecoveryReport};
 pub use targets::target_for;

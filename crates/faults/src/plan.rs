@@ -62,6 +62,17 @@ impl FaultPlan {
     /// family, every layer covered, onsets drawn per-label from `base`
     /// substreams over roughly the first half of a 10 s horizon.
     pub fn standard(base: &SimRng) -> Self {
+        Self::standard_over(base, SimDuration::from_secs(10))
+    }
+
+    /// [`FaultPlan::standard`] generalized to an arbitrary horizon:
+    /// exponential onsets with mean 15% of the horizon, capped at its
+    /// midpoint. `standard_over(base, 10 s)` is bit-identical to
+    /// `standard(base)` — the exponential draw scales linearly in the
+    /// mean from the same underlying uniform draw.
+    pub fn standard_over(base: &SimRng, horizon: SimDuration) -> Self {
+        let horizon_ms = horizon.as_ms_f64();
+        assert!(horizon_ms > 0.0, "fault horizon must be positive");
         let catalog: [(&str, FaultEffect); 9] = [
             ("ivn-drop", FaultEffect::DropFrames { p: 0.4 }),
             (
@@ -85,8 +96,11 @@ impl FaultPlan {
         let mut plan = FaultPlan::empty();
         for (label, effect) in catalog {
             let mut rng = base.fork(label);
-            // Exponential arrival, mean 1.5 s, capped inside the horizon.
-            let onset_ms = rng.exponential(1.0 / 1_500.0).min(5_000.0);
+            // Exponential arrival, mean 15% of the horizon, capped at
+            // its midpoint (1.5 s / 5 s on the classic 10 s horizon).
+            let onset_ms = rng
+                .exponential(1.0 / (0.15 * horizon_ms))
+                .min(0.5 * horizon_ms);
             plan = plan.with(
                 label,
                 effect,
@@ -147,6 +161,38 @@ mod tests {
         assert_eq!(a, b);
         let c = FaultPlan::standard(&SimRng::seed(8));
         assert_ne!(a, c, "different seeds shuffle the onsets");
+    }
+
+    #[test]
+    fn standard_over_ten_seconds_matches_standard() {
+        for seed in [1, 7, 42] {
+            let base = SimRng::seed(seed);
+            assert_eq!(
+                FaultPlan::standard(&base),
+                FaultPlan::standard_over(&base, SimDuration::from_secs(10)),
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn standard_over_scales_onsets_with_the_horizon() {
+        let base = SimRng::seed(9);
+        let short = FaultPlan::standard_over(&base, SimDuration::from_secs(2));
+        let long = FaultPlan::standard_over(&base, SimDuration::from_secs(20));
+        assert_eq!(short.len(), long.len());
+        for (s, l) in short.specs.iter().zip(&long.specs) {
+            assert!(s.onset.as_ps() <= SimTime::from_secs(1).as_ps());
+            assert!(l.onset.as_ps() <= SimTime::from_secs(10).as_ps());
+            // Same uniform draw, linearly scaled mean: 10x the onset
+            // (up to the per-horizon cap and ps rounding).
+            let ratio = l.onset.as_ps() as f64 / s.onset.as_ps().max(1) as f64;
+            assert!(
+                (ratio - 10.0).abs() < 0.01 || l.onset == SimTime::from_secs(10),
+                "{}: ratio {ratio}",
+                s.label
+            );
+        }
     }
 
     #[test]

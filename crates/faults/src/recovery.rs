@@ -194,8 +194,10 @@ impl RecoveryReport {
 }
 
 /// The detector identity a layer's fault alert is attributed to —
-/// chosen so the response playbooks exercise distinct actions.
-fn detector_for(layer: ArchLayer) -> &'static str {
+/// chosen so the response playbooks exercise distinct actions. Public
+/// so the fleet service mode attributes its live alerts to the same
+/// detector identities (and therefore the same playbooks).
+pub fn detector_for(layer: ArchLayer) -> &'static str {
     match layer {
         ArchLayer::Network => "specification",
         ArchLayer::Data => "interval",

@@ -1,0 +1,782 @@
+//! The fleet service engine: a tick-driven event loop over the whole
+//! vehicle population.
+//!
+//! Each tick runs three phases:
+//!
+//! 1. **Parallel vehicle phase** ([`run_tick_sharded`]) — every alive
+//!    vehicle ingests one telemetry frame and steps its state machine:
+//!    fault onsets from the [`FaultPlan`] hit an exposed subset through
+//!    the real per-layer [`target_for`] adapters; rare direct attacks
+//!    execute real [`ScenarioStep`]s from the campaign registry; and
+//!    epidemic V2X infection spreads with pressure proportional to the
+//!    previous tick's compromised fraction, resolved against the
+//!    calibrated ghost-object edge of the attack graph.
+//! 2. **Serial response phase** — alerts (merged in vehicle order) feed
+//!    one shared [`ResponseEngine`]; containment actions are applied
+//!    back to the vehicles (filter/rekey relief, isolation,
+//!    limp-home), and verified repairs clear escalation state.
+//! 3. **Backend phase** — the Fig. 8 kill chain runs as a live breach
+//!    process on its own fleet-level RNG stream: while the backend is
+//!    breached, infection pressure doubles (bulk telemetry access).
+//!
+//! ## Determinism contract
+//!
+//! Vehicle `i` draws only from `root.fork("fleet/vehicles").fork_idx(i)`;
+//! tick inputs are pure functions of the *previous* tick's census;
+//! alerts are processed in vehicle order; the backend stream is
+//! engine-level. Therefore a run is bit-identical at any `--shards`
+//! count — the property [`FleetReport::canonical_json`] exposes and CI
+//! diffs.
+
+use std::time::{Duration, Instant};
+
+use autosec_adversary::{calibrated_graph, AttackGraph, CalibrationConfig, EdgeSource, ProbPoint};
+use autosec_core::campaign::DefensePosture;
+use autosec_core::scenario::{scenario_registry, PostureCtx, ScenarioStep};
+use autosec_faults::{detector_for, target_for, FaultPlan};
+use autosec_ids::response::{ResponseAction, ResponseEngine};
+use autosec_ids::Alert;
+use autosec_runner::{silence_panics, strip_volatile};
+use autosec_sim::{ArchLayer, FaultEffect, SimDuration, SimRng, SimTime};
+use rand::RngCore as _;
+use serde_json::{json, Value};
+
+use crate::shard::{run_tick_sharded, ShardOutput};
+use crate::snapshot::{Census, FleetSnapshot, FleetTotals};
+use crate::vehicle::{
+    AlertKind, PendingAlert, Vehicle, VehicleStatus, ISOLATED_HEALTH, LIMP_HOME_HEALTH,
+};
+
+/// Fraction of a degraded vehicle's health deficit removed by a
+/// filter/rekey containment action.
+const CONTAINMENT_RELIEF: f64 = 0.5;
+/// Per-tick probability an isolated vehicle's repair verifies.
+const VERIFY_P: f64 = 0.35;
+/// Per-tick probability a flagged degraded vehicle self-repairs.
+const REPAIR_P: f64 = 0.3;
+/// Per-tick probability a flagged compromised vehicle re-alerts
+/// (accumulating strikes until the playbook escalates to isolation).
+const REALERT_P: f64 = 0.3;
+/// Infection-pressure multiplier while the backend is breached (bulk
+/// telemetry access lets the attacker target V2X sessions).
+const BREACH_PRESSURE_MULT: f64 = 2.0;
+/// Response-history cap for the long-running engine.
+const HISTORY_CAP: usize = 4_096;
+
+/// A complete fleet-run parameterization.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Fleet size.
+    pub vehicles: usize,
+    /// Ticks to run.
+    pub ticks: u64,
+    /// Worker shards (wall-clock only — never changes results).
+    pub shards: usize,
+    /// Master seed.
+    pub seed: u64,
+    /// Simulated milliseconds per tick.
+    pub tick_ms: u64,
+    /// Snapshot period in ticks (0 = final snapshot only).
+    pub snapshot_every: u64,
+    /// The fleet-wide defense posture.
+    pub posture: DefensePosture,
+    /// Per-vehicle per-tick probability of a direct scenario-step
+    /// attack.
+    pub attack_rate: f64,
+    /// Epidemic contact rate: infection pressure per unit compromised
+    /// fraction.
+    pub infection_beta: f64,
+    /// Fraction of the fleet exposed to each fault onset.
+    pub fault_exposure: f64,
+    /// Whether the standard cross-layer fault plan rides along.
+    pub faults_enabled: bool,
+    /// Per-tick backend kill-chain attempt rate (scaled by the chain's
+    /// calibrated success probability).
+    pub breach_attempt_rate: f64,
+    /// Monte-Carlo trials per attack-graph edge during calibration.
+    pub calibration_trials: usize,
+    /// Per-vehicle per-tick probability of a chaos-injected state
+    /// machine panic (0 outside quarantine tests; a positive rate
+    /// exercises the per-vehicle quarantine path).
+    pub chaos_lost_rate: f64,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        Self {
+            vehicles: 1_000,
+            ticks: 100,
+            shards: 1,
+            seed: autosec_runner::DEFAULT_SEED,
+            tick_ms: 100,
+            snapshot_every: 0,
+            posture: DefensePosture::full(),
+            attack_rate: 5e-4,
+            infection_beta: 0.35,
+            fault_exposure: 0.01,
+            faults_enabled: true,
+            breach_attempt_rate: 0.05,
+            calibration_trials: 12,
+            chaos_lost_rate: 0.0,
+        }
+    }
+}
+
+impl FleetConfig {
+    /// Stable posture label for artifacts.
+    pub fn posture_label(&self) -> String {
+        posture_label(&self.posture)
+    }
+
+    /// Canonical JSON body (deterministic fields only — `shards` is
+    /// serialized at the report level, where it is stripped as
+    /// volatile).
+    pub fn to_json(&self) -> Value {
+        json!({
+            "vehicles": self.vehicles as u64,
+            "ticks": self.ticks,
+            "seed": self.seed,
+            "tick_ms": self.tick_ms,
+            "snapshot_every": self.snapshot_every,
+            "posture": self.posture_label(),
+            "attack_rate": self.attack_rate,
+            "infection_beta": self.infection_beta,
+            "fault_exposure": self.fault_exposure,
+            "faults_enabled": self.faults_enabled,
+            "breach_attempt_rate": self.breach_attempt_rate,
+            "calibration_trials": self.calibration_trials as u64,
+            "chaos_lost_rate": self.chaos_lost_rate,
+        })
+    }
+}
+
+/// Stable label for a posture: `none`, `full`, or the enabled layers
+/// joined bottom-up.
+pub fn posture_label(p: &DefensePosture) -> String {
+    if *p == DefensePosture::none() {
+        return "none".to_owned();
+    }
+    if *p == DefensePosture::full() {
+        return "full".to_owned();
+    }
+    p.enabled_layers()
+        .iter()
+        .map(ToString::to_string)
+        .collect::<Vec<_>>()
+        .join("+")
+}
+
+/// Dense index of a layer in [`ArchLayer::ALL`].
+fn layer_index(layer: ArchLayer) -> usize {
+    ArchLayer::ALL
+        .iter()
+        .position(|&l| l == layer)
+        .expect("layer is in ALL")
+}
+
+/// A fault onset resolved to a fleet-level **reference injection**.
+///
+/// Running the real per-layer adapter for every exposed vehicle would
+/// cost hundreds of milliseconds per vehicle on the heavy layers
+/// (software-platform restarts replay the whole SDV reconfiguration
+/// race), which no 100k-vehicle loop can afford. Instead the engine
+/// runs each adapter **once** per onset on a fleet-level stream
+/// (`fleet/faults/ref`, forked by spec index — shard-invariant by
+/// construction) and records the reference outcome; exposed vehicles
+/// then derive their own cheap dispersion around it from their private
+/// streams. Fidelity is anchored in the real models, per-vehicle cost
+/// is a couple of RNG draws.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultOnset {
+    /// Layer the fault strikes (names the alerting detector).
+    pub layer: ArchLayer,
+    /// Residual health of the reference injection under the run
+    /// posture.
+    pub ref_health: f64,
+    /// Per-vehicle detection probability (high when the reference
+    /// injection was detected, low otherwise).
+    pub detect_p: f64,
+}
+
+/// Per-vehicle detection probability when the reference injection was
+/// detected by the layer's defenses.
+const FAULT_DETECT_P_SEEN: f64 = 0.7;
+/// ... and when it slipped past them.
+const FAULT_DETECT_P_MISSED: f64 = 0.1;
+
+/// Shard-invariant inputs shared by every vehicle this tick — pure
+/// functions of the previous tick's state.
+#[derive(Debug, Clone)]
+pub struct TickInputs {
+    /// The tick being executed (1-based).
+    pub tick: u64,
+    /// Epidemic infection pressure (contact probability per vehicle).
+    pub infection_pressure: f64,
+    /// Faults striking exactly this tick, pre-resolved to reference
+    /// injections.
+    pub fault_onsets: Vec<FaultOnset>,
+    /// Effects active during this tick, per layer
+    /// ([`ArchLayer::ALL`] order) — the fault context direct attacks
+    /// execute under.
+    pub active_faults: [Vec<FaultEffect>; 6],
+}
+
+/// Run-constant environment for the per-vehicle step.
+struct StepEnv<'a> {
+    cfg: &'a FleetConfig,
+    steps: &'a [Box<dyn ScenarioStep>],
+    /// Calibrated V2X infection edge under the run posture.
+    epi: ProbPoint,
+    /// Per-tick probability a silent compromise is flagged after the
+    /// fact (grows with defense depth).
+    late_detect_p: f64,
+}
+
+/// One vehicle's tick: state machine + private RNG only. See the
+/// module docs for the phase ordering contract.
+fn step_vehicle(v: &mut Vehicle, env: &StepEnv<'_>, inputs: &TickInputs, out: &mut ShardOutput) {
+    out.counters.telemetry_frames += 1;
+    if env.cfg.chaos_lost_rate > 0.0 && v.rng.chance(env.cfg.chaos_lost_rate) {
+        panic!("chaos: vehicle {} state machine corrupted", v.id);
+    }
+    match v.status {
+        VehicleStatus::Healthy | VehicleStatus::Degraded => {
+            // Fault onsets: an exposed subset suffers its own
+            // dispersion around the fleet-level reference injection.
+            for onset in &inputs.fault_onsets {
+                if !v.rng.chance(env.cfg.fault_exposure) {
+                    continue;
+                }
+                out.counters.fault_injections += 1;
+                // Each vehicle takes between 0.5x and 1.5x of the
+                // reference health deficit.
+                let u = (v.rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+                let mult = 1.0 - (1.0 - onset.ref_health) * (0.5 + u);
+                v.health = (v.health * mult.clamp(0.0, 1.0)).max(0.0);
+                if v.health < 1.0 && v.status == VehicleStatus::Healthy {
+                    v.status = VehicleStatus::Degraded;
+                    v.since = inputs.tick;
+                    v.incident_layer = onset.layer;
+                }
+                if v.rng.chance(onset.detect_p) {
+                    v.flagged = true;
+                    out.alerts.push(PendingAlert {
+                        vehicle: v.id,
+                        detector: detector_for(onset.layer),
+                        kind: AlertKind::Fault,
+                    });
+                }
+            }
+            // Rare direct attack: one real scenario step, end to end.
+            if env.cfg.attack_rate > 0.0 && v.rng.chance(env.cfg.attack_rate) {
+                out.counters.attacks_attempted += 1;
+                let idx = (v.rng.next_u64() % env.steps.len() as u64) as usize;
+                let step = &env.steps[idx];
+                let layer = step.layer();
+                let ctx = PostureCtx {
+                    posture: &env.cfg.posture,
+                    faults: &inputs.active_faults[layer_index(layer)],
+                };
+                let outcome = step.execute(&ctx, &mut v.rng);
+                if outcome.succeeded {
+                    out.counters.attacks_succeeded += 1;
+                    v.compromise(inputs.tick, layer);
+                    v.flagged = outcome.detected;
+                }
+                if outcome.detected {
+                    out.alerts.push(PendingAlert {
+                        vehicle: v.id,
+                        detector: detector_for(layer),
+                        kind: AlertKind::Attack,
+                    });
+                }
+            }
+            // Epidemic V2X infection from the compromised population.
+            if matches!(v.status, VehicleStatus::Healthy | VehicleStatus::Degraded)
+                && inputs.infection_pressure > 0.0
+                && v.rng.chance(inputs.infection_pressure)
+                && v.rng.chance(env.epi.success)
+            {
+                out.counters.infections += 1;
+                v.compromise(inputs.tick, ArchLayer::Collaboration);
+                if v.rng.chance(env.epi.detect) {
+                    v.flagged = true;
+                    out.alerts.push(PendingAlert {
+                        vehicle: v.id,
+                        detector: detector_for(ArchLayer::Collaboration),
+                        kind: AlertKind::Attack,
+                    });
+                }
+            }
+            // Flagged degraded vehicles self-repair (reconfigure +
+            // verify) without needing isolation.
+            if v.status == VehicleStatus::Degraded && v.flagged && v.rng.chance(REPAIR_P) {
+                out.counters.recoveries += 1;
+                out.counters.mttr_ticks += inputs.tick - v.since;
+                v.restore();
+                out.recovered.push(v.id);
+            }
+        }
+        VehicleStatus::Compromised => {
+            if !v.flagged {
+                // Continuous IDS sweep: silent compromises surface
+                // eventually, faster under deeper postures.
+                if v.rng.chance(env.late_detect_p) {
+                    v.flagged = true;
+                    out.alerts.push(PendingAlert {
+                        vehicle: v.id,
+                        detector: detector_for(v.incident_layer),
+                        kind: AlertKind::LateDetect,
+                    });
+                }
+            } else if v.rng.chance(REALERT_P) {
+                // Known-compromised vehicles keep alerting until the
+                // playbook escalates to isolation.
+                out.alerts.push(PendingAlert {
+                    vehicle: v.id,
+                    detector: detector_for(v.incident_layer),
+                    kind: AlertKind::LateDetect,
+                });
+            }
+        }
+        VehicleStatus::Isolated => {
+            if v.rng.chance(VERIFY_P) {
+                out.counters.recoveries += 1;
+                out.counters.mttr_ticks += inputs.tick - v.since;
+                v.restore();
+                out.recovered.push(v.id);
+            }
+        }
+        VehicleStatus::Lost => {}
+    }
+}
+
+/// The live-fleet engine. Construct with [`FleetEngine::new`] (which
+/// calibrates its own attack graph) or [`FleetEngine::with_graph`]
+/// (sharing a pre-calibrated one), then [`FleetEngine::run`].
+pub struct FleetEngine {
+    cfg: FleetConfig,
+    graph: AttackGraph,
+    vehicles: Vec<Vehicle>,
+    plan: FaultPlan,
+    /// `(onset_tick, reference injection)` per fault spec, resolved
+    /// once at construction on the `fleet/faults/ref` stream.
+    onsets: Vec<(u64, FaultOnset)>,
+}
+
+impl FleetEngine {
+    /// Builds the engine, calibrating the attack graph from the live
+    /// models (`calibration_trials` per edge; `shards` only
+    /// parallelizes the calibration, never changes it).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vehicles` or `ticks` is zero.
+    pub fn new(cfg: FleetConfig) -> Self {
+        let calib = CalibrationConfig::new(cfg.calibration_trials, cfg.shards);
+        let graph = calibrated_graph(&calib, &SimRng::seed(cfg.seed).fork("fleet/calibration"));
+        Self::with_graph(cfg, graph)
+    }
+
+    /// Builds the engine around a pre-calibrated graph (the graph
+    /// carries both posture sides, so one calibration serves every
+    /// posture in a sweep).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vehicles` or `ticks` is zero.
+    pub fn with_graph(cfg: FleetConfig, graph: AttackGraph) -> Self {
+        assert!(cfg.vehicles > 0, "fleet needs at least one vehicle");
+        assert!(cfg.ticks > 0, "fleet needs at least one tick");
+        let root = SimRng::seed(cfg.seed);
+        let base = root.fork("fleet/vehicles");
+        let vehicles: Vec<Vehicle> = (0..cfg.vehicles)
+            .map(|i| Vehicle::new(i as u32, &base))
+            .collect();
+        let plan = if cfg.faults_enabled {
+            FaultPlan::standard_over(
+                &root.fork("fleet/faults"),
+                SimDuration::from_ms(cfg.ticks * cfg.tick_ms),
+            )
+        } else {
+            FaultPlan::empty()
+        };
+        // Resolve every spec to its reference injection now (see
+        // [`FaultOnset`]): one real adapter run per spec, on a stream
+        // forked by spec index — a pure function of the seed.
+        let ref_base = root.fork("fleet/faults/ref");
+        let onsets: Vec<(u64, FaultOnset)> = plan
+            .specs
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| !s.effect.is_noop())
+            .map(|(i, s)| {
+                let layer = s.effect.layer();
+                let mut rng = ref_base.fork_idx(i as u64);
+                let rec =
+                    target_for(layer).apply(&[s.effect], cfg.posture.enabled(layer), &mut rng);
+                let onset = FaultOnset {
+                    layer,
+                    ref_health: rec.health.clamp(0.0, 1.0),
+                    detect_p: if rec.detected {
+                        FAULT_DETECT_P_SEEN
+                    } else {
+                        FAULT_DETECT_P_MISSED
+                    },
+                };
+                (onset_tick(s.onset, cfg.tick_ms), onset)
+            })
+            .collect();
+        Self {
+            cfg,
+            graph,
+            vehicles,
+            plan,
+            onsets,
+        }
+    }
+
+    /// Runs the fleet to completion.
+    pub fn run(self) -> FleetReport {
+        let FleetEngine {
+            cfg,
+            graph,
+            mut vehicles,
+            plan,
+            onsets,
+        } = self;
+        let start = Instant::now();
+        let _quiet = (cfg.chaos_lost_rate > 0.0).then(silence_panics);
+
+        let steps = scenario_registry();
+        let epi = graph
+            .edge_for(&EdgeSource::Scenario("v2x-ghost-object"))
+            .expect("calibrated graph carries the V2X edge")
+            .prob(&cfg.posture);
+        // Late-detection sweep rate grows with defense depth.
+        let late_detect_p = 0.05 + 0.03 * cfg.posture.enabled_count() as f64;
+        // The Fig. 8 kill chain, folded to one breach/detect pair.
+        let kc: Vec<ProbPoint> = graph
+            .edges()
+            .iter()
+            .filter(|e| matches!(e.source, EdgeSource::KillChain(_)))
+            .map(|e| e.prob(&cfg.posture))
+            .collect();
+        let kc_success: f64 = kc.iter().map(|p| p.success).product();
+        let kc_detect: f64 = 1.0 - kc.iter().map(|p| 1.0 - p.detect).product::<f64>();
+
+        let mut responder = ResponseEngine::with_history_cap(HISTORY_CAP);
+        let mut backend_rng = SimRng::seed(cfg.seed).fork("fleet/backend");
+        let mut breached = false;
+        let mut totals = FleetTotals::default();
+        let mut snapshots: Vec<FleetSnapshot> = Vec::new();
+        let mut availability_sum = 0.0;
+        let mut prev_census = Census::take(&vehicles);
+
+        for tick in 1..=cfg.ticks {
+            let inputs = tick_inputs(&cfg, &plan, &onsets, tick, &prev_census, breached);
+            let env = StepEnv {
+                cfg: &cfg,
+                steps: &steps,
+                epi,
+                late_detect_p,
+            };
+
+            // Phase 1: parallel vehicle phase.
+            let outs = run_tick_sharded(&mut vehicles, cfg.shards, tick, |v, out| {
+                step_vehicle(v, &env, &inputs, out)
+            });
+
+            // Phase 2: serial response phase, in vehicle order.
+            let at = SimTime::from_ms(tick * cfg.tick_ms);
+            for out in outs {
+                totals.absorb(&out.counters);
+                for pending in out.alerts {
+                    totals.alerts += 1;
+                    let response = responder.handle(&Alert {
+                        detector: pending.detector,
+                        subject: pending.vehicle,
+                        at,
+                        detail: String::new(),
+                    });
+                    let v = &mut vehicles[pending.vehicle as usize];
+                    apply_response(v, response.action, tick, &mut totals);
+                }
+                for id in out.recovered {
+                    responder.clear_subject(id);
+                }
+            }
+
+            // Phase 3: the backend breach process (fleet-level stream).
+            if breached {
+                if backend_rng.chance(0.05 + 0.3 * kc_detect) {
+                    breached = false;
+                    totals.backend_patches += 1;
+                }
+            } else if backend_rng.chance(cfg.breach_attempt_rate * kc_success) {
+                breached = true;
+                totals.backend_breaches += 1;
+            }
+
+            // Census, availability integral, periodic snapshot.
+            let census = Census::take(&vehicles);
+            availability_sum += census.mean_health;
+            let periodic = cfg.snapshot_every > 0 && tick % cfg.snapshot_every == 0;
+            if periodic || tick == cfg.ticks {
+                snapshots.push(FleetSnapshot {
+                    tick,
+                    backend_breached: breached,
+                    census,
+                    totals,
+                });
+            }
+            prev_census = census;
+        }
+
+        FleetReport {
+            config: cfg.clone(),
+            snapshots,
+            availability: availability_sum / cfg.ticks as f64,
+            wall: start.elapsed(),
+        }
+    }
+}
+
+/// The tick a fault spec first applies at (its onset rounded up to a
+/// tick boundary, and at least tick 1).
+fn onset_tick(onset: SimTime, tick_ms: u64) -> u64 {
+    let tick_ps = SimDuration::from_ms(tick_ms).as_ps();
+    onset.as_ps().div_ceil(tick_ps).max(1)
+}
+
+/// Assembles the shard-invariant inputs for `tick` from the previous
+/// census and breach state.
+fn tick_inputs(
+    cfg: &FleetConfig,
+    plan: &FaultPlan,
+    onsets: &[(u64, FaultOnset)],
+    tick: u64,
+    prev: &Census,
+    breached: bool,
+) -> TickInputs {
+    let fault_onsets: Vec<FaultOnset> = onsets
+        .iter()
+        .filter(|(t, _)| *t == tick)
+        .map(|(_, o)| *o)
+        .collect();
+    let now = SimTime::from_ms(tick * cfg.tick_ms);
+    let active_faults: [Vec<FaultEffect>; 6] =
+        ArchLayer::ALL.map(|layer| plan.effects_at(now, layer));
+    let compromised_frac = if prev.total() == 0 {
+        0.0
+    } else {
+        prev.compromised as f64 / prev.total() as f64
+    };
+    let mult = if breached { BREACH_PRESSURE_MULT } else { 1.0 };
+    TickInputs {
+        tick,
+        infection_pressure: cfg.infection_beta * compromised_frac * mult,
+        fault_onsets,
+        active_faults,
+    }
+}
+
+/// Applies one containment action back to the vehicle.
+fn apply_response(v: &mut Vehicle, action: ResponseAction, tick: u64, totals: &mut FleetTotals) {
+    match action {
+        ResponseAction::Notify => totals.responses_notify += 1,
+        ResponseAction::FilterId | ResponseAction::Rekey => {
+            if action == ResponseAction::FilterId {
+                totals.responses_filter += 1;
+            } else {
+                totals.responses_rekey += 1;
+            }
+            // Filter/rekey relieve fault degradation; they cannot evict
+            // an attacker (escalation handles that).
+            if v.status == VehicleStatus::Degraded {
+                v.health = 1.0 - (1.0 - v.health) * (1.0 - CONTAINMENT_RELIEF);
+            }
+        }
+        ResponseAction::IsolateNode | ResponseAction::LimpHome => {
+            let health = if action == ResponseAction::IsolateNode {
+                totals.responses_isolate += 1;
+                ISOLATED_HEALTH
+            } else {
+                totals.responses_limp_home += 1;
+                LIMP_HOME_HEALTH
+            };
+            if matches!(
+                v.status,
+                VehicleStatus::Healthy | VehicleStatus::Degraded | VehicleStatus::Compromised
+            ) {
+                if v.status == VehicleStatus::Healthy {
+                    // Isolating a healthy vehicle (false-positive
+                    // escalation) still opens an incident window.
+                    v.since = tick;
+                }
+                v.status = VehicleStatus::Isolated;
+                v.health = health;
+            }
+        }
+    }
+}
+
+/// The completed run: snapshots, availability, MTTR, and wall-clock
+/// throughput.
+#[derive(Debug, Clone)]
+pub struct FleetReport {
+    /// The configuration that produced it.
+    pub config: FleetConfig,
+    /// Periodic snapshots; the last entry is always the final tick.
+    pub snapshots: Vec<FleetSnapshot>,
+    /// Mean fleet health over all ticks.
+    pub availability: f64,
+    /// Wall-clock duration of the run (volatile).
+    pub wall: Duration,
+}
+
+impl FleetReport {
+    /// The final snapshot (the run always produces at least one).
+    pub fn final_snapshot(&self) -> &FleetSnapshot {
+        self.snapshots.last().expect("runs produce >= 1 snapshot")
+    }
+
+    /// Cumulative totals at the end of the run.
+    pub fn totals(&self) -> &FleetTotals {
+        &self.final_snapshot().totals
+    }
+
+    /// Mean time to recovery in milliseconds.
+    pub fn mttr_ms(&self) -> f64 {
+        self.totals().mttr_ms(self.config.tick_ms)
+    }
+
+    /// Total vehicle-ticks simulated.
+    pub fn vehicle_ticks(&self) -> u64 {
+        self.config.vehicles as u64 * self.config.ticks
+    }
+
+    /// Vehicle-ticks per wall-clock second (the BENCH_fleet metric).
+    pub fn throughput(&self) -> f64 {
+        self.vehicle_ticks() as f64 / self.wall.as_secs_f64().max(1e-9)
+    }
+
+    /// The full artifact body: deterministic payload plus the volatile
+    /// keys (`shards`, `duration_ms`, `vehicle_ticks_per_sec`) that
+    /// canonical mode strips.
+    pub fn to_json(&self) -> Value {
+        json!({
+            "config": self.config.to_json(),
+            "shards": self.config.shards as u64,
+            "duration_ms": self.wall.as_secs_f64() * 1e3,
+            "vehicle_ticks_per_sec": self.throughput(),
+            "availability": self.availability,
+            "mttr_ms": self.mttr_ms(),
+            "snapshots": self.snapshots.iter().map(FleetSnapshot::to_json).collect::<Vec<_>>(),
+        })
+    }
+
+    /// The canonical (shard-invariant) artifact body — what two runs
+    /// of the same `(seed, config)` must agree on byte for byte.
+    pub fn canonical_json(&self) -> Value {
+        strip_volatile(&self.to_json())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_cfg() -> FleetConfig {
+        FleetConfig {
+            vehicles: 120,
+            ticks: 12,
+            shards: 1,
+            seed: 7,
+            snapshot_every: 4,
+            attack_rate: 0.02,
+            calibration_trials: 4,
+            ..FleetConfig::default()
+        }
+    }
+
+    #[test]
+    fn runs_are_bit_identical_per_seed() {
+        let a = FleetEngine::new(tiny_cfg()).run();
+        let b = FleetEngine::new(tiny_cfg()).run();
+        assert_eq!(
+            a.canonical_json().to_string(),
+            b.canonical_json().to_string()
+        );
+        assert_eq!(a.snapshots.len(), 3, "ticks 4, 8, 12");
+        assert_eq!(a.final_snapshot().tick, 12);
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let a = FleetEngine::new(tiny_cfg()).run();
+        let mut cfg = tiny_cfg();
+        cfg.seed = 8;
+        let b = FleetEngine::new(cfg).run();
+        assert_ne!(
+            a.canonical_json().to_string(),
+            b.canonical_json().to_string()
+        );
+    }
+
+    #[test]
+    fn census_conserves_the_fleet() {
+        let report = FleetEngine::new(tiny_cfg()).run();
+        for snap in &report.snapshots {
+            assert_eq!(snap.census.total(), 120, "tick {}", snap.tick);
+        }
+        let t = report.totals();
+        assert_eq!(
+            t.telemetry_frames,
+            120 * 12,
+            "no vehicle lost: every vehicle emitted every tick"
+        );
+        assert!(report.availability > 0.0 && report.availability <= 1.0);
+    }
+
+    #[test]
+    fn undefended_fleet_fares_worse() {
+        let defended = FleetEngine::new(tiny_cfg()).run();
+        let mut cfg = tiny_cfg();
+        cfg.posture = DefensePosture::none();
+        let undefended = FleetEngine::new(cfg).run();
+        assert!(
+            undefended.final_snapshot().census.compromised
+                >= defended.final_snapshot().census.compromised,
+            "undefended {} !>= defended {}",
+            undefended.final_snapshot().census.compromised,
+            defended.final_snapshot().census.compromised
+        );
+    }
+
+    #[test]
+    fn chaos_quarantines_without_killing_the_run() {
+        let mut cfg = tiny_cfg();
+        cfg.chaos_lost_rate = 0.01;
+        let report = FleetEngine::new(cfg).run();
+        let t = report.totals();
+        assert!(t.lost > 0, "1% chaos over 1440 vehicle-ticks");
+        assert_eq!(report.final_snapshot().census.lost, t.lost);
+        assert!(t.telemetry_frames < 120 * 12, "lost vehicles stop emitting");
+    }
+
+    #[test]
+    fn posture_labels_are_stable() {
+        assert_eq!(posture_label(&DefensePosture::none()), "none");
+        assert_eq!(posture_label(&DefensePosture::full()), "full");
+        assert_eq!(posture_label(&DefensePosture::depth(2)), "physical+network");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one vehicle")]
+    fn zero_vehicles_is_rejected() {
+        let mut cfg = tiny_cfg();
+        cfg.vehicles = 0;
+        let _ = FleetEngine::with_graph(cfg, AttackGraph::new());
+    }
+}

@@ -1,0 +1,69 @@
+//! # autosec-fleet — sharded live-fleet service mode
+//!
+//! Everything before this crate ran *experiments*: closed-form trials
+//! that start, measure one thing and exit. `autosec-fleet` is the
+//! *service* mode the paper's operational picture implies — a
+//! long-running loop over tens of thousands of vehicles, each a
+//! lightweight state machine, under **continuous** attack, fault and
+//! defense pressure:
+//!
+//! - direct attacks execute real
+//!   [`ScenarioStep`](autosec_core::scenario::ScenarioStep)s from the
+//!   campaign registry against each victim's posture and live fault
+//!   context;
+//! - epidemic V2X infection spreads through the fleet with pressure
+//!   proportional to the compromised fraction, resolved against the
+//!   calibrated ghost-object edge of the
+//!   [`AttackGraph`](autosec_adversary::AttackGraph);
+//! - cross-layer faults from a horizon-scaled
+//!   [`FaultPlan`](autosec_faults::FaultPlan) strike exposed subsets
+//!   through the real per-layer injection adapters;
+//! - detections feed one shared
+//!   [`ResponseEngine`](autosec_ids::response::ResponseEngine) whose
+//!   playbook escalates to isolation and limp-home, and verified
+//!   repairs close the MTTR loop;
+//! - the backend kill chain runs as a live breach process that, while
+//!   open, doubles infection pressure.
+//!
+//! ## Determinism at any shard count
+//!
+//! The fleet is split into contiguous chunks across worker threads,
+//! but vehicle `i` draws only from the `fork_idx(i)` substream of the
+//! fleet RNG, tick inputs are pure functions of the previous tick, and
+//! shard outputs merge back in vehicle order. A run is therefore
+//! **bit-identical at any `--shards`** — `--shards` buys wall-clock
+//! time and nothing else, a property the integration tests and the CI
+//! smoke job verify byte-for-byte on canonical snapshots.
+//!
+//! A vehicle whose state machine panics is quarantined
+//! ([`VehicleStatus::Lost`]) without poisoning its shard; its RNG
+//! stream is simply never consumed again, so the rest of the fleet's
+//! trajectory is unchanged.
+//!
+//! ```
+//! use autosec_fleet::{FleetConfig, FleetEngine};
+//!
+//! let report = FleetEngine::new(FleetConfig {
+//!     vehicles: 200,
+//!     ticks: 20,
+//!     shards: 4,
+//!     calibration_trials: 4,
+//!     ..FleetConfig::default()
+//! })
+//! .run();
+//! assert_eq!(report.final_snapshot().census.total(), 200);
+//! assert!(report.availability > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod shard;
+pub mod snapshot;
+pub mod vehicle;
+
+pub use engine::{posture_label, FaultOnset, FleetConfig, FleetEngine, FleetReport, TickInputs};
+pub use shard::{run_tick_sharded, ShardOutput};
+pub use snapshot::{Census, FleetSnapshot, FleetTotals};
+pub use vehicle::{AlertKind, PendingAlert, Vehicle, VehicleStatus};

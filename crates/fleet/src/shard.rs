@@ -1,0 +1,152 @@
+//! Sharded tick execution.
+//!
+//! The fleet vector is split into contiguous chunks — one per shard —
+//! and each shard walks its vehicles in order. A vehicle's step only
+//! touches the vehicle itself plus the shard's private
+//! [`ShardOutput`], so shards never contend; outputs are merged back
+//! in shard order, which *is* vehicle order because chunks are
+//! contiguous. That merge discipline, together with per-vehicle RNG
+//! substreams, is the whole shard-invariance contract: `--shards N`
+//! changes wall-clock time and nothing else.
+//!
+//! A vehicle whose step panics is quarantined on the spot
+//! ([`Vehicle::quarantine`]) and the shard moves on — one bad state
+//! machine costs the fleet one vehicle, not a shard of them.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use crate::snapshot::FleetTotals;
+use crate::vehicle::{PendingAlert, Vehicle};
+
+/// Everything a shard hands back to the serial phase.
+#[derive(Debug, Clone, Default)]
+pub struct ShardOutput {
+    /// Alerts raised this tick, in vehicle order within the shard.
+    pub alerts: Vec<PendingAlert>,
+    /// Vehicles whose repair verified this tick (their escalation
+    /// state is cleared serially).
+    pub recovered: Vec<u32>,
+    /// The shard's counter deltas (additive — merge order never
+    /// matters).
+    pub counters: FleetTotals,
+}
+
+/// Runs one tick over the fleet with `shards` worker threads.
+///
+/// `per_vehicle` must only read/write the vehicle it is handed plus
+/// the shard output; the engine upholds that by construction. Returns
+/// one [`ShardOutput`] per chunk, in chunk (= vehicle) order.
+///
+/// Panics inside `per_vehicle` are caught per vehicle: the vehicle is
+/// quarantined (status `Lost`, RNG retired) and `counters.lost` is
+/// incremented, leaving the rest of the shard untouched.
+pub fn run_tick_sharded<F>(
+    vehicles: &mut [Vehicle],
+    shards: usize,
+    tick: u64,
+    per_vehicle: F,
+) -> Vec<ShardOutput>
+where
+    F: Fn(&mut Vehicle, &mut ShardOutput) + Sync,
+{
+    let n = vehicles.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let shards = shards.clamp(1, n);
+    let chunk = n.div_ceil(shards);
+
+    let process = |slice: &mut [Vehicle]| -> ShardOutput {
+        let mut out = ShardOutput::default();
+        for v in slice.iter_mut() {
+            if !v.alive() {
+                continue;
+            }
+            let stepped = catch_unwind(AssertUnwindSafe(|| per_vehicle(v, &mut out)));
+            if stepped.is_err() {
+                v.quarantine(tick);
+                out.counters.lost += 1;
+            }
+        }
+        out
+    };
+
+    if shards == 1 {
+        return vec![process(vehicles)];
+    }
+    std::thread::scope(|scope| {
+        let process = &process;
+        let handles: Vec<_> = vehicles
+            .chunks_mut(chunk)
+            .map(|slice| scope.spawn(move || process(slice)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("shard worker itself never panics"))
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vehicle::VehicleStatus;
+    use autosec_runner::silence_panics;
+    use autosec_sim::SimRng;
+
+    fn fleet(n: u32) -> Vec<Vehicle> {
+        let base = SimRng::seed(5).fork("fleet/vehicles");
+        (0..n).map(|i| Vehicle::new(i, &base)).collect()
+    }
+
+    #[test]
+    fn outputs_come_back_in_vehicle_order() {
+        let mut f = fleet(10);
+        let outs = run_tick_sharded(&mut f, 3, 1, |v, out| {
+            out.recovered.push(v.id);
+        });
+        let ids: Vec<u32> = outs.into_iter().flat_map(|o| o.recovered).collect();
+        assert_eq!(ids, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn shard_count_caps_at_fleet_size() {
+        let mut f = fleet(2);
+        let outs = run_tick_sharded(&mut f, 64, 1, |_, out| {
+            out.counters.telemetry_frames += 1;
+        });
+        assert!(outs.len() <= 2);
+        let total: u64 = outs.iter().map(|o| o.counters.telemetry_frames).sum();
+        assert_eq!(total, 2);
+    }
+
+    #[test]
+    fn a_panicking_vehicle_does_not_poison_its_shard() {
+        let _quiet = silence_panics();
+        let mut f = fleet(8);
+        let outs = run_tick_sharded(&mut f, 2, 3, |v, out| {
+            if v.id == 2 {
+                panic!("vehicle 2 state machine corrupted");
+            }
+            out.counters.telemetry_frames += 1;
+        });
+        let merged: u64 = outs.iter().map(|o| o.counters.telemetry_frames).sum();
+        let lost: u64 = outs.iter().map(|o| o.counters.lost).sum();
+        assert_eq!(merged, 7, "the other seven vehicles all stepped");
+        assert_eq!(lost, 1);
+        assert_eq!(f[2].status, VehicleStatus::Lost);
+        assert_eq!(f[2].since, 3);
+        // Lost vehicles are skipped on subsequent ticks.
+        let outs = run_tick_sharded(&mut f, 2, 4, |_, out| {
+            out.counters.telemetry_frames += 1;
+        });
+        let merged: u64 = outs.iter().map(|o| o.counters.telemetry_frames).sum();
+        assert_eq!(merged, 7);
+    }
+
+    #[test]
+    fn empty_fleet_is_a_noop() {
+        let mut f: Vec<Vehicle> = Vec::new();
+        assert!(run_tick_sharded(&mut f, 4, 1, |_, _| {}).is_empty());
+    }
+}

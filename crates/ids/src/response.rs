@@ -69,12 +69,33 @@ pub struct ResponseEngine {
     strikes: HashMap<u32, u32>,
     /// History of responses issued.
     history: Vec<Response>,
+    /// Maximum retained history entries (`None` = unbounded, the
+    /// batch-experiment default).
+    history_cap: Option<usize>,
 }
 
 impl ResponseEngine {
     /// New engine.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// New engine retaining at most `cap` history entries — required
+    /// for long-running service mode, where an unbounded response log
+    /// would grow with wall-of-ticks. Oldest entries are dropped first;
+    /// escalation state (per-subject strikes) is unaffected by the cap.
+    pub fn with_history_cap(cap: usize) -> Self {
+        Self {
+            history_cap: Some(cap),
+            ..Self::default()
+        }
+    }
+
+    /// Clears escalation state for one subject — called when a
+    /// subject's repair has been verified, so a later unrelated alert
+    /// starts from the cheapest playbook again.
+    pub fn clear_subject(&mut self, subject: u32) {
+        self.strikes.remove(&subject);
     }
 
     /// Default playbook for a detector type.
@@ -105,6 +126,12 @@ impl ResponseEngine {
             contained_at: alert.at + action.latency(),
         };
         self.history.push(response.clone());
+        if let Some(cap) = self.history_cap {
+            if self.history.len() > cap {
+                let excess = self.history.len() - cap;
+                self.history.drain(..excess);
+            }
+        }
         response
     }
 
@@ -190,6 +217,38 @@ mod tests {
     fn costs_are_ordered() {
         assert!(ResponseAction::Notify.cost() < ResponseAction::FilterId.cost());
         assert!(ResponseAction::IsolateNode.cost() < ResponseAction::LimpHome.cost());
+    }
+
+    #[test]
+    fn history_cap_bounds_memory_without_touching_strikes() {
+        let mut e = ResponseEngine::with_history_cap(3);
+        for i in 0..10 {
+            e.handle(&alert("frequency", 0x0A0, i * 10));
+        }
+        assert_eq!(e.history().len(), 3, "oldest entries dropped");
+        // Strikes kept accumulating past the cap: still escalated.
+        assert_eq!(
+            e.handle(&alert("frequency", 0x0A0, 200)).action,
+            ResponseAction::LimpHome
+        );
+    }
+
+    #[test]
+    fn clear_subject_resets_escalation() {
+        let mut e = ResponseEngine::new();
+        for i in 0..5 {
+            e.handle(&alert("frequency", 7, i));
+        }
+        assert_eq!(
+            e.handle(&alert("frequency", 7, 50)).action,
+            ResponseAction::LimpHome
+        );
+        e.clear_subject(7);
+        assert_eq!(
+            e.handle(&alert("frequency", 7, 60)).action,
+            ResponseAction::FilterId,
+            "verified recovery starts the playbook ladder over"
+        );
     }
 
     #[test]

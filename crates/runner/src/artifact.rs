@@ -281,6 +281,16 @@ impl ArtifactStore {
         Ok(path)
     }
 
+    /// Writes an arbitrary JSON value as `<stem>.json`, honouring the
+    /// store's canonical mode; returns the path. Used by non-table
+    /// artifacts such as fleet snapshots, which must diff clean across
+    /// `--shards` the same way tables diff clean across `--jobs`.
+    pub fn write_json(&self, stem: &str, v: &Value) -> io::Result<PathBuf> {
+        let path = self.dir.join(format!("{stem}.json"));
+        std::fs::write(&path, self.render(v))?;
+        Ok(path)
+    }
+
     /// Writes (or rewrites) `manifest.json` for the run as recorded so
     /// far; returns the manifest path. Called after every experiment by
     /// the fault-tolerant suite, so an interrupted run leaves a
@@ -421,15 +431,25 @@ pub fn strip_durations(v: &Value) -> Value {
 }
 
 /// Removes everything run-environment-specific (`duration_ms`,
-/// `total_duration_ms`, `jobs`, **and** `trials_scale`) from an
-/// artifact or manifest value, recursively. Two canonicalized runs
-/// with the same seed must be byte-identical even when produced with
-/// *different* `--jobs` values — the cross-jobs artifact diff CI runs.
-/// (`trials_scale` is a precision/runtime knob like `jobs`; scaled
-/// tables differ in their Monte-Carlo cells, but the key itself never
-/// belongs in a canonical artifact.)
+/// `total_duration_ms`, `jobs`, `trials_scale`, and the fleet
+/// throughput keys `vehicle_ticks_per_sec`/`shards`) from an artifact
+/// or manifest value, recursively. Two canonicalized runs with the
+/// same seed must be byte-identical even when produced with
+/// *different* `--jobs` (or `--shards`) values — the cross-jobs
+/// artifact diff CI runs. (`trials_scale` is a precision/runtime knob
+/// like `jobs`; scaled tables differ in their Monte-Carlo cells, but
+/// the key itself never belongs in a canonical artifact. Throughput
+/// and shard count are wall-clock facts of one machine, not functions
+/// of the seed.)
 pub fn strip_volatile(v: &Value) -> Value {
-    const VOLATILE: [&str; 4] = ["duration_ms", "total_duration_ms", "jobs", "trials_scale"];
+    const VOLATILE: [&str; 6] = [
+        "duration_ms",
+        "total_duration_ms",
+        "jobs",
+        "trials_scale",
+        "shards",
+        "vehicle_ticks_per_sec",
+    ];
     match v {
         Value::Object(map) => Value::Object(
             map.iter()
@@ -527,6 +547,28 @@ mod tests {
             (manifest, rec)
         };
         assert_eq!(read(1), read(4));
+    }
+
+    #[test]
+    fn write_json_honours_canonical_mode() {
+        let v: Value = serde_json::from_str(
+            r#"{"tick": 5, "shards": 4, "vehicle_ticks_per_sec": 123456.7, "census": {"healthy": 9}}"#,
+        )
+        .expect("valid json");
+        let dir = tmp("write-json");
+        let _ = std::fs::remove_dir_all(&dir);
+        let plain = ArtifactStore::create(&dir).expect("create dir");
+        let path = plain.write_json("fleet", &v).expect("write");
+        assert!(path.ends_with("fleet.json"));
+        let text = std::fs::read_to_string(&path).expect("read");
+        assert!(text.contains("shards"), "plain mode keeps everything");
+        let canon = plain.clone().canonical();
+        canon.write_json("fleet", &v).expect("write");
+        let text = std::fs::read_to_string(&path).expect("read");
+        assert!(!text.contains("shards"));
+        assert!(!text.contains("vehicle_ticks_per_sec"));
+        assert!(text.contains("healthy"), "payload survives");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

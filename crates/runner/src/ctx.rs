@@ -99,6 +99,20 @@ mod tests {
     }
 
     #[test]
+    fn tiny_scales_never_round_to_zero_trials() {
+        // A `--trials-scale 0.001` smoke run must still execute every
+        // experiment: scaled counts clamp to >= 1, they never round to
+        // 0 (which would silently skip the Monte-Carlo loop and emit
+        // empty or NaN cells).
+        for scale in [0.001, 0.01, 1e-9] {
+            let ctx = RunCtx::new(1, 1).with_trials_scale(scale);
+            for base in [1, 5, 40, 200, 3000] {
+                assert!(ctx.trials(base) >= 1, "scale {scale} base {base}");
+            }
+        }
+    }
+
+    #[test]
     fn degenerate_scales_fall_back_to_identity() {
         for bad in [0.0, -1.0, f64::NAN, f64::INFINITY] {
             assert_eq!(RunCtx::new(1, 1).with_trials_scale(bad).trials_scale, 1.0);

@@ -15,11 +15,13 @@
 //! - [`collab`] — §VII collaborative perception and competition
 //! - [`ids`] — §VIII intrusion detection and response
 //! - [`core`] — the paper's layered framework (Fig. 1), cross-layer scenarios
+//! - [`fleet`] — sharded live-fleet service mode (continuous attack/defense)
 
 pub use autosec_collab as collab;
 pub use autosec_core as core;
 pub use autosec_crypto as crypto;
 pub use autosec_data as data;
+pub use autosec_fleet as fleet;
 pub use autosec_ids as ids;
 pub use autosec_ivn as ivn;
 pub use autosec_phy as phy;
