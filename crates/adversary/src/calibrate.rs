@@ -25,7 +25,8 @@
 //! bit-identical for every job count at a fixed seed.
 
 use autosec_core::campaign::DefensePosture;
-use autosec_core::scenario::{scenario_registry, PostureCtx, ScenarioStep};
+use autosec_core::engine::measure_step;
+use autosec_core::scenario::{scenario_registry, ScenarioStep};
 use autosec_data::killchain::{Attacker, KillChainReport, KillChainStage};
 use autosec_data::service::{DefenseConfig, TelemetryBackend};
 use autosec_runner::par_trials;
@@ -143,22 +144,22 @@ const CASCADE_EDGES: [(&str, Capability, &str); 5] = [
 
 /// Measures one scenario step's success/detection rates under one
 /// posture.
+///
+/// A thin adapter over the shared calibration primitive
+/// [`measure_step`] — the same machinery behind core's
+/// [`StepOutcomeTable`](autosec_core::engine::StepOutcomeTable) — so
+/// attack-graph edges and fleet outcome tables are estimates from the
+/// identical trial scheme.
 pub fn scenario_point(
     step: &dyn ScenarioStep,
     posture: &DefensePosture,
     base: &SimRng,
     cfg: &CalibrationConfig,
 ) -> ProbPoint {
-    let outcomes = par_trials(cfg.jobs, cfg.trials, base, |_, rng| {
-        let ctx = PostureCtx::new(posture);
-        let mut stream = rng.fork(step.rng_label());
-        let out = step.execute(&ctx, &mut stream);
-        (out.succeeded, out.detected)
-    });
-    let n = cfg.trials as f64;
+    let stats = measure_step(step, posture, base, cfg.trials, cfg.jobs);
     ProbPoint {
-        success: outcomes.iter().filter(|o| o.0).count() as f64 / n,
-        detect: outcomes.iter().filter(|o| o.1).count() as f64 / n,
+        success: stats.success,
+        detect: stats.detect,
     }
 }
 

@@ -44,7 +44,7 @@ use std::time::Duration;
 
 use autosec_bench::{registry, ArtifactStore, RunCtx, RunManifest};
 use autosec_core::campaign::DefensePosture;
-use autosec_fleet::{FleetConfig, FleetEngine};
+use autosec_fleet::{Fidelity, FleetConfig, FleetEngine};
 use autosec_runner::{run_suite, ResumeState, RunStatus, SuiteOptions, DEFAULT_ARTIFACT_DIR};
 
 struct Args {
@@ -183,15 +183,26 @@ fn fleet_usage() -> ! {
     eprintln!(
         "usage: experiments fleet [--vehicles N] [--ticks N] [--shards N] [--seed N]
                           [--snapshot-every N] [--posture full|none|depth:K]
+                          [--fidelity live|calibrated|mixed:K]
                           [--attack-rate F] [--no-faults] [--json] [--canonical]
                           [--out DIR]
 
   Runs the live-fleet service mode: N per-vehicle state machines under
   continuous attack, fault and defense pressure for the given number of
-  ticks. Results are bit-identical for any --shards value; --json
-  writes the canonical-keyed fleet.json artifact (with --canonical the
-  volatile throughput keys are stripped so artifacts from different
-  shard counts diff byte-identical)."
+  ticks. --fidelity picks the attack-resolution tier: 'calibrated'
+  (default) resolves attacks against an outcome table calibrated from
+  the live scenario models, 'live' replays every model end to end, and
+  'mixed:K' runs calibrated state with ~every Kth resolution shadowed
+  by a live replay feeding a drift statistic.
+
+  --shards defaults to the available parallelism (capped by the
+  vehicle count); pass it explicitly to override. On a single-core
+  machine extra shards cost thread overhead instead of buying
+  wall-clock time (see BENCH_fleet.json) — results are bit-identical
+  for any --shards value either way; --json writes the canonical-keyed
+  fleet.json artifact (with --canonical the volatile throughput keys
+  are stripped so artifacts from different shard counts diff
+  byte-identical)."
     );
     std::process::exit(2);
 }
@@ -207,6 +218,7 @@ fn fleet_main(args: &[String]) -> ExitCode {
     };
     let mut json = false;
     let mut canonical = false;
+    let mut shards_given = false;
     let mut out = DEFAULT_ARTIFACT_DIR.to_owned();
 
     let mut it = args.iter();
@@ -226,7 +238,10 @@ fn fleet_main(args: &[String]) -> ExitCode {
         match arg.as_str() {
             "--vehicles" | "-n" => cfg.vehicles = parsed("--vehicles", &value("--vehicles")),
             "--ticks" => cfg.ticks = parsed("--ticks", &value("--ticks")),
-            "--shards" => cfg.shards = parsed("--shards", &value("--shards")),
+            "--shards" => {
+                cfg.shards = parsed("--shards", &value("--shards"));
+                shards_given = true;
+            }
             "--seed" | "-s" => cfg.seed = parsed("--seed", &value("--seed")),
             "--snapshot-every" => {
                 cfg.snapshot_every = parsed("--snapshot-every", &value("--snapshot-every"));
@@ -246,6 +261,13 @@ fn fleet_main(args: &[String]) -> ExitCode {
                     },
                 };
             }
+            "--fidelity" => {
+                let v = value("--fidelity");
+                cfg.fidelity = Fidelity::parse(&v).unwrap_or_else(|| {
+                    eprintln!("invalid --fidelity {v:?}: expected live, calibrated or mixed:K");
+                    fleet_usage()
+                });
+            }
             "--no-faults" => cfg.faults_enabled = false,
             "--json" => json = true,
             "--canonical" => canonical = true,
@@ -261,16 +283,25 @@ fn fleet_main(args: &[String]) -> ExitCode {
         eprintln!("--vehicles and --ticks must be positive");
         return ExitCode::FAILURE;
     }
+    if !shards_given {
+        // Default: one shard per available core, capped by fleet size.
+        // An explicit --shards overrides (still capped at runtime).
+        cfg.shards = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+            .min(cfg.vehicles);
+    }
     if cfg.shards == 0 {
         cfg.shards = 1;
     }
 
     eprintln!(
-        "fleet: {} vehicles x {} ticks, {} shard(s), posture {}, seed {}",
+        "fleet: {} vehicles x {} ticks, {} shard(s), posture {}, fidelity {}, seed {}",
         cfg.vehicles,
         cfg.ticks,
         cfg.shards,
         cfg.posture_label(),
+        cfg.fidelity.label(),
         cfg.seed
     );
     let report = FleetEngine::new(cfg).run();
@@ -296,6 +327,14 @@ fn fleet_main(args: &[String]) -> ExitCode {
         totals.recoveries,
         totals.backend_breaches
     );
+    if report.drift.probes > 0 {
+        println!(
+            "drift: {} live probes, agreement {:.4}, success gap {:+.4}",
+            report.drift.probes,
+            report.drift.agreement_rate(),
+            report.drift.success_gap()
+        );
+    }
 
     if json {
         let store = match ArtifactStore::create(&out) {

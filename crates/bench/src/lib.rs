@@ -265,6 +265,14 @@ pub fn registry() -> Registry {
         exp_fleet::e20_availability_table,
     );
     reg(
+        "E21",
+        "e21-fidelity-drift",
+        "§VIII — calibrated-vs-live fidelity drift (two-tier scenario engine)",
+        &["fleet", "fidelity", "calibration", "parallel"],
+        Heavy,
+        exp_fleet::e21_fidelity_table,
+    );
+    reg(
         "A1",
         "a1-hrp-threshold",
         "Ablation — HRP integrity threshold sweep",
@@ -334,14 +342,14 @@ mod tests {
     #[test]
     fn registry_covers_all_groups() {
         let r = registry();
-        // 33 normally; +1 when a chaos-probe env var leaks into the
+        // 34 normally; +1 when a chaos-probe env var leaks into the
         // test environment.
         let chaos = std::env::var("AUTOSEC_CHAOS").is_ok() as usize;
-        assert_eq!(r.len(), 33 + chaos);
+        assert_eq!(r.len(), 34 + chaos);
         let ids = r.group_ids();
         for want in [
             "E1", "E2", "E2b", "E3", "E4", "E5-E7", "E8", "E8b", "E9", "E10", "E11", "E12", "E13",
-            "E14", "E15", "E16", "E17", "E18", "E19", "E20", "A1", "A2", "A3", "A4", "A5",
+            "E14", "E15", "E16", "E17", "E18", "E19", "E20", "E21", "A1", "A2", "A3", "A4", "A5",
         ] {
             assert!(ids.contains(&want), "missing group {want}");
         }

@@ -16,6 +16,11 @@
 //! - [`assessment`] — holistic scoring (§VIII): prevention/detection
 //!   coverage, defense-in-depth depth, and the synergy metric showing
 //!   the fused multi-layer view dominating any single layer
+//! - [`engine`] — two-tier scenario execution: the live
+//!   [`scenario::ScenarioStep`] path and calibrated
+//!   [`engine::StepOutcomeTable`] outcome tables behind one
+//!   [`engine::ScenarioEngine`] interface, plus the shared
+//!   [`engine::measure_step`] calibration primitive
 //!
 //! ## Example
 //!
@@ -29,5 +34,6 @@
 
 pub mod assessment;
 pub mod campaign;
+pub mod engine;
 pub mod layers;
 pub mod scenario;

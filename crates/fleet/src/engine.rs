@@ -7,10 +7,11 @@
 //!    vehicle ingests one telemetry frame and steps its state machine:
 //!    fault onsets from the [`FaultPlan`] hit an exposed subset through
 //!    the real per-layer [`target_for`] adapters; rare direct attacks
-//!    execute real [`ScenarioStep`]s from the campaign registry; and
-//!    epidemic V2X infection spreads with pressure proportional to the
-//!    previous tick's compromised fraction, resolved against the
-//!    calibrated ghost-object edge of the attack graph.
+//!    resolve through the run's [`ScenarioEngine`] (see *fidelity*
+//!    below); and epidemic V2X infection spreads with pressure
+//!    proportional to the previous tick's compromised fraction,
+//!    resolved against the calibrated ghost-object edge of the attack
+//!    graph.
 //! 2. **Serial response phase** — alerts (merged in vehicle order) feed
 //!    one shared [`ResponseEngine`]; containment actions are applied
 //!    back to the vehicles (filter/rekey relief, isolation,
@@ -19,20 +20,43 @@
 //!    process on its own fleet-level RNG stream: while the backend is
 //!    breached, infection pressure doubles (bulk telemetry access).
 //!
+//! ## Fidelity
+//!
+//! Direct attacks are the hot path's only expensive event: a live
+//! [`ScenarioStep`](autosec_core::scenario::ScenarioStep) replays its
+//! whole model (~ms), which caps fleet throughput far below the
+//! state-machine floor. [`Fidelity`] picks the resolution tier:
+//!
+//! - [`Fidelity::Calibrated`] (default) — attacks resolve against a
+//!   [`StepOutcomeTable`] calibrated from the live models at
+//!   construction: two Bernoulli draws per attack, exact in
+//!   distribution at the calibrated posture.
+//! - [`Fidelity::Live`] — every attack replays the live model, the
+//!   pre-table behaviour (same per-vehicle draw sequence).
+//! - [`Fidelity::Mixed`]`{ every }` — state evolves exactly as
+//!   `Calibrated` (snapshots are bit-identical to it for any `every`),
+//!   but roughly one in `every` resolutions is *shadowed* by a live
+//!   replay on a dedicated forked substream (`fleet/drift`), feeding
+//!   the run's [`DriftStats`] — a continuous measurement of what the
+//!   table abstraction costs.
+//!
 //! ## Determinism contract
 //!
 //! Vehicle `i` draws only from `root.fork("fleet/vehicles").fork_idx(i)`;
 //! tick inputs are pure functions of the *previous* tick's census;
 //! alerts are processed in vehicle order; the backend stream is
-//! engine-level. Therefore a run is bit-identical at any `--shards`
-//! count — the property [`FleetReport::canonical_json`] exposes and CI
-//! diffs.
+//! engine-level; drift probes draw from their own `fork_idx(id)` /
+//! `fork_idx(tick)` substreams and are triggered by `(id, tick)`
+//! arithmetic, not by any global counter. Therefore a run is
+//! bit-identical at any `--shards` count — in every fidelity mode —
+//! the property [`FleetReport::canonical_json`] exposes and CI diffs.
 
 use std::time::{Duration, Instant};
 
 use autosec_adversary::{calibrated_graph, AttackGraph, CalibrationConfig, EdgeSource, ProbPoint};
 use autosec_core::campaign::DefensePosture;
-use autosec_core::scenario::{scenario_registry, PostureCtx, ScenarioStep};
+use autosec_core::engine::{LiveScenarioEngine, ScenarioEngine, StepOutcomeTable};
+use autosec_core::scenario::PostureCtx;
 use autosec_faults::{detector_for, target_for, FaultPlan};
 use autosec_ids::response::{ResponseAction, ResponseEngine};
 use autosec_ids::Alert;
@@ -43,9 +67,8 @@ use serde_json::{json, Value};
 
 use crate::shard::{run_tick_sharded, ShardOutput};
 use crate::snapshot::{Census, FleetSnapshot, FleetTotals};
-use crate::vehicle::{
-    AlertKind, PendingAlert, Vehicle, VehicleStatus, ISOLATED_HEALTH, LIMP_HOME_HEALTH,
-};
+use crate::state::{FleetColumns, FleetState};
+use crate::vehicle::{AlertKind, PendingAlert, VehicleStatus, ISOLATED_HEALTH, LIMP_HOME_HEALTH};
 
 /// Fraction of a degraded vehicle's health deficit removed by a
 /// filter/rekey containment action.
@@ -62,6 +85,50 @@ const REALERT_P: f64 = 0.3;
 const BREACH_PRESSURE_MULT: f64 = 2.0;
 /// Response-history cap for the long-running engine.
 const HISTORY_CAP: usize = 4_096;
+
+/// Which tier of the two-tier scenario engine resolves direct attacks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fidelity {
+    /// Every attack replays the live scenario model end to end.
+    Live,
+    /// Every attack resolves against the calibrated
+    /// [`StepOutcomeTable`] (two Bernoulli draws).
+    Calibrated,
+    /// Table-driven state evolution (snapshots identical to
+    /// [`Fidelity::Calibrated`]), with roughly one in `every`
+    /// resolutions shadowed by a live replay feeding [`DriftStats`].
+    Mixed {
+        /// Probe period: a resolution is shadowed when
+        /// `(vehicle_id + tick) % every == 0` — shard-invariant by
+        /// construction. Must be positive.
+        every: u64,
+    },
+}
+
+impl Fidelity {
+    /// Stable label for artifacts and the CLI: `live`, `calibrated`,
+    /// or `mixed:K`.
+    pub fn label(&self) -> String {
+        match self {
+            Fidelity::Live => "live".to_owned(),
+            Fidelity::Calibrated => "calibrated".to_owned(),
+            Fidelity::Mixed { every } => format!("mixed:{every}"),
+        }
+    }
+
+    /// Parses a CLI label (the inverse of [`Fidelity::label`]).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "live" => Some(Fidelity::Live),
+            "calibrated" => Some(Fidelity::Calibrated),
+            _ => s
+                .strip_prefix("mixed:")
+                .and_then(|k| k.parse::<u64>().ok())
+                .filter(|&k| k > 0)
+                .map(|every| Fidelity::Mixed { every }),
+        }
+    }
+}
 
 /// A complete fleet-run parameterization.
 #[derive(Debug, Clone)]
@@ -80,6 +147,8 @@ pub struct FleetConfig {
     pub snapshot_every: u64,
     /// The fleet-wide defense posture.
     pub posture: DefensePosture,
+    /// How direct attacks are resolved (see [`Fidelity`]).
+    pub fidelity: Fidelity,
     /// Per-vehicle per-tick probability of a direct scenario-step
     /// attack.
     pub attack_rate: f64,
@@ -93,7 +162,8 @@ pub struct FleetConfig {
     /// Per-tick backend kill-chain attempt rate (scaled by the chain's
     /// calibrated success probability).
     pub breach_attempt_rate: f64,
-    /// Monte-Carlo trials per attack-graph edge during calibration.
+    /// Monte-Carlo trials per attack-graph edge and per outcome-table
+    /// cell during calibration.
     pub calibration_trials: usize,
     /// Per-vehicle per-tick probability of a chaos-injected state
     /// machine panic (0 outside quarantine tests; a positive rate
@@ -111,6 +181,7 @@ impl Default for FleetConfig {
             tick_ms: 100,
             snapshot_every: 0,
             posture: DefensePosture::full(),
+            fidelity: Fidelity::Calibrated,
             attack_rate: 5e-4,
             infection_beta: 0.35,
             fault_exposure: 0.01,
@@ -139,6 +210,7 @@ impl FleetConfig {
             "tick_ms": self.tick_ms,
             "snapshot_every": self.snapshot_every,
             "posture": self.posture_label(),
+            "fidelity": self.fidelity.label(),
             "attack_rate": self.attack_rate,
             "infection_beta": self.infection_beta,
             "fault_exposure": self.fault_exposure,
@@ -172,6 +244,84 @@ fn layer_index(layer: ArchLayer) -> usize {
         .iter()
         .position(|&l| l == layer)
         .expect("layer is in ALL")
+}
+
+/// Mixed-fidelity drift accounting: how often the table's resolution
+/// of an attack agreed with a shadow live replay of the same attack.
+///
+/// Counters are additive (shard merge is order-independent) and every
+/// probe is a pure function of `(seed, vehicle_id, tick)` — so drift
+/// numbers are as shard-invariant as the snapshots they ride beside.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DriftStats {
+    /// Resolutions shadowed by a live replay.
+    pub probes: u64,
+    /// Probes where table and live agreed on `(succeeded, detected)`.
+    pub agreements: u64,
+    /// Probes the table resolved as a success.
+    pub table_successes: u64,
+    /// Probes the live replay resolved as a success.
+    pub live_successes: u64,
+    /// Probes the table resolved as detected.
+    pub table_detects: u64,
+    /// Probes the live replay resolved as detected.
+    pub live_detects: u64,
+}
+
+impl DriftStats {
+    /// Records one shadowed resolution.
+    pub fn record(&mut self, table: (bool, bool), live: (bool, bool)) {
+        self.probes += 1;
+        if table == live {
+            self.agreements += 1;
+        }
+        self.table_successes += u64::from(table.0);
+        self.live_successes += u64::from(live.0);
+        self.table_detects += u64::from(table.1);
+        self.live_detects += u64::from(live.1);
+    }
+
+    /// Folds another block in (addition only).
+    pub fn absorb(&mut self, other: &DriftStats) {
+        self.probes += other.probes;
+        self.agreements += other.agreements;
+        self.table_successes += other.table_successes;
+        self.live_successes += other.live_successes;
+        self.table_detects += other.table_detects;
+        self.live_detects += other.live_detects;
+    }
+
+    /// Fraction of probes where both outcome bits agreed (1 when no
+    /// probes ran).
+    pub fn agreement_rate(&self) -> f64 {
+        if self.probes == 0 {
+            1.0
+        } else {
+            self.agreements as f64 / self.probes as f64
+        }
+    }
+
+    /// Absolute success-rate gap between the two tiers over the probed
+    /// sample (0 when no probes ran).
+    pub fn success_gap(&self) -> f64 {
+        if self.probes == 0 {
+            0.0
+        } else {
+            (self.table_successes as f64 - self.live_successes as f64).abs() / self.probes as f64
+        }
+    }
+
+    /// Canonical JSON body.
+    pub fn to_json(&self) -> Value {
+        json!({
+            "probes": self.probes,
+            "agreements": self.agreements,
+            "table_successes": self.table_successes,
+            "live_successes": self.live_successes,
+            "table_detects": self.table_detects,
+            "live_detects": self.live_detects,
+        })
+    }
 }
 
 /// A fault onset resolved to a fleet-level **reference injection**.
@@ -221,10 +371,24 @@ pub struct TickInputs {
     pub active_faults: [Vec<FaultEffect>; 6],
 }
 
+/// The mixed-fidelity shadow-probe context.
+struct ProbeEnv<'a> {
+    /// The live tier the probes replay against.
+    live: &'a LiveScenarioEngine,
+    /// The dedicated drift stream (`root.fork("fleet/drift")`); probes
+    /// fork it by vehicle id then tick.
+    base: SimRng,
+    /// Probe period.
+    every: u64,
+}
+
 /// Run-constant environment for the per-vehicle step.
 struct StepEnv<'a> {
     cfg: &'a FleetConfig,
-    steps: &'a [Box<dyn ScenarioStep>],
+    /// The tier resolving direct attacks this run.
+    engine: &'a dyn ScenarioEngine,
+    /// Present in mixed fidelity only.
+    probe: Option<ProbeEnv<'a>>,
     /// Calibrated V2X infection edge under the run posture.
     epi: ProbPoint,
     /// Per-tick probability a silent compromise is flagged after the
@@ -234,75 +398,97 @@ struct StepEnv<'a> {
 
 /// One vehicle's tick: state machine + private RNG only. See the
 /// module docs for the phase ordering contract.
-fn step_vehicle(v: &mut Vehicle, env: &StepEnv<'_>, inputs: &TickInputs, out: &mut ShardOutput) {
+fn step_vehicle(
+    cols: &mut FleetColumns<'_>,
+    i: usize,
+    env: &StepEnv<'_>,
+    inputs: &TickInputs,
+    out: &mut ShardOutput,
+) {
     out.counters.telemetry_frames += 1;
-    if env.cfg.chaos_lost_rate > 0.0 && v.rng.chance(env.cfg.chaos_lost_rate) {
-        panic!("chaos: vehicle {} state machine corrupted", v.id);
+    if env.cfg.chaos_lost_rate > 0.0 && cols.rng[i].chance(env.cfg.chaos_lost_rate) {
+        panic!("chaos: vehicle {} state machine corrupted", cols.id(i));
     }
-    match v.status {
+    match cols.status[i] {
         VehicleStatus::Healthy | VehicleStatus::Degraded => {
             // Fault onsets: an exposed subset suffers its own
             // dispersion around the fleet-level reference injection.
             for onset in &inputs.fault_onsets {
-                if !v.rng.chance(env.cfg.fault_exposure) {
+                if !cols.rng[i].chance(env.cfg.fault_exposure) {
                     continue;
                 }
                 out.counters.fault_injections += 1;
                 // Each vehicle takes between 0.5x and 1.5x of the
                 // reference health deficit.
-                let u = (v.rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+                let u = (cols.rng[i].next_u64() >> 11) as f64 / (1u64 << 53) as f64;
                 let mult = 1.0 - (1.0 - onset.ref_health) * (0.5 + u);
-                v.health = (v.health * mult.clamp(0.0, 1.0)).max(0.0);
-                if v.health < 1.0 && v.status == VehicleStatus::Healthy {
-                    v.status = VehicleStatus::Degraded;
-                    v.since = inputs.tick;
-                    v.incident_layer = onset.layer;
+                cols.health[i] = (cols.health[i] * mult.clamp(0.0, 1.0)).max(0.0);
+                if cols.health[i] < 1.0 && cols.status[i] == VehicleStatus::Healthy {
+                    cols.status[i] = VehicleStatus::Degraded;
+                    cols.since[i] = inputs.tick;
+                    cols.incident_layer[i] = onset.layer;
                 }
-                if v.rng.chance(onset.detect_p) {
-                    v.flagged = true;
+                if cols.rng[i].chance(onset.detect_p) {
+                    cols.flagged[i] = true;
                     out.alerts.push(PendingAlert {
-                        vehicle: v.id,
+                        vehicle: cols.id(i),
                         detector: detector_for(onset.layer),
                         kind: AlertKind::Fault,
                     });
                 }
             }
-            // Rare direct attack: one real scenario step, end to end.
-            if env.cfg.attack_rate > 0.0 && v.rng.chance(env.cfg.attack_rate) {
+            // Rare direct attack, resolved by the run's fidelity tier.
+            if env.cfg.attack_rate > 0.0 && cols.rng[i].chance(env.cfg.attack_rate) {
                 out.counters.attacks_attempted += 1;
-                let idx = (v.rng.next_u64() % env.steps.len() as u64) as usize;
-                let step = &env.steps[idx];
-                let layer = step.layer();
+                let idx = (cols.rng[i].next_u64() % env.engine.step_count() as u64) as usize;
+                let layer = env.engine.step_layer(idx);
                 let ctx = PostureCtx {
                     posture: &env.cfg.posture,
                     faults: &inputs.active_faults[layer_index(layer)],
                 };
-                let outcome = step.execute(&ctx, &mut v.rng);
+                let outcome = env.engine.resolve(idx, &ctx, &mut cols.rng[i]);
+                // Mixed fidelity: shadow this resolution with a live
+                // replay on the drift stream. The shadow never touches
+                // vehicle state or its RNG — snapshots stay identical
+                // to pure calibrated mode.
+                if let Some(probe) = &env.probe {
+                    let id = u64::from(cols.id(i));
+                    if (id + inputs.tick).is_multiple_of(probe.every) {
+                        let mut stream = probe.base.fork_idx(id).fork_idx(inputs.tick);
+                        let live_out = probe.live.resolve(idx, &ctx, &mut stream);
+                        out.drift.record(
+                            (outcome.succeeded, outcome.detected),
+                            (live_out.succeeded, live_out.detected),
+                        );
+                    }
+                }
                 if outcome.succeeded {
                     out.counters.attacks_succeeded += 1;
-                    v.compromise(inputs.tick, layer);
-                    v.flagged = outcome.detected;
+                    cols.compromise(i, inputs.tick, layer);
+                    cols.flagged[i] = outcome.detected;
                 }
                 if outcome.detected {
                     out.alerts.push(PendingAlert {
-                        vehicle: v.id,
+                        vehicle: cols.id(i),
                         detector: detector_for(layer),
                         kind: AlertKind::Attack,
                     });
                 }
             }
             // Epidemic V2X infection from the compromised population.
-            if matches!(v.status, VehicleStatus::Healthy | VehicleStatus::Degraded)
-                && inputs.infection_pressure > 0.0
-                && v.rng.chance(inputs.infection_pressure)
-                && v.rng.chance(env.epi.success)
+            if matches!(
+                cols.status[i],
+                VehicleStatus::Healthy | VehicleStatus::Degraded
+            ) && inputs.infection_pressure > 0.0
+                && cols.rng[i].chance(inputs.infection_pressure)
+                && cols.rng[i].chance(env.epi.success)
             {
                 out.counters.infections += 1;
-                v.compromise(inputs.tick, ArchLayer::Collaboration);
-                if v.rng.chance(env.epi.detect) {
-                    v.flagged = true;
+                cols.compromise(i, inputs.tick, ArchLayer::Collaboration);
+                if cols.rng[i].chance(env.epi.detect) {
+                    cols.flagged[i] = true;
                     out.alerts.push(PendingAlert {
-                        vehicle: v.id,
+                        vehicle: cols.id(i),
                         detector: detector_for(ArchLayer::Collaboration),
                         kind: AlertKind::Attack,
                     });
@@ -310,41 +496,44 @@ fn step_vehicle(v: &mut Vehicle, env: &StepEnv<'_>, inputs: &TickInputs, out: &m
             }
             // Flagged degraded vehicles self-repair (reconfigure +
             // verify) without needing isolation.
-            if v.status == VehicleStatus::Degraded && v.flagged && v.rng.chance(REPAIR_P) {
+            if cols.status[i] == VehicleStatus::Degraded
+                && cols.flagged[i]
+                && cols.rng[i].chance(REPAIR_P)
+            {
                 out.counters.recoveries += 1;
-                out.counters.mttr_ticks += inputs.tick - v.since;
-                v.restore();
-                out.recovered.push(v.id);
+                out.counters.mttr_ticks += inputs.tick - cols.since[i];
+                cols.restore(i);
+                out.recovered.push(cols.id(i));
             }
         }
         VehicleStatus::Compromised => {
-            if !v.flagged {
+            if !cols.flagged[i] {
                 // Continuous IDS sweep: silent compromises surface
                 // eventually, faster under deeper postures.
-                if v.rng.chance(env.late_detect_p) {
-                    v.flagged = true;
+                if cols.rng[i].chance(env.late_detect_p) {
+                    cols.flagged[i] = true;
                     out.alerts.push(PendingAlert {
-                        vehicle: v.id,
-                        detector: detector_for(v.incident_layer),
+                        vehicle: cols.id(i),
+                        detector: detector_for(cols.incident_layer[i]),
                         kind: AlertKind::LateDetect,
                     });
                 }
-            } else if v.rng.chance(REALERT_P) {
+            } else if cols.rng[i].chance(REALERT_P) {
                 // Known-compromised vehicles keep alerting until the
                 // playbook escalates to isolation.
                 out.alerts.push(PendingAlert {
-                    vehicle: v.id,
-                    detector: detector_for(v.incident_layer),
+                    vehicle: cols.id(i),
+                    detector: detector_for(cols.incident_layer[i]),
                     kind: AlertKind::LateDetect,
                 });
             }
         }
         VehicleStatus::Isolated => {
-            if v.rng.chance(VERIFY_P) {
+            if cols.rng[i].chance(VERIFY_P) {
                 out.counters.recoveries += 1;
-                out.counters.mttr_ticks += inputs.tick - v.since;
-                v.restore();
-                out.recovered.push(v.id);
+                out.counters.mttr_ticks += inputs.tick - cols.since[i];
+                cols.restore(i);
+                out.recovered.push(cols.id(i));
             }
         }
         VehicleStatus::Lost => {}
@@ -352,12 +541,22 @@ fn step_vehicle(v: &mut Vehicle, env: &StepEnv<'_>, inputs: &TickInputs, out: &m
 }
 
 /// The live-fleet engine. Construct with [`FleetEngine::new`] (which
-/// calibrates its own attack graph) or [`FleetEngine::with_graph`]
-/// (sharing a pre-calibrated one), then [`FleetEngine::run`].
+/// calibrates its own attack graph and outcome table),
+/// [`FleetEngine::with_graph`] (sharing a pre-calibrated graph) or
+/// [`FleetEngine::with_parts`] (sharing a pre-calibrated table too),
+/// then [`FleetEngine::run`].
+///
+/// The engine is `Clone`, and cloning is cheap relative to
+/// construction: the columnar state copies dense arrays, while
+/// construction replays real fault adapters and (unless a table is
+/// shared) calibrates live models.
+#[derive(Clone)]
 pub struct FleetEngine {
     cfg: FleetConfig,
     graph: AttackGraph,
-    vehicles: Vec<Vehicle>,
+    /// The calibrated tier; `None` only in [`Fidelity::Live`] runs.
+    table: Option<StepOutcomeTable>,
+    state: FleetState,
     plan: FaultPlan,
     /// `(onset_tick, reference injection)` per fault spec, resolved
     /// once at construction on the `fleet/faults/ref` stream.
@@ -365,8 +564,9 @@ pub struct FleetEngine {
 }
 
 impl FleetEngine {
-    /// Builds the engine, calibrating the attack graph from the live
-    /// models (`calibration_trials` per edge; `shards` only
+    /// Builds the engine, calibrating the attack graph — and, outside
+    /// [`Fidelity::Live`], the step outcome table — from the live
+    /// models (`calibration_trials` per edge/cell; `shards` only
     /// parallelizes the calibration, never changes it).
     ///
     /// # Panics
@@ -380,19 +580,50 @@ impl FleetEngine {
 
     /// Builds the engine around a pre-calibrated graph (the graph
     /// carries both posture sides, so one calibration serves every
-    /// posture in a sweep).
+    /// posture in a sweep). The outcome table, if the fidelity needs
+    /// one, is calibrated here.
     ///
     /// # Panics
     ///
     /// Panics if `vehicles` or `ticks` is zero.
     pub fn with_graph(cfg: FleetConfig, graph: AttackGraph) -> Self {
+        Self::with_parts(cfg, graph, None)
+    }
+
+    /// Builds the engine around a pre-calibrated graph and,
+    /// optionally, a shared pre-calibrated [`StepOutcomeTable`] (one
+    /// depth-ladder table can serve a whole posture sweep). When
+    /// `table` is `None` and the fidelity is not [`Fidelity::Live`], a
+    /// single-posture table is calibrated on the `fleet/table`
+    /// substream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vehicles` or `ticks` is zero, or if a
+    /// [`Fidelity::Mixed`] period is zero.
+    pub fn with_parts(
+        cfg: FleetConfig,
+        graph: AttackGraph,
+        table: Option<StepOutcomeTable>,
+    ) -> Self {
         assert!(cfg.vehicles > 0, "fleet needs at least one vehicle");
         assert!(cfg.ticks > 0, "fleet needs at least one tick");
+        if let Fidelity::Mixed { every } = cfg.fidelity {
+            assert!(every > 0, "mixed fidelity needs a positive probe period");
+        }
         let root = SimRng::seed(cfg.seed);
-        let base = root.fork("fleet/vehicles");
-        let vehicles: Vec<Vehicle> = (0..cfg.vehicles)
-            .map(|i| Vehicle::new(i as u32, &base))
-            .collect();
+        let table = match cfg.fidelity {
+            Fidelity::Live => None,
+            _ => Some(table.unwrap_or_else(|| {
+                StepOutcomeTable::calibrate(
+                    &[cfg.posture],
+                    cfg.calibration_trials,
+                    cfg.shards,
+                    &root.fork("fleet/table"),
+                )
+            })),
+        };
+        let state = FleetState::new(cfg.vehicles, &root.fork("fleet/vehicles"));
         let plan = if cfg.faults_enabled {
             FaultPlan::standard_over(
                 &root.fork("fleet/faults"),
@@ -430,7 +661,8 @@ impl FleetEngine {
         Self {
             cfg,
             graph,
-            vehicles,
+            table,
+            state,
             plan,
             onsets,
         }
@@ -441,14 +673,24 @@ impl FleetEngine {
         let FleetEngine {
             cfg,
             graph,
-            mut vehicles,
+            table,
+            mut state,
             plan,
             onsets,
         } = self;
         let start = Instant::now();
         let _quiet = (cfg.chaos_lost_rate > 0.0).then(silence_panics);
 
-        let steps = scenario_registry();
+        let live = LiveScenarioEngine::from_registry();
+        let engine: &dyn ScenarioEngine = match cfg.fidelity {
+            Fidelity::Live => &live,
+            _ => table.as_ref().expect("non-live runs carry a table"),
+        };
+        let probe_every = match cfg.fidelity {
+            Fidelity::Mixed { every } => Some(every),
+            _ => None,
+        };
+        let drift_base = SimRng::seed(cfg.seed).fork("fleet/drift");
         let epi = graph
             .edge_for(&EdgeSource::Scenario("v2x-ghost-object"))
             .expect("calibrated graph carries the V2X edge")
@@ -469,28 +711,36 @@ impl FleetEngine {
         let mut backend_rng = SimRng::seed(cfg.seed).fork("fleet/backend");
         let mut breached = false;
         let mut totals = FleetTotals::default();
+        let mut drift = DriftStats::default();
         let mut snapshots: Vec<FleetSnapshot> = Vec::new();
         let mut availability_sum = 0.0;
-        let mut prev_census = Census::take(&vehicles);
+        let mut prev_census = Census::take(&state);
 
         for tick in 1..=cfg.ticks {
             let inputs = tick_inputs(&cfg, &plan, &onsets, tick, &prev_census, breached);
             let env = StepEnv {
                 cfg: &cfg,
-                steps: &steps,
+                engine,
+                probe: probe_every.map(|every| ProbeEnv {
+                    live: &live,
+                    base: drift_base.clone(),
+                    every,
+                }),
                 epi,
                 late_detect_p,
             };
 
             // Phase 1: parallel vehicle phase.
-            let outs = run_tick_sharded(&mut vehicles, cfg.shards, tick, |v, out| {
-                step_vehicle(v, &env, &inputs, out)
+            let outs = run_tick_sharded(&mut state, cfg.shards, tick, |cols, i, out| {
+                step_vehicle(cols, i, &env, &inputs, out)
             });
 
             // Phase 2: serial response phase, in vehicle order.
             let at = SimTime::from_ms(tick * cfg.tick_ms);
+            let mut cols = state.columns();
             for out in outs {
                 totals.absorb(&out.counters);
+                drift.absorb(&out.drift);
                 for pending in out.alerts {
                     totals.alerts += 1;
                     let response = responder.handle(&Alert {
@@ -499,8 +749,13 @@ impl FleetEngine {
                         at,
                         detail: String::new(),
                     });
-                    let v = &mut vehicles[pending.vehicle as usize];
-                    apply_response(v, response.action, tick, &mut totals);
+                    apply_response(
+                        &mut cols,
+                        pending.vehicle as usize,
+                        response.action,
+                        tick,
+                        &mut totals,
+                    );
                 }
                 for id in out.recovered {
                     responder.clear_subject(id);
@@ -519,7 +774,7 @@ impl FleetEngine {
             }
 
             // Census, availability integral, periodic snapshot.
-            let census = Census::take(&vehicles);
+            let census = Census::take(&state);
             availability_sum += census.mean_health;
             let periodic = cfg.snapshot_every > 0 && tick % cfg.snapshot_every == 0;
             if periodic || tick == cfg.ticks {
@@ -537,6 +792,7 @@ impl FleetEngine {
             config: cfg.clone(),
             snapshots,
             availability: availability_sum / cfg.ticks as f64,
+            drift,
             wall: start.elapsed(),
         }
     }
@@ -581,8 +837,14 @@ fn tick_inputs(
     }
 }
 
-/// Applies one containment action back to the vehicle.
-fn apply_response(v: &mut Vehicle, action: ResponseAction, tick: u64, totals: &mut FleetTotals) {
+/// Applies one containment action back to vehicle `idx` of the fleet.
+fn apply_response(
+    cols: &mut FleetColumns<'_>,
+    idx: usize,
+    action: ResponseAction,
+    tick: u64,
+    totals: &mut FleetTotals,
+) {
     match action {
         ResponseAction::Notify => totals.responses_notify += 1,
         ResponseAction::FilterId | ResponseAction::Rekey => {
@@ -593,8 +855,8 @@ fn apply_response(v: &mut Vehicle, action: ResponseAction, tick: u64, totals: &m
             }
             // Filter/rekey relieve fault degradation; they cannot evict
             // an attacker (escalation handles that).
-            if v.status == VehicleStatus::Degraded {
-                v.health = 1.0 - (1.0 - v.health) * (1.0 - CONTAINMENT_RELIEF);
+            if cols.status[idx] == VehicleStatus::Degraded {
+                cols.health[idx] = 1.0 - (1.0 - cols.health[idx]) * (1.0 - CONTAINMENT_RELIEF);
             }
         }
         ResponseAction::IsolateNode | ResponseAction::LimpHome => {
@@ -606,23 +868,23 @@ fn apply_response(v: &mut Vehicle, action: ResponseAction, tick: u64, totals: &m
                 LIMP_HOME_HEALTH
             };
             if matches!(
-                v.status,
+                cols.status[idx],
                 VehicleStatus::Healthy | VehicleStatus::Degraded | VehicleStatus::Compromised
             ) {
-                if v.status == VehicleStatus::Healthy {
+                if cols.status[idx] == VehicleStatus::Healthy {
                     // Isolating a healthy vehicle (false-positive
                     // escalation) still opens an incident window.
-                    v.since = tick;
+                    cols.since[idx] = tick;
                 }
-                v.status = VehicleStatus::Isolated;
-                v.health = health;
+                cols.status[idx] = VehicleStatus::Isolated;
+                cols.health[idx] = health;
             }
         }
     }
 }
 
-/// The completed run: snapshots, availability, MTTR, and wall-clock
-/// throughput.
+/// The completed run: snapshots, availability, MTTR, drift, and
+/// wall-clock throughput.
 #[derive(Debug, Clone)]
 pub struct FleetReport {
     /// The configuration that produced it.
@@ -631,6 +893,9 @@ pub struct FleetReport {
     pub snapshots: Vec<FleetSnapshot>,
     /// Mean fleet health over all ticks.
     pub availability: f64,
+    /// Mixed-fidelity drift accounting (all zero outside
+    /// [`Fidelity::Mixed`]).
+    pub drift: DriftStats,
     /// Wall-clock duration of the run (volatile).
     pub wall: Duration,
 }
@@ -672,6 +937,7 @@ impl FleetReport {
             "vehicle_ticks_per_sec": self.throughput(),
             "availability": self.availability,
             "mttr_ms": self.mttr_ms(),
+            "drift": self.drift.to_json(),
             "snapshots": self.snapshots.iter().map(FleetSnapshot::to_json).collect::<Vec<_>>(),
         })
     }
@@ -770,6 +1036,48 @@ mod tests {
         assert_eq!(posture_label(&DefensePosture::none()), "none");
         assert_eq!(posture_label(&DefensePosture::full()), "full");
         assert_eq!(posture_label(&DefensePosture::depth(2)), "physical+network");
+    }
+
+    #[test]
+    fn fidelity_labels_round_trip() {
+        for f in [
+            Fidelity::Live,
+            Fidelity::Calibrated,
+            Fidelity::Mixed { every: 7 },
+        ] {
+            assert_eq!(Fidelity::parse(&f.label()), Some(f));
+        }
+        assert_eq!(Fidelity::parse("mixed:0"), None, "zero period is invalid");
+        assert_eq!(Fidelity::parse("tables"), None);
+    }
+
+    #[test]
+    fn live_runs_carry_no_table_and_no_drift() {
+        let mut cfg = tiny_cfg();
+        cfg.fidelity = Fidelity::Live;
+        let report = FleetEngine::new(cfg).run();
+        assert_eq!(report.drift, DriftStats::default());
+        assert!(report.totals().attacks_attempted > 0);
+    }
+
+    #[test]
+    fn mixed_runs_probe_and_mostly_agree() {
+        let mut cfg = tiny_cfg();
+        cfg.fidelity = Fidelity::Mixed { every: 1 };
+        cfg.attack_rate = 0.05;
+        cfg.calibration_trials = 16;
+        let report = FleetEngine::new(cfg).run();
+        assert!(report.drift.probes > 0, "every resolution is probed");
+        assert_eq!(
+            report.drift.probes,
+            report.totals().attacks_attempted,
+            "probe period 1 shadows every attack"
+        );
+        assert!(
+            report.drift.agreement_rate() > 0.25,
+            "table and live share the outcome distribution; agreement {}",
+            report.drift.agreement_rate()
+        );
     }
 
     #[test]

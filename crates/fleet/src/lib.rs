@@ -7,10 +7,15 @@
 //! lightweight state machine, under **continuous** attack, fault and
 //! defense pressure:
 //!
-//! - direct attacks execute real
-//!   [`ScenarioStep`](autosec_core::scenario::ScenarioStep)s from the
-//!   campaign registry against each victim's posture and live fault
-//!   context;
+//! - direct attacks resolve through the two-tier
+//!   [`ScenarioEngine`](autosec_core::engine::ScenarioEngine): by
+//!   default against a
+//!   [`StepOutcomeTable`](autosec_core::engine::StepOutcomeTable)
+//!   calibrated from the live campaign models (table-lookup prices on
+//!   the hot path), with `--fidelity live` replaying every real
+//!   [`ScenarioStep`](autosec_core::scenario::ScenarioStep) end to end
+//!   and `--fidelity mixed:K` shadowing ~every Kth resolution with a
+//!   live replay that feeds a drift statistic ([`DriftStats`]);
 //! - epidemic V2X infection spreads through the fleet with pressure
 //!   proportional to the compromised fraction, resolved against the
 //!   calibrated ghost-object edge of the
@@ -27,13 +32,18 @@
 //!
 //! ## Determinism at any shard count
 //!
-//! The fleet is split into contiguous chunks across worker threads,
-//! but vehicle `i` draws only from the `fork_idx(i)` substream of the
-//! fleet RNG, tick inputs are pure functions of the previous tick, and
-//! shard outputs merge back in vehicle order. A run is therefore
-//! **bit-identical at any `--shards`** — `--shards` buys wall-clock
+//! The fleet state lives as a struct-of-arrays census
+//! ([`FleetState`]: one dense column per field) split into contiguous
+//! windows across worker threads, but vehicle `i` draws only from the
+//! `fork_idx(i)` substream of the fleet RNG, tick inputs are pure
+//! functions of the previous tick, and shard outputs merge back in
+//! vehicle order. A run is therefore **bit-identical at any
+//! `--shards`, in every fidelity mode** — `--shards` buys wall-clock
 //! time and nothing else, a property the integration tests and the CI
-//! smoke job verify byte-for-byte on canonical snapshots.
+//! smoke job verify byte-for-byte on canonical snapshots. Mixed
+//! fidelity keeps the contract because drift probes trigger on
+//! `(vehicle_id + tick)` arithmetic and draw from their own forked
+//! substream, never from a vehicle's.
 //!
 //! A vehicle whose state machine panics is quarantined
 //! ([`VehicleStatus::Lost`]) without poisoning its shard; its RNG
@@ -61,9 +71,14 @@
 pub mod engine;
 pub mod shard;
 pub mod snapshot;
+pub mod state;
 pub mod vehicle;
 
-pub use engine::{posture_label, FaultOnset, FleetConfig, FleetEngine, FleetReport, TickInputs};
+pub use engine::{
+    posture_label, DriftStats, FaultOnset, Fidelity, FleetConfig, FleetEngine, FleetReport,
+    TickInputs,
+};
 pub use shard::{run_tick_sharded, ShardOutput};
 pub use snapshot::{Census, FleetSnapshot, FleetTotals};
-pub use vehicle::{AlertKind, PendingAlert, Vehicle, VehicleStatus};
+pub use state::{FleetColumns, FleetState};
+pub use vehicle::{AlertKind, PendingAlert, VehicleStatus};

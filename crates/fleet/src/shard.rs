@@ -1,22 +1,24 @@
 //! Sharded tick execution.
 //!
-//! The fleet vector is split into contiguous chunks — one per shard —
-//! and each shard walks its vehicles in order. A vehicle's step only
-//! touches the vehicle itself plus the shard's private
-//! [`ShardOutput`], so shards never contend; outputs are merged back
-//! in shard order, which *is* vehicle order because chunks are
-//! contiguous. That merge discipline, together with per-vehicle RNG
-//! substreams, is the whole shard-invariance contract: `--shards N`
-//! changes wall-clock time and nothing else.
+//! The fleet columns are split into contiguous windows — one per shard
+//! ([`FleetState::shard_views`]) — and each shard walks its vehicles
+//! in order. A vehicle's step only touches its own column entries plus
+//! the shard's private [`ShardOutput`], so shards never contend;
+//! outputs are merged back in shard order, which *is* vehicle order
+//! because windows are contiguous. That merge discipline, together
+//! with per-vehicle RNG substreams, is the whole shard-invariance
+//! contract: `--shards N` changes wall-clock time and nothing else.
 //!
 //! A vehicle whose step panics is quarantined on the spot
-//! ([`Vehicle::quarantine`]) and the shard moves on — one bad state
-//! machine costs the fleet one vehicle, not a shard of them.
+//! ([`FleetColumns::quarantine`]) and the shard moves on — one bad
+//! state machine costs the fleet one vehicle, not a shard of them.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
+use crate::engine::DriftStats;
 use crate::snapshot::FleetTotals;
-use crate::vehicle::{PendingAlert, Vehicle};
+use crate::state::{FleetColumns, FleetState};
+use crate::vehicle::PendingAlert;
 
 /// Everything a shard hands back to the serial phase.
 #[derive(Debug, Clone, Default)]
@@ -29,56 +31,61 @@ pub struct ShardOutput {
     /// The shard's counter deltas (additive — merge order never
     /// matters).
     pub counters: FleetTotals,
+    /// Mixed-fidelity drift probe deltas (additive).
+    pub drift: DriftStats,
 }
 
 /// Runs one tick over the fleet with `shards` worker threads.
 ///
-/// `per_vehicle` must only read/write the vehicle it is handed plus
-/// the shard output; the engine upholds that by construction. Returns
-/// one [`ShardOutput`] per chunk, in chunk (= vehicle) order.
+/// `per_vehicle` is handed the shard's columnar window and the window
+/// index of the vehicle to step; it must only read/write that
+/// vehicle's column entries plus the shard output — the engine upholds
+/// that by construction. Returns one [`ShardOutput`] per window, in
+/// window (= vehicle) order.
 ///
 /// Panics inside `per_vehicle` are caught per vehicle: the vehicle is
 /// quarantined (status `Lost`, RNG retired) and `counters.lost` is
 /// incremented, leaving the rest of the shard untouched.
 pub fn run_tick_sharded<F>(
-    vehicles: &mut [Vehicle],
+    state: &mut FleetState,
     shards: usize,
     tick: u64,
     per_vehicle: F,
 ) -> Vec<ShardOutput>
 where
-    F: Fn(&mut Vehicle, &mut ShardOutput) + Sync,
+    F: Fn(&mut FleetColumns<'_>, usize, &mut ShardOutput) + Sync,
 {
-    let n = vehicles.len();
+    let n = state.len();
     if n == 0 {
         return Vec::new();
     }
     let shards = shards.clamp(1, n);
     let chunk = n.div_ceil(shards);
 
-    let process = |slice: &mut [Vehicle]| -> ShardOutput {
+    let process = |cols: &mut FleetColumns<'_>| -> ShardOutput {
         let mut out = ShardOutput::default();
-        for v in slice.iter_mut() {
-            if !v.alive() {
+        for i in 0..cols.len() {
+            if !cols.alive(i) {
                 continue;
             }
-            let stepped = catch_unwind(AssertUnwindSafe(|| per_vehicle(v, &mut out)));
+            let stepped = catch_unwind(AssertUnwindSafe(|| per_vehicle(cols, i, &mut out)));
             if stepped.is_err() {
-                v.quarantine(tick);
+                cols.quarantine(i, tick);
                 out.counters.lost += 1;
             }
         }
         out
     };
 
-    if shards == 1 {
-        return vec![process(vehicles)];
+    let mut views = state.shard_views(chunk);
+    if views.len() == 1 {
+        return vec![process(&mut views[0])];
     }
     std::thread::scope(|scope| {
         let process = &process;
-        let handles: Vec<_> = vehicles
-            .chunks_mut(chunk)
-            .map(|slice| scope.spawn(move || process(slice)))
+        let handles: Vec<_> = views
+            .iter_mut()
+            .map(|cols| scope.spawn(move || process(cols)))
             .collect();
         handles
             .into_iter()
@@ -94,16 +101,15 @@ mod tests {
     use autosec_runner::silence_panics;
     use autosec_sim::SimRng;
 
-    fn fleet(n: u32) -> Vec<Vehicle> {
-        let base = SimRng::seed(5).fork("fleet/vehicles");
-        (0..n).map(|i| Vehicle::new(i, &base)).collect()
+    fn fleet(n: usize) -> FleetState {
+        FleetState::new(n, &SimRng::seed(5).fork("fleet/vehicles"))
     }
 
     #[test]
     fn outputs_come_back_in_vehicle_order() {
         let mut f = fleet(10);
-        let outs = run_tick_sharded(&mut f, 3, 1, |v, out| {
-            out.recovered.push(v.id);
+        let outs = run_tick_sharded(&mut f, 3, 1, |cols, i, out| {
+            out.recovered.push(cols.id(i));
         });
         let ids: Vec<u32> = outs.into_iter().flat_map(|o| o.recovered).collect();
         assert_eq!(ids, (0..10).collect::<Vec<_>>());
@@ -112,7 +118,7 @@ mod tests {
     #[test]
     fn shard_count_caps_at_fleet_size() {
         let mut f = fleet(2);
-        let outs = run_tick_sharded(&mut f, 64, 1, |_, out| {
+        let outs = run_tick_sharded(&mut f, 64, 1, |_, _, out| {
             out.counters.telemetry_frames += 1;
         });
         assert!(outs.len() <= 2);
@@ -124,8 +130,8 @@ mod tests {
     fn a_panicking_vehicle_does_not_poison_its_shard() {
         let _quiet = silence_panics();
         let mut f = fleet(8);
-        let outs = run_tick_sharded(&mut f, 2, 3, |v, out| {
-            if v.id == 2 {
+        let outs = run_tick_sharded(&mut f, 2, 3, |cols, i, out| {
+            if cols.id(i) == 2 {
                 panic!("vehicle 2 state machine corrupted");
             }
             out.counters.telemetry_frames += 1;
@@ -134,10 +140,10 @@ mod tests {
         let lost: u64 = outs.iter().map(|o| o.counters.lost).sum();
         assert_eq!(merged, 7, "the other seven vehicles all stepped");
         assert_eq!(lost, 1);
-        assert_eq!(f[2].status, VehicleStatus::Lost);
-        assert_eq!(f[2].since, 3);
+        assert_eq!(f.status[2], VehicleStatus::Lost);
+        assert_eq!(f.since[2], 3);
         // Lost vehicles are skipped on subsequent ticks.
-        let outs = run_tick_sharded(&mut f, 2, 4, |_, out| {
+        let outs = run_tick_sharded(&mut f, 2, 4, |_, _, out| {
             out.counters.telemetry_frames += 1;
         });
         let merged: u64 = outs.iter().map(|o| o.counters.telemetry_frames).sum();
@@ -146,7 +152,7 @@ mod tests {
 
     #[test]
     fn empty_fleet_is_a_noop() {
-        let mut f: Vec<Vehicle> = Vec::new();
-        assert!(run_tick_sharded(&mut f, 4, 1, |_, _| {}).is_empty());
+        let mut f = fleet(0);
+        assert!(run_tick_sharded(&mut f, 4, 1, |_, _, _| {}).is_empty());
     }
 }

@@ -8,7 +8,8 @@
 
 use serde_json::{json, Value};
 
-use crate::vehicle::{Vehicle, VehicleStatus};
+use crate::state::FleetState;
+use crate::vehicle::VehicleStatus;
 
 /// Point-in-time fleet census: how many vehicles sit in each status,
 /// plus the mean residual health (the availability integrand).
@@ -29,25 +30,25 @@ pub struct Census {
 }
 
 impl Census {
-    /// Counts the fleet, summing health serially in vehicle order so
+    /// Counts the fleet — two dense column scans (status, then
+    /// health), the health sum running serially in vehicle order so
     /// the float total never depends on shard layout.
-    pub fn take(vehicles: &[Vehicle]) -> Self {
+    pub fn take(state: &FleetState) -> Self {
         let mut c = Census::default();
-        let mut health_sum = 0.0;
-        for v in vehicles {
-            match v.status {
+        for status in &state.status {
+            match status {
                 VehicleStatus::Healthy => c.healthy += 1,
                 VehicleStatus::Degraded => c.degraded += 1,
                 VehicleStatus::Compromised => c.compromised += 1,
                 VehicleStatus::Isolated => c.isolated += 1,
                 VehicleStatus::Lost => c.lost += 1,
             }
-            health_sum += v.health;
         }
-        c.mean_health = if vehicles.is_empty() {
+        let health_sum: f64 = state.health.iter().sum();
+        c.mean_health = if state.is_empty() {
             1.0
         } else {
-            health_sum / vehicles.len() as f64
+            health_sum / state.len() as f64
         };
         c
     }
@@ -195,9 +196,10 @@ mod tests {
     #[test]
     fn census_counts_and_averages() {
         let base = SimRng::seed(1).fork("fleet/vehicles");
-        let mut fleet: Vec<Vehicle> = (0..4).map(|i| Vehicle::new(i, &base)).collect();
-        fleet[1].quarantine(1);
-        fleet[2].compromise(1, autosec_sim::ArchLayer::Network);
+        let mut fleet = FleetState::new(4, &base);
+        let mut cols = fleet.columns();
+        cols.quarantine(1, 1);
+        cols.compromise(2, 1, autosec_sim::ArchLayer::Network);
         let c = Census::take(&fleet);
         assert_eq!(c.healthy, 2);
         assert_eq!(c.lost, 1);
@@ -209,7 +211,7 @@ mod tests {
 
     #[test]
     fn empty_fleet_census_is_healthy() {
-        let c = Census::take(&[]);
+        let c = Census::take(&FleetState::new(0, &SimRng::seed(1)));
         assert_eq!(c.total(), 0);
         assert_eq!(c.mean_health, 1.0);
     }

@@ -1,15 +1,15 @@
-//! The per-vehicle state machine.
+//! Per-vehicle vocabulary: lifecycle states, service levels, and the
+//! alert records the parallel phase hands to the serial responder.
 //!
-//! A fleet vehicle is deliberately tiny — a status, a residual health,
-//! an incident clock and a private RNG substream — so that hundreds of
-//! thousands fit in cache-friendly contiguous memory. All behaviour
-//! lives in [`Vehicle::step`], which is a pure function of the
-//! vehicle's own state, its own RNG stream, and the shard-invariant
+//! The per-vehicle *state* itself lives columnar in
+//! [`FleetState`](crate::state::FleetState) — a struct-of-arrays
+//! census, one array per field — so the tick loop streams dense
+//! columns instead of striding through padded structs. All behaviour
+//! is a pure function of a vehicle's own columns, its own RNG stream,
+//! and the shard-invariant
 //! [`TickInputs`](crate::engine::TickInputs) computed by the engine —
 //! the property that makes a fleet run bit-identical at any shard
 //! count.
-
-use autosec_sim::{ArchLayer, SimRng};
 
 /// Where a vehicle is in its compromise/recovery lifecycle.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -49,79 +49,6 @@ pub const ISOLATED_HEALTH: f64 = 0.45;
 /// Service level in limp-home mode.
 pub const LIMP_HOME_HEALTH: f64 = 0.3;
 
-/// One vehicle of the live fleet.
-#[derive(Debug, Clone)]
-pub struct Vehicle {
-    /// Fleet-unique id (also the IDS alert subject).
-    pub id: u32,
-    /// Lifecycle status.
-    pub status: VehicleStatus,
-    /// Residual service level in `[0, 1]` — what the availability
-    /// census averages.
-    pub health: f64,
-    /// Tick the current incident started (compromise or degradation);
-    /// meaningless while `Healthy`.
-    pub since: u64,
-    /// Whether the IDS has already flagged the current incident.
-    pub flagged: bool,
-    /// Layer of the current incident (drives the alert's detector
-    /// identity); meaningless while `Healthy`.
-    pub incident_layer: ArchLayer,
-    /// This vehicle's private RNG substream
-    /// (`root.fork("fleet/vehicles").fork_idx(id)`).
-    pub rng: SimRng,
-}
-
-impl Vehicle {
-    /// A healthy vehicle drawing from `fleet_base.fork_idx(id)`.
-    pub fn new(id: u32, fleet_base: &SimRng) -> Self {
-        Self {
-            id,
-            status: VehicleStatus::Healthy,
-            health: 1.0,
-            since: 0,
-            flagged: false,
-            incident_layer: ArchLayer::Physical,
-            rng: fleet_base.fork_idx(u64::from(id)),
-        }
-    }
-
-    /// Whether the vehicle still emits telemetry.
-    pub fn alive(&self) -> bool {
-        self.status != VehicleStatus::Lost
-    }
-
-    /// Marks the vehicle compromised at `tick` via `layer`.
-    pub fn compromise(&mut self, tick: u64, layer: ArchLayer) {
-        if self.status == VehicleStatus::Healthy || self.status == VehicleStatus::Degraded {
-            self.since = tick;
-        }
-        self.status = VehicleStatus::Compromised;
-        self.health = COMPROMISED_HEALTH;
-        self.flagged = false;
-        self.incident_layer = layer;
-    }
-
-    /// Quarantines the vehicle after its state machine panicked: it
-    /// leaves the fleet permanently, and its RNG stream is never
-    /// consumed again (so every other vehicle's stream is untouched).
-    pub fn quarantine(&mut self, tick: u64) {
-        if self.status == VehicleStatus::Healthy {
-            self.since = tick;
-        }
-        self.status = VehicleStatus::Lost;
-        self.health = 0.0;
-        self.flagged = false;
-    }
-
-    /// Restores full service after a verified repair.
-    pub fn restore(&mut self) {
-        self.status = VehicleStatus::Healthy;
-        self.health = 1.0;
-        self.flagged = false;
-    }
-}
-
 /// What a vehicle asks the (serial) response pipeline to do — the only
 /// channel from the parallel phase back to shared state. Collected per
 /// shard in vehicle order, merged in shard order, so the response
@@ -152,42 +79,9 @@ pub enum AlertKind {
 mod tests {
     use super::*;
 
-    use rand::RngCore as _;
-
     #[test]
-    fn vehicles_draw_decorrelated_streams() {
-        let base = SimRng::seed(1).fork("fleet/vehicles");
-        let mut a = Vehicle::new(0, &base);
-        let mut b = Vehicle::new(1, &base);
-        assert_ne!(a.rng.next_u64(), b.rng.next_u64());
-        // Rebuilding vehicle 0 replays its stream exactly.
-        let mut a2 = Vehicle::new(0, &base);
-        let first = Vehicle::new(0, &base).rng.next_u64();
-        assert_eq!(a2.rng.next_u64(), first);
-    }
-
-    #[test]
-    fn lifecycle_transitions() {
-        let base = SimRng::seed(2).fork("fleet/vehicles");
-        let mut v = Vehicle::new(3, &base);
-        assert!(v.alive());
-        v.compromise(7, ArchLayer::Collaboration);
-        assert_eq!(v.status, VehicleStatus::Compromised);
-        assert_eq!(v.since, 7);
-        assert_eq!(v.health, COMPROMISED_HEALTH);
-        v.restore();
-        assert_eq!(v.status, VehicleStatus::Healthy);
-        assert_eq!(v.health, 1.0);
-        v.quarantine(9);
-        assert!(!v.alive());
-        assert_eq!(v.health, 0.0);
-        // Compromising a degraded vehicle restarts the incident clock:
-        // the compromise is the incident that containment must resolve.
-        let mut w = Vehicle::new(4, &base);
-        w.status = VehicleStatus::Degraded;
-        w.health = 0.8;
-        w.since = 2;
-        w.compromise(5, ArchLayer::Network);
-        assert_eq!(w.since, 5, "degraded->compromised restarts the clock");
+    fn status_census_keys_are_stable() {
+        assert_eq!(VehicleStatus::Healthy.as_str(), "healthy");
+        assert_eq!(VehicleStatus::Lost.as_str(), "lost");
     }
 }

@@ -106,24 +106,25 @@ fn panicking_vehicles_are_quarantined_without_poisoning_their_shard() {
 fn quarantined_vehicle_streams_stay_retired() {
     // Direct check at the shard layer: after a panic the vehicle is
     // Lost and subsequent ticks skip it entirely.
-    use autosec_fleet::{run_tick_sharded, Vehicle};
+    use autosec_fleet::{run_tick_sharded, FleetState};
     use autosec_sim::SimRng;
 
     let _quiet = silence_panics();
-    let base = SimRng::seed(9).fork("fleet/vehicles");
-    let mut fleet: Vec<Vehicle> = (0..12).map(|i| Vehicle::new(i, &base)).collect();
-    run_tick_sharded(&mut fleet, 3, 1, |v, _| {
-        if v.id % 5 == 0 {
+    let mut fleet = FleetState::new(12, &SimRng::seed(9).fork("fleet/vehicles"));
+    run_tick_sharded(&mut fleet, 3, 1, |cols, i, _| {
+        if cols.id(i) % 5 == 0 {
             panic!("corrupted");
         }
     });
     let lost: Vec<u32> = fleet
+        .status
         .iter()
-        .filter(|v| v.status == VehicleStatus::Lost)
-        .map(|v| v.id)
+        .enumerate()
+        .filter(|(_, s)| **s == VehicleStatus::Lost)
+        .map(|(i, _)| i as u32)
         .collect();
     assert_eq!(lost, vec![0, 5, 10]);
-    let outs = run_tick_sharded(&mut fleet, 3, 2, |_, out| {
+    let outs = run_tick_sharded(&mut fleet, 3, 2, |_, _, out| {
         out.counters.telemetry_frames += 1;
     });
     let frames: u64 = outs.iter().map(|o| o.counters.telemetry_frames).sum();
