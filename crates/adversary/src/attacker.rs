@@ -26,7 +26,7 @@ use autosec_ids::Alert;
 use autosec_sim::{ArchLayer, SimDuration, SimRng, SimTime};
 
 use crate::graph::{AttackGraph, CapabilitySet, EdgeSet};
-use crate::planner::best_path;
+use crate::planner::{best_path_weighted, PlannedPath};
 
 /// Success multiplier applied after alert correlation kicks in.
 pub const CORRELATED_PENALTY: f64 = 0.5;
@@ -43,6 +43,16 @@ pub struct AttackConfig {
     pub active_response: bool,
     /// Defender correlates alerts across layers (success penalty).
     pub alert_correlation: bool,
+    /// Exponent on path stealth in the planning objective
+    /// (`success × stealth^stealth_weight`). `1.0` is the classic
+    /// silent-compromise attacker and reproduces pre-knob numbers
+    /// bit-identically; lower weights trade stealth for speed, and
+    /// `0.0` ignores detection pressure entirely.
+    pub stealth_weight: f64,
+    /// Extra detect probability added to every attempted edge by the
+    /// defender's monitoring spend. The planner does not see this —
+    /// monitoring is the defender's private sensor budget.
+    pub monitor_boost: f64,
 }
 
 impl AttackConfig {
@@ -52,6 +62,8 @@ impl AttackConfig {
             budget,
             active_response: false,
             alert_correlation: false,
+            stealth_weight: 1.0,
+            monitor_boost: 0.0,
         }
     }
 }
@@ -69,8 +81,33 @@ pub struct AttackRun {
     pub burned_edges: usize,
 }
 
-/// Shared per-run defender/attacker bookkeeping.
-struct RunState {
+/// What happened on one attempted attack step — the feedback surface
+/// an external defender (the `autosec-autodefense` duel loop) observes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StepReport {
+    /// Edge index attempted.
+    pub edge: usize,
+    /// Architecture layer of the attempted edge.
+    pub layer: ArchLayer,
+    /// Did the capability transfer?
+    pub succeeded: bool,
+    /// Did a detector fire? Undetected steps are invisible to any
+    /// runtime defender.
+    pub detected: bool,
+    /// Did the attacker's own active-response model burn the edge?
+    pub burned: bool,
+}
+
+/// Mid-run attacker state, steppable from the outside.
+///
+/// [`adaptive_trial`] and [`replay_trial`] are thin loops over this
+/// type; a self-play driver can instead interleave its own defender
+/// turns between [`AttackerState::attempt`] calls — hardening the
+/// posture, banning edges ([`AttackerState::ban_edge`], the credential
+/// rotation / isolation surface), or raising
+/// [`AttackConfig::monitor_boost`] — without perturbing the RNG
+/// stream: an attempt always draws exactly two `chance` samples.
+pub struct AttackerState {
     owned: CapabilitySet,
     banned: EdgeSet,
     engine: ResponseEngine,
@@ -79,8 +116,10 @@ struct RunState {
     burned: usize,
 }
 
-impl RunState {
-    fn new() -> Self {
+impl AttackerState {
+    /// A fresh run: external foothold only, nothing banned.
+    #[allow(clippy::new_without_default)]
+    pub fn new() -> Self {
         Self {
             owned: CapabilitySet::start(),
             banned: EdgeSet::empty(),
@@ -91,16 +130,71 @@ impl RunState {
         }
     }
 
+    /// Capabilities currently held.
+    pub fn owned(&self) -> CapabilitySet {
+        self.owned
+    }
+
+    /// Edges banned so far (burned by response or rotated away).
+    pub fn banned(&self) -> EdgeSet {
+        self.banned
+    }
+
+    /// Alerts raised against this run so far.
+    pub fn alerts(&self) -> usize {
+        self.alerts
+    }
+
+    /// Edge attempts consumed so far.
+    pub fn steps(&self) -> usize {
+        self.steps
+    }
+
+    /// Whether [`AttackGraph::GOAL`] has been reached.
+    pub fn reached_goal(&self) -> bool {
+        self.owned.contains(AttackGraph::GOAL)
+    }
+
+    /// Bans edge `idx` for the rest of the run — the defender-facing
+    /// burn surface (credential rotation retires the tool; isolation
+    /// retires the foothold). Returns whether the ban was new.
+    pub fn ban_edge(&mut self, idx: usize) -> bool {
+        if self.banned.contains(idx) {
+            return false;
+        }
+        self.banned.insert(idx);
+        self.burned += 1;
+        true
+    }
+
+    /// The attacker's next plan under current holdings, bans and
+    /// remaining budget. `None` means it walks away.
+    pub fn plan(
+        &self,
+        graph: &AttackGraph,
+        posture: &DefensePosture,
+        cfg: &AttackConfig,
+    ) -> Option<PlannedPath> {
+        best_path_weighted(
+            graph,
+            posture,
+            cfg.budget.saturating_sub(self.steps),
+            &self.owned,
+            &self.banned,
+            cfg.stealth_weight,
+        )
+    }
+
     /// Attempts edge `idx`, drawing success and detection in a fixed
     /// order so trial streams stay aligned across attacker variants.
-    fn attempt(
+    pub fn attempt(
         &mut self,
         graph: &AttackGraph,
         posture: &DefensePosture,
         cfg: &AttackConfig,
         idx: usize,
         rng: &mut SimRng,
-    ) {
+    ) -> StepReport {
         let edge = &graph.edges()[idx];
         let p = edge.prob(posture);
         let mut success_p = p.success;
@@ -108,8 +202,9 @@ impl RunState {
             success_p *= CORRELATED_PENALTY;
         }
         let succeeded = rng.chance(success_p);
-        let detected = rng.chance(p.detect);
+        let detected = rng.chance((p.detect + cfg.monitor_boost).min(1.0));
         self.steps += 1;
+        let mut burned = false;
         if detected {
             self.alerts += 1;
             if cfg.active_response {
@@ -125,15 +220,24 @@ impl RunState {
                 {
                     self.banned.insert(idx);
                     self.burned += 1;
+                    burned = true;
                 }
             }
         }
         if succeeded {
             self.owned.insert(edge.to);
         }
+        StepReport {
+            edge: idx,
+            layer: edge.layer,
+            succeeded,
+            detected,
+            burned,
+        }
     }
 
-    fn finish(self) -> AttackRun {
+    /// Closes the run into its summary outcome.
+    pub fn finish(self) -> AttackRun {
         AttackRun {
             reached_goal: self.owned.contains(AttackGraph::GOAL),
             steps_attempted: self.steps,
@@ -145,7 +249,7 @@ impl RunState {
 
 /// Which IDS detector covers attacks at a layer — drives the response
 /// engine's playbook choice (and thereby which detections burn edges).
-fn detector_for(layer: ArchLayer) -> &'static str {
+pub fn detector_for(layer: ArchLayer) -> &'static str {
     match layer {
         // UWB ranging integrity alarms look like timing/interval
         // anomalies: rekey-class response, no isolation.
@@ -172,10 +276,9 @@ pub fn adaptive_trial(
     cfg: &AttackConfig,
     rng: &mut SimRng,
 ) -> AttackRun {
-    let mut st = RunState::new();
-    while st.steps < cfg.budget && !st.owned.contains(AttackGraph::GOAL) {
-        let Some(plan) = best_path(graph, posture, cfg.budget - st.steps, &st.owned, &st.banned)
-        else {
+    let mut st = AttackerState::new();
+    while st.steps() < cfg.budget && !st.reached_goal() {
+        let Some(plan) = st.plan(graph, posture, cfg) else {
             break;
         };
         let Some(&idx) = plan.edges.first() else {
@@ -198,26 +301,23 @@ pub fn replay_trial(
     cfg: &AttackConfig,
     rng: &mut SimRng,
 ) -> AttackRun {
-    let mut st = RunState::new();
+    let mut st = AttackerState::new();
     loop {
-        let owned_before = st.owned;
+        let owned_before = st.owned();
         for idx in 0..graph.len() {
-            if st.steps >= cfg.budget || st.owned.contains(AttackGraph::GOAL) {
+            if st.steps() >= cfg.budget || st.reached_goal() {
                 break;
             }
             let edge = &graph.edges()[idx];
-            if !st.owned.contains(edge.from)
-                || st.owned.contains(edge.to)
-                || st.banned.contains(idx)
+            if !st.owned().contains(edge.from)
+                || st.owned().contains(edge.to)
+                || st.banned().contains(idx)
             {
                 continue;
             }
             st.attempt(graph, posture, cfg, idx, rng);
         }
-        if st.steps >= cfg.budget
-            || st.owned.contains(AttackGraph::GOAL)
-            || st.owned == owned_before
-        {
+        if st.steps() >= cfg.budget || st.reached_goal() || st.owned() == owned_before {
             break;
         }
     }
@@ -338,9 +438,8 @@ mod tests {
             1.0,
         ));
         let cfg = AttackConfig {
-            budget: 10,
             active_response: true,
-            alert_correlation: false,
+            ..AttackConfig::new(10)
         };
         // Try a few streams: whatever the success draws do, the run
         // must stop after one attempt because the edge burns.
@@ -388,9 +487,8 @@ mod tests {
             0.0,
         ));
         let cfg = AttackConfig {
-            budget: 6,
-            active_response: false,
             alert_correlation: true,
+            ..AttackConfig::new(6)
         };
         let mut successes = 0;
         let trials = 400;
@@ -417,9 +515,9 @@ mod tests {
     fn trials_are_deterministic_per_stream() {
         let g = test_graph();
         let cfg = AttackConfig {
-            budget: 8,
             active_response: true,
             alert_correlation: true,
+            ..AttackConfig::new(8)
         };
         let posture = DefensePosture::none();
         for i in 0..20 {

@@ -56,10 +56,13 @@ impl DefenseKnob {
     }
 }
 
-/// A knob set resolved into attacker-facing parameters.
-fn resolve(knobs: &[DefenseKnob], budget: usize) -> (DefensePosture, AttackConfig) {
+/// A knob set applied on top of a base attacker configuration.
+///
+/// Public so the self-play driver (`autosec-autodefense`) can replay
+/// the exact posture/runtime split the optimizer evaluated.
+pub fn resolve_knobs(knobs: &[DefenseKnob], base: &AttackConfig) -> (DefensePosture, AttackConfig) {
     let mut posture = DefensePosture::none();
-    let mut cfg = AttackConfig::new(budget);
+    let mut cfg = *base;
     for k in knobs {
         match k {
             DefenseKnob::Layer(l) => posture.set(*l, true),
@@ -91,7 +94,22 @@ pub fn evaluate(
     jobs: usize,
     base: &SimRng,
 ) -> EvalPoint {
-    let (posture, cfg) = resolve(knobs, budget);
+    evaluate_with(graph, knobs, &AttackConfig::new(budget), trials, jobs, base)
+}
+
+/// [`evaluate`] against an arbitrary base attacker — e.g. one with a
+/// non-default [`AttackConfig::stealth_weight`]. The knobs are applied
+/// on top of `attack`; the trial streams follow the same
+/// common-random-numbers contract.
+pub fn evaluate_with(
+    graph: &AttackGraph,
+    knobs: &[DefenseKnob],
+    attack: &AttackConfig,
+    trials: usize,
+    jobs: usize,
+    base: &SimRng,
+) -> EvalPoint {
+    let (posture, cfg) = resolve_knobs(knobs, attack);
     let runs: Vec<AttackRun> = par_trials(jobs, trials, base, move |_, mut rng| {
         adaptive_trial(graph, &posture, &cfg, &mut rng)
     });
@@ -206,12 +224,12 @@ mod tests {
 
     #[test]
     fn resolve_splits_layer_and_runtime_knobs() {
-        let (posture, cfg) = resolve(
+        let (posture, cfg) = resolve_knobs(
             &[
                 DefenseKnob::Layer(ArchLayer::Network),
                 DefenseKnob::ActiveResponse,
             ],
-            7,
+            &AttackConfig::new(7),
         );
         assert!(posture.enabled(ArchLayer::Network));
         assert!(!posture.enabled(ArchLayer::Data));

@@ -38,10 +38,15 @@ pub mod defender;
 pub mod graph;
 pub mod planner;
 
-pub use attacker::{adaptive_trial, replay_trial, AttackConfig, AttackRun};
+pub use attacker::{
+    adaptive_trial, detector_for, replay_trial, AttackConfig, AttackRun, AttackerState, StepReport,
+};
 pub use calibrate::{calibrated_graph, CalibrationConfig};
-pub use defender::{bottom_up_curve, greedy_frontier, Allocation, DefenseKnob, EvalPoint};
+pub use defender::{
+    bottom_up_curve, evaluate, evaluate_with, greedy_frontier, resolve_knobs, Allocation,
+    DefenseKnob, EvalPoint,
+};
 pub use graph::{
     AttackEdge, AttackGraph, Capability, CapabilitySet, EdgeSet, EdgeSource, ProbPoint,
 };
-pub use planner::{best_path, PlannedPath};
+pub use planner::{best_path, best_path_weighted, PlannedPath};

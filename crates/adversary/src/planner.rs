@@ -42,6 +42,35 @@ pub fn best_path(
     owned: &CapabilitySet,
     banned: &EdgeSet,
 ) -> Option<PlannedPath> {
+    best_path_weighted(graph, posture, budget, owned, banned, 1.0)
+}
+
+/// [`best_path`] with a stealth-vs-speed tradeoff: the objective is
+/// `success × stealth^stealth_weight`.
+///
+/// Weight `1.0` is the classic silent-compromise objective (and is
+/// computed on the exact same arithmetic as [`best_path`], so results
+/// are bit-identical). Weights below `1.0` discount detection pressure
+/// — a speed-focused attacker accepts louder routes when they are
+/// shorter or surer — down to `0.0`, which ignores detection entirely.
+/// Weights above `1.0` exaggerate stealth aversion.
+pub fn best_path_weighted(
+    graph: &AttackGraph,
+    posture: &DefensePosture,
+    budget: usize,
+    owned: &CapabilitySet,
+    banned: &EdgeSet,
+    stealth_weight: f64,
+) -> Option<PlannedPath> {
+    // Branching on the default keeps the weight-1 objective on the
+    // exact multiplication `best_path` always used.
+    let score = |succ: f64, stealth: f64| {
+        if stealth_weight == 1.0 {
+            succ * stealth
+        } else {
+            succ * stealth.powf(stealth_weight)
+        }
+    };
     if owned.contains(AttackGraph::GOAL) {
         return Some(PlannedPath {
             edges: Vec::new(),
@@ -81,7 +110,7 @@ pub fn best_path(
                 let cand = (succ * p.success, stealth * (1.0 - p.detect), idx);
                 let better = match dp[to][steps + 1] {
                     None => true,
-                    Some((s2, t2, _)) => cand.0 * cand.1 > s2 * t2,
+                    Some((s2, t2, _)) => score(cand.0, cand.1) > score(s2, t2),
                 };
                 if better {
                     dp[to][steps + 1] = Some(cand);
@@ -98,7 +127,7 @@ pub fn best_path(
         let Some((succ, stealth, e)) = *state else {
             continue;
         };
-        if best.is_none_or(|(bs, bt, _)| succ * stealth > bs * bt) {
+        if best.is_none_or(|(bs, bt, _)| score(succ, stealth) > score(bs, bt)) {
             best = Some((succ, stealth, e));
             steps = s;
         }
@@ -279,6 +308,46 @@ mod tests {
             .expect("trivially done");
         assert!(p.edges.is_empty());
         assert_eq!(p.score(), 1.0);
+    }
+
+    #[test]
+    fn zero_stealth_weight_ignores_detection_pressure() {
+        let g = two_route_graph();
+        // With detection discounted entirely the sure loud route
+        // (success 1.0) beats the quiet one (0.9³), even at a budget
+        // that allows either.
+        let p = best_path_weighted(
+            &g,
+            &DefensePosture::none(),
+            5,
+            &CapabilitySet::start(),
+            &EdgeSet::empty(),
+            0.0,
+        )
+        .expect("reachable");
+        let names: Vec<_> = p.edges.iter().map(|&i| g.edges()[i].name).collect();
+        assert_eq!(names, vec!["loud-1", "loud-2"]);
+    }
+
+    #[test]
+    fn weight_one_is_bit_identical_to_best_path() {
+        let g = two_route_graph();
+        let a = best_path(
+            &g,
+            &DefensePosture::none(),
+            5,
+            &CapabilitySet::start(),
+            &EdgeSet::empty(),
+        );
+        let b = best_path_weighted(
+            &g,
+            &DefensePosture::none(),
+            5,
+            &CapabilitySet::start(),
+            &EdgeSet::empty(),
+            1.0,
+        );
+        assert_eq!(a, b);
     }
 
     #[test]

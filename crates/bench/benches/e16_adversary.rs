@@ -16,9 +16,9 @@ fn bench(c: &mut Criterion) {
     let graph = calibrated_graph(&CalibrationConfig::new(20, 1), &base.fork("graph"));
     let posture = DefensePosture::only(autosec_sim::ArchLayer::Network);
     let cfg = AttackConfig {
-        budget: 10,
         active_response: true,
         alert_correlation: true,
+        ..AttackConfig::new(10)
     };
 
     g.bench_function("calibrate_graph_20_trials", |b| {

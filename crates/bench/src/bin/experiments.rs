@@ -44,7 +44,7 @@ use std::time::Duration;
 
 use autosec_bench::{registry, ArtifactStore, RunCtx, RunManifest};
 use autosec_core::campaign::DefensePosture;
-use autosec_fleet::{Fidelity, FleetConfig, FleetEngine};
+use autosec_fleet::{DefenderMode, Fidelity, FleetConfig, FleetEngine};
 use autosec_runner::{run_suite, ResumeState, RunStatus, SuiteOptions, DEFAULT_ARTIFACT_DIR};
 
 struct Args {
@@ -184,7 +184,9 @@ fn fleet_usage() -> ! {
         "usage: experiments fleet [--vehicles N] [--ticks N] [--shards N] [--seed N]
                           [--snapshot-every N] [--posture full|none|depth:K]
                           [--fidelity live|calibrated|mixed:K]
-                          [--attack-rate F] [--no-faults] [--json] [--canonical]
+                          [--attack-rate F] [--no-faults]
+                          [--defender off|static|closed-loop]
+                          [--defender-budget F] [--json] [--canonical]
                           [--out DIR]
 
   Runs the live-fleet service mode: N per-vehicle state machines under
@@ -192,8 +194,13 @@ fn fleet_usage() -> ! {
   ticks. --fidelity picks the attack-resolution tier: 'calibrated'
   (default) resolves attacks against an outcome table calibrated from
   the live scenario models, 'live' replays every model end to end, and
-  'mixed:K' runs calibrated state with ~every Kth resolution shadowed
-  by a live replay feeding a drift statistic.
+  'mixed:K' (K >= 1) runs calibrated state with ~every Kth resolution
+  shadowed by a live replay feeding a drift statistic.
+
+  --defender arms the fleet-wide defense policy: 'static' spends
+  --defender-budget up front hardening layers, 'closed-loop' holds it
+  for a between-tick rule policy reading the alert tallies and census.
+  A zero budget is the null defender, bit-identical to 'off'.
 
   --shards defaults to the available parallelism (capped by the
   vehicle count); pass it explicitly to override. On a single-core
@@ -207,9 +214,22 @@ fn fleet_usage() -> ! {
     std::process::exit(2);
 }
 
-/// The `fleet` subcommand: one live-fleet run with a human summary
-/// and an optional `fleet.json` artifact.
-fn fleet_main(args: &[String]) -> ExitCode {
+/// Parsed `fleet` subcommand arguments.
+#[derive(Debug)]
+struct FleetArgs {
+    cfg: FleetConfig,
+    json: bool,
+    canonical: bool,
+    /// Whether `--shards` was given explicitly (otherwise the caller
+    /// defaults it to the available parallelism).
+    shards_given: bool,
+    out: String,
+}
+
+/// Parses the `fleet` argument grammar. Every rejection is a
+/// `Result::Err` with the exact message the CLI prints — each parse
+/// path is unit-tested below without spawning a process.
+fn parse_fleet(args: &[String]) -> Result<FleetArgs, String> {
     let mut cfg = FleetConfig {
         vehicles: 10_000,
         ticks: 200,
@@ -221,68 +241,121 @@ fn fleet_main(args: &[String]) -> ExitCode {
     let mut shards_given = false;
     let mut out = DEFAULT_ARTIFACT_DIR.to_owned();
 
+    fn parsed<T: std::str::FromStr>(name: &str, v: &str) -> Result<T, String> {
+        v.parse().map_err(|_| format!("invalid {name} {v:?}"))
+    }
+
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         let mut value = |name: &str| {
-            it.next().cloned().unwrap_or_else(|| {
-                eprintln!("missing value for {name}");
-                fleet_usage()
-            })
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("missing value for {name}"))
         };
-        fn parsed<T: std::str::FromStr>(name: &str, v: &str) -> T {
-            v.parse().unwrap_or_else(|_| {
-                eprintln!("invalid {name} {v:?}");
-                fleet_usage()
-            })
-        }
         match arg.as_str() {
-            "--vehicles" | "-n" => cfg.vehicles = parsed("--vehicles", &value("--vehicles")),
-            "--ticks" => cfg.ticks = parsed("--ticks", &value("--ticks")),
+            "--vehicles" | "-n" => cfg.vehicles = parsed("--vehicles", &value("--vehicles")?)?,
+            "--ticks" => cfg.ticks = parsed("--ticks", &value("--ticks")?)?,
             "--shards" => {
-                cfg.shards = parsed("--shards", &value("--shards"));
+                cfg.shards = parsed("--shards", &value("--shards")?)?;
                 shards_given = true;
             }
-            "--seed" | "-s" => cfg.seed = parsed("--seed", &value("--seed")),
+            "--seed" | "-s" => cfg.seed = parsed("--seed", &value("--seed")?)?,
             "--snapshot-every" => {
-                cfg.snapshot_every = parsed("--snapshot-every", &value("--snapshot-every"));
+                cfg.snapshot_every = parsed("--snapshot-every", &value("--snapshot-every")?)?;
             }
-            "--attack-rate" => cfg.attack_rate = parsed("--attack-rate", &value("--attack-rate")),
+            "--attack-rate" => {
+                let v = value("--attack-rate")?;
+                cfg.attack_rate = parsed::<f64>("--attack-rate", &v)
+                    .ok()
+                    .filter(|r| r.is_finite() && *r >= 0.0)
+                    .ok_or_else(|| {
+                        format!("invalid --attack-rate {v:?}: expected a finite nonnegative rate")
+                    })?;
+            }
             "--posture" => {
-                let v = value("--posture");
+                let v = value("--posture")?;
                 cfg.posture = match v.as_str() {
                     "full" => DefensePosture::full(),
                     "none" => DefensePosture::none(),
-                    other => match other.strip_prefix("depth:") {
-                        Some(k) => DefensePosture::depth(parsed("--posture depth", k)),
-                        None => {
-                            eprintln!("invalid --posture {v:?}: expected full, none or depth:K");
-                            fleet_usage()
+                    other => {
+                        let k: usize = other
+                            .strip_prefix("depth:")
+                            .and_then(|k| k.parse().ok())
+                            .ok_or_else(|| {
+                                format!("invalid --posture {v:?}: expected full, none or depth:K")
+                            })?;
+                        if k > 6 {
+                            return Err(format!(
+                                "invalid --posture {v:?}: the architecture has 6 layers (K <= 6)"
+                            ));
                         }
-                    },
+                        DefensePosture::depth(k)
+                    }
                 };
             }
             "--fidelity" => {
-                let v = value("--fidelity");
-                cfg.fidelity = Fidelity::parse(&v).unwrap_or_else(|| {
-                    eprintln!("invalid --fidelity {v:?}: expected live, calibrated or mixed:K");
-                    fleet_usage()
-                });
+                let v = value("--fidelity")?;
+                cfg.fidelity = Fidelity::parse(&v).ok_or_else(|| {
+                    format!(
+                        "invalid --fidelity {v:?}: expected live, calibrated or mixed:K (K >= 1)"
+                    )
+                })?;
+            }
+            "--defender" => {
+                let v = value("--defender")?;
+                cfg.defender = DefenderMode::parse(&v).ok_or_else(|| {
+                    format!("invalid --defender {v:?}: expected off, static or closed-loop")
+                })?;
+            }
+            "--defender-budget" => {
+                let v = value("--defender-budget")?;
+                cfg.defender_budget = parsed::<f64>("--defender-budget", &v)
+                    .ok()
+                    .filter(|b| b.is_finite() && *b >= 0.0)
+                    .ok_or_else(|| {
+                        format!(
+                            "invalid --defender-budget {v:?}: expected a finite nonnegative budget"
+                        )
+                    })?;
             }
             "--no-faults" => cfg.faults_enabled = false,
             "--json" => json = true,
             "--canonical" => canonical = true,
-            "--out" | "-o" => out = value("--out"),
-            "--help" | "-h" => fleet_usage(),
-            other => {
-                eprintln!("unknown fleet argument {other:?}");
-                fleet_usage();
-            }
+            "--out" | "-o" => out = value("--out")?,
+            "--help" | "-h" => return Err("help".to_owned()),
+            other => return Err(format!("unknown fleet argument {other:?}")),
         }
     }
     if cfg.vehicles == 0 || cfg.ticks == 0 {
-        eprintln!("--vehicles and --ticks must be positive");
-        return ExitCode::FAILURE;
+        return Err("--vehicles and --ticks must be positive".to_owned());
     }
+    Ok(FleetArgs {
+        cfg,
+        json,
+        canonical,
+        shards_given,
+        out,
+    })
+}
+
+/// The `fleet` subcommand: one live-fleet run with a human summary
+/// and an optional `fleet.json` artifact.
+fn fleet_main(args: &[String]) -> ExitCode {
+    let FleetArgs {
+        mut cfg,
+        json,
+        canonical,
+        shards_given,
+        out,
+    } = match parse_fleet(args) {
+        Ok(parsed) => parsed,
+        Err(msg) => {
+            if msg != "help" {
+                eprintln!("{msg}");
+            }
+            fleet_usage();
+        }
+    };
     if !shards_given {
         // Default: one shard per available core, capped by fleet size.
         // An explicit --shards overrides (still capped at runtime).
@@ -296,13 +369,22 @@ fn fleet_main(args: &[String]) -> ExitCode {
     }
 
     eprintln!(
-        "fleet: {} vehicles x {} ticks, {} shard(s), posture {}, fidelity {}, seed {}",
+        "fleet: {} vehicles x {} ticks, {} shard(s), posture {}, fidelity {}, seed {}{}",
         cfg.vehicles,
         cfg.ticks,
         cfg.shards,
         cfg.posture_label(),
         cfg.fidelity.label(),
-        cfg.seed
+        cfg.seed,
+        if cfg.defender_active() {
+            format!(
+                ", defender {} (budget {})",
+                cfg.defender.label(),
+                cfg.defender_budget
+            )
+        } else {
+            String::new()
+        }
     );
     let report = FleetEngine::new(cfg).run();
     let census = &report.final_snapshot().census;
@@ -333,6 +415,24 @@ fn fleet_main(args: &[String]) -> ExitCode {
             report.drift.probes,
             report.drift.agreement_rate(),
             report.drift.success_gap()
+        );
+    }
+    if let Some(d) = &report.defender {
+        let dj = d.to_json();
+        println!(
+            "defender: {} action(s), spent {}/{}, hardened [{}], monitor boost {:.2}",
+            dj["actions"],
+            dj["spent"],
+            dj["budget"],
+            dj["hardened"]
+                .as_array()
+                .map(|a| a
+                    .iter()
+                    .filter_map(|l| l.as_str())
+                    .collect::<Vec<_>>()
+                    .join(", "))
+                .unwrap_or_default(),
+            dj["monitor_boost"].as_f64().unwrap_or(0.0)
         );
     }
 
@@ -537,4 +637,89 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fleet(args: &[&str]) -> Result<FleetArgs, String> {
+        let owned: Vec<String> = args.iter().map(ToString::to_string).collect();
+        parse_fleet(&owned)
+    }
+
+    #[test]
+    fn fleet_defaults_parse() {
+        let a = fleet(&[]).expect("empty args are the defaults");
+        assert_eq!(a.cfg.vehicles, 10_000);
+        assert_eq!(a.cfg.ticks, 200);
+        assert!(!a.shards_given);
+        assert_eq!(a.cfg.defender, DefenderMode::Off);
+    }
+
+    #[test]
+    fn fleet_attack_rate_rejects_nan_negative_and_garbage() {
+        for bad in ["NaN", "nan", "-0.5", "inf", "rate"] {
+            let err = fleet(&["--attack-rate", bad]).unwrap_err();
+            assert!(err.contains("--attack-rate"), "{bad}: {err}");
+            assert!(err.contains("finite nonnegative"), "{bad}: {err}");
+        }
+        assert_eq!(fleet(&["--attack-rate", "0"]).unwrap().cfg.attack_rate, 0.0);
+        let ok = fleet(&["--attack-rate", "2.5e-3"]).unwrap();
+        assert!((ok.cfg.attack_rate - 2.5e-3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fleet_fidelity_rejects_zero_period() {
+        let err = fleet(&["--fidelity", "mixed:0"]).unwrap_err();
+        assert!(err.contains("mixed:K (K >= 1)"), "{err}");
+        let err = fleet(&["--fidelity", "tables"]).unwrap_err();
+        assert!(err.contains("--fidelity"), "{err}");
+        let ok = fleet(&["--fidelity", "mixed:16"]).unwrap();
+        assert_eq!(ok.cfg.fidelity, Fidelity::Mixed { every: 16 });
+    }
+
+    #[test]
+    fn fleet_posture_depth_rejects_beyond_six_layers() {
+        let err = fleet(&["--posture", "depth:7"]).unwrap_err();
+        assert!(err.contains("K <= 6"), "{err}");
+        let err = fleet(&["--posture", "deep:2"]).unwrap_err();
+        assert!(err.contains("full, none or depth:K"), "{err}");
+        let ok = fleet(&["--posture", "depth:6"]).unwrap();
+        assert_eq!(ok.cfg.posture, DefensePosture::full());
+    }
+
+    #[test]
+    fn fleet_defender_flags_parse_and_validate() {
+        let ok = fleet(&["--defender", "closed-loop", "--defender-budget", "4"]).unwrap();
+        assert_eq!(ok.cfg.defender, DefenderMode::ClosedLoop);
+        assert_eq!(ok.cfg.defender_budget, 4.0);
+        assert!(ok.cfg.defender_active());
+
+        let err = fleet(&["--defender", "adaptive"]).unwrap_err();
+        assert!(err.contains("off, static or closed-loop"), "{err}");
+        for bad in ["NaN", "-1", "inf"] {
+            let err = fleet(&["--defender-budget", bad]).unwrap_err();
+            assert!(err.contains("--defender-budget"), "{bad}: {err}");
+        }
+        // Zero budget parses fine — it is the null defender.
+        let ok = fleet(&["--defender", "static", "--defender-budget", "0"]).unwrap();
+        assert!(!ok.cfg.defender_active());
+    }
+
+    #[test]
+    fn fleet_rejects_missing_values_and_unknown_flags() {
+        assert_eq!(
+            fleet(&["--vehicles"]).unwrap_err(),
+            "missing value for --vehicles"
+        );
+        assert!(fleet(&["--warp"])
+            .unwrap_err()
+            .contains("unknown fleet argument"));
+        assert_eq!(
+            fleet(&["--vehicles", "0"]).unwrap_err(),
+            "--vehicles and --ticks must be positive"
+        );
+        assert!(fleet(&["--ticks", "-3"]).unwrap_err().contains("--ticks"));
+    }
 }

@@ -27,6 +27,7 @@ pub mod exp_ivn;
 pub mod exp_phy;
 pub mod exp_proto;
 pub mod exp_sdv;
+pub mod exp_selfplay;
 pub mod exp_sos;
 
 /// Every experiment of the suite, in paper order.
@@ -273,6 +274,22 @@ pub fn registry() -> Registry {
         exp_fleet::e21_fidelity_table,
     );
     reg(
+        "E22",
+        "e22-selfplay-tournament",
+        "§VIII — self-play tournament: adaptive attacker vs closed-loop defender",
+        &["adversary", "selfplay", "defense", "parallel"],
+        Heavy,
+        exp_selfplay::e22_tournament_table,
+    );
+    reg(
+        "E23",
+        "e23-closed-vs-static",
+        "§VIII — closed-loop defender vs static greedy frontier at equal cost",
+        &["adversary", "selfplay", "defense", "parallel"],
+        Heavy,
+        exp_selfplay::e23_equal_cost_table,
+    );
+    reg(
         "A1",
         "a1-hrp-threshold",
         "Ablation — HRP integrity threshold sweep",
@@ -342,14 +359,15 @@ mod tests {
     #[test]
     fn registry_covers_all_groups() {
         let r = registry();
-        // 34 normally; +1 when a chaos-probe env var leaks into the
+        // 36 normally; +1 when a chaos-probe env var leaks into the
         // test environment.
         let chaos = std::env::var("AUTOSEC_CHAOS").is_ok() as usize;
-        assert_eq!(r.len(), 34 + chaos);
+        assert_eq!(r.len(), 36 + chaos);
         let ids = r.group_ids();
         for want in [
             "E1", "E2", "E2b", "E3", "E4", "E5-E7", "E8", "E8b", "E9", "E10", "E11", "E12", "E13",
-            "E14", "E15", "E16", "E17", "E18", "E19", "E20", "E21", "A1", "A2", "A3", "A4", "A5",
+            "E14", "E15", "E16", "E17", "E18", "E19", "E20", "E21", "E22", "E23", "A1", "A2", "A3",
+            "A4", "A5",
         ] {
             assert!(ids.contains(&want), "missing group {want}");
         }

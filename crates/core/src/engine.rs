@@ -262,6 +262,18 @@ impl StepOutcomeTable {
             });
         row.by_posture[pi]
     }
+
+    /// Whether [`Self::stats_for`] can resolve every step under
+    /// `posture` without panicking — i.e. for each step some calibrated
+    /// posture agrees on that step's own layer toggle. A runtime
+    /// defender that mutates the posture mid-run checks this before
+    /// committing to a hardening action.
+    pub fn covers(&self, posture: &DefensePosture) -> bool {
+        self.steps.iter().all(|row| {
+            let want = posture.enabled(row.layer);
+            self.postures.iter().any(|p| p.enabled(row.layer) == want)
+        })
+    }
 }
 
 impl ScenarioEngine for StepOutcomeTable {
@@ -382,6 +394,30 @@ mod tests {
             let deepest = row.by_posture.last().unwrap();
             assert_eq!(got, *deepest, "{} defended lookup", row.name);
         }
+    }
+
+    #[test]
+    fn depth_ladder_covers_any_posture() {
+        let t = depth_table(1);
+        // The ladder spans none..full, so both toggle values exist for
+        // every layer — arbitrary postures all resolve.
+        for bits in 0..64u8 {
+            let mut p = DefensePosture::none();
+            for (i, layer) in ArchLayer::ALL.iter().enumerate() {
+                p.set(*layer, bits & (1 << i) != 0);
+            }
+            assert!(t.covers(&p), "bits {bits:#b}");
+        }
+        // A single-posture calibration covers only layer-compatible
+        // postures.
+        let single = StepOutcomeTable::calibrate(
+            &[DefensePosture::none()],
+            1,
+            1,
+            &SimRng::seed(3).fork("cover"),
+        );
+        assert!(single.covers(&DefensePosture::none()));
+        assert!(!single.covers(&DefensePosture::full()));
     }
 
     #[test]

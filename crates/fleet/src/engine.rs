@@ -65,6 +65,7 @@ use autosec_sim::{ArchLayer, FaultEffect, SimDuration, SimRng, SimTime};
 use rand::RngCore as _;
 use serde_json::{json, Value};
 
+use crate::defender::{DefenderMode, FleetDefender, TickObservation};
 use crate::shard::{run_tick_sharded, ShardOutput};
 use crate::snapshot::{Census, FleetSnapshot, FleetTotals};
 use crate::state::{FleetColumns, FleetState};
@@ -169,6 +170,11 @@ pub struct FleetConfig {
     /// machine panic (0 outside quarantine tests; a positive rate
     /// exercises the per-vehicle quarantine path).
     pub chaos_lost_rate: f64,
+    /// Which fleet-wide defense policy runs (see [`DefenderMode`]).
+    pub defender: DefenderMode,
+    /// The defender's action budget. Zero makes any mode the null
+    /// defender, bit-identical to [`DefenderMode::Off`].
+    pub defender_budget: f64,
 }
 
 impl Default for FleetConfig {
@@ -189,6 +195,8 @@ impl Default for FleetConfig {
             breach_attempt_rate: 0.05,
             calibration_trials: 12,
             chaos_lost_rate: 0.0,
+            defender: DefenderMode::Off,
+            defender_budget: 0.0,
         }
     }
 }
@@ -199,11 +207,19 @@ impl FleetConfig {
         posture_label(&self.posture)
     }
 
+    /// Whether the configured defender can ever act (a zero budget is
+    /// the null defender, whatever the mode).
+    pub fn defender_active(&self) -> bool {
+        self.defender != DefenderMode::Off && self.defender_budget > 0.0
+    }
+
     /// Canonical JSON body (deterministic fields only — `shards` is
     /// serialized at the report level, where it is stripped as
-    /// volatile).
+    /// volatile). Defender keys appear only when the defender is
+    /// active, so a null-defender config renders byte-identical to a
+    /// defenderless one.
     pub fn to_json(&self) -> Value {
-        json!({
+        let mut v = json!({
             "vehicles": self.vehicles as u64,
             "ticks": self.ticks,
             "seed": self.seed,
@@ -218,7 +234,14 @@ impl FleetConfig {
             "breach_attempt_rate": self.breach_attempt_rate,
             "calibration_trials": self.calibration_trials as u64,
             "chaos_lost_rate": self.chaos_lost_rate,
-        })
+        });
+        if self.defender_active() {
+            if let Value::Object(map) = &mut v {
+                map.insert("defender".to_owned(), json!(self.defender.label()));
+                map.insert("defender_budget".to_owned(), json!(self.defender_budget));
+            }
+        }
+        v
     }
 }
 
@@ -382,17 +405,23 @@ struct ProbeEnv<'a> {
     every: u64,
 }
 
-/// Run-constant environment for the per-vehicle step.
+/// Per-tick environment for the per-vehicle step. Everything here is
+/// run-constant unless a closed-loop defender mutates the posture
+/// between ticks, in which case the posture-derived fields are
+/// recomputed.
 struct StepEnv<'a> {
     cfg: &'a FleetConfig,
     /// The tier resolving direct attacks this run.
     engine: &'a dyn ScenarioEngine,
     /// Present in mixed fidelity only.
     probe: Option<ProbeEnv<'a>>,
-    /// Calibrated V2X infection edge under the run posture.
+    /// The posture in force this tick (the configured posture unless a
+    /// defender hardened layers).
+    posture: DefensePosture,
+    /// Calibrated V2X infection edge under the tick posture.
     epi: ProbPoint,
     /// Per-tick probability a silent compromise is flagged after the
-    /// fact (grows with defense depth).
+    /// fact (grows with defense depth and bought monitoring).
     late_detect_p: f64,
 }
 
@@ -433,6 +462,7 @@ fn step_vehicle(
                     out.alerts.push(PendingAlert {
                         vehicle: cols.id(i),
                         detector: detector_for(onset.layer),
+                        layer: onset.layer,
                         kind: AlertKind::Fault,
                     });
                 }
@@ -443,7 +473,7 @@ fn step_vehicle(
                 let idx = (cols.rng[i].next_u64() % env.engine.step_count() as u64) as usize;
                 let layer = env.engine.step_layer(idx);
                 let ctx = PostureCtx {
-                    posture: &env.cfg.posture,
+                    posture: &env.posture,
                     faults: &inputs.active_faults[layer_index(layer)],
                 };
                 let outcome = env.engine.resolve(idx, &ctx, &mut cols.rng[i]);
@@ -471,6 +501,7 @@ fn step_vehicle(
                     out.alerts.push(PendingAlert {
                         vehicle: cols.id(i),
                         detector: detector_for(layer),
+                        layer,
                         kind: AlertKind::Attack,
                     });
                 }
@@ -490,6 +521,7 @@ fn step_vehicle(
                     out.alerts.push(PendingAlert {
                         vehicle: cols.id(i),
                         detector: detector_for(ArchLayer::Collaboration),
+                        layer: ArchLayer::Collaboration,
                         kind: AlertKind::Attack,
                     });
                 }
@@ -515,6 +547,7 @@ fn step_vehicle(
                     out.alerts.push(PendingAlert {
                         vehicle: cols.id(i),
                         detector: detector_for(cols.incident_layer[i]),
+                        layer: cols.incident_layer[i],
                         kind: AlertKind::LateDetect,
                     });
                 }
@@ -524,6 +557,7 @@ fn step_vehicle(
                 out.alerts.push(PendingAlert {
                     vehicle: cols.id(i),
                     detector: detector_for(cols.incident_layer[i]),
+                    layer: cols.incident_layer[i],
                     kind: AlertKind::LateDetect,
                 });
             }
@@ -561,6 +595,8 @@ pub struct FleetEngine {
     /// `(onset_tick, reference injection)` per fault spec, resolved
     /// once at construction on the `fleet/faults/ref` stream.
     onsets: Vec<(u64, FaultOnset)>,
+    /// The fleet-wide defense policy (inert unless configured active).
+    defender: FleetDefender,
 }
 
 impl FleetEngine {
@@ -602,7 +638,7 @@ impl FleetEngine {
     /// Panics if `vehicles` or `ticks` is zero, or if a
     /// [`Fidelity::Mixed`] period is zero.
     pub fn with_parts(
-        cfg: FleetConfig,
+        mut cfg: FleetConfig,
         graph: AttackGraph,
         table: Option<StepOutcomeTable>,
     ) -> Self {
@@ -611,17 +647,41 @@ impl FleetEngine {
         if let Fidelity::Mixed { every } = cfg.fidelity {
             assert!(every > 0, "mixed fidelity needs a positive probe period");
         }
+        // A static defender spends its whole budget hardening the
+        // configured posture *now*, before calibration and fault
+        // references, so the entire run sees the hardened posture. A
+        // closed-loop defender holds its budget for runtime turns.
+        let mut defender = FleetDefender::new(cfg.defender, cfg.defender_budget);
+        defender.prespend_static(&mut cfg.posture);
         let root = SimRng::seed(cfg.seed);
         let table = match cfg.fidelity {
             Fidelity::Live => None,
-            _ => Some(table.unwrap_or_else(|| {
-                StepOutcomeTable::calibrate(
+            _ => Some(match table {
+                Some(t) => {
+                    if defender.is_closed_loop() {
+                        assert!(
+                            t.covers(&cfg.posture) && t.covers(&DefensePosture::full()),
+                            "a closed-loop run needs a table covering every posture \
+                             the defender can harden into (share a depth-ladder table)"
+                        );
+                    }
+                    t
+                }
+                // A closed-loop defender can harden into postures off
+                // the configured point, so its table is the full depth
+                // ladder (covers any posture by per-layer fallback).
+                None if defender.is_closed_loop() => StepOutcomeTable::calibrate_depths(
+                    cfg.calibration_trials,
+                    cfg.shards,
+                    &root.fork("fleet/table"),
+                ),
+                None => StepOutcomeTable::calibrate(
                     &[cfg.posture],
                     cfg.calibration_trials,
                     cfg.shards,
                     &root.fork("fleet/table"),
-                )
-            })),
+                ),
+            }),
         };
         let state = FleetState::new(cfg.vehicles, &root.fork("fleet/vehicles"));
         let plan = if cfg.faults_enabled {
@@ -665,6 +725,7 @@ impl FleetEngine {
             state,
             plan,
             onsets,
+            defender,
         }
     }
 
@@ -677,6 +738,7 @@ impl FleetEngine {
             mut state,
             plan,
             onsets,
+            mut defender,
         } = self;
         let start = Instant::now();
         let _quiet = (cfg.chaos_lost_rate > 0.0).then(silence_panics);
@@ -691,21 +753,11 @@ impl FleetEngine {
             _ => None,
         };
         let drift_base = SimRng::seed(cfg.seed).fork("fleet/drift");
-        let epi = graph
-            .edge_for(&EdgeSource::Scenario("v2x-ghost-object"))
-            .expect("calibrated graph carries the V2X edge")
-            .prob(&cfg.posture);
-        // Late-detection sweep rate grows with defense depth.
-        let late_detect_p = 0.05 + 0.03 * cfg.posture.enabled_count() as f64;
-        // The Fig. 8 kill chain, folded to one breach/detect pair.
-        let kc: Vec<ProbPoint> = graph
-            .edges()
-            .iter()
-            .filter(|e| matches!(e.source, EdgeSource::KillChain(_)))
-            .map(|e| e.prob(&cfg.posture))
-            .collect();
-        let kc_success: f64 = kc.iter().map(|p| p.success).product();
-        let kc_detect: f64 = 1.0 - kc.iter().map(|p| 1.0 - p.detect).product::<f64>();
+        // The posture in force; a closed-loop defender may harden it
+        // between ticks, which recomputes the derived rates below.
+        let mut posture = cfg.posture;
+        let (mut epi, mut late_detect_p, mut kc_success, mut kc_detect) =
+            derived_rates(&graph, &posture);
 
         let mut responder = ResponseEngine::with_history_cap(HISTORY_CAP);
         let mut backend_rng = SimRng::seed(cfg.seed).fork("fleet/backend");
@@ -726,8 +778,11 @@ impl FleetEngine {
                     base: drift_base.clone(),
                     every,
                 }),
+                posture,
                 epi,
-                late_detect_p,
+                // Bit-exact without a defender: monitor_boost() is
+                // +0.0 until monitoring is bought.
+                late_detect_p: late_detect_p + defender.monitor_boost(),
             };
 
             // Phase 1: parallel vehicle phase.
@@ -738,11 +793,13 @@ impl FleetEngine {
             // Phase 2: serial response phase, in vehicle order.
             let at = SimTime::from_ms(tick * cfg.tick_ms);
             let mut cols = state.columns();
+            let mut layer_alerts = [0u32; 6];
             for out in outs {
                 totals.absorb(&out.counters);
                 drift.absorb(&out.drift);
                 for pending in out.alerts {
                     totals.alerts += 1;
+                    layer_alerts[pending.layer as usize] += 1;
                     let response = responder.handle(&Alert {
                         detector: pending.detector,
                         subject: pending.vehicle,
@@ -785,10 +842,29 @@ impl FleetEngine {
                     totals,
                 });
             }
+
+            // Closed-loop defender turn: a pure function of this
+            // tick's merged outputs (no RNG), so it is exactly as
+            // shard-invariant as the census it reads.
+            if defender.is_closed_loop() {
+                let obs = TickObservation {
+                    layer_alerts,
+                    compromised_frac: census.compromised as f64 / census.total().max(1) as f64,
+                    backend_breached: breached,
+                };
+                if defender.tick(&mut posture, &obs) {
+                    debug_assert!(
+                        table.as_ref().is_none_or(|t| t.covers(&posture)),
+                        "defender hardened into an uncalibrated posture"
+                    );
+                    (epi, late_detect_p, kc_success, kc_detect) = derived_rates(&graph, &posture);
+                }
+            }
             prev_census = census;
         }
 
         FleetReport {
+            defender: defender.is_active().then_some(defender),
             config: cfg.clone(),
             snapshots,
             availability: availability_sum / cfg.ticks as f64,
@@ -796,6 +872,28 @@ impl FleetEngine {
             wall: start.elapsed(),
         }
     }
+}
+
+/// The posture-derived rates the tick loop consumes: the calibrated
+/// V2X infection edge, the late-detection sweep rate (grows with
+/// defense depth), and the Fig. 8 kill chain folded to one
+/// breach/detect pair. Op-for-op identical to the pre-defender
+/// computation, so defenderless runs are unchanged bit for bit.
+fn derived_rates(graph: &AttackGraph, posture: &DefensePosture) -> (ProbPoint, f64, f64, f64) {
+    let epi = graph
+        .edge_for(&EdgeSource::Scenario("v2x-ghost-object"))
+        .expect("calibrated graph carries the V2X edge")
+        .prob(posture);
+    let late_detect_p = 0.05 + 0.03 * posture.enabled_count() as f64;
+    let kc: Vec<ProbPoint> = graph
+        .edges()
+        .iter()
+        .filter(|e| matches!(e.source, EdgeSource::KillChain(_)))
+        .map(|e| e.prob(posture))
+        .collect();
+    let kc_success: f64 = kc.iter().map(|p| p.success).product();
+    let kc_detect: f64 = 1.0 - kc.iter().map(|p| 1.0 - p.detect).product::<f64>();
+    (epi, late_detect_p, kc_success, kc_detect)
 }
 
 /// The tick a fault spec first applies at (its onset rounded up to a
@@ -896,6 +994,9 @@ pub struct FleetReport {
     /// Mixed-fidelity drift accounting (all zero outside
     /// [`Fidelity::Mixed`]).
     pub drift: DriftStats,
+    /// The defender after the run (`None` when inactive, keeping the
+    /// artifact byte-identical to a defenderless run).
+    pub defender: Option<FleetDefender>,
     /// Wall-clock duration of the run (volatile).
     pub wall: Duration,
 }
@@ -930,7 +1031,7 @@ impl FleetReport {
     /// keys (`shards`, `duration_ms`, `vehicle_ticks_per_sec`) that
     /// canonical mode strips.
     pub fn to_json(&self) -> Value {
-        json!({
+        let mut v = json!({
             "config": self.config.to_json(),
             "shards": self.config.shards as u64,
             "duration_ms": self.wall.as_secs_f64() * 1e3,
@@ -939,7 +1040,11 @@ impl FleetReport {
             "mttr_ms": self.mttr_ms(),
             "drift": self.drift.to_json(),
             "snapshots": self.snapshots.iter().map(FleetSnapshot::to_json).collect::<Vec<_>>(),
-        })
+        });
+        if let (Value::Object(map), Some(d)) = (&mut v, &self.defender) {
+            map.insert("defender".to_owned(), d.to_json());
+        }
+        v
     }
 
     /// The canonical (shard-invariant) artifact body — what two runs

@@ -68,12 +68,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod defender;
 pub mod engine;
 pub mod shard;
 pub mod snapshot;
 pub mod state;
 pub mod vehicle;
 
+pub use defender::{DefenderMode, FleetDefender, TickObservation, FLEET_PRIORITY};
 pub use engine::{
     posture_label, DriftStats, FaultOnset, Fidelity, FleetConfig, FleetEngine, FleetReport,
     TickInputs,

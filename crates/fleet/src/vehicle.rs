@@ -59,6 +59,9 @@ pub struct PendingAlert {
     pub vehicle: u32,
     /// Detector identity (drives the playbook choice).
     pub detector: &'static str,
+    /// Layer the incident hit (drives the fleet defender's
+    /// harden-the-loudest-layer rule).
+    pub layer: autosec_sim::ArchLayer,
     /// What kind of event raised it.
     pub kind: AlertKind,
 }

@@ -1,0 +1,109 @@
+//! The contracts the `--defender` modes ship with:
+//!
+//! 1. **Null-defender equivalence** — any mode with a zero budget is
+//!    the null defender: canonical artifacts are byte-identical to
+//!    `--defender off`, config echo included.
+//! 2. **Shard invariance survives the defender** — the closed-loop
+//!    policy reads only merged tick outputs and draws no RNG, so
+//!    defender-enabled snapshots stay bit-identical at any `--shards`.
+//! 3. **The modes actually differ** — static pre-hardening changes the
+//!    run posture up front; the closed-loop defender spends its budget
+//!    at runtime and records its actions in the artifact.
+
+use autosec_fleet::{DefenderMode, FleetConfig, FleetEngine};
+
+fn pressured_cfg() -> FleetConfig {
+    FleetConfig {
+        vehicles: 500,
+        ticks: 40,
+        seed: 42,
+        snapshot_every: 10,
+        posture: autosec_core::campaign::DefensePosture::none(),
+        attack_rate: 8e-3,
+        infection_beta: 0.6,
+        calibration_trials: 4,
+        ..FleetConfig::default()
+    }
+}
+
+#[test]
+fn zero_budget_defender_is_bit_identical_to_off() {
+    // Property: for every mode, a zero budget produces the byte-exact
+    // `--defender off` artifact — the config echo carries no defender
+    // keys and the trajectory is untouched.
+    let off = FleetEngine::new(pressured_cfg()).run();
+    let baseline = off.canonical_json().to_string();
+    for mode in [
+        DefenderMode::Off,
+        DefenderMode::Static,
+        DefenderMode::ClosedLoop,
+    ] {
+        let mut cfg = pressured_cfg();
+        cfg.defender = mode;
+        cfg.defender_budget = 0.0;
+        let run = FleetEngine::new(cfg).run();
+        assert!(run.defender.is_none(), "{mode:?} with zero budget is null");
+        assert_eq!(
+            run.canonical_json().to_string(),
+            baseline,
+            "zero-budget {mode:?} must replay the defenderless run bit for bit"
+        );
+    }
+}
+
+#[test]
+fn closed_loop_runs_are_shard_invariant() {
+    let mut one = pressured_cfg();
+    one.defender = DefenderMode::ClosedLoop;
+    one.defender_budget = 4.0;
+    one.shards = 1;
+    let mut four = one.clone();
+    four.shards = 4;
+
+    let a = FleetEngine::new(one).run();
+    let b = FleetEngine::new(four).run();
+    assert_eq!(
+        a.canonical_json().to_string(),
+        b.canonical_json().to_string(),
+        "the defender must not break shard invariance"
+    );
+    let d = a.defender.as_ref().expect("active defender is reported");
+    let dj = d.to_json();
+    assert!(
+        dj["actions"].as_u64().unwrap_or(0) > 0,
+        "under this pressure the closed loop acts: {dj}"
+    );
+}
+
+#[test]
+fn static_defender_hardens_the_posture_up_front() {
+    let mut cfg = pressured_cfg();
+    cfg.defender = DefenderMode::Static;
+    cfg.defender_budget = 2.0;
+    let run = FleetEngine::new(cfg).run();
+    // The pre-spend flips posture bits before calibration, so the
+    // config echo shows the hardened posture and the defender keys.
+    let j = run.canonical_json();
+    assert_eq!(j["config"]["posture"].as_str(), Some("data+collaboration"));
+    assert_eq!(j["config"]["defender"].as_str(), Some("static"));
+    assert_eq!(j["defender"]["mode"].as_str(), Some("static"));
+    assert_eq!(j["defender"]["spent"].as_f64(), Some(2.0));
+}
+
+#[test]
+fn closed_loop_beats_no_defense_under_epidemic_pressure() {
+    // Not a statistical claim — one seeded trajectory, pinned: with
+    // layers to harden and monitoring to buy, the closed loop ends the
+    // run with no more compromised vehicles than the undefended fleet.
+    let off = FleetEngine::new(pressured_cfg()).run();
+    let mut cfg = pressured_cfg();
+    cfg.defender = DefenderMode::ClosedLoop;
+    cfg.defender_budget = 6.0;
+    let defended = FleetEngine::new(cfg).run();
+    assert!(
+        defended.final_snapshot().census.compromised <= off.final_snapshot().census.compromised,
+        "closed loop {} !<= undefended {}",
+        defended.final_snapshot().census.compromised,
+        off.final_snapshot().census.compromised
+    );
+}
