@@ -30,7 +30,7 @@ use autosec_core::scenario::{scenario_registry, ScenarioStep};
 use autosec_data::killchain::{Attacker, KillChainReport, KillChainStage};
 use autosec_data::service::{DefenseConfig, TelemetryBackend};
 use autosec_runner::par_trials;
-use autosec_sim::{ArchLayer, SimRng};
+use autosec_sim::{ArchLayer, SimRng, Stride};
 use autosec_sos::cascade::{cascade_trial, with_coupling_scale};
 use autosec_sos::model::SosGraph;
 use autosec_sos::reference::maas_reference;
@@ -79,67 +79,90 @@ fn scenario_topology(name: &str) -> (Capability, Capability) {
         "pdu-forgery" => (Capability::BusAccess, Capability::ActuationControl),
         "rogue-software-placement" => (Capability::VehicleAccess, Capability::PlatformFoothold),
         "telemetry-kill-chain" => (Capability::External, Capability::FleetBackend),
+        "breach-cascade" => (Capability::PlatformFoothold, Capability::SafetyImpact),
         "v2x-ghost-object" => (Capability::External, Capability::FusedViewWrite),
         other => panic!("scenario step {other:?} has no graph placement"),
     }
 }
 
-/// The kill-chain stages as graph hops, in chain order.
-fn killchain_topology(stage: KillChainStage) -> (&'static str, Capability, Capability) {
+/// The kill-chain stages as graph hops, in chain order. The chain is
+/// reconnaissance-to-exfiltration against the telemetry backend, so
+/// every stage is information disclosure except the credential theft,
+/// which elevates the attacker to the backend's own authority.
+fn killchain_topology(stage: KillChainStage) -> (&'static str, Capability, Capability, Stride) {
     match stage {
         KillChainStage::TrafficAnalysis => (
             "kc-traffic-analysis",
             Capability::External,
             Capability::ApiRecon,
+            Stride::InformationDisclosure,
         ),
         KillChainStage::DirectoryEnumeration => (
             "kc-directory-enumeration",
             Capability::ApiRecon,
             Capability::RouteMap,
+            Stride::InformationDisclosure,
         ),
         KillChainStage::SupplyChainIdentification => (
             "kc-supply-chain-id",
             Capability::RouteMap,
             Capability::FrameworkKnown,
+            Stride::InformationDisclosure,
         ),
         KillChainStage::HeapDump => (
             "kc-heap-dump",
             Capability::FrameworkKnown,
             Capability::HeapDump,
+            Stride::InformationDisclosure,
         ),
         KillChainStage::KeyExtraction => (
             "kc-key-extraction",
             Capability::HeapDump,
             Capability::KeyMaterial,
+            Stride::ElevationOfPrivilege,
         ),
         KillChainStage::DataExtraction => (
             "kc-data-extraction",
             Capability::KeyMaterial,
             Capability::FleetBackend,
+            Stride::InformationDisclosure,
         ),
     }
 }
 
 /// The cascade edges: which capability pivots into the SoS graph at
-/// which entry node.
-const CASCADE_EDGES: [(&str, Capability, &str); 5] = [
-    ("cascade-backend", Capability::FleetBackend, "cloud-backend"),
+/// which entry node, and which STRIDE class the pivot realises.
+const CASCADE_EDGES: [(&str, Capability, &str, Stride); 5] = [
+    (
+        "cascade-backend",
+        Capability::FleetBackend,
+        "cloud-backend",
+        Stride::DenialOfService,
+    ),
     (
         "cascade-platform",
         Capability::PlatformFoothold,
         "vehicle-os",
+        Stride::ElevationOfPrivilege,
     ),
     (
         "cascade-fused-view",
         Capability::FusedViewWrite,
         "self-driving-stack",
+        Stride::Tampering,
     ),
     (
         "cascade-sensor",
         Capability::SensorControl,
         "self-driving-stack",
+        Stride::Tampering,
     ),
-    ("cascade-actuation", Capability::ActuationControl, "act"),
+    (
+        "cascade-actuation",
+        Capability::ActuationControl,
+        "act",
+        Stride::Tampering,
+    ),
 ];
 
 /// Measures one scenario step's success/detection rates under one
@@ -239,7 +262,7 @@ fn clamp_defended(undefended: ProbPoint, defended: ProbPoint) -> ProbPoint {
 /// Builds the full calibrated attack graph.
 ///
 /// Edge order — which is also the replay attacker's sweep order — is
-/// the eight scenario steps in campaign order, then the five cascade
+/// the nine scenario steps in campaign order, then the five cascade
 /// pivots (the campaign's Fig. 9 consequences), then the six staged
 /// kill-chain hops.
 /// Deterministic in `(base, cfg.trials)`; `cfg.jobs` only changes
@@ -268,6 +291,7 @@ pub fn calibrated_graph(cfg: &CalibrationConfig, base: &SimRng) -> AttackGraph {
             from,
             to,
             layer: step.layer(),
+            stride: step.stride(),
             source: EdgeSource::Scenario(step.name()),
             undefended,
             defended: clamp_defended(undefended, defended),
@@ -276,7 +300,7 @@ pub fn calibrated_graph(cfg: &CalibrationConfig, base: &SimRng) -> AttackGraph {
 
     let coupled = maas_reference();
     let decoupled = with_coupling_scale(&coupled, DECOUPLING_SCALE);
-    for (name, from, entry) in CASCADE_EDGES {
+    for (name, from, entry, stride) in CASCADE_EDGES {
         let undefended = cascade_point(
             &coupled,
             entry,
@@ -294,6 +318,7 @@ pub fn calibrated_graph(cfg: &CalibrationConfig, base: &SimRng) -> AttackGraph {
             from,
             to: Capability::SafetyImpact,
             layer: ArchLayer::SystemOfSystems,
+            stride,
             source: EdgeSource::Cascade(entry),
             undefended,
             defended: clamp_defended(undefended, defended),
@@ -311,12 +336,13 @@ pub fn calibrated_graph(cfg: &CalibrationConfig, base: &SimRng) -> AttackGraph {
         cfg,
     );
     for (i, stage) in KillChainStage::ALL.into_iter().enumerate() {
-        let (name, from, to) = killchain_topology(stage);
+        let (name, from, to, stride) = killchain_topology(stage);
         g.add_edge(AttackEdge {
             name,
             from,
             to,
             layer: ArchLayer::Data,
+            stride,
             source: EdgeSource::KillChain(stage),
             undefended: undef_stages[i],
             defended: clamp_defended(undef_stages[i], def_stages[i]),
@@ -335,9 +361,9 @@ mod tests {
     }
 
     #[test]
-    fn graph_has_all_nineteen_edges() {
+    fn graph_has_all_twenty_edges() {
         let g = calibrated_graph(&small(), &SimRng::seed(1));
-        assert_eq!(g.len(), 8 + 6 + 5);
+        assert_eq!(g.len(), 9 + 6 + 5);
     }
 
     #[test]

@@ -209,6 +209,7 @@ mod tests {
             from: Capability::External,
             to: Capability::SafetyImpact,
             layer: ArchLayer::Data,
+            stride: autosec_sim::Stride::Tampering,
             source: EdgeSource::Scenario("backdoor"),
             undefended: ProbPoint {
                 success: 0.9,

@@ -16,7 +16,7 @@
 
 use autosec_core::campaign::DefensePosture;
 use autosec_data::killchain::KillChainStage;
-use autosec_sim::ArchLayer;
+use autosec_sim::{ArchLayer, Stride};
 
 /// An attacker capability — one node of the attack graph.
 ///
@@ -237,6 +237,9 @@ pub struct AttackEdge {
     pub to: Capability,
     /// The layer whose defense toggle governs this edge.
     pub layer: ArchLayer,
+    /// The STRIDE threat class this edge realises (drives the
+    /// STRIDE×layer coverage matrix in `autosec-scengen`).
+    pub stride: Stride,
     /// The model the probabilities were measured from.
     pub source: EdgeSource,
     /// Probabilities with `layer`'s defenses off.
@@ -362,6 +365,7 @@ mod tests {
             from,
             to,
             layer: ArchLayer::Physical,
+            stride: Stride::Tampering,
             source: EdgeSource::Scenario(name),
             undefended: ProbPoint::sure(),
             defended: ProbPoint {

@@ -171,6 +171,7 @@ mod tests {
             from,
             to,
             layer,
+            stride: autosec_sim::Stride::Tampering,
             source: EdgeSource::Scenario(name),
             undefended: ProbPoint { success, detect },
             defended: ProbPoint {

@@ -1,0 +1,78 @@
+//! E24/E25: generative scenario composition and replay throughput.
+//!
+//! Graph calibration (~0.5 s of scenario-model Monte-Carlo) happens
+//! outside the timed regions; the benches measure what scales —
+//! walk generation over the 20-edge graph, Monte-Carlo campaign
+//! replay under a posture, coverage-matrix roll-up, and the fleet
+//! tick loop in `--campaign generated:N` mode.
+
+use autosec_adversary::{calibrated_graph, CalibrationConfig};
+use autosec_bench::exp_scengen;
+use autosec_core::campaign::DefensePosture;
+use autosec_fleet::{CampaignMode, FleetConfig, FleetEngine};
+use autosec_runner::RunCtx;
+use autosec_scengen::{evaluate_campaign, generate, CoverageMatrix, GenConfig};
+use autosec_sim::SimRng;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+const VEHICLES: usize = 5_000;
+const TICKS: u64 = 20;
+
+fn bench(c: &mut Criterion) {
+    let graph = calibrated_graph(
+        &CalibrationConfig::new(8, 4),
+        &SimRng::seed(42).fork("bench-scengen"),
+    );
+
+    let mut g = c.benchmark_group("e24_scengen");
+    g.sample_size(10);
+
+    g.bench_function("generate_16_campaigns", |b| {
+        b.iter(|| generate(&graph, &GenConfig::new(16, 6, 42)))
+    });
+    g.bench_function("generate_64_campaigns", |b| {
+        b.iter(|| generate(&graph, &GenConfig::new(64, 6, 42)))
+    });
+
+    let pool = generate(&graph, &GenConfig::new(16, 6, 42));
+    let posture = DefensePosture::depth(3);
+    let base = SimRng::seed(42).fork("bench-eval");
+    g.bench_function("replay_16x200_trials", |b| {
+        b.iter(|| {
+            pool.iter()
+                .map(|c| evaluate_campaign(&graph, c, &posture, &base, 200, 4).breach)
+                .sum::<f64>()
+        })
+    });
+
+    let wide = generate(&graph, &GenConfig::new(64, 6, 42));
+    g.bench_function("coverage_matrix_64", |b| {
+        b.iter(|| CoverageMatrix::build(&graph, &wide).coverage())
+    });
+
+    for shards in [1usize, 4] {
+        let cfg = FleetConfig {
+            vehicles: VEHICLES,
+            ticks: TICKS,
+            shards,
+            seed: 42,
+            campaign: CampaignMode::Generated { count: 8 },
+            ..FleetConfig::default()
+        };
+        // Construction calibrates the table and composes the pool —
+        // hoist it; the iteration clones the ready engine.
+        let engine = FleetEngine::with_graph(cfg, graph.clone());
+        g.bench_function(format!("fleet_generated_5k_x20_shards{shards}"), |b| {
+            b.iter(|| engine.clone().run())
+        });
+    }
+
+    g.bench_function("e24_table_small", |b| {
+        let ctx = RunCtx::new(42, 4).with_trials_scale(0.1);
+        b.iter(|| exp_scengen::e24_scengen_sweep_table(&ctx))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -14,13 +14,17 @@
 //! cargo run -p autosec-bench --bin experiments -- \
 //!     fleet --vehicles 100000 --ticks 200 --shards 4 --json
 //!                                                # live-fleet service mode
+//! cargo run -p autosec-bench --bin experiments -- \
+//!     generate --count 16 --max-len 6 --seed 7 --json
+//!                                                # generative composer
 //! ```
 //!
 //! Filters match an experiment's group id (`E10`) or slug
 //! (`e10-cascade`) **exactly**, case-insensitively — `E1` never drags
 //! in E10–E13 — a `tag:` prefix (`tag:parallel`) selects by registry
-//! tag, and `failed:DIR` re-selects the failures a prior manifest
-//! recorded. Several filters may be given (positionally or via
+//! tag, a `stride:` prefix (`stride:spoofing`) selects by STRIDE
+//! threat-class annotation, and `failed:DIR` re-selects the failures a
+//! prior manifest recorded. Several filters may be given (positionally or via
 //! repeated `--filter`); an experiment matched by more than one still
 //! runs exactly once. With `--json`, per-experiment artifacts plus a
 //! `manifest.json` land in `target/experiments/` (override with
@@ -42,10 +46,14 @@
 use std::process::ExitCode;
 use std::time::Duration;
 
+use autosec_adversary::{calibrated_graph, CalibrationConfig};
 use autosec_bench::{registry, ArtifactStore, RunCtx, RunManifest};
 use autosec_core::campaign::DefensePosture;
-use autosec_fleet::{DefenderMode, Fidelity, FleetConfig, FleetEngine};
+use autosec_fleet::{CampaignMode, DefenderMode, Fidelity, FleetConfig, FleetEngine};
 use autosec_runner::{run_suite, ResumeState, RunStatus, SuiteOptions, DEFAULT_ARTIFACT_DIR};
+use autosec_scengen::{evaluate_campaign, generate, CoverageMatrix, GenConfig};
+use autosec_sim::{ArchLayer, SimRng, Stride};
+use serde_json::{json, Value};
 
 struct Args {
     filters: Vec<String>,
@@ -65,10 +73,13 @@ fn usage() -> ! {
     eprintln!(
         "usage: experiments [FILTER...] [--filter F] [--seed N] [--jobs N] [--trials-scale F] [--json] [--canonical] [--keep-going] [--deadline-secs N] [--resume] [--out DIR] [--list]
        experiments fleet [...]   (live-fleet service mode; see `fleet --help`)
+       experiments generate [...] (generative scenario composer; see `generate --help`)
 
   FILTER        group id (e.g. E10) or slug (e.g. e10-cascade); exact,
                 case-insensitive match. tag:<tag> (e.g. tag:parallel)
                 selects every experiment carrying that tag;
+                stride:<class> (e.g. stride:spoofing) selects by STRIDE
+                threat-class annotation;
                 failed:<dir-or-manifest> re-selects the failed /
                 timed-out entries of a prior manifest. May be repeated;
                 overlapping filters never run an experiment twice
@@ -184,6 +195,7 @@ fn fleet_usage() -> ! {
         "usage: experiments fleet [--vehicles N] [--ticks N] [--shards N] [--seed N]
                           [--snapshot-every N] [--posture full|none|depth:K]
                           [--fidelity live|calibrated|mixed:K]
+                          [--campaign fixed|generated:N]
                           [--attack-rate F] [--no-faults]
                           [--defender off|static|closed-loop]
                           [--defender-budget F] [--json] [--canonical]
@@ -196,6 +208,12 @@ fn fleet_usage() -> ! {
   the live scenario models, 'live' replays every model end to end, and
   'mixed:K' (K >= 1) runs calibrated state with ~every Kth resolution
   shadowed by a live replay feeding a drift statistic.
+
+  --campaign picks where direct attack pressure comes from: 'fixed'
+  (default) replays the paper's step catalog, 'generated:N' (N >= 1)
+  composes a pool of N capability-consistent multi-step campaigns from
+  the calibrated attack graph (seeded by --seed) and replays those.
+  Generated runs stay bit-identical across --shards and --fidelity.
 
   --defender arms the fleet-wide defense policy: 'static' spends
   --defender-budget up front hardening layers, 'closed-loop' holds it
@@ -301,6 +319,12 @@ fn parse_fleet(args: &[String]) -> Result<FleetArgs, String> {
                     )
                 })?;
             }
+            "--campaign" => {
+                let v = value("--campaign")?;
+                cfg.campaign = CampaignMode::parse(&v).ok_or_else(|| {
+                    format!("invalid --campaign {v:?}: expected fixed or generated:N (N >= 1)")
+                })?;
+            }
             "--defender" => {
                 let v = value("--defender")?;
                 cfg.defender = DefenderMode::parse(&v).ok_or_else(|| {
@@ -369,12 +393,13 @@ fn fleet_main(args: &[String]) -> ExitCode {
     }
 
     eprintln!(
-        "fleet: {} vehicles x {} ticks, {} shard(s), posture {}, fidelity {}, seed {}{}",
+        "fleet: {} vehicles x {} ticks, {} shard(s), posture {}, fidelity {}, campaign {}, seed {}{}",
         cfg.vehicles,
         cfg.ticks,
         cfg.shards,
         cfg.posture_label(),
         cfg.fidelity.label(),
+        cfg.campaign.label(),
         cfg.seed,
         if cfg.defender_active() {
             format!(
@@ -456,11 +481,282 @@ fn fleet_main(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+fn generate_usage() -> ! {
+    eprintln!(
+        "usage: experiments generate [--count N] [--max-len N] [--seed N] [--jobs N]
+                            [--trials N] [--layer L] [--stride-class S]
+                            [--json] [--canonical] [--out DIR]
+
+  Composes capability-consistent multi-step attack campaigns from the
+  calibrated attack graph and replays each under the empty and full
+  defense postures, then rolls the pool up into the STRIDE x layer
+  coverage matrix (verdicts: covered / GAP / n/a).
+
+  --count N        target number of distinct campaigns (default 16)
+  --max-len N      maximum steps per campaign (default 6)
+  --seed N         generator + calibration seed (default 42); the
+                   output is a pure function of it
+  --jobs N         worker threads for calibration and replay
+                   (default 1); output is identical for any N
+  --trials N       Monte-Carlo replays per campaign x posture
+                   (default 200)
+  --layer L        keep only campaigns touching this layer: physical,
+                   network, software/platform, data, system-of-systems
+                   or collaboration
+  --stride-class S keep only campaigns touching this STRIDE class:
+                   spoofing, tampering, repudiation, info-disclosure,
+                   denial-of-service or elevation-of-privilege
+                   (mnemonics s/t/r/i/d/e accepted)
+  --json           write the scengen.json artifact
+  --canonical      strip volatile keys (jobs) so runs with different
+                   --jobs diff byte-identical
+  --out DIR        artifact directory (default {DEFAULT_ARTIFACT_DIR})"
+    );
+    std::process::exit(2);
+}
+
+/// Parsed `generate` subcommand arguments.
+#[derive(Debug)]
+struct GenerateArgs {
+    cfg: GenConfig,
+    trials: usize,
+    jobs: usize,
+    json: bool,
+    canonical: bool,
+    out: String,
+}
+
+/// Parses an [`ArchLayer`] CLI label (the `Display` strings, plus a
+/// few forgiving aliases).
+fn parse_layer(s: &str) -> Option<ArchLayer> {
+    match s.to_lowercase().as_str() {
+        "physical" | "phy" => Some(ArchLayer::Physical),
+        "network" | "net" | "ivn" => Some(ArchLayer::Network),
+        "software/platform" | "software-platform" | "platform" | "sdv" => {
+            Some(ArchLayer::SoftwarePlatform)
+        }
+        "data" => Some(ArchLayer::Data),
+        "system-of-systems" | "sos" => Some(ArchLayer::SystemOfSystems),
+        "collaboration" | "collab" => Some(ArchLayer::Collaboration),
+        _ => None,
+    }
+}
+
+/// Parses the `generate` argument grammar; `Err` carries the exact
+/// message the CLI prints (unit-tested below).
+fn parse_generate(args: &[String]) -> Result<GenerateArgs, String> {
+    let mut cfg = GenConfig::new(16, 6, autosec_runner::DEFAULT_SEED);
+    let mut trials = 200usize;
+    let mut jobs = 1usize;
+    let mut json = false;
+    let mut canonical = false;
+    let mut out = DEFAULT_ARTIFACT_DIR.to_owned();
+
+    fn parsed<T: std::str::FromStr>(name: &str, v: &str) -> Result<T, String> {
+        v.parse().map_err(|_| format!("invalid {name} {v:?}"))
+    }
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("missing value for {name}"))
+        };
+        match arg.as_str() {
+            "--count" | "-c" => cfg.count = parsed("--count", &value("--count")?)?,
+            "--max-len" => cfg.max_len = parsed("--max-len", &value("--max-len")?)?,
+            "--seed" | "-s" => cfg.seed = parsed("--seed", &value("--seed")?)?,
+            "--jobs" | "-j" => jobs = parsed("--jobs", &value("--jobs")?)?,
+            "--trials" => trials = parsed("--trials", &value("--trials")?)?,
+            "--layer" => {
+                let v = value("--layer")?;
+                cfg.layer = Some(parse_layer(&v).ok_or_else(|| {
+                    format!(
+                        "invalid --layer {v:?}: expected physical, network, software/platform, data, system-of-systems or collaboration"
+                    )
+                })?);
+            }
+            "--stride-class" => {
+                let v = value("--stride-class")?;
+                cfg.stride = Some(Stride::parse(&v).ok_or_else(|| {
+                    format!(
+                        "invalid --stride-class {v:?}: expected a STRIDE class label (e.g. spoofing, denial-of-service) or mnemonic s/t/r/i/d/e"
+                    )
+                })?);
+            }
+            "--json" => json = true,
+            "--canonical" => canonical = true,
+            "--out" | "-o" => out = value("--out")?,
+            "--help" | "-h" => return Err("help".to_owned()),
+            other => return Err(format!("unknown generate argument {other:?}")),
+        }
+    }
+    if cfg.count == 0 || cfg.max_len == 0 || trials == 0 || jobs == 0 {
+        return Err("--count, --max-len, --trials and --jobs must be positive".to_owned());
+    }
+    Ok(GenerateArgs {
+        cfg,
+        trials,
+        jobs,
+        json,
+        canonical,
+        out,
+    })
+}
+
+/// The `generate` subcommand: compose, replay, and report coverage.
+fn generate_main(args: &[String]) -> ExitCode {
+    let GenerateArgs {
+        cfg,
+        trials,
+        jobs,
+        json: write_json,
+        canonical,
+        out,
+    } = match parse_generate(args) {
+        Ok(parsed) => parsed,
+        Err(msg) => {
+            if msg != "help" {
+                eprintln!("{msg}");
+            }
+            generate_usage();
+        }
+    };
+
+    // Same calibration machinery and trial count as the fleet service
+    // mode — generated campaigns replay the measured graph, never a
+    // hand-typed table.
+    let calib = CalibrationConfig::new(12, jobs);
+    let graph = calibrated_graph(&calib, &SimRng::seed(cfg.seed).fork("scengen/calibration"));
+    let pool = generate(&graph, &cfg);
+    eprintln!(
+        "generate: {} campaign(s) (requested {}), max-len {}, seed {}{}{}",
+        pool.len(),
+        cfg.count,
+        cfg.max_len,
+        cfg.seed,
+        cfg.layer
+            .map(|l| format!(", layer {l}"))
+            .unwrap_or_default(),
+        cfg.stride
+            .map(|s| format!(", stride {s}"))
+            .unwrap_or_default(),
+    );
+    if pool.is_empty() {
+        eprintln!(
+            "no campaign satisfied the acceptance filters; try a larger --count or --max-len"
+        );
+        return ExitCode::FAILURE;
+    }
+
+    let none = DefensePosture::none();
+    let full = DefensePosture::full();
+    let mut campaigns = Vec::with_capacity(pool.len());
+    for campaign in &pool {
+        let base = SimRng::seed(cfg.seed).fork(&format!("scengen/eval/{}", campaign.id));
+        let undefended = evaluate_campaign(&graph, campaign, &none, &base, trials, jobs);
+        let defended = evaluate_campaign(&graph, campaign, &full, &base, trials, jobs);
+        let names = campaign.names(&graph);
+        println!(
+            "{}  len {}  breach {:.3} -> {:.3}  detect {:.3}  [{}]",
+            campaign.id,
+            campaign.edges.len(),
+            undefended.breach,
+            defended.breach,
+            defended.detect,
+            names.join(" -> "),
+        );
+        campaigns.push(json!({
+            "id": campaign.id.clone(),
+            "steps": names,
+            "layers": campaign.edges.iter()
+                .map(|&i| graph.edges()[i].layer.to_string()).collect::<Vec<_>>(),
+            "strides": campaign.edges.iter()
+                .map(|&i| graph.edges()[i].stride.label()).collect::<Vec<_>>(),
+            "breach_undefended": undefended.breach,
+            "breach_defended": defended.breach,
+            "detect_defended": defended.detect,
+        }));
+    }
+
+    let matrix = CoverageMatrix::build(&graph, &pool);
+    println!(
+        "coverage: {}/{} modeled STRIDE x layer cells ({:.0}%), {} GAP, {} unmodeled",
+        matrix.covered(),
+        matrix.modeled(),
+        matrix.coverage() * 100.0,
+        matrix.gaps(),
+        matrix.cells.len() - matrix.modeled(),
+    );
+    for cell in matrix.cells.iter().filter(|c| c.pool_edges > 0) {
+        println!(
+            "  {:<24} {:<18} edges {}  hits {}  {}",
+            cell.stride.label(),
+            cell.layer.to_string(),
+            cell.pool_edges,
+            cell.campaign_hits,
+            cell.verdict.label(),
+        );
+    }
+
+    if write_json {
+        let artifact: Value = json!({
+            "config": {
+                "count": cfg.count,
+                "max_len": cfg.max_len,
+                "seed": cfg.seed,
+                "layer": cfg.layer.map(|l| l.to_string()),
+                "stride": cfg.stride.map(|s| s.label()),
+                "trials": trials,
+            },
+            "jobs": jobs,
+            "campaigns": campaigns,
+            "coverage": {
+                "covered": matrix.covered(),
+                "modeled": matrix.modeled(),
+                "gaps": matrix.gaps(),
+                "fraction": matrix.coverage(),
+                "cells": matrix.cells.iter().map(|c| json!({
+                    "stride": c.stride.label(),
+                    "layer": c.layer.to_string(),
+                    "edges": c.pool_edges,
+                    "campaign_hits": c.campaign_hits,
+                    "undefended_success": c.undefended_success,
+                    "defended_success": c.defended_success,
+                    "defended_detect": c.defended_detect,
+                    "verdict": c.verdict.label(),
+                })).collect::<Vec<_>>(),
+            },
+        });
+        let store = match ArtifactStore::create(&out) {
+            Ok(s) if canonical => s.canonical(),
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("cannot create artifact dir {out:?}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match store.write_json("scengen", &artifact) {
+            Ok(path) => eprintln!("wrote {}", path.display()),
+            Err(e) => {
+                eprintln!("scengen artifact write failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
-    // The `fleet` subcommand has its own argument grammar.
+    // The `fleet` and `generate` subcommands have their own argument
+    // grammars.
     let raw: Vec<String> = std::env::args().skip(1).collect();
     if raw.first().map(String::as_str) == Some("fleet") {
         return fleet_main(&raw[1..]);
+    }
+    if raw.first().map(String::as_str) == Some("generate") {
+        return generate_main(&raw[1..]);
     }
 
     let args = parse_args();
@@ -468,21 +764,27 @@ fn main() -> ExitCode {
 
     if args.list {
         println!(
-            "{:<22} {:<6} {:<9} {:<9} {:<34} title",
-            "slug", "id", "cost", "deadline", "tags"
+            "{:<22} {:<6} {:<9} {:<9} {:<34} {:<22} title",
+            "slug", "id", "cost", "deadline", "tags", "stride"
         );
         for e in reg.iter() {
             let deadline = args
                 .deadline_secs
                 .map(Duration::from_secs)
                 .unwrap_or_else(|| e.cost.deadline());
+            let stride = if e.strides.is_empty() {
+                "-".to_owned()
+            } else {
+                e.strides.join(",")
+            };
             println!(
-                "{:<22} {:<6} {:<9} {:<9} {:<34} {}",
+                "{:<22} {:<6} {:<9} {:<9} {:<34} {:<22} {}",
                 e.slug,
                 e.id,
                 e.cost.to_string(),
                 format!("{}s", deadline.as_secs()),
                 e.tags.join(","),
+                stride,
                 e.title
             );
         }
@@ -705,6 +1007,74 @@ mod tests {
         // Zero budget parses fine — it is the null defender.
         let ok = fleet(&["--defender", "static", "--defender-budget", "0"]).unwrap();
         assert!(!ok.cfg.defender_active());
+    }
+
+    #[test]
+    fn fleet_campaign_flag_parses_and_validates() {
+        let ok = fleet(&["--campaign", "generated:12"]).unwrap();
+        assert_eq!(ok.cfg.campaign, CampaignMode::Generated { count: 12 });
+        let ok = fleet(&["--campaign", "fixed"]).unwrap();
+        assert_eq!(ok.cfg.campaign, CampaignMode::Fixed);
+        for bad in ["generated:0", "generated", "scripted"] {
+            let err = fleet(&["--campaign", bad]).unwrap_err();
+            assert!(err.contains("fixed or generated:N"), "{bad}: {err}");
+        }
+    }
+
+    fn gen(args: &[&str]) -> Result<GenerateArgs, String> {
+        let owned: Vec<String> = args.iter().map(ToString::to_string).collect();
+        parse_generate(&owned)
+    }
+
+    #[test]
+    fn generate_defaults_parse() {
+        let a = gen(&[]).expect("empty args are the defaults");
+        assert_eq!(a.cfg.count, 16);
+        assert_eq!(a.cfg.max_len, 6);
+        assert_eq!(a.cfg.seed, autosec_runner::DEFAULT_SEED);
+        assert_eq!(a.trials, 200);
+        assert_eq!(a.jobs, 1);
+        assert!(a.cfg.layer.is_none() && a.cfg.stride.is_none());
+        assert!(!a.json && !a.canonical);
+    }
+
+    #[test]
+    fn generate_filters_parse() {
+        let a = gen(&["--layer", "sos", "--stride-class", "dos"]).unwrap();
+        assert_eq!(a.cfg.layer, Some(ArchLayer::SystemOfSystems));
+        assert_eq!(a.cfg.stride, Some(Stride::DenialOfService));
+        let a = gen(&["--layer", "software/platform", "--stride-class", "e"]).unwrap();
+        assert_eq!(a.cfg.layer, Some(ArchLayer::SoftwarePlatform));
+        assert_eq!(a.cfg.stride, Some(Stride::ElevationOfPrivilege));
+
+        let err = gen(&["--layer", "cloud"]).unwrap_err();
+        assert!(err.contains("--layer"), "{err}");
+        let err = gen(&["--stride-class", "phishing"]).unwrap_err();
+        assert!(err.contains("--stride-class"), "{err}");
+    }
+
+    #[test]
+    fn generate_rejects_zero_sizes_and_unknown_flags() {
+        for bad in [
+            &["--count", "0"][..],
+            &["--max-len", "0"],
+            &["--trials", "0"],
+            &["--jobs", "0"],
+        ] {
+            let err = gen(bad).unwrap_err();
+            assert!(err.contains("must be positive"), "{bad:?}: {err}");
+        }
+        assert_eq!(gen(&["--count"]).unwrap_err(), "missing value for --count");
+        assert!(gen(&["--warp"]).unwrap_err().contains("unknown generate"));
+    }
+
+    #[test]
+    fn layer_labels_round_trip_through_parse_layer() {
+        for layer in ArchLayer::ALL {
+            assert_eq!(parse_layer(&layer.to_string()), Some(layer));
+        }
+        assert_eq!(parse_layer("SOS"), Some(ArchLayer::SystemOfSystems));
+        assert_eq!(parse_layer("nope"), None);
     }
 
     #[test]

@@ -296,7 +296,7 @@ mod tests {
         // Scale 0.1 matches the CI fidelity job's drift bound check.
         let ctx = RunCtx::new(7, 2).with_trials_scale(0.1);
         let t = e21_fidelity_table(&ctx);
-        assert_eq!(t.rows.len(), 16, "8 steps x 2 postures");
+        assert_eq!(t.rows.len(), 18, "9 steps x 2 postures");
         for row in &t.rows {
             let gap: f64 = row[4].parse().unwrap();
             let tol: f64 = row[7].parse().unwrap();

@@ -1,0 +1,205 @@
+//! E24/E25: the generative scenario composer measured as experiments.
+//!
+//! - **E24** generates a pool of capability-consistent campaigns from
+//!   the calibrated attack graph and sweeps the bottom-up posture
+//!   ladder ([`DefensePosture::depth`]) over it. Replay uses common
+//!   random numbers, so each campaign's breach indicator is *exactly*
+//!   weakly decreasing in depth; the per-row `monotone` verdict checks
+//!   that with no tolerance (`ok`/`NONMONO` — the CI scengen job greps
+//!   for the latter).
+//! - **E25** rolls the generated pool up into the STRIDE×layer
+//!   coverage matrix: per cell, how many graph edges model the
+//!   class/layer pair, how many campaigns exercise it, and the mean
+//!   calibrated rates, with the grep-able verdicts `covered` / `GAP` /
+//!   `n/a` (unmodeled — e.g. the whole repudiation row, the
+//!   workbench's audit-trail gap).
+//!
+//! The attack graph is calibrated once per experiment and shared
+//! across the sweep; generation is single-stream and `ctx.jobs` only
+//! parallelizes the Monte-Carlo replays (jobs-invariant through
+//! `par_trials`).
+
+use autosec_adversary::{calibrated_graph, AttackGraph, CalibrationConfig};
+use autosec_core::campaign::DefensePosture;
+use autosec_fleet::posture_label;
+use autosec_runner::RunCtx;
+use autosec_scengen::{evaluate_campaign, generate, CoverageMatrix, GenConfig};
+use autosec_sim::ArchLayer;
+
+use crate::Table;
+
+/// Campaign pool size for the E24 depth sweep at `--trials-scale 1`.
+pub const E24_CAMPAIGNS: usize = 16;
+/// Monte-Carlo replays per campaign × posture at `--trials-scale 1`.
+pub const E24_TRIALS: usize = 200;
+/// Maximum steps per generated campaign.
+pub const E24_MAX_LEN: usize = 6;
+/// Campaign pool size for the E25 coverage matrix (larger than E24's:
+/// coverage wants breadth, not replay depth).
+pub const E25_CAMPAIGNS: usize = 64;
+/// Calibration trials per attack-graph edge at `--trials-scale 1`.
+pub const CALIBRATION_TRIALS: usize = 12;
+
+/// One shared calibrated graph per experiment.
+fn scengen_graph(ctx: &RunCtx, label: &str) -> AttackGraph {
+    let calib = CalibrationConfig::new(ctx.trials(CALIBRATION_TRIALS), ctx.jobs);
+    calibrated_graph(&calib, &ctx.rng(label))
+}
+
+/// E24 — generated-campaign breach/detect sweep over the posture
+/// depth ladder, with an exact CRN monotonicity verdict per row.
+pub fn e24_scengen_sweep_table(ctx: &RunCtx) -> Table {
+    let graph = scengen_graph(ctx, "e24/calibration");
+    let pool = generate(
+        &graph,
+        &GenConfig::new(ctx.trials(E24_CAMPAIGNS).max(1), E24_MAX_LEN, ctx.seed),
+    );
+    let trials = ctx.trials(E24_TRIALS).max(2);
+    let mut t = Table::new(
+        "E24",
+        "§VIII — generated-campaign sweep over the defense-depth ladder",
+        &[
+            "depth",
+            "posture",
+            "campaigns",
+            "mean_breach",
+            "max_breach",
+            "mean_detect",
+            "monotone",
+        ],
+    );
+    // CRN discipline: one base stream per campaign, shared by every
+    // depth, so per-campaign breach rates are exactly comparable.
+    let mut prev: Vec<f64> = vec![f64::INFINITY; pool.len()];
+    for depth in 0..=ArchLayer::ALL.len() {
+        let posture = DefensePosture::depth(depth);
+        let mut breaches = Vec::with_capacity(pool.len());
+        let mut detects = Vec::with_capacity(pool.len());
+        let mut monotone = true;
+        for (ci, campaign) in pool.iter().enumerate() {
+            let base = ctx.rng(&format!("e24/eval/{}", campaign.id));
+            let s = evaluate_campaign(&graph, campaign, &posture, &base, trials, ctx.jobs);
+            monotone &= s.breach <= prev[ci];
+            prev[ci] = s.breach;
+            breaches.push(s.breach);
+            detects.push(s.detect);
+        }
+        let n = pool.len().max(1) as f64;
+        t.push_row(vec![
+            depth.to_string(),
+            posture_label(&posture),
+            pool.len().to_string(),
+            format!("{:.4}", breaches.iter().sum::<f64>() / n),
+            format!("{:.4}", breaches.iter().cloned().fold(0.0, f64::max)),
+            format!("{:.4}", detects.iter().sum::<f64>() / n),
+            if monotone { "ok" } else { "NONMONO" }.to_owned(),
+        ]);
+    }
+    t
+}
+
+/// E25 — STRIDE×layer coverage matrix of the generated pool.
+pub fn e25_coverage_matrix_table(ctx: &RunCtx) -> Table {
+    let graph = scengen_graph(ctx, "e25/calibration");
+    let pool = generate(
+        &graph,
+        &GenConfig::new(E25_CAMPAIGNS, E24_MAX_LEN, ctx.seed),
+    );
+    let matrix = CoverageMatrix::build(&graph, &pool);
+    let mut t = Table::new(
+        "E25",
+        "§VIII — STRIDE×layer coverage matrix of the generated scenario pool",
+        &[
+            "stride",
+            "layer",
+            "edges",
+            "campaign_hits",
+            "undef_success",
+            "def_success",
+            "def_detect",
+            "verdict",
+        ],
+    );
+    for cell in &matrix.cells {
+        t.push_row(vec![
+            cell.stride.label().to_owned(),
+            cell.layer.to_string(),
+            cell.pool_edges.to_string(),
+            cell.campaign_hits.to_string(),
+            format!("{:.4}", cell.undefended_success),
+            format!("{:.4}", cell.defended_success),
+            format!("{:.4}", cell.defended_detect),
+            cell.verdict.label().to_owned(),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_ctx(jobs: usize) -> RunCtx {
+        RunCtx::new(7, jobs).with_trials_scale(0.1)
+    }
+
+    #[test]
+    fn e24_has_one_row_per_depth_and_is_monotone() {
+        let t = e24_scengen_sweep_table(&tiny_ctx(2));
+        assert_eq!(t.rows.len(), 7);
+        assert_eq!(t.rows[0][1], "none");
+        assert_eq!(t.rows[6][1], "full");
+        for row in &t.rows {
+            assert_eq!(row[6], "ok", "depth {} broke CRN monotonicity", row[0]);
+        }
+        let first: f64 = t.rows[0][3].parse().unwrap();
+        let last: f64 = t.rows[6][3].parse().unwrap();
+        assert!(last <= first, "mean breach must not rise with depth");
+    }
+
+    #[test]
+    fn e24_is_jobs_invariant() {
+        let a = e24_scengen_sweep_table(&tiny_ctx(1));
+        let b = e24_scengen_sweep_table(&tiny_ctx(4));
+        assert_eq!(a.to_json().to_string(), b.to_json().to_string());
+    }
+
+    #[test]
+    fn e25_emits_all_36_cells_with_grepable_verdicts() {
+        let t = e25_coverage_matrix_table(&tiny_ctx(2));
+        assert_eq!(t.rows.len(), 36, "6 STRIDE classes x 6 layers");
+        let covered = t.rows.iter().filter(|r| r[7] == "covered").count();
+        let modeled = t
+            .rows
+            .iter()
+            .filter(|r| r[2].parse::<usize>().unwrap() > 0)
+            .count();
+        assert!(
+            covered as f64 / modeled as f64 >= 0.8,
+            "covered {covered}/{modeled} modeled cells"
+        );
+        for row in &t.rows {
+            assert!(
+                row[7] == "covered" || row[7] == "GAP" || row[7] == "n/a",
+                "verdict must be grep-able, got {:?}",
+                row[7]
+            );
+            // Unmodeled cells never claim hits.
+            if row[7] == "n/a" {
+                assert_eq!(row[2], "0");
+                assert_eq!(row[3], "0");
+            }
+        }
+        // The repudiation row is the audit-trail gap: entirely n/a.
+        for row in t.rows.iter().filter(|r| r[0] == "repudiation") {
+            assert_eq!(row[7], "n/a");
+        }
+    }
+
+    #[test]
+    fn e25_is_jobs_invariant() {
+        let a = e25_coverage_matrix_table(&tiny_ctx(1));
+        let b = e25_coverage_matrix_table(&tiny_ctx(3));
+        assert_eq!(a.to_json().to_string(), b.to_json().to_string());
+    }
+}

@@ -26,6 +26,7 @@ pub mod exp_ids;
 pub mod exp_ivn;
 pub mod exp_phy;
 pub mod exp_proto;
+pub mod exp_scengen;
 pub mod exp_sdv;
 pub mod exp_selfplay;
 pub mod exp_sos;
@@ -38,14 +39,27 @@ pub mod exp_sos;
 pub fn registry() -> Registry {
     use Cost::{Cheap, Heavy, Moderate};
     let mut r = Registry::new();
-    let mut reg = |id, slug, title, tags, cost, run: fn(&RunCtx) -> Table| {
-        r.register(Experiment::new(id, slug, title, tags, cost, run));
+    let mut reg = |id,
+                   slug,
+                   title,
+                   tags,
+                   strides: &'static [&'static str],
+                   cost,
+                   run: fn(&RunCtx) -> Table| {
+        r.register(Experiment::new(id, slug, title, tags, cost, run).with_strides(strides));
     };
     reg(
         "E1",
         "e1-depth-sweep",
         "Fig. 1 — defense-in-depth curve",
         &["framework", "campaign", "parallel"],
+        &[
+            "spoofing",
+            "tampering",
+            "denial-of-service",
+            "info-disclosure",
+            "elevation-of-privilege",
+        ],
         Moderate,
         exp_ids::e1_depth_sweep,
     );
@@ -54,6 +68,7 @@ pub fn registry() -> Registry {
         "e2-hrp-attacks",
         "Fig. 2 — HRP STS distance-reduction attacks",
         &["phy", "ranging", "parallel"],
+        &["spoofing"],
         Moderate,
         exp_phy::e2_hrp_attack_table,
     );
@@ -62,6 +77,7 @@ pub fn registry() -> Registry {
         "e2-lrp-rounds",
         "Fig. 2 — LRP early-commit survival vs rounds",
         &["phy", "ranging", "parallel"],
+        &[],
         Heavy,
         exp_phy::e2_lrp_rounds_table,
     );
@@ -70,6 +86,7 @@ pub fn registry() -> Registry {
         "e2b-enlargement",
         "§II-B — distance enlargement vs UWB-ED",
         &["phy", "ranging", "parallel"],
+        &["tampering"],
         Moderate,
         exp_phy::e2b_enlargement_table,
     );
@@ -78,6 +95,7 @@ pub fn registry() -> Registry {
         "e3-technologies",
         "Table — IVN technology comparison",
         &["ivn"],
+        &[],
         Cheap,
         |_| exp_ivn::e3_technology_table(),
     );
@@ -86,6 +104,7 @@ pub fn registry() -> Registry {
         "e3-zonal-latency",
         "§III — zonal network latency under load",
         &["ivn", "simulation", "parallel"],
+        &[],
         Moderate,
         exp_ivn::e3_zonal_simulation_table,
     );
@@ -94,6 +113,7 @@ pub fn registry() -> Registry {
         "e3-masquerade",
         "§III — CAN masquerade detection",
         &["ivn", "attack"],
+        &["spoofing"],
         Moderate,
         |_| exp_ivn::e3_masquerade_table(),
     );
@@ -102,6 +122,7 @@ pub fn registry() -> Registry {
         "e4-protocol-matrix",
         "Table 1 — security protocol comparison",
         &["protocols"],
+        &[],
         Cheap,
         |_| exp_proto::e4_table1(),
     );
@@ -110,6 +131,7 @@ pub fn registry() -> Registry {
         "e4-overhead",
         "§IV — protocol overhead measurements",
         &["protocols", "overhead"],
+        &[],
         Moderate,
         |_| exp_proto::e4_overhead_table(),
     );
@@ -118,6 +140,7 @@ pub fn registry() -> Registry {
         "e567-scenarios",
         "§V — end-to-end attack scenarios",
         &["scenarios"],
+        &[],
         Moderate,
         |_| exp_proto::e567_scenario_table(),
     );
@@ -126,6 +149,7 @@ pub fn registry() -> Registry {
         "e8-reconfiguration",
         "§V — SDV reconfiguration race",
         &["sdv", "parallel"],
+        &[],
         Moderate,
         exp_sdv::e8_reconfiguration_table,
     );
@@ -134,6 +158,7 @@ pub fn registry() -> Registry {
         "e8b-charging",
         "§V — charging-session SSI handshake",
         &["sdv", "ssi"],
+        &[],
         Moderate,
         |_| exp_sdv::e8b_charging_table(),
     );
@@ -142,6 +167,7 @@ pub fn registry() -> Registry {
         "e9-killchain",
         "§VI — data-driven kill chain",
         &["data", "parallel"],
+        &["info-disclosure"],
         Moderate,
         exp_data::e9_killchain_table,
     );
@@ -150,6 +176,7 @@ pub fn registry() -> Registry {
         "e9-surface",
         "§VI — attack-surface inventory",
         &["data"],
+        &[],
         Cheap,
         |_| exp_data::e9_surface_table(),
     );
@@ -158,6 +185,7 @@ pub fn registry() -> Registry {
         "e10-structure",
         "Fig. 9 — MaaS system-of-systems structure",
         &["sos"],
+        &[],
         Cheap,
         |_| exp_sos::e10_structure_table(),
     );
@@ -166,6 +194,7 @@ pub fn registry() -> Registry {
         "e10-cascade",
         "Fig. 9 — breach cascades across the SoS",
         &["sos", "montecarlo", "parallel"],
+        &["denial-of-service"],
         Heavy,
         exp_sos::e10_cascade_table,
     );
@@ -174,6 +203,7 @@ pub fn registry() -> Registry {
         "e10-realtime",
         "§VI-B — real-time stream under DoS",
         &["sos", "realtime", "parallel"],
+        &["denial-of-service"],
         Moderate,
         exp_sos::e10_realtime_table,
     );
@@ -182,6 +212,7 @@ pub fn registry() -> Registry {
         "e11-competition",
         "§VII-A — intersection competition",
         &["collab", "gametheory", "parallel"],
+        &[],
         Heavy,
         exp_collab::e11_competition_table,
     );
@@ -190,6 +221,7 @@ pub fn registry() -> Registry {
         "e12-misbehavior",
         "§VII-B — ghost-object fabrication vs redundancy",
         &["collab", "misbehavior", "parallel"],
+        &["spoofing"],
         Heavy,
         exp_collab::e12_misbehavior_table,
     );
@@ -198,6 +230,7 @@ pub fn registry() -> Registry {
         "e12-removal",
         "§VII-B — object-removal attack",
         &["collab", "misbehavior", "parallel"],
+        &["tampering"],
         Heavy,
         exp_collab::e12_removal_table,
     );
@@ -206,6 +239,7 @@ pub fn registry() -> Registry {
         "e13-synergy",
         "§VIII — IDS multi-layer synergy",
         &["ids", "campaign", "parallel"],
+        &[],
         Heavy,
         exp_ids::e13_synergy_table,
     );
@@ -214,6 +248,7 @@ pub fn registry() -> Registry {
         "e14-fault-sweep",
         "§VIII — fault-sweep resilience curves",
         &["faults", "resilience", "parallel"],
+        &[],
         Heavy,
         exp_faults::e14_fault_sweep_table,
     );
@@ -222,6 +257,7 @@ pub fn registry() -> Registry {
         "e15-recovery",
         "§VIII — self-healing recovery and MTTR",
         &["faults", "recovery", "campaign", "parallel"],
+        &[],
         Heavy,
         exp_faults::e15_recovery_table,
     );
@@ -230,6 +266,7 @@ pub fn registry() -> Registry {
         "e16-planner",
         "§VIII — adaptive attack planner vs static replay",
         &["adversary", "campaign", "parallel"],
+        &[],
         Heavy,
         exp_adversary::e16_planner_table,
     );
@@ -238,6 +275,7 @@ pub fn registry() -> Registry {
         "e17-defense-frontier",
         "§VIII — greedy defense-budget frontier",
         &["adversary", "defense", "parallel"],
+        &[],
         Heavy,
         exp_adversary::e17_defense_frontier_table,
     );
@@ -246,6 +284,7 @@ pub fn registry() -> Registry {
         "e18-harness-resilience",
         "§VIII — harness resilience under injected trial panics",
         &["harness", "resilience", "parallel"],
+        &[],
         Moderate,
         exp_harness::e18_harness_resilience_table,
     );
@@ -254,6 +293,7 @@ pub fn registry() -> Registry {
         "e19-fleet-epidemic",
         "§VIII — live-fleet epidemic spread vs defense depth",
         &["fleet", "epidemic", "campaign", "parallel"],
+        &[],
         Heavy,
         exp_fleet::e19_epidemic_table,
     );
@@ -262,6 +302,7 @@ pub fn registry() -> Registry {
         "e20-fleet-availability",
         "§VIII — live-fleet availability and MTTR under combined load",
         &["fleet", "availability", "recovery", "parallel"],
+        &[],
         Heavy,
         exp_fleet::e20_availability_table,
     );
@@ -270,6 +311,7 @@ pub fn registry() -> Registry {
         "e21-fidelity-drift",
         "§VIII — calibrated-vs-live fidelity drift (two-tier scenario engine)",
         &["fleet", "fidelity", "calibration", "parallel"],
+        &[],
         Heavy,
         exp_fleet::e21_fidelity_table,
     );
@@ -278,6 +320,7 @@ pub fn registry() -> Registry {
         "e22-selfplay-tournament",
         "§VIII — self-play tournament: adaptive attacker vs closed-loop defender",
         &["adversary", "selfplay", "defense", "parallel"],
+        &[],
         Heavy,
         exp_selfplay::e22_tournament_table,
     );
@@ -286,14 +329,47 @@ pub fn registry() -> Registry {
         "e23-closed-vs-static",
         "§VIII — closed-loop defender vs static greedy frontier at equal cost",
         &["adversary", "selfplay", "defense", "parallel"],
+        &[],
         Heavy,
         exp_selfplay::e23_equal_cost_table,
+    );
+    reg(
+        "E24",
+        "e24-scengen-sweep",
+        "§VIII — generated-campaign sweep over the defense-depth ladder",
+        &["scengen", "campaign", "generative", "parallel"],
+        &[
+            "spoofing",
+            "tampering",
+            "denial-of-service",
+            "info-disclosure",
+            "elevation-of-privilege",
+        ],
+        Heavy,
+        exp_scengen::e24_scengen_sweep_table,
+    );
+    reg(
+        "E25",
+        "e25-coverage-matrix",
+        "§VIII — STRIDE×layer coverage matrix of the generated scenario pool",
+        &["scengen", "coverage", "generative"],
+        &[
+            "spoofing",
+            "tampering",
+            "repudiation",
+            "info-disclosure",
+            "denial-of-service",
+            "elevation-of-privilege",
+        ],
+        Moderate,
+        exp_scengen::e25_coverage_matrix_table,
     );
     reg(
         "A1",
         "a1-hrp-threshold",
         "Ablation — HRP integrity threshold sweep",
         &["ablation", "phy", "parallel"],
+        &[],
         Moderate,
         exp_ablations::a1_hrp_threshold_table,
     );
@@ -302,6 +378,7 @@ pub fn registry() -> Registry {
         "a2-secoc-truncation",
         "Ablation — SecOC MAC truncation",
         &["ablation", "ivn"],
+        &[],
         Moderate,
         |_| exp_ablations::a2_secoc_truncation_table(),
     );
@@ -310,6 +387,7 @@ pub fn registry() -> Registry {
         "a3-canal-mtu",
         "Ablation — CANAL MTU sweep",
         &["ablation", "ivn"],
+        &[],
         Moderate,
         |_| exp_ablations::a3_canal_mtu_table(),
     );
@@ -318,6 +396,7 @@ pub fn registry() -> Registry {
         "a4-seemqtt",
         "Ablation — SeeMQTT trust chain",
         &["ablation", "protocols"],
+        &[],
         Moderate,
         |_| exp_ablations::a4_seemqtt_table(),
     );
@@ -326,6 +405,7 @@ pub fn registry() -> Registry {
         "a5-vrange",
         "Ablation — V-Range defense sweep",
         &["ablation", "phy", "parallel"],
+        &[],
         Moderate,
         exp_ablations::a5_vrange_table,
     );
@@ -338,6 +418,7 @@ pub fn registry() -> Registry {
             "x0-chaos",
             "hidden chaos probe (AUTOSEC_CHAOS: panic | sleep:<ms> | ok)",
             &["chaos"],
+            &[],
             Cheap,
             exp_harness::x0_chaos_table,
         );
@@ -359,15 +440,15 @@ mod tests {
     #[test]
     fn registry_covers_all_groups() {
         let r = registry();
-        // 36 normally; +1 when a chaos-probe env var leaks into the
+        // 38 normally; +1 when a chaos-probe env var leaks into the
         // test environment.
         let chaos = std::env::var("AUTOSEC_CHAOS").is_ok() as usize;
-        assert_eq!(r.len(), 36 + chaos);
+        assert_eq!(r.len(), 38 + chaos);
         let ids = r.group_ids();
         for want in [
             "E1", "E2", "E2b", "E3", "E4", "E5-E7", "E8", "E8b", "E9", "E10", "E11", "E12", "E13",
-            "E14", "E15", "E16", "E17", "E18", "E19", "E20", "E21", "E22", "E23", "A1", "A2", "A3",
-            "A4", "A5",
+            "E14", "E15", "E16", "E17", "E18", "E19", "E20", "E21", "E22", "E23", "E24", "E25",
+            "A1", "A2", "A3", "A4", "A5",
         ] {
             assert!(ids.contains(&want), "missing group {want}");
         }

@@ -221,7 +221,7 @@ mod tests {
     #[test]
     fn undefended_vehicle_loses_everywhere() {
         let r = run_campaign(&DefensePosture::none(), 1);
-        assert_eq!(r.total_attacks(), 8);
+        assert_eq!(r.total_attacks(), 9);
         assert!(
             r.succeeded_attacks() >= 7,
             "{} of {} succeeded",

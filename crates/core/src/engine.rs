@@ -397,6 +397,66 @@ mod tests {
     }
 
     #[test]
+    fn never_calibrated_postures_resolve_by_layer_toggle() {
+        // A two-posture {none, full} table queried with all 62 mixed
+        // postures it never saw: every lookup must land on the column
+        // that agrees with the step's own layer toggle — generated
+        // campaigns walk arbitrary postures, so this fallback is their
+        // hot path.
+        let t = StepOutcomeTable::calibrate(
+            &[DefensePosture::none(), DefensePosture::full()],
+            4,
+            1,
+            &SimRng::seed(21).fork("fallback"),
+        );
+        for bits in 1..63u8 {
+            let mut p = DefensePosture::none();
+            for (i, layer) in ArchLayer::ALL.iter().enumerate() {
+                p.set(*layer, bits & (1 << i) != 0);
+            }
+            assert!(t.covers(&p), "bits {bits:#b}");
+            for (i, row) in t.steps().iter().enumerate() {
+                let want = if p.enabled(row.layer) { 1 } else { 0 };
+                assert_eq!(
+                    t.stats_for(i, &p),
+                    row.by_posture[want],
+                    "{} under bits {bits:#b}",
+                    row.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fallback_prefers_the_deepest_agreeing_posture() {
+        // Ladder {none, depth(2), full}: an off-ladder posture that
+        // defends a step's layer must read the *deepest* agreeing
+        // column (rposition), not the first one.
+        let ladder = [
+            DefensePosture::none(),
+            DefensePosture::depth(2),
+            DefensePosture::full(),
+        ];
+        let t = StepOutcomeTable::calibrate(&ladder, 4, 1, &SimRng::seed(22).fork("deepest"));
+        for (i, row) in t.steps().iter().enumerate() {
+            // Defended toggle: full() is always the deepest agreement.
+            let only = DefensePosture::only(row.layer);
+            assert_eq!(t.stats_for(i, &only), row.by_posture[2], "{}", row.name);
+            // Undefended toggle: depth(2) outranks none() whenever it
+            // leaves this layer off.
+            let mut all_but = DefensePosture::full();
+            all_but.set(row.layer, false);
+            let expect = if ladder[1].enabled(row.layer) { 0 } else { 1 };
+            assert_eq!(
+                t.stats_for(i, &all_but),
+                row.by_posture[expect],
+                "{}",
+                row.name
+            );
+        }
+    }
+
+    #[test]
     fn depth_ladder_covers_any_posture() {
         let t = depth_table(1);
         // The ladder spans none..full, so both toggle values exist for

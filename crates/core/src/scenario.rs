@@ -3,9 +3,12 @@
 //! Each attack of the §VIII campaign is a [`ScenarioStep`]: a named,
 //! layer-tagged unit that executes the *actual* subsystem models from
 //! the workbench crates against a [`PostureCtx`] and reports a
-//! [`StepOutcome`]. [`scenario_registry`] collects the eight steps of
-//! the paper's campaign in execution order; `run_campaign` is a thin
-//! driver over it, and new steps plug in without touching the driver.
+//! [`StepOutcome`]. [`scenario_registry`] collects the steps of the
+//! paper's campaign in execution order — one per architectural layer
+//! at minimum — `run_campaign` is a thin driver over it, and new steps
+//! plug in without touching the driver. Each step also carries a
+//! [`Stride`] threat class so the scenario generator
+//! (`autosec-scengen`) can report STRIDE×layer coverage.
 //!
 //! Every step name must appear in [`crate::layers::attack_catalog`] on
 //! the step's layer — the registry/catalog consistency test keeps the
@@ -26,7 +29,9 @@ use autosec_phy::collision::{CollisionAvoidance, CollisionScenario, VehicleActio
 use autosec_phy::pkes::{Pkes, PkesState, ProximityBackend};
 use autosec_secproto::secoc::{SecOcAuthenticator, SecOcConfig, SecOcPdu};
 use autosec_sim::inject::ChannelFault;
-use autosec_sim::{ArchLayer, FaultEffect, SimDuration, SimRng, SimTime};
+use autosec_sim::{ArchLayer, FaultEffect, SimDuration, SimRng, SimTime, Stride};
+use autosec_sos::cascade::{cascade_trial, with_coupling_scale};
+use autosec_sos::reference::maas_reference;
 
 use crate::campaign::DefensePosture;
 
@@ -112,6 +117,11 @@ pub trait ScenarioStep: Send + Sync {
     /// The layer this step attacks.
     fn layer(&self) -> ArchLayer;
 
+    /// The STRIDE threat class this step realises. Together with
+    /// [`ScenarioStep::layer`] this places the step in one cell of the
+    /// STRIDE×layer coverage matrix the generator reports.
+    fn stride(&self) -> Stride;
+
     /// Label of the RNG substream the driver forks for this step.
     ///
     /// Defaults to [`ScenarioStep::name`]; the original eight steps
@@ -125,7 +135,9 @@ pub trait ScenarioStep: Send + Sync {
     fn execute(&self, ctx: &PostureCtx<'_>, rng: &mut SimRng) -> StepOutcome;
 }
 
-/// The eight steps of the paper's campaign, in execution order.
+/// The steps of the paper's campaign, in execution order: the original
+/// eight plus the system-of-systems breach cascade, so every
+/// `ArchLayer` variant has at least one executable step.
 pub fn scenario_registry() -> Vec<Box<dyn ScenarioStep>> {
     vec![
         Box::new(PkesRelayStep),
@@ -135,6 +147,7 @@ pub fn scenario_registry() -> Vec<Box<dyn ScenarioStep>> {
         Box::new(PduForgeryStep),
         Box::new(RogueSoftwareStep),
         Box::new(TelemetryKillChainStep),
+        Box::new(BreachCascadeStep),
         Box::new(GhostObjectStep),
     ]
 }
@@ -148,6 +161,9 @@ impl ScenarioStep for PkesRelayStep {
     }
     fn layer(&self) -> ArchLayer {
         ArchLayer::Physical
+    }
+    fn stride(&self) -> Stride {
+        Stride::Spoofing
     }
     fn rng_label(&self) -> &'static str {
         "pkes"
@@ -191,6 +207,9 @@ impl ScenarioStep for DistanceEnlargementStep {
     fn layer(&self) -> ArchLayer {
         ArchLayer::Physical
     }
+    fn stride(&self) -> Stride {
+        Stride::Tampering
+    }
     fn rng_label(&self) -> &'static str {
         "enlargement"
     }
@@ -224,6 +243,9 @@ impl ScenarioStep for CanMasqueradeStep {
     }
     fn layer(&self) -> ArchLayer {
         ArchLayer::Network
+    }
+    fn stride(&self) -> Stride {
+        Stride::Spoofing
     }
     fn rng_label(&self) -> &'static str {
         "masquerade"
@@ -284,6 +306,9 @@ impl ScenarioStep for CanFloodStep {
     }
     fn layer(&self) -> ArchLayer {
         ArchLayer::Network
+    }
+    fn stride(&self) -> Stride {
+        Stride::DenialOfService
     }
     fn rng_label(&self) -> &'static str {
         "flood"
@@ -373,6 +398,9 @@ impl ScenarioStep for PduForgeryStep {
     fn layer(&self) -> ArchLayer {
         ArchLayer::Network
     }
+    fn stride(&self) -> Stride {
+        Stride::Tampering
+    }
     fn rng_label(&self) -> &'static str {
         "secoc-forgery"
     }
@@ -417,6 +445,9 @@ impl ScenarioStep for RogueSoftwareStep {
     }
     fn layer(&self) -> ArchLayer {
         ArchLayer::SoftwarePlatform
+    }
+    fn stride(&self) -> Stride {
+        Stride::ElevationOfPrivilege
     }
     fn rng_label(&self) -> &'static str {
         "sdv"
@@ -483,6 +514,9 @@ impl ScenarioStep for TelemetryKillChainStep {
     fn layer(&self) -> ArchLayer {
         ArchLayer::Data
     }
+    fn stride(&self) -> Stride {
+        Stride::InformationDisclosure
+    }
     fn rng_label(&self) -> &'static str {
         "killchain"
     }
@@ -503,7 +537,52 @@ impl ScenarioStep for TelemetryKillChainStep {
     }
 }
 
-/// Step 7 (Collaboration): internal ghost object vs misbehaviour
+/// Step 7 (System of systems): a vehicle-OS breach cascading through
+/// the MaaS dependency graph toward a safety-critical node.
+///
+/// Defending the SoS layer swaps the tightly coupled reference graph
+/// for its decoupled variant (coupling probabilities halved), the same
+/// mitigation the E10 cascade experiment measures. Compromise of the
+/// SoS layer is only observable through downstream loss, so this step
+/// never raises an alert — the monitoring gap §VI calls out.
+pub struct BreachCascadeStep;
+
+impl ScenarioStep for BreachCascadeStep {
+    fn name(&self) -> &'static str {
+        "breach-cascade"
+    }
+    fn layer(&self) -> ArchLayer {
+        ArchLayer::SystemOfSystems
+    }
+    fn stride(&self) -> Stride {
+        Stride::DenialOfService
+    }
+    fn rng_label(&self) -> &'static str {
+        "cascade"
+    }
+    fn execute(&self, ctx: &PostureCtx<'_>, rng: &mut SimRng) -> StepOutcome {
+        let reference = maas_reference();
+        let graph = if ctx.defended(ArchLayer::SystemOfSystems) {
+            with_coupling_scale(&reference, 0.5)
+        } else {
+            reference
+        };
+        let entry = graph.find("vehicle-os").expect("reference graph node");
+        let mask = cascade_trial(&graph, entry, rng);
+        let safety_hit = ["braking", "steering", "act"]
+            .iter()
+            .filter_map(|n| graph.find(n))
+            .any(|id| mask[id.0]);
+        StepOutcome {
+            succeeded: safety_hit,
+            prevented: false,
+            detected: false,
+            detail: "",
+        }
+    }
+}
+
+/// Step 8 (Collaboration): internal ghost object vs misbehaviour
 /// detection.
 pub struct GhostObjectStep;
 
@@ -513,6 +592,9 @@ impl ScenarioStep for GhostObjectStep {
     }
     fn layer(&self) -> ArchLayer {
         ArchLayer::Collaboration
+    }
+    fn stride(&self) -> Stride {
+        Stride::Spoofing
     }
     fn rng_label(&self) -> &'static str {
         "collab"
@@ -576,13 +658,33 @@ mod tests {
     use crate::layers::attack_catalog;
 
     #[test]
-    fn registry_has_the_eight_campaign_steps() {
+    fn registry_has_the_nine_campaign_steps() {
         let steps = scenario_registry();
-        assert!(steps.len() >= 8, "{} steps", steps.len());
+        assert!(steps.len() >= 9, "{} steps", steps.len());
         let mut names: Vec<&str> = steps.iter().map(|s| s.name()).collect();
         names.sort_unstable();
         names.dedup();
         assert_eq!(names.len(), steps.len(), "duplicate step names");
+    }
+
+    #[test]
+    fn registry_is_exhaustive_over_layers_with_unique_substreams() {
+        let steps = scenario_registry();
+        for layer in ArchLayer::ALL {
+            assert!(
+                steps.iter().any(|s| s.layer() == layer),
+                "no registered step attacks the {layer} layer"
+            );
+        }
+        let mut labels: Vec<&str> = steps.iter().map(|s| s.rng_label()).collect();
+        labels.sort_unstable();
+        let n = labels.len();
+        labels.dedup();
+        assert_eq!(
+            labels.len(),
+            n,
+            "duplicate rng_label would alias substreams"
+        );
     }
 
     #[test]

@@ -53,6 +53,7 @@
 
 use std::time::{Duration, Instant};
 
+use autosec_adversary::graph::CapabilitySet;
 use autosec_adversary::{calibrated_graph, AttackGraph, CalibrationConfig, EdgeSource, ProbPoint};
 use autosec_core::campaign::DefensePosture;
 use autosec_core::engine::{LiveScenarioEngine, ScenarioEngine, StepOutcomeTable};
@@ -61,6 +62,7 @@ use autosec_faults::{detector_for, target_for, FaultPlan};
 use autosec_ids::response::{ResponseAction, ResponseEngine};
 use autosec_ids::Alert;
 use autosec_runner::{silence_panics, strip_volatile};
+use autosec_scengen::{generate, GenConfig, GeneratedCampaign};
 use autosec_sim::{ArchLayer, FaultEffect, SimDuration, SimRng, SimTime};
 use rand::RngCore as _;
 use serde_json::{json, Value};
@@ -131,6 +133,49 @@ impl Fidelity {
     }
 }
 
+/// Maximum steps per generated campaign in fleet runs.
+const GENERATED_MAX_LEN: usize = 6;
+
+/// Where the fleet's direct attack pressure comes from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CampaignMode {
+    /// The fixed registry: each attack resolves one uniformly drawn
+    /// [`ScenarioStep`](autosec_core::scenario::ScenarioStep) through
+    /// the run's fidelity tier.
+    Fixed,
+    /// Each attack replays one of `count` generated multi-step
+    /// campaigns (composed from the run's own calibrated graph by
+    /// `autosec-scengen`, seeded by the fleet seed), walked against
+    /// the in-force posture with per-vehicle draws only.
+    Generated {
+        /// Size of the generated campaign pool. Must be positive.
+        count: usize,
+    },
+}
+
+impl CampaignMode {
+    /// Stable label for artifacts and the CLI: `fixed` or
+    /// `generated:N`.
+    pub fn label(&self) -> String {
+        match self {
+            CampaignMode::Fixed => "fixed".to_owned(),
+            CampaignMode::Generated { count } => format!("generated:{count}"),
+        }
+    }
+
+    /// Parses a CLI label (the inverse of [`CampaignMode::label`]).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "fixed" => Some(CampaignMode::Fixed),
+            _ => s
+                .strip_prefix("generated:")
+                .and_then(|n| n.parse::<usize>().ok())
+                .filter(|&n| n > 0)
+                .map(|count| CampaignMode::Generated { count }),
+        }
+    }
+}
+
 /// A complete fleet-run parameterization.
 #[derive(Debug, Clone)]
 pub struct FleetConfig {
@@ -150,6 +195,8 @@ pub struct FleetConfig {
     pub posture: DefensePosture,
     /// How direct attacks are resolved (see [`Fidelity`]).
     pub fidelity: Fidelity,
+    /// Where direct attack pressure comes from (see [`CampaignMode`]).
+    pub campaign: CampaignMode,
     /// Per-vehicle per-tick probability of a direct scenario-step
     /// attack.
     pub attack_rate: f64,
@@ -188,6 +235,7 @@ impl Default for FleetConfig {
             snapshot_every: 0,
             posture: DefensePosture::full(),
             fidelity: Fidelity::Calibrated,
+            campaign: CampaignMode::Fixed,
             attack_rate: 5e-4,
             infection_beta: 0.35,
             fault_exposure: 0.01,
@@ -239,6 +287,14 @@ impl FleetConfig {
             if let Value::Object(map) = &mut v {
                 map.insert("defender".to_owned(), json!(self.defender.label()));
                 map.insert("defender_budget".to_owned(), json!(self.defender_budget));
+            }
+        }
+        // Like the defender keys: present only off the default, so
+        // fixed-campaign artifacts stay byte-identical to pre-scengen
+        // runs.
+        if self.campaign != CampaignMode::Fixed {
+            if let Value::Object(map) = &mut v {
+                map.insert("campaign".to_owned(), json!(self.campaign.label()));
             }
         }
         v
@@ -415,6 +471,9 @@ struct StepEnv<'a> {
     engine: &'a dyn ScenarioEngine,
     /// Present in mixed fidelity only.
     probe: Option<ProbeEnv<'a>>,
+    /// Present in generated-campaign mode only: the graph the walks
+    /// replay over and the generated pool.
+    generated: Option<(&'a AttackGraph, &'a [GeneratedCampaign])>,
     /// The posture in force this tick (the configured posture unless a
     /// defender hardened layers).
     posture: DefensePosture,
@@ -467,43 +526,83 @@ fn step_vehicle(
                     });
                 }
             }
-            // Rare direct attack, resolved by the run's fidelity tier.
+            // Rare direct attack. Generated-campaign mode walks one
+            // composed multi-step campaign against the in-force
+            // posture — per-vehicle draws only, no fidelity engine, so
+            // snapshots are identical across fidelity modes and shard
+            // counts by the same argument as every other vehicle draw.
             if env.cfg.attack_rate > 0.0 && cols.rng[i].chance(env.cfg.attack_rate) {
-                out.counters.attacks_attempted += 1;
-                let idx = (cols.rng[i].next_u64() % env.engine.step_count() as u64) as usize;
-                let layer = env.engine.step_layer(idx);
-                let ctx = PostureCtx {
-                    posture: &env.posture,
-                    faults: &inputs.active_faults[layer_index(layer)],
-                };
-                let outcome = env.engine.resolve(idx, &ctx, &mut cols.rng[i]);
-                // Mixed fidelity: shadow this resolution with a live
-                // replay on the drift stream. The shadow never touches
-                // vehicle state or its RNG — snapshots stay identical
-                // to pure calibrated mode.
-                if let Some(probe) = &env.probe {
-                    let id = u64::from(cols.id(i));
-                    if (id + inputs.tick).is_multiple_of(probe.every) {
-                        let mut stream = probe.base.fork_idx(id).fork_idx(inputs.tick);
-                        let live_out = probe.live.resolve(idx, &ctx, &mut stream);
-                        out.drift.record(
-                            (outcome.succeeded, outcome.detected),
-                            (live_out.succeeded, live_out.detected),
-                        );
+                if let Some((graph, pool)) = env.generated {
+                    out.counters.attacks_attempted += 1;
+                    let si = (cols.rng[i].next_u64() % pool.len() as u64) as usize;
+                    let campaign = &pool[si];
+                    let goal = campaign.goal(graph);
+                    let mut owned = CapabilitySet::start();
+                    let mut alerted = false;
+                    for &ei in &campaign.edges {
+                        let edge = &graph.edges()[ei];
+                        let p = edge.prob(&env.posture);
+                        let attempted = owned.contains(edge.from);
+                        // CRN discipline: both draws always happen, so
+                        // the draw count is posture-independent.
+                        let succeeded = cols.rng[i].chance(p.success);
+                        let detected = cols.rng[i].chance(p.detect);
+                        if attempted && succeeded {
+                            owned.insert(edge.to);
+                        }
+                        if attempted && detected {
+                            alerted = true;
+                            out.alerts.push(PendingAlert {
+                                vehicle: cols.id(i),
+                                detector: detector_for(edge.layer),
+                                layer: edge.layer,
+                                kind: AlertKind::Attack,
+                            });
+                        }
                     }
-                }
-                if outcome.succeeded {
-                    out.counters.attacks_succeeded += 1;
-                    cols.compromise(i, inputs.tick, layer);
-                    cols.flagged[i] = outcome.detected;
-                }
-                if outcome.detected {
-                    out.alerts.push(PendingAlert {
-                        vehicle: cols.id(i),
-                        detector: detector_for(layer),
-                        layer,
-                        kind: AlertKind::Attack,
-                    });
+                    if owned.contains(goal) {
+                        out.counters.attacks_succeeded += 1;
+                        let last = *campaign.edges.last().expect("non-empty");
+                        cols.compromise(i, inputs.tick, graph.edges()[last].layer);
+                        cols.flagged[i] = alerted;
+                    }
+                } else {
+                    out.counters.attacks_attempted += 1;
+                    let idx = (cols.rng[i].next_u64() % env.engine.step_count() as u64) as usize;
+                    let layer = env.engine.step_layer(idx);
+                    let ctx = PostureCtx {
+                        posture: &env.posture,
+                        faults: &inputs.active_faults[layer_index(layer)],
+                    };
+                    let outcome = env.engine.resolve(idx, &ctx, &mut cols.rng[i]);
+                    // Mixed fidelity: shadow this resolution with a
+                    // live replay on the drift stream. The shadow never
+                    // touches vehicle state or its RNG — snapshots stay
+                    // identical to pure calibrated mode.
+                    if let Some(probe) = &env.probe {
+                        let id = u64::from(cols.id(i));
+                        if (id + inputs.tick).is_multiple_of(probe.every) {
+                            let mut stream = probe.base.fork_idx(id).fork_idx(inputs.tick);
+                            let live_out = probe.live.resolve(idx, &ctx, &mut stream);
+                            out.drift.record(
+                                (outcome.succeeded, outcome.detected),
+                                (live_out.succeeded, live_out.detected),
+                            );
+                        }
+                    }
+                    if outcome.succeeded {
+                        out.counters.attacks_succeeded += 1;
+                        cols.compromise(i, inputs.tick, layer);
+                        cols.flagged[i] = outcome.detected;
+                    }
+                    if outcome.detected {
+                        out.alerts.push(PendingAlert {
+                            vehicle: cols.id(i),
+                            detector: detector_for(layer),
+                            layer,
+                            kind: AlertKind::Attack,
+                        });
+                    }
                 }
             }
             // Epidemic V2X infection from the compromised population.
@@ -595,6 +694,10 @@ pub struct FleetEngine {
     /// `(onset_tick, reference injection)` per fault spec, resolved
     /// once at construction on the `fleet/faults/ref` stream.
     onsets: Vec<(u64, FaultOnset)>,
+    /// Generated campaign pool (empty in [`CampaignMode::Fixed`]) — a
+    /// pure function of `(graph topology, seed, count)`, composed at
+    /// construction.
+    sequences: Vec<GeneratedCampaign>,
     /// The fleet-wide defense policy (inert unless configured active).
     defender: FleetDefender,
 }
@@ -718,6 +821,21 @@ impl FleetEngine {
                 (onset_tick(s.onset, cfg.tick_ms), onset)
             })
             .collect();
+        // Generated-campaign pool: composed from the run's own
+        // calibrated graph, seeded by the fleet seed (generation
+        // derives its own substreams — nothing here touches a fleet
+        // stream, so fixed-mode runs are unchanged bit for bit).
+        let sequences = match cfg.campaign {
+            CampaignMode::Fixed => Vec::new(),
+            CampaignMode::Generated { count } => {
+                let pool = generate(&graph, &GenConfig::new(count, GENERATED_MAX_LEN, cfg.seed));
+                assert!(
+                    !pool.is_empty(),
+                    "generated-campaign mode produced an empty pool"
+                );
+                pool
+            }
+        };
         Self {
             cfg,
             graph,
@@ -725,6 +843,7 @@ impl FleetEngine {
             state,
             plan,
             onsets,
+            sequences,
             defender,
         }
     }
@@ -738,6 +857,7 @@ impl FleetEngine {
             mut state,
             plan,
             onsets,
+            sequences,
             mut defender,
         } = self;
         let start = Instant::now();
@@ -778,6 +898,7 @@ impl FleetEngine {
                     base: drift_base.clone(),
                     every,
                 }),
+                generated: (!sequences.is_empty()).then_some((&graph, sequences.as_slice())),
                 posture,
                 epi,
                 // Bit-exact without a defender: monitor_boost() is
@@ -1154,6 +1275,47 @@ mod tests {
         }
         assert_eq!(Fidelity::parse("mixed:0"), None, "zero period is invalid");
         assert_eq!(Fidelity::parse("tables"), None);
+    }
+
+    #[test]
+    fn campaign_labels_round_trip() {
+        for c in [CampaignMode::Fixed, CampaignMode::Generated { count: 8 }] {
+            assert_eq!(CampaignMode::parse(&c.label()), Some(c));
+        }
+        assert_eq!(
+            CampaignMode::parse("generated:0"),
+            None,
+            "empty pool is invalid"
+        );
+        assert_eq!(CampaignMode::parse("generated"), None);
+        assert_eq!(CampaignMode::parse("scripted"), None);
+    }
+
+    #[test]
+    fn fixed_mode_config_json_is_unchanged() {
+        let cfg = tiny_cfg();
+        let v = cfg.to_json();
+        assert!(
+            !v.to_string().contains("campaign"),
+            "fixed-mode artifacts stay byte-identical to pre-campaign builds"
+        );
+        let mut cfg = tiny_cfg();
+        cfg.campaign = CampaignMode::Generated { count: 6 };
+        assert!(cfg.to_json().to_string().contains("\"generated:6\""));
+    }
+
+    #[test]
+    fn generated_mode_runs_deterministically() {
+        let mut cfg = tiny_cfg();
+        cfg.campaign = CampaignMode::Generated { count: 6 };
+        cfg.attack_rate = 0.05;
+        let a = FleetEngine::new(cfg.clone()).run();
+        let b = FleetEngine::new(cfg).run();
+        assert_eq!(
+            a.canonical_json().to_string(),
+            b.canonical_json().to_string()
+        );
+        assert!(a.totals().attacks_attempted > 0, "walkers fired");
     }
 
     #[test]

@@ -77,8 +77,8 @@ pub mod vehicle;
 
 pub use defender::{DefenderMode, FleetDefender, TickObservation, FLEET_PRIORITY};
 pub use engine::{
-    posture_label, DriftStats, FaultOnset, Fidelity, FleetConfig, FleetEngine, FleetReport,
-    TickInputs,
+    posture_label, CampaignMode, DriftStats, FaultOnset, Fidelity, FleetConfig, FleetEngine,
+    FleetReport, TickInputs,
 };
 pub use shard::{run_tick_sharded, ShardOutput};
 pub use snapshot::{Census, FleetSnapshot, FleetTotals};

@@ -57,6 +57,11 @@ pub struct Experiment {
     pub title: &'static str,
     /// Free-form tags, e.g. `["phy", "ranging"]`.
     pub tags: &'static [&'static str],
+    /// STRIDE classes the experiment exercises, as lowercase labels
+    /// (e.g. `["spoofing", "tampering"]`). Empty when the experiment
+    /// has no threat-class angle; drives the `stride:` filter and the
+    /// `--list` stride column.
+    pub strides: &'static [&'static str],
     /// Cost class.
     pub cost: Cost,
     run: RunFn,
@@ -77,9 +82,16 @@ impl Experiment {
             slug,
             title,
             tags,
+            strides: &[],
             cost,
             run: Box::new(run),
         }
+    }
+
+    /// Annotates the experiment with the STRIDE classes it exercises.
+    pub fn with_strides(mut self, strides: &'static [&'static str]) -> Self {
+        self.strides = strides;
+        self
     }
 
     /// Produces the table under the given context.
@@ -155,10 +167,12 @@ impl Registry {
     /// case-insensitively. Exact match only: `"E1"` selects E1 and
     /// never E10–E13.
     ///
-    /// Two pseudo-filter prefixes switch to other selection modes:
+    /// Three pseudo-filter prefixes switch to other selection modes:
     ///
     /// - `tag:<tag>` returns every experiment carrying that exact tag
     ///   (also case-insensitive).
+    /// - `stride:<class>` returns every experiment annotated with that
+    ///   STRIDE class label (e.g. `stride:spoofing`).
     /// - `failed:<dir-or-manifest>` re-selects the experiments a prior
     ///   run's manifest recorded as `failed` or `timed_out` (an empty
     ///   path reads the default artifact directory). An unreadable or
@@ -217,6 +231,9 @@ impl Registry {
         if let Some(tag) = filter.strip_prefix("tag:") {
             return e.tags.iter().any(|t| t.to_lowercase() == tag);
         }
+        if let Some(class) = filter.strip_prefix("stride:") {
+            return e.strides.iter().any(|s| s.to_lowercase() == class);
+        }
         e.id.to_lowercase() == filter || e.slug.to_lowercase() == filter
     }
 
@@ -254,8 +271,14 @@ mod tests {
 
     fn sample() -> Registry {
         let mut r = Registry::new();
-        r.register(dummy_tagged("E1", "e1-depth", &["campaign", "parallel"]));
-        r.register(dummy_tagged("E10", "e10-cascade", &["sos", "parallel"]));
+        r.register(
+            dummy_tagged("E1", "e1-depth", &["campaign", "parallel"])
+                .with_strides(&["spoofing", "tampering"]),
+        );
+        r.register(
+            dummy_tagged("E10", "e10-cascade", &["sos", "parallel"])
+                .with_strides(&["denial-of-service"]),
+        );
         r.register(dummy_tagged("E10", "e10-structure", &["sos"]));
         r
     }
@@ -289,6 +312,24 @@ mod tests {
         // The tag namespace never collides with ids/slugs.
         assert!(r.select("tag:e1-depth").is_empty());
         assert_eq!(r.select("e1-depth").len(), 1);
+    }
+
+    #[test]
+    fn stride_prefix_selects_by_class() {
+        let r = sample();
+        assert_eq!(r.select("stride:spoofing").len(), 1);
+        assert_eq!(r.select("stride:tampering").len(), 1);
+        assert_eq!(r.select("stride:denial-of-service").len(), 1);
+        assert_eq!(r.select("STRIDE:SPOOFING").len(), 1, "case-insensitive");
+        assert!(r.select("stride:repudiation").is_empty());
+        // Unannotated experiments never match any stride filter.
+        assert!(r
+            .select("stride:spoofing")
+            .iter()
+            .all(|e| e.slug != "e10-structure"));
+        // The stride namespace never collides with tags.
+        assert!(r.select("stride:parallel").is_empty());
+        assert!(r.select("tag:spoofing").is_empty());
     }
 
     #[test]

@@ -28,6 +28,7 @@ pub mod metrics;
 pub mod rng;
 pub mod scheduler;
 pub mod stats;
+pub mod stride;
 pub mod time;
 pub mod trace;
 
@@ -37,5 +38,6 @@ pub use metrics::{Counter, Histogram, MetricSet, TimeSeries};
 pub use rng::SimRng;
 pub use scheduler::Scheduler;
 pub use stats::{ci95_halfwidth, mean, percentile, stddev, RunningStats, Summary};
+pub use stride::Stride;
 pub use time::{SimDuration, SimTime};
 pub use trace::{TraceEvent, TraceLevel, Tracer};

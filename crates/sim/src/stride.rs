@@ -1,0 +1,106 @@
+//! STRIDE threat classification — the one threat-class enum shared by
+//! every crate in the workspace.
+//!
+//! Each registered `ScenarioStep` and every attack-graph edge carries
+//! exactly one STRIDE class so the scenario generator can report a
+//! STRIDE×layer coverage matrix instead of an anecdotal catalog. The
+//! enum lives in `autosec-sim` (the base crate) for the same reason
+//! [`ArchLayer`](crate::ArchLayer) does: both the framework and the
+//! adversary crates need the vocabulary without a lossy mapping.
+
+use std::fmt;
+
+/// The six STRIDE threat classes (Spoofing, Tampering, Repudiation,
+/// Information disclosure, Denial of service, Elevation of privilege).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Stride {
+    /// Pretending to be another principal (relay, masquerade, ghosts).
+    Spoofing,
+    /// Unauthorized modification of data or signals in flight.
+    Tampering,
+    /// Acting without an attributable audit trail.
+    Repudiation,
+    /// Exfiltration or exposure of data that should stay private.
+    InformationDisclosure,
+    /// Degrading or removing availability of a service.
+    DenialOfService,
+    /// Gaining authority beyond what was granted.
+    ElevationOfPrivilege,
+}
+
+impl Stride {
+    /// All classes in canonical STRIDE order.
+    pub const ALL: [Stride; 6] = [
+        Stride::Spoofing,
+        Stride::Tampering,
+        Stride::Repudiation,
+        Stride::InformationDisclosure,
+        Stride::DenialOfService,
+        Stride::ElevationOfPrivilege,
+    ];
+
+    /// Stable kebab-case label used in artifacts and CLI filters.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Stride::Spoofing => "spoofing",
+            Stride::Tampering => "tampering",
+            Stride::Repudiation => "repudiation",
+            Stride::InformationDisclosure => "info-disclosure",
+            Stride::DenialOfService => "denial-of-service",
+            Stride::ElevationOfPrivilege => "elevation-of-privilege",
+        }
+    }
+
+    /// Parse a label back into a class. Accepts the canonical labels
+    /// plus the common single-letter STRIDE mnemonics.
+    pub fn parse(s: &str) -> Option<Stride> {
+        match s.to_ascii_lowercase().as_str() {
+            "spoofing" | "s" => Some(Stride::Spoofing),
+            "tampering" | "t" => Some(Stride::Tampering),
+            "repudiation" | "r" => Some(Stride::Repudiation),
+            "info-disclosure" | "information-disclosure" | "i" => {
+                Some(Stride::InformationDisclosure)
+            }
+            "denial-of-service" | "dos" | "d" => Some(Stride::DenialOfService),
+            "elevation-of-privilege" | "eop" | "e" => Some(Stride::ElevationOfPrivilege),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Stride {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn six_classes_in_order() {
+        assert_eq!(Stride::ALL.len(), 6);
+        assert!(Stride::Spoofing < Stride::ElevationOfPrivilege);
+    }
+
+    #[test]
+    fn labels_round_trip() {
+        for s in Stride::ALL {
+            assert_eq!(Stride::parse(s.label()), Some(s));
+            assert_eq!(s.to_string(), s.label());
+        }
+    }
+
+    #[test]
+    fn mnemonics_and_aliases_parse() {
+        assert_eq!(Stride::parse("S"), Some(Stride::Spoofing));
+        assert_eq!(Stride::parse("dos"), Some(Stride::DenialOfService));
+        assert_eq!(Stride::parse("eop"), Some(Stride::ElevationOfPrivilege));
+        assert_eq!(
+            Stride::parse("information-disclosure"),
+            Some(Stride::InformationDisclosure)
+        );
+        assert_eq!(Stride::parse("bogus"), None);
+    }
+}
