@@ -42,15 +42,35 @@
 //! experiments produce bit-identical artifacts to a clean run.
 //! `--resume` re-reads the prior manifest and re-runs only failures
 //! and gaps for the same `(seed, trials-scale, filter set)`.
+//!
+//! Process isolation: `--isolate on` executes each entry in a spawned
+//! child process (this binary re-invoked with the hidden
+//! `--worker-one <slug>` mode), so a deadline SIGKILLs the child for
+//! real and per-experiment budgets become enforceable —
+//! `--rss-limit-mb` caps peak resident set, `--cpu-limit-secs` caps
+//! CPU time (default: the cost-derived deadline × jobs). Violations
+//! are recorded as `oom_killed` / `cpu_exceeded` manifest statuses.
+//! `--isolate auto` (the default) switches isolation on exactly when
+//! a budget flag is present. `--retries N` re-runs any failed entry up
+//! to N extra times with exponential backoff jittered from the run's
+//! own seeded substream — the schedule is deterministic and
+//! jobs-invariant. Healthy artifacts are bit-identical between
+//! `--isolate on` and `off`.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::Path;
 use std::process::ExitCode;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use autosec_adversary::{calibrated_graph, CalibrationConfig};
 use autosec_bench::{registry, ArtifactStore, RunCtx, RunManifest};
 use autosec_core::campaign::DefensePosture;
 use autosec_fleet::{CampaignMode, DefenderMode, Fidelity, FleetConfig, FleetEngine};
-use autosec_runner::{run_suite, ResumeState, RunStatus, SuiteOptions, DEFAULT_ARTIFACT_DIR};
+use autosec_runner::{
+    apply_worker_rlimits, panic_message, run_suite, silence_panics, worker_failure_path,
+    ExperimentRecord, IsolateMode, Isolation, ResourceBudgets, ResumeState, RunStatus,
+    SuiteOptions, WorkerSpec, DEFAULT_ARTIFACT_DIR,
+};
 use autosec_scengen::{evaluate_campaign, generate, CoverageMatrix, GenConfig};
 use autosec_sim::{ArchLayer, SimRng, Stride};
 use serde_json::{json, Value};
@@ -67,11 +87,19 @@ struct Args {
     deadline_secs: Option<u64>,
     resume: bool,
     out: String,
+    isolate: IsolateMode,
+    retries: u32,
+    rss_limit_mb: Option<u64>,
+    cpu_limit_secs: Option<u64>,
+    /// Hidden worker mode: run exactly one experiment and hand the
+    /// artifact back through `--out` (set by the supervising parent,
+    /// never by hand).
+    worker_one: Option<String>,
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: experiments [FILTER...] [--filter F] [--seed N] [--jobs N] [--trials-scale F] [--json] [--canonical] [--keep-going] [--deadline-secs N] [--resume] [--out DIR] [--list]
+        "usage: experiments [FILTER...] [--filter F] [--seed N] [--jobs N] [--trials-scale F] [--json] [--canonical] [--keep-going] [--retries N] [--deadline-secs N] [--isolate on|off|auto] [--rss-limit-mb N] [--cpu-limit-secs N] [--resume] [--out DIR] [--list]
        experiments fleet [...]   (live-fleet service mode; see `fleet --help`)
        experiments generate [...] (generative scenario composer; see `generate --help`)
 
@@ -101,6 +129,24 @@ fn usage() -> ! {
   --deadline-secs N
                 soft per-experiment deadline replacing the cost-derived
                 defaults (cheap 30s / moderate 120s / heavy 600s)
+  --isolate on|off|auto
+                on: run each experiment in a supervised child process —
+                a deadline SIGKILLs it for real and resource budgets are
+                enforced. off: in-process threads (overtime workers are
+                detached, flagged overtime_detached in the manifest).
+                auto (default): on iff a budget flag is given
+  --rss-limit-mb N
+                kill a worker child whose peak resident set crosses N
+                MiB (manifest status oom_killed); implies isolation
+                under --isolate auto
+  --cpu-limit-secs N
+                kill a worker child whose CPU time crosses N seconds
+                (manifest status cpu_exceeded); default under
+                --isolate on: the cost-derived deadline x --jobs
+  --retries N   re-run a failed/timed-out/killed experiment up to N
+                extra times, with exponential backoff jittered from the
+                run's seeded substream (deterministic, jobs-invariant);
+                the manifest records the attempt count
   --resume      skip experiments whose artifact a prior manifest in the
                 --out dir already covers for the same (seed,
                 trials-scale, filter set); re-runs failures and gaps.
@@ -124,6 +170,11 @@ fn parse_args() -> Args {
         deadline_secs: None,
         resume: false,
         out: DEFAULT_ARTIFACT_DIR.to_owned(),
+        isolate: IsolateMode::Auto,
+        retries: 0,
+        rss_limit_mb: None,
+        cpu_limit_secs: None,
+        worker_one: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -167,6 +218,37 @@ fn parse_args() -> Args {
                     usage()
                 }));
             }
+            "--isolate" => {
+                let v = value("--isolate");
+                args.isolate = IsolateMode::parse(&v).unwrap_or_else(|| {
+                    eprintln!("invalid --isolate {v:?}: expected on, off or auto");
+                    usage()
+                });
+            }
+            "--retries" => {
+                let v = value("--retries");
+                args.retries = v.parse().unwrap_or_else(|_| {
+                    eprintln!("invalid --retries {v:?}: expected an unsigned integer");
+                    usage()
+                });
+            }
+            "--rss-limit-mb" => {
+                let v = value("--rss-limit-mb");
+                args.rss_limit_mb =
+                    Some(v.parse().ok().filter(|mb| *mb > 0).unwrap_or_else(|| {
+                        eprintln!("invalid --rss-limit-mb {v:?}: expected a positive integer");
+                        usage()
+                    }));
+            }
+            "--cpu-limit-secs" => {
+                let v = value("--cpu-limit-secs");
+                args.cpu_limit_secs =
+                    Some(v.parse().ok().filter(|s| *s > 0).unwrap_or_else(|| {
+                        eprintln!("invalid --cpu-limit-secs {v:?}: expected a positive integer");
+                        usage()
+                    }));
+            }
+            "--worker-one" => args.worker_one = Some(value("--worker-one")),
             "--json" => args.json = true,
             "--canonical" => args.canonical = true,
             "--keep-going" | "-k" => args.keep_going = true,
@@ -748,6 +830,57 @@ fn generate_main(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// The hidden `--worker-one <slug>` mode: run exactly one experiment
+/// in-process and hand the result back through the `--out` handoff
+/// directory. Exit 0 + `<slug>.json` on success; exit 101 +
+/// `<slug>.panic.txt` carrying the original panic message on panic.
+/// The supervising parent polls budgets and classifies kills — this
+/// child only installs the rlimit backstops and computes.
+fn worker_main(slug: &str, args: &Args) -> ExitCode {
+    apply_worker_rlimits(ResourceBudgets {
+        rss_limit_mb: args.rss_limit_mb,
+        cpu_limit_secs: args.cpu_limit_secs,
+    });
+    let reg = registry();
+    let selected = reg.select(slug);
+    let Some(exp) = selected.first() else {
+        eprintln!("worker: unknown experiment slug {slug:?}");
+        return ExitCode::FAILURE;
+    };
+    let ctx = RunCtx::new(args.seed, args.jobs).with_trials_scale(args.trials_scale);
+    let store = match ArtifactStore::create(&args.out) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("worker: cannot create handoff dir {:?}: {e}", args.out);
+            return ExitCode::FAILURE;
+        }
+    };
+    // The parent reports the panic through the manifest; a default-hook
+    // stderr dump would interleave with the parent's own output.
+    let _quiet = silence_panics();
+    let start = Instant::now();
+    match catch_unwind(AssertUnwindSafe(|| exp.run(&ctx))) {
+        Ok(table) => {
+            let record = ExperimentRecord::ok(exp.slug, exp.id, start.elapsed(), table);
+            match store.write_record(&record, ctx.seed, ctx.jobs, ctx.trials_scale) {
+                Ok(_) => ExitCode::SUCCESS,
+                Err(e) => {
+                    eprintln!("worker: artifact write failed for {}: {e}", exp.slug);
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        Err(payload) => {
+            let message = panic_message(payload.as_ref());
+            let _ = std::fs::write(
+                worker_failure_path(Path::new(&args.out), exp.slug),
+                &message,
+            );
+            ExitCode::from(101)
+        }
+    }
+}
+
 fn main() -> ExitCode {
     // The `fleet` and `generate` subcommands have their own argument
     // grammars.
@@ -760,6 +893,9 @@ fn main() -> ExitCode {
     }
 
     let args = parse_args();
+    if let Some(slug) = args.worker_one.clone() {
+        return worker_main(&slug, &args);
+    }
     let reg = registry();
 
     if args.list {
@@ -849,10 +985,54 @@ fn main() -> ExitCode {
         }
     }
 
+    // Isolation: auto resolves to child processes exactly when a
+    // budget was requested (budgets are unenforceable in-process).
+    let budgets = ResourceBudgets {
+        rss_limit_mb: args.rss_limit_mb,
+        cpu_limit_secs: args.cpu_limit_secs,
+    };
+    let isolate_on = match args.isolate {
+        IsolateMode::On => true,
+        IsolateMode::Off => false,
+        IsolateMode::Auto => budgets.any(),
+    };
+    let handoff_root = Path::new(&args.out).join(".workers");
+    let isolation = if isolate_on {
+        let exe = match std::env::current_exe() {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("--isolate on: cannot locate own binary: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        Some(Isolation {
+            spec: WorkerSpec {
+                exe,
+                base_args: vec![
+                    "--seed".into(),
+                    ctx.seed.to_string(),
+                    "--jobs".into(),
+                    ctx.jobs.to_string(),
+                    "--trials-scale".into(),
+                    ctx.trials_scale.to_string(),
+                ],
+            },
+            budgets,
+            handoff_root: handoff_root.clone(),
+        })
+    } else {
+        if budgets.any() {
+            eprintln!("note: resource budgets need a child process; ignored under --isolate off");
+        }
+        None
+    };
+
     let opts = SuiteOptions {
         keep_going: args.keep_going,
         deadline_override: args.deadline_secs.map(Duration::from_secs),
         skip,
+        retries: args.retries,
+        isolation,
     };
 
     // The manifest grows record by record and is rewritten after every
@@ -888,12 +1068,41 @@ fn main() -> ExitCode {
                     record.duration.as_secs_f64() * 1e3
                 );
             }
-            RunStatus::TimedOut { deadline } => {
+            RunStatus::TimedOut { deadline, detached } => {
                 eprintln!(
-                    "TIMED OUT {} after {:.1} s (deadline {} s); worker detached",
+                    "TIMED OUT {} after {:.1} s (deadline {} s); {}",
                     record.slug,
                     record.duration.as_secs_f64(),
-                    deadline.as_secs()
+                    deadline.as_secs(),
+                    if *detached {
+                        "worker detached (still running — use --isolate on for real kills)"
+                    } else {
+                        "worker killed"
+                    }
+                );
+            }
+            RunStatus::OomKilled {
+                peak_rss_mb,
+                limit_mb,
+            } => {
+                eprintln!(
+                    "OOM-KILLED {} after {:.1} s (peak rss {} MiB, limit {} MiB)",
+                    record.slug,
+                    record.duration.as_secs_f64(),
+                    peak_rss_mb,
+                    limit_mb
+                );
+            }
+            RunStatus::CpuExceeded {
+                cpu_secs,
+                limit_secs,
+            } => {
+                eprintln!(
+                    "CPU-EXCEEDED {} after {:.1} s ({:.1} cpu-s, limit {} s)",
+                    record.slug,
+                    record.duration.as_secs_f64(),
+                    cpu_secs,
+                    limit_secs
                 );
             }
             RunStatus::Skipped => {
@@ -907,6 +1116,11 @@ fn main() -> ExitCode {
             }
         }
     });
+
+    // The per-slug handoff dirs are removed as each verdict lands;
+    // dropping the (now empty) root keeps isolate-on artifact trees
+    // diffable against isolate-off ones.
+    let _ = std::fs::remove_dir(&handoff_root);
 
     if let Some(store) = &store {
         eprintln!(

@@ -1,5 +1,5 @@
-//! E18: harness resilience — the runner's own fault tolerance measured
-//! as an experiment.
+//! E18/E26: harness resilience — the runner's own fault tolerance
+//! measured as experiments.
 //!
 //! The other experiments assume the harness survives their workloads;
 //! E18 turns that assumption into a table. It runs a real Monte-Carlo
@@ -17,12 +17,23 @@
 //! of the clean trial population, which is why the estimate converges
 //! instead of drifting.
 //!
+//! E26 extends the same claim to the process-isolated runner: units
+//! stand in for supervised worker children, a seeded kill stream
+//! decides which attempts die (and whether by OOM or CPU ceiling), and
+//! the retry budget from [`retry_delay`]'s schedule decides how many
+//! chances each unit gets. Units that converge within the budget
+//! contribute exactly their clean trial values, so the survivor
+//! estimate tracks the clean one while the kill/retry bookkeeping —
+//! including the backoff schedule itself — stays byte-identical for
+//! every `--jobs` value.
+//!
 //! The module also hosts the hidden `x0-chaos` probe: an experiment
 //! registered only when `AUTOSEC_CHAOS` is set, which panics, sleeps,
-//! or succeeds on demand. CI uses it to drive a real suite through
-//! `--keep-going` and `--resume` without polluting the normal registry.
+//! leaks memory, busy-loops, or succeeds on demand. CI uses it to
+//! drive a real suite through `--keep-going`, `--resume`, and the
+//! process-isolation budgets without polluting the normal registry.
 
-use autosec_runner::{try_par_trials, RunCtx, TrialOutcome};
+use autosec_runner::{par_trials, retry_delay, try_par_trials, RunCtx, TrialOutcome};
 use autosec_sim::{RunningStats, SimRng};
 
 use crate::Table;
@@ -118,16 +129,143 @@ pub fn e18_harness_resilience_table(ctx: &RunCtx) -> Table {
     t
 }
 
+/// Simulated worker units per E26 kill rate. Each stands in for one
+/// supervised child process in the isolated suite runner.
+pub const E26_UNITS: usize = 48;
+
+/// Monte-Carlo trials each converged unit contributes to the survivor
+/// estimate.
+pub const E26_TRIALS_PER_UNIT: usize = 12;
+
+/// Retry budget per unit, mirroring `--retries 3` on the real runner.
+pub const E26_RETRIES: u32 = 3;
+
+/// Per-attempt kill probabilities swept by E26. Rate 0.0 is the clean
+/// control every other row is compared against.
+pub const E26_KILL_RATES: [f64; 5] = [0.0, 0.10, 0.20, 0.35, 0.50];
+
+/// One simulated supervised unit: up to `1 + E26_RETRIES` attempts,
+/// each killed with probability `rate`; a killed attempt dies by OOM
+/// or CPU ceiling on a fair coin from the same stream.
+///
+/// Returns `(attempts used, converged, oom kills, cpu kills)`. Pure
+/// function of `(chaos stream, unit, rate)` — the supervision loop is
+/// serial bookkeeping, so it can never depend on `jobs`.
+fn supervise_unit(chaos: &SimRng, unit: usize, rate: f64) -> (u32, bool, u32, u32) {
+    let unit_stream = chaos.fork_idx(unit as u64);
+    let (mut oom, mut cpu) = (0u32, 0u32);
+    for attempt in 0..=E26_RETRIES {
+        let mut attempt_stream = unit_stream.fork_idx(u64::from(attempt));
+        if !attempt_stream.chance(rate) {
+            return (attempt + 1, true, oom, cpu);
+        }
+        if attempt_stream.chance(0.5) {
+            oom += 1;
+        } else {
+            cpu += 1;
+        }
+    }
+    (E26_RETRIES + 1, false, oom, cpu)
+}
+
+/// E26 table: survivor convergence under injected worker kills with a
+/// seeded retry budget.
+///
+/// Columns per kill rate: units converged within the retry budget,
+/// total attempts spent, kill counts by cause (OOM / CPU), trial
+/// coverage, survivor mean breach depth, its absolute bias against the
+/// rate-0 clean estimate, and the retry backoff schedule in
+/// milliseconds (from [`retry_delay`], the same pure function the real
+/// runner sleeps on — identical on every row and for every `--jobs`
+/// value, which is exactly the point).
+///
+/// Determinism structure mirrors E18: all rates share one `mc` trial
+/// stream (parallel via [`par_trials`]), while the per-rate
+/// `kills/<rate>` stream only decides which attempts die. A unit that
+/// converges contributes exactly the clean values for its trial span.
+pub fn e26_isolation_table(ctx: &RunCtx) -> Table {
+    let mut t = Table::new(
+        "E26",
+        "§VIII — harness isolation: survivor convergence under injected kills",
+        &[
+            "kill rate",
+            "converged",
+            "attempts",
+            "oom/cpu kills",
+            "coverage",
+            "mean depth",
+            "bias vs clean",
+            "backoff ms",
+        ],
+    );
+    let base = ctx.rng("e26-isolation");
+    let mc = base.fork("mc");
+    let units = ctx.trials(E26_UNITS);
+    let total = units * E26_TRIALS_PER_UNIT;
+    let clean: Vec<f64> = par_trials(ctx.jobs, total, &mc, |_i, mut rng| breach_depth(&mut rng));
+    let backoff = (0..E26_RETRIES)
+        .map(|k| {
+            retry_delay(ctx.seed, "e26-isolation", k)
+                .as_millis()
+                .to_string()
+        })
+        .collect::<Vec<_>>()
+        .join("/");
+    let mut clean_mean = 0.0;
+    for rate in E26_KILL_RATES {
+        let chaos = base.fork(&format!("kills/{rate:.2}"));
+        let mut stats = RunningStats::new();
+        let (mut converged, mut attempts_total) = (0usize, 0u32);
+        let (mut oom_total, mut cpu_total) = (0u32, 0u32);
+        for unit in 0..units {
+            let (attempts, ok, oom, cpu) = supervise_unit(&chaos, unit, rate);
+            attempts_total += attempts;
+            oom_total += oom;
+            cpu_total += cpu;
+            if ok {
+                converged += 1;
+                for v in &clean[unit * E26_TRIALS_PER_UNIT..(unit + 1) * E26_TRIALS_PER_UNIT] {
+                    stats.push(*v);
+                }
+            }
+        }
+        if rate == 0.0 {
+            clean_mean = stats.mean();
+        }
+        t.push_row(vec![
+            format!("{rate:.2}"),
+            format!("{converged}/{units}"),
+            format!("{attempts_total}"),
+            format!("{oom_total}/{cpu_total}"),
+            format!("{:.1}%", stats.count() as f64 / total as f64 * 100.0),
+            format!("{:.3}", stats.mean()),
+            format!("{:.3}", (stats.mean() - clean_mean).abs()),
+            backoff.clone(),
+        ]);
+    }
+    t
+}
+
 /// The hidden chaos probe (id `X0`, slug `x0-chaos`), registered only
 /// when `AUTOSEC_CHAOS` is set:
 ///
 /// - `panic` — panics with a fixed message;
 /// - `sleep:<ms>` — sleeps that long, then succeeds (deadline fodder);
+/// - `alloc:<mb>` — leaks that many MiB of touched pages, then idles
+///   (RSS-budget fodder: under `--rss-limit-mb` below the target the
+///   supervisor kills it mid-leak);
+/// - `spin:<secs>` — busy-loops that long (CPU-budget fodder: burns
+///   CPU-seconds at wall rate so a `--cpu-limit-secs` ceiling fires);
+/// - `flaky:<path>` — panics and drops a marker file on the first
+///   attempt, succeeds once the marker exists (retry fodder);
 /// - anything else — succeeds immediately.
 ///
 /// CI sets `AUTOSEC_CHAOS=panic` to verify `--keep-going` records the
 /// failure while healthy artifacts stay bit-identical, then flips it to
-/// `ok` and `--resume`s the run to completion.
+/// `ok` and `--resume`s the run to completion. The isolation job uses
+/// `sleep:`/`alloc:`/`spin:` to land `timed_out`/`oom_killed`/
+/// `cpu_exceeded` for real, and `flaky:` to prove `--retries` goes
+/// green.
 pub fn x0_chaos_table(_ctx: &RunCtx) -> Table {
     let mode = std::env::var("AUTOSEC_CHAOS").unwrap_or_default();
     if mode == "panic" {
@@ -136,6 +274,42 @@ pub fn x0_chaos_table(_ctx: &RunCtx) -> Table {
     if let Some(ms) = mode.strip_prefix("sleep:") {
         let ms: u64 = ms.parse().unwrap_or(0);
         std::thread::sleep(std::time::Duration::from_millis(ms));
+    }
+    if let Some(mb) = mode.strip_prefix("alloc:") {
+        let mb: usize = mb.parse().unwrap_or(0);
+        let mut hoard: Vec<Vec<u8>> = Vec::new();
+        for _ in 0..mb {
+            // Touch a byte per page so the MiB lands in RSS, not just
+            // in the virtual address space.
+            let mut block = vec![0u8; 1024 * 1024];
+            for i in (0..block.len()).step_by(4096) {
+                block[i] = 1;
+            }
+            hoard.push(block);
+        }
+        std::hint::black_box(&hoard);
+        // Hold the leak briefly so a supervisor whose poll interval
+        // straddled the last allocation still observes the peak.
+        std::thread::sleep(std::time::Duration::from_millis(500));
+    }
+    if let Some(secs) = mode.strip_prefix("spin:") {
+        let secs: u64 = secs.parse().unwrap_or(0);
+        let end = std::time::Instant::now() + std::time::Duration::from_secs(secs);
+        let mut x = 1u64;
+        while std::time::Instant::now() < end {
+            for _ in 0..100_000 {
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+            }
+        }
+        std::hint::black_box(x);
+    }
+    if let Some(path) = mode.strip_prefix("flaky:") {
+        if !std::path::Path::new(path).exists() {
+            let _ = std::fs::write(path, "first attempt\n");
+            panic!("chaos probe: flaky first attempt (AUTOSEC_CHAOS=flaky)");
+        }
     }
     let mut t = Table::new("X0", "chaos probe", &["mode", "outcome"]);
     t.push_row(vec![mode, "survived".to_owned()]);
@@ -217,6 +391,82 @@ mod tests {
             if let TrialOutcome::Ok(v) = outcome {
                 assert_eq!(*v, clean[i], "trial {i} diverged from the clean run");
             }
+        }
+    }
+
+    #[test]
+    fn e26_is_jobs_invariant() {
+        // The acceptance bar: the kill/retry bookkeeping — including
+        // the backoff schedule column — must be byte-identical across
+        // --jobs values, not just the survivor estimates.
+        let serial = e26_isolation_table(&ctx());
+        let parallel = e26_isolation_table(&RunCtx::new(42, 4).with_trials_scale(0.25));
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn e26_clean_row_converges_everything() {
+        let t = e26_isolation_table(&ctx());
+        let units = RunCtx::default().with_trials_scale(0.25).trials(E26_UNITS);
+        assert_eq!(t.rows[0][1], format!("{units}/{units}"));
+        assert_eq!(t.rows[0][4], "100.0%");
+        assert_eq!(t.rows[0][6], "0.000");
+    }
+
+    #[test]
+    fn e26_survivors_converge_under_heavy_kills() {
+        // Even at a 50% per-attempt kill rate, the retry budget keeps
+        // most units alive and the survivor mean near the clean one.
+        let t = e26_isolation_table(&RunCtx::new(42, 1));
+        let last = t.rows.last().expect("rows");
+        let bias: f64 = last[6].parse().expect("bias cell");
+        assert!(bias < 0.3, "survivor bias too large: {bias}");
+        let converged: usize = last[1].split('/').next().unwrap().parse().unwrap();
+        assert!(
+            converged * 100 >= E26_UNITS * 80,
+            "retry budget should rescue most units: {converged}/{E26_UNITS}"
+        );
+    }
+
+    #[test]
+    fn e26_coverage_shrinks_with_the_kill_rate() {
+        let t = e26_isolation_table(&ctx());
+        let pct = |row: &Vec<String>| -> f64 { row[4].trim_end_matches('%').parse().unwrap() };
+        let mut prev = f64::INFINITY;
+        for row in &t.rows {
+            let c = pct(row);
+            assert!(c <= prev + 1e-9, "coverage must not grow with rate");
+            prev = c;
+        }
+    }
+
+    #[test]
+    fn e26_backoff_column_is_the_real_retry_schedule() {
+        let t = e26_isolation_table(&ctx());
+        let want = (0..E26_RETRIES)
+            .map(|k| retry_delay(42, "e26-isolation", k).as_millis().to_string())
+            .collect::<Vec<_>>()
+            .join("/");
+        for row in &t.rows {
+            assert_eq!(row[7], want, "schedule must match retry_delay exactly");
+        }
+        // Sanity: the schedule actually backs off.
+        let ms: Vec<u128> = want.split('/').map(|s| s.parse().unwrap()).collect();
+        assert!(ms.windows(2).all(|w| w[1] > w[0]), "not increasing: {want}");
+    }
+
+    #[test]
+    fn supervise_unit_is_deterministic_and_counts_attempts() {
+        let chaos = SimRng::seed(9).fork("kills/0.50");
+        for unit in 0..32 {
+            let a = supervise_unit(&chaos, unit, 0.5);
+            let b = supervise_unit(&chaos, unit, 0.5);
+            assert_eq!(a, b, "unit {unit}");
+            let (attempts, ok, oom, cpu) = a;
+            assert!((1..=E26_RETRIES + 1).contains(&attempts));
+            // Every non-final attempt died exactly once, by one cause.
+            let kills = oom + cpu;
+            assert_eq!(kills, if ok { attempts - 1 } else { attempts });
         }
     }
 

@@ -365,6 +365,15 @@ pub fn registry() -> Registry {
         exp_scengen::e25_coverage_matrix_table,
     );
     reg(
+        "E26",
+        "e26-isolation",
+        "§VIII — harness isolation: survivor convergence under injected kills",
+        &["harness", "isolation", "parallel"],
+        &[],
+        Moderate,
+        exp_harness::e26_isolation_table,
+    );
+    reg(
         "A1",
         "a1-hrp-threshold",
         "Ablation — HRP integrity threshold sweep",
@@ -416,7 +425,7 @@ pub fn registry() -> Registry {
         reg(
             "X0",
             "x0-chaos",
-            "hidden chaos probe (AUTOSEC_CHAOS: panic | sleep:<ms> | ok)",
+            "hidden chaos probe (AUTOSEC_CHAOS: panic | sleep:<ms> | alloc:<mb> | spin:<secs> | flaky:<path> | ok)",
             &["chaos"],
             &[],
             Cheap,
@@ -440,15 +449,15 @@ mod tests {
     #[test]
     fn registry_covers_all_groups() {
         let r = registry();
-        // 38 normally; +1 when a chaos-probe env var leaks into the
+        // 39 normally; +1 when a chaos-probe env var leaks into the
         // test environment.
         let chaos = std::env::var("AUTOSEC_CHAOS").is_ok() as usize;
-        assert_eq!(r.len(), 38 + chaos);
+        assert_eq!(r.len(), 39 + chaos);
         let ids = r.group_ids();
         for want in [
             "E1", "E2", "E2b", "E3", "E4", "E5-E7", "E8", "E8b", "E9", "E10", "E11", "E12", "E13",
             "E14", "E15", "E16", "E17", "E18", "E19", "E20", "E21", "E22", "E23", "E24", "E25",
-            "A1", "A2", "A3", "A4", "A5",
+            "E26", "A1", "A2", "A3", "A4", "A5",
         ] {
             assert!(ids.contains(&want), "missing group {want}");
         }

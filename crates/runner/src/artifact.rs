@@ -8,9 +8,11 @@
 //!
 //! With the fault-tolerant suite runner, a manifest entry is no longer
 //! always a success: each carries a [`RunStatus`] (`ok`, `failed`,
-//! `timed_out`, or `skipped`), failed entries record the panic message,
-//! and [`ResumeState`] reads a prior manifest back so `--resume` can
-//! re-run only the failures and gaps.
+//! `timed_out`, `oom_killed`, `cpu_exceeded`, or `skipped`), failed
+//! entries record the panic message, budget kills record the observed
+//! peak RSS / CPU seconds against the limit, and [`ResumeState`] reads
+//! a prior manifest back so `--resume` can re-run only the failures
+//! and gaps — killed and budget-exceeded entries are all retryable.
 
 use std::collections::BTreeSet;
 use std::io;
@@ -38,6 +40,27 @@ pub enum RunStatus {
     TimedOut {
         /// The deadline that was in force.
         deadline: Duration,
+        /// In-process fallback only: the overtime worker thread was
+        /// still running when the suite moved on (Rust cannot kill a
+        /// thread, so it leaks until process exit). Always `false`
+        /// under `--isolate on`, where the child is SIGKILLed for
+        /// real.
+        detached: bool,
+    },
+    /// Killed for crossing its peak-RSS budget (`--isolate on` only).
+    OomKilled {
+        /// Peak resident set observed before the kill (MiB).
+        peak_rss_mb: u64,
+        /// The budget in force (MiB).
+        limit_mb: u64,
+    },
+    /// Killed for crossing its CPU-seconds budget (`--isolate on`
+    /// only).
+    CpuExceeded {
+        /// CPU seconds observed before the kill.
+        cpu_secs: f64,
+        /// The budget in force (seconds).
+        limit_secs: u64,
     },
     /// Skipped under `--resume`: the canonical artifact from a prior
     /// run already covers it.
@@ -51,14 +74,17 @@ impl RunStatus {
             RunStatus::Ok => "ok",
             RunStatus::Failed { .. } => "failed",
             RunStatus::TimedOut { .. } => "timed_out",
+            RunStatus::OomKilled { .. } => "oom_killed",
+            RunStatus::CpuExceeded { .. } => "cpu_exceeded",
             RunStatus::Skipped => "skipped",
         }
     }
 
-    /// Whether this entry counts as a suite failure (`failed` or
-    /// `timed_out`).
+    /// Whether this entry counts as a suite failure (anything but `ok`
+    /// and `skipped`). Failures are retryable under `--retries` and
+    /// re-selectable via the `failed:` pseudo-filter.
     pub fn is_failure(&self) -> bool {
-        matches!(self, RunStatus::Failed { .. } | RunStatus::TimedOut { .. })
+        !matches!(self, RunStatus::Ok | RunStatus::Skipped)
     }
 }
 
@@ -73,54 +99,103 @@ pub struct ExperimentRecord {
     pub duration: Duration,
     /// How the run ended.
     pub status: RunStatus,
+    /// Execution attempts consumed (1 without `--retries`; the final
+    /// attempt produced `status`).
+    pub attempts: u32,
     /// The produced table; present exactly when `status` is
     /// [`RunStatus::Ok`].
     pub table: Option<Table>,
 }
 
 impl ExperimentRecord {
+    fn base(slug: &str, id: &str, duration: Duration, status: RunStatus) -> Self {
+        Self {
+            slug: slug.to_owned(),
+            id: id.to_owned(),
+            duration,
+            status,
+            attempts: 1,
+            table: None,
+        }
+    }
+
     /// A successful record.
     pub fn ok(slug: &str, id: &str, duration: Duration, table: Table) -> Self {
         Self {
-            slug: slug.to_owned(),
-            id: id.to_owned(),
-            duration,
-            status: RunStatus::Ok,
             table: Some(table),
+            ..Self::base(slug, id, duration, RunStatus::Ok)
         }
     }
 
-    /// A failed (panicked) record carrying the panic message.
+    /// A failed (panicked or crashed) record carrying the message.
     pub fn failed(slug: &str, id: &str, duration: Duration, message: String) -> Self {
-        Self {
-            slug: slug.to_owned(),
-            id: id.to_owned(),
-            duration,
-            status: RunStatus::Failed { message },
-            table: None,
-        }
+        Self::base(slug, id, duration, RunStatus::Failed { message })
     }
 
-    /// An overtime record.
-    pub fn timed_out(slug: &str, id: &str, duration: Duration, deadline: Duration) -> Self {
-        Self {
-            slug: slug.to_owned(),
-            id: id.to_owned(),
+    /// An overtime record. `detached` marks the in-process fallback's
+    /// leaked worker thread (see [`RunStatus::TimedOut`]).
+    pub fn timed_out(
+        slug: &str,
+        id: &str,
+        duration: Duration,
+        deadline: Duration,
+        detached: bool,
+    ) -> Self {
+        Self::base(
+            slug,
+            id,
             duration,
-            status: RunStatus::TimedOut { deadline },
-            table: None,
-        }
+            RunStatus::TimedOut { deadline, detached },
+        )
+    }
+
+    /// A record for a child killed over its peak-RSS budget.
+    pub fn oom_killed(
+        slug: &str,
+        id: &str,
+        duration: Duration,
+        peak_rss_mb: u64,
+        limit_mb: u64,
+    ) -> Self {
+        Self::base(
+            slug,
+            id,
+            duration,
+            RunStatus::OomKilled {
+                peak_rss_mb,
+                limit_mb,
+            },
+        )
+    }
+
+    /// A record for a child killed over its CPU-seconds budget.
+    pub fn cpu_exceeded(
+        slug: &str,
+        id: &str,
+        duration: Duration,
+        cpu_secs: f64,
+        limit_secs: u64,
+    ) -> Self {
+        Self::base(
+            slug,
+            id,
+            duration,
+            RunStatus::CpuExceeded {
+                cpu_secs,
+                limit_secs,
+            },
+        )
     }
 
     /// A resume-skip record (prior artifact reused).
     pub fn skipped(slug: &str, id: &str) -> Self {
-        Self {
-            slug: slug.to_owned(),
-            id: id.to_owned(),
-            duration: Duration::ZERO,
-            status: RunStatus::Skipped,
-            table: None,
-        }
+        Self::base(slug, id, Duration::ZERO, RunStatus::Skipped)
+    }
+
+    /// This record with its attempt count (clamped to at least 1).
+    pub fn with_attempts(mut self, attempts: u32) -> Self {
+        self.attempts = attempts.max(1);
+        self
     }
 
     /// The artifact body: id, seed, jobs, trials scale, duration, and
@@ -162,6 +237,9 @@ impl ExperimentRecord {
                 Value::from(self.duration.as_secs_f64() * 1e3),
             ),
         ];
+        if self.attempts > 1 {
+            pairs.push(("attempts", Value::from(self.attempts)));
+        }
         match &self.status {
             RunStatus::Ok => {
                 let table = self.table.as_ref().expect("ok record has a table");
@@ -171,8 +249,25 @@ impl ExperimentRecord {
             RunStatus::Failed { message } => {
                 pairs.push(("message", Value::from(message.as_str())));
             }
-            RunStatus::TimedOut { deadline } => {
+            RunStatus::TimedOut { deadline, detached } => {
                 pairs.push(("deadline_secs", Value::from(deadline.as_secs_f64())));
+                if *detached {
+                    pairs.push(("overtime_detached", Value::from(true)));
+                }
+            }
+            RunStatus::OomKilled {
+                peak_rss_mb,
+                limit_mb,
+            } => {
+                pairs.push(("peak_rss_mb", Value::from(*peak_rss_mb)));
+                pairs.push(("rss_limit_mb", Value::from(*limit_mb)));
+            }
+            RunStatus::CpuExceeded {
+                cpu_secs,
+                limit_secs,
+            } => {
+                pairs.push(("cpu_secs", Value::from(*cpu_secs)));
+                pairs.push(("cpu_limit_secs", Value::from(*limit_secs)));
             }
             RunStatus::Skipped => {
                 pairs.push(("artifact", Value::from(format!("{}.json", self.slug))));
@@ -341,7 +436,9 @@ pub struct ResumeState {
     /// Slugs that completed (`ok` or `skipped` — both mean the
     /// artifact on disk is current).
     pub completed: BTreeSet<String>,
-    /// Slugs recorded as `failed` or `timed_out`, in manifest order.
+    /// Slugs recorded with any failure status (`failed`, `timed_out`,
+    /// `oom_killed`, `cpu_exceeded`, or a status this build does not
+    /// know), in manifest order. All of them are retryable.
     pub failed: Vec<String>,
 }
 
@@ -591,13 +688,16 @@ mod tests {
                     "E10",
                     Duration::from_secs(31),
                     Duration::from_secs(30),
+                    false,
                 ),
                 ExperimentRecord::skipped("e2-lrp-rounds", "E2"),
+                ExperimentRecord::oom_killed("e5-mem", "E5", Duration::from_secs(2), 131, 64),
+                ExperimentRecord::cpu_exceeded("e6-cpu", "E6", Duration::from_secs(9), 8.5, 8),
             ],
         };
         let v = m.to_json();
         let exps = v["experiments"].as_array().expect("array");
-        assert_eq!(exps.len(), 4);
+        assert_eq!(exps.len(), 6);
         assert_eq!(exps[0]["status"].as_str(), Some("ok"));
         assert_eq!(exps[0]["artifact"].as_str(), Some("e9-demo.json"));
         assert_eq!(exps[1]["status"].as_str(), Some("failed"));
@@ -608,10 +708,58 @@ mod tests {
         );
         assert_eq!(exps[2]["status"].as_str(), Some("timed_out"));
         assert_eq!(exps[2]["deadline_secs"].as_f64(), Some(30.0));
+        assert!(
+            exps[2].get("overtime_detached").is_none(),
+            "non-detached timeouts carry no flag"
+        );
         assert_eq!(exps[3]["status"].as_str(), Some("skipped"));
         assert_eq!(exps[3]["artifact"].as_str(), Some("e2-lrp-rounds.json"));
-        assert_eq!(v["failures"].as_u64(), Some(2));
+        assert_eq!(exps[4]["status"].as_str(), Some("oom_killed"));
+        assert_eq!(exps[4]["peak_rss_mb"].as_u64(), Some(131));
+        assert_eq!(exps[4]["rss_limit_mb"].as_u64(), Some(64));
+        assert_eq!(exps[5]["status"].as_str(), Some("cpu_exceeded"));
+        assert_eq!(exps[5]["cpu_secs"].as_f64(), Some(8.5));
+        assert_eq!(exps[5]["cpu_limit_secs"].as_u64(), Some(8));
+        assert_eq!(v["failures"].as_u64(), Some(4));
         assert_eq!(v["filter"].as_str(), Some("E9"));
+    }
+
+    #[test]
+    fn detached_timeouts_are_flagged_in_the_manifest() {
+        let leaked = ExperimentRecord::timed_out(
+            "e3-leak",
+            "E3",
+            Duration::from_secs(2),
+            Duration::from_secs(1),
+            true,
+        );
+        let m = RunManifest {
+            seed: 1,
+            jobs: 1,
+            trials_scale: 1.0,
+            filter: None,
+            records: vec![leaked],
+        };
+        let entry = &m.to_json()["experiments"][0];
+        assert_eq!(entry["status"].as_str(), Some("timed_out"));
+        assert_eq!(entry["overtime_detached"].as_bool(), Some(true));
+    }
+
+    #[test]
+    fn attempts_key_appears_only_after_retries() {
+        let single = record(1);
+        assert_eq!(single.attempts, 1);
+        let m = RunManifest {
+            seed: 1,
+            jobs: 1,
+            trials_scale: 1.0,
+            filter: None,
+            records: vec![record(1), record(2).with_attempts(3)],
+        };
+        let v = m.to_json();
+        assert!(v["experiments"][0].get("attempts").is_none());
+        assert_eq!(v["experiments"][1]["attempts"].as_u64(), Some(3));
+        assert_eq!(record(1).with_attempts(0).attempts, 1, "clamped");
     }
 
     #[test]
@@ -710,6 +858,59 @@ mod tests {
         assert!(!state.compatible_with(8, 0.5, &["tag:parallel", "e9"]));
         assert!(!state.compatible_with(7, 1.0, &["tag:parallel", "e9"]));
         assert!(!state.compatible_with(7, 0.5, &["e9"]));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resume_state_treats_killed_statuses_as_retryable() {
+        // A manifest carrying the isolation-era statuses round-trips:
+        // oom_killed / cpu_exceeded / timed_out(detached) entries all
+        // land in `failed` (so --resume re-runs them), never in
+        // `completed`.
+        let dir = tmp("resume-killed");
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = ArtifactStore::create(&dir).expect("create dir");
+        let m = RunManifest {
+            seed: 3,
+            jobs: 2,
+            trials_scale: 1.0,
+            filter: None,
+            records: vec![
+                record(1),
+                ExperimentRecord::oom_killed("e5-mem", "E5", Duration::from_secs(2), 131, 64),
+                ExperimentRecord::cpu_exceeded("e6-cpu", "E6", Duration::from_secs(9), 8.5, 8),
+                ExperimentRecord::timed_out(
+                    "e3-leak",
+                    "E3",
+                    Duration::from_secs(2),
+                    Duration::from_secs(1),
+                    true,
+                ),
+            ],
+        };
+        store.write_run(&m).expect("write");
+        let state = ResumeState::load(&dir).expect("loadable");
+        assert_eq!(
+            state.failed,
+            vec![
+                "e5-mem".to_owned(),
+                "e6-cpu".to_owned(),
+                "e3-leak".to_owned()
+            ]
+        );
+        assert_eq!(state.completed.len(), 1);
+        assert!(state.completed.contains("e9-demo"));
+        // Statuses this build has never heard of are also retryable —
+        // forward compatibility with future kill classes.
+        std::fs::write(
+            dir.join("manifest.json"),
+            r#"{"seed": 3, "trials_scale": 1.0, "filter": null,
+                "experiments": [{"slug": "e9-demo", "id": "E9",
+                                 "status": "quarantined_by_mars_rover"}]}"#,
+        )
+        .expect("write");
+        let state = ResumeState::load(&dir).expect("loadable");
+        assert_eq!(state.failed, vec!["e9-demo".to_owned()]);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -27,7 +27,11 @@
 //!   trials as [`TrialOutcome`]s instead of unwinding.
 //! - [`suite`] — the fault-tolerant suite runner: per-experiment
 //!   `catch_unwind`, cost-derived soft deadlines, keep-going
-//!   degradation, and resume skip sets.
+//!   degradation, seeded retry backoff, and resume skip sets.
+//! - [`proc`] — process-level supervision: suite entries in spawned
+//!   worker children that deadlines SIGKILL for real, with peak-RSS
+//!   and CPU-seconds budgets enforced by `/proc` polling plus rlimit
+//!   backstops.
 //! - [`artifact`] — run manifest + per-experiment JSON artifacts, with
 //!   per-entry statuses and [`ResumeState`] for `--resume`.
 //!
@@ -36,13 +40,16 @@
 //! Failure handling is as deterministic as success: a panicking trial
 //! is quarantined into the same slot with the same message for every
 //! `--jobs` value, a panicking experiment never perturbs its
-//! neighbors' RNG streams, and a resumed run reuses artifacts only
-//! when `(seed, trials-scale, filter set)` all match.
+//! neighbors' RNG streams, a resumed run reuses artifacts only when
+//! `(seed, trials-scale, filter set)` all match, and the retry
+//! backoff schedule is a pure function of `(seed, slug, attempt)` —
+//! see [`proc::retry_delay`].
 
 pub mod artifact;
 pub mod ctx;
 pub mod par;
 pub mod pool;
+pub mod proc;
 pub mod registry;
 pub mod suite;
 pub mod table;
@@ -58,6 +65,10 @@ pub use par::{
     try_par_trials_fold, TrialOutcome,
 };
 pub use pool::WorkStealingPool;
+pub use proc::{
+    apply_worker_rlimits, retry_delay, worker_failure_path, IsolateMode, ResourceBudgets,
+    WorkerSpec,
+};
 pub use registry::{Cost, Experiment, Registry};
-pub use suite::{run_suite, SuiteOptions, SuiteReport};
+pub use suite::{run_suite, Isolation, SuiteOptions, SuiteReport};
 pub use table::Table;

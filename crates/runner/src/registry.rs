@@ -33,6 +33,14 @@ impl Cost {
             Cost::Heavy => Duration::from_secs(600),
         }
     }
+
+    /// The default CPU-seconds ceiling for a supervised child of this
+    /// class (override with `--cpu-limit-secs`): the wall deadline
+    /// times the worker count, since a child legitimately saturating
+    /// `jobs` threads burns up to `jobs` CPU-seconds per wall second.
+    pub fn cpu_budget_secs(self, jobs: usize) -> u64 {
+        self.deadline().as_secs() * jobs.max(1) as u64
+    }
 }
 
 impl std::fmt::Display for Cost {
@@ -392,6 +400,7 @@ mod tests {
                     "E10",
                     std::time::Duration::from_secs(2),
                     std::time::Duration::from_secs(1),
+                    false,
                 ),
             ],
         };
@@ -439,5 +448,13 @@ mod tests {
     fn deadlines_grow_with_cost() {
         assert!(Cost::Cheap.deadline() < Cost::Moderate.deadline());
         assert!(Cost::Moderate.deadline() < Cost::Heavy.deadline());
+    }
+
+    #[test]
+    fn cpu_budget_scales_with_jobs() {
+        assert_eq!(Cost::Cheap.cpu_budget_secs(1), 30);
+        assert_eq!(Cost::Cheap.cpu_budget_secs(4), 120);
+        assert_eq!(Cost::Heavy.cpu_budget_secs(2), 1200);
+        assert_eq!(Cost::Cheap.cpu_budget_secs(0), 30, "jobs clamped to 1");
     }
 }

@@ -4,17 +4,26 @@
 //! layered-defense story says a system should fail — partially, not
 //! whole:
 //!
-//! - every experiment runs under `catch_unwind` on a supervised worker
-//!   thread, so a panicking experiment is **contained** and recorded
-//!   (with its original panic message) instead of aborting the suite;
-//! - each experiment gets a **soft deadline** derived from its
-//!   [`Cost`](crate::Cost) class (or a fixed override); an overtime
-//!   experiment is recorded as `timed_out` and the suite moves on —
-//!   the abandoned worker is detached, never joined;
+//! - every experiment runs under supervision with a **soft deadline**
+//!   derived from its [`Cost`](crate::Cost) class (or a fixed
+//!   override). In-process mode contains panics with `catch_unwind`
+//!   and *detaches* overtime worker threads (Rust cannot kill a
+//!   thread); with [`SuiteOptions::isolation`] set, each entry instead
+//!   runs in a spawned **child process** that a deadline or resource
+//!   budget SIGKILLs for real — see [`crate::proc`];
+//! - budget violations are first-class outcomes: a child killed over
+//!   its peak-RSS budget records `oom_killed`, one over its
+//!   CPU-seconds budget records `cpu_exceeded`, and both are
+//!   retryable;
 //! - with `keep_going`, failures degrade the run instead of ending it:
 //!   untouched experiments produce bit-identical artifacts to a clean
 //!   run, because trial RNG streams never depend on what other
-//!   experiments did;
+//!   experiments did — and a worker child's artifact is identical to
+//!   in-process output by construction (same pure function of seed);
+//! - [`SuiteOptions::retries`] re-runs failed entries with
+//!   exponential backoff whose jitter comes from the run's own seeded
+//!   substream ([`retry_delay`]) — the schedule is a pure function of
+//!   `(seed, slug, attempt)`, deterministic and jobs-invariant;
 //! - a `skip` set (computed by the caller from a prior manifest via
 //!   [`ResumeState`](crate::ResumeState)) turns already-completed
 //!   experiments into `skipped` records, which is how `--resume`
@@ -27,15 +36,36 @@
 
 use std::collections::BTreeSet;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::sync::mpsc;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use serde_json::Value;
+
 use crate::artifact::ExperimentRecord;
 use crate::ctx::RunCtx;
 use crate::par::{panic_message, silence_panics};
+use crate::proc::{
+    retry_delay, supervise, worker_failure_path, KillReason, ResourceBudgets, WorkerSpec,
+};
 use crate::registry::Experiment;
 use crate::table::Table;
+
+/// Process-isolation settings for a suite run (`--isolate on`).
+#[derive(Debug, Clone)]
+pub struct Isolation {
+    /// How to re-invoke the experiments binary as a worker.
+    pub spec: WorkerSpec,
+    /// Requested budgets. An unset CPU ceiling is derived per
+    /// experiment from its [`Cost`](crate::Cost)
+    /// (`cpu_budget_secs`); an unset RSS ceiling leaves memory
+    /// unbudgeted.
+    pub budgets: ResourceBudgets,
+    /// Directory for per-experiment handoff subdirectories
+    /// (`<root>/<slug>/`), recreated per attempt.
+    pub handoff_root: PathBuf,
+}
 
 /// Degradation policy for one suite run.
 #[derive(Debug, Clone, Default)]
@@ -50,6 +80,12 @@ pub struct SuiteOptions {
     /// Slugs to skip because a prior run's artifact already covers
     /// them (`--resume`).
     pub skip: BTreeSet<String>,
+    /// Extra attempts for failed entries (`--retries N`); each re-run
+    /// waits [`retry_delay`] first. 0 = at most one attempt.
+    pub retries: u32,
+    /// `Some` switches entries from supervised threads to supervised
+    /// child processes (`--isolate on`).
+    pub isolation: Option<Isolation>,
 }
 
 impl SuiteOptions {
@@ -73,7 +109,8 @@ pub struct SuiteReport {
 }
 
 impl SuiteReport {
-    /// Records of experiments that failed or timed out, in run order.
+    /// Records of experiments that failed, timed out, or were killed
+    /// over a budget, in run order.
     pub fn failures(&self) -> Vec<&ExperimentRecord> {
         self.records
             .iter()
@@ -91,7 +128,9 @@ impl SuiteReport {
 enum WorkerVerdict {
     Done(Table),
     Panicked(String),
-    Overtime,
+    Overtime { detached: bool },
+    OomKilled { peak_mb: u64, limit_mb: u64 },
+    CpuExceeded { used_secs: f64, limit_secs: u64 },
 }
 
 /// Runs one experiment on a supervised worker thread with a deadline.
@@ -99,7 +138,10 @@ enum WorkerVerdict {
 /// On timeout the worker is detached: it keeps running (Rust offers no
 /// safe way to kill a thread) but its eventual result is discarded —
 /// the channel's receiver is gone. The suite only ever waits
-/// `deadline` for it.
+/// `deadline` for it; `detached` records whether the thread was in
+/// fact still running when the suite moved on, so the manifest can
+/// flag the leak (`overtime_detached`). Process isolation
+/// ([`run_isolated`]) is the mode that actually reclaims the worker.
 fn run_supervised(
     exp: &Arc<Experiment>,
     ctx: &RunCtx,
@@ -126,7 +168,161 @@ fn run_supervised(
                 ),
             }
         }
-        Err(_) => (start.elapsed(), WorkerVerdict::Overtime),
+        Err(_) => (
+            start.elapsed(),
+            WorkerVerdict::Overtime {
+                detached: !handle.is_finished(),
+            },
+        ),
+    }
+}
+
+/// Runs one experiment in a supervised child process with a deadline
+/// and resource budgets (see [`crate::proc`]). The child writes its
+/// artifact into a private handoff directory; the parent parses the
+/// table back out, so the caller's artifact pipeline is identical to
+/// in-process execution.
+fn run_isolated(
+    exp: &Arc<Experiment>,
+    ctx: &RunCtx,
+    deadline: Duration,
+    iso: &Isolation,
+) -> (Duration, WorkerVerdict) {
+    let handoff = iso.handoff_root.join(exp.slug);
+    let _ = std::fs::remove_dir_all(&handoff);
+    if let Err(e) = std::fs::create_dir_all(&handoff) {
+        return (
+            Duration::ZERO,
+            WorkerVerdict::Panicked(format!("worker handoff dir failed: {e}")),
+        );
+    }
+    let budgets = ResourceBudgets {
+        rss_limit_mb: iso.budgets.rss_limit_mb,
+        cpu_limit_secs: Some(
+            iso.budgets
+                .cpu_limit_secs
+                .unwrap_or_else(|| exp.cost.cpu_budget_secs(ctx.jobs)),
+        ),
+    };
+    let mut cmd = iso.spec.command(exp.slug, &handoff, budgets);
+    let outcome = match supervise(&mut cmd, deadline, budgets) {
+        Ok(o) => o,
+        Err(e) => {
+            return (
+                Duration::ZERO,
+                WorkerVerdict::Panicked(format!("worker spawn failed: {e}")),
+            )
+        }
+    };
+    let elapsed = outcome.elapsed;
+    let verdict = classify_outcome(exp, &handoff, outcome, budgets);
+    // Everything the verdict needs has been read back; a stale handoff
+    // tree must not leak into artifact-dir diffs.
+    let _ = std::fs::remove_dir_all(&handoff);
+    (elapsed, verdict)
+}
+
+/// Maps a supervised child's exit (or kill) to a verdict, folding in
+/// the handoff artifact / failure file it left behind.
+fn classify_outcome(
+    exp: &Experiment,
+    handoff: &std::path::Path,
+    outcome: crate::proc::ProcOutcome,
+    budgets: ResourceBudgets,
+) -> WorkerVerdict {
+    if let Some(reason) = outcome.killed {
+        return match reason {
+            KillReason::Deadline => WorkerVerdict::Overtime { detached: false },
+            KillReason::Rss { peak_mb, limit_mb } => WorkerVerdict::OomKilled { peak_mb, limit_mb },
+            KillReason::Cpu {
+                used_secs,
+                limit_secs,
+            } => WorkerVerdict::CpuExceeded {
+                used_secs,
+                limit_secs,
+            },
+        };
+    }
+
+    let exit = outcome.exit.expect("no kill means the child exited");
+    if exit.success() {
+        let path = handoff.join(format!("{}.json", exp.slug));
+        let table = std::fs::read_to_string(&path)
+            .ok()
+            .and_then(|text| serde_json::from_str(&text).ok())
+            .and_then(|v: Value| v.get("table").and_then(Table::from_json));
+        return match table {
+            Some(table) => WorkerVerdict::Done(table),
+            None => WorkerVerdict::Panicked(format!(
+                "worker exited cleanly but left no readable artifact at {}",
+                path.display()
+            )),
+        };
+    }
+    if let Ok(message) = std::fs::read_to_string(worker_failure_path(handoff, exp.slug)) {
+        return WorkerVerdict::Panicked(message);
+    }
+    // The rlimit backstop fires as a signal with no failure file; if
+    // the observed peaks explain the death, classify it as the budget
+    // breach it is rather than an anonymous crash.
+    if let Some(sig) = exit_signal(&exit) {
+        if let Some(limit_mb) = budgets.rss_limit_mb {
+            if outcome.peak_rss_mb >= limit_mb {
+                return WorkerVerdict::OomKilled {
+                    peak_mb: outcome.peak_rss_mb,
+                    limit_mb,
+                };
+            }
+        }
+        if let Some(limit_secs) = budgets.cpu_limit_secs {
+            if outcome.cpu_secs >= limit_secs as f64 {
+                return WorkerVerdict::CpuExceeded {
+                    used_secs: outcome.cpu_secs,
+                    limit_secs,
+                };
+            }
+        }
+        return WorkerVerdict::Panicked(format!("worker killed by signal {sig}"));
+    }
+    WorkerVerdict::Panicked(format!(
+        "worker exited with code {}",
+        exit.code().unwrap_or(-1)
+    ))
+}
+
+#[cfg(unix)]
+fn exit_signal(status: &std::process::ExitStatus) -> Option<i32> {
+    use std::os::unix::process::ExitStatusExt;
+    status.signal()
+}
+
+#[cfg(not(unix))]
+fn exit_signal(_status: &std::process::ExitStatus) -> Option<i32> {
+    None
+}
+
+/// Maps one attempt's verdict to its record.
+fn verdict_record(
+    exp: &Experiment,
+    elapsed: Duration,
+    deadline: Duration,
+    verdict: WorkerVerdict,
+) -> ExperimentRecord {
+    match verdict {
+        WorkerVerdict::Done(table) => ExperimentRecord::ok(exp.slug, exp.id, elapsed, table),
+        WorkerVerdict::Panicked(message) => {
+            ExperimentRecord::failed(exp.slug, exp.id, elapsed, message)
+        }
+        WorkerVerdict::Overtime { detached } => {
+            ExperimentRecord::timed_out(exp.slug, exp.id, elapsed, deadline, detached)
+        }
+        WorkerVerdict::OomKilled { peak_mb, limit_mb } => {
+            ExperimentRecord::oom_killed(exp.slug, exp.id, elapsed, peak_mb, limit_mb)
+        }
+        WorkerVerdict::CpuExceeded {
+            used_secs,
+            limit_secs,
+        } => ExperimentRecord::cpu_exceeded(exp.slug, exp.id, elapsed, used_secs, limit_secs),
     }
 }
 
@@ -138,7 +334,8 @@ fn run_supervised(
 /// Determinism: experiments influence each other only through the
 /// shared `ctx` seed, which none of them mutates, so the set of
 /// failures never changes *what the healthy experiments compute* —
-/// their tables are bit-identical to a clean run's.
+/// their tables are bit-identical to a clean run's, whether computed
+/// in-process or inside a worker child.
 pub fn run_suite(
     experiments: &[Arc<Experiment>],
     ctx: &RunCtx,
@@ -159,17 +356,20 @@ pub fn run_suite(
             ExperimentRecord::skipped(exp.slug, exp.id)
         } else {
             let deadline = opts.deadline_for(exp);
-            let (elapsed, verdict) = run_supervised(exp, ctx, deadline);
-            match verdict {
-                WorkerVerdict::Done(table) => {
-                    ExperimentRecord::ok(exp.slug, exp.id, elapsed, table)
+            let mut attempt: u32 = 0;
+            loop {
+                let (elapsed, verdict) = match &opts.isolation {
+                    Some(iso) => run_isolated(exp, ctx, deadline, iso),
+                    None => run_supervised(exp, ctx, deadline),
+                };
+                let record =
+                    verdict_record(exp, elapsed, deadline, verdict).with_attempts(attempt + 1);
+                if record.status.is_failure() && attempt < opts.retries {
+                    std::thread::sleep(retry_delay(ctx.seed, exp.slug, attempt));
+                    attempt += 1;
+                    continue;
                 }
-                WorkerVerdict::Panicked(message) => {
-                    ExperimentRecord::failed(exp.slug, exp.id, elapsed, message)
-                }
-                WorkerVerdict::Overtime => {
-                    ExperimentRecord::timed_out(exp.slug, exp.id, elapsed, deadline)
-                }
+                break record;
             }
         };
         let failed = record.status.is_failure();
@@ -275,7 +475,7 @@ mod tests {
     }
 
     #[test]
-    fn deadline_marks_slow_experiments_overtime() {
+    fn deadline_marks_slow_experiments_overtime_and_flags_the_leak() {
         let reg = toy_registry();
         let opts = SuiteOptions {
             keep_going: true,
@@ -285,8 +485,12 @@ mod tests {
         let report = run_suite(&reg.select("t3-slow"), &RunCtx::new(42, 1), &opts, |_| {});
         assert_eq!(report.records.len(), 1);
         match &report.records[0].status {
-            RunStatus::TimedOut { deadline } => {
+            RunStatus::TimedOut { deadline, detached } => {
                 assert_eq!(*deadline, Duration::from_millis(50));
+                // The 300 ms sleeper is still running when the 50 ms
+                // deadline fires — the in-process fallback must admit
+                // the leak instead of silently dropping the thread.
+                assert!(*detached, "overtime worker was still running");
             }
             other => panic!("expected timeout, got {other:?}"),
         }
@@ -309,10 +513,9 @@ mod tests {
     fn skip_set_produces_skipped_records_without_running() {
         let reg = toy_registry();
         let opts = SuiteOptions {
-            keep_going: false,
-            deadline_override: None,
             // Skipping the panicking experiment means nothing fails.
             skip: ["t2-panic".to_owned(), "t1-ok".to_owned()].into(),
+            ..Default::default()
         };
         let report = run_suite(&reg.all(), &RunCtx::new(42, 1), &opts, |_| {});
         assert!(report.all_ok());
@@ -354,5 +557,207 @@ mod tests {
             ..Default::default()
         };
         assert_eq!(fixed.deadline_for(exp), Duration::from_secs(1));
+    }
+
+    #[test]
+    fn retries_rerun_failures_until_green() {
+        use std::sync::atomic::{AtomicU32, Ordering};
+        static CALLS: AtomicU32 = AtomicU32::new(0);
+        let mut r = Registry::new();
+        r.register(Experiment::new(
+            "T5",
+            "t5-flaky",
+            "fails twice then succeeds",
+            &[],
+            Cost::Cheap,
+            |_| {
+                if CALLS.fetch_add(1, Ordering::SeqCst) < 2 {
+                    panic!("flaky wobble");
+                }
+                Table::new("T5", "ok", &["a"])
+            },
+        ));
+        let opts = SuiteOptions {
+            keep_going: true,
+            retries: 3,
+            ..Default::default()
+        };
+        let report = run_suite(&r.all(), &RunCtx::new(42, 1), &opts, |_| {});
+        assert!(report.all_ok());
+        assert_eq!(report.records[0].status, RunStatus::Ok);
+        assert_eq!(report.records[0].attempts, 3, "two failures + one success");
+    }
+
+    #[test]
+    fn exhausted_retries_keep_the_final_failure() {
+        let reg = toy_registry();
+        let opts = SuiteOptions {
+            keep_going: true,
+            retries: 1,
+            ..Default::default()
+        };
+        let report = run_suite(&reg.select("t2-panic"), &RunCtx::new(42, 1), &opts, |_| {});
+        assert_eq!(report.records[0].attempts, 2);
+        assert!(report.records[0].status.is_failure());
+    }
+
+    // Process-isolation plumbing tested with /bin/sh standing in for
+    // the experiments binary: `sh -c <script>` receives the appended
+    // worker args as $0..$3 (`--worker-one <slug> --out <handoff>`),
+    // so a script can address its own handoff directory as "$3".
+    #[cfg(unix)]
+    fn sh_isolation(script: &str, tag: &str) -> Isolation {
+        let root = std::env::temp_dir().join(format!("autosec-suite-iso-{tag}"));
+        let _ = std::fs::remove_dir_all(&root);
+        Isolation {
+            spec: WorkerSpec {
+                exe: PathBuf::from("/bin/sh"),
+                base_args: vec!["-c".into(), script.into()],
+            },
+            budgets: ResourceBudgets::default(),
+            handoff_root: root,
+        }
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn isolated_worker_artifact_becomes_the_record_table() {
+        let script = r#"printf '{"table":{"id":"T1","title":"from child","headers":["a"],"rows":[["7"]]}}' > "$3/$1.json""#;
+        let iso = sh_isolation(script, "ok");
+        let root = iso.handoff_root.clone();
+        let opts = SuiteOptions {
+            isolation: Some(iso),
+            ..Default::default()
+        };
+        let reg = toy_registry();
+        let report = run_suite(&reg.select("t1-ok"), &RunCtx::new(42, 1), &opts, |_| {});
+        assert!(report.all_ok());
+        let table = report.records[0].table.as_ref().expect("parsed back");
+        assert_eq!(table.id, "T1");
+        assert_eq!(table.title, "from child");
+        assert_eq!(table.rows, vec![vec!["7".to_owned()]]);
+        let _ = std::fs::remove_dir_all(root);
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn isolated_deadline_kills_the_child_for_real() {
+        let iso = sh_isolation("sleep 30", "deadline");
+        let root = iso.handoff_root.clone();
+        let opts = SuiteOptions {
+            keep_going: true,
+            deadline_override: Some(Duration::from_millis(200)),
+            isolation: Some(iso),
+            ..Default::default()
+        };
+        let reg = toy_registry();
+        let start = Instant::now();
+        let report = run_suite(&reg.select("t1-ok"), &RunCtx::new(42, 1), &opts, |_| {});
+        assert!(
+            start.elapsed() < Duration::from_secs(10),
+            "the 30 s sleeper must not hold the suite"
+        );
+        match &report.records[0].status {
+            RunStatus::TimedOut { deadline, detached } => {
+                assert_eq!(*deadline, Duration::from_millis(200));
+                assert!(!*detached, "a killed child leaks nothing");
+            }
+            other => panic!("expected timeout, got {other:?}"),
+        }
+        let _ = std::fs::remove_dir_all(root);
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn isolated_crash_reports_the_exit_code() {
+        let iso = sh_isolation("exit 7", "crash");
+        let root = iso.handoff_root.clone();
+        let opts = SuiteOptions {
+            keep_going: true,
+            isolation: Some(iso),
+            ..Default::default()
+        };
+        let reg = toy_registry();
+        let report = run_suite(&reg.select("t1-ok"), &RunCtx::new(42, 1), &opts, |_| {});
+        assert_eq!(
+            report.records[0].status,
+            RunStatus::Failed {
+                message: "worker exited with code 7".into()
+            }
+        );
+        let _ = std::fs::remove_dir_all(root);
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn isolated_panic_file_preserves_the_message() {
+        // A worker that panics writes <slug>.panic.txt and exits 101;
+        // the manifest must carry the original message, exactly as the
+        // in-process path does.
+        let script = r#"printf 'chaos probe: injected panic' > "$3/$1.panic.txt"; exit 101"#;
+        let iso = sh_isolation(script, "panic");
+        let root = iso.handoff_root.clone();
+        let opts = SuiteOptions {
+            keep_going: true,
+            isolation: Some(iso),
+            ..Default::default()
+        };
+        let reg = toy_registry();
+        let report = run_suite(&reg.select("t1-ok"), &RunCtx::new(42, 1), &opts, |_| {});
+        assert_eq!(
+            report.records[0].status,
+            RunStatus::Failed {
+                message: "chaos probe: injected panic".into()
+            }
+        );
+        let _ = std::fs::remove_dir_all(root);
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn isolated_clean_exit_without_artifact_is_a_failure() {
+        let iso = sh_isolation("exit 0", "no-artifact");
+        let root = iso.handoff_root.clone();
+        let opts = SuiteOptions {
+            keep_going: true,
+            isolation: Some(iso),
+            ..Default::default()
+        };
+        let reg = toy_registry();
+        let report = run_suite(&reg.select("t1-ok"), &RunCtx::new(42, 1), &opts, |_| {});
+        match &report.records[0].status {
+            RunStatus::Failed { message } => {
+                assert!(message.contains("no readable artifact"), "{message}");
+            }
+            other => panic!("expected failure, got {other:?}"),
+        }
+        let _ = std::fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn spawn_failure_is_contained_not_fatal() {
+        let iso = Isolation {
+            spec: WorkerSpec {
+                exe: PathBuf::from("/nonexistent/experiments-binary"),
+                base_args: vec![],
+            },
+            budgets: ResourceBudgets::default(),
+            handoff_root: std::env::temp_dir().join("autosec-suite-iso-spawnfail"),
+        };
+        let root = iso.handoff_root.clone();
+        let opts = SuiteOptions {
+            keep_going: true,
+            isolation: Some(iso),
+            ..Default::default()
+        };
+        let reg = toy_registry();
+        let report = run_suite(&reg.select("t1-ok"), &RunCtx::new(42, 1), &opts, |_| {});
+        match &report.records[0].status {
+            RunStatus::Failed { message } => {
+                assert!(message.contains("worker spawn failed"), "{message}");
+            }
+            other => panic!("expected failure, got {other:?}"),
+        }
+        let _ = std::fs::remove_dir_all(root);
     }
 }

@@ -3,12 +3,16 @@
 use serde_json::{json, Map, Value};
 
 /// A rendered experiment table.
+///
+/// `id`/`title` are owned strings so a table can round-trip through
+/// its JSON artifact — the process-isolated suite runner parses a
+/// worker child's artifact back into the parent's records.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Table {
     /// Experiment group id, e.g. `"E2"` (shared by related tables).
-    pub id: &'static str,
+    pub id: String,
     /// Title (paper anchor).
-    pub title: &'static str,
+    pub title: String,
     /// Column headers.
     pub headers: Vec<String>,
     /// Data rows.
@@ -17,10 +21,10 @@ pub struct Table {
 
 impl Table {
     /// Creates a table from string-convertible headers.
-    pub fn new(id: &'static str, title: &'static str, headers: &[&str]) -> Self {
+    pub fn new(id: &str, title: &str, headers: &[&str]) -> Self {
         Self {
-            id,
-            title,
+            id: id.to_owned(),
+            title: title.to_owned(),
             headers: headers.iter().map(|h| (*h).to_owned()).collect(),
             rows: Vec::new(),
         }
@@ -47,8 +51,8 @@ impl Table {
             .map(|r| Value::Array(r.iter().map(|c| Value::from(c.as_str())).collect()))
             .collect();
         json!({
-            "id": self.id,
-            "title": self.title,
+            "id": (self.id.clone()),
+            "title": (self.title.clone()),
             "headers": (self.headers.clone()),
             "rows": rows,
         })
@@ -56,8 +60,7 @@ impl Table {
 
     /// Row data parsed back from [`Self::to_json`] output.
     ///
-    /// `id`/`title` are `&'static str` in the in-memory table, so this
-    /// returns the dynamic parts only: `(headers, rows)`. `None` on any
+    /// Returns the dynamic parts only: `(headers, rows)`. `None` on any
     /// shape mismatch.
     pub fn rows_from_json(v: &Value) -> Option<(Vec<String>, Vec<Vec<String>>)> {
         let headers = string_array(v.get("headers")?)?;
@@ -68,6 +71,23 @@ impl Table {
             .map(string_array)
             .collect::<Option<Vec<_>>>()?;
         Some((headers, rows))
+    }
+
+    /// Full table parsed back from [`Self::to_json`] output.
+    ///
+    /// Used by the process-isolated runner to reconstruct a worker
+    /// child's result from its handoff artifact. `None` on any shape
+    /// mismatch.
+    pub fn from_json(v: &Value) -> Option<Table> {
+        let id = v.get("id")?.as_str()?.to_owned();
+        let title = v.get("title")?.as_str()?.to_owned();
+        let (headers, rows) = Self::rows_from_json(v)?;
+        Some(Table {
+            id,
+            title,
+            headers,
+            rows,
+        })
     }
 }
 
@@ -145,6 +165,20 @@ mod tests {
         let (headers, rows) = Table::rows_from_json(&v).expect("well-formed");
         assert_eq!(headers, t.headers);
         assert_eq!(rows, t.rows);
+        let full = Table::from_json(&v).expect("well-formed");
+        assert_eq!(full, t);
+    }
+
+    #[test]
+    fn from_json_rejects_malformed() {
+        assert!(Table::from_json(&json!({"id": "EX"})).is_none());
+        assert!(
+            Table::from_json(&json!({"id": 3, "title": "t", "headers": [], "rows": []})).is_none()
+        );
+        assert!(Table::from_json(
+            &json!({"id": "EX", "title": "t", "headers": ["a"], "rows": [[1]]})
+        )
+        .is_none());
     }
 
     #[test]
